@@ -1,0 +1,57 @@
+// Ablation C: pruning power versus k. Larger top-k lists weaken the
+// pruning threshold; the gap between Naive and Push should narrow as k
+// grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/xmark_workload.h"
+#include "src/core/engine.h"
+#include "src/data/xmark_gen.h"
+
+namespace {
+using pimento::bench::MedianMs;
+constexpr int kRuns = 5;
+constexpr int kKs[] = {1, 5, 10, 25, 50, 100};
+}  // namespace
+
+int main() {
+  pimento::data::XmarkOptions gen;
+  gen.target_bytes = 4u << 20;
+  pimento::core::SearchEngine engine(pimento::index::Collection::Build(
+      pimento::data::GenerateXmark(gen)));
+  std::string profile = pimento::bench::XmarkProfile(4, false, true);
+
+  std::printf(
+      "Ablation C — k sweep, 4MB document, 4 KORs (ms, median of %d)\n\n",
+      kRuns);
+  std::printf("%-6s %12s %12s %16s\n", "k", "NtpkP", "PtpkP",
+              "push pruned");
+  for (int k : kKs) {
+    double naive_ms = 0;
+    double push_ms = 0;
+    long long pruned = 0;
+    {
+      pimento::core::SearchOptions options;
+      options.k = k;
+      options.strategy = pimento::plan::Strategy::kNaive;
+      naive_ms = MedianMs(kRuns, [&]() {
+        auto r = engine.Search(pimento::bench::kXmarkQuery, profile, options);
+        if (!r.ok()) std::exit(1);
+      });
+    }
+    {
+      pimento::core::SearchOptions options;
+      options.k = k;
+      options.strategy = pimento::plan::Strategy::kPush;
+      push_ms = MedianMs(kRuns, [&]() {
+        auto r = engine.Search(pimento::bench::kXmarkQuery, profile, options);
+        if (!r.ok()) std::exit(1);
+        pruned = r->stats.pruned_by_topk;
+      });
+    }
+    std::printf("%-6d %12.2f %12.2f %16lld\n", k, naive_ms, push_ms, pruned);
+  }
+  std::printf("\nexpected shape: pruning decreases as k grows.\n");
+  return 0;
+}

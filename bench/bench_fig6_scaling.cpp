@@ -1,0 +1,64 @@
+// Reproduces Figure 6: query time of PushtopKPrune for increasing document
+// size (101K ... 10M) and increasing number of KORs (1-4), on the XMark-like
+// workload of Fig. 5.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/xmark_workload.h"
+#include "src/core/engine.h"
+#include "src/data/xmark_gen.h"
+
+namespace {
+
+using pimento::bench::HumanBytes;
+using pimento::bench::MedianMs;
+
+constexpr size_t kSizes[] = {101u << 10, 212u << 10, 468u << 10,
+                             571u << 10, 823u << 10, 1u << 20,
+                             (5u << 20) + (717u << 10), 10u << 20};
+constexpr int kRuns = 5;
+constexpr int kTopK = 10;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 6 — PushtopKPrune query time (ms, median of %d) vs document "
+      "size and #KORs\n",
+      kRuns);
+  std::printf("query: %s\n\n", pimento::bench::kXmarkQuery);
+  std::printf("%-8s %10s %10s %10s %10s %10s\n", "size", "persons",
+              "#KORs=1", "#KORs=2", "#KORs=3", "#KORs=4");
+
+  for (size_t size : kSizes) {
+    pimento::data::XmarkOptions gen;
+    gen.target_bytes = size;
+    pimento::core::SearchEngine engine(pimento::index::Collection::Build(
+        pimento::data::GenerateXmark(gen)));
+    size_t persons = engine.collection().tags().Count("person");
+
+    std::printf("%-8s %10zu", HumanBytes(size).c_str(), persons);
+    for (int kors = 1; kors <= 4; ++kors) {
+      std::string profile = pimento::bench::XmarkProfile(kors);
+      pimento::core::SearchOptions options;
+      options.k = kTopK;
+      options.strategy = pimento::plan::Strategy::kPush;
+      double ms = MedianMs(kRuns, [&]() {
+        auto result = engine.Search(pimento::bench::kXmarkQuery, profile,
+                                    options);
+        if (!result.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       result.status().ToString().c_str());
+          std::exit(1);
+        }
+      });
+      std::printf(" %10.2f", ms);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape (paper): time grows sub-linearly with document size"
+      " and mildly with #KORs.\n");
+  return 0;
+}

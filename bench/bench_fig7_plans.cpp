@@ -1,0 +1,95 @@
+// Reproduces Figure 7: run times of the four equivalent plans
+// (NtpkP, NS-ILtpkP, S-ILtpkP, PtpkP) for the Fig. 5 query on a 10MB
+// document, for 1-4 KORs. Also reports each plan's pruning counts, the
+// quantity behind the timing differences.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/xmark_workload.h"
+#include "src/core/engine.h"
+#include "src/data/xmark_gen.h"
+
+namespace {
+
+using pimento::bench::MedianMs;
+using pimento::plan::Strategy;
+
+constexpr int kRuns = 5;
+constexpr int kTopK = 10;
+
+struct PlanRow {
+  Strategy strategy;
+  const char* name;
+};
+
+constexpr PlanRow kPlans[] = {
+    {Strategy::kNaive, "NtpkP"},
+    {Strategy::kInterleave, "NS-ILtpkP"},
+    {Strategy::kInterleaveSorted, "S-ILtpkP"},
+    {Strategy::kPush, "PtpkP"},
+};
+
+}  // namespace
+
+int main() {
+  pimento::data::XmarkOptions gen;
+  gen.target_bytes = 10u << 20;
+  pimento::core::SearchEngine engine(pimento::index::Collection::Build(
+      pimento::data::GenerateXmark(gen)));
+
+  std::printf(
+      "Figure 7 — plan comparison on a 10MB document (ms, median of %d)\n",
+      kRuns);
+  std::printf("query: %s   persons=%zu\n\n", pimento::bench::kXmarkQuery,
+              engine.collection().tags().Count("person"));
+  std::printf("%-10s %12s %12s %12s %12s\n", "plan", "#KORs=1", "#KORs=2",
+              "#KORs=3", "#KORs=4");
+
+  for (const PlanRow& plan : kPlans) {
+    std::printf("%-10s", plan.name);
+    for (int kors = 1; kors <= 4; ++kors) {
+      std::string profile =
+          pimento::bench::XmarkProfile(kors, false, /*weighted=*/true);
+      pimento::core::SearchOptions options;
+      options.k = kTopK;
+      options.strategy = plan.strategy;
+      double ms = MedianMs(kRuns, [&]() {
+        auto result = engine.Search(pimento::bench::kXmarkQuery, profile,
+                                    options);
+        if (!result.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       result.status().ToString().c_str());
+          std::exit(1);
+        }
+      });
+      std::printf(" %12.2f", ms);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npruning detail (#KORs=4):\n");
+  std::printf("%-10s %16s %14s %14s %10s\n", "plan", "pruned_by_topk",
+              "kor_consumed", "sorted", "emitted");
+  for (const PlanRow& plan : kPlans) {
+    pimento::core::SearchOptions options;
+    options.k = kTopK;
+    options.strategy = plan.strategy;
+    auto result = engine.Search(pimento::bench::kXmarkQuery,
+                                pimento::bench::XmarkProfile(4, false, true), options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s %16lld %14lld %14lld %10lld\n", plan.name,
+                static_cast<long long>(result->stats.pruned_by_topk),
+                static_cast<long long>(result->stats.kor_consumed),
+                static_cast<long long>(result->stats.sorted),
+                static_cast<long long>(result->stats.emitted));
+  }
+  std::printf(
+      "\nexpected shape (paper): PtpkP fastest / never worse than NtpkP;"
+      " NS-ILtpkP slowest (overhead without batch pruning); S-ILtpkP in "
+      "between.\n");
+  return 0;
+}

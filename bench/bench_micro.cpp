@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: XML
+// parsing, index construction, phrase counting, containment checks, and
+// topkPrune throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/algebra/topk_prune.h"
+#include "src/data/car_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/index/collection.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/containment.h"
+#include "src/tpq/tpq_parser.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace {
+
+std::string XmarkText(size_t bytes) {
+  pimento::data::XmarkOptions opts;
+  opts.target_bytes = bytes;
+  return pimento::xml::SerializeXml(pimento::data::GenerateXmark(opts));
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  std::string text = XmarkText(static_cast<size_t>(state.range(0)) << 10);
+  for (auto _ : state) {
+    auto doc = pimento::xml::ParseXml(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParse)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_IndexBuild(benchmark::State& state) {
+  pimento::data::XmarkOptions opts;
+  opts.target_bytes = static_cast<size_t>(state.range(0)) << 10;
+  for (auto _ : state) {
+    state.PauseTiming();
+    pimento::xml::Document doc = pimento::data::GenerateXmark(opts);
+    state.ResumeTiming();
+    auto coll = pimento::index::Collection::Build(std::move(doc));
+    benchmark::DoNotOptimize(coll.keywords().total_tokens());
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_PhraseCount(benchmark::State& state) {
+  pimento::data::XmarkOptions opts;
+  opts.target_bytes = 1u << 20;
+  auto coll =
+      pimento::index::Collection::Build(pimento::data::GenerateXmark(opts));
+  pimento::index::Phrase phrase = coll.MakePhrase("United States");
+  const auto& persons = coll.tags().Elements("person");
+  for (auto _ : state) {
+    int total = 0;
+    for (pimento::xml::NodeId p : persons) {
+      total += coll.CountOccurrences(p, phrase);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(persons.size()));
+}
+BENCHMARK(BM_PhraseCount);
+
+void BM_Containment(benchmark::State& state) {
+  auto outer = pimento::tpq::ParseTpq("//car[./price < 2000]");
+  auto inner = pimento::tpq::ParseTpq(
+      "//car[./price < 1000 and ./description[ftcontains(., \"good "
+      "condition\")] and ./color = \"red\"]");
+  for (auto _ : state) {
+    bool c = pimento::tpq::Contains(*outer, *inner);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Containment);
+
+void BM_TopkPruneThroughput(benchmark::State& state) {
+  pimento::algebra::RankContext rank({}, pimento::profile::RankOrder::kKVS);
+  std::vector<pimento::algebra::Answer> input;
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> score(0, 10);
+  for (int i = 0; i < 10000; ++i) {
+    pimento::algebra::Answer a;
+    a.node = i;
+    a.s = score(rng);
+    a.k = score(rng);
+    input.push_back(a);
+  }
+  for (auto _ : state) {
+    pimento::algebra::MaterializedOp src(input);
+    pimento::algebra::TopkPruneOptions opts;
+    opts.k = static_cast<int>(state.range(0));
+    opts.alg = pimento::algebra::PruneAlg::kAlg3;
+    pimento::algebra::TopkPruneOp prune(&rank, opts);
+    prune.set_input(&src);
+    pimento::algebra::Answer a;
+    int64_t n = 0;
+    while (prune.Next(&a)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_TopkPruneThroughput)->Arg(10)->Arg(100);
+
+void BM_ProfileParse(benchmark::State& state) {
+  const char* text = R"(
+profile p
+rank K,V,S
+sr p1 priority 1: if //car/description[ftcontains(., "low mileage")] then delete ftcontains(car, "good condition")
+vor pi1: tag=car prefer color = "red"
+kor pi4: tag=car prefer ftcontains("best bid")
+)";
+  for (auto _ : state) {
+    auto p = pimento::profile::ParseProfile(text);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ProfileParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

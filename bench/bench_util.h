@@ -1,0 +1,57 @@
+#ifndef PIMENTO_BENCH_BENCH_UTIL_H_
+#define PIMENTO_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pimento::bench {
+
+/// Wall-clock stopwatch for the figure/table harnesses (google-benchmark is
+/// used by the micro suite; the reproductions print paper-style rows).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedMs() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Median of `runs` timed executions of `fn` (ms).
+template <typename Fn>
+double MedianMs(int runs, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(runs);
+  for (int i = 0; i < runs; ++i) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.ElapsedMs());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline std::string HumanBytes(size_t bytes) {
+  char buf[32];
+  if (bytes >= (10u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.0fM", bytes / 1048576.0);
+  } else if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", bytes / 1048576.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuK", bytes >> 10);
+  }
+  return buf;
+}
+
+}  // namespace pimento::bench
+
+#endif  // PIMENTO_BENCH_BENCH_UTIL_H_

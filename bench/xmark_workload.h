@@ -1,0 +1,43 @@
+#ifndef PIMENTO_BENCH_XMARK_WORKLOAD_H_
+#define PIMENTO_BENCH_XMARK_WORKLOAD_H_
+
+#include <string>
+
+namespace pimento::bench {
+
+/// The Fig. 5 workload: query Q = ad(person, business) &
+/// ftcontains(business, "Yes"), plus KORs π1-π4 and VOR π5.
+inline const char* kXmarkQuery =
+    "//person[.//business[ftcontains(., \"Yes\")]]";
+
+/// Profile text with the first `num_kors` (1..4) keyword ORs of Fig. 5.
+/// `with_vor` additionally includes π5 (age = 33 preferred). `weighted`
+/// assigns steeply decaying degree-of-interest weights (32/4/2/1), the
+/// skewed-contribution regime in which the paper observes early pruning to
+/// pay off most (§7.2: "pruning pays the most when the scores contributed
+/// by the KORs are [skewed]"; weights are the §8 extension).
+inline std::string XmarkProfile(int num_kors, bool with_vor = false,
+                                bool weighted = false) {
+  static const char* kKors[] = {
+      "kor pi1: tag=person prefer ftcontains(\"male\")",
+      "kor pi2: tag=person prefer ftcontains(\"United States\")",
+      "kor pi3: tag=person prefer ftcontains(\"College\")",
+      "kor pi4: tag=person prefer ftcontains(\"Phoenix\")",
+  };
+  static const char* kWeights[] = {" weight 32", " weight 4", " weight 2",
+                                   " weight 1"};
+  std::string out = "profile fig5\nrank K,V,S\n";
+  for (int i = 0; i < num_kors && i < 4; ++i) {
+    out += kKors[i];
+    if (weighted) out += kWeights[i];
+    out += "\n";
+  }
+  if (with_vor) {
+    out += "vor pi5: tag=person prefer age = \"33\"\n";
+  }
+  return out;
+}
+
+}  // namespace pimento::bench
+
+#endif  // PIMENTO_BENCH_XMARK_WORKLOAD_H_

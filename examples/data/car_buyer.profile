@@ -1,0 +1,14 @@
+# Example profile for the car-sale data (see docs/profile_language.md).
+profile car_buyer
+rank K,V,S
+
+# Broaden: a good-condition car need not explicitly say "low mileage".
+sr p3 priority 1: if //car/description[ftcontains(., "good condition")] then delete ftcontains(description, "low mileage")
+# Narrow: good-condition cars should preferably be american makes.
+sr p2 priority 2: if //car/description[ftcontains(., "good condition")] then add ftcontains(description, "american")
+
+vor colors priority 1: tag=car prefer color order "red" > "black" > "silver"
+vor mileage priority 2: tag=car prefer lower mileage
+
+kor bid: tag=car prefer ftcontains("best bid") weight 2
+kor nyc: tag=car prefer ftcontains("NYC")

@@ -1,0 +1,71 @@
+// pimento_check: static analysis of a profile against a query, without
+// executing anything — the §5 conflict and ambiguity checks as a lint
+// tool.
+//
+// Usage: pimento_check <query> <profile-file>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/profile/ambiguity.h"
+#include "src/profile/flock.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: pimento_check <query> <profile-file>\n");
+    return 2;
+  }
+  auto query = pimento::tpq::ParseTpq(argv[1]);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto profile = pimento::profile::ParseProfile(ss.str());
+  if (!profile.ok()) {
+    std::fprintf(stderr, "profile: %s\n",
+                 profile.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", profile->ToString().c_str());
+
+  int issues = 0;
+  pimento::profile::AmbiguityReport ambiguity =
+      pimento::profile::DetectAmbiguity(profile->vors);
+  if (ambiguity.ambiguous) {
+    std::printf("value-based ORs: AMBIGUOUS (%s)\n",
+                ambiguity.explanation.c_str());
+    if (ambiguity.resolved_by_priorities) {
+      std::printf("  ... resolved by rule priorities\n");
+    } else {
+      std::printf("  ... UNRESOLVED: assign distinct priorities\n");
+      ++issues;
+    }
+  } else {
+    std::printf("value-based ORs: unambiguous\n");
+  }
+
+  auto flock =
+      pimento::profile::BuildFlock(*query, profile->scoping_rules);
+  if (!flock.ok()) {
+    std::printf("scoping rules: %s\n", flock.status().ToString().c_str());
+    ++issues;
+  } else {
+    std::printf("scoping rules: %s\n",
+                flock->conflict_report
+                    .ToString(profile->scoping_rules)
+                    .c_str());
+    std::printf("flock size: %zu\nencoded query: %s\n",
+                flock->members.size(), flock->encoded.ToString().c_str());
+  }
+  return issues == 0 ? 0 : 1;
+}

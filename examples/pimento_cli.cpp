@@ -1,0 +1,136 @@
+// pimento_cli: a small command-line search tool over any XML file.
+//
+// Usage:
+//   pimento_cli <file.xml>[,more.xml...] <query> [--profile <file>] [--k N]
+//               [--strategy naive|interleave|interleave-sorted|push]
+//               [--stem] [--explain] [--stats]
+//
+// Example:
+//   pimento_cli cars.xml '//car[./price < 2000]' --profile me.profile --k 5
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pimento_cli <file.xml>[,more...] <query> [--profile <file>]"
+      " [--k N]\n"
+      "                   [--strategy naive|interleave|interleave-sorted|"
+      "push] [--stem] [--explain] [--stats]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string xml_path = argv[1];
+  std::string query = argv[2];
+  std::string profile_text;
+  pimento::core::SearchOptions options;
+  pimento::text::TokenizeOptions tokenize;
+  bool explain = false;
+  bool show_stats = false;
+
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--profile" && i + 1 < argc) {
+      if (!ReadFile(argv[++i], &profile_text)) {
+        std::fprintf(stderr, "cannot read profile %s\n", argv[i]);
+        return 1;
+      }
+    } else if (arg == "--k" && i + 1 < argc) {
+      options.k = std::atoi(argv[++i]);
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      std::string s = argv[++i];
+      if (s == "naive") {
+        options.strategy = pimento::plan::Strategy::kNaive;
+      } else if (s == "interleave") {
+        options.strategy = pimento::plan::Strategy::kInterleave;
+      } else if (s == "interleave-sorted") {
+        options.strategy = pimento::plan::Strategy::kInterleaveSorted;
+      } else if (s == "push") {
+        options.strategy = pimento::plan::Strategy::kPush;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--stem") {
+      tokenize.stem = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  // Comma-separated file lists are indexed as one corpus.
+  std::vector<std::string> xml_texts;
+  size_t start = 0;
+  while (start <= xml_path.size()) {
+    size_t comma = xml_path.find(',', start);
+    if (comma == std::string::npos) comma = xml_path.size();
+    std::string path = xml_path.substr(start, comma - start);
+    if (!path.empty()) {
+      std::string text;
+      if (!ReadFile(path, &text)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+      }
+      xml_texts.push_back(std::move(text));
+    }
+    start = comma + 1;
+  }
+  auto engine =
+      xml_texts.size() == 1
+          ? pimento::core::SearchEngine::FromXml(xml_texts[0], tokenize)
+          : pimento::core::SearchEngine::FromXmlCorpus(xml_texts, tokenize);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  if (show_stats) {
+    std::printf("collection: %s\n",
+                engine->collection().Stats().ToString().c_str());
+  }
+
+  auto result = profile_text.empty()
+                    ? engine->Search(query, options)
+                    : engine->Search(query, profile_text, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (explain) {
+    std::printf("encoded query: %s\n", result->encoded_query.c_str());
+    std::printf("plan: %s\n", result->plan_description.c_str());
+    std::printf("stats: %s\n\n", result->stats.ToString().c_str());
+  }
+  for (const pimento::core::RankedAnswer& a : result->answers) {
+    std::printf("#%d  S=%.3f K=%.3f\n%s\n\n", a.rank, a.s, a.k,
+                engine->AnswerXml(a.node).c_str());
+  }
+  if (result->answers.empty()) std::printf("(no answers)\n");
+  return 0;
+}

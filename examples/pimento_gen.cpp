@@ -1,0 +1,86 @@
+// pimento_gen: emits the synthetic datasets used by the benchmarks, so CLI
+// users can make test corpora of any size.
+//
+// Usage:
+//   pimento_gen cars [--num N] [--seed S]
+//   pimento_gen xmark [--bytes N] [--seed S]
+//   pimento_gen inex
+// Output is XML on stdout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/data/car_gen.h"
+#include "src/data/inex_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/xml/serializer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pimento_gen cars [--num N] [--seed S]\n"
+               "       pimento_gen xmark [--bytes N] [--seed S]\n"
+               "       pimento_gen inex\n");
+  return 2;
+}
+
+size_t ParseBytes(const char* arg) {
+  char* end = nullptr;
+  double v = std::strtod(arg, &end);
+  if (end != nullptr) {
+    if (*end == 'K' || *end == 'k') return static_cast<size_t>(v * 1024);
+    if (*end == 'M' || *end == 'm') {
+      return static_cast<size_t>(v * 1024 * 1024);
+    }
+  }
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string mode = argv[1];
+  long num = 50;
+  size_t bytes = 1 << 20;
+  unsigned seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--num" && i + 1 < argc) {
+      num = std::atol(argv[++i]);
+    } else if (arg == "--bytes" && i + 1 < argc) {
+      bytes = ParseBytes(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<unsigned>(std::atol(argv[++i]));
+    } else {
+      return Usage();
+    }
+  }
+
+  pimento::xml::SerializeOptions pretty;
+  pretty.pretty = true;
+  if (mode == "cars") {
+    pimento::data::CarGenOptions opts;
+    opts.num_cars = static_cast<int>(num);
+    opts.seed = seed;
+    std::fputs(pimento::data::CarDealerXml(opts).c_str(), stdout);
+  } else if (mode == "xmark") {
+    pimento::data::XmarkOptions opts;
+    opts.target_bytes = bytes;
+    opts.seed = seed;
+    std::fputs(pimento::xml::SerializeXml(pimento::data::GenerateXmark(opts),
+                                          pretty)
+                   .c_str(),
+               stdout);
+  } else if (mode == "inex") {
+    pimento::data::InexCollection inex = pimento::data::GenerateInex({});
+    std::fputs(pimento::xml::SerializeXml(inex.doc, pretty).c_str(), stdout);
+  } else {
+    return Usage();
+  }
+  std::fputc('\n', stdout);
+  return 0;
+}

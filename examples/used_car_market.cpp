@@ -1,0 +1,125 @@
+// used_car_market: a walkthrough of PIMENTO's static analysis on a richer
+// used-car marketplace —
+//   * scoping-rule conflict detection, cycle breaking via priorities (§5.1)
+//   * value-based OR ambiguity detection via alternating cycles and its
+//     resolution via priorities (§5.2)
+//   * the four VOR shapes, including an explicit color preference order
+//     (prefRel) and the same-make horsepower rule (form 3).
+
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/profile/ambiguity.h"
+#include "src/profile/rule_parser.h"
+
+namespace {
+
+constexpr const char* kQuery =
+    "//car[./description[ftcontains(., \"good condition\")] and "
+    "./price < 6000]";
+
+void Banner(const char* title) { std::printf("\n=== %s ===\n", title); }
+
+}  // namespace
+
+int main() {
+  pimento::data::CarGenOptions gen;
+  gen.num_cars = 80;
+  pimento::core::SearchEngine engine(pimento::index::Collection::Build(
+      pimento::data::GenerateCarDealer(gen)));
+
+  Banner("1. An ambiguous profile is rejected");
+  {
+    const char* profile = R"(
+vor color: tag=car prefer color = "red"
+vor mileage: tag=car prefer lower mileage
+)";
+    auto result = engine.Search(kQuery, profile, {});
+    std::printf("Search() -> %s\n", result.status().ToString().c_str());
+  }
+
+  Banner("2. Priorities resolve the ambiguity");
+  {
+    const char* profile = R"(
+vor mileage priority 1: tag=car prefer lower mileage
+vor color priority 2: tag=car prefer color = "red"
+)";
+    pimento::core::SearchOptions options;
+    options.k = 5;
+    auto result = engine.Search(kQuery, profile, options);
+    if (!result.ok()) {
+      std::printf("unexpected error: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ambiguous=%d resolved_by_priorities=%d (%s)\n",
+                result->ambiguity.ambiguous,
+                result->ambiguity.resolved_by_priorities,
+                result->ambiguity.explanation.c_str());
+    for (const auto& a : result->answers) {
+      std::printf("  #%d mileage=%s color=%s price=%s\n", a.rank,
+                  engine.collection().AttrString(a.node, "mileage")
+                      .value_or("?").c_str(),
+                  engine.collection().AttrString(a.node, "color")
+                      .value_or("?").c_str(),
+                  engine.collection().AttrString(a.node, "price")
+                      .value_or("?").c_str());
+    }
+  }
+
+  Banner("3. Rich VOR shapes: color order + same-make horsepower");
+  {
+    const char* profile = R"(
+vor colors priority 1: tag=car prefer color order "red" > "black" > "silver"
+vor hp priority 2: tag=car same make prefer higher hp
+kor urgency: tag=car prefer ftcontains("eager seller")
+)";
+    pimento::core::SearchOptions options;
+    options.k = 6;
+    auto result = engine.Search(kQuery, profile, options);
+    if (!result.ok()) {
+      std::printf("unexpected error: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("plan: %s\n", result->plan_description.c_str());
+    for (const auto& a : result->answers) {
+      std::printf("  #%d color=%-7s make=%-8s hp=%-4s K=%.2f S=%.2f\n",
+                  a.rank,
+                  engine.collection().AttrString(a.node, "color")
+                      .value_or("?").c_str(),
+                  engine.collection().AttrString(a.node, "make")
+                      .value_or("?").c_str(),
+                  engine.collection().AttrString(a.node, "horsepower")
+                      .value_or("?").c_str(),
+                  a.k, a.s);
+    }
+  }
+
+  Banner("4. Conflicting scoping rules need priorities");
+  {
+    const char* profile = R"(
+sr drop_price: if //car[./price < 6000] then delete value(price) < 6000
+sr relax_desc: if //car/description then replace pc(car, description) with ad(car, description)
+sr tighten: if //car[./price < 6000] then add ftcontains(car, "clean title")
+)";
+    pimento::core::SearchOptions options;
+    options.k = 5;
+    auto result = engine.Search(kQuery, profile, options);
+    if (!result.ok()) {
+      std::printf("Search() -> %s\n", result.status().ToString().c_str());
+    } else {
+      std::printf("conflict report:\n%s\n",
+                  result->flock.conflict_report
+                      .ToString(pimento::profile::ParseProfile(profile)
+                                    ->scoping_rules)
+                      .c_str());
+      std::printf("encoded query: %s\n", result->encoded_query.c_str());
+      std::printf("%zu answers (broadened search keeps >$6000 cars as "
+                  "lower-scored matches)\n",
+                  result->answers.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "src/algebra/answer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pimento::algebra {
+
+RankContext::RankContext(std::vector<profile::Vor> vors,
+                         profile::RankOrder order)
+    : vors_(std::move(vors)), order_(order) {
+  priority_order_.resize(vors_.size());
+  std::iota(priority_order_.begin(), priority_order_.end(), 0);
+  std::stable_sort(priority_order_.begin(), priority_order_.end(),
+                   [this](size_t a, size_t b) {
+                     return vors_[a].priority < vors_[b].priority;
+                   });
+}
+
+std::vector<double> RankContext::VorKeys(const Answer& a) const {
+  std::vector<double> keys;
+  keys.reserve(priority_order_.size());
+  for (size_t i : priority_order_) {
+    const profile::VorValue& value =
+        i < a.vor.size() ? a.vor[i] : profile::VorValue{};
+    keys.push_back(profile::VorRankKey(vors_[i], value));
+  }
+  return keys;
+}
+
+profile::PrefResult RankContext::CompareVLinearized(const Answer& a,
+                                                    const Answer& b) const {
+  if (vors_.empty()) return profile::PrefResult::kEqual;
+  std::vector<double> ka = VorKeys(a);
+  std::vector<double> kb = VorKeys(b);
+  for (size_t i = 0; i < ka.size(); ++i) {
+    if (ka[i] < kb[i]) return profile::PrefResult::kFirstPreferred;
+    if (ka[i] > kb[i]) return profile::PrefResult::kSecondPreferred;
+  }
+  return profile::PrefResult::kEqual;
+}
+
+profile::PrefResult RankContext::CompareVPartial(const Answer& a,
+                                                 const Answer& b) const {
+  if (vors_.empty()) return profile::PrefResult::kEqual;
+  // CompareVorProfile expects values aligned with the rule list.
+  std::vector<profile::VorValue> va = a.vor;
+  std::vector<profile::VorValue> vb = b.vor;
+  va.resize(vors_.size());
+  vb.resize(vors_.size());
+  return profile::CompareVorProfile(vors_, va, vb);
+}
+
+bool RankContext::RankedBefore(const Answer& a, const Answer& b) const {
+  auto by_k = [&]() -> int {
+    if (a.k != b.k) return a.k > b.k ? -1 : 1;
+    return 0;
+  };
+  auto by_v = [&]() -> int {
+    profile::PrefResult r = CompareVLinearized(a, b);
+    if (r == profile::PrefResult::kFirstPreferred) return -1;
+    if (r == profile::PrefResult::kSecondPreferred) return 1;
+    return 0;
+  };
+  auto by_s = [&]() -> int {
+    if (a.s != b.s) return a.s > b.s ? -1 : 1;
+    return 0;
+  };
+  int c = 0;
+  switch (order_) {
+    case profile::RankOrder::kKVS:
+      c = by_k();
+      if (c == 0) c = by_v();
+      if (c == 0) c = by_s();
+      break;
+    case profile::RankOrder::kVKS:
+      c = by_v();
+      if (c == 0) c = by_k();
+      if (c == 0) c = by_s();
+      break;
+    case profile::RankOrder::kS:
+      c = by_s();
+      break;
+  }
+  if (c != 0) return c < 0;
+  return a.node < b.node;  // document order as the final deterministic tie
+}
+
+}  // namespace pimento::algebra

@@ -1,0 +1,61 @@
+#ifndef PIMENTO_ALGEBRA_ANSWER_H_
+#define PIMENTO_ALGEBRA_ANSWER_H_
+
+#include <vector>
+
+#include "src/profile/ordering_rule.h"
+#include "src/profile/profile.h"
+#include "src/xml/document.h"
+
+namespace pimento::algebra {
+
+/// One (intermediate) query answer flowing through a plan: the binding of
+/// the distinguished node plus its score state.
+struct Answer {
+  xml::NodeId node = xml::kInvalidNode;
+  double s = 0.0;  ///< query score S (ftcontains joins of the query itself)
+  double k = 0.0;  ///< keyword-OR score K (kor operators)
+  /// Per-VOR annotations, aligned with the profile's VOR list; filled by
+  /// the vor operators.
+  std::vector<profile::VorValue> vor;
+};
+
+/// Immutable ranking context shared by sort and topkPrune operators.
+class RankContext {
+ public:
+  RankContext() = default;
+  RankContext(std::vector<profile::Vor> vors, profile::RankOrder order);
+
+  profile::RankOrder order() const { return order_; }
+  const std::vector<profile::Vor>& vors() const { return vors_; }
+  bool has_vors() const { return !vors_.empty(); }
+
+  /// Per-rule rank keys of `a` in priority order (smaller = preferred);
+  /// the engine's linear extension of the VOR preferences (see
+  /// CompareVLinearized).
+  std::vector<double> VorKeys(const Answer& a) const;
+
+  /// Compares the V component via priority-ordered rank keys — a total
+  /// order (the engine's *resolved* preference): never kIncomparable.
+  profile::PrefResult CompareVLinearized(const Answer& a,
+                                         const Answer& b) const;
+
+  /// Compares the V component under the true VOR partial order
+  /// (priority-lexicographic with incomparability), i.e. the paper's ≺_v.
+  profile::PrefResult CompareVPartial(const Answer& a,
+                                      const Answer& b) const;
+
+  /// The authoritative final ranking: depending on `order`, K desc → V keys
+  /// asc → S desc (kKVS), V → K → S (kVKS), or S only (kS); doc order
+  /// breaks remaining ties. True iff `a` ranks strictly before `b`.
+  bool RankedBefore(const Answer& a, const Answer& b) const;
+
+ private:
+  std::vector<profile::Vor> vors_;
+  profile::RankOrder order_ = profile::RankOrder::kS;
+  std::vector<size_t> priority_order_;  ///< vor indices sorted by priority
+};
+
+}  // namespace pimento::algebra
+
+#endif  // PIMENTO_ALGEBRA_ANSWER_H_

@@ -1,0 +1,300 @@
+#include "src/algebra/operators.h"
+
+#include <algorithm>
+
+namespace pimento::algebra {
+
+std::vector<xml::NodeId> ResolveNav(const ExecContext& ctx, xml::NodeId start,
+                                    const NavPath& path) {
+  const xml::Document& doc = ctx.collection->doc();
+  std::vector<xml::NodeId> current = {start};
+  for (const NavStep& step : path) {
+    std::vector<xml::NodeId> next;
+    auto tag_ok = [&](xml::NodeId id) {
+      return step.tag == "*" || doc.node(id).tag == step.tag;
+    };
+    for (xml::NodeId node : current) {
+      switch (step.kind) {
+        case NavStep::Kind::kUpChild: {
+          xml::NodeId p = doc.node(node).parent;
+          if (p != xml::kInvalidNode && tag_ok(p)) next.push_back(p);
+          break;
+        }
+        case NavStep::Kind::kUpDescendant: {
+          for (xml::NodeId p = doc.node(node).parent; p != xml::kInvalidNode;
+               p = doc.node(p).parent) {
+            if (tag_ok(p)) next.push_back(p);
+          }
+          break;
+        }
+        case NavStep::Kind::kDownChild: {
+          for (xml::NodeId c : doc.node(node).children) {
+            if (doc.node(c).kind == xml::NodeKind::kElement && tag_ok(c)) {
+              next.push_back(c);
+            }
+          }
+          break;
+        }
+        case NavStep::Kind::kDownDescendant: {
+          if (step.tag == "*") {
+            std::vector<xml::NodeId> stack(doc.node(node).children.rbegin(),
+                                           doc.node(node).children.rend());
+            while (!stack.empty()) {
+              xml::NodeId cur = stack.back();
+              stack.pop_back();
+              if (doc.node(cur).kind == xml::NodeKind::kElement) {
+                next.push_back(cur);
+              }
+              for (auto it = doc.node(cur).children.rbegin();
+                   it != doc.node(cur).children.rend(); ++it) {
+                stack.push_back(*it);
+              }
+            }
+          } else {
+            std::vector<xml::NodeId> found =
+                ctx.collection->tags().DescendantsWithTag(doc, node, step.tag);
+            next.insert(next.end(), found.begin(), found.end());
+          }
+          break;
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+void Operator::Reset() {
+  stats_ = OperatorStats{};
+  if (input_ != nullptr) input_->Reset();
+}
+
+ScanOp::ScanOp(const ExecContext& ctx, std::string tag, size_t vor_count)
+    : ctx_(ctx), tag_(std::move(tag)), vor_count_(vor_count) {}
+
+bool ScanOp::Next(Answer* out) {
+  const std::vector<xml::NodeId>& elems = ctx_.collection->tags().Elements(tag_);
+  if (pos_ >= elems.size()) return false;
+  *out = Answer{};
+  out->node = elems[pos_++];
+  out->vor.resize(vor_count_);
+  ++stats_.produced;
+  return true;
+}
+
+void ScanOp::Reset() {
+  Operator::Reset();
+  pos_ = 0;
+}
+
+bool MaterializedOp::Next(Answer* out) {
+  if (pos_ >= answers_.size()) return false;
+  *out = answers_[pos_++];
+  ++stats_.produced;
+  return true;
+}
+
+FtContainsOp::FtContainsOp(const ExecContext& ctx, NavPath nav,
+                           index::Phrase phrase, bool required, double boost)
+    : ctx_(ctx),
+      nav_(std::move(nav)),
+      phrase_(std::move(phrase)),
+      required_(required),
+      boost_(boost) {}
+
+bool FtContainsOp::Next(Answer* out) {
+  Answer a;
+  while (PullInput(&a)) {
+    double best = 0.0;
+    for (xml::NodeId node : ResolveNav(ctx_, a.node, nav_)) {
+      best = std::max(best, ctx_.scorer->Score(node, phrase_));
+    }
+    if (best <= 0.0 && required_) {
+      ++stats_.pruned;
+      continue;
+    }
+    a.s += boost_ * best;
+    *out = std::move(a);
+    ++stats_.produced;
+    return true;
+  }
+  return false;
+}
+
+std::string FtContainsOp::Name() const {
+  return std::string(required_ ? "ftcontains" : "ftcontains?") + "(\"" +
+         phrase_.text + "\")";
+}
+
+double FtContainsOp::MaxSContribution() const {
+  return boost_ * ctx_.scorer->MaxScore(phrase_);
+}
+
+ValuePredOp::ValuePredOp(const ExecContext& ctx, NavPath nav,
+                         tpq::ValuePredicate pred, bool required, double bonus)
+    : ctx_(ctx),
+      nav_(std::move(nav)),
+      pred_(std::move(pred)),
+      required_(required),
+      bonus_(bonus) {}
+
+bool ValuePredOp::Satisfies(xml::NodeId node) const {
+  if (pred_.numeric) {
+    std::optional<double> v = ctx_.collection->values().Numeric(node);
+    return v.has_value() && tpq::EvalRelOp(*v, pred_.op, pred_.number);
+  }
+  std::optional<std::string> v = ctx_.collection->values().String(node);
+  return v.has_value() && tpq::EvalRelOpStr(*v, pred_.op, pred_.text);
+}
+
+bool ValuePredOp::Next(Answer* out) {
+  Answer a;
+  while (PullInput(&a)) {
+    bool sat = false;
+    for (xml::NodeId node : ResolveNav(ctx_, a.node, nav_)) {
+      if (Satisfies(node)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat && required_) {
+      ++stats_.pruned;
+      continue;
+    }
+    if (sat && !required_) a.s += bonus_;
+    *out = std::move(a);
+    ++stats_.produced;
+    return true;
+  }
+  return false;
+}
+
+std::string ValuePredOp::Name() const {
+  std::string label = pred_.numeric
+                          ? std::to_string(static_cast<long long>(pred_.number))
+                          : pred_.text;
+  return std::string(required_ ? "value" : "value?") + "(" +
+         tpq::RelOpToString(pred_.op) + " " + label + ")";
+}
+
+ExistsOp::ExistsOp(const ExecContext& ctx, NavPath nav, bool required,
+                   double bonus)
+    : ctx_(ctx), nav_(std::move(nav)), required_(required), bonus_(bonus) {}
+
+bool ExistsOp::Next(Answer* out) {
+  Answer a;
+  while (PullInput(&a)) {
+    bool exists = !ResolveNav(ctx_, a.node, nav_).empty();
+    if (!exists && required_) {
+      ++stats_.pruned;
+      continue;
+    }
+    if (exists && !required_) a.s += bonus_;
+    *out = std::move(a);
+    ++stats_.produced;
+    return true;
+  }
+  return false;
+}
+
+std::string ExistsOp::Name() const {
+  std::string path;
+  for (const NavStep& s : nav_) {
+    switch (s.kind) {
+      case NavStep::Kind::kUpChild:
+        path += "^/";
+        break;
+      case NavStep::Kind::kUpDescendant:
+        path += "^//";
+        break;
+      case NavStep::Kind::kDownChild:
+        path += "/";
+        break;
+      case NavStep::Kind::kDownDescendant:
+        path += "//";
+        break;
+    }
+    path += s.tag;
+  }
+  return std::string(required_ ? "exists" : "exists?") + "(" + path + ")";
+}
+
+VorOp::VorOp(const ExecContext& ctx, profile::Vor rule, size_t rule_index)
+    : ctx_(ctx), rule_(std::move(rule)), rule_index_(rule_index) {}
+
+bool VorOp::Next(Answer* out) {
+  Answer a;
+  if (!PullInput(&a)) return false;
+  if (a.vor.size() <= rule_index_) a.vor.resize(rule_index_ + 1);
+  profile::VorValue& value = a.vor[rule_index_];
+  const xml::Node& node = ctx_.collection->doc().node(a.node);
+  value.applicable = rule_.tag.empty() || node.tag == rule_.tag;
+  if (value.applicable && !rule_.attr.empty()) {
+    value.str = ctx_.collection->AttrString(a.node, rule_.attr);
+    value.num = ctx_.collection->AttrNumeric(a.node, rule_.attr);
+  }
+  if (value.applicable && !rule_.group_attr.empty()) {
+    value.group = ctx_.collection->AttrString(a.node, rule_.group_attr);
+  }
+  *out = std::move(a);
+  ++stats_.produced;
+  return true;
+}
+
+KorOp::KorOp(const ExecContext& ctx, profile::Kor rule, index::Phrase phrase)
+    : ctx_(ctx), rule_(std::move(rule)), phrase_(std::move(phrase)) {}
+
+bool KorOp::Next(Answer* out) {
+  Answer a;
+  if (!PullInput(&a)) return false;
+  const xml::Node& node = ctx_.collection->doc().node(a.node);
+  if (rule_.tag.empty() || node.tag == rule_.tag) {
+    a.k += rule_.weight * ctx_.scorer->Score(a.node, phrase_);
+  }
+  *out = std::move(a);
+  ++stats_.produced;
+  return true;
+}
+
+double KorOp::MaxKContribution() const {
+  return rule_.weight * ctx_.scorer->MaxScore(phrase_);
+}
+
+SortOp::SortOp(const RankContext* rank, Param param)
+    : rank_(rank), param_(param) {}
+
+bool SortOp::Next(Answer* out) {
+  if (!drained_) {
+    Answer a;
+    while (PullInput(&a)) buffer_.push_back(std::move(a));
+    if (param_ == Param::kByS) {
+      std::stable_sort(buffer_.begin(), buffer_.end(),
+                       [](const Answer& x, const Answer& y) {
+                         if (x.s != y.s) return x.s > y.s;
+                         return x.node < y.node;
+                       });
+    } else {
+      std::stable_sort(buffer_.begin(), buffer_.end(),
+                       [this](const Answer& x, const Answer& y) {
+                         return rank_->RankedBefore(x, y);
+                       });
+    }
+    drained_ = true;
+  }
+  if (pos_ >= buffer_.size()) return false;
+  *out = buffer_[pos_++];
+  ++stats_.produced;
+  return true;
+}
+
+void SortOp::Reset() {
+  Operator::Reset();
+  drained_ = false;
+  buffer_.clear();
+  pos_ = 0;
+}
+
+}  // namespace pimento::algebra

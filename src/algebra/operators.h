@@ -1,0 +1,243 @@
+#ifndef PIMENTO_ALGEBRA_OPERATORS_H_
+#define PIMENTO_ALGEBRA_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/answer.h"
+#include "src/index/collection.h"
+#include "src/score/scorer.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::algebra {
+
+/// Shared read-only state for all operators of one plan.
+struct ExecContext {
+  const index::Collection* collection = nullptr;
+  const score::Scorer* scorer = nullptr;
+};
+
+/// One navigation step from the distinguished-node binding to the pattern
+/// node a predicate lives on: up through parents/ancestors, down through
+/// children/descendants, always tag-constrained ("*" = any tag).
+struct NavStep {
+  enum class Kind : uint8_t {
+    kUpChild,         ///< parent, which must have `tag`
+    kUpDescendant,    ///< every ancestor with `tag`
+    kDownChild,       ///< children with `tag`
+    kDownDescendant,  ///< descendants with `tag`
+  };
+  Kind kind = Kind::kDownChild;
+  std::string tag;
+};
+using NavPath = std::vector<NavStep>;
+
+/// All elements reachable from `start` along `path`.
+std::vector<xml::NodeId> ResolveNav(const ExecContext& ctx, xml::NodeId start,
+                                    const NavPath& path);
+
+struct OperatorStats {
+  int64_t consumed = 0;  ///< answers pulled from the input
+  int64_t produced = 0;  ///< answers emitted downstream
+  int64_t pruned = 0;    ///< answers dropped (filters and topkPrune)
+};
+
+/// Pull-based plan operator (open/next/close collapsed into Next/Reset).
+/// Plans are operator chains; each operator pulls from its input.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Produces the next answer; false when exhausted.
+  virtual bool Next(Answer* out) = 0;
+
+  /// Restarts the operator (and, transitively, its input) for re-execution.
+  virtual void Reset();
+
+  virtual std::string Name() const = 0;
+
+  /// Upper bound on the S (resp. K) score this operator can add to one
+  /// answer; used by the planner's query-scorebound / kor-scorebound.
+  virtual double MaxSContribution() const { return 0.0; }
+  virtual double MaxKContribution() const { return 0.0; }
+
+  /// True when this operator's output is sorted by the ranking the
+  /// downstream topkPrune uses, enabling bulk pruning (§6.4).
+  virtual bool SortedOutput() const {
+    return input_ != nullptr && input_->SortedOutput();
+  }
+
+  void set_input(Operator* input) { input_ = input; }
+  Operator* input() const { return input_; }
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  bool PullInput(Answer* out) {
+    if (input_ == nullptr || !input_->Next(out)) return false;
+    ++stats_.consumed;
+    return true;
+  }
+
+  Operator* input_ = nullptr;
+  OperatorStats stats_;
+};
+
+/// Leaf operator: scans the tag index of the distinguished node's tag and
+/// emits one zero-scored answer per element (doc order).
+class ScanOp : public Operator {
+ public:
+  ScanOp(const ExecContext& ctx, std::string tag, size_t vor_count);
+
+  bool Next(Answer* out) override;
+  void Reset() override;
+  std::string Name() const override { return "scan(" + tag_ + ")"; }
+
+ private:
+  ExecContext ctx_;
+  std::string tag_;
+  size_t vor_count_;
+  size_t pos_ = 0;
+};
+
+/// Source over a pre-materialized answer list (tests, and the structural-
+/// join prefilter access path).
+class MaterializedOp : public Operator {
+ public:
+  explicit MaterializedOp(std::vector<Answer> answers,
+                          std::string name = "materialized")
+      : answers_(std::move(answers)), name_(std::move(name)) {}
+
+  bool Next(Answer* out) override;
+  void Reset() override {
+    Operator::Reset();
+    pos_ = 0;
+  }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::vector<Answer> answers_;
+  std::string name_;
+  size_t pos_ = 0;
+};
+
+/// ftcontains join (§6.2: "joins with keywords are score contributors").
+/// Required form filters answers with no occurrence; the optional form is
+/// the outer-join of Plan 1 (SR-encoded predicates): never filters, only
+/// boosts S when the keyword is present.
+class FtContainsOp : public Operator {
+ public:
+  FtContainsOp(const ExecContext& ctx, NavPath nav, index::Phrase phrase,
+               bool required, double boost);
+
+  bool Next(Answer* out) override;
+  std::string Name() const override;
+  double MaxSContribution() const override;
+
+ private:
+  ExecContext ctx_;
+  NavPath nav_;
+  index::Phrase phrase_;
+  bool required_;
+  double boost_;
+};
+
+/// Value-constraint predicate (./price < 2000). Required form filters; the
+/// optional (SR-encoded) form adds a fixed bonus to S when satisfied.
+class ValuePredOp : public Operator {
+ public:
+  ValuePredOp(const ExecContext& ctx, NavPath nav, tpq::ValuePredicate pred,
+              bool required, double bonus);
+
+  bool Next(Answer* out) override;
+  std::string Name() const override;
+  double MaxSContribution() const override { return required_ ? 0.0 : bonus_; }
+
+ private:
+  bool Satisfies(xml::NodeId node) const;
+
+  ExecContext ctx_;
+  NavPath nav_;
+  tpq::ValuePredicate pred_;
+  bool required_;
+  double bonus_;
+};
+
+/// Structural existence (semijoin against a pattern branch with no
+/// predicates of its own). Required form filters; optional form boosts.
+class ExistsOp : public Operator {
+ public:
+  ExistsOp(const ExecContext& ctx, NavPath nav, bool required, double bonus);
+
+  bool Next(Answer* out) override;
+  std::string Name() const override;
+  double MaxSContribution() const override { return required_ ? 0.0 : bonus_; }
+
+ private:
+  ExecContext ctx_;
+  NavPath nav_;
+  bool required_;
+  double bonus_;
+};
+
+/// vor operator (§6.2): annotates each answer with its value under one
+/// value-based OR (x.attr, and x.group for form-3 rules). Contributes no
+/// score; the annotation drives V comparisons downstream.
+class VorOp : public Operator {
+ public:
+  VorOp(const ExecContext& ctx, profile::Vor rule, size_t rule_index);
+
+  bool Next(Answer* out) override;
+  std::string Name() const override { return "vor(" + rule_.name + ")"; }
+
+ private:
+  ExecContext ctx_;
+  profile::Vor rule_;
+  size_t rule_index_;
+};
+
+/// kor operator (§6.2): adds the keyword's relevance score to K for answers
+/// matching the rule's tag condition.
+class KorOp : public Operator {
+ public:
+  KorOp(const ExecContext& ctx, profile::Kor rule, index::Phrase phrase);
+
+  bool Next(Answer* out) override;
+  std::string Name() const override { return "kor(" + rule_.name + ")"; }
+  double MaxKContribution() const override;
+
+ private:
+  ExecContext ctx_;
+  profile::Kor rule_;
+  index::Phrase phrase_;
+};
+
+/// Blocking parametric sort (§6.2 sort_param): by the full rank order or by
+/// S only. Enables downstream bulk pruning (SortedOutput() = true).
+class SortOp : public Operator {
+ public:
+  enum class Param : uint8_t {
+    kByS,     ///< query score only
+    kByRank,  ///< the RankContext's full order (K,V,S / V,K,S / S)
+  };
+
+  SortOp(const RankContext* rank, Param param);
+
+  bool Next(Answer* out) override;
+  void Reset() override;
+  std::string Name() const override {
+    return param_ == Param::kByS ? "sort(S)" : "sort(rank)";
+  }
+  bool SortedOutput() const override { return true; }
+
+ private:
+  const RankContext* rank_;
+  Param param_;
+  bool drained_ = false;
+  std::vector<Answer> buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pimento::algebra
+
+#endif  // PIMENTO_ALGEBRA_OPERATORS_H_

@@ -1,0 +1,68 @@
+#include "src/algebra/plan.h"
+
+#include "src/algebra/topk_prune.h"
+
+namespace pimento::algebra {
+
+std::string PlanStats::ToString() const {
+  return "scanned=" + std::to_string(scanned) +
+         " pruned_by_filters=" + std::to_string(pruned_by_filters) +
+         " pruned_by_topk=" + std::to_string(pruned_by_topk) +
+         " kor_consumed=" + std::to_string(kor_consumed) +
+         " sorted=" + std::to_string(sorted) +
+         " emitted=" + std::to_string(emitted);
+}
+
+Operator* Plan::Add(std::unique_ptr<Operator> op) {
+  if (!ops_.empty()) op->set_input(ops_.back().get());
+  ops_.push_back(std::move(op));
+  return ops_.back().get();
+}
+
+std::vector<Answer> Plan::Execute() {
+  std::vector<Answer> out;
+  if (ops_.empty()) return out;
+  Answer a;
+  while (root()->Next(&a)) out.push_back(std::move(a));
+  return out;
+}
+
+void Plan::Reset() {
+  if (!ops_.empty()) root()->Reset();
+}
+
+PlanStats Plan::CollectStats() const {
+  PlanStats stats;
+  for (const auto& op : ops_) {
+    if (dynamic_cast<const ScanOp*>(op.get()) != nullptr) {
+      stats.scanned += op->stats().produced;
+    } else if (dynamic_cast<const TopkPruneOp*>(op.get()) != nullptr) {
+      stats.pruned_by_topk += op->stats().pruned;
+    } else if (dynamic_cast<const KorOp*>(op.get()) != nullptr) {
+      stats.kor_consumed += op->stats().consumed;
+    } else if (dynamic_cast<const SortOp*>(op.get()) != nullptr) {
+      stats.sorted += op->stats().consumed;
+    } else {
+      stats.pruned_by_filters += op->stats().pruned;
+    }
+  }
+  if (!ops_.empty()) stats.emitted = root()->stats().produced;
+  return stats;
+}
+
+std::string Plan::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += ops_[i]->Name();
+  }
+  return out;
+}
+
+RankContext* Plan::MakeRankContext(std::vector<profile::Vor> vors,
+                                   profile::RankOrder order) {
+  rank_ = std::make_unique<RankContext>(std::move(vors), order);
+  return rank_.get();
+}
+
+}  // namespace pimento::algebra

@@ -1,0 +1,67 @@
+#ifndef PIMENTO_ALGEBRA_PLAN_H_
+#define PIMENTO_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/answer.h"
+#include "src/algebra/operators.h"
+
+namespace pimento::algebra {
+
+/// Aggregated execution statistics of one plan run.
+struct PlanStats {
+  int64_t scanned = 0;         ///< answers produced by the leaf scan
+  int64_t pruned_by_topk = 0;  ///< answers dropped by topkPrune operators
+  int64_t pruned_by_filters = 0;
+  int64_t kor_consumed = 0;  ///< answers processed by kor operators — the
+                             ///< downstream work that early pruning saves
+  int64_t sorted = 0;        ///< answers buffered by sort operators
+  int64_t emitted = 0;       ///< final result size
+
+  std::string ToString() const;
+};
+
+/// A left-deep pipeline of operators. The Plan owns its operators; Add()
+/// chains each new operator onto the previous one. The last added operator
+/// is the root.
+class Plan {
+ public:
+  Plan() = default;
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+
+  /// Appends `op`, wiring its input to the current root. Returns a borrowed
+  /// pointer to the added operator.
+  Operator* Add(std::unique_ptr<Operator> op);
+
+  Operator* root() const { return ops_.empty() ? nullptr : ops_.back().get(); }
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  Operator* op(size_t i) const { return ops_[i].get(); }
+
+  /// Drains the root operator. Call Reset() first to re-execute.
+  std::vector<Answer> Execute();
+
+  void Reset();
+
+  PlanStats CollectStats() const;
+
+  /// One line per operator, leaf first, e.g.
+  ///   scan(car) -> ftcontains("good condition") -> ... -> topkPrune(final)
+  std::string Describe() const;
+
+  /// Attach the ranking context the plan's sort/prune operators reference
+  /// (owned by, and kept alive with, the plan).
+  RankContext* MakeRankContext(std::vector<profile::Vor> vors,
+                               profile::RankOrder order);
+
+ private:
+  std::vector<std::unique_ptr<Operator>> ops_;
+  std::unique_ptr<RankContext> rank_;
+};
+
+}  // namespace pimento::algebra
+
+#endif  // PIMENTO_ALGEBRA_PLAN_H_

@@ -1,0 +1,250 @@
+#include "src/algebra/struct_join.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pimento::algebra {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+bool EffectiveOptional(const tpq::Tpq& q, int node) {
+  for (int cur = node; cur >= 0; cur = q.node(cur).parent) {
+    if (q.node(cur).optional) return true;
+  }
+  return false;
+}
+
+bool ValueHolds(const index::Collection& collection,
+                const tpq::ValuePredicate& vp, NodeId node) {
+  if (vp.numeric) {
+    auto v = collection.values().Numeric(node);
+    return v.has_value() && tpq::EvalRelOp(*v, vp.op, vp.number);
+  }
+  auto v = collection.values().String(node);
+  return v.has_value() && tpq::EvalRelOpStr(*v, vp.op, vp.text);
+}
+
+/// Keeps elements of `parents` having at least one child in `children`
+/// (pc semi-join via parent pointers).
+std::vector<NodeId> HasChildIn(const Document& doc,
+                               const std::vector<NodeId>& parents,
+                               const std::vector<NodeId>& children) {
+  std::unordered_set<NodeId> wanted;
+  for (NodeId c : children) {
+    NodeId p = doc.node(c).parent;
+    if (p != xml::kInvalidNode) wanted.insert(p);
+  }
+  std::vector<NodeId> out;
+  for (NodeId p : parents) {
+    if (wanted.count(p) > 0) out.push_back(p);
+  }
+  return out;
+}
+
+/// Keeps elements of `parents` containing at least one of `descendants`.
+/// Both lists are sorted by begin; interval nesting means an element
+/// starting strictly inside the parent's interval is contained in it, so
+/// one binary search per parent suffices.
+std::vector<NodeId> HasDescendantIn(const Document& doc,
+                                    const std::vector<NodeId>& parents,
+                                    const std::vector<NodeId>& descendants) {
+  std::vector<int32_t> begins;
+  begins.reserve(descendants.size());
+  for (NodeId d : descendants) begins.push_back(doc.node(d).begin);
+  std::vector<NodeId> out;
+  for (NodeId p : parents) {
+    const xml::Node& pn = doc.node(p);
+    auto it = std::upper_bound(begins.begin(), begins.end(), pn.begin);
+    if (it != begins.end() && *it < pn.end) out.push_back(p);
+  }
+  return out;
+}
+
+/// Keeps elements of `children` whose parent is in `parents`.
+std::vector<NodeId> ChildOf(const Document& doc,
+                            const std::vector<NodeId>& children,
+                            const std::vector<NodeId>& parents) {
+  std::unordered_set<NodeId> allowed(parents.begin(), parents.end());
+  std::vector<NodeId> out;
+  for (NodeId c : children) {
+    if (allowed.count(doc.node(c).parent) > 0) out.push_back(c);
+  }
+  return out;
+}
+
+/// Keeps elements of `nodes` contained in some element of `ancestors`
+/// (both doc-order sorted): prefix-max-end sweep — an ancestor with
+/// begin < x.begin and end >= x.end contains x (intervals nest).
+std::vector<NodeId> DescendantOf(const Document& doc,
+                                 const std::vector<NodeId>& nodes,
+                                 const std::vector<NodeId>& ancestors) {
+  std::vector<NodeId> out;
+  size_t a = 0;
+  int32_t max_end = -1;
+  for (NodeId x : nodes) {
+    const xml::Node& xn = doc.node(x);
+    while (a < ancestors.size() &&
+           doc.node(ancestors[a]).begin < xn.begin) {
+      max_end = std::max(max_end, doc.node(ancestors[a]).end);
+      ++a;
+    }
+    if (max_end >= xn.end) out.push_back(x);
+  }
+  return out;
+}
+
+/// One hop of the pattern path from the distinguished node to a target
+/// node: the edge kind plus the tag on the far side.
+struct PathStep {
+  bool up = false;  ///< toward the pattern root
+  tpq::EdgeKind edge = tpq::EdgeKind::kChild;
+  std::string from_tag;  ///< tag at the near (distinguished) side
+};
+
+/// Path from the distinguished node to `target` through their LCA.
+std::vector<PathStep> PathTo(const tpq::Tpq& q, int target) {
+  auto chain = [&q](int node) {
+    std::vector<int> out;
+    for (int cur = node; cur >= 0; cur = q.node(cur).parent) {
+      out.push_back(cur);
+    }
+    return out;
+  };
+  std::vector<int> up = chain(q.distinguished());
+  std::vector<int> down = chain(target);
+  int lca = q.root();
+  for (int cand : up) {
+    if (std::find(down.begin(), down.end(), cand) != down.end()) {
+      lca = cand;
+      break;
+    }
+  }
+  std::vector<PathStep> steps;
+  for (int cur = q.distinguished(); cur != lca; cur = q.node(cur).parent) {
+    steps.push_back({true, q.node(cur).parent_edge, q.node(cur).tag});
+  }
+  std::vector<int> descent;
+  for (int cur = target; cur != lca; cur = q.node(cur).parent) {
+    descent.push_back(cur);
+  }
+  std::reverse(descent.begin(), descent.end());
+  for (int cur : descent) {
+    steps.push_back(
+        {false, q.node(cur).parent_edge, q.node(q.node(cur).parent).tag});
+  }
+  return steps;
+}
+
+/// Projects a witness list at the far end of `steps` back onto candidates
+/// of the distinguished node: walks the path in reverse, inverting each
+/// hop into the matching semi-join against the intermediate tag lists.
+std::vector<NodeId> ProjectToDistinguished(
+    const index::Collection& collection, const tpq::Tpq& q,
+    const std::vector<PathStep>& steps, std::vector<NodeId> witnesses) {
+  const Document& doc = collection.doc();
+  std::vector<NodeId> current = std::move(witnesses);
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const PathStep& step = *it;
+    // The set one hop closer to the distinguished node lives at tag
+    // `from_tag` for up-steps; for down-steps the near side is the parent
+    // side whose tag is recorded in from_tag as well (see PathTo).
+    const std::vector<NodeId>& near_list =
+        collection.tags().Elements(step.from_tag);
+    if (step.up) {
+      // Near side is below: witnesses are (transitive) parents.
+      current = step.edge == tpq::EdgeKind::kChild
+                    ? ChildOf(doc, near_list, current)
+                    : DescendantOf(doc, near_list, current);
+    } else {
+      // Near side is above: witnesses are (transitive) children.
+      current = step.edge == tpq::EdgeKind::kChild
+                    ? HasChildIn(doc, near_list, current)
+                    : HasDescendantIn(doc, near_list, current);
+    }
+    if (current.empty()) break;
+  }
+  (void)q;
+  return current;
+}
+
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::unordered_set<NodeId> allowed(b.begin(), b.end());
+  std::vector<NodeId> out;
+  for (NodeId id : a) {
+    if (allowed.count(id) > 0) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool StructuralMatch(const index::Collection& collection,
+                     const tpq::Tpq& query, std::vector<xml::NodeId>* out) {
+  out->clear();
+  if (query.empty()) return false;
+  const int d = query.distinguished();
+  if (query.node(d).tag == "*") return false;
+  // Wildcards on required nodes have no tag list to merge against.
+  for (int n = 0; n < query.size(); ++n) {
+    if (!EffectiveOptional(query, n) && query.node(n).tag == "*") {
+      return false;
+    }
+  }
+
+  // Start from the distinguished node's own list, filtered by its required
+  // value predicates.
+  std::vector<NodeId> candidates =
+      collection.tags().Elements(query.node(d).tag);
+  for (const tpq::ValuePredicate& vp : query.node(d).value_predicates) {
+    if (vp.optional) continue;
+    std::vector<NodeId> kept;
+    for (NodeId id : candidates) {
+      if (ValueHolds(collection, vp, id)) kept.push_back(id);
+    }
+    candidates = std::move(kept);
+  }
+
+  // Every other required pattern node contributes constraints with
+  // *independent witnesses* (the same decomposition the operator plans
+  // use): one projection per required value predicate, plus one bare
+  // existence projection when the node carries no required predicate.
+  // (Keyword predicates filter downstream in their scoring operators.)
+  for (int n : query.PreOrder()) {
+    if (n == d || EffectiveOptional(query, n)) continue;
+    if (candidates.empty()) break;
+    std::vector<PathStep> steps = PathTo(query, n);
+    const std::vector<NodeId>& base =
+        collection.tags().Elements(query.node(n).tag);
+    bool any_required_pred = false;
+    for (const tpq::ValuePredicate& vp : query.node(n).value_predicates) {
+      if (vp.optional) continue;
+      any_required_pred = true;
+      std::vector<NodeId> witnesses;
+      for (NodeId id : base) {
+        if (ValueHolds(collection, vp, id)) witnesses.push_back(id);
+      }
+      candidates = Intersect(
+          candidates,
+          ProjectToDistinguished(collection, query, steps, witnesses));
+    }
+    bool has_required_keyword = false;
+    for (const tpq::KeywordPredicate& kp : query.node(n).keyword_predicates) {
+      if (!kp.optional) has_required_keyword = true;
+    }
+    if (!any_required_pred) {
+      // Existence: required either on its own or as the carrier of a
+      // required keyword predicate (the keyword op re-checks content).
+      candidates = Intersect(
+          candidates, ProjectToDistinguished(collection, query, steps, base));
+    }
+    (void)has_required_keyword;
+  }
+  *out = std::move(candidates);
+  return true;
+}
+
+}  // namespace pimento::algebra

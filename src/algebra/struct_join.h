@@ -1,0 +1,35 @@
+#ifndef PIMENTO_ALGEBRA_STRUCT_JOIN_H_
+#define PIMENTO_ALGEBRA_STRUCT_JOIN_H_
+
+#include <vector>
+
+#include "src/index/collection.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::algebra {
+
+/// Sort-merge structural join over the tag indexes (in the spirit of the
+/// classic staircase/structural-join algorithms): computes the doc-order
+/// sorted list of candidate bindings of the query's distinguished node that
+/// satisfy the pattern's *required structure and value predicates*.
+///
+/// Two passes over the pattern tree:
+///   1. bottom-up: each node's candidate list is its tag-index list,
+///      filtered by its required value predicates, then semi-joined with
+///      each required child's list (pc via parent pointers, ad via a
+///      doc-order interval merge);
+///   2. top-down: candidates are kept only when a surviving parent
+///      candidate exists (ad containment via a prefix-max-end sweep).
+///
+/// Keyword predicates are *not* checked here — they filter and score in
+/// the ftcontains operators downstream. Optional (SR-encoded) subtrees and
+/// predicates are ignored (they never filter).
+///
+/// Returns false (and leaves `out` empty) when the pattern cannot be
+/// pre-filtered this way (a required node with wildcard tag).
+bool StructuralMatch(const index::Collection& collection,
+                     const tpq::Tpq& query, std::vector<xml::NodeId>* out);
+
+}  // namespace pimento::algebra
+
+#endif  // PIMENTO_ALGEBRA_STRUCT_JOIN_H_

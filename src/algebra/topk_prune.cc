@@ -1,0 +1,206 @@
+#include "src/algebra/topk_prune.h"
+
+#include <algorithm>
+
+namespace pimento::algebra {
+
+TopkPruneOp::TopkPruneOp(const RankContext* rank, TopkPruneOptions options)
+    : rank_(rank), options_(options) {}
+
+bool TopkPruneOp::ListBefore(const Answer& x, const Answer& y) const {
+  // The list order matches the pruning algorithm's ranking components.
+  if (options_.alg == PruneAlg::kAlg3 && x.k != y.k) return x.k > y.k;
+  if (options_.alg != PruneAlg::kAlg1) {
+    profile::PrefResult r = rank_->CompareVLinearized(x, y);
+    if (r == profile::PrefResult::kFirstPreferred) return true;
+    if (r == profile::PrefResult::kSecondPreferred) return false;
+  }
+  if (options_.alg == PruneAlg::kAlgVks && x.k != y.k) return x.k > y.k;
+  if (x.s != y.s) return x.s > y.s;
+  return x.node < y.node;
+}
+
+void TopkPruneOp::Insert(const Answer& a) {
+  auto pos = std::upper_bound(topk_list_.begin(), topk_list_.end(), a,
+                              [this](const Answer& x, const Answer& y) {
+                                return ListBefore(x, y);
+                              });
+  topk_list_.insert(pos, a);
+  if (static_cast<int>(topk_list_.size()) > options_.k) {
+    topk_list_.pop_back();
+  }
+}
+
+TopkPruneOp::Decision TopkPruneOp::DecideS(const Answer& a) {
+  const Answer& kth = topk_list_.back();
+  // Strict comparison: an answer that can still tie the kth score is kept,
+  // since ties are broken deterministically by document order downstream.
+  if (a.s + options_.query_score_bound < kth.s) {
+    return Decision::kPruneMonotone;
+  }
+  if (a.s > kth.s) Insert(a);
+  return Decision::kKeep;
+}
+
+TopkPruneOp::Decision TopkPruneOp::DecideVS(const Answer& a) {
+  const Answer& kth = topk_list_.back();
+  profile::PrefResult cmp =
+      options_.vor_mode == VorCompareMode::kLinearized
+          ? rank_->CompareVLinearized(a, kth)
+          : rank_->CompareVPartial(a, kth);
+  switch (cmp) {
+    case profile::PrefResult::kEqual:
+      return DecideS(a);
+    case profile::PrefResult::kSecondPreferred:
+      // kth ≺_v a (kth preferred): a can never overtake it — V precedes S
+      // in the ranking and V is fixed once the vor operators ran. In
+      // linearized mode input sorted by (V,S) makes this monotone.
+      return options_.vor_mode == VorCompareMode::kLinearized
+                 ? Decision::kPruneMonotone
+                 : Decision::kPrune;
+    case profile::PrefResult::kFirstPreferred:
+      Insert(a);
+      return Decision::kKeep;
+    case profile::PrefResult::kIncomparable:
+      // Algorithm 2, lines 12-14: incomparable answers fall back to the
+      // S-only rule.
+      return DecideS(a);
+  }
+  return Decision::kKeep;
+}
+
+TopkPruneOp::Decision TopkPruneOp::DecideKVS(const Answer& a) {
+  const Answer& kth = topk_list_.back();
+  if (options_.kor_score_bound == 0.0) {
+    // All kor operators have run: K is final.
+    if (a.k == kth.k) return DecideVS(a);
+    if (a.k < kth.k) return Decision::kPruneMonotone;
+    Insert(a);
+    return Decision::kKeep;
+  }
+  if (a.k + options_.kor_score_bound < kth.k) {
+    return Decision::kPruneMonotone;
+  }
+  Insert(a);
+  return Decision::kKeep;
+}
+
+TopkPruneOp::Decision TopkPruneOp::DecideKS(const Answer& a) {
+  // K-then-S tail used when V already compared equal (V,K,S order).
+  const Answer& kth = topk_list_.back();
+  if (options_.kor_score_bound == 0.0) {
+    if (a.k == kth.k) return DecideS(a);
+    if (a.k < kth.k) return Decision::kPruneMonotone;
+    Insert(a);
+    return Decision::kKeep;
+  }
+  if (a.k + options_.kor_score_bound < kth.k) {
+    return Decision::kPruneMonotone;
+  }
+  Insert(a);
+  return Decision::kKeep;
+}
+
+TopkPruneOp::Decision TopkPruneOp::DecideVKS(const Answer& a) {
+  // V,K,S order: V is fixed once the vor operators ran and dominates, so
+  // strict V relations decide outright; K/S bounds apply only on V ties.
+  const Answer& kth = topk_list_.back();
+  profile::PrefResult cmp =
+      options_.vor_mode == VorCompareMode::kLinearized
+          ? rank_->CompareVLinearized(a, kth)
+          : rank_->CompareVPartial(a, kth);
+  switch (cmp) {
+    case profile::PrefResult::kEqual:
+      return DecideKS(a);
+    case profile::PrefResult::kSecondPreferred:
+      return options_.vor_mode == VorCompareMode::kLinearized
+                 ? Decision::kPruneMonotone
+                 : Decision::kPrune;
+    case profile::PrefResult::kFirstPreferred:
+      Insert(a);
+      return Decision::kKeep;
+    case profile::PrefResult::kIncomparable:
+      return DecideKS(a);
+  }
+  return Decision::kKeep;
+}
+
+TopkPruneOp::Decision TopkPruneOp::Decide(const Answer& a) {
+  if (static_cast<int>(topk_list_.size()) < options_.k) {
+    Insert(a);
+    return Decision::kKeep;
+  }
+  switch (options_.alg) {
+    case PruneAlg::kAlg1:
+      return DecideS(a);
+    case PruneAlg::kAlg2:
+      return DecideVS(a);
+    case PruneAlg::kAlg3:
+      return DecideKVS(a);
+    case PruneAlg::kAlgVks:
+      return DecideVKS(a);
+  }
+  return Decision::kKeep;
+}
+
+bool TopkPruneOp::Next(Answer* out) {
+  if (input_exhausted_) return false;
+  if (options_.final_cut) {
+    // Terminal cut over sorted input: the first k answers are the result.
+    if (emitted_ >= options_.k) return false;
+    Answer a;
+    if (!PullInput(&a)) return false;
+    ++emitted_;
+    ++stats_.produced;
+    *out = std::move(a);
+    return true;
+  }
+  Answer a;
+  while (PullInput(&a)) {
+    Decision d = Decide(a);
+    if (d == Decision::kKeep) {
+      ++emitted_;
+      ++stats_.produced;
+      *out = std::move(a);
+      return true;
+    }
+    ++stats_.pruned;
+    if (options_.sorted_input && d == Decision::kPruneMonotone) {
+      // Bulk pruning (§6.4): sorted input means every remaining answer is
+      // ranked at or below this one and would be pruned by the same test.
+      input_exhausted_ = true;
+      return false;
+    }
+  }
+  return false;
+}
+
+void TopkPruneOp::Reset() {
+  Operator::Reset();
+  topk_list_.clear();
+  emitted_ = 0;
+  input_exhausted_ = false;
+}
+
+std::string TopkPruneOp::Name() const {
+  std::string out = "topkPrune";
+  switch (options_.alg) {
+    case PruneAlg::kAlg1:
+      out += "[S]";
+      break;
+    case PruneAlg::kAlg2:
+      out += "[V,S]";
+      break;
+    case PruneAlg::kAlg3:
+      out += "[K,V,S]";
+      break;
+    case PruneAlg::kAlgVks:
+      out += "[V,K,S]";
+      break;
+  }
+  if (options_.final_cut) out += "(final)";
+  if (options_.sorted_input && !options_.final_cut) out += "(sorted)";
+  return out;
+}
+
+}  // namespace pimento::algebra

@@ -1,0 +1,105 @@
+#ifndef PIMENTO_ALGEBRA_TOPK_PRUNE_H_
+#define PIMENTO_ALGEBRA_TOPK_PRUNE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/algebra/operators.h"
+
+namespace pimento::algebra {
+
+/// Which of the paper's pruning algorithms the operator runs (§6.3).
+enum class PruneAlg : uint8_t {
+  kAlg1,    ///< Algorithm 1: query score S only
+  kAlg2,    ///< Algorithm 2: value-based ORs then S (V,S)
+  kAlg3,    ///< Algorithm 3: keyword ORs, value ORs, S (K,V,S)
+  kAlgVks,  ///< the V,K,S variant of Algorithm 3 (the paper's §3.3
+            ///< alternative order, handled "without loss of generality")
+};
+
+/// How V comparisons are made inside the pruning decisions.
+enum class VorCompareMode : uint8_t {
+  /// The engine default: the priority-ordered rank-key linearization —
+  /// a total order, consistent with the final sort, so pruning is exact.
+  kLinearized,
+  /// The paper's Algorithm 2 verbatim: the true VOR partial order; the
+  /// kIncomparable branch falls back to Algorithm 1.
+  kPartialOrder,
+};
+
+struct TopkPruneOptions {
+  int k = 10;
+  PruneAlg alg = PruneAlg::kAlg1;
+  VorCompareMode vor_mode = VorCompareMode::kLinearized;
+
+  /// Maximum S an answer can still gain downstream of this operator
+  /// (the paper's query-scorebound).
+  double query_score_bound = 0.0;
+
+  /// Maximum K the remaining kor operators can still contribute
+  /// (the paper's kor-scorebound).
+  double kor_score_bound = 0.0;
+
+  /// Input is sorted by the pruning order: a pruned answer lets the
+  /// operator stop its input entirely (the §6.4 bulk pruning). Only prune
+  /// decisions that are monotone in the sort order trigger the early stop.
+  bool sorted_input = false;
+
+  /// End-of-plan cut: emit exactly the first k answers, then stop.
+  bool final_cut = false;
+};
+
+/// The OR-aware topkPrune operator (§6.2/§6.3). Maintains a running top-k
+/// list of score snapshots; every incoming answer is either pruned (it can
+/// provably never enter the final top k) or passed downstream. The final
+/// ranking is produced by the plan's terminal sort + final-cut topkPrune.
+///
+/// Soundness: an answer is pruned only when its best achievable score
+/// (current score + bounds) cannot beat the current k-th snapshot under the
+/// ranking order, and — per Algorithms 2/3 — only when its OR relation to
+/// the k-th answer permits dropping. Deviation from the paper's literal
+/// Algorithm 3 line 9 ("replace kth with a"): we insert `a` in sorted
+/// position and truncate to k, which keeps the true top-k of the answers
+/// seen so far and therefore prunes at least as much, still soundly.
+class TopkPruneOp : public Operator {
+ public:
+  TopkPruneOp(const RankContext* rank, TopkPruneOptions options);
+
+  bool Next(Answer* out) override;
+  void Reset() override;
+  std::string Name() const override;
+
+  /// Number of answers this operator refused to pass downstream.
+  int64_t pruned() const { return stats_.pruned; }
+
+  /// Installs the planner-computed score bounds (suffix sums over the
+  /// downstream operators).
+  void set_bounds(double query_score_bound, double kor_score_bound) {
+    options_.query_score_bound = query_score_bound;
+    options_.kor_score_bound = kor_score_bound;
+  }
+
+  const TopkPruneOptions& options() const { return options_; }
+
+ private:
+  enum class Decision { kKeep, kPrune, kPruneMonotone };
+
+  Decision Decide(const Answer& a);
+  Decision DecideS(const Answer& a);    // Algorithm 1
+  Decision DecideVS(const Answer& a);   // Algorithm 2
+  Decision DecideKVS(const Answer& a);  // Algorithm 3
+  Decision DecideVKS(const Answer& a);  // Algorithm 3, V-first variant
+  Decision DecideKS(const Answer& a);   // K-then-S tail shared by VKS
+  void Insert(const Answer& a);
+  bool ListBefore(const Answer& x, const Answer& y) const;
+
+  const RankContext* rank_;
+  TopkPruneOptions options_;
+  std::vector<Answer> topk_list_;  ///< best→worst under ListBefore
+  int emitted_ = 0;
+  bool input_exhausted_ = false;
+};
+
+}  // namespace pimento::algebra
+
+#endif  // PIMENTO_ALGEBRA_TOPK_PRUNE_H_

@@ -1,0 +1,52 @@
+#include "src/algebra/winnow.h"
+
+#include <algorithm>
+
+namespace pimento::algebra {
+
+std::vector<Answer> Winnow(const RankContext& rank,
+                           const std::vector<Answer>& input) {
+  std::vector<Answer> out;
+  for (size_t i = 0; i < input.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < input.size() && !dominated; ++j) {
+      if (i == j) continue;
+      dominated = rank.CompareVPartial(input[j], input[i]) ==
+                  profile::PrefResult::kFirstPreferred;
+    }
+    if (!dominated) out.push_back(input[i]);
+  }
+  std::sort(out.begin(), out.end(), [&rank](const Answer& a, const Answer& b) {
+    return rank.RankedBefore(a, b);
+  });
+  return out;
+}
+
+std::vector<std::vector<Answer>> WinnowStrata(const RankContext& rank,
+                                              const std::vector<Answer>& input,
+                                              int max_levels) {
+  std::vector<std::vector<Answer>> strata;
+  std::vector<Answer> remaining = input;
+  for (int level = 0; level < max_levels && !remaining.empty(); ++level) {
+    std::vector<Answer> stratum = Winnow(rank, remaining);
+    if (stratum.empty()) break;  // defensive: cannot happen for finite input
+    // Remove the stratum's members from `remaining` by node id.
+    std::vector<Answer> rest;
+    for (const Answer& a : remaining) {
+      bool in_stratum = false;
+      for (const Answer& s : stratum) {
+        if (s.node == a.node) {
+          in_stratum = true;
+          break;
+        }
+      }
+      if (!in_stratum) rest.push_back(a);
+    }
+    strata.push_back(std::move(stratum));
+    remaining = std::move(rest);
+  }
+  if (!remaining.empty()) strata.push_back(std::move(remaining));
+  return strata;
+}
+
+}  // namespace pimento::algebra

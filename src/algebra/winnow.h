@@ -1,0 +1,28 @@
+#ifndef PIMENTO_ALGEBRA_WINNOW_H_
+#define PIMENTO_ALGEBRA_WINNOW_H_
+
+#include <vector>
+
+#include "src/algebra/answer.h"
+
+namespace pimento::algebra {
+
+/// Chomicki's winnow operator — the purely qualitative baseline the paper
+/// contrasts with (§2): selects the answers that are not dominated by any
+/// other answer under the profile's VOR *partial order* (CompareVPartial).
+/// Unlike PIMENTO's ranking it ignores the K and S scores entirely; the
+/// undominated set is returned in the RankContext's full order for
+/// deterministic output.
+std::vector<Answer> Winnow(const RankContext& rank,
+                           const std::vector<Answer>& input);
+
+/// Iterated winnow: stratifies the input into preference levels — level 0
+/// is Winnow(input), level 1 is Winnow(rest), and so on (at most
+/// `max_levels`; remaining answers are appended as a final stratum).
+std::vector<std::vector<Answer>> WinnowStrata(const RankContext& rank,
+                                              const std::vector<Answer>& input,
+                                              int max_levels);
+
+}  // namespace pimento::algebra
+
+#endif  // PIMENTO_ALGEBRA_WINNOW_H_

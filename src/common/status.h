@@ -1,0 +1,103 @@
+#ifndef PIMENTO_COMMON_STATUS_H_
+#define PIMENTO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pimento {
+
+/// Error codes used across the PIMENTO library. The public API is
+/// exception-free; every fallible operation returns a Status or StatusOr.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kConflict,       ///< cyclic scoping-rule conflict without priorities
+  kAmbiguous,      ///< ambiguous value-based ordering rules
+  kUnimplemented,
+  kInternal,
+};
+
+/// Result of an operation: a code plus a human-readable message.
+///
+/// Mirrors the Status idiom used by Arrow/RocksDB: cheap to copy in the OK
+/// case, carries context in the error case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Ambiguous(std::string msg) {
+    return Status(StatusCode::kAmbiguous, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Check ok() before value().
+template <typename T>
+class StatusOr {
+ public:
+  /*implicit*/ StatusOr(T value) : value_(std::move(value)) {}
+  /*implicit*/ StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pimento
+
+/// Propagates an error Status from an expression; usable in functions that
+/// themselves return Status.
+#define PIMENTO_RETURN_IF_ERROR(expr)               \
+  do {                                              \
+    ::pimento::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // PIMENTO_COMMON_STATUS_H_

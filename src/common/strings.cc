@@ -1,0 +1,63 @@
+#include "src/common/strings.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pimento {
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) pos = s.size();
+    std::string_view piece = StripWhitespace(s.substr(start, pos - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = StripWhitespace(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace pimento

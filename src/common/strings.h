@@ -1,0 +1,30 @@
+#ifndef PIMENTO_COMMON_STRINGS_H_
+#define PIMENTO_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimento {
+
+/// Returns `s` with ASCII letters lower-cased.
+std::string AsciiToLower(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, omitting empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` parses fully as a (possibly signed) decimal number.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace pimento
+
+#endif  // PIMENTO_COMMON_STRINGS_H_

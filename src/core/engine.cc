@@ -1,0 +1,234 @@
+#include "src/core/engine.h"
+
+#include <utility>
+
+#include "src/algebra/winnow.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/expand.h"
+#include "src/tpq/relax.h"
+#include "src/tpq/tpq_parser.h"
+#include "src/xml/merge.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace pimento::core {
+
+SearchEngine::SearchEngine(index::Collection collection)
+    : collection_(std::make_unique<index::Collection>(std::move(collection))),
+      scorer_(collection_.get()) {}
+
+StatusOr<SearchEngine> SearchEngine::FromXml(
+    std::string_view xml_text, const text::TokenizeOptions& options) {
+  StatusOr<xml::Document> doc = xml::ParseXml(xml_text);
+  if (!doc.ok()) return doc.status();
+  return SearchEngine(
+      index::Collection::Build(std::move(doc).value(), options));
+}
+
+StatusOr<SearchEngine> SearchEngine::FromXmlCorpus(
+    const std::vector<std::string>& xml_texts,
+    const text::TokenizeOptions& options) {
+  std::vector<xml::Document> docs;
+  docs.reserve(xml_texts.size());
+  for (size_t i = 0; i < xml_texts.size(); ++i) {
+    StatusOr<xml::Document> doc = xml::ParseXml(xml_texts[i]);
+    if (!doc.ok()) {
+      return Status::ParseError("document " + std::to_string(i) + ": " +
+                                doc.status().message());
+    }
+    docs.push_back(*std::move(doc));
+  }
+  return SearchEngine(index::Collection::Build(
+      xml::MergeDocuments(std::move(docs)), options));
+}
+
+StatusOr<SearchResult> SearchEngine::Search(
+    const tpq::Tpq& query, const profile::UserProfile& profile,
+    const SearchOptions& options) const {
+  SearchResult result;
+
+  // Static analysis 1: VOR ambiguity (§5.2).
+  result.ambiguity = profile::DetectAmbiguity(profile.vors);
+  if (options.check_ambiguity && result.ambiguity.ambiguous &&
+      !result.ambiguity.resolved_by_priorities) {
+    return Status::Ambiguous(
+        "value-based ordering rules are ambiguous and priorities do not "
+        "resolve them: " +
+        result.ambiguity.explanation);
+  }
+
+  // Static analysis 2 + rewriting: SR conflicts and the query flock (§5.1).
+  StatusOr<profile::QueryFlock> flock =
+      profile::BuildFlock(query, profile.scoping_rules);
+  if (!flock.ok()) return flock.status();
+  result.flock = *std::move(flock);
+  if (options.thesaurus != nullptr && !options.thesaurus->empty()) {
+    result.flock.encoded = tpq::ExpandKeywords(
+        result.flock.encoded, *options.thesaurus, options.synonym_boost);
+  }
+  result.encoded_query = result.flock.encoded.ToString();
+
+  // Plan generation and OR-aware evaluation (§6).
+  plan::PlannerOptions popts;
+  popts.k = options.k;
+  popts.strategy = options.strategy;
+  popts.rank_order = profile.rank_order;
+  popts.vor_mode = options.vor_mode;
+  popts.kor_order = options.kor_order;
+  popts.optional_bonus = options.optional_bonus;
+  popts.use_structural_prefilter = options.use_structural_prefilter;
+  StatusOr<algebra::Plan> built =
+      plan::BuildPlan(*collection_, scorer_, result.flock.encoded,
+                      profile.vors, profile.kors, popts);
+  if (!built.ok()) return built.status();
+  algebra::Plan plan = *std::move(built);
+  result.plan_description = plan.Describe();
+
+  std::vector<algebra::Answer> answers = plan.Execute();
+  result.stats = plan.CollectStats();
+
+  algebra::RankContext rank(profile.vors, profile.rank_order);
+  result.answers.reserve(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    RankedAnswer ra;
+    ra.rank = static_cast<int>(i) + 1;
+    ra.node = answers[i].node;
+    ra.s = answers[i].s;
+    ra.k = answers[i].k;
+    ra.vor_keys = rank.VorKeys(answers[i]);
+    result.answers.push_back(std::move(ra));
+  }
+  return result;
+}
+
+StatusOr<SearchResult> SearchEngine::Search(std::string_view query_text,
+                                            std::string_view profile_text,
+                                            const SearchOptions& options) const {
+  StatusOr<tpq::Tpq> query = tpq::ParseTpq(query_text);
+  if (!query.ok()) return query.status();
+  StatusOr<profile::UserProfile> prof = profile::ParseProfile(profile_text);
+  if (!prof.ok()) return prof.status();
+  return Search(*query, *prof, options);
+}
+
+StatusOr<SearchResult> SearchEngine::Search(std::string_view query_text,
+                                            const SearchOptions& options) const {
+  StatusOr<tpq::Tpq> query = tpq::ParseTpq(query_text);
+  if (!query.ok()) return query.status();
+  return Search(*query, profile::UserProfile{}, options);
+}
+
+StatusOr<SearchResult> SearchEngine::SearchRelaxed(
+    const tpq::Tpq& query, const profile::UserProfile& profile,
+    const SearchOptions& options) const {
+  StatusOr<SearchResult> base = Search(query, profile, options);
+  if (!base.ok()) return base.status();
+  if (static_cast<int>(base->answers.size()) >= options.k) return base;
+
+  SearchResult merged = *std::move(base);
+  std::string applied;
+  tpq::Tpq current = query;
+  // Bounded walk: one relaxation per round, first enumerated first.
+  for (int round = 0; round < 64; ++round) {
+    std::vector<tpq::Relaxation> relaxations =
+        tpq::EnumerateRelaxations(current);
+    if (relaxations.empty()) break;
+    current = relaxations[0].query;
+    applied += (applied.empty() ? "" : ", ") + relaxations[0].description;
+    StatusOr<SearchResult> next = Search(current, profile, options);
+    if (!next.ok()) return next.status();
+    for (const RankedAnswer& a : next->answers) {
+      bool seen = false;
+      for (const RankedAnswer& existing : merged.answers) {
+        if (existing.node == a.node) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) merged.answers.push_back(a);
+      if (static_cast<int>(merged.answers.size()) >= options.k) break;
+    }
+    if (static_cast<int>(merged.answers.size()) >= options.k) break;
+  }
+  for (size_t i = 0; i < merged.answers.size(); ++i) {
+    merged.answers[i].rank = static_cast<int>(i) + 1;
+  }
+  if (!applied.empty()) {
+    merged.plan_description += " | relaxed: " + applied;
+  }
+  return merged;
+}
+
+StatusOr<SearchResult> SearchEngine::SearchWinnow(
+    const tpq::Tpq& query, const profile::UserProfile& profile,
+    const SearchOptions& options) const {
+  // Retrieve the full (unpruned) answer set with a naive plan, then apply
+  // the winnow operator over the VOR partial order.
+  SearchOptions all = options;
+  all.k = 1 << 28;
+  all.strategy = plan::Strategy::kNaive;
+  StatusOr<SearchResult> base = Search(query, profile, all);
+  if (!base.ok()) return base.status();
+
+  // Re-materialize algebra answers from the ranked list (scores and VOR
+  // values are needed for the dominance test); the plan is re-run since
+  // RankedAnswer drops the VorValue annotations.
+  plan::PlannerOptions popts;
+  popts.k = 1 << 28;
+  popts.strategy = plan::Strategy::kNaive;
+  popts.rank_order = profile.rank_order;
+  StatusOr<algebra::Plan> built =
+      plan::BuildPlan(*collection_, scorer_, base->flock.encoded,
+                      profile.vors, profile.kors, popts);
+  if (!built.ok()) return built.status();
+  algebra::Plan plan = *std::move(built);
+  std::vector<algebra::Answer> answers = plan.Execute();
+
+  algebra::RankContext rank(profile.vors, profile.rank_order);
+  std::vector<algebra::Answer> undominated =
+      algebra::Winnow(rank, answers);
+  if (static_cast<int>(undominated.size()) > options.k) {
+    undominated.resize(options.k);
+  }
+
+  SearchResult result = *std::move(base);
+  result.answers.clear();
+  result.stats = plan.CollectStats();
+  result.plan_description = plan.Describe() + " -> winnow";
+  for (size_t i = 0; i < undominated.size(); ++i) {
+    RankedAnswer ra;
+    ra.rank = static_cast<int>(i) + 1;
+    ra.node = undominated[i].node;
+    ra.s = undominated[i].s;
+    ra.k = undominated[i].k;
+    ra.vor_keys = rank.VorKeys(undominated[i]);
+    result.answers.push_back(std::move(ra));
+  }
+  return result;
+}
+
+StatusOr<Explanation> SearchEngine::Explain(
+    const tpq::Tpq& query, const profile::UserProfile& profile,
+    xml::NodeId node, const SearchOptions& options) const {
+  if (node < 0 || node >= static_cast<xml::NodeId>(collection_->doc().size())) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  StatusOr<profile::QueryFlock> flock =
+      profile::BuildFlock(query, profile.scoping_rules);
+  if (!flock.ok()) return flock.status();
+  tpq::Tpq encoded = flock->encoded;
+  if (options.thesaurus != nullptr && !options.thesaurus->empty()) {
+    encoded = tpq::ExpandKeywords(encoded, *options.thesaurus,
+                                  options.synonym_boost);
+  }
+  return ExplainAnswer(*collection_, scorer_, encoded, profile, node,
+                       options.optional_bonus);
+}
+
+std::string SearchEngine::AnswerXml(xml::NodeId node) const {
+  xml::SerializeOptions opts;
+  opts.pretty = true;
+  return xml::SerializeSubtree(collection_->doc(), node, opts);
+}
+
+}  // namespace pimento::core

@@ -1,0 +1,144 @@
+#ifndef PIMENTO_CORE_ENGINE_H_
+#define PIMENTO_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/algebra/plan.h"
+#include "src/common/status.h"
+#include "src/core/explain.h"
+#include "src/index/collection.h"
+#include "src/plan/planner.h"
+#include "src/profile/ambiguity.h"
+#include "src/profile/flock.h"
+#include "src/profile/profile.h"
+#include "src/score/scorer.h"
+#include "src/text/thesaurus.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::core {
+
+struct SearchOptions {
+  int k = 10;
+  plan::Strategy strategy = plan::Strategy::kPush;
+  plan::KorOrder kor_order = plan::KorOrder::kHighestScoreFirst;
+  algebra::VorCompareMode vor_mode = algebra::VorCompareMode::kLinearized;
+  double optional_bonus = 0.5;
+
+  /// Fail with kAmbiguous when the profile's VORs are ambiguous (§5.2) and
+  /// the user priorities do not resolve the ambiguity.
+  bool check_ambiguity = true;
+
+  /// Optional keyword expansion (extension; §7.1 left thesauri out): every
+  /// query keyword gains optional synonym predicates with this boost.
+  const text::Thesaurus* thesaurus = nullptr;
+  double synonym_boost = 0.5;
+
+  /// Use the sort-merge structural-join access path instead of the tag
+  /// scan + navigation filters when the pattern allows it.
+  bool use_structural_prefilter = false;
+};
+
+/// One ranked answer of a personalized search.
+struct RankedAnswer {
+  int rank = 0;               ///< 1-based
+  xml::NodeId node = xml::kInvalidNode;
+  double s = 0.0;             ///< query score
+  double k = 0.0;             ///< keyword-OR score
+  std::vector<double> vor_keys;  ///< V rank keys in priority order
+};
+
+struct SearchResult {
+  std::vector<RankedAnswer> answers;
+
+  /// Static-analysis artifacts: the query flock (with the SR conflict
+  /// report) and the VOR ambiguity report.
+  profile::QueryFlock flock;
+  profile::AmbiguityReport ambiguity;
+
+  algebra::PlanStats stats;
+  std::string plan_description;
+  std::string encoded_query;  ///< the flock-encoded TPQ, printable form
+};
+
+/// The PIMENTO search engine: an indexed collection plus profile-aware
+/// query personalization (§4's three problems: flock semantics, ambiguity
+/// analysis, OR-aware top-k evaluation).
+class SearchEngine {
+ public:
+  explicit SearchEngine(index::Collection collection);
+
+  SearchEngine(SearchEngine&&) = default;
+  SearchEngine& operator=(SearchEngine&&) = default;
+
+  /// Parses and indexes an XML document.
+  static StatusOr<SearchEngine> FromXml(
+      std::string_view xml_text, const text::TokenizeOptions& options = {});
+
+  /// Parses several XML documents and indexes them as one corpus: the
+  /// roots are merged under a synthetic <collection> element, giving
+  /// corpus-wide term statistics (global idf).
+  static StatusOr<SearchEngine> FromXmlCorpus(
+      const std::vector<std::string>& xml_texts,
+      const text::TokenizeOptions& options = {});
+
+  const index::Collection& collection() const { return *collection_; }
+  const score::Scorer& scorer() const { return scorer_; }
+
+  /// Personalized search: rewrites `query` through the profile's scoping
+  /// rules (flock encoding), enforces the ordering rules, executes with the
+  /// selected topkPrune strategy, and returns the top-k answers ranked by
+  /// the profile's rank order.
+  StatusOr<SearchResult> Search(const tpq::Tpq& query,
+                                const profile::UserProfile& profile,
+                                const SearchOptions& options = {}) const;
+
+  /// Text-level convenience: parses the query (and profile) first.
+  StatusOr<SearchResult> Search(std::string_view query_text,
+                                std::string_view profile_text,
+                                const SearchOptions& options = {}) const;
+  StatusOr<SearchResult> Search(std::string_view query_text,
+                                const SearchOptions& options = {}) const;
+
+  /// Progressive relaxation search (the FleXPath-style repertoire the
+  /// paper cites as the foundation of SRs): when the personalized query
+  /// yields fewer than k answers, single-step relaxations (pc→ad edges,
+  /// predicate promotion, branch demotion) are applied one at a time until
+  /// k answers accumulate or the query is fully relaxed. Answers found by
+  /// stricter variants keep their earlier ranks; `result.plan_description`
+  /// records the applied relaxations.
+  StatusOr<SearchResult> SearchRelaxed(const tpq::Tpq& query,
+                                       const profile::UserProfile& profile,
+                                       const SearchOptions& options = {}) const;
+
+  /// The qualitative baseline (§2, Chomicki's winnow): evaluates the
+  /// (flock-encoded) query and returns the answers *undominated* under the
+  /// profile's VOR partial order instead of the score-ranked top k.
+  /// `options.k` caps the returned undominated set.
+  StatusOr<SearchResult> SearchWinnow(const tpq::Tpq& query,
+                                      const profile::UserProfile& profile,
+                                      const SearchOptions& options = {}) const;
+
+  /// Serialized subtree of an answer node (for display).
+  std::string AnswerXml(xml::NodeId node) const;
+
+  /// Per-predicate / per-rule score breakdown of `node` under the
+  /// flock-encoded form of `query` and `profile` — why the answer ranked
+  /// where it did.
+  StatusOr<Explanation> Explain(const tpq::Tpq& query,
+                                const profile::UserProfile& profile,
+                                xml::NodeId node,
+                                const SearchOptions& options = {}) const;
+
+ private:
+  // The collection lives behind a stable pointer so the scorer's reference
+  // survives moves of the engine.
+  std::unique_ptr<index::Collection> collection_;
+  score::Scorer scorer_;
+};
+
+}  // namespace pimento::core
+
+#endif  // PIMENTO_CORE_ENGINE_H_

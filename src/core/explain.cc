@@ -1,0 +1,149 @@
+#include "src/core/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/algebra/operators.h"
+#include "src/plan/planner.h"
+
+namespace pimento::core {
+
+namespace {
+
+bool EffectiveOptional(const tpq::Tpq& q, int node) {
+  for (int cur = node; cur >= 0; cur = q.node(cur).parent) {
+    if (q.node(cur).optional) return true;
+  }
+  return false;
+}
+
+std::string FormatAmount(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ScoreContribution::ToString() const {
+  const char* comp = component == Component::kS   ? "S"
+                     : component == Component::kK ? "K"
+                                                  : "V";
+  std::string out = "  [";
+  out += comp;
+  out += "] ";
+  out += source;
+  if (component == Component::kV) {
+    out += " rank-key " + FormatAmount(amount);
+  } else if (satisfied) {
+    out += " +" + FormatAmount(amount);
+  } else {
+    out += " (not satisfied)";
+  }
+  return out;
+}
+
+std::string Explanation::ToString() const {
+  std::string out = "node " + std::to_string(node) +
+                    ": S=" + FormatAmount(s) + " K=" + FormatAmount(k) + "\n";
+  for (const ScoreContribution& c : contributions) {
+    out += c.ToString() + "\n";
+  }
+  return out;
+}
+
+Explanation ExplainAnswer(const index::Collection& collection,
+                          const score::Scorer& scorer, const tpq::Tpq& query,
+                          const profile::UserProfile& profile,
+                          xml::NodeId node, double optional_bonus) {
+  Explanation out;
+  out.node = node;
+  algebra::ExecContext ctx{&collection, &scorer};
+
+  for (int n : query.PreOrder()) {
+    const tpq::QueryNode& qn = query.node(n);
+    algebra::NavPath nav = plan::NavPathTo(query, n);
+    std::vector<xml::NodeId> witnesses = algebra::ResolveNav(ctx, node, nav);
+    bool node_optional = EffectiveOptional(query, n);
+
+    for (const tpq::KeywordPredicate& kp : qn.keyword_predicates) {
+      index::Phrase phrase = collection.MakePhrase(kp.keyword, kp.window);
+      double best = 0;
+      for (xml::NodeId w : witnesses) {
+        best = std::max(best, scorer.Score(w, phrase));
+      }
+      ScoreContribution c;
+      c.component = ScoreContribution::Component::kS;
+      c.source = std::string(kp.optional || node_optional ? "optional " : "")
+                 + "ftcontains(" + qn.tag + ", \"" + kp.keyword + "\")";
+      c.amount = kp.boost * best;
+      c.satisfied = best > 0;
+      out.s += c.amount;
+      out.contributions.push_back(std::move(c));
+    }
+    for (const tpq::ValuePredicate& vp : qn.value_predicates) {
+      bool optional = vp.optional || node_optional;
+      bool sat = false;
+      for (xml::NodeId w : witnesses) {
+        if (vp.numeric) {
+          auto v = collection.values().Numeric(w);
+          sat = v.has_value() && tpq::EvalRelOp(*v, vp.op, vp.number);
+        } else {
+          auto v = collection.values().String(w);
+          sat = v.has_value() && tpq::EvalRelOpStr(*v, vp.op, vp.text);
+        }
+        if (sat) break;
+      }
+      ScoreContribution c;
+      c.component = ScoreContribution::Component::kS;
+      c.source = std::string(optional ? "optional " : "") + "value(" +
+                 qn.tag + ") " + vp.ToString();
+      c.amount = (optional && sat) ? optional_bonus * vp.boost : 0.0;
+      c.satisfied = sat;
+      out.s += c.amount;
+      out.contributions.push_back(std::move(c));
+    }
+  }
+
+  for (const profile::Kor& kor : profile.kors) {
+    if (!kor.tag.empty() &&
+        collection.doc().node(node).tag != kor.tag) {
+      continue;
+    }
+    double score =
+        kor.weight * scorer.Score(node, collection.MakePhrase(kor.keyword));
+    ScoreContribution c;
+    c.component = ScoreContribution::Component::kK;
+    c.source = "kor " + kor.name + " ftcontains(\"" + kor.keyword + "\")";
+    c.amount = score;
+    c.satisfied = score > 0;
+    out.k += score;
+    out.contributions.push_back(std::move(c));
+  }
+
+  for (const profile::Vor& vor : profile.vors) {
+    profile::VorValue value;
+    value.applicable =
+        vor.tag.empty() || collection.doc().node(node).tag == vor.tag;
+    if (value.applicable && !vor.attr.empty()) {
+      value.str = collection.AttrString(node, vor.attr);
+      value.num = collection.AttrNumeric(node, vor.attr);
+    }
+    if (value.applicable && !vor.group_attr.empty()) {
+      value.group = collection.AttrString(node, vor.group_attr);
+    }
+    ScoreContribution c;
+    c.component = ScoreContribution::Component::kV;
+    c.source = "vor " + vor.name + " (" + vor.attr + "=" +
+               value.str.value_or(value.num.has_value()
+                                      ? FormatAmount(*value.num)
+                                      : "?") +
+               ")";
+    c.amount = profile::VorRankKey(vor, value);
+    c.satisfied = value.applicable;
+    out.contributions.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace pimento::core

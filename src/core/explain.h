@@ -1,0 +1,47 @@
+#ifndef PIMENTO_CORE_EXPLAIN_H_
+#define PIMENTO_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/index/collection.h"
+#include "src/profile/profile.h"
+#include "src/score/scorer.h"
+#include "src/tpq/tpq.h"
+#include "src/xml/document.h"
+
+namespace pimento::core {
+
+/// One line of an answer explanation: which predicate or rule contributed
+/// how much to which score component.
+struct ScoreContribution {
+  enum class Component : uint8_t { kS, kK, kV };
+  Component component = Component::kS;
+  std::string source;  ///< e.g. ftcontains("good condition"), kor pi4
+  double amount = 0;   ///< score added (V rows carry the rank key instead)
+  bool satisfied = true;
+
+  std::string ToString() const;
+};
+
+struct Explanation {
+  xml::NodeId node = xml::kInvalidNode;
+  double s = 0;
+  double k = 0;
+  std::vector<ScoreContribution> contributions;
+
+  std::string ToString() const;
+};
+
+/// Recomputes, predicate by predicate, how `node` scores under the
+/// (flock-encoded) `query` and `profile` — the breakdown a user needs to
+/// understand *why* an answer ranked where it did. Mirrors the evaluator's
+/// per-predicate existential semantics.
+Explanation ExplainAnswer(const index::Collection& collection,
+                          const score::Scorer& scorer, const tpq::Tpq& query,
+                          const profile::UserProfile& profile,
+                          xml::NodeId node, double optional_bonus = 0.5);
+
+}  // namespace pimento::core
+
+#endif  // PIMENTO_CORE_EXPLAIN_H_

@@ -1,0 +1,118 @@
+#include "src/data/car_gen.h"
+
+#include <random>
+#include <vector>
+
+#include "src/xml/serializer.h"
+
+namespace pimento::data {
+
+namespace {
+
+constexpr const char* kMakes[] = {"honda",  "mustang", "toyota", "ford",
+                                  "chevy",  "dodge",   "bmw",    "audi"};
+constexpr const char* kColors[] = {"red",  "black", "white",
+                                   "blue", "green", "silver"};
+constexpr const char* kCities[] = {"NYC",     "Boston",  "Phoenix",
+                                   "Chicago", "Seattle", "Austin"};
+constexpr const char* kAmericanMakes[] = {"mustang", "ford", "chevy", "dodge"};
+
+constexpr const char* kPhrases[] = {
+    "good condition",  "low mileage",      "best bid",
+    "eager seller",    "single owner",     "garage kept",
+    "new tires",       "recently serviced", "clean title",
+    "minor scratches", "american classic",  "powerful engine",
+};
+
+void AddLeaf(xml::Document* doc, xml::NodeId parent, const std::string& tag,
+             const std::string& text) {
+  xml::NodeId n = doc->AddElement(parent, tag);
+  doc->AddText(n, text);
+}
+
+void AddFigure1Cars(xml::Document* doc, xml::NodeId dealer) {
+  // Car 1: the 2001 good-condition car for sale in NYC at $500.
+  xml::NodeId car1 = doc->AddElement(dealer, "car");
+  AddLeaf(doc, car1, "description",
+          "I am selling my 2001 car at the best bid. It is in good condition "
+          "as I was the only driver. I used it to go to work in NYC.");
+  AddLeaf(doc, car1, "date", "2001");
+  AddLeaf(doc, car1, "price", "500");
+  AddLeaf(doc, car1, "horsepower", "120");
+  AddLeaf(doc, car1, "make", "honda");
+  AddLeaf(doc, car1, "color", "black");
+  xml::NodeId owner1 = doc->AddElement(car1, "owner");
+  AddLeaf(doc, owner1, "name", "John Smith");
+  AddLeaf(doc, owner1, "email", "goodcar@yahoo.com");
+
+  // Car 2: the red, low-mileage NYC car.
+  xml::NodeId car2 = doc->AddElement(dealer, "car");
+  AddLeaf(doc, car2, "description",
+          "Low mileage. Bought on 11/2005. Eager seller. Good condition.");
+  AddLeaf(doc, car2, "color", "red");
+  AddLeaf(doc, car2, "horsepower", "200");
+  AddLeaf(doc, car2, "mileage", "50000");
+  AddLeaf(doc, car2, "price", "1800");
+  AddLeaf(doc, car2, "make", "mustang");
+  AddLeaf(doc, car2, "location", "NYC");
+}
+
+}  // namespace
+
+xml::Document GenerateCarDealer(const CarGenOptions& options) {
+  std::mt19937 rng(options.seed);
+  xml::Document doc;
+  xml::NodeId dealer = doc.AddRoot("dealer");
+
+  if (options.include_figure1_cars) AddFigure1Cars(&doc, dealer);
+
+  auto pick = [&rng](auto& arr) {
+    std::uniform_int_distribution<size_t> d(0, std::size(arr) - 1);
+    return std::string(arr[d(rng)]);
+  };
+  std::uniform_int_distribution<int> price_d(300, 9000);
+  std::uniform_int_distribution<int> hp_d(70, 400);
+  std::uniform_int_distribution<int> mileage_d(5, 200);  // thousands
+  std::uniform_int_distribution<int> year_d(1995, 2006);
+  std::uniform_int_distribution<int> phrase_count_d(1, 4);
+  std::uniform_int_distribution<size_t> phrase_d(0, std::size(kPhrases) - 1);
+
+  int remaining =
+      options.num_cars - (options.include_figure1_cars ? 2 : 0);
+  for (int i = 0; i < remaining; ++i) {
+    xml::NodeId car = doc.AddElement(dealer, "car");
+    std::string make = pick(kMakes);
+    std::string city = pick(kCities);
+    std::string desc = "For sale: " + std::to_string(year_d(rng)) + " " +
+                       make + " located in " + city + ".";
+    int phrases = phrase_count_d(rng);
+    for (int p = 0; p < phrases; ++p) {
+      desc += " ";
+      desc += kPhrases[phrase_d(rng)];
+      desc += ".";
+    }
+    bool american = false;
+    for (const char* m : kAmericanMakes) {
+      if (make == m) american = true;
+    }
+    if (american && (rng() % 2 == 0)) desc += " Proud american make.";
+    AddLeaf(&doc, car, "description", desc);
+    AddLeaf(&doc, car, "price", std::to_string(price_d(rng)));
+    AddLeaf(&doc, car, "horsepower", std::to_string(hp_d(rng)));
+    AddLeaf(&doc, car, "mileage", std::to_string(mileage_d(rng) * 1000));
+    AddLeaf(&doc, car, "make", make);
+    AddLeaf(&doc, car, "color", pick(kColors));
+    AddLeaf(&doc, car, "location", city);
+  }
+  doc.FinalizeIntervals();
+  return doc;
+}
+
+std::string CarDealerXml(const CarGenOptions& options) {
+  xml::Document doc = GenerateCarDealer(options);
+  xml::SerializeOptions sopts;
+  sopts.pretty = true;
+  return xml::SerializeXml(doc, sopts);
+}
+
+}  // namespace pimento::data

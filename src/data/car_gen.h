@@ -1,0 +1,30 @@
+#ifndef PIMENTO_DATA_CAR_GEN_H_
+#define PIMENTO_DATA_CAR_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/xml/document.h"
+
+namespace pimento::data {
+
+/// Generator for the paper's running example (Fig. 1): a used-car sale
+/// database rooted at <dealer>, one <car> per listing with description,
+/// price, mileage, horsepower, make, color, location, owner, date.
+struct CarGenOptions {
+  int num_cars = 50;
+  uint32_t seed = 42;
+  /// Always include the two hand-crafted cars of the paper's Fig. 1 (the
+  /// $500 good-condition NYC car and John Smith's best-bid low-mileage red
+  /// car) as the first two listings.
+  bool include_figure1_cars = true;
+};
+
+xml::Document GenerateCarDealer(const CarGenOptions& options = {});
+
+/// The same data serialized to XML text (for examples and parser tests).
+std::string CarDealerXml(const CarGenOptions& options = {});
+
+}  // namespace pimento::data
+
+#endif  // PIMENTO_DATA_CAR_GEN_H_

@@ -1,0 +1,242 @@
+#include "src/data/inex_gen.h"
+
+#include <random>
+
+namespace pimento::data {
+
+namespace {
+
+constexpr const char* kFiller[] = {
+    "system",   "approach", "results",  "analysis", "method",
+    "proposed", "evaluate", "framework", "paper",   "novel",
+    "study",    "problem",  "efficient", "model",   "experiments",
+    "design",   "practical", "technique", "survey",  "implementation"};
+
+constexpr const char* kAuthors[] = {
+    "Alan Turing",  "Grace Hopper",  "Edgar Codd",  "Barbara Liskov",
+    "Donald Knuth", "Frances Allen", "John McCarthy"};
+
+struct TopicTemplate {
+  int id;
+  const char* main;
+  const char* author;  // "" = no author condition
+  std::vector<const char*> narrative;
+  std::vector<const char*> requested;
+  int full_relevant;    ///< components with main + narrative keywords
+  int narrative_only;   ///< components with narrative keywords only
+  int main_only;        ///< marginally relevant, outside the assessment
+  /// A morphological variant of the topic's first *narrative* keyword that
+  /// stems to the same token sequence (e.g. "association rule" for
+  /// "association rules"): planted on *irrelevant* components, it earns a
+  /// high K score only under the stemming relaxation and displaces genuine
+  /// components from the top-5 — the §7.1 precision drop ("a node ...
+  /// became highly relevant because it was containing relaxed forms of
+  /// those keywords").
+  const char* stem_decoy;
+  int decoys;
+};
+
+const std::vector<TopicTemplate>& Templates() {
+  static const std::vector<TopicTemplate>* kTemplates =
+      new std::vector<TopicTemplate>{
+          {130, "information retrieval", "", {"ranking functions",
+           "search engines"}, {"abs", "p", "fig"}, 5, 2, 6,
+           "ranked function", 4},
+          {131, "data mining", "Jiawei Han", {"association rules",
+           "data cube", "knowledge discovery"}, {"abs", "p"}, 4, 2, 5,
+           "association rule", 4},
+          {132, "query optimization", "", {"cost model", "join ordering"},
+           {"abs", "p", "fig"}, 8, 4, 4, "cost models", 4},
+          {140, "neural networks", "", {"perceptron", "backpropagation"},
+           {"abs", "p", "fig", "sec"}, 13, 7, 4, "perceptrons", 4},
+          {141, "software testing", "", {"unit testing", "test coverage"},
+           {"abs", "p", "fig"}, 4, 1, 6, "unit tests", 4},
+          {142, "distributed systems", "", {"fault tolerance",
+           "consensus protocols"}, {"abs", "p"}, 6, 2, 4,
+           "fault tolerances", 4},
+          {145, "web services", "", {"service composition",
+           "soap messaging"}, {"abs", "p", "fig"}, 5, 1, 5,
+           "service compositions", 4},
+          {151, "image processing", "", {"edge detection",
+           "image segmentation"}, {"abs", "p"}, 4, 2, 4,
+           "edge detections", 4},
+      };
+  return *kTemplates;
+}
+
+class Builder {
+ public:
+  explicit Builder(uint32_t seed) : rng_(seed) {
+    root_ = doc_.AddRoot("collection");
+  }
+
+  std::string FillerText(int words) {
+    std::string out;
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) out += ' ';
+      out += kFiller[rng_() % std::size(kFiller)];
+    }
+    return out;
+  }
+
+  void AddLeaf(xml::NodeId parent, const std::string& tag,
+               const std::string& text) {
+    xml::NodeId n = doc_.AddElement(parent, tag);
+    doc_.AddText(n, text);
+  }
+
+  /// Adds one article; returns the ids of its component elements keyed by
+  /// the component index order: abs, then three p, one fig, one sec.
+  struct Article {
+    xml::NodeId abs;
+    std::vector<xml::NodeId> paragraphs;
+    xml::NodeId fig;
+    xml::NodeId sec;
+  };
+
+  Article AddArticle(const std::string& author) {
+    xml::NodeId article = doc_.AddElement(root_, "article");
+    xml::NodeId fm = doc_.AddElement(article, "fm");
+    xml::NodeId hdr = doc_.AddElement(fm, "hdr");
+    AddLeaf(hdr, "ti", FillerText(5));
+    AddLeaf(fm, "au",
+            author.empty() ? kAuthors[rng_() % std::size(kAuthors)] : author);
+    Article out;
+    out.abs = doc_.AddElement(fm, "abs");
+    doc_.AddText(out.abs, FillerText(18));
+    xml::NodeId bdy = doc_.AddElement(article, "bdy");
+    out.sec = doc_.AddElement(bdy, "sec");
+    AddLeaf(out.sec, "st", FillerText(4));
+    for (int p = 0; p < 3; ++p) {
+      xml::NodeId para = doc_.AddElement(out.sec, "p");
+      doc_.AddText(para, FillerText(24));
+      out.paragraphs.push_back(para);
+    }
+    out.fig = doc_.AddElement(out.sec, "fig");
+    doc_.AddText(out.fig, FillerText(8));
+    return out;
+  }
+
+  /// Appends `phrase` to component `node`'s text.
+  void Plant(xml::NodeId node, const std::string& phrase) {
+    doc_.AddText(node, phrase);
+  }
+
+  xml::NodeId ComponentByTag(const Article& a, const std::string& tag,
+                             int index) {
+    if (tag == "abs") return a.abs;
+    if (tag == "p") return a.paragraphs[index % a.paragraphs.size()];
+    if (tag == "fig") return a.fig;
+    return a.sec;
+  }
+
+  std::mt19937& rng() { return rng_; }
+  xml::Document&& TakeDoc() {
+    doc_.FinalizeIntervals();
+    return std::move(doc_);
+  }
+
+ private:
+  std::mt19937 rng_;
+  xml::Document doc_;
+  xml::NodeId root_;
+};
+
+}  // namespace
+
+InexCollection GenerateInex(const InexGenOptions& options) {
+  Builder builder(options.seed);
+  InexCollection out;
+
+  for (const TopicTemplate& tmpl : Templates()) {
+    InexTopicSpec spec;
+    spec.id = tmpl.id;
+    spec.main_keyword = tmpl.main;
+    spec.author = tmpl.author;
+    for (const char* n : tmpl.narrative) spec.narrative.push_back(n);
+    for (const char* r : tmpl.requested) spec.requested_tags.push_back(r);
+    out.topics.push_back(spec);
+    out.relevant.emplace_back();
+    std::vector<xml::NodeId>& relevant = out.relevant.back();
+
+    int planted = 0;
+    // Fully relevant: main keyword + narrative keywords, spread across the
+    // requested component types round-robin.
+    for (int i = 0; i < tmpl.full_relevant; ++i, ++planted) {
+      Builder::Article a = builder.AddArticle(spec.author);
+      const std::string tag =
+          spec.requested_tags[planted % spec.requested_tags.size()];
+      xml::NodeId comp = builder.ComponentByTag(a, tag, i);
+      builder.Plant(comp, spec.main_keyword);
+      builder.Plant(comp,
+                    spec.narrative[i % spec.narrative.size()]);
+      if (i % 2 == 0 && spec.narrative.size() > 1) {
+        builder.Plant(comp, spec.narrative[(i + 1) % spec.narrative.size()]);
+      }
+      relevant.push_back(comp);
+    }
+    // Narrative-only: reachable only through the broadening SR.
+    for (int i = 0; i < tmpl.narrative_only; ++i, ++planted) {
+      Builder::Article a = builder.AddArticle(spec.author);
+      const std::string tag =
+          spec.requested_tags[planted % spec.requested_tags.size()];
+      xml::NodeId comp = builder.ComponentByTag(a, tag, i);
+      builder.Plant(comp, spec.narrative[i % spec.narrative.size()]);
+      relevant.push_back(comp);
+    }
+    // Marginally relevant (main keyword only): retrieved with non-trivial
+    // scores but *outside* the assessment — the paper's low-recall effect.
+    for (int i = 0; i < tmpl.main_only; ++i, ++planted) {
+      Builder::Article a = builder.AddArticle("");
+      const std::string tag =
+          spec.requested_tags[planted % spec.requested_tags.size()];
+      xml::NodeId comp = builder.ComponentByTag(a, tag, i);
+      builder.Plant(comp, spec.main_keyword);
+    }
+    // Stem decoys: irrelevant components carrying a morphological variant
+    // of the main phrase; only the stemming relaxation matches them.
+    for (int i = 0; i < tmpl.decoys; ++i, ++planted) {
+      Builder::Article a = builder.AddArticle("");
+      const std::string tag =
+          spec.requested_tags[planted % spec.requested_tags.size()];
+      xml::NodeId comp = builder.ComponentByTag(a, tag, i);
+      builder.Plant(comp, tmpl.stem_decoy);
+      // Repeat the decoy so its tf beats a single genuine occurrence.
+      builder.Plant(comp, tmpl.stem_decoy);
+    }
+  }
+
+  for (int d = 0; d < options.distractor_articles; ++d) {
+    builder.AddArticle("");
+  }
+
+  out.doc = builder.TakeDoc();
+  return out;
+}
+
+std::string TopicQuery(const InexTopicSpec& topic, const std::string& tag) {
+  std::string query = "//article";
+  if (!topic.author.empty()) {
+    query += "[ftcontains(.//au, \"" + topic.author + "\")]";
+  }
+  query += "//" + tag + "[ftcontains(., \"" + topic.main_keyword + "\")]";
+  return query;
+}
+
+std::string TopicProfile(const InexTopicSpec& topic, const std::string& tag) {
+  std::string profile = "profile topic" + std::to_string(topic.id) + "\n";
+  // Broadening SR: components that merely relate to the narrative should
+  // count, so the main-keyword requirement is dropped (it survives as an
+  // optional boost in the flock encoding).
+  profile += "sr broaden: if //" + tag + "[ftcontains(., \"" +
+             topic.main_keyword + "\")] then delete ftcontains(" + tag +
+             ", \"" + topic.main_keyword + "\")\n";
+  int i = 0;
+  for (const std::string& phrase : topic.narrative) {
+    profile += "kor n" + std::to_string(++i) + ": tag=" + tag +
+               " prefer ftcontains(\"" + phrase + "\")\n";
+  }
+  return profile;
+}
+
+}  // namespace pimento::data

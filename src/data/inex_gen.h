@@ -1,0 +1,59 @@
+#ifndef PIMENTO_DATA_INEX_GEN_H_
+#define PIMENTO_DATA_INEX_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/xml/document.h"
+
+namespace pimento::data {
+
+/// One synthetic INEX-style topic: a content-and-structure query (the
+/// `title`), plus the narrative-derived keywords a PIMENTO profile is built
+/// from (§7.1: "we experimented with 8 INEX topics to examine whether we
+/// could capture the narrative of the topic in terms of our scoping and
+/// keyword-based ORs").
+struct InexTopicSpec {
+  int id = 0;
+  std::string main_keyword;             ///< the query's about() phrase
+  std::string author;                   ///< optional //au condition
+  std::vector<std::string> narrative;   ///< narrative keyword expansions
+  std::vector<std::string> requested_tags;  ///< element types to report
+};
+
+/// The synthetic INEX-like collection: IEEE-style <article> documents with
+/// front matter (ti/au/abs) and body sections (sec/st/p/fig), plus planted
+/// per-topic relevance assessments.
+struct InexCollection {
+  xml::Document doc;
+  std::vector<InexTopicSpec> topics;
+  /// Assessment: relevant component node ids, aligned with `topics`.
+  /// Includes both "fully relevant" components (main + narrative keywords)
+  /// and "narrative-only" components that the un-personalized query cannot
+  /// reach (they lack the main keyword) — the paper's motivation for SRs.
+  std::vector<std::vector<xml::NodeId>> relevant;
+};
+
+struct InexGenOptions {
+  uint32_t seed = 11;
+  /// Fully relevant components planted per topic (scaled per topic spec).
+  int base_relevant = 5;
+  int distractor_articles = 24;
+};
+
+InexCollection GenerateInex(const InexGenOptions& options = {});
+
+/// The NEXI-style PIMENTO query of `topic` targeting one requested element
+/// type, e.g. //article//abs[ftcontains(., "data mining")] (plus the author
+/// condition when the topic has one).
+std::string TopicQuery(const InexTopicSpec& topic, const std::string& tag);
+
+/// The PIMENTO profile capturing the topic narrative for one element type:
+/// a broadening SR (drop the main-keyword requirement, keeping it as an
+/// optional boost) plus one KOR per narrative keyword.
+std::string TopicProfile(const InexTopicSpec& topic, const std::string& tag);
+
+}  // namespace pimento::data
+
+#endif  // PIMENTO_DATA_INEX_GEN_H_

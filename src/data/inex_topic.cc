@@ -1,0 +1,104 @@
+#include "src/data/inex_topic.h"
+
+#include "src/common/strings.h"
+#include "src/tpq/tpq_parser.h"
+#include "src/xml/parser.h"
+
+namespace pimento::data {
+
+namespace {
+
+/// Quoted phrases ("...") in free narrative text.
+std::vector<std::string> QuotedPhrases(std::string_view text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t open = text.find('"', pos);
+    if (open == std::string_view::npos) break;
+    size_t close = text.find('"', open + 1);
+    if (close == std::string_view::npos) break;
+    std::string_view phrase =
+        pimento::StripWhitespace(text.substr(open + 1, close - open - 1));
+    if (!phrase.empty() && phrase.size() <= 64) {
+      out.emplace_back(phrase);
+    }
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<InexTopic> ParseInexTopic(std::string_view xml_text) {
+  StatusOr<xml::Document> doc = xml::ParseXml(xml_text);
+  if (!doc.ok()) return doc.status();
+  const xml::Document& d = *doc;
+  if (d.root() == xml::kInvalidNode) {
+    return Status::ParseError("empty topic document");
+  }
+  const std::string& root_tag = d.node(d.root()).tag;
+  if (root_tag != "inex-topic" && root_tag != "inex_topic") {
+    return Status::ParseError("expected <inex-topic>, got <" + root_tag +
+                              ">");
+  }
+  InexTopic topic;
+  xml::NodeId id_attr = d.FindDescendant(d.root(), "@topic-id");
+  if (id_attr != xml::kInvalidNode) {
+    double v = 0;
+    if (pimento::ParseDouble(d.TextContent(id_attr), &v)) {
+      topic.id = static_cast<int>(v);
+    }
+  }
+  xml::NodeId type_attr = d.FindDescendant(d.root(), "@query-type");
+  if (type_attr != xml::kInvalidNode) {
+    topic.query_type = d.TextContent(type_attr);
+  }
+  xml::NodeId title = d.FindDescendant(d.root(), "title");
+  if (title == xml::kInvalidNode) {
+    return Status::ParseError("topic has no <title>");
+  }
+  topic.title = std::string(pimento::StripWhitespace(d.TextContent(title)));
+  xml::NodeId description = d.FindDescendant(d.root(), "description");
+  if (description != xml::kInvalidNode) {
+    topic.description =
+        std::string(pimento::StripWhitespace(d.TextContent(description)));
+  }
+  xml::NodeId narrative = d.FindDescendant(d.root(), "narrative");
+  if (narrative != xml::kInvalidNode) {
+    topic.narrative =
+        std::string(pimento::StripWhitespace(d.TextContent(narrative)));
+  }
+
+  StatusOr<tpq::Tpq> query = tpq::ParseTpq(topic.title);
+  if (!query.ok()) {
+    return Status::ParseError("topic " + std::to_string(topic.id) +
+                              " title: " + query.status().message());
+  }
+  topic.query = *std::move(query);
+  topic.narrative_phrases = QuotedPhrases(topic.narrative);
+  return topic;
+}
+
+std::string DeriveTopicProfile(const InexTopic& topic) {
+  std::string out = "profile inex" + std::to_string(topic.id) + "\n";
+  const tpq::Tpq& q = topic.query;
+  const std::string& dtag = q.node(q.distinguished()).tag;
+  // Broadening SRs: each keyword predicate on the distinguished node is
+  // demoted to an optional boost, so narrative-related components that
+  // lack the exact title phrase still qualify.
+  int s = 0;
+  for (const tpq::KeywordPredicate& kp :
+       q.node(q.distinguished()).keyword_predicates) {
+    out += "sr broaden" + std::to_string(++s) + ": if //" + dtag +
+           "[ftcontains(., \"" + kp.keyword + "\")] then delete ftcontains(" +
+           dtag + ", \"" + kp.keyword + "\")\n";
+  }
+  int k = 0;
+  for (const std::string& phrase : topic.narrative_phrases) {
+    out += "kor n" + std::to_string(++k) + ": tag=" + dtag +
+           " prefer ftcontains(\"" + phrase + "\")\n";
+  }
+  return out;
+}
+
+}  // namespace pimento::data

@@ -1,0 +1,47 @@
+#ifndef PIMENTO_DATA_INEX_TOPIC_H_
+#define PIMENTO_DATA_INEX_TOPIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::data {
+
+/// One INEX content-and-structure topic in the format the paper's §7.1
+/// quotes:
+///
+///   <inex-topic topic-id="131" query-type="CAS">
+///     <title>//article[about(.//au, "Jiawei Han")]
+///            //abs[about(., "data mining")]</title>
+///     <description>We are looking for ...</description>
+///     <narrative>To be relevant, the component has to ...</narrative>
+///   </inex-topic>
+///
+/// The NEXI title parses directly as a PIMENTO TPQ (about() is an alias of
+/// ftcontains). Narrative keywords (quoted phrases in the narrative text)
+/// are extracted so a profile can be derived the way the paper does.
+struct InexTopic {
+  int id = 0;
+  std::string query_type;        ///< "CAS" or "CO"
+  std::string title;             ///< the raw NEXI query
+  std::string description;
+  std::string narrative;
+  tpq::Tpq query;                ///< parsed title
+  std::vector<std::string> narrative_phrases;  ///< quoted narrative phrases
+};
+
+/// Parses one <inex-topic> XML document.
+StatusOr<InexTopic> ParseInexTopic(std::string_view xml_text);
+
+/// Derives the PIMENTO profile the paper builds by hand in §7.1: one
+/// broadening SR per required title keyword (demoted to an optional boost)
+/// and one KOR per narrative phrase, all scoped to the topic's
+/// distinguished element type.
+std::string DeriveTopicProfile(const InexTopic& topic);
+
+}  // namespace pimento::data
+
+#endif  // PIMENTO_DATA_INEX_TOPIC_H_

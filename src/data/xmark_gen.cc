@@ -1,0 +1,128 @@
+#include "src/data/xmark_gen.h"
+
+#include <random>
+#include <string>
+
+namespace pimento::data {
+
+namespace {
+
+constexpr const char* kFirstNames[] = {"Jaak",   "Carmen", "Takano",
+                                       "Umesh",  "Maria",  "Pierre",
+                                       "Ines",   "Oliver", "Sanjay"};
+constexpr const char* kLastNames[] = {"Tempesti", "Diaz",   "Morita",
+                                      "Dayal",    "Santos", "Renault",
+                                      "Weber",    "Brown",  "Gupta"};
+constexpr const char* kCities[] = {"Phoenix", "Tucson",  "Dallas",
+                                   "Lisbon",  "Nairobi", "Osaka",
+                                   "Berlin",  "Lyon"};
+constexpr const char* kCountries[] = {"United States", "Portugal", "Kenya",
+                                      "Japan",         "Germany",  "France"};
+constexpr const char* kEducation[] = {"College", "High School", "Graduate",
+                                      "Other"};
+constexpr const char* kInterests[] = {"category1", "category2", "category3",
+                                      "category4", "category5"};
+constexpr const char* kItemWords[] = {
+    "gold",     "vintage", "rare",   "antique", "mint",    "signed",
+    "original", "limited", "estate", "classic", "pristine"};
+
+void AddLeaf(xml::Document* doc, xml::NodeId parent, const std::string& tag,
+             const std::string& text) {
+  xml::NodeId n = doc->AddElement(parent, tag);
+  doc->AddText(n, text);
+}
+
+}  // namespace
+
+xml::Document GenerateXmark(const XmarkOptions& options) {
+  std::mt19937 rng(options.seed);
+  auto pick = [&rng](auto& arr) {
+    std::uniform_int_distribution<size_t> d(0, std::size(arr) - 1);
+    return std::string(arr[d(rng)]);
+  };
+
+  xml::Document doc;
+  xml::NodeId site = doc.AddRoot("site");
+
+  // Categories (fixed small block).
+  xml::NodeId categories = doc.AddElement(site, "categories");
+  for (int c = 0; c < 8; ++c) {
+    xml::NodeId cat = doc.AddElement(categories, "category");
+    AddLeaf(&doc, cat, "name", "category" + std::to_string(c));
+    AddLeaf(&doc, cat, "description",
+            "All " + pick(kItemWords) + " things in group " +
+                std::to_string(c));
+  }
+
+  xml::NodeId regions = doc.AddElement(site, "regions");
+  xml::NodeId namerica = doc.AddElement(regions, "namerica");
+  xml::NodeId europe = doc.AddElement(regions, "europe");
+  xml::NodeId people = doc.AddElement(site, "people");
+  xml::NodeId open_auctions = doc.AddElement(site, "open_auctions");
+
+  std::uniform_int_distribution<int> age_d(18, 70);
+  std::uniform_int_distribution<int> price_d(5, 900);
+  std::uniform_int_distribution<int> words_d(4, 14);
+
+  int person_id = 0;
+  int item_id = 0;
+  while (doc.ApproximateBytes() < options.target_bytes) {
+    // One person.
+    xml::NodeId person = doc.AddElement(people, "person");
+    xml::NodeId pid = doc.AddElement(person, "@id");
+    doc.AddText(pid, "person" + std::to_string(person_id));
+    std::string first = pick(kFirstNames);
+    std::string last = pick(kLastNames);
+    AddLeaf(&doc, person, "name", first + " " + last);
+    AddLeaf(&doc, person, "emailaddress",
+            "mailto:" + last + std::to_string(person_id) + "@example.com");
+    xml::NodeId address = doc.AddElement(person, "address");
+    AddLeaf(&doc, address, "street",
+            std::to_string(1 + static_cast<int>(rng() % 99)) + " Main St");
+    AddLeaf(&doc, address, "city", pick(kCities));
+    AddLeaf(&doc, address, "country", pick(kCountries));
+    xml::NodeId prof = doc.AddElement(person, "profile");
+    AddLeaf(&doc, prof, "interest", pick(kInterests));
+    if (rng() % 3 != 0) AddLeaf(&doc, prof, "education", pick(kEducation));
+    AddLeaf(&doc, prof, "gender", rng() % 2 == 0 ? "male" : "female");
+    AddLeaf(&doc, prof, "business", rng() % 2 == 0 ? "Yes" : "No");
+    AddLeaf(&doc, prof, "age", std::to_string(age_d(rng)));
+    ++person_id;
+
+    // One item every other person.
+    if (person_id % 2 == 0) {
+      xml::NodeId region = (rng() % 2 == 0) ? namerica : europe;
+      xml::NodeId item = doc.AddElement(region, "item");
+      xml::NodeId iid = doc.AddElement(item, "@id");
+      doc.AddText(iid, "item" + std::to_string(item_id));
+      AddLeaf(&doc, item, "name",
+              pick(kItemWords) + " lot " + std::to_string(item_id));
+      std::string desc;
+      int words = words_d(rng);
+      for (int w = 0; w < words; ++w) {
+        if (w > 0) desc += ' ';
+        desc += kItemWords[rng() % std::size(kItemWords)];
+      }
+      AddLeaf(&doc, item, "description", desc);
+      AddLeaf(&doc, item, "quantity", "1");
+      ++item_id;
+    }
+
+    // One auction every fourth person.
+    if (person_id % 4 == 0) {
+      xml::NodeId auction = doc.AddElement(open_auctions, "open_auction");
+      AddLeaf(&doc, auction, "initial", std::to_string(price_d(rng)));
+      AddLeaf(&doc, auction, "current", std::to_string(price_d(rng) + 50));
+      xml::NodeId seller = doc.AddElement(auction, "seller");
+      xml::NodeId sref = doc.AddElement(seller, "@person");
+      doc.AddText(sref, "person" + std::to_string(rng() % (person_id + 1)));
+      xml::NodeId itemref = doc.AddElement(auction, "itemref");
+      xml::NodeId iref = doc.AddElement(itemref, "@item");
+      doc.AddText(iref, "item" + std::to_string(rng() % (item_id + 1)));
+    }
+  }
+  doc.FinalizeIntervals();
+  return doc;
+}
+
+}  // namespace pimento::data

@@ -1,0 +1,29 @@
+#ifndef PIMENTO_DATA_XMARK_GEN_H_
+#define PIMENTO_DATA_XMARK_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/xml/document.h"
+
+namespace pimento::data {
+
+/// XMark-like auction-site generator (substitute for the XMark `xmlgen`
+/// tool; see DESIGN.md). Reproduces the element/keyword distribution the
+/// paper's Fig. 5/6/7 experiments rely on: <person> records whose
+/// <profile> carries <business>Yes/No</business>, <gender> ("male"),
+/// <education> ("College"), <age> (incl. 33), and an <address> with
+/// <city> ("Phoenix") and <country> ("United States"), plus regions/items,
+/// auctions and categories for realistic bulk.
+struct XmarkOptions {
+  /// Approximate serialized size to aim for; the generator adds person and
+  /// item records until it reaches this.
+  size_t target_bytes = 1 << 20;
+  uint32_t seed = 7;
+};
+
+xml::Document GenerateXmark(const XmarkOptions& options = {});
+
+}  // namespace pimento::data
+
+#endif  // PIMENTO_DATA_XMARK_GEN_H_

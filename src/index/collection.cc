@@ -1,0 +1,139 @@
+#include "src/index/collection.h"
+
+#include <vector>
+
+namespace pimento::index {
+
+Collection Collection::Build(xml::Document doc,
+                             const text::TokenizeOptions& options) {
+  Collection coll;
+  coll.options_ = options;
+  // Walk the tree in document order, tokenizing text nodes and recording
+  // each node's token span.
+  if (doc.root() != xml::kInvalidNode) {
+    struct Frame {
+      xml::NodeId id;
+      size_t child_idx;
+    };
+    std::vector<Frame> stack;
+    auto enter = [&](xml::NodeId id) {
+      xml::Node& n = doc.mutable_node(id);
+      n.first_token =
+          static_cast<int32_t>(coll.keywords_.total_tokens());
+      if (n.kind == xml::NodeKind::kText) {
+        for (const std::string& tok : text::Tokenize(n.text, options)) {
+          coll.keywords_.AppendToken(tok);
+        }
+      }
+    };
+    enter(doc.root());
+    stack.push_back({doc.root(), 0});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      xml::Node& n = doc.mutable_node(top.id);
+      if (top.child_idx < n.children.size()) {
+        xml::NodeId child = n.children[top.child_idx++];
+        enter(child);
+        stack.push_back({child, 0});
+      } else {
+        n.last_token =
+            static_cast<int32_t>(coll.keywords_.total_tokens());
+        stack.pop_back();
+      }
+    }
+  }
+  coll.doc_ = std::move(doc);
+  coll.tags_.Build(coll.doc_);
+  coll.values_.Build(coll.doc_);
+  return coll;
+}
+
+Collection Collection::FromPrebuilt(xml::Document doc,
+                                    InvertedIndex keywords,
+                                    const text::TokenizeOptions& options) {
+  Collection coll;
+  coll.options_ = options;
+  coll.keywords_ = std::move(keywords);
+  coll.doc_ = std::move(doc);
+  coll.tags_.Build(coll.doc_);
+  coll.values_.Build(coll.doc_);
+  return coll;
+}
+
+std::string CollectionStats::ToString() const {
+  return "elements=" + std::to_string(elements) +
+         " text_nodes=" + std::to_string(text_nodes) +
+         " tokens=" + std::to_string(tokens) +
+         " vocabulary=" + std::to_string(vocabulary) +
+         " distinct_tags=" + std::to_string(distinct_tags);
+}
+
+CollectionStats Collection::Stats() const {
+  CollectionStats stats;
+  for (xml::NodeId id = 0; id < static_cast<xml::NodeId>(doc_.size()); ++id) {
+    if (doc_.node(id).kind == xml::NodeKind::kElement) {
+      ++stats.elements;
+    } else {
+      ++stats.text_nodes;
+    }
+  }
+  stats.tokens = keywords_.total_tokens();
+  stats.vocabulary = keywords_.vocabulary_size();
+  stats.distinct_tags = tags_.Tags().size();
+  return stats;
+}
+
+Phrase Collection::MakePhrase(std::string_view raw, int window) const {
+  Phrase phrase;
+  phrase.window = window;
+  phrase.text = text::NormalizeTerm(raw, options_);
+  for (const std::string& tok : text::Tokenize(phrase.text, options_)) {
+    phrase.terms.push_back(keywords_.LookupTerm(tok));
+  }
+  return phrase;
+}
+
+int Collection::CountOccurrences(xml::NodeId e, const Phrase& phrase) const {
+  const xml::Node& n = doc_.node(e);
+  return keywords_.CountPhrase(phrase, n.first_token, n.last_token);
+}
+
+int32_t Collection::ElementLength(xml::NodeId e) const {
+  const xml::Node& n = doc_.node(e);
+  return n.last_token - n.first_token;
+}
+
+xml::NodeId Collection::FindAttrNode(xml::NodeId e,
+                                     std::string_view attr) const {
+  // Prefer a direct child named `attr` or `@attr`, then any descendant.
+  for (xml::NodeId c : doc_.node(e).children) {
+    const xml::Node& cn = doc_.node(c);
+    if (cn.kind != xml::NodeKind::kElement) continue;
+    if (cn.tag == attr ||
+        (cn.tag.size() == attr.size() + 1 && cn.tag[0] == '@' &&
+         std::string_view(cn.tag).substr(1) == attr)) {
+      return c;
+    }
+  }
+  xml::NodeId d = doc_.FindDescendant(e, attr);
+  if (d != xml::kInvalidNode) return d;
+  std::string at_tag = "@";
+  at_tag += attr;
+  return doc_.FindDescendant(e, at_tag);
+}
+
+std::optional<std::string> Collection::AttrString(
+    xml::NodeId e, std::string_view attr) const {
+  xml::NodeId node = FindAttrNode(e, attr);
+  if (node == xml::kInvalidNode) return std::nullopt;
+  return values_.String(node);
+}
+
+std::optional<double> Collection::AttrNumeric(xml::NodeId e,
+                                              std::string_view attr) const {
+  xml::NodeId node = FindAttrNode(e, attr);
+  if (node == xml::kInvalidNode) return std::nullopt;
+  return values_.Numeric(node);
+}
+
+}  // namespace pimento::index

@@ -1,0 +1,92 @@
+#ifndef PIMENTO_INDEX_COLLECTION_H_
+#define PIMENTO_INDEX_COLLECTION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/index/inverted_index.h"
+#include "src/index/tag_index.h"
+#include "src/index/value_index.h"
+#include "src/text/tokenizer.h"
+#include "src/xml/document.h"
+
+namespace pimento::index {
+
+/// Summary statistics of an indexed collection (for tooling/diagnostics).
+struct CollectionStats {
+  size_t elements = 0;
+  size_t text_nodes = 0;
+  int64_t tokens = 0;
+  size_t vocabulary = 0;
+  size_t distinct_tags = 0;
+
+  std::string ToString() const;
+};
+
+/// An indexed XML document: the DOM plus the tag, keyword, and value
+/// indexes the evaluator relies on (paper §6.4: "inverted indices on
+/// keywords and an index per distinct tag").
+///
+/// Move-only; typically owned by core::SearchEngine.
+class Collection {
+ public:
+  /// Indexes `doc`: tokenizes all text in document order, assigns each node
+  /// its token span, and builds the three indexes. `options` controls the
+  /// normalization (lower-casing on by default; stemming is the relaxation
+  /// evaluated in the paper's §7.1).
+  static Collection Build(xml::Document doc,
+                          const text::TokenizeOptions& options = {});
+
+  /// Reassembles a collection from a document whose token spans are
+  /// already assigned and a matching inverted index — the persistence
+  /// load path (no re-tokenization; tag/value indexes are rebuilt).
+  static Collection FromPrebuilt(xml::Document doc, InvertedIndex keywords,
+                                 const text::TokenizeOptions& options);
+
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
+
+  const xml::Document& doc() const { return doc_; }
+  const TagIndex& tags() const { return tags_; }
+  const InvertedIndex& keywords() const { return keywords_; }
+  const ValueIndex& values() const { return values_; }
+  const text::TokenizeOptions& tokenize_options() const { return options_; }
+
+  /// Builds a Phrase for `raw` text using this collection's normalization.
+  /// `window` > 0 switches to unordered within-window proximity semantics.
+  Phrase MakePhrase(std::string_view raw, int window = 0) const;
+
+  /// Occurrences of `phrase` anywhere inside element `e`'s subtree.
+  int CountOccurrences(xml::NodeId e, const Phrase& phrase) const;
+
+  /// Token count of `e`'s subtree.
+  int32_t ElementLength(xml::NodeId e) const;
+
+  /// Summary statistics over the document and its indexes.
+  CollectionStats Stats() const;
+
+  /// Value of the "attribute" `attr` of element `e`, in the paper's
+  /// `x.attr` sense: the simple-element value of the first child (or
+  /// descendant, if no child matches) tagged `attr` or `@attr`.
+  std::optional<std::string> AttrString(xml::NodeId e,
+                                        std::string_view attr) const;
+  std::optional<double> AttrNumeric(xml::NodeId e,
+                                    std::string_view attr) const;
+
+ private:
+  Collection() = default;
+
+  xml::NodeId FindAttrNode(xml::NodeId e, std::string_view attr) const;
+
+  xml::Document doc_;
+  TagIndex tags_;
+  InvertedIndex keywords_;
+  ValueIndex values_;
+  text::TokenizeOptions options_;
+};
+
+}  // namespace pimento::index
+
+#endif  // PIMENTO_INDEX_COLLECTION_H_

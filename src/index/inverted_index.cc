@@ -1,0 +1,135 @@
+#include "src/index/inverted_index.h"
+
+#include <algorithm>
+
+namespace pimento::index {
+
+int32_t InvertedIndex::AppendToken(std::string_view normalized) {
+  auto [it, inserted] = dictionary_.try_emplace(std::string(normalized),
+                                                static_cast<TermId>(
+                                                    postings_.size()));
+  if (inserted) {
+    postings_.emplace_back();
+    term_texts_.emplace_back(normalized);
+  }
+  TermId term = it->second;
+  int32_t pos = static_cast<int32_t>(stream_.size());
+  stream_.push_back(term);
+  postings_[term].push_back(pos);
+  return pos;
+}
+
+InvertedIndex InvertedIndex::FromParts(std::vector<std::string> terms,
+                                       std::vector<int32_t> stream) {
+  InvertedIndex idx;
+  idx.term_texts_ = std::move(terms);
+  idx.stream_ = std::move(stream);
+  idx.postings_.resize(idx.term_texts_.size());
+  for (TermId t = 0; t < static_cast<TermId>(idx.term_texts_.size()); ++t) {
+    idx.dictionary_[idx.term_texts_[t]] = t;
+  }
+  for (int32_t pos = 0; pos < static_cast<int32_t>(idx.stream_.size());
+       ++pos) {
+    int32_t term = idx.stream_[pos];
+    if (term >= 0 && term < static_cast<int32_t>(idx.postings_.size())) {
+      idx.postings_[term].push_back(pos);
+    }
+  }
+  return idx;
+}
+
+TermId InvertedIndex::LookupTerm(std::string_view normalized) const {
+  auto it = dictionary_.find(std::string(normalized));
+  return it == dictionary_.end() ? kUnknownTerm : it->second;
+}
+
+int64_t InvertedIndex::TermCtf(TermId term) const {
+  if (term < 0 || term >= static_cast<TermId>(postings_.size())) return 0;
+  return static_cast<int64_t>(postings_[term].size());
+}
+
+const std::vector<int32_t>& InvertedIndex::Postings(TermId term) const {
+  static const std::vector<int32_t> kEmpty;
+  if (term < 0 || term >= static_cast<TermId>(postings_.size())) {
+    return kEmpty;
+  }
+  return postings_[term];
+}
+
+int InvertedIndex::CountPhrase(const Phrase& phrase, int32_t first,
+                               int32_t last) const {
+  if (!phrase.known()) return 0;
+  if (phrase.window > 0) return CountWindow(phrase, first, last);
+  const int len = static_cast<int>(phrase.terms.size());
+  // Drive from the rarest term to keep the scan short, then verify
+  // adjacency against the stream.
+  int anchor = 0;
+  for (int i = 1; i < len; ++i) {
+    if (postings_[phrase.terms[i]].size() <
+        postings_[phrase.terms[anchor]].size()) {
+      anchor = i;
+    }
+  }
+  const std::vector<int32_t>& plist = postings_[phrase.terms[anchor]];
+  // The phrase start corresponding to anchor position p is p - anchor.
+  auto lo = std::lower_bound(plist.begin(), plist.end(), first + anchor);
+  int count = 0;
+  for (auto it = lo; it != plist.end(); ++it) {
+    int32_t start = *it - anchor;
+    if (start + len > last) break;
+    bool match = true;
+    for (int i = 0; i < len; ++i) {
+      if (stream_[start + i] != phrase.terms[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++count;
+  }
+  return count;
+}
+
+int InvertedIndex::CountWindow(const Phrase& phrase, int32_t first,
+                               int32_t last) const {
+  // Anchor on the rarest term; an anchor occurrence counts when every
+  // other term appears within `window` tokens of it (unordered), inside
+  // the span.
+  const int len = static_cast<int>(phrase.terms.size());
+  int anchor = 0;
+  for (int i = 1; i < len; ++i) {
+    if (postings_[phrase.terms[i]].size() <
+        postings_[phrase.terms[anchor]].size()) {
+      anchor = i;
+    }
+  }
+  auto near_within = [&](TermId term, int32_t pos) {
+    const std::vector<int32_t>& plist = postings_[term];
+    int32_t lo = std::max(first, pos - phrase.window + 1);
+    int32_t hi = std::min(last, pos + phrase.window);  // exclusive
+    auto it = std::lower_bound(plist.begin(), plist.end(), lo);
+    return it != plist.end() && *it < hi;
+  };
+  const std::vector<int32_t>& alist = postings_[phrase.terms[anchor]];
+  auto lo = std::lower_bound(alist.begin(), alist.end(), first);
+  int count = 0;
+  for (auto it = lo; it != alist.end() && *it < last; ++it) {
+    bool all = true;
+    for (int i = 0; i < len && all; ++i) {
+      if (i == anchor) continue;
+      all = near_within(phrase.terms[i], *it);
+    }
+    if (all) ++count;
+  }
+  return count;
+}
+
+int64_t InvertedIndex::MaxPhraseCount(const Phrase& phrase) const {
+  if (!phrase.known()) return 0;
+  int64_t min_ctf = TermCtf(phrase.terms[0]);
+  for (size_t i = 1; i < phrase.terms.size(); ++i) {
+    min_ctf = std::min(min_ctf, TermCtf(phrase.terms[i]));
+  }
+  return min_ctf;
+}
+
+}  // namespace pimento::index

@@ -1,0 +1,99 @@
+#ifndef PIMENTO_INDEX_INVERTED_INDEX_H_
+#define PIMENTO_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pimento::index {
+
+using TermId = int32_t;
+inline constexpr TermId kUnknownTerm = -1;
+
+/// A query phrase: the normalized term-id sequence of one ftcontains
+/// argument ("low mileage" → [id(low), id(mileage)]). A phrase containing
+/// kUnknownTerm matches nothing in this collection.
+///
+/// `window` selects the XQuery-Full-Text proximity semantics: 0 (default)
+/// requires the exact adjacent sequence; w > 0 counts unordered
+/// co-occurrences of all terms within any w consecutive tokens.
+struct Phrase {
+  std::vector<TermId> terms;
+  std::string text;  ///< normalized display form
+  int window = 0;
+
+  bool known() const {
+    if (terms.empty()) return false;
+    for (TermId t : terms) {
+      if (t == kUnknownTerm) return false;
+    }
+    return true;
+  }
+};
+
+/// Positional inverted index over one collection's token stream.
+///
+/// The collection concatenates all text in document order into a stream of
+/// term ids; every DOM node records its [first_token, last_token) span, so
+/// "element e ftcontains k at any depth" is a postings range query.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  // --- build API (used by Collection::Build) ---
+
+  /// Interns `normalized` and appends one token to the stream; returns its
+  /// position.
+  int32_t AppendToken(std::string_view normalized);
+
+  /// Reconstructs an index from its vocabulary and token stream (used by
+  /// persistence); postings are rebuilt.
+  static InvertedIndex FromParts(std::vector<std::string> terms,
+                                 std::vector<int32_t> stream);
+
+  // --- query API ---
+
+  TermId LookupTerm(std::string_view normalized) const;
+
+  /// Collection frequency (total occurrences) of `term`.
+  int64_t TermCtf(TermId term) const;
+
+  /// Sorted positions of `term` in the stream.
+  const std::vector<int32_t>& Postings(TermId term) const;
+
+  int64_t total_tokens() const {
+    return static_cast<int64_t>(stream_.size());
+  }
+  size_t vocabulary_size() const { return postings_.size(); }
+
+  /// The interned text of `term` (valid ids only).
+  const std::string& TermText(TermId term) const { return term_texts_[term]; }
+
+  /// Term id at stream position `pos`.
+  int32_t StreamTermAt(int32_t pos) const { return stream_[pos]; }
+
+  /// Number of occurrences of `phrase` fully inside the token span
+  /// [first, last): adjacent in-order matches when phrase.window == 0,
+  /// otherwise distinct anchor positions whose window contains all terms.
+  int CountPhrase(const Phrase& phrase, int32_t first, int32_t last) const;
+
+  /// Upper bound on CountPhrase over any span: the rarest term's ctf.
+  int64_t MaxPhraseCount(const Phrase& phrase) const;
+
+ private:
+  int CountWindow(const Phrase& phrase, int32_t first, int32_t last) const;
+
+ public:
+
+ private:
+  std::unordered_map<std::string, TermId> dictionary_;
+  std::vector<std::vector<int32_t>> postings_;  ///< per-term positions
+  std::vector<int32_t> stream_;                 ///< term id per position
+  std::vector<std::string> term_texts_;
+};
+
+}  // namespace pimento::index
+
+#endif  // PIMENTO_INDEX_INVERTED_INDEX_H_

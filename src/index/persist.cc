@@ -1,0 +1,229 @@
+#include "src/index/persist.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace pimento::index {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '1'};
+
+// --- little-endian encoding helpers over a string buffer ---
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(
+                static_cast<unsigned char>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!GetU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool GetStr(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    s->assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool GetRaw(char* dst, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+void SerializeNode(const xml::Document& doc, xml::NodeId id,
+                   std::string* out) {
+  const xml::Node& n = doc.node(id);
+  out->push_back(n.kind == xml::NodeKind::kElement ? 'E' : 'T');
+  PutStr(out, n.kind == xml::NodeKind::kElement ? n.tag : n.text);
+  PutI32(out, n.first_token);
+  PutI32(out, n.last_token);
+  PutU32(out, static_cast<uint32_t>(n.children.size()));
+  for (xml::NodeId c : n.children) {
+    SerializeNode(doc, c, out);
+  }
+}
+
+/// Reads one node subtree (pre-order, child counts) into `doc`.
+bool DeserializeNode(Reader* reader, xml::Document* doc,
+                     xml::NodeId parent) {
+  char kind = 0;
+  if (!reader->GetRaw(&kind, 1)) return false;
+  std::string payload;
+  int32_t first_token = 0;
+  int32_t last_token = 0;
+  if (!reader->GetStr(&payload) || !reader->GetI32(&first_token) ||
+      !reader->GetI32(&last_token)) {
+    return false;
+  }
+  uint32_t child_count = 0;
+  xml::NodeId id;
+  if (kind == 'E') {
+    id = parent == xml::kInvalidNode ? doc->AddRoot(std::move(payload))
+                                     : doc->AddElement(parent,
+                                                       std::move(payload));
+  } else if (kind == 'T') {
+    if (parent == xml::kInvalidNode) return false;
+    id = doc->AddText(parent, std::move(payload));
+  } else {
+    return false;
+  }
+  doc->mutable_node(id).first_token = first_token;
+  doc->mutable_node(id).last_token = last_token;
+  if (!reader->GetU32(&child_count)) return false;
+  if (child_count > 0 && kind == 'T') return false;
+  for (uint32_t i = 0; i < child_count; ++i) {
+    if (!DeserializeNode(reader, doc, id)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeCollection(const Collection& collection) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  const text::TokenizeOptions& opts = collection.tokenize_options();
+  out.push_back(opts.lowercase ? 1 : 0);
+  out.push_back(opts.stem ? 1 : 0);
+  out.push_back(opts.drop_stopwords ? 1 : 0);
+
+  const InvertedIndex& idx = collection.keywords();
+  PutU32(&out, static_cast<uint32_t>(idx.vocabulary_size()));
+  for (TermId t = 0; t < static_cast<TermId>(idx.vocabulary_size()); ++t) {
+    PutStr(&out, idx.TermText(t));
+  }
+  PutU32(&out, static_cast<uint32_t>(idx.total_tokens()));
+  for (int32_t pos = 0; pos < idx.total_tokens(); ++pos) {
+    PutI32(&out, idx.StreamTermAt(pos));
+  }
+
+  if (collection.doc().root() == xml::kInvalidNode) {
+    PutU32(&out, 0);
+  } else {
+    PutU32(&out, 1);
+    SerializeNode(collection.doc(), collection.doc().root(), &out);
+  }
+  return out;
+}
+
+StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
+  Reader reader(bytes);
+  char magic[8];
+  if (!reader.GetRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a PIMENTO index (bad magic)");
+  }
+  char flags[3];
+  if (!reader.GetRaw(flags, 3)) {
+    return Status::InvalidArgument("truncated index header");
+  }
+  text::TokenizeOptions opts;
+  opts.lowercase = flags[0] != 0;
+  opts.stem = flags[1] != 0;
+  opts.drop_stopwords = flags[2] != 0;
+
+  uint32_t vocab = 0;
+  if (!reader.GetU32(&vocab)) {
+    return Status::InvalidArgument("truncated vocabulary");
+  }
+  std::vector<std::string> terms(vocab);
+  for (uint32_t t = 0; t < vocab; ++t) {
+    if (!reader.GetStr(&terms[t])) {
+      return Status::InvalidArgument("truncated vocabulary entry");
+    }
+  }
+  uint32_t stream_size = 0;
+  if (!reader.GetU32(&stream_size)) {
+    return Status::InvalidArgument("truncated token stream");
+  }
+  std::vector<int32_t> stream(stream_size);
+  for (uint32_t i = 0; i < stream_size; ++i) {
+    if (!reader.GetI32(&stream[i])) {
+      return Status::InvalidArgument("truncated token stream entry");
+    }
+    if (stream[i] < 0 || static_cast<uint32_t>(stream[i]) >= vocab) {
+      return Status::InvalidArgument("token stream references bad term id");
+    }
+  }
+
+  uint32_t has_root = 0;
+  if (!reader.GetU32(&has_root)) {
+    return Status::InvalidArgument("truncated document");
+  }
+  xml::Document doc;
+  if (has_root != 0) {
+    if (!DeserializeNode(&reader, &doc, xml::kInvalidNode)) {
+      return Status::InvalidArgument("corrupt document tree");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after index");
+  }
+  doc.FinalizeIntervals();
+  return Collection::FromPrebuilt(
+      std::move(doc), InvertedIndex::FromParts(std::move(terms),
+                                               std::move(stream)),
+      opts);
+}
+
+Status SaveCollection(const Collection& collection, const std::string& path) {
+  std::string bytes = SerializeCollection(collection);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Collection> LoadCollection(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeCollection(bytes);
+}
+
+}  // namespace pimento::index

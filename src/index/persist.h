@@ -1,0 +1,32 @@
+#ifndef PIMENTO_INDEX_PERSIST_H_
+#define PIMENTO_INDEX_PERSIST_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/index/collection.h"
+
+namespace pimento::index {
+
+/// Binary persistence for indexed collections, so a corpus is tokenized
+/// and indexed once and reopened instantly.
+///
+/// Format (little-endian, versioned):
+///   magic "PIMENTO1", tokenize options, vocabulary (term strings),
+///   token stream (term ids), document nodes in pre-order (kind, tag/text,
+///   child count, token span). Postings, tag/value indexes and structural
+///   intervals are rebuilt on load (cheap, no text processing).
+
+/// Serializes `collection` into a byte buffer.
+std::string SerializeCollection(const Collection& collection);
+
+/// Reconstructs a collection from SerializeCollection output.
+StatusOr<Collection> DeserializeCollection(std::string_view bytes);
+
+/// File convenience wrappers.
+Status SaveCollection(const Collection& collection, const std::string& path);
+StatusOr<Collection> LoadCollection(const std::string& path);
+
+}  // namespace pimento::index
+
+#endif  // PIMENTO_INDEX_PERSIST_H_

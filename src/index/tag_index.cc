@@ -1,0 +1,57 @@
+#include "src/index/tag_index.h"
+
+#include <algorithm>
+
+namespace pimento::index {
+
+void TagIndex::Build(const xml::Document& doc) {
+  by_tag_.clear();
+  for (xml::NodeId id = 0; id < static_cast<xml::NodeId>(doc.size()); ++id) {
+    const xml::Node& n = doc.node(id);
+    if (n.kind == xml::NodeKind::kElement) {
+      by_tag_[n.tag].push_back(id);
+    }
+  }
+  // Node ids are assigned in construction order which is document order for
+  // the parser and generators, but sort by begin to be safe.
+  for (auto& [tag, ids] : by_tag_) {
+    std::sort(ids.begin(), ids.end(),
+              [&doc](xml::NodeId a, xml::NodeId b) {
+                return doc.node(a).begin < doc.node(b).begin;
+              });
+  }
+}
+
+const std::vector<xml::NodeId>& TagIndex::Elements(
+    std::string_view tag) const {
+  static const std::vector<xml::NodeId> kEmpty;
+  auto it = by_tag_.find(std::string(tag));
+  return it == by_tag_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> TagIndex::Tags() const {
+  std::vector<std::string> out;
+  out.reserve(by_tag_.size());
+  for (const auto& [tag, ids] : by_tag_) out.push_back(tag);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<xml::NodeId> TagIndex::DescendantsWithTag(
+    const xml::Document& doc, xml::NodeId anc, std::string_view tag) const {
+  const std::vector<xml::NodeId>& all = Elements(tag);
+  const xml::Node& a = doc.node(anc);
+  auto lo = std::lower_bound(all.begin(), all.end(), a.begin,
+                             [&doc](xml::NodeId id, int32_t begin) {
+                               return doc.node(id).begin <= begin;
+                             });
+  std::vector<xml::NodeId> out;
+  for (auto it = lo; it != all.end(); ++it) {
+    const xml::Node& d = doc.node(*it);
+    if (d.begin >= a.end) break;
+    if (d.end <= a.end) out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace pimento::index

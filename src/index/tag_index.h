@@ -1,0 +1,44 @@
+#ifndef PIMENTO_INDEX_TAG_INDEX_H_
+#define PIMENTO_INDEX_TAG_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/xml/document.h"
+
+namespace pimento::index {
+
+/// Per-tag element lists in document order — the "index per distinct tag"
+/// of the paper's §6.4, backing pattern scans and indexed nested-loop
+/// structural joins.
+class TagIndex {
+ public:
+  TagIndex() = default;
+
+  /// Builds the index for `doc` (intervals must be finalized).
+  void Build(const xml::Document& doc);
+
+  /// Elements with `tag`, sorted by document order (begin).
+  const std::vector<xml::NodeId>& Elements(std::string_view tag) const;
+
+  /// Number of elements with `tag`.
+  size_t Count(std::string_view tag) const { return Elements(tag).size(); }
+
+  /// All distinct tags.
+  std::vector<std::string> Tags() const;
+
+  /// Descendants of `anc` with `tag`, via binary search on the doc-order
+  /// list (elements of the subtree are contiguous in it).
+  std::vector<xml::NodeId> DescendantsWithTag(const xml::Document& doc,
+                                              xml::NodeId anc,
+                                              std::string_view tag) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<xml::NodeId>> by_tag_;
+};
+
+}  // namespace pimento::index
+
+#endif  // PIMENTO_INDEX_TAG_INDEX_H_

@@ -1,0 +1,45 @@
+#include "src/index/value_index.h"
+
+#include "src/common/strings.h"
+
+namespace pimento::index {
+
+void ValueIndex::Build(const xml::Document& doc) {
+  numerics_.clear();
+  strings_.clear();
+  for (xml::NodeId id = 0; id < static_cast<xml::NodeId>(doc.size()); ++id) {
+    const xml::Node& n = doc.node(id);
+    if (n.kind != xml::NodeKind::kElement) continue;
+    bool simple = !n.children.empty();
+    std::string value;
+    for (xml::NodeId c : n.children) {
+      if (doc.node(c).kind != xml::NodeKind::kText) {
+        simple = false;
+        break;
+      }
+      value += doc.node(c).text;
+    }
+    if (!simple) continue;
+    std::string normalized =
+        AsciiToLower(StripWhitespace(value));
+    double num = 0;
+    if (ParseDouble(normalized, &num)) {
+      numerics_[id] = num;
+    }
+    strings_[id] = std::move(normalized);
+  }
+}
+
+std::optional<double> ValueIndex::Numeric(xml::NodeId id) const {
+  auto it = numerics_.find(id);
+  if (it == numerics_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> ValueIndex::String(xml::NodeId id) const {
+  auto it = strings_.find(id);
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace pimento::index

@@ -1,0 +1,40 @@
+#ifndef PIMENTO_INDEX_VALUE_INDEX_H_
+#define PIMENTO_INDEX_VALUE_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/xml/document.h"
+
+namespace pimento::xml {
+class Document;
+}
+
+namespace pimento::index {
+
+/// Typed values of "simple" elements (elements whose children are text
+/// only), used by constraint predicates (./price < 2000) and value-based
+/// ordering rules (x.color = red, x.mileage < y.mileage).
+class ValueIndex {
+ public:
+  ValueIndex() = default;
+
+  void Build(const xml::Document& doc);
+
+  /// Numeric value of a simple element, if its text parses as a number.
+  std::optional<double> Numeric(xml::NodeId id) const;
+
+  /// Normalized (trimmed, lower-cased) string value of a simple element.
+  std::optional<std::string> String(xml::NodeId id) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<xml::NodeId, double> numerics_;
+  std::unordered_map<xml::NodeId, std::string> strings_;
+};
+
+}  // namespace pimento::index
+
+#endif  // PIMENTO_INDEX_VALUE_INDEX_H_

@@ -1,0 +1,295 @@
+#include "src/plan/planner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/algebra/struct_join.h"
+
+namespace pimento::plan {
+
+namespace {
+
+using algebra::NavPath;
+using algebra::NavStep;
+
+/// Ancestor chain of `node` (inclusive), root last.
+std::vector<int> AncestorChain(const tpq::Tpq& q, int node) {
+  std::vector<int> chain;
+  for (int cur = node; cur >= 0; cur = q.node(cur).parent) {
+    chain.push_back(cur);
+  }
+  return chain;
+}
+
+/// True when `node` or an ancestor below the distinguished-node spine is
+/// marked optional (SR-encoded dropped subtree).
+bool EffectiveOptional(const tpq::Tpq& q, int node) {
+  for (int cur = node; cur >= 0; cur = q.node(cur).parent) {
+    if (q.node(cur).optional) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+algebra::NavPath NavPathTo(const tpq::Tpq& query, int target) {
+  NavPath path;
+  int d = query.distinguished();
+  if (target == d) return path;
+  std::vector<int> up = AncestorChain(query, d);
+  std::vector<int> down = AncestorChain(query, target);
+  // Lowest common ancestor: deepest node present in both chains.
+  int lca = query.root();
+  for (int cand : up) {
+    if (std::find(down.begin(), down.end(), cand) != down.end()) {
+      lca = cand;
+      break;
+    }
+  }
+  // Up-steps from the distinguished node to the LCA.
+  for (int cur = d; cur != lca; cur = query.node(cur).parent) {
+    NavStep step;
+    step.kind = query.node(cur).parent_edge == tpq::EdgeKind::kChild
+                    ? NavStep::Kind::kUpChild
+                    : NavStep::Kind::kUpDescendant;
+    step.tag = query.node(query.node(cur).parent).tag;
+    path.push_back(std::move(step));
+  }
+  // Down-steps from the LCA to the target.
+  std::vector<int> descent;
+  for (int cur = target; cur != lca; cur = query.node(cur).parent) {
+    descent.push_back(cur);
+  }
+  std::reverse(descent.begin(), descent.end());
+  for (int cur : descent) {
+    NavStep step;
+    step.kind = query.node(cur).parent_edge == tpq::EdgeKind::kChild
+                    ? NavStep::Kind::kDownChild
+                    : NavStep::Kind::kDownDescendant;
+    step.tag = query.node(cur).tag;
+    path.push_back(std::move(step));
+  }
+  return path;
+}
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kNaive:
+      return "NtpkP";
+    case Strategy::kInterleave:
+      return "NS-ILtpkP";
+    case Strategy::kInterleaveSorted:
+      return "S-ILtpkP";
+    case Strategy::kPush:
+      return "PtpkP";
+  }
+  return "?";
+}
+
+StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
+                                  const score::Scorer& scorer,
+                                  const tpq::Tpq& query,
+                                  const std::vector<profile::Vor>& vors,
+                                  const std::vector<profile::Kor>& kors,
+                                  const PlannerOptions& options) {
+  if (query.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  const std::string& dtag = query.node(query.distinguished()).tag;
+  if (dtag == "*") {
+    return Status::InvalidArgument(
+        "the distinguished node must carry a concrete tag");
+  }
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+
+  algebra::Plan plan;
+  algebra::RankContext* rank =
+      plan.MakeRankContext(vors, options.rank_order);
+  algebra::ExecContext ctx{&collection, &scorer};
+
+  std::vector<std::unique_ptr<algebra::Operator>> seq;
+  bool prefiltered = false;
+  if (options.use_structural_prefilter) {
+    std::vector<xml::NodeId> matches;
+    if (algebra::StructuralMatch(collection, query, &matches)) {
+      std::vector<algebra::Answer> answers;
+      answers.reserve(matches.size());
+      for (xml::NodeId node : matches) {
+        algebra::Answer a;
+        a.node = node;
+        a.vor.resize(vors.size());
+        answers.push_back(std::move(a));
+      }
+      seq.push_back(std::make_unique<algebra::MaterializedOp>(
+          std::move(answers), "structjoin(" + dtag + ")"));
+      prefiltered = true;
+    }
+  }
+  if (!prefiltered) {
+    seq.push_back(std::make_unique<algebra::ScanOp>(ctx, dtag, vors.size()));
+  }
+
+  // Decompose the pattern into per-predicate joins, grouped as
+  // (0) required non-scoring filters, (1) required scoring ftcontains
+  // joins, (2) optional SR-encoded predicates (outer joins).
+  std::vector<std::unique_ptr<algebra::Operator>> required_filters;
+  std::vector<std::unique_ptr<algebra::Operator>> required_scoring;
+  std::vector<std::unique_ptr<algebra::Operator>> optional_ops;
+  for (int n : query.PreOrder()) {
+    const tpq::QueryNode& qn = query.node(n);
+    NavPath nav = NavPathTo(query, n);
+    bool node_optional = EffectiveOptional(query, n);
+    bool any_required_pred = false;
+    for (const tpq::ValuePredicate& vp : qn.value_predicates) {
+      bool required = !vp.optional && !node_optional;
+      any_required_pred |= required;
+      if (required && prefiltered) continue;  // enforced by the struct join
+      auto op = std::make_unique<algebra::ValuePredOp>(
+          ctx, nav, vp, required, options.optional_bonus * vp.boost);
+      (required ? required_filters : optional_ops).push_back(std::move(op));
+    }
+    for (const tpq::KeywordPredicate& kp : qn.keyword_predicates) {
+      bool required = !kp.optional && !node_optional;
+      auto op = std::make_unique<algebra::FtContainsOp>(
+          ctx, nav, collection.MakePhrase(kp.keyword, kp.window), required,
+          kp.boost);
+      (required ? required_scoring : optional_ops).push_back(std::move(op));
+      any_required_pred |= required;
+    }
+    if (n == query.distinguished() || any_required_pred) continue;
+    if (!node_optional) {
+      if (!prefiltered) {
+        required_filters.push_back(std::make_unique<algebra::ExistsOp>(
+            ctx, nav, /*required=*/true, 0.0));
+      }
+    } else if (qn.value_predicates.empty() && qn.keyword_predicates.empty()) {
+      optional_ops.push_back(std::make_unique<algebra::ExistsOp>(
+          ctx, nav, /*required=*/false, options.optional_bonus));
+    }
+  }
+  for (auto& op : required_filters) seq.push_back(std::move(op));
+  for (auto& op : required_scoring) seq.push_back(std::move(op));
+  for (auto& op : optional_ops) seq.push_back(std::move(op));
+
+  // vor operators annotate V before any V-aware pruning.
+  for (size_t i = 0; i < vors.size(); ++i) {
+    seq.push_back(std::make_unique<algebra::VorOp>(ctx, vors[i], i));
+  }
+
+  // Applicable KORs, in the configured order.
+  std::vector<const profile::Kor*> applicable_kors;
+  for (const profile::Kor& kor : kors) {
+    if (kor.tag.empty() || kor.tag == dtag) applicable_kors.push_back(&kor);
+  }
+  if (options.kor_order != KorOrder::kAsGiven) {
+    std::stable_sort(applicable_kors.begin(), applicable_kors.end(),
+                     [&](const profile::Kor* a, const profile::Kor* b) {
+                       double sa = a->weight * scorer.MaxScore(
+                                                   collection.MakePhrase(
+                                                       a->keyword));
+                       double sb = b->weight * scorer.MaxScore(
+                                                   collection.MakePhrase(
+                                                       b->keyword));
+                       return options.kor_order ==
+                                      KorOrder::kHighestScoreFirst
+                                  ? sa > sb
+                                  : sa < sb;
+                     });
+  }
+
+  // Early (intermediate) pruning for both OR-aware orders; the S order
+  // uses plain Algorithm 1.
+  const bool early = options.rank_order != profile::RankOrder::kS ||
+                     applicable_kors.empty();
+  algebra::PruneAlg alg = algebra::PruneAlg::kAlg1;
+  if (options.rank_order == profile::RankOrder::kKVS) {
+    alg = !applicable_kors.empty() ? algebra::PruneAlg::kAlg3
+          : !vors.empty()          ? algebra::PruneAlg::kAlg2
+                                   : algebra::PruneAlg::kAlg1;
+  } else if (options.rank_order == profile::RankOrder::kVKS) {
+    alg = !vors.empty() || !applicable_kors.empty()
+              ? algebra::PruneAlg::kAlgVks
+              : algebra::PruneAlg::kAlg1;
+  }
+  std::vector<size_t> prune_indices;  // non-final topkPrune positions in seq
+
+  auto add_prune = [&](bool sorted_input) {
+    algebra::TopkPruneOptions po;
+    po.k = options.k;
+    po.alg = alg;
+    po.vor_mode = options.vor_mode;
+    po.sorted_input = sorted_input;
+    prune_indices.push_back(seq.size());
+    seq.push_back(std::make_unique<algebra::TopkPruneOp>(rank, po));
+  };
+  auto add_kor = [&](const profile::Kor& kor) {
+    seq.push_back(std::make_unique<algebra::KorOp>(
+        ctx, kor, collection.MakePhrase(kor.keyword)));
+  };
+  auto add_sort = [&]() {
+    seq.push_back(std::make_unique<algebra::SortOp>(
+        rank, algebra::SortOp::Param::kByRank));
+  };
+
+  switch (early ? options.strategy : Strategy::kNaive) {
+    case Strategy::kNaive:
+      for (const profile::Kor* kor : applicable_kors) add_kor(*kor);
+      break;
+    case Strategy::kInterleave:
+      for (const profile::Kor* kor : applicable_kors) {
+        add_kor(*kor);
+        add_prune(/*sorted_input=*/false);
+      }
+      break;
+    case Strategy::kInterleaveSorted:
+      for (const profile::Kor* kor : applicable_kors) {
+        add_kor(*kor);
+        add_sort();
+        add_prune(/*sorted_input=*/true);
+      }
+      break;
+    case Strategy::kPush:
+      // topkPrune pushed all the way down: one right after the base query
+      // (and vor) operators, one before each further kor, and one after the
+      // last kor where the kor-scorebound reaches zero and the full
+      // Algorithm 3 (final-K comparisons) applies.
+      for (const profile::Kor* kor : applicable_kors) {
+        add_prune(/*sorted_input=*/false);
+        add_kor(*kor);
+      }
+      add_prune(/*sorted_input=*/false);
+      break;
+  }
+
+  // Terminal ranking: parametric sort + final cut.
+  add_sort();
+  {
+    algebra::TopkPruneOptions po;
+    po.k = options.k;
+    po.alg = alg;
+    po.vor_mode = options.vor_mode;
+    po.sorted_input = true;
+    po.final_cut = true;
+    seq.push_back(std::make_unique<algebra::TopkPruneOp>(rank, po));
+  }
+
+  // Score bounds: suffix sums of the downstream operators' maximum
+  // contributions (the paper's query-scorebound / kor-scorebound).
+  for (size_t prune_idx : prune_indices) {
+    double qsb = 0.0;
+    double ksb = 0.0;
+    for (size_t j = prune_idx + 1; j < seq.size(); ++j) {
+      qsb += seq[j]->MaxSContribution();
+      ksb += seq[j]->MaxKContribution();
+    }
+    static_cast<algebra::TopkPruneOp*>(seq[prune_idx].get())
+        ->set_bounds(qsb, ksb);
+  }
+
+  for (auto& op : seq) plan.Add(std::move(op));
+  return plan;
+}
+
+}  // namespace pimento::plan

@@ -1,0 +1,83 @@
+#ifndef PIMENTO_PLAN_PLANNER_H_
+#define PIMENTO_PLAN_PLANNER_H_
+
+#include <vector>
+
+#include "src/algebra/plan.h"
+#include "src/algebra/topk_prune.h"
+#include "src/common/status.h"
+#include "src/index/collection.h"
+#include "src/profile/profile.h"
+#include "src/score/scorer.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::plan {
+
+/// topkPrune placement strategies, the plans compared in the paper's §7.2.
+enum class Strategy : uint8_t {
+  kNaive,             ///< NtpkP: one topkPrune at the very end
+  kInterleave,        ///< NS-ILtpkP: topkPrune after each kor, no sorting
+  kInterleaveSorted,  ///< S-ILtpkP: sort + topkPrune after each kor
+  kPush,              ///< PtpkP: topkPrune pushed down, before each kor
+};
+
+const char* StrategyName(Strategy s);
+
+/// In what order the planner applies the profile's KORs (the §7.2 closing
+/// observation: "applying the KOR which contributes the highest score first
+/// is beneficial as it increases the pruning threshold").
+enum class KorOrder : uint8_t {
+  kAsGiven,
+  kHighestScoreFirst,
+  kLowestScoreFirst,
+};
+
+struct PlannerOptions {
+  int k = 10;
+  Strategy strategy = Strategy::kPush;
+  profile::RankOrder rank_order = profile::RankOrder::kKVS;
+  algebra::VorCompareMode vor_mode = algebra::VorCompareMode::kLinearized;
+  KorOrder kor_order = KorOrder::kHighestScoreFirst;
+
+  /// S bonus granted when an SR-derived optional structural/value predicate
+  /// is satisfied (optional keyword predicates score through the scorer).
+  double optional_bonus = 0.5;
+
+  /// Replace the tag scan + per-answer structural/value filters with a
+  /// sort-merge structural join over the tag indexes (struct_join.h). Falls
+  /// back to the plain scan when the pattern cannot be pre-filtered.
+  bool use_structural_prefilter = false;
+};
+
+/// Compiles the (flock-encoded) query plus the profile's ordering rules into
+/// an executable operator pipeline:
+///
+///   scan(distinguished tag)
+///   -> required structural/value filters          (non-scoring joins)
+///   -> required ftcontains joins                  (S contributors)
+///   -> optional SR-encoded predicates             (outer joins, S boosts)
+///   -> vor operators                              (V annotations)
+///   -> [topkPrune placements by strategy] kor ops (K contributors)
+///   -> sort(rank order) -> topkPrune(final)
+///
+/// Every topkPrune receives the query-scorebound / kor-scorebound suffix
+/// sums of the operators downstream of it.
+///
+/// OR-aware intermediate pruning is generated for both the K,V,S order
+/// (the paper's Algorithm 3) and the V,K,S order (its V-first variant);
+/// the S order uses plain Algorithm 1 pruning.
+StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
+                                  const score::Scorer& scorer,
+                                  const tpq::Tpq& query,
+                                  const std::vector<profile::Vor>& vors,
+                                  const std::vector<profile::Kor>& kors,
+                                  const PlannerOptions& options);
+
+/// The navigation path from the distinguished node of `query` to pattern
+/// node `target` (up to their lowest common ancestor, then down). Exposed
+/// for tests.
+algebra::NavPath NavPathTo(const tpq::Tpq& query, int target);
+
+}  // namespace pimento::plan
+
+#endif  // PIMENTO_PLAN_PLANNER_H_

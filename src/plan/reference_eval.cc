@@ -1,0 +1,230 @@
+#include "src/plan/reference_eval.h"
+
+#include <algorithm>
+
+namespace pimento::plan {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+/// All element descendants of `from` with `tag` ("*" = any), via a plain
+/// tree walk (independent of the TagIndex-based operator navigation).
+void CollectDescendants(const Document& doc, NodeId from,
+                        const std::string& tag, bool child_only,
+                        std::vector<NodeId>* out) {
+  for (NodeId c : doc.node(from).children) {
+    if (doc.node(c).kind != xml::NodeKind::kElement) continue;
+    if (tag == "*" || doc.node(c).tag == tag) out->push_back(c);
+    if (!child_only) CollectDescendants(doc, c, tag, false, out);
+  }
+}
+
+/// Witness sets for every pattern node, relative to a fixed binding of the
+/// distinguished node. Walks the pattern from the distinguished node:
+/// upwards along its ancestor chain, then downwards into the branches.
+class WitnessFinder {
+ public:
+  WitnessFinder(const Document& doc, const tpq::Tpq& query, NodeId candidate)
+      : doc_(doc), query_(query) {
+    witnesses_.assign(query.size(), {});
+    witnesses_[query.distinguished()] = {candidate};
+    // The spine: distinguished node up to the pattern root.
+    std::vector<int> spine;
+    for (int cur = query.distinguished(); cur >= 0;
+         cur = query.node(cur).parent) {
+      spine.push_back(cur);
+    }
+    // Fill ancestors bottom-up.
+    for (size_t i = 1; i < spine.size(); ++i) {
+      int pattern_node = spine[i];
+      int below = spine[i - 1];
+      bool child_edge =
+          query.node(below).parent_edge == tpq::EdgeKind::kChild;
+      std::vector<NodeId> up;
+      for (NodeId w : witnesses_[below]) {
+        if (child_edge) {
+          NodeId p = doc.node(w).parent;
+          if (p != xml::kInvalidNode &&
+              TagOk(query.node(pattern_node).tag, p)) {
+            up.push_back(p);
+          }
+        } else {
+          for (NodeId p = doc.node(w).parent; p != xml::kInvalidNode;
+               p = doc.node(p).parent) {
+            if (TagOk(query.node(pattern_node).tag, p)) up.push_back(p);
+          }
+        }
+      }
+      Dedup(&up);
+      witnesses_[pattern_node] = std::move(up);
+    }
+    // Fill branches top-down from every spine node.
+    on_spine_.assign(query.size(), false);
+    for (int s : spine) on_spine_[s] = true;
+    for (int s : spine) FillBranches(s);
+  }
+
+  const std::vector<NodeId>& Of(int pattern_node) const {
+    return witnesses_[pattern_node];
+  }
+
+ private:
+  bool TagOk(const std::string& tag, NodeId node) const {
+    return tag == "*" || doc_.node(node).tag == tag;
+  }
+
+  static void Dedup(std::vector<NodeId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  }
+
+  void FillBranches(int pattern_node) {
+    for (int child : query_.node(pattern_node).children) {
+      if (on_spine_[child]) continue;
+      bool child_edge =
+          query_.node(child).parent_edge == tpq::EdgeKind::kChild;
+      std::vector<NodeId> found;
+      for (NodeId w : witnesses_[pattern_node]) {
+        CollectDescendants(doc_, w, query_.node(child).tag, child_edge,
+                           &found);
+      }
+      Dedup(&found);
+      witnesses_[child] = std::move(found);
+      FillBranches(child);
+    }
+  }
+
+  const Document& doc_;
+  const tpq::Tpq& query_;
+  std::vector<std::vector<NodeId>> witnesses_;
+  std::vector<bool> on_spine_;
+};
+
+bool EffectiveOptional(const tpq::Tpq& q, int node) {
+  for (int cur = node; cur >= 0; cur = q.node(cur).parent) {
+    if (q.node(cur).optional) return true;
+  }
+  return false;
+}
+
+bool ValueHolds(const index::Collection& collection,
+                const tpq::ValuePredicate& vp, NodeId node) {
+  if (vp.numeric) {
+    auto v = collection.values().Numeric(node);
+    return v.has_value() && tpq::EvalRelOp(*v, vp.op, vp.number);
+  }
+  auto v = collection.values().String(node);
+  return v.has_value() && tpq::EvalRelOpStr(*v, vp.op, vp.text);
+}
+
+}  // namespace
+
+std::vector<algebra::Answer> ReferenceEvaluate(
+    const index::Collection& collection, const score::Scorer& scorer,
+    const tpq::Tpq& query, const profile::UserProfile& profile, int k,
+    double optional_bonus) {
+  std::vector<algebra::Answer> accepted;
+  if (query.empty()) return accepted;
+  const Document& doc = collection.doc();
+  const std::string& dtag = query.node(query.distinguished()).tag;
+
+  for (NodeId candidate : collection.tags().Elements(dtag)) {
+    WitnessFinder witnesses(doc, query, candidate);
+    algebra::Answer answer;
+    answer.node = candidate;
+    bool ok = true;
+
+    for (int n : query.PreOrder()) {
+      const tpq::QueryNode& qn = query.node(n);
+      const std::vector<NodeId>& w = witnesses.Of(n);
+      bool node_optional = EffectiveOptional(query, n);
+      bool any_required_pred = false;
+
+      for (const tpq::ValuePredicate& vp : qn.value_predicates) {
+        bool required = !vp.optional && !node_optional;
+        bool sat = false;
+        for (NodeId node : w) {
+          if (ValueHolds(collection, vp, node)) {
+            sat = true;
+            break;
+          }
+        }
+        if (required) {
+          any_required_pred = true;
+          if (!sat) {
+            ok = false;
+            break;
+          }
+        } else if (sat) {
+          answer.s += optional_bonus * vp.boost;
+        }
+      }
+      if (!ok) break;
+
+      for (const tpq::KeywordPredicate& kp : qn.keyword_predicates) {
+        bool required = !kp.optional && !node_optional;
+        index::Phrase phrase = collection.MakePhrase(kp.keyword, kp.window);
+        double best = 0;
+        for (NodeId node : w) {
+          best = std::max(best, scorer.Score(node, phrase));
+        }
+        if (required) {
+          any_required_pred = true;
+          if (best <= 0) {
+            ok = false;
+            break;
+          }
+        }
+        answer.s += kp.boost * best;
+      }
+      if (!ok) break;
+
+      if (n == query.distinguished() || any_required_pred) continue;
+      if (!node_optional) {
+        if (w.empty()) {
+          ok = false;
+          break;
+        }
+      } else if (qn.value_predicates.empty() &&
+                 qn.keyword_predicates.empty() && !w.empty()) {
+        answer.s += optional_bonus;
+      }
+    }
+    if (!ok) continue;
+
+    // VOR annotations and KOR scores.
+    answer.vor.resize(profile.vors.size());
+    for (size_t i = 0; i < profile.vors.size(); ++i) {
+      const profile::Vor& rule = profile.vors[i];
+      profile::VorValue& value = answer.vor[i];
+      value.applicable =
+          rule.tag.empty() || doc.node(candidate).tag == rule.tag;
+      if (value.applicable && !rule.attr.empty()) {
+        value.str = collection.AttrString(candidate, rule.attr);
+        value.num = collection.AttrNumeric(candidate, rule.attr);
+      }
+      if (value.applicable && !rule.group_attr.empty()) {
+        value.group = collection.AttrString(candidate, rule.group_attr);
+      }
+    }
+    for (const profile::Kor& kor : profile.kors) {
+      if (!kor.tag.empty() && doc.node(candidate).tag != kor.tag) continue;
+      answer.k +=
+          kor.weight * scorer.Score(candidate, collection.MakePhrase(
+                                                   kor.keyword));
+    }
+    accepted.push_back(std::move(answer));
+  }
+
+  algebra::RankContext rank(profile.vors, profile.rank_order);
+  std::sort(accepted.begin(), accepted.end(),
+            [&rank](const algebra::Answer& a, const algebra::Answer& b) {
+              return rank.RankedBefore(a, b);
+            });
+  if (static_cast<int>(accepted.size()) > k) accepted.resize(k);
+  return accepted;
+}
+
+}  // namespace pimento::plan

@@ -1,0 +1,35 @@
+#ifndef PIMENTO_PLAN_REFERENCE_EVAL_H_
+#define PIMENTO_PLAN_REFERENCE_EVAL_H_
+
+#include <vector>
+
+#include "src/algebra/answer.h"
+#include "src/index/collection.h"
+#include "src/profile/profile.h"
+#include "src/score/scorer.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::plan {
+
+/// A deliberately simple, plan-free evaluator of the personalized query
+/// semantics, used as the oracle in differential tests: for every element
+/// with the distinguished tag it directly
+///   * checks each required predicate (per-predicate existential witness,
+///     the same decomposition the plans use),
+///   * accumulates S from required/optional keyword predicates and
+///     optional value/structural bonuses,
+///   * annotates VOR values and accumulates K from applicable KORs,
+/// then ranks everything with RankContext::RankedBefore and returns the
+/// top `k` answers.
+///
+/// It shares only the Collection/Scorer substrate with the operator plans —
+/// navigation, filtering, score accumulation and ranking are reimplemented
+/// with plain document walks.
+std::vector<algebra::Answer> ReferenceEvaluate(
+    const index::Collection& collection, const score::Scorer& scorer,
+    const tpq::Tpq& query, const profile::UserProfile& profile, int k,
+    double optional_bonus = 0.5);
+
+}  // namespace pimento::plan
+
+#endif  // PIMENTO_PLAN_REFERENCE_EVAL_H_

@@ -1,0 +1,210 @@
+#include "src/profile/ambiguity.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "src/profile/constraints.h"
+
+namespace pimento::profile {
+
+namespace {
+
+/// Kosaraju SCC (graphs here are tiny).
+std::vector<int> SccIds(const std::vector<std::vector<int>>& adj) {
+  int n = static_cast<int>(adj.size());
+  std::vector<std::vector<int>> radj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : adj[u]) radj[v].push_back(u);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<int> order;
+  std::function<void(int)> dfs1 = [&](int u) {
+    seen[u] = true;
+    for (int v : adj[u]) {
+      if (!seen[v]) dfs1(v);
+    }
+    order.push_back(u);
+  };
+  for (int u = 0; u < n; ++u) {
+    if (!seen[u]) dfs1(u);
+  }
+  std::vector<int> comp(n, -1);
+  int ncomp = 0;
+  std::function<void(int, int)> dfs2 = [&](int u, int c) {
+    comp[u] = c;
+    for (int v : radj[u]) {
+      if (comp[v] < 0) dfs2(v, c);
+    }
+  };
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (comp[*it] < 0) dfs2(*it, ncomp++);
+  }
+  return comp;
+}
+
+/// Satisfiability of the comparison constraints around one alternating
+/// cycle (rules[cycle[0]], rules[cycle[1]], ... back to the start): rule
+/// cycle[i] relates element e_i (its preferred x) to element e_{i+1} (its
+/// y). Strict per-attribute comparisons must not close a directed cycle —
+/// otherwise no database instance realizes the witness (e.g. two duplicate
+/// "prefer lower mileage" rules require e1.m < e2.m < e1.m).
+///
+/// This refines the paper's Lemma 5.1, whose constraint graph checks only
+/// local* compatibility of variables.
+bool CycleFeasible(const std::vector<Vor>& rules,
+                   const std::vector<int>& cycle) {
+  const int k = static_cast<int>(cycle.size());
+  // Per attribute, collect directed "strictly less than" edges between
+  // element indices 0..k-1 (element i+1 mod k plays y for rule cycle[i]).
+  std::set<std::string> attrs;
+  for (int r : cycle) {
+    const Vor& rule = rules[r];
+    if (rule.kind == VorKind::kCompare ||
+        rule.kind == VorKind::kCompareSameGroup ||
+        rule.kind == VorKind::kPrefRel) {
+      attrs.insert(rule.attr);
+    }
+  }
+  for (const std::string& attr : attrs) {
+    std::vector<std::vector<int>> lt(k);  // lt[u] -> v means val(u) < val(v)
+    for (int i = 0; i < k; ++i) {
+      const Vor& rule = rules[cycle[i]];
+      int x = i;
+      int y = (i + 1) % k;
+      if (rule.attr != attr) continue;
+      switch (rule.kind) {
+        case VorKind::kCompare:
+        case VorKind::kCompareSameGroup:
+          if (rule.smaller_preferred) {
+            lt[x].push_back(y);
+          } else {
+            lt[y].push_back(x);
+          }
+          break;
+        case VorKind::kPrefRel:
+          // x's value strictly dominates y's in a finite strict order:
+          // model as y < x to forbid circular domination.
+          lt[y].push_back(x);
+          break;
+        case VorKind::kEqConst:
+          break;  // local constraints, already checked via compatibility
+      }
+    }
+    // Directed cycle in lt ⇒ the constraints are unsatisfiable.
+    std::vector<int> color(k, 0);
+    std::function<bool(int)> has_cycle = [&](int u) -> bool {
+      color[u] = 1;
+      for (int v : lt[u]) {
+        if (color[v] == 1) return true;
+        if (color[v] == 0 && has_cycle(v)) return true;
+      }
+      color[u] = 2;
+      return false;
+    };
+    for (int u = 0; u < k; ++u) {
+      if (color[u] == 0 && has_cycle(u)) return false;
+    }
+  }
+  return true;
+}
+
+/// Enumerates simple directed cycles of `adj` (bounded), returning the
+/// first one accepted by `feasible`.
+std::vector<int> FindFeasibleCycle(
+    const std::vector<std::vector<int>>& adj,
+    const std::function<bool(const std::vector<int>&)>& feasible) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> path;
+  std::vector<bool> on_path(n, false);
+  std::vector<int> found;
+  int budget = 20000;  // exploration cap; rule sets are small in practice
+  std::function<bool(int, int)> dfs = [&](int start, int u) -> bool {
+    if (--budget < 0) return false;
+    path.push_back(u);
+    on_path[u] = true;
+    for (int v : adj[u]) {
+      if (v == start) {
+        if (feasible(path)) {
+          found = path;
+          on_path[u] = false;
+          path.pop_back();
+          return true;
+        }
+      } else if (!on_path[v] && v > start) {
+        // Only visit nodes > start so each cycle is enumerated once (from
+        // its smallest node).
+        if (dfs(start, v)) {
+          on_path[u] = false;
+          path.pop_back();
+          return true;
+        }
+      }
+    }
+    on_path[u] = false;
+    path.pop_back();
+    return false;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (dfs(start, start)) break;
+  }
+  return found;
+}
+
+}  // namespace
+
+AmbiguityReport DetectAmbiguity(const std::vector<Vor>& rules) {
+  AmbiguityReport report;
+  const int n = static_cast<int>(rules.size());
+  std::vector<VorVars> vars;
+  vars.reserve(rules.size());
+  for (const Vor& r : rules) vars.push_back(DeriveVarConstraints(r));
+
+  // Composed "rule graph": arc i → j iff rules i and j differ and y_i (the
+  // dominated variable of rule i) is compatible with x_j (the preferred
+  // variable of rule j). An alternating cycle of the paper's constraint
+  // graph corresponds exactly to a directed cycle here.
+  std::vector<std::vector<int>> adj(rules.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (Compatible(vars[i].other, vars[j].preferred)) {
+        adj[i].push_back(j);
+        report.compatible_rule_pairs.emplace_back(i, j);
+      }
+    }
+  }
+
+  std::vector<int> cycle = FindFeasibleCycle(adj, [&](const std::vector<int>& c) {
+    return CycleFeasible(rules, c);
+  });
+  if (cycle.empty()) return report;  // unambiguous
+
+  report.ambiguous = true;
+  report.cycle_rules = cycle;
+  report.explanation = "alternating cycle:";
+  for (int r : cycle) {
+    report.explanation += " [" + rules[r].name + "]";
+  }
+
+  // Priorities resolve the ambiguity iff within every non-trivial SCC all
+  // rules carry pairwise-distinct priorities.
+  std::vector<int> comp = SccIds(adj);
+  int ncomp = 0;
+  for (int c : comp) ncomp = std::max(ncomp, c + 1);
+  std::vector<std::vector<int>> members(ncomp);
+  for (int u = 0; u < n; ++u) members[comp[u]].push_back(u);
+  report.resolved_by_priorities = true;
+  for (const auto& group : members) {
+    if (group.size() < 2) continue;
+    std::set<int> prios;
+    for (int u : group) prios.insert(rules[u].priority);
+    if (prios.size() != group.size()) {
+      report.resolved_by_priorities = false;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace pimento::profile

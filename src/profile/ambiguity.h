@@ -1,0 +1,41 @@
+#ifndef PIMENTO_PROFILE_AMBIGUITY_H_
+#define PIMENTO_PROFILE_AMBIGUITY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/profile/ordering_rule.h"
+
+namespace pimento::profile {
+
+/// Result of the §5.2 / Lemma 5.1 ambiguity analysis of a VOR set.
+struct AmbiguityReport {
+  bool ambiguous = false;
+
+  /// True when the set is ambiguous but every pair of rules involved in an
+  /// alternating cycle carries distinct priorities, so the
+  /// priority-lexicographic order resolves the ambiguity (the paper's
+  /// resolution mechanism).
+  bool resolved_by_priorities = false;
+
+  /// One witness alternating cycle, as rule indices in traversal order.
+  std::vector<int> cycle_rules;
+
+  /// Human-readable rendering of the witness cycle.
+  std::string explanation;
+
+  /// All unordered pairs of rule indices connected by a compatible-variable
+  /// (=) edge, for diagnostics.
+  std::vector<std::pair<int, int>> compatible_rule_pairs;
+};
+
+/// Builds the constraint graph of the VOR set (one x/y variable pair per
+/// rule; a ≺-arc per rule head; an =-edge per compatible variable pair
+/// across different rules) and searches for an alternating cycle
+/// (≺,=,≺,=,...). Per Lemma 5.1 the set is ambiguous iff such a cycle
+/// exists.
+AmbiguityReport DetectAmbiguity(const std::vector<Vor>& rules);
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_AMBIGUITY_H_

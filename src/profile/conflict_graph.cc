@@ -1,0 +1,106 @@
+#include "src/profile/conflict_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace pimento::profile {
+
+ConflictReport AnalyzeConflicts(const std::vector<ScopingRule>& rules,
+                                const tpq::Tpq& query) {
+  ConflictReport report;
+  for (int i = 0; i < static_cast<int>(rules.size()); ++i) {
+    if (IsApplicable(rules[i], query)) report.applicable.push_back(i);
+  }
+  // Conflict arcs among applicable rules: i conflicts with j iff j is not
+  // applicable to i(Q).
+  for (int i : report.applicable) {
+    tpq::Tpq after_i = ApplyRule(rules[i], query);
+    for (int j : report.applicable) {
+      if (i == j) continue;
+      if (!IsApplicable(rules[j], after_i)) {
+        report.conflicts.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Kahn's algorithm over arcs (i → j means "i kills j", so j must be
+  // applied before i): in-degree counts arcs *into* the later rule.
+  const int n = static_cast<int>(rules.size());
+  std::vector<std::vector<int>> succ(n);   // j → i for arc (i, j)
+  std::vector<int> indegree(n, 0);
+  std::vector<bool> in_play(n, false);
+  for (int i : report.applicable) in_play[i] = true;
+  for (const auto& [i, j] : report.conflicts) {
+    succ[j].push_back(i);
+    ++indegree[i];
+  }
+
+  auto by_priority = [&](int a, int b) {
+    if (rules[a].priority != rules[b].priority) {
+      return rules[a].priority < rules[b].priority;
+    }
+    return a < b;
+  };
+
+  std::set<int, decltype(by_priority)> ready(by_priority);
+  for (int i : report.applicable) {
+    if (indegree[i] == 0) ready.insert(i);
+  }
+  std::vector<int> topo;
+  while (!ready.empty()) {
+    int u = *ready.begin();
+    ready.erase(ready.begin());
+    topo.push_back(u);
+    for (int v : succ[u]) {
+      if (!in_play[v]) continue;
+      if (--indegree[v] == 0) ready.insert(v);
+    }
+  }
+  report.acyclic = topo.size() == report.applicable.size();
+  if (report.acyclic) {
+    report.order = std::move(topo);
+    report.ordered = true;
+    return report;
+  }
+
+  // Cyclic: the user-assigned priorities must break the cycles — every
+  // rule left with nonzero in-degree (i.e. on a cycle) must carry a
+  // priority distinct from the other cycle members'.
+  std::vector<int> cyclic;
+  for (int i : report.applicable) {
+    if (std::find(topo.begin(), topo.end(), i) == topo.end()) {
+      cyclic.push_back(i);
+    }
+  }
+  std::set<int> prios;
+  for (int i : cyclic) prios.insert(rules[i].priority);
+  if (prios.size() != cyclic.size()) {
+    report.ordered = false;
+    return report;
+  }
+  report.order = report.applicable;
+  std::sort(report.order.begin(), report.order.end(), by_priority);
+  report.ordered = true;
+  return report;
+}
+
+std::string ConflictReport::ToString(
+    const std::vector<ScopingRule>& rules) const {
+  std::string out = "applicable:";
+  for (int i : applicable) out += " " + rules[i].name;
+  out += "\nconflicts:";
+  for (const auto& [i, j] : conflicts) {
+    out += " (" + rules[i].name + " kills " + rules[j].name + ")";
+  }
+  out += acyclic ? "\nacyclic" : "\ncyclic";
+  if (ordered) {
+    out += "\norder:";
+    for (int i : order) out += " " + rules[i].name;
+  } else {
+    out += "\nunordered: cycle without distinct priorities";
+  }
+  return out;
+}
+
+}  // namespace pimento::profile

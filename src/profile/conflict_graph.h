@@ -1,0 +1,46 @@
+#ifndef PIMENTO_PROFILE_CONFLICT_GRAPH_H_
+#define PIMENTO_PROFILE_CONFLICT_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/profile/scoping_rule.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::profile {
+
+/// Result of the §5.1 scoping-rule conflict analysis against one query.
+struct ConflictReport {
+  /// Indices (into the analyzed rule list) of rules applicable to Q.
+  std::vector<int> applicable;
+
+  /// Conflict arcs (i, j): rule i conflicts with rule j w.r.t. Q, i.e. both
+  /// are applicable to Q but j is no longer applicable to i(Q).
+  std::vector<std::pair<int, int>> conflicts;
+
+  /// True when the conflict graph restricted to applicable rules is acyclic.
+  bool acyclic = true;
+
+  /// The rule-application order: the topological order of the conflict
+  /// graph when acyclic, otherwise the user-assigned priority order (only
+  /// set when priorities break every cycle).
+  std::vector<int> order;
+
+  /// True when `order` is valid (acyclic, or cycles broken by priorities).
+  bool ordered = true;
+
+  std::string ToString(const std::vector<ScopingRule>& rules) const;
+};
+
+/// Builds the conflict graph of `rules` w.r.t. `query`, detects cycles, and
+/// derives the application order. Cycles are broken by rule priorities when
+/// the cycle's members carry pairwise-distinct priorities; otherwise
+/// `ordered` is false and enforcement should fail with kConflict.
+ConflictReport AnalyzeConflicts(const std::vector<ScopingRule>& rules,
+                                const tpq::Tpq& query);
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_CONFLICT_GRAPH_H_

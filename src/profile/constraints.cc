@@ -1,0 +1,116 @@
+#include "src/profile/constraints.h"
+
+#include <algorithm>
+
+namespace pimento::profile {
+
+bool AttrConstraint::Merge(const AttrConstraint& other) {
+  if (other.eq_str.has_value()) {
+    if (eq_str.has_value() && *eq_str != *other.eq_str) return false;
+    eq_str = other.eq_str;
+  }
+  ne_str.insert(other.ne_str.begin(), other.ne_str.end());
+  if (other.in_set.has_value()) {
+    if (in_set.has_value()) {
+      std::set<std::string> inter;
+      std::set_intersection(in_set->begin(), in_set->end(),
+                            other.in_set->begin(), other.in_set->end(),
+                            std::inserter(inter, inter.begin()));
+      in_set = std::move(inter);
+    } else {
+      in_set = other.in_set;
+    }
+  }
+  if (other.lo > lo || (other.lo == lo && other.lo_strict)) {
+    lo = other.lo;
+    lo_strict = other.lo_strict || (lo == other.lo && lo_strict);
+  }
+  if (other.hi < hi || (other.hi == hi && other.hi_strict)) {
+    hi = other.hi;
+    hi_strict = other.hi_strict || (hi == other.hi && hi_strict);
+  }
+  must_exist = must_exist || other.must_exist;
+  return Satisfiable();
+}
+
+bool AttrConstraint::Satisfiable() const {
+  if (eq_str.has_value()) {
+    if (ne_str.count(*eq_str) > 0) return false;
+    if (in_set.has_value() && in_set->count(*eq_str) == 0) return false;
+  }
+  if (in_set.has_value()) {
+    // Some member of in_set must remain after removing ne_str.
+    bool any = false;
+    for (const std::string& v : *in_set) {
+      if (ne_str.count(v) == 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  if (lo > hi) return false;
+  if (lo == hi && (lo_strict || hi_strict)) return false;
+  return true;
+}
+
+VorVars DeriveVarConstraints(const Vor& rule) {
+  VorVars out;
+  if (!rule.tag.empty()) {
+    out.preferred.tag = rule.tag;
+    out.other.tag = rule.tag;
+  }
+  switch (rule.kind) {
+    case VorKind::kEqConst: {
+      AttrConstraint& x = out.preferred.attrs[rule.attr];
+      x.eq_str = rule.const_value;
+      AttrConstraint& y = out.other.attrs[rule.attr];
+      y.ne_str.insert(rule.const_value);
+      break;
+    }
+    case VorKind::kCompareSameGroup: {
+      out.preferred.attrs[rule.group_attr].must_exist = true;
+      out.other.attrs[rule.group_attr].must_exist = true;
+      [[fallthrough]];
+    }
+    case VorKind::kCompare: {
+      // comp(x,y) = x.attr relOp y.attr contributes no constant bounds to
+      // local*; both sides merely need the attribute.
+      out.preferred.attrs[rule.attr].must_exist = true;
+      out.other.attrs[rule.attr].must_exist = true;
+      break;
+    }
+    case VorKind::kPrefRel: {
+      // x.attr must lie in the "has something worse" upper set, y.attr in
+      // the "has something better" lower set of the domain order.
+      std::set<std::string> upper;
+      std::set<std::string> lower;
+      for (const auto& [better, worse] : rule.pref_edges) {
+        upper.insert(better);
+        lower.insert(worse);
+      }
+      // Transitive members: anything reachable downward is in lower;
+      // anything that reaches something is in upper; with edge lists this
+      // is already covered since closure adds no new endpoint labels.
+      out.preferred.attrs[rule.attr].in_set = std::move(upper);
+      out.other.attrs[rule.attr].in_set = std::move(lower);
+      break;
+    }
+  }
+  return out;
+}
+
+bool Compatible(const VarConstraints& a, const VarConstraints& b) {
+  if (a.tag.has_value() && b.tag.has_value() && *a.tag != *b.tag) {
+    return false;
+  }
+  for (const auto& [attr, ca] : a.attrs) {
+    auto it = b.attrs.find(attr);
+    if (it == b.attrs.end()) continue;
+    AttrConstraint merged = ca;
+    if (!merged.Merge(it->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace pimento::profile

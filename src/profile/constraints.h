@@ -1,0 +1,61 @@
+#ifndef PIMENTO_PROFILE_CONSTRAINTS_H_
+#define PIMENTO_PROFILE_CONSTRAINTS_H_
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/profile/ordering_rule.h"
+
+namespace pimento::profile {
+
+/// The constraints on one attribute of one rule variable, as implied by a
+/// VOR's local(x)/local(y) conjunctions plus the closure local*(x) of §5.2.
+struct AttrConstraint {
+  std::optional<std::string> eq_str;   ///< attr = "c"
+  std::set<std::string> ne_str;        ///< attr != "c" (one per constant)
+  /// attr ∈ set (from prefRel upper/lower sets); nullopt = unconstrained.
+  std::optional<std::set<std::string>> in_set;
+  /// Numeric interval lo relOp attr relOp hi.
+  double lo = -std::numeric_limits<double>::infinity();
+  bool lo_strict = false;
+  double hi = std::numeric_limits<double>::infinity();
+  bool hi_strict = false;
+  /// attr must merely exist (e.g. the group attribute of form-3 rules).
+  bool must_exist = false;
+
+  /// Intersects `other` into *this; false if the result is unsatisfiable.
+  bool Merge(const AttrConstraint& other);
+
+  /// True iff some value satisfies the constraint.
+  bool Satisfiable() const;
+};
+
+/// local*(v) for one rule variable: the tag condition plus per-attribute
+/// constraints.
+struct VarConstraints {
+  std::optional<std::string> tag;
+  std::map<std::string, AttrConstraint> attrs;
+};
+
+/// The two variables of a VOR in normal form
+/// local(x) & local(y) & comp(x,y) → x ≺ y:
+/// `preferred` is x's local* closure, `other` is y's.
+struct VorVars {
+  VarConstraints preferred;
+  VarConstraints other;
+};
+
+/// Derives local* constraint sets for both variables of `rule`.
+VorVars DeriveVarConstraints(const Vor& rule);
+
+/// Variable compatibility (§5.2): true iff
+/// local*(a) & local*(b) & a = b is logically consistent — i.e. one XML
+/// element could play both roles.
+bool Compatible(const VarConstraints& a, const VarConstraints& b);
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_CONSTRAINTS_H_

@@ -1,0 +1,30 @@
+#include "src/profile/flock.h"
+
+namespace pimento::profile {
+
+StatusOr<QueryFlock> BuildFlock(const tpq::Tpq& query,
+                                const std::vector<ScopingRule>& rules) {
+  QueryFlock flock;
+  flock.conflict_report = AnalyzeConflicts(rules, query);
+  if (!flock.conflict_report.ordered) {
+    return Status::Conflict(
+        "scoping rules form a conflict cycle without distinct priorities:\n" +
+        flock.conflict_report.ToString(rules));
+  }
+  flock.members.push_back(query);
+  flock.encoded = query;
+  for (int rule_idx : flock.conflict_report.order) {
+    const ScopingRule& rule = rules[rule_idx];
+    const tpq::Tpq& current = flock.members.back();
+    // Applicability is judged against the literal chain (§5.1: the flock is
+    // Q, p1(Q), p2(p1(Q)), ...); rules rendered inapplicable by earlier
+    // applications drop out.
+    if (!IsApplicable(rule, current)) continue;
+    flock.members.push_back(ApplyRule(rule, current));
+    flock.applied_rules.push_back(rule_idx);
+    flock.encoded = ApplyRuleEncoded(rule, flock.encoded);
+  }
+  return flock;
+}
+
+}  // namespace pimento::profile

@@ -1,0 +1,42 @@
+#ifndef PIMENTO_PROFILE_FLOCK_H_
+#define PIMENTO_PROFILE_FLOCK_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/profile/conflict_graph.h"
+#include "src/profile/scoping_rule.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::profile {
+
+/// The query flock of §5.1: Q, p1(Q), p2(p1(Q)), ..., in the application
+/// order derived from the conflict analysis — plus its single-plan encoding
+/// (§6.1: "SRs can be enforced by encoding the query flock into a single
+/// query plan, without requiring actual rewriting").
+struct QueryFlock {
+  /// Literal flock members; members[0] is the original query, each further
+  /// member applies one more rule.
+  std::vector<tpq::Tpq> members;
+
+  /// Rule index applied to produce members[s+1] from members[s].
+  std::vector<int> applied_rules;
+
+  /// The single encoded query: deleted predicates demoted to optional
+  /// (scored but non-filtering — the outer-join of the paper's Plan 1),
+  /// added predicates attached as optional, replace-relaxations applied in
+  /// place. Every flock member's answers satisfy the encoded query's
+  /// required part.
+  tpq::Tpq encoded;
+
+  ConflictReport conflict_report;
+};
+
+/// Builds the flock for `query` under `rules`. Fails with kConflict when
+/// the conflict graph is cyclic and priorities do not break the cycles.
+StatusOr<QueryFlock> BuildFlock(const tpq::Tpq& query,
+                                const std::vector<ScopingRule>& rules);
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_FLOCK_H_

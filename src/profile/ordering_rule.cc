@@ -1,0 +1,199 @@
+#include "src/profile/ordering_rule.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace pimento::profile {
+
+PrefResult FlipPref(PrefResult r) {
+  switch (r) {
+    case PrefResult::kFirstPreferred:
+      return PrefResult::kSecondPreferred;
+    case PrefResult::kSecondPreferred:
+      return PrefResult::kFirstPreferred;
+    default:
+      return r;
+  }
+}
+
+const char* PrefResultName(PrefResult r) {
+  switch (r) {
+    case PrefResult::kFirstPreferred:
+      return "first-preferred";
+    case PrefResult::kSecondPreferred:
+      return "second-preferred";
+    case PrefResult::kEqual:
+      return "equal";
+    case PrefResult::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Reachability of `to` from `from` in the prefRel edge list (better→worse,
+/// transitively closed on demand; domains are tiny).
+bool PrefReaches(const std::vector<std::pair<std::string, std::string>>& edges,
+                 const std::string& from, const std::string& to) {
+  std::set<std::string> visited;
+  std::vector<std::string> stack = {from};
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    for (const auto& [better, worse] : edges) {
+      if (better == cur) {
+        if (worse == to) return true;
+        stack.push_back(worse);
+      }
+    }
+  }
+  return false;
+}
+
+/// Depth of `value` in the prefRel DAG: 0 for maximal (most preferred)
+/// elements, +1 per edge on the longest chain above it.
+int PrefDepth(const std::vector<std::pair<std::string, std::string>>& edges,
+              const std::string& value, int guard = 0) {
+  if (guard > 64) return 64;  // cycle guard; validated elsewhere
+  int depth = -1;
+  for (const auto& [better, worse] : edges) {
+    if (worse == value) {
+      depth = std::max(depth, PrefDepth(edges, better, guard + 1));
+    }
+  }
+  bool known = depth >= 0;
+  if (!known) {
+    for (const auto& [better, worse] : edges) {
+      if (better == value) {
+        known = true;
+        break;
+      }
+    }
+  }
+  if (!known) return 1 << 20;  // value absent from the order
+  return depth + 1;
+}
+
+}  // namespace
+
+PrefResult CompareVor(const Vor& rule, const VorValue& a, const VorValue& b) {
+  if (!a.applicable && !b.applicable) return PrefResult::kEqual;
+  if (a.applicable != b.applicable) return PrefResult::kIncomparable;
+  switch (rule.kind) {
+    case VorKind::kEqConst: {
+      bool am = a.str.has_value() && *a.str == rule.const_value;
+      bool bm = b.str.has_value() && *b.str == rule.const_value;
+      if (am == bm) return PrefResult::kEqual;
+      return am ? PrefResult::kFirstPreferred : PrefResult::kSecondPreferred;
+    }
+    case VorKind::kCompareSameGroup: {
+      if (!a.group.has_value() || !b.group.has_value() ||
+          *a.group != *b.group) {
+        return PrefResult::kIncomparable;
+      }
+      [[fallthrough]];
+    }
+    case VorKind::kCompare: {
+      if (!a.num.has_value() && !b.num.has_value()) return PrefResult::kEqual;
+      if (!a.num.has_value() || !b.num.has_value()) {
+        return PrefResult::kIncomparable;
+      }
+      if (*a.num == *b.num) return PrefResult::kEqual;
+      bool a_better = rule.smaller_preferred ? (*a.num < *b.num)
+                                             : (*a.num > *b.num);
+      return a_better ? PrefResult::kFirstPreferred
+                      : PrefResult::kSecondPreferred;
+    }
+    case VorKind::kPrefRel: {
+      if (!a.str.has_value() || !b.str.has_value()) {
+        return PrefResult::kIncomparable;
+      }
+      if (*a.str == *b.str) return PrefResult::kEqual;
+      if (PrefReaches(rule.pref_edges, *a.str, *b.str)) {
+        return PrefResult::kFirstPreferred;
+      }
+      if (PrefReaches(rule.pref_edges, *b.str, *a.str)) {
+        return PrefResult::kSecondPreferred;
+      }
+      return PrefResult::kIncomparable;
+    }
+  }
+  return PrefResult::kIncomparable;
+}
+
+PrefResult CompareVorProfile(const std::vector<Vor>& rules,
+                             const std::vector<VorValue>& a,
+                             const std::vector<VorValue>& b) {
+  std::vector<size_t> order(rules.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    return rules[i].priority < rules[j].priority;
+  });
+  bool any_incomparable = false;
+  for (size_t i : order) {
+    PrefResult r = CompareVor(rules[i], a[i], b[i]);
+    if (r == PrefResult::kFirstPreferred ||
+        r == PrefResult::kSecondPreferred) {
+      return r;
+    }
+    if (r == PrefResult::kIncomparable) any_incomparable = true;
+  }
+  return any_incomparable ? PrefResult::kIncomparable : PrefResult::kEqual;
+}
+
+double VorRankKey(const Vor& rule, const VorValue& v) {
+  if (!v.applicable) return 1e18;
+  switch (rule.kind) {
+    case VorKind::kEqConst:
+      return (v.str.has_value() && *v.str == rule.const_value) ? 0.0 : 1.0;
+    case VorKind::kCompare:
+    case VorKind::kCompareSameGroup:
+      if (!v.num.has_value()) return 1e15;
+      return rule.smaller_preferred ? *v.num : -*v.num;
+    case VorKind::kPrefRel:
+      if (!v.str.has_value()) return 1e15;
+      return static_cast<double>(PrefDepth(rule.pref_edges, *v.str));
+  }
+  return 1e18;
+}
+
+std::string Vor::ToString() const {
+  std::string out = "vor " + name + " (priority " + std::to_string(priority) +
+                    "): tag=" + (tag.empty() ? "*" : tag) + " ";
+  switch (kind) {
+    case VorKind::kEqConst:
+      out += "prefer " + attr + " = \"" + const_value + "\"";
+      break;
+    case VorKind::kCompare:
+      out += std::string("prefer ") +
+             (smaller_preferred ? "lower " : "higher ") + attr;
+      break;
+    case VorKind::kCompareSameGroup:
+      out += "same " + group_attr + " prefer " +
+             (smaller_preferred ? std::string("lower ") : "higher ") + attr;
+      break;
+    case VorKind::kPrefRel: {
+      out += "prefer " + attr + " order";
+      for (const auto& [better, worse] : pref_edges) {
+        out += " \"" + better + "\" > \"" + worse + "\",";
+      }
+      if (!pref_edges.empty()) out.pop_back();
+      break;
+    }
+  }
+  return out;
+}
+
+std::string Kor::ToString() const {
+  std::string out = "kor " + name + " (priority " + std::to_string(priority) +
+                    "): tag=" + (tag.empty() ? "*" : tag) +
+                    " prefer ftcontains(\"" + keyword + "\")";
+  if (weight != 1.0) out += " weight " + std::to_string(weight);
+  return out;
+}
+
+}  // namespace pimento::profile

@@ -1,0 +1,110 @@
+#ifndef PIMENTO_PROFILE_ORDERING_RULE_H_
+#define PIMENTO_PROFILE_ORDERING_RULE_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pimento::profile {
+
+/// Outcome of comparing two answers under a (set of) ordering rule(s).
+enum class PrefResult : uint8_t {
+  kFirstPreferred,
+  kSecondPreferred,
+  kEqual,
+  kIncomparable,
+};
+
+PrefResult FlipPref(PrefResult r);
+const char* PrefResultName(PrefResult r);
+
+/// The four value-based OR shapes of §3.2:
+enum class VorKind : uint8_t {
+  /// Form (1): C & x.attr = c & y.attr != c  →  x ≺ y    ("red cars first")
+  kEqConst,
+  /// Form (2): C & x.attr relOp y.attr  →  x ≺ y          ("lower mileage")
+  kCompare,
+  /// Form (3): C (x.group = y.group) & x.attr relOp y.attr → x ≺ y
+  /// ("among cars of the same make, higher horsepower")
+  kCompareSameGroup,
+  /// Form with prefRel: an explicit strict partial order on the attribute
+  /// domain ("red > black > any other color").
+  kPrefRel,
+};
+
+/// A value-based ordering rule (VOR). `x ≺ y` throughout means
+/// *x is preferred to y*.
+struct Vor {
+  std::string name;
+  VorKind kind = VorKind::kEqConst;
+  int priority = 0;  ///< smaller = applied first in the lexicographic order
+
+  /// Common condition: both answers must have this tag (the paper's
+  /// `x.tag = car & y.tag = car`). Empty matches any answer tag.
+  std::string tag;
+
+  std::string attr;  ///< the compared attribute/sub-element
+
+  // kEqConst:
+  std::string const_value;  ///< normalized (lower-case)
+
+  // kCompare / kCompareSameGroup:
+  bool smaller_preferred = true;  ///< relOp `<` (true) or `>` (false)
+  std::string group_attr;         ///< kCompareSameGroup only
+
+  // kPrefRel: better→worse edges; the transitive closure defines ≺ on the
+  // domain. Values absent from the order are incomparable to all others.
+  std::vector<std::pair<std::string, std::string>> pref_edges;
+
+  std::string ToString() const;
+};
+
+/// The value of answer `x` under one VOR: x.attr (plus x.group for form 3),
+/// annotated onto answers by the `vor` operator.
+struct VorValue {
+  bool applicable = false;  ///< answer tag matched the rule's tag
+  std::optional<std::string> str;
+  std::optional<double> num;
+  std::optional<std::string> group;
+};
+
+/// Compares two answers' values under `rule`, returning the partial-order
+/// relation. Missing values or mismatched groups yield kIncomparable.
+PrefResult CompareVor(const Vor& rule, const VorValue& a, const VorValue& b);
+
+/// Compares under a whole prioritized VOR list (priority-lexicographic, the
+/// ambiguity-resolution semantics of §5.2): the first rule (in priority
+/// order) that strictly prefers one answer decides; kEqual and
+/// kIncomparable fall through. Overall kEqual only if every rule said
+/// kEqual. `values[i]` are the answers' VorValues aligned with `rules`.
+PrefResult CompareVorProfile(const std::vector<Vor>& rules,
+                             const std::vector<VorValue>& a,
+                             const std::vector<VorValue>& b);
+
+/// A total-order sort key consistent with CompareVor (a linear extension of
+/// the partial order): smaller key = more preferred. Used by the sort
+/// operator; tie-breaking across truly-incomparable answers is arbitrary
+/// but deterministic.
+double VorRankKey(const Vor& rule, const VorValue& v);
+
+/// A keyword-based ordering rule (KOR), §3.2: among answers with `tag`,
+/// prefer those containing `keyword`. At execution time a KOR contributes
+/// its keyword's relevance score to the answer's K score (the paper's
+/// "joins with keyword-based ORs contribute to score").
+struct Kor {
+  std::string name;
+  int priority = 0;
+  std::string tag;      ///< common condition; empty matches any tag
+  std::string keyword;  ///< raw keyword/phrase
+
+  /// Degree-of-interest weight scaling the rule's K contribution (the §8
+  /// "fine-tuning with weights" extension; 1.0 = the plain paper semantics).
+  double weight = 1.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_ORDERING_RULE_H_

@@ -1,0 +1,26 @@
+#include "src/profile/profile.h"
+
+namespace pimento::profile {
+
+const char* RankOrderName(RankOrder order) {
+  switch (order) {
+    case RankOrder::kKVS:
+      return "K,V,S";
+    case RankOrder::kVKS:
+      return "V,K,S";
+    case RankOrder::kS:
+      return "S";
+  }
+  return "?";
+}
+
+std::string UserProfile::ToString() const {
+  std::string out = "profile " + name + " (rank order " +
+                    RankOrderName(rank_order) + ")\n";
+  for (const ScopingRule& sr : scoping_rules) out += "  " + sr.ToString() + "\n";
+  for (const Vor& vor : vors) out += "  " + vor.ToString() + "\n";
+  for (const Kor& kor : kors) out += "  " + kor.ToString() + "\n";
+  return out;
+}
+
+}  // namespace pimento::profile

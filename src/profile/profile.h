@@ -1,0 +1,40 @@
+#ifndef PIMENTO_PROFILE_PROFILE_H_
+#define PIMENTO_PROFILE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/profile/ordering_rule.h"
+#include "src/profile/scoping_rule.h"
+
+namespace pimento::profile {
+
+/// How the three score components are combined into the answer ranking
+/// (§3.3): K = keyword-OR score, V = value-OR preferences, S = query score.
+enum class RankOrder : uint8_t {
+  kKVS,  ///< K, then V, then S (the paper's primary order)
+  kVKS,  ///< V, then K, then S (the alternative in §3.3)
+  kS,    ///< query score only (no-profile baseline)
+};
+
+const char* RankOrderName(RankOrder order);
+
+/// A user profile Π = (Σ, O_v, O_k): scoping rules, value-based ordering
+/// rules and keyword-based ordering rules (§4).
+struct UserProfile {
+  std::string name;
+  std::vector<ScopingRule> scoping_rules;
+  std::vector<Vor> vors;
+  std::vector<Kor> kors;
+  RankOrder rank_order = RankOrder::kKVS;
+
+  bool empty() const {
+    return scoping_rules.empty() && vors.empty() && kors.empty();
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_PROFILE_H_

@@ -1,0 +1,478 @@
+#include "src/profile/rule_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::profile {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '@' || c == '*';
+}
+
+/// Small token cursor shared by the three rule grammars.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(pimento::StripWhitespace(s)) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view lit) {
+    SkipWs();
+    if (s_.substr(pos_).substr(0, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipWs();
+    size_t save = pos_;
+    if (!Consume(word)) return false;
+    if (pos_ < s_.size() && IsIdentChar(s_[pos_])) {
+      pos_ = save;
+      return false;
+    }
+    return true;
+  }
+
+  StatusOr<std::string> Ident() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < s_.size() && IsIdentChar(s_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> Quoted() {
+    SkipWs();
+    if (!Consume("\"")) return Error("expected quoted string");
+    size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') ++pos_;
+    if (pos_ >= s_.size()) return Error("unterminated string");
+    std::string out(s_.substr(start, pos_ - start));
+    ++pos_;
+    return out;
+  }
+
+  StatusOr<int> Integer() {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected integer");
+    return std::stoi(std::string(s_.substr(start, pos_ - start)));
+  }
+
+  StatusOr<tpq::RelOp> RelOperator() {
+    SkipWs();
+    if (Consume("<=")) return tpq::RelOp::kLe;
+    if (Consume(">=")) return tpq::RelOp::kGe;
+    if (Consume("!=")) return tpq::RelOp::kNe;
+    if (Consume("<>")) return tpq::RelOp::kNe;
+    if (Consume("<")) return tpq::RelOp::kLt;
+    if (Consume(">")) return tpq::RelOp::kGt;
+    if (Consume("=")) return tpq::RelOp::kEq;
+    return Error("expected relational operator");
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+  /// Remaining text from the current position up to (not including) the
+  /// first occurrence of word ` needle ` at word boundaries; advances past
+  /// it. Used to slice the SR condition before "then".
+  StatusOr<std::string> UpToWord(std::string_view needle) {
+    SkipWs();
+    size_t search = pos_;
+    while (true) {
+      size_t found = s_.find(needle, search);
+      if (found == std::string_view::npos) {
+        return Error("expected '" + std::string(needle) + "'");
+      }
+      bool left_ok = found == 0 || !IsIdentChar(s_[found - 1]);
+      size_t after = found + needle.size();
+      bool right_ok = after >= s_.size() || !IsIdentChar(s_[after]);
+      if (left_ok && right_ok) {
+        std::string out(
+            pimento::StripWhitespace(s_.substr(pos_, found - pos_)));
+        pos_ = after;
+        return out;
+      }
+      search = found + 1;
+    }
+  }
+
+  std::string Rest() {
+    SkipWs();
+    return std::string(s_.substr(pos_));
+  }
+
+  void Advance(size_t n) { pos_ += n; }
+
+  Status Error(const std::string& what) {
+    return Status::ParseError("rule at offset " + std::to_string(pos_) +
+                              ": " + what + " in '" + std::string(s_) + "'");
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+/// Parses `<name> [priority <n>] [weight <w>]:` and fills the fields.
+Status ParseHead(Cursor* cur, std::string* name, int* priority,
+                 double* weight = nullptr) {
+  StatusOr<std::string> n = cur->Ident();
+  if (!n.ok()) return n.status();
+  *name = *n;
+  for (;;) {
+    if (cur->ConsumeWord("priority")) {
+      StatusOr<int> p = cur->Integer();
+      if (!p.ok()) return p.status();
+      *priority = *p;
+      continue;
+    }
+    if (weight != nullptr && cur->ConsumeWord("weight")) {
+      std::string rest = cur->Rest();
+      size_t len = 0;
+      while (len < rest.size() &&
+             (std::isdigit(static_cast<unsigned char>(rest[len])) ||
+              rest[len] == '.' || rest[len] == '-' || rest[len] == '+')) {
+        ++len;
+      }
+      double w = 0;
+      if (len == 0 || !pimento::ParseDouble(rest.substr(0, len), &w)) {
+        return cur->Error("expected weight value");
+      }
+      cur->Advance(len);
+      *weight = w;
+      continue;
+    }
+    break;
+  }
+  if (!cur->Consume(":")) return cur->Error("expected ':'");
+  return Status::OK();
+}
+
+StatusOr<SrAtom> ParseAtom(Cursor* cur) {
+  SrAtom atom;
+  if (cur->ConsumeWord("ftcontains")) {
+    atom.kind = SrAtom::Kind::kKeyword;
+    if (!cur->Consume("(")) return cur->Error("expected '('");
+    StatusOr<std::string> tag = cur->Ident();
+    if (!tag.ok()) return tag.status();
+    atom.node_tag = *tag;
+    if (!cur->Consume(",")) return cur->Error("expected ','");
+    StatusOr<std::string> kw = cur->Quoted();
+    if (!kw.ok()) return kw.status();
+    atom.keyword = *kw;
+    if (!cur->Consume(")")) return cur->Error("expected ')'");
+    return atom;
+  }
+  if (cur->ConsumeWord("value")) {
+    atom.kind = SrAtom::Kind::kValue;
+    if (!cur->Consume("(")) return cur->Error("expected '('");
+    StatusOr<std::string> tag = cur->Ident();
+    if (!tag.ok()) return tag.status();
+    atom.node_tag = *tag;
+    if (!cur->Consume(")")) return cur->Error("expected ')'");
+    StatusOr<tpq::RelOp> op = cur->RelOperator();
+    if (!op.ok()) return op.status();
+    atom.op = *op;
+    std::string rest = cur->Rest();
+    if (!rest.empty() && rest[0] == '"') {
+      StatusOr<std::string> text = cur->Quoted();
+      if (!text.ok()) return text.status();
+      atom.numeric = false;
+      atom.text = pimento::AsciiToLower(*text);
+    } else {
+      size_t len = 0;
+      while (len < rest.size() &&
+             (std::isdigit(static_cast<unsigned char>(rest[len])) ||
+              rest[len] == '.' || rest[len] == '-' || rest[len] == '+')) {
+        ++len;
+      }
+      double v = 0;
+      if (len == 0 || !pimento::ParseDouble(rest.substr(0, len), &v)) {
+        return cur->Error("expected literal");
+      }
+      cur->Advance(len);
+      atom.numeric = true;
+      atom.number = v;
+    }
+    return atom;
+  }
+  bool pc = cur->ConsumeWord("pc");
+  bool ad = !pc && cur->ConsumeWord("ad");
+  if (pc || ad) {
+    atom.kind = SrAtom::Kind::kEdge;
+    atom.edge = pc ? tpq::EdgeKind::kChild : tpq::EdgeKind::kDescendant;
+    if (!cur->Consume("(")) return cur->Error("expected '('");
+    StatusOr<std::string> parent = cur->Ident();
+    if (!parent.ok()) return parent.status();
+    atom.node_tag = *parent;
+    if (!cur->Consume(",")) return cur->Error("expected ','");
+    StatusOr<std::string> child = cur->Ident();
+    if (!child.ok()) return child.status();
+    atom.child_tag = *child;
+    if (!cur->Consume(")")) return cur->Error("expected ')'");
+    return atom;
+  }
+  return cur->Error("expected conclusion atom");
+}
+
+StatusOr<std::vector<SrAtom>> ParseAtoms(Cursor* cur) {
+  std::vector<SrAtom> atoms;
+  while (true) {
+    StatusOr<SrAtom> atom = ParseAtom(cur);
+    if (!atom.ok()) return atom.status();
+    atoms.push_back(*atom);
+    if (!cur->ConsumeWord("and") && !cur->Consume("&")) break;
+  }
+  return atoms;
+}
+
+}  // namespace
+
+StatusOr<ScopingRule> ParseScopingRule(std::string_view line) {
+  Cursor cur(line);
+  if (!cur.ConsumeWord("sr")) return cur.Error("expected 'sr'");
+  ScopingRule rule;
+  PIMENTO_RETURN_IF_ERROR(
+      ParseHead(&cur, &rule.name, &rule.priority, &rule.weight));
+  if (!cur.ConsumeWord("if")) return cur.Error("expected 'if'");
+  StatusOr<std::string> cond_text = cur.UpToWord("then");
+  if (!cond_text.ok()) return cond_text.status();
+  if (pimento::StripWhitespace(*cond_text) != "true") {
+    StatusOr<tpq::Tpq> cond = tpq::ParseTpq(*cond_text);
+    if (!cond.ok()) return cond.status();
+    rule.condition = *cond;
+  }
+  if (cur.ConsumeWord("add")) {
+    rule.action = SrAction::kAdd;
+  } else if (cur.ConsumeWord("delete") || cur.ConsumeWord("remove")) {
+    rule.action = SrAction::kDelete;
+  } else if (cur.ConsumeWord("replace")) {
+    rule.action = SrAction::kReplace;
+  } else {
+    return cur.Error("expected add/delete/replace");
+  }
+  if (rule.action == SrAction::kReplace) {
+    // replace <atoms> with <atoms>
+    Cursor* c = &cur;
+    // Parse atoms up to 'with'.
+    std::vector<SrAtom> replaced;
+    while (true) {
+      StatusOr<SrAtom> atom = ParseAtom(c);
+      if (!atom.ok()) return atom.status();
+      replaced.push_back(*atom);
+      if (c->ConsumeWord("and") || c->Consume("&")) continue;
+      break;
+    }
+    rule.replaced = std::move(replaced);
+    if (!cur.ConsumeWord("with")) return cur.Error("expected 'with'");
+  }
+  StatusOr<std::vector<SrAtom>> atoms = ParseAtoms(&cur);
+  if (!atoms.ok()) return atoms.status();
+  rule.conclusion = *atoms;
+  if (!cur.AtEnd()) return cur.Error("trailing input");
+  return rule;
+}
+
+StatusOr<Vor> ParseVor(std::string_view line) {
+  Cursor cur(line);
+  if (!cur.ConsumeWord("vor")) return cur.Error("expected 'vor'");
+  Vor vor;
+  PIMENTO_RETURN_IF_ERROR(ParseHead(&cur, &vor.name, &vor.priority));
+  if (cur.ConsumeWord("tag")) {
+    if (!cur.Consume("=")) return cur.Error("expected '='");
+    StatusOr<std::string> tag = cur.Ident();
+    if (!tag.ok()) return tag.status();
+    vor.tag = *tag;
+  }
+  if (cur.ConsumeWord("same")) {
+    StatusOr<std::string> group = cur.Ident();
+    if (!group.ok()) return group.status();
+    vor.group_attr = *group;
+    if (!cur.ConsumeWord("prefer")) return cur.Error("expected 'prefer'");
+    bool lower = cur.ConsumeWord("lower");
+    bool higher = !lower && cur.ConsumeWord("higher");
+    if (!lower && !higher) return cur.Error("expected lower/higher");
+    vor.kind = VorKind::kCompareSameGroup;
+    vor.smaller_preferred = lower;
+    StatusOr<std::string> attr = cur.Ident();
+    if (!attr.ok()) return attr.status();
+    vor.attr = *attr;
+    if (!cur.AtEnd()) return cur.Error("trailing input");
+    return vor;
+  }
+  if (!cur.ConsumeWord("prefer")) return cur.Error("expected 'prefer'");
+  // Remaining shapes: `prefer lower|higher <attr>`, `prefer <attr> = "<c>"`,
+  // `prefer <attr> order "<a>" > "<b>" ...`. The first identifier
+  // disambiguates.
+  StatusOr<std::string> attr = cur.Ident();
+  if (!attr.ok()) return attr.status();
+  if (*attr == "lower" || *attr == "higher") {
+    vor.kind = VorKind::kCompare;
+    vor.smaller_preferred = (*attr == "lower");
+    StatusOr<std::string> real_attr = cur.Ident();
+    if (!real_attr.ok()) return real_attr.status();
+    vor.attr = *real_attr;
+    if (!cur.AtEnd()) return cur.Error("trailing input");
+    return vor;
+  }
+  vor.attr = *attr;
+  if (cur.ConsumeWord("order")) {
+    vor.kind = VorKind::kPrefRel;
+    // Chains: "a" > "b" > "c", separated by ','.
+    while (true) {
+      StatusOr<std::string> first = cur.Quoted();
+      if (!first.ok()) return first.status();
+      std::string prev = pimento::AsciiToLower(*first);
+      while (cur.Consume(">")) {
+        StatusOr<std::string> next = cur.Quoted();
+        if (!next.ok()) return next.status();
+        std::string value = pimento::AsciiToLower(*next);
+        vor.pref_edges.emplace_back(prev, value);
+        prev = value;
+      }
+      if (!cur.Consume(",")) break;
+    }
+    if (!cur.AtEnd()) return cur.Error("trailing input");
+    return vor;
+  }
+  if (!cur.Consume("=")) return cur.Error("expected '=', 'order', or lower/higher");
+  StatusOr<std::string> value = cur.Quoted();
+  if (!value.ok()) return value.status();
+  vor.kind = VorKind::kEqConst;
+  vor.const_value = pimento::AsciiToLower(*value);
+  if (!cur.AtEnd()) return cur.Error("trailing input");
+  return vor;
+}
+
+StatusOr<Kor> ParseKor(std::string_view line) {
+  Cursor cur(line);
+  if (!cur.ConsumeWord("kor")) return cur.Error("expected 'kor'");
+  Kor kor;
+  PIMENTO_RETURN_IF_ERROR(ParseHead(&cur, &kor.name, &kor.priority));
+  if (cur.ConsumeWord("tag")) {
+    if (!cur.Consume("=")) return cur.Error("expected '='");
+    StatusOr<std::string> tag = cur.Ident();
+    if (!tag.ok()) return tag.status();
+    kor.tag = *tag;
+  }
+  if (!cur.ConsumeWord("prefer")) return cur.Error("expected 'prefer'");
+  if (!cur.ConsumeWord("ftcontains")) return cur.Error("expected 'ftcontains'");
+  if (!cur.Consume("(")) return cur.Error("expected '('");
+  StatusOr<std::string> kw = cur.Quoted();
+  if (!kw.ok()) return kw.status();
+  kor.keyword = *kw;
+  if (!cur.Consume(")")) return cur.Error("expected ')'");
+  if (cur.ConsumeWord("weight")) {
+    std::string rest = cur.Rest();
+    size_t len = 0;
+    while (len < rest.size() &&
+           (std::isdigit(static_cast<unsigned char>(rest[len])) ||
+            rest[len] == '.' || rest[len] == '-' || rest[len] == '+')) {
+      ++len;
+    }
+    double w = 0;
+    if (len == 0 || !pimento::ParseDouble(rest.substr(0, len), &w)) {
+      return cur.Error("expected weight value");
+    }
+    cur.Advance(len);
+    kor.weight = w;
+  }
+  if (!cur.AtEnd()) return cur.Error("trailing input");
+  return kor;
+}
+
+StatusOr<UserProfile> ParseProfile(std::string_view text) {
+  UserProfile profile;
+  std::string merged;  // handle '\' line continuations
+  std::vector<std::string> lines;
+  for (std::string& raw : pimento::SplitAndTrim(text, '\n')) {
+    size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    std::string_view line = pimento::StripWhitespace(raw);
+    if (line.empty()) continue;
+    bool continued = line.back() == '\\';
+    if (continued) line = pimento::StripWhitespace(line.substr(0, line.size() - 1));
+    merged += std::string(line) + " ";
+    if (continued) continue;
+    lines.push_back(pimento::StripWhitespace(merged).data() == nullptr
+                        ? std::string()
+                        : std::string(pimento::StripWhitespace(merged)));
+    merged.clear();
+  }
+  if (!pimento::StripWhitespace(merged).empty()) {
+    lines.push_back(std::string(pimento::StripWhitespace(merged)));
+  }
+
+  for (const std::string& line : lines) {
+    if (pimento::StartsWith(line, "profile")) {
+      Cursor cur(line);
+      cur.ConsumeWord("profile");
+      StatusOr<std::string> name = cur.Ident();
+      if (!name.ok()) return name.status();
+      profile.name = *name;
+      continue;
+    }
+    if (pimento::StartsWith(line, "rank")) {
+      std::string spec = pimento::AsciiToLower(
+          pimento::StripWhitespace(std::string_view(line).substr(4)));
+      std::string compact;
+      for (char c : spec) {
+        if (!std::isspace(static_cast<unsigned char>(c))) compact += c;
+      }
+      if (compact == "k,v,s" || compact == "kvs") {
+        profile.rank_order = RankOrder::kKVS;
+      } else if (compact == "v,k,s" || compact == "vks") {
+        profile.rank_order = RankOrder::kVKS;
+      } else if (compact == "s") {
+        profile.rank_order = RankOrder::kS;
+      } else {
+        return Status::ParseError("unknown rank order: " + spec);
+      }
+      continue;
+    }
+    if (pimento::StartsWith(line, "sr")) {
+      StatusOr<ScopingRule> rule = ParseScopingRule(line);
+      if (!rule.ok()) return rule.status();
+      profile.scoping_rules.push_back(*rule);
+      continue;
+    }
+    if (pimento::StartsWith(line, "vor")) {
+      StatusOr<Vor> rule = ParseVor(line);
+      if (!rule.ok()) return rule.status();
+      profile.vors.push_back(*rule);
+      continue;
+    }
+    if (pimento::StartsWith(line, "kor")) {
+      StatusOr<Kor> rule = ParseKor(line);
+      if (!rule.ok()) return rule.status();
+      profile.kors.push_back(*rule);
+      continue;
+    }
+    return Status::ParseError("unrecognized profile line: " + line);
+  }
+  return profile;
+}
+
+}  // namespace pimento::profile

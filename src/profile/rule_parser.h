@@ -1,0 +1,45 @@
+#ifndef PIMENTO_PROFILE_RULE_PARSER_H_
+#define PIMENTO_PROFILE_RULE_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/profile/profile.h"
+
+namespace pimento::profile {
+
+/// Parses one scoping rule, e.g. (the paper's Fig. 2 rules):
+///
+///   sr p1 priority 1: if //car/description[ftcontains(., "low mileage")]
+///       then delete ftcontains(car, "good condition")
+///   sr p2: if //car/description[ftcontains(., "good condition")]
+///       then add ftcontains(description, "american")
+///   sr relax: if //car then replace pc(car, description)
+///       with ad(car, description)
+///
+/// Conclusion atoms: ftcontains(<tag>, "<kw>"), value(<tag>) <relop> <lit>,
+/// pc(<tag>, <tag>), ad(<tag>, <tag>), joined with `and`. The condition is
+/// a TPQ pattern or the literal `true`.
+StatusOr<ScopingRule> ParseScopingRule(std::string_view line);
+
+/// Parses one value-based ordering rule, e.g. (Fig. 2's π1-π3):
+///
+///   vor pi1 priority 2: tag=car prefer color = "red"
+///   vor pi2 priority 1: tag=car prefer lower mileage
+///   vor pi3: tag=car same make prefer higher hp
+///   vor colors: tag=car prefer color order "red" > "black" > "white"
+StatusOr<Vor> ParseVor(std::string_view line);
+
+/// Parses one keyword-based ordering rule, e.g. (Fig. 2's π4, π5):
+///
+///   kor pi4: tag=car prefer ftcontains("best bid")
+StatusOr<Kor> ParseKor(std::string_view line);
+
+/// Parses a whole profile: one rule per line ('\' continues a line,
+/// '#' starts a comment), plus optional header lines
+/// `profile <name>` and `rank K,V,S | V,K,S | S`.
+StatusOr<UserProfile> ParseProfile(std::string_view text);
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_RULE_PARSER_H_

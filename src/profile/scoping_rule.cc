@@ -1,0 +1,314 @@
+#include "src/profile/scoping_rule.h"
+
+#include <algorithm>
+
+#include "src/tpq/containment.h"
+#include "src/text/tokenizer.h"
+
+namespace pimento::profile {
+
+namespace {
+
+/// Resolves an atom's anchor tag to a query node: prefer the image of the
+/// condition node with that tag under the applicability homomorphism, then
+/// fall back to tag lookup in the query itself.
+int ResolveAnchor(const ScopingRule& rule, const tpq::Tpq& query,
+                  const std::vector<int>& mapping,
+                  const std::string& node_tag) {
+  int cond_node = rule.condition.FindByTag(node_tag);
+  if (cond_node >= 0 && cond_node < static_cast<int>(mapping.size()) &&
+      mapping[cond_node] >= 0) {
+    return mapping[cond_node];
+  }
+  return query.FindByTag(node_tag);
+}
+
+/// Nodes of `q` in the subtree rooted at `root` (inclusive).
+std::vector<int> Subtree(const tpq::Tpq& q, int root) {
+  std::vector<int> out;
+  std::vector<int> stack = {root};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (int c : q.node(cur).children) stack.push_back(c);
+  }
+  return out;
+}
+
+bool SameKeyword(const std::string& a, const std::string& b) {
+  return text::NormalizeTerm(a) == text::NormalizeTerm(b);
+}
+
+/// Adds an atom's predicate/edge to the query. In `encode` mode the
+/// addition is marked optional (the flock-encoding outer-join semantics)
+/// with the rule's weight as its score boost.
+void AddAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
+             double weight = 1.0) {
+  if (anchor < 0) return;
+  switch (atom.kind) {
+    case SrAtom::Kind::kKeyword: {
+      for (const tpq::KeywordPredicate& kp :
+           query->node(anchor).keyword_predicates) {
+        if (SameKeyword(kp.keyword, atom.keyword)) return;  // already there
+      }
+      tpq::KeywordPredicate kp;
+      kp.keyword = atom.keyword;
+      kp.optional = encode;
+      if (encode) kp.boost = weight;
+      query->mutable_node(anchor).keyword_predicates.push_back(std::move(kp));
+      break;
+    }
+    case SrAtom::Kind::kValue: {
+      tpq::ValuePredicate vp;
+      vp.op = atom.op;
+      vp.numeric = atom.numeric;
+      vp.number = atom.number;
+      vp.text = atom.text;
+      vp.optional = encode;
+      if (encode) vp.boost = weight;
+      for (const tpq::ValuePredicate& existing :
+           query->node(anchor).value_predicates) {
+        if (existing.op == vp.op && existing.numeric == vp.numeric &&
+            existing.number == vp.number && existing.text == vp.text) {
+          return;
+        }
+      }
+      query->mutable_node(anchor).value_predicates.push_back(std::move(vp));
+      break;
+    }
+    case SrAtom::Kind::kEdge: {
+      for (int c : query->node(anchor).children) {
+        if (query->node(c).tag == atom.child_tag &&
+            query->node(c).parent_edge == atom.edge) {
+          return;
+        }
+      }
+      int child = query->AddChild(anchor, atom.child_tag, atom.edge);
+      query->mutable_node(child).optional = encode;
+      break;
+    }
+  }
+}
+
+/// Deletes an atom's predicate/edge from the query. In `encode` mode the
+/// target is demoted to optional instead of removed (with the rule's weight
+/// as its boost), so answers matching the original (stricter) query still
+/// score higher in the single encoded plan.
+void DeleteAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
+                double weight = 1.0) {
+  if (anchor < 0) return;
+  switch (atom.kind) {
+    case SrAtom::Kind::kKeyword: {
+      // ftcontains is an any-depth condition, so the target keyword
+      // predicate may sit anywhere in the anchor's pattern subtree.
+      for (int n : Subtree(*query, anchor)) {
+        auto& preds = query->mutable_node(n).keyword_predicates;
+        if (encode) {
+          for (tpq::KeywordPredicate& kp : preds) {
+            if (SameKeyword(kp.keyword, atom.keyword)) {
+              kp.optional = true;
+              kp.boost = weight;
+            }
+          }
+        } else {
+          preds.erase(std::remove_if(preds.begin(), preds.end(),
+                                     [&](const tpq::KeywordPredicate& kp) {
+                                       return SameKeyword(kp.keyword,
+                                                          atom.keyword);
+                                     }),
+                      preds.end());
+        }
+      }
+      break;
+    }
+    case SrAtom::Kind::kValue: {
+      auto matches = [&](const tpq::ValuePredicate& vp) {
+        return vp.op == atom.op && vp.numeric == atom.numeric &&
+               vp.number == atom.number && vp.text == atom.text;
+      };
+      for (int n : Subtree(*query, anchor)) {
+        auto& preds = query->mutable_node(n).value_predicates;
+        if (encode) {
+          for (tpq::ValuePredicate& vp : preds) {
+            if (matches(vp)) {
+              vp.optional = true;
+              vp.boost = weight;
+            }
+          }
+        } else {
+          preds.erase(std::remove_if(preds.begin(), preds.end(), matches),
+                      preds.end());
+        }
+      }
+      break;
+    }
+    case SrAtom::Kind::kEdge: {
+      // Remove (or demote) the first child subtree matching (tag, edge
+      // kind), unless it contains the distinguished (answer) node.
+      for (int c : query->node(anchor).children) {
+        if (query->node(c).tag != atom.child_tag) continue;
+        if (query->node(c).parent_edge != atom.edge) continue;
+        bool protects = false;
+        for (int n : Subtree(*query, c)) {
+          if (n == query->distinguished()) {
+            protects = true;
+            break;
+          }
+        }
+        if (protects) continue;
+        if (encode) {
+          query->mutable_node(c).optional = true;
+        } else {
+          query->RemoveSubtree(c);
+        }
+        return;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string SrAtom::ToString() const {
+  switch (kind) {
+    case Kind::kKeyword:
+      return "ftcontains(" + node_tag + ", \"" + keyword + "\")";
+    case Kind::kValue: {
+      std::string out = "value(" + node_tag + ") " + tpq::RelOpToString(op) +
+                        " ";
+      if (numeric) {
+        out += std::to_string(number);
+      } else {
+        out += '"' + text + '"';
+      }
+      return out;
+    }
+    case Kind::kEdge:
+      return std::string(edge == tpq::EdgeKind::kChild ? "pc(" : "ad(") +
+             node_tag + ", " + child_tag + ")";
+  }
+  return "?";
+}
+
+std::string ScopingRule::ToString() const {
+  std::string out = "sr " + name + " (priority " + std::to_string(priority) +
+                    "): if " +
+                    (condition.empty() ? "true" : condition.ToString()) +
+                    " then ";
+  auto join = [](const std::vector<SrAtom>& atoms) {
+    std::string s;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i > 0) s += " and ";
+      s += atoms[i].ToString();
+    }
+    return s;
+  };
+  switch (action) {
+    case SrAction::kAdd:
+      out += "add " + join(conclusion);
+      break;
+    case SrAction::kDelete:
+      out += "delete " + join(conclusion);
+      break;
+    case SrAction::kReplace:
+      out += "replace " + join(replaced) + " with " + join(conclusion);
+      break;
+  }
+  return out;
+}
+
+bool IsApplicable(const ScopingRule& rule, const tpq::Tpq& query) {
+  return tpq::SubsumesCondition(query, rule.condition);
+}
+
+namespace {
+
+tpq::Tpq ApplyRuleImpl(const ScopingRule& rule, const tpq::Tpq& query,
+                       bool encode) {
+  std::vector<int> mapping;
+  if (!rule.condition.empty() &&
+      !tpq::FindHomomorphism(rule.condition, query,
+                             /*match_distinguished=*/false, &mapping)) {
+    return query;  // not applicable: identity
+  }
+  tpq::Tpq out = query;
+
+  // Mutations (subtree removal, node insertion) shift node indices, so the
+  // anchor of each atom is re-resolved against the current query state.
+  auto resolve = [&](const std::string& tag) {
+    std::vector<int> m;
+    if (!rule.condition.empty() &&
+        tpq::FindHomomorphism(rule.condition, out,
+                              /*match_distinguished=*/false, &m)) {
+      return ResolveAnchor(rule, out, m, tag);
+    }
+    return out.FindByTag(tag);
+  };
+
+  if (rule.action == SrAction::kReplace) {
+    // Edge→edge replacements with identical endpoints are structural
+    // relaxations (pc → ad): mutate the edge kind in place so the subtree's
+    // predicates survive.
+    std::vector<bool> handled(rule.replaced.size(), false);
+    std::vector<bool> used(rule.conclusion.size(), false);
+    for (size_t i = 0; i < rule.replaced.size(); ++i) {
+      const SrAtom& del = rule.replaced[i];
+      if (del.kind != SrAtom::Kind::kEdge) continue;
+      for (size_t j = 0; j < rule.conclusion.size(); ++j) {
+        const SrAtom& add = rule.conclusion[j];
+        if (used[j] || add.kind != SrAtom::Kind::kEdge) continue;
+        if (add.node_tag != del.node_tag || add.child_tag != del.child_tag) {
+          continue;
+        }
+        int anchor = resolve(del.node_tag);
+        if (anchor >= 0) {
+          for (int c : out.node(anchor).children) {
+            if (out.node(c).tag == del.child_tag &&
+                out.node(c).parent_edge == del.edge) {
+              out.mutable_node(c).parent_edge = add.edge;
+              break;
+            }
+          }
+        }
+        handled[i] = true;
+        used[j] = true;
+        break;
+      }
+    }
+    for (size_t i = 0; i < rule.replaced.size(); ++i) {
+      if (handled[i]) continue;
+      DeleteAtom(rule.replaced[i], &out, resolve(rule.replaced[i].node_tag),
+                 encode, rule.weight);
+    }
+    for (size_t j = 0; j < rule.conclusion.size(); ++j) {
+      if (used[j]) continue;
+      AddAtom(rule.conclusion[j], &out, resolve(rule.conclusion[j].node_tag),
+              encode, rule.weight);
+    }
+    return out;
+  }
+
+  for (const SrAtom& atom : rule.conclusion) {
+    int anchor = resolve(atom.node_tag);
+    if (rule.action == SrAction::kAdd) {
+      AddAtom(atom, &out, anchor, encode, rule.weight);
+    } else {
+      DeleteAtom(atom, &out, anchor, encode, rule.weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+tpq::Tpq ApplyRule(const ScopingRule& rule, const tpq::Tpq& query) {
+  return ApplyRuleImpl(rule, query, /*encode=*/false);
+}
+
+tpq::Tpq ApplyRuleEncoded(const ScopingRule& rule, const tpq::Tpq& query) {
+  return ApplyRuleImpl(rule, query, /*encode=*/true);
+}
+
+}  // namespace pimento::profile

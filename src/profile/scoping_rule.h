@@ -1,0 +1,86 @@
+#ifndef PIMENTO_PROFILE_SCOPING_RULE_H_
+#define PIMENTO_PROFILE_SCOPING_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::profile {
+
+enum class SrAction : uint8_t {
+  kAdd,      ///< narrow the search: add predicates
+  kDelete,   ///< broaden the search: remove predicates
+  kReplace,  ///< replace predicates with (typically weaker) ones
+};
+
+/// One conjunct of an SR conclusion. Atoms are anchored by tag name:
+/// `node_tag` names the query node they apply to, resolved first through
+/// the condition's match into the query, then by tag lookup in the query.
+struct SrAtom {
+  enum class Kind : uint8_t {
+    kKeyword,  ///< ftcontains(node_tag, "keyword")
+    kValue,    ///< value(node_tag) relOp literal
+    kEdge,     ///< pc(node_tag, child_tag) or ad(node_tag, child_tag)
+  };
+
+  Kind kind = Kind::kKeyword;
+  std::string node_tag;
+
+  // kKeyword:
+  std::string keyword;
+
+  // kValue:
+  tpq::RelOp op = tpq::RelOp::kEq;
+  bool numeric = true;
+  double number = 0;
+  std::string text;
+
+  // kEdge:
+  std::string child_tag;
+  tpq::EdgeKind edge = tpq::EdgeKind::kChild;
+
+  std::string ToString() const;
+};
+
+/// A scoping rule (§3.1):
+///   if (condition) then add/delete (conclusion)
+///   if (condition) then replace (replaced) with (conclusion)
+/// The condition is a TPQ pattern (empty = `true`); it is *subsumed by* a
+/// query Q when Q guarantees it (homomorphism from condition into Q).
+struct ScopingRule {
+  std::string name;
+  int priority = 0;  ///< smaller = applied earlier when conflicts cycle
+
+  /// Weight incorporated into the query score when the rule's optional
+  /// (flock-encoded) predicates are satisfied — the §7.1 conclusion's
+  /// "weights for our SRs". 1.0 reproduces the unweighted paper semantics.
+  double weight = 1.0;
+
+  tpq::Tpq condition;
+  SrAction action = SrAction::kAdd;
+  std::vector<SrAtom> conclusion;  ///< the add/delete atoms; `with` part of replace
+  std::vector<SrAtom> replaced;    ///< the `E` part of a replace rule
+
+  std::string ToString() const;
+};
+
+/// True iff `rule`'s condition is subsumed by `query` (§5.1 applicability).
+bool IsApplicable(const ScopingRule& rule, const tpq::Tpq& query);
+
+/// p(Q): applies `rule` to `query`, returning the rewritten query. Returns
+/// the query unchanged if the rule is not applicable. Added predicates are
+/// *required* in the rewritten query (this is the literal flock-member
+/// semantics; flock *encoding* later relaxes them to optional).
+tpq::Tpq ApplyRule(const ScopingRule& rule, const tpq::Tpq& query);
+
+/// Flock-encoding variant of ApplyRule (§6.1): added predicates become
+/// *optional* (scored, non-filtering), deleted predicates are demoted to
+/// optional instead of removed, and replace-relaxations mutate edges in
+/// place — producing the single-plan encoding of the query flock.
+tpq::Tpq ApplyRuleEncoded(const ScopingRule& rule, const tpq::Tpq& query);
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_SCOPING_RULE_H_

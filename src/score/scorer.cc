@@ -1,0 +1,25 @@
+#include "src/score/scorer.h"
+
+#include <cmath>
+
+namespace pimento::score {
+
+double Scorer::Idf(const index::Phrase& phrase) const {
+  if (!phrase.known()) return 0.0;
+  int64_t min_ctf = collection_->keywords().MaxPhraseCount(phrase);
+  double total = static_cast<double>(collection_->keywords().total_tokens());
+  return std::log(1.0 + total / (1.0 + static_cast<double>(min_ctf)));
+}
+
+double Scorer::Score(xml::NodeId e, const index::Phrase& phrase) const {
+  int tf = collection_->CountOccurrences(e, phrase);
+  if (tf == 0) return 0.0;
+  double tf_d = static_cast<double>(tf);
+  return Idf(phrase) * tf_d / (tf_d + 1.0);
+}
+
+double Scorer::MaxScore(const index::Phrase& phrase) const {
+  return Idf(phrase);
+}
+
+}  // namespace pimento::score

@@ -1,0 +1,38 @@
+#ifndef PIMENTO_SCORE_SCORER_H_
+#define PIMENTO_SCORE_SCORER_H_
+
+#include "src/index/collection.h"
+
+namespace pimento::score {
+
+/// Relevance scoring for ftcontains predicates.
+///
+/// score(e, phrase) = idf(phrase) * tf / (tf + 1), where tf is the phrase
+/// occurrence count inside e's subtree and
+/// idf(phrase) = ln(1 + total_tokens / (1 + min-term ctf)).
+///
+/// The saturating tf normalization gives every predicate the clean upper
+/// bound MaxScore() = idf(phrase), which the planner uses for the paper's
+/// `query-scorebound` and `kor-scorebound` (§6.3): a sum of MaxScore()s of
+/// the scoring operators remaining downstream of a topkPrune.
+class Scorer {
+ public:
+  explicit Scorer(const index::Collection* collection)
+      : collection_(collection) {}
+
+  /// Score contribution of ftcontains(e, phrase); 0 when absent.
+  double Score(xml::NodeId e, const index::Phrase& phrase) const;
+
+  /// Tight upper bound of Score over all elements.
+  double MaxScore(const index::Phrase& phrase) const;
+
+  /// Inverse collection frequency of the phrase's rarest term.
+  double Idf(const index::Phrase& phrase) const;
+
+ private:
+  const index::Collection* collection_;
+};
+
+}  // namespace pimento::score
+
+#endif  // PIMENTO_SCORE_SCORER_H_

@@ -1,0 +1,212 @@
+#include "src/text/stemmer.h"
+
+#include <cctype>
+
+namespace pimento::text {
+
+namespace {
+
+// Implementation of the classic Porter (1980) algorithm, steps 1a-5b,
+// operating on a mutable std::string `w`.
+
+bool IsVowelAt(const std::string& w, size_t i) {
+  char c = w[i];
+  if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return true;
+  // 'y' is a vowel if preceded by a consonant.
+  if (c == 'y' && i > 0) return !IsVowelAt(w, i - 1);
+  return false;
+}
+
+/// Porter's measure m of w[0..end): number of VC sequences.
+int Measure(const std::string& w, size_t end) {
+  int m = 0;
+  bool prev_vowel = false;
+  for (size_t i = 0; i < end; ++i) {
+    bool v = IsVowelAt(w, i);
+    if (prev_vowel && !v) ++m;
+    prev_vowel = v;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, size_t end) {
+  for (size_t i = 0; i < end; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  size_t n = w.size();
+  if (n < 2) return false;
+  return w[n - 1] == w[n - 2] && !IsVowelAt(w, n - 1);
+}
+
+/// *o condition: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w, size_t end) {
+  if (end < 3) return false;
+  if (IsVowelAt(w, end - 1) || !IsVowelAt(w, end - 2) ||
+      IsVowelAt(w, end - 3)) {
+    return false;
+  }
+  char c = w[end - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         std::string_view(w).substr(w.size() - suffix.size()) == suffix;
+}
+
+/// If w ends with `suffix` and the measure of the stem is > `min_m`,
+/// replaces the suffix with `repl` and returns true.
+bool ReplaceIfMeasure(std::string* w, std::string_view suffix,
+                      std::string_view repl, int min_m) {
+  if (!EndsWith(*w, suffix)) return false;
+  size_t stem_len = w->size() - suffix.size();
+  if (Measure(*w, stem_len) <= min_m) return true;  // matched, not replaced
+  w->resize(stem_len);
+  w->append(repl);
+  return true;
+}
+
+void Step1a(std::string* w) {
+  if (EndsWith(*w, "sses")) {
+    w->resize(w->size() - 2);
+  } else if (EndsWith(*w, "ies")) {
+    w->resize(w->size() - 2);
+  } else if (EndsWith(*w, "ss")) {
+    // keep
+  } else if (EndsWith(*w, "s")) {
+    w->resize(w->size() - 1);
+  }
+}
+
+void Step1b(std::string* w) {
+  bool second_third = false;
+  if (EndsWith(*w, "eed")) {
+    if (Measure(*w, w->size() - 3) > 0) w->resize(w->size() - 1);
+  } else if (EndsWith(*w, "ed")) {
+    if (ContainsVowel(*w, w->size() - 2)) {
+      w->resize(w->size() - 2);
+      second_third = true;
+    }
+  } else if (EndsWith(*w, "ing")) {
+    if (ContainsVowel(*w, w->size() - 3)) {
+      w->resize(w->size() - 3);
+      second_third = true;
+    }
+  }
+  if (second_third) {
+    if (EndsWith(*w, "at") || EndsWith(*w, "bl") || EndsWith(*w, "iz")) {
+      w->push_back('e');
+    } else if (EndsWithDoubleConsonant(*w)) {
+      char c = w->back();
+      if (c != 'l' && c != 's' && c != 'z') w->resize(w->size() - 1);
+    } else if (Measure(*w, w->size()) == 1 && EndsCvc(*w, w->size())) {
+      w->push_back('e');
+    }
+  }
+}
+
+void Step1c(std::string* w) {
+  if (EndsWith(*w, "y") && ContainsVowel(*w, w->size() - 1)) {
+    (*w)[w->size() - 1] = 'i';
+  }
+}
+
+void Step2(std::string* w) {
+  struct Rule {
+    std::string_view suffix, repl;
+  };
+  static constexpr Rule kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const Rule& r : kRules) {
+    if (EndsWith(*w, r.suffix)) {
+      ReplaceIfMeasure(w, r.suffix, r.repl, 0);
+      return;
+    }
+  }
+}
+
+void Step3(std::string* w) {
+  struct Rule {
+    std::string_view suffix, repl;
+  };
+  static constexpr Rule kRules[] = {
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+  };
+  for (const Rule& r : kRules) {
+    if (EndsWith(*w, r.suffix)) {
+      ReplaceIfMeasure(w, r.suffix, r.repl, 0);
+      return;
+    }
+  }
+}
+
+void Step4(std::string* w) {
+  static constexpr std::string_view kSuffixes[] = {
+      "al",    "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+      "ement", "ment", "ent",  "ou",  "ism", "ate",  "iti",  "ous",
+      "ive",   "ize",
+  };
+  for (std::string_view s : kSuffixes) {
+    if (EndsWith(*w, s)) {
+      size_t stem_len = w->size() - s.size();
+      if (Measure(*w, stem_len) > 1) w->resize(stem_len);
+      return;
+    }
+  }
+  if (EndsWith(*w, "ion")) {
+    size_t stem_len = w->size() - 3;
+    if (stem_len > 0 && Measure(*w, stem_len) > 1 &&
+        ((*w)[stem_len - 1] == 's' || (*w)[stem_len - 1] == 't')) {
+      w->resize(stem_len);
+    }
+  }
+}
+
+void Step5a(std::string* w) {
+  if (!EndsWith(*w, "e")) return;
+  size_t stem_len = w->size() - 1;
+  int m = Measure(*w, stem_len);
+  if (m > 1 || (m == 1 && !EndsCvc(*w, stem_len))) {
+    w->resize(stem_len);
+  }
+}
+
+void Step5b(std::string* w) {
+  if (Measure(*w, w->size()) > 1 && EndsWithDoubleConsonant(*w) &&
+      w->back() == 'l') {
+    w->resize(w->size() - 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string w(word);
+  if (w.size() <= 2) return w;
+  for (char c : w) {
+    if (!std::islower(static_cast<unsigned char>(c))) return w;
+  }
+  Step1a(&w);
+  Step1b(&w);
+  Step1c(&w);
+  Step2(&w);
+  Step3(&w);
+  Step4(&w);
+  Step5a(&w);
+  Step5b(&w);
+  return w;
+}
+
+}  // namespace pimento::text

@@ -1,0 +1,18 @@
+#ifndef PIMENTO_TEXT_STEMMER_H_
+#define PIMENTO_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace pimento::text {
+
+/// Porter stemming algorithm (M.F. Porter, 1980). Input must already be
+/// lower-cased ASCII; non-alphabetic input is returned unchanged.
+///
+/// The paper's INEX experiment (§7.1) evaluates "some form of relaxation
+/// (like stemming, or upper/lower case)"; this is that relaxation.
+std::string PorterStem(std::string_view word);
+
+}  // namespace pimento::text
+
+#endif  // PIMENTO_TEXT_STEMMER_H_

@@ -1,0 +1,28 @@
+#include "src/text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace pimento::text {
+
+namespace {
+
+// Sorted for binary search.
+constexpr std::array<std::string_view, 64> kStopwords = {
+    "a",     "about", "an",    "and",   "are",  "as",    "at",    "be",
+    "been",  "but",   "by",    "can",   "did",  "do",    "does",  "for",
+    "from",  "had",   "has",   "have",  "he",   "her",   "his",   "how",
+    "i",     "if",    "in",    "into",  "is",   "it",    "its",   "may",
+    "me",    "my",    "no",    "not",   "of",   "on",    "or",    "our",
+    "she",   "so",    "some",  "such",  "than", "that",  "the",   "their",
+    "them",  "then",  "there", "these", "they", "this",  "to",    "up",
+    "was",   "we",    "were",  "what",  "when", "which", "will",  "with",
+};
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), word);
+}
+
+}  // namespace pimento::text

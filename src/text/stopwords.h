@@ -1,0 +1,14 @@
+#ifndef PIMENTO_TEXT_STOPWORDS_H_
+#define PIMENTO_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace pimento::text {
+
+/// True iff `word` (already lower-cased) is an English stopword from a
+/// compact, fixed list (articles, pronouns, auxiliaries, prepositions).
+bool IsStopword(std::string_view word);
+
+}  // namespace pimento::text
+
+#endif  // PIMENTO_TEXT_STOPWORDS_H_

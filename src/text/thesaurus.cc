@@ -1,0 +1,56 @@
+#include "src/text/thesaurus.h"
+
+#include <algorithm>
+
+#include "src/text/tokenizer.h"
+
+namespace pimento::text {
+
+void Thesaurus::AddSynonyms(const std::vector<std::string>& group) {
+  // Find an existing group any member already belongs to; merge into it.
+  size_t target = groups_.size();
+  std::vector<std::string> normalized;
+  normalized.reserve(group.size());
+  for (const std::string& term : group) {
+    normalized.push_back(NormalizeTerm(term));
+  }
+  for (const std::string& term : normalized) {
+    auto it = term_to_group_.find(term);
+    if (it != term_to_group_.end()) {
+      target = it->second;
+      break;
+    }
+  }
+  if (target == groups_.size()) groups_.emplace_back();
+  std::vector<std::string>& bucket = groups_[target];
+  for (const std::string& term : normalized) {
+    auto it = term_to_group_.find(term);
+    if (it != term_to_group_.end() && it->second != target) {
+      // Merge the other group in.
+      for (const std::string& other : groups_[it->second]) {
+        if (std::find(bucket.begin(), bucket.end(), other) == bucket.end()) {
+          bucket.push_back(other);
+        }
+        term_to_group_[other] = target;
+      }
+      groups_[it->second].clear();
+    }
+    if (std::find(bucket.begin(), bucket.end(), term) == bucket.end()) {
+      bucket.push_back(term);
+    }
+    term_to_group_[term] = target;
+  }
+}
+
+std::vector<std::string> Thesaurus::Synonyms(std::string_view term) const {
+  std::string normalized = NormalizeTerm(term);
+  auto it = term_to_group_.find(normalized);
+  if (it == term_to_group_.end()) return {};
+  std::vector<std::string> out;
+  for (const std::string& member : groups_[it->second]) {
+    if (member != normalized) out.push_back(member);
+  }
+  return out;
+}
+
+}  // namespace pimento::text

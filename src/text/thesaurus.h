@@ -1,0 +1,36 @@
+#ifndef PIMENTO_TEXT_THESAURUS_H_
+#define PIMENTO_TEXT_THESAURUS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pimento::text {
+
+/// A synonym table for query-keyword expansion — the extension the paper's
+/// §7.1 explicitly leaves out ("we did not consider thesauri or ontologies
+/// to expand the set of keywords included in the query"). Terms are
+/// normalized (lower-cased) on insertion and lookup.
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  /// Declares the terms of `group` mutual synonyms (transitively merged
+  /// with any group they already belong to).
+  void AddSynonyms(const std::vector<std::string>& group);
+
+  /// Synonyms of `term`, excluding `term` itself; empty when unknown.
+  std::vector<std::string> Synonyms(std::string_view term) const;
+
+  bool empty() const { return groups_.empty(); }
+  size_t group_count() const { return groups_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> groups_;
+  std::unordered_map<std::string, size_t> term_to_group_;
+};
+
+}  // namespace pimento::text
+
+#endif  // PIMENTO_TEXT_THESAURUS_H_

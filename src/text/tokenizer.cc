@@ -1,0 +1,75 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+
+#include "src/text/stemmer.h"
+#include "src/text/stopwords.h"
+
+namespace pimento::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+std::string NormalizeToken(std::string token, const TokenizeOptions& options) {
+  if (options.lowercase) {
+    for (char& c : token) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (options.stem) token = PorterStem(token);
+  return token;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view s,
+                                  const TokenizeOptions& options) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (!IsWordChar(s[i])) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < s.size() && IsWordChar(s[i])) ++i;
+    std::string token(s.substr(start, i - start));
+    if (options.lowercase) {
+      for (char& c : token) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    if (options.drop_stopwords && IsStopword(token)) continue;
+    if (options.stem) token = PorterStem(token);
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+std::string NormalizeTerm(std::string_view term,
+                          const TokenizeOptions& options) {
+  // Tokenize without stopword removal so phrases keep their shape, then
+  // rejoin; query terms must normalize identically to indexed tokens.
+  TokenizeOptions opts = options;
+  opts.drop_stopwords = false;
+  std::string out;
+  size_t i = 0;
+  while (i < term.size()) {
+    if (!IsWordChar(term[i])) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < term.size() && IsWordChar(term[i])) ++i;
+    std::string token =
+        NormalizeToken(std::string(term.substr(start, i - start)), opts);
+    if (!out.empty()) out.push_back(' ');
+    out += token;
+  }
+  return out;
+}
+
+}  // namespace pimento::text

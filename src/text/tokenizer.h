@@ -1,0 +1,31 @@
+#ifndef PIMENTO_TEXT_TOKENIZER_H_
+#define PIMENTO_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimento::text {
+
+struct TokenizeOptions {
+  bool lowercase = true;   ///< ASCII case folding
+  bool stem = false;       ///< Porter stemming (paper §7.1 "stemming" option)
+  bool drop_stopwords = false;
+};
+
+/// Splits `s` into word tokens: maximal runs of alphanumeric characters.
+/// Punctuation and markup characters separate tokens. Applies the
+/// normalization selected in `options`, in the order
+/// lowercase → stopword removal → stemming.
+std::vector<std::string> Tokenize(std::string_view s,
+                                  const TokenizeOptions& options = {});
+
+/// Normalizes one keyword/term the same way Tokenize normalizes tokens, so
+/// query keywords and indexed tokens agree. Multi-word input is tokenized
+/// and rejoined with single spaces (used for phrases).
+std::string NormalizeTerm(std::string_view term,
+                          const TokenizeOptions& options = {});
+
+}  // namespace pimento::text
+
+#endif  // PIMENTO_TEXT_TOKENIZER_H_

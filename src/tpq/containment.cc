@@ -1,0 +1,133 @@
+#include "src/tpq/containment.h"
+
+#include <string>
+
+#include "src/text/tokenizer.h"
+
+namespace pimento::tpq {
+
+namespace {
+
+bool TagMatches(const std::string& pattern_tag, const std::string& query_tag) {
+  return pattern_tag == "*" || pattern_tag == query_tag;
+}
+
+bool KeywordCovered(const KeywordPredicate& pat, const QueryNode& qn) {
+  std::string want = text::NormalizeTerm(pat.keyword);
+  for (const KeywordPredicate& kp : qn.keyword_predicates) {
+    if (kp.optional) continue;  // optional predicates guarantee nothing
+    if (text::NormalizeTerm(kp.keyword) == want) return true;
+  }
+  return false;
+}
+
+bool ValueCovered(const ValuePredicate& pat, const QueryNode& qn) {
+  for (const ValuePredicate& vp : qn.value_predicates) {
+    if (vp.optional) continue;
+    if (ValuePredicateImplies(vp, pat)) return true;
+  }
+  return false;
+}
+
+/// True iff all predicates of pattern node `pn` are covered by query node
+/// `qn`.
+bool NodePredicatesCovered(const QueryNode& pn, const QueryNode& qn) {
+  for (const KeywordPredicate& kp : pn.keyword_predicates) {
+    if (!KeywordCovered(kp, qn)) return false;
+  }
+  for (const ValuePredicate& vp : pn.value_predicates) {
+    if (!ValueCovered(vp, qn)) return false;
+  }
+  return true;
+}
+
+bool IsQueryAncestor(const Tpq& query, int anc, int node) {
+  for (int cur = query.node(node).parent; cur >= 0;
+       cur = query.node(cur).parent) {
+    if (cur == anc) return true;
+  }
+  return false;
+}
+
+class Matcher {
+ public:
+  Matcher(const Tpq& pattern, const Tpq& query, bool match_distinguished)
+      : pattern_(pattern),
+        query_(query),
+        match_distinguished_(match_distinguished),
+        order_(pattern.PreOrder()),
+        mapping_(pattern.size(), -1) {}
+
+  bool Run() { return Assign(0); }
+
+  const std::vector<int>& mapping() const { return mapping_; }
+
+ private:
+  bool Candidate(int p, int q) const {
+    const QueryNode& pn = pattern_.node(p);
+    const QueryNode& qn = query_.node(q);
+    if (!TagMatches(pn.tag, qn.tag)) return false;
+    if (!NodePredicatesCovered(pn, qn)) return false;
+    if (match_distinguished_ && p == pattern_.distinguished() &&
+        q != query_.distinguished()) {
+      return false;
+    }
+    if (p == pattern_.root()) {
+      if (pattern_.root_anchored() &&
+          (q != query_.root() || !query_.root_anchored())) {
+        return false;
+      }
+      return true;
+    }
+    // Edge constraint against the already-assigned parent image.
+    int qp = mapping_[pn.parent];
+    if (pn.parent_edge == EdgeKind::kChild) {
+      return qn.parent == qp && qn.parent_edge == EdgeKind::kChild;
+    }
+    return IsQueryAncestor(query_, qp, q);
+  }
+
+  bool Assign(size_t idx) {
+    if (idx == order_.size()) return true;
+    int p = order_[idx];
+    for (int q = 0; q < query_.size(); ++q) {
+      if (!Candidate(p, q)) continue;
+      mapping_[p] = q;
+      if (Assign(idx + 1)) return true;
+      mapping_[p] = -1;
+    }
+    return false;
+  }
+
+  const Tpq& pattern_;
+  const Tpq& query_;
+  bool match_distinguished_;
+  std::vector<int> order_;
+  std::vector<int> mapping_;
+};
+
+}  // namespace
+
+bool FindHomomorphism(const Tpq& pattern, const Tpq& query,
+                      bool match_distinguished, std::vector<int>* mapping) {
+  if (pattern.empty()) return true;  // condition "true"
+  if (query.empty()) return false;
+  Matcher m(pattern, query, match_distinguished);
+  if (!m.Run()) return false;
+  if (mapping != nullptr) *mapping = m.mapping();
+  return true;
+}
+
+bool SubsumesCondition(const Tpq& query, const Tpq& condition) {
+  return FindHomomorphism(condition, query, /*match_distinguished=*/false);
+}
+
+bool Contains(const Tpq& outer, const Tpq& inner) {
+  return FindHomomorphism(outer, inner, /*match_distinguished=*/true);
+}
+
+bool Equivalent(const Tpq& a, const Tpq& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+}  // namespace pimento::tpq

@@ -1,0 +1,48 @@
+#ifndef PIMENTO_TPQ_CONTAINMENT_H_
+#define PIMENTO_TPQ_CONTAINMENT_H_
+
+#include <vector>
+
+#include "src/tpq/tpq.h"
+
+namespace pimento::tpq {
+
+/// Homomorphism-based containment checks for extended TPQs, used for
+/// rule-applicability ("the condition in p is subsumed by Q", §5.1) and for
+/// query-equivalence in minimization.
+///
+/// A homomorphism h maps every pattern node to a query node such that
+///  * tags match (pattern "*" matches anything),
+///  * a pc edge maps to a pc edge, an ad edge to any downward path,
+///  * every required keyword predicate of a pattern node appears (same
+///    normalized keyword) as a required predicate of its image,
+///  * every value predicate of a pattern node is implied by some value
+///    predicate of its image.
+///
+/// Homomorphism existence is sound for containment on this fragment and
+/// complete for the //-free sub-fragment (Miklau & Suciu); as in FleXPath,
+/// we use it as the practical subsumption test.
+
+/// True iff there is a homomorphism from `pattern` into `query`.
+/// If `pattern.root_anchored()`, the pattern root must map to the query
+/// root; otherwise it may map to any query node. If `match_distinguished`,
+/// the pattern's distinguished node must map to the query's.
+/// On success, `*mapping` (if non-null) receives pattern-node → query-node.
+bool FindHomomorphism(const Tpq& pattern, const Tpq& query,
+                      bool match_distinguished,
+                      std::vector<int>* mapping = nullptr);
+
+/// True iff `query`'s answers are guaranteed to satisfy `condition`, i.e.
+/// the query subsumes the rule condition (rule applicability, §5.1).
+bool SubsumesCondition(const Tpq& query, const Tpq& condition);
+
+/// True iff answers(inner) ⊆ answers(outer) is witnessed by a homomorphism
+/// from `outer` into `inner` mapping distinguished to distinguished.
+bool Contains(const Tpq& outer, const Tpq& inner);
+
+/// True iff Contains(a, b) && Contains(b, a).
+bool Equivalent(const Tpq& a, const Tpq& b);
+
+}  // namespace pimento::tpq
+
+#endif  // PIMENTO_TPQ_CONTAINMENT_H_

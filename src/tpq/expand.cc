@@ -1,0 +1,43 @@
+#include "src/tpq/expand.h"
+
+namespace pimento::tpq {
+
+Tpq ExpandKeywords(const Tpq& query, const text::Thesaurus& thesaurus,
+                   double synonym_boost) {
+  Tpq out = query;
+  for (int i = 0; i < out.size(); ++i) {
+    // Collect first, then append, so the loop does not walk its own
+    // additions.
+    std::vector<KeywordPredicate> additions;
+    for (const KeywordPredicate& kp : out.node(i).keyword_predicates) {
+      for (const std::string& synonym : thesaurus.Synonyms(kp.keyword)) {
+        bool already = false;
+        for (const KeywordPredicate& existing :
+             out.node(i).keyword_predicates) {
+          if (existing.keyword == synonym) {
+            already = true;
+            break;
+          }
+        }
+        for (const KeywordPredicate& pending : additions) {
+          if (pending.keyword == synonym) {
+            already = true;
+            break;
+          }
+        }
+        if (already) continue;
+        KeywordPredicate syn;
+        syn.keyword = synonym;
+        syn.optional = true;
+        syn.boost = synonym_boost * kp.boost;
+        additions.push_back(std::move(syn));
+      }
+    }
+    for (KeywordPredicate& kp : additions) {
+      out.mutable_node(i).keyword_predicates.push_back(std::move(kp));
+    }
+  }
+  return out;
+}
+
+}  // namespace pimento::tpq

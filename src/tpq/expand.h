@@ -1,0 +1,20 @@
+#ifndef PIMENTO_TPQ_EXPAND_H_
+#define PIMENTO_TPQ_EXPAND_H_
+
+#include "src/text/thesaurus.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::tpq {
+
+/// Thesaurus-based keyword expansion: for every keyword predicate of
+/// `query`, attaches one *optional* predicate per synonym, boosted by
+/// `synonym_boost` (< 1 so exact matches still dominate). Required
+/// predicates keep filtering; the expansion only widens recall and scoring
+/// — the keyword-expansion extension the paper's §7.1 deliberately left
+/// out.
+Tpq ExpandKeywords(const Tpq& query, const text::Thesaurus& thesaurus,
+                   double synonym_boost = 0.5);
+
+}  // namespace pimento::tpq
+
+#endif  // PIMENTO_TPQ_EXPAND_H_

@@ -1,0 +1,47 @@
+#include "src/tpq/minimize.h"
+
+#include <vector>
+
+#include "src/tpq/containment.h"
+
+namespace pimento::tpq {
+
+namespace {
+
+/// Leaves of `q` that are not the distinguished node or one of its
+/// ancestors.
+std::vector<int> RemovableLeaves(const Tpq& q) {
+  std::vector<bool> protected_nodes(q.size(), false);
+  for (int cur = q.distinguished(); cur >= 0; cur = q.node(cur).parent) {
+    protected_nodes[cur] = true;
+  }
+  std::vector<int> out;
+  for (int i = 0; i < q.size(); ++i) {
+    if (q.node(i).children.empty() && !protected_nodes[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tpq Minimize(const Tpq& query) {
+  Tpq current = query;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int leaf : RemovableLeaves(current)) {
+      Tpq candidate = current;
+      candidate.RemoveSubtree(leaf);
+      // Removal only relaxes the query, so candidate ⊇ current always; the
+      // leaf is redundant iff candidate ⊆ current too.
+      if (Contains(current, candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace pimento::tpq

@@ -1,0 +1,18 @@
+#ifndef PIMENTO_TPQ_MINIMIZE_H_
+#define PIMENTO_TPQ_MINIMIZE_H_
+
+#include "src/tpq/tpq.h"
+
+namespace pimento::tpq {
+
+/// Removes redundant pattern nodes: a leaf (or leaf subtree) whose removal
+/// yields an equivalent query is dropped, iterated to a fixpoint — the
+/// classical TPQ minimization of Amer-Yahia et al. (SIGMOD'01), cited in
+/// §3 as the foundation of tree pattern queries.
+///
+/// The distinguished node and its ancestors are never removed.
+Tpq Minimize(const Tpq& query);
+
+}  // namespace pimento::tpq
+
+#endif  // PIMENTO_TPQ_MINIMIZE_H_

@@ -1,0 +1,83 @@
+#include "src/tpq/relax.h"
+
+namespace pimento::tpq {
+
+namespace {
+
+bool OnSpine(const Tpq& q, int node) {
+  for (int cur = q.distinguished(); cur >= 0; cur = q.node(cur).parent) {
+    if (cur == node) return true;
+  }
+  return false;
+}
+
+bool SubtreeOptional(const Tpq& q, int node) {
+  for (int cur = node; cur >= 0; cur = q.node(cur).parent) {
+    if (q.node(cur).optional) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Relaxation> EnumerateRelaxations(const Tpq& query) {
+  std::vector<Relaxation> out;
+  // 1. Edge generalization: every pc edge (except none — even spine edges
+  //    may weaken) becomes ad.
+  for (int n : query.PreOrder()) {
+    if (query.node(n).parent < 0) continue;
+    if (query.node(n).parent_edge != EdgeKind::kChild) continue;
+    Relaxation r;
+    r.kind = Relaxation::Kind::kEdgeGeneralization;
+    r.description = "pc(" + query.node(query.node(n).parent).tag + ", " +
+                    query.node(n).tag + ") -> ad";
+    r.query = query;
+    r.query.mutable_node(n).parent_edge = EdgeKind::kDescendant;
+    out.push_back(std::move(r));
+  }
+  // 2. Predicate promotion: required predicates become optional boosts.
+  for (int n : query.PreOrder()) {
+    if (SubtreeOptional(query, n)) continue;
+    const QueryNode& qn = query.node(n);
+    for (size_t i = 0; i < qn.keyword_predicates.size(); ++i) {
+      if (qn.keyword_predicates[i].optional) continue;
+      Relaxation r;
+      r.kind = Relaxation::Kind::kPredicatePromotion;
+      r.description = "optional ftcontains(" + qn.tag + ", \"" +
+                      qn.keyword_predicates[i].keyword + "\")";
+      r.query = query;
+      r.query.mutable_node(n).keyword_predicates[i].optional = true;
+      out.push_back(std::move(r));
+    }
+    for (size_t i = 0; i < qn.value_predicates.size(); ++i) {
+      if (qn.value_predicates[i].optional) continue;
+      Relaxation r;
+      r.kind = Relaxation::Kind::kPredicatePromotion;
+      r.description = "optional value(" + qn.tag + ") " +
+                      qn.value_predicates[i].ToString();
+      r.query = query;
+      r.query.mutable_node(n).value_predicates[i].optional = true;
+      out.push_back(std::move(r));
+    }
+  }
+  // 3. Leaf deletion (as demotion-to-optional, so the branch still boosts
+  //    answers that have it): required leaves off the spine.
+  for (int n : query.PreOrder()) {
+    if (OnSpine(query, n)) continue;
+    if (!query.node(n).children.empty()) continue;
+    if (SubtreeOptional(query, n)) continue;
+    Relaxation r;
+    r.kind = Relaxation::Kind::kLeafDeletion;
+    r.description = "optional branch " + query.node(n).tag;
+    r.query = query;
+    r.query.mutable_node(n).optional = true;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool IsFullyRelaxed(const Tpq& query) {
+  return EnumerateRelaxations(query).empty();
+}
+
+}  // namespace pimento::tpq

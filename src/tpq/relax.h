@@ -1,0 +1,39 @@
+#ifndef PIMENTO_TPQ_RELAX_H_
+#define PIMENTO_TPQ_RELAX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tpq/tpq.h"
+
+namespace pimento::tpq {
+
+/// One systematic single-step relaxation of a TPQ — the FleXPath/
+/// Schlieder-style relaxation repertoire the paper cites as the foundation
+/// of scoping rules ([3, 19] in §1/§3): every relaxation strictly widens
+/// the answer set.
+struct Relaxation {
+  enum class Kind : uint8_t {
+    kEdgeGeneralization,   ///< a pc edge becomes ad
+    kLeafDeletion,         ///< a leaf branch becomes optional
+    kPredicatePromotion,   ///< a required predicate becomes optional
+  };
+
+  Kind kind = Kind::kEdgeGeneralization;
+  std::string description;  ///< human-readable ("pc(car,description) → ad")
+  Tpq query;                ///< the relaxed query
+};
+
+/// Enumerates all single-step relaxations of `query`, in a deterministic
+/// order: edge generalizations (pre-order), predicate promotions
+/// (pre-order; keyword before value per node), then leaf deletions.
+/// The distinguished node's spine is never deleted.
+std::vector<Relaxation> EnumerateRelaxations(const Tpq& query);
+
+/// True iff the query has any relaxation left (i.e. some pc edge, required
+/// predicate, or deletable required leaf).
+bool IsFullyRelaxed(const Tpq& query);
+
+}  // namespace pimento::tpq
+
+#endif  // PIMENTO_TPQ_RELAX_H_

@@ -1,0 +1,299 @@
+#include "src/tpq/tpq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pimento::tpq {
+
+int Tpq::AddRoot(std::string tag, bool root_anchored) {
+  nodes_.clear();
+  QueryNode n;
+  n.tag = std::move(tag);
+  nodes_.push_back(std::move(n));
+  root_anchored_ = root_anchored;
+  distinguished_ = 0;
+  return 0;
+}
+
+int Tpq::AddChild(int parent, std::string tag, EdgeKind edge) {
+  int id = static_cast<int>(nodes_.size());
+  QueryNode n;
+  n.tag = std::move(tag);
+  n.parent = parent;
+  n.parent_edge = edge;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void Tpq::RemoveSubtree(int i) {
+  // Collect the subtree.
+  std::vector<bool> removed(nodes_.size(), false);
+  std::vector<int> stack = {i};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    removed[cur] = true;
+    for (int c : nodes_[cur].children) stack.push_back(c);
+  }
+  // Detach from parent.
+  if (nodes_[i].parent >= 0) {
+    auto& sib = nodes_[nodes_[i].parent].children;
+    sib.erase(std::remove(sib.begin(), sib.end(), i), sib.end());
+  }
+  // Compact.
+  std::vector<int> remap(nodes_.size(), -1);
+  std::vector<QueryNode> kept;
+  for (size_t j = 0; j < nodes_.size(); ++j) {
+    if (!removed[j]) {
+      remap[j] = static_cast<int>(kept.size());
+      kept.push_back(std::move(nodes_[j]));
+    }
+  }
+  for (QueryNode& n : kept) {
+    if (n.parent >= 0) n.parent = remap[n.parent];
+    for (int& c : n.children) c = remap[c];
+  }
+  nodes_ = std::move(kept);
+  if (distinguished_ >= 0 && remap[distinguished_] >= 0) {
+    distinguished_ = remap[distinguished_];
+  } else {
+    distinguished_ = root();
+  }
+}
+
+int Tpq::FindByTag(std::string_view tag) const {
+  for (int i : PreOrder()) {
+    if (nodes_[i].tag == tag) return i;
+  }
+  return -1;
+}
+
+std::vector<int> Tpq::PreOrder() const {
+  std::vector<int> out;
+  if (nodes_.empty()) return out;
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& children = nodes_[cur].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatNumber(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ValuePredicate::ToString() const {
+  std::string out = ". ";
+  out += RelOpToString(op);
+  out += ' ';
+  if (numeric) {
+    out += FormatNumber(number);
+  } else {
+    out += '"';
+    out += text;
+    out += '"';
+  }
+  if (optional) out += " (optional)";
+  return out;
+}
+
+std::string KeywordPredicate::ToString() const {
+  std::string out = "ftcontains(., \"" + keyword + "\"";
+  if (window > 0) out += " window " + std::to_string(window);
+  out += ")";
+  if (optional) out += " (optional)";
+  return out;
+}
+
+std::string RelOpToString(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kGt:
+      return ">";
+    case RelOp::kGe:
+      return ">=";
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool EvalRelOp(double lhs, RelOp op, double rhs) {
+  switch (op) {
+    case RelOp::kLt:
+      return lhs < rhs;
+    case RelOp::kLe:
+      return lhs <= rhs;
+    case RelOp::kGt:
+      return lhs > rhs;
+    case RelOp::kGe:
+      return lhs >= rhs;
+    case RelOp::kEq:
+      return lhs == rhs;
+    case RelOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+bool EvalRelOpStr(std::string_view lhs, RelOp op, std::string_view rhs) {
+  switch (op) {
+    case RelOp::kLt:
+      return lhs < rhs;
+    case RelOp::kLe:
+      return lhs <= rhs;
+    case RelOp::kGt:
+      return lhs > rhs;
+    case RelOp::kGe:
+      return lhs >= rhs;
+    case RelOp::kEq:
+      return lhs == rhs;
+    case RelOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+bool ValuePredicateImplies(const ValuePredicate& a, const ValuePredicate& b) {
+  if (a.numeric != b.numeric) return false;
+  if (!a.numeric) {
+    // String predicates: only equality chains are decidable here.
+    if (a.op == RelOp::kEq) return EvalRelOpStr(a.text, b.op, b.text) ||
+                                   (b.op == RelOp::kEq && a.text == b.text);
+    if (a.op == RelOp::kNe && b.op == RelOp::kNe) return a.text == b.text;
+    return false;
+  }
+  const double av = a.number;
+  const double bv = b.number;
+  switch (b.op) {
+    case RelOp::kLt:
+      // v < bv implied by: v < av (av<=bv), v <= av (av<bv), v = av (av<bv)
+      if (a.op == RelOp::kLt) return av <= bv;
+      if (a.op == RelOp::kLe) return av < bv;
+      if (a.op == RelOp::kEq) return av < bv;
+      return false;
+    case RelOp::kLe:
+      if (a.op == RelOp::kLt) return av <= bv;  // v<av<=bv → v<bv → v<=bv
+      if (a.op == RelOp::kLe) return av <= bv;
+      if (a.op == RelOp::kEq) return av <= bv;
+      return false;
+    case RelOp::kGt:
+      if (a.op == RelOp::kGt) return av >= bv;
+      if (a.op == RelOp::kGe) return av > bv;
+      if (a.op == RelOp::kEq) return av > bv;
+      return false;
+    case RelOp::kGe:
+      if (a.op == RelOp::kGt) return av >= bv;
+      if (a.op == RelOp::kGe) return av >= bv;
+      if (a.op == RelOp::kEq) return av >= bv;
+      return false;
+    case RelOp::kEq:
+      return a.op == RelOp::kEq && av == bv;
+    case RelOp::kNe:
+      if (a.op == RelOp::kEq) return av != bv;
+      if (a.op == RelOp::kNe) return av == bv;
+      if (a.op == RelOp::kLt) return av <= bv;  // v<av<=bv → v≠bv
+      if (a.op == RelOp::kGt) return av >= bv;
+      if (a.op == RelOp::kLe) return av < bv;
+      if (a.op == RelOp::kGe) return av > bv;
+      return false;
+  }
+  return false;
+}
+
+std::string Tpq::ToString() const {
+  if (nodes_.empty()) return "";
+  // Render as: path-to-distinguished with nested predicates on branches.
+  // We render recursively from the root; the spine to the distinguished node
+  // uses '/'-steps, branches render as relative-path predicates.
+  std::vector<bool> on_spine(nodes_.size(), false);
+  for (int cur = distinguished_; cur >= 0; cur = nodes_[cur].parent) {
+    on_spine[cur] = true;
+  }
+
+  // Collects the bracketed predicate expression of node i (own predicates
+  // plus non-spine children as relative paths).
+  auto render = [&](auto&& self, int i, bool as_branch) -> std::string {
+    const QueryNode& n = nodes_[i];
+    std::string out;
+    if (as_branch) {
+      out += (n.parent_edge == EdgeKind::kChild) ? "./" : ".//";
+      out += n.tag;
+    }
+    std::vector<std::string> preds;
+    for (const KeywordPredicate& kp : n.keyword_predicates) {
+      std::string p = "ftcontains(., \"" + kp.keyword + "\"";
+      if (kp.window > 0) p += " window " + std::to_string(kp.window);
+      p += ")";
+      if (kp.optional) p += "?";
+      preds.push_back(std::move(p));
+    }
+    for (const ValuePredicate& vp : n.value_predicates) {
+      std::string p = ". " + RelOpToString(vp.op) + " ";
+      if (vp.numeric) {
+        p += FormatNumber(vp.number);
+      } else {
+        p += '"' + vp.text + '"';
+      }
+      if (vp.optional) p += "?";
+      preds.push_back(std::move(p));
+    }
+    for (int c : n.children) {
+      if (!on_spine[c]) preds.push_back(self(self, c, true));
+    }
+    if (!preds.empty()) {
+      out += "[";
+      for (size_t j = 0; j < preds.size(); ++j) {
+        if (j > 0) out += " and ";
+        out += preds[j];
+      }
+      out += "]";
+    }
+    if (as_branch && n.optional) out += "?";
+    return out;
+  };
+
+  std::string out;
+  // Walk the spine from root to distinguished.
+  std::vector<int> spine;
+  for (int cur = distinguished_; cur >= 0; cur = nodes_[cur].parent) {
+    spine.push_back(cur);
+  }
+  std::reverse(spine.begin(), spine.end());
+  for (size_t s = 0; s < spine.size(); ++s) {
+    int i = spine[s];
+    const QueryNode& n = nodes_[i];
+    if (s == 0) {
+      out += root_anchored_ ? "/" : "//";
+    } else {
+      out += (n.parent_edge == EdgeKind::kChild) ? "/" : "//";
+    }
+    out += n.tag;
+    out += render(render, i, false);
+  }
+  return out;
+}
+
+}  // namespace pimento::tpq

@@ -1,0 +1,118 @@
+#ifndef PIMENTO_TPQ_TPQ_H_
+#define PIMENTO_TPQ_TPQ_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimento::tpq {
+
+/// Edge kinds of a tree pattern: parent-child (pc) or ancestor-descendant
+/// (ad), per the TPQ definition in the paper's §3.
+enum class EdgeKind : uint8_t {
+  kChild,
+  kDescendant,
+};
+
+enum class RelOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// "value relOp u" constraint on the content of a (leaf) query node.
+struct ValuePredicate {
+  RelOp op = RelOp::kEq;
+  bool numeric = true;
+  double number = 0;
+  std::string text;      ///< string constant when !numeric (normalized lower)
+  bool optional = false; ///< SR-derived: scored, non-filtering
+  double boost = 1.0;
+
+  std::string ToString() const;
+};
+
+/// ftcontains(., "k") predicate on a query node. `keyword` may be a
+/// phrase; `window` > 0 selects unordered within-window proximity instead
+/// of exact adjacency (XQuery Full-Text window semantics).
+struct KeywordPredicate {
+  std::string keyword;
+  int window = 0;
+  bool optional = false; ///< SR-derived: contributes score but never filters
+  double boost = 1.0;
+
+  std::string ToString() const;
+};
+
+/// One node of a tree pattern query.
+struct QueryNode {
+  std::string tag;  ///< element tag; "*" matches any
+  int parent = -1;
+  EdgeKind parent_edge = EdgeKind::kDescendant;
+  std::vector<int> children;
+  std::vector<ValuePredicate> value_predicates;
+  std::vector<KeywordPredicate> keyword_predicates;
+  bool optional = false;  ///< SR-derived: subtree need not match (bonus if it does)
+};
+
+/// An extended tree pattern query (paper §3): a rooted tree of tagged nodes
+/// connected by pc/ad edges, each node optionally carrying constraint and
+/// keyword predicates, with one distinguished (answer) node.
+///
+/// Also used (without a meaningful distinguished node) as the *pattern* of
+/// scoping-rule conditions.
+class Tpq {
+ public:
+  Tpq() = default;
+
+  /// Creates the root node. `root_anchored` = true means the root must match
+  /// the document root (query began with a single '/').
+  int AddRoot(std::string tag, bool root_anchored = false);
+
+  /// Adds a child pattern node under `parent` via a pc or ad edge.
+  int AddChild(int parent, std::string tag, EdgeKind edge);
+
+  int root() const { return nodes_.empty() ? -1 : 0; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+  const QueryNode& node(int i) const { return nodes_[i]; }
+  QueryNode& mutable_node(int i) { return nodes_[i]; }
+
+  int distinguished() const { return distinguished_; }
+  void set_distinguished(int i) { distinguished_ = i; }
+
+  bool root_anchored() const { return root_anchored_; }
+  void set_root_anchored(bool v) { root_anchored_ = v; }
+
+  /// Removes node `i`'s entire subtree (must not contain the distinguished
+  /// node). Node indices are compacted; the distinguished index is remapped.
+  void RemoveSubtree(int i);
+
+  /// First node with the given tag in pre-order, or -1.
+  int FindByTag(std::string_view tag) const;
+
+  /// Nodes in pre-order (root first).
+  std::vector<int> PreOrder() const;
+
+  /// Canonical text form, re-parsable by ParseTpq. The distinguished node is
+  /// the last step of the main path; predicates render inside [...].
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryNode> nodes_;
+  int distinguished_ = 0;
+  bool root_anchored_ = false;
+};
+
+std::string RelOpToString(RelOp op);
+
+/// Evaluates `lhs op rhs` for doubles.
+bool EvalRelOp(double lhs, RelOp op, double rhs);
+
+/// Evaluates `lhs op rhs` for strings (only kEq/kNe are meaningful; ordered
+/// ops use lexicographic comparison).
+bool EvalRelOpStr(std::string_view lhs, RelOp op, std::string_view rhs);
+
+/// True iff constraint (v `a_op` a_val) implies (v `b_op` b_val) for every v.
+/// Used by rule-condition subsumption (§5.1).
+bool ValuePredicateImplies(const ValuePredicate& a, const ValuePredicate& b);
+
+}  // namespace pimento::tpq
+
+#endif  // PIMENTO_TPQ_TPQ_H_

@@ -1,0 +1,271 @@
+#include "src/tpq/tpq_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace pimento::tpq {
+
+namespace {
+
+bool IsTagChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == ':' || c == '@' || c == '*' || c == '.';
+}
+
+class TpqParser {
+ public:
+  explicit TpqParser(std::string_view input) : s_(input) {}
+
+  StatusOr<Tpq> Parse() {
+    Tpq q;
+    SkipWs();
+    bool anchored;
+    if (Consume("//")) {
+      anchored = false;
+    } else if (Consume("/")) {
+      anchored = true;
+    } else {
+      return Error("query must start with '/' or '//'");
+    }
+    StatusOr<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    int node = q.AddRoot(*name, anchored);
+    PIMENTO_RETURN_IF_ERROR(MaybeParseBrackets(&q, node));
+    while (true) {
+      SkipWs();
+      EdgeKind edge;
+      if (Consume("//")) {
+        edge = EdgeKind::kDescendant;
+      } else if (Consume("/")) {
+        edge = EdgeKind::kChild;
+      } else {
+        break;
+      }
+      StatusOr<std::string> step = ParseName();
+      if (!step.ok()) return step.status();
+      node = q.AddChild(node, *step, edge);
+      PIMENTO_RETURN_IF_ERROR(MaybeParseBrackets(&q, node));
+    }
+    SkipWs();
+    if (pos_ != s_.size()) return Error("trailing input");
+    q.set_distinguished(node);
+    return q;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view lit) {
+    if (s_.substr(pos_).substr(0, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ConsumeKeyword(std::string_view word) {
+    SkipWs();
+    size_t save = pos_;
+    if (!Consume(word)) return false;
+    if (pos_ < s_.size() && IsTagChar(s_[pos_])) {
+      pos_ = save;
+      return false;
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  Status Error(const std::string& what) {
+    return Status::ParseError("TPQ at offset " + std::to_string(pos_) + ": " +
+                              what);
+  }
+
+  StatusOr<std::string> ParseName() {
+    SkipWs();
+    size_t start = pos_;
+    // A name must not start with '.' (that would be a dot-path), but may
+    // contain dots internally (rare in tags; mostly defensive).
+    if (pos_ >= s_.size() || !IsTagChar(s_[pos_]) || s_[pos_] == '.') {
+      return Error("expected name");
+    }
+    while (pos_ < s_.size() && IsTagChar(s_[pos_]) && s_[pos_] != '.') ++pos_;
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> ParseString() {
+    SkipWs();
+    if (!Consume("\"")) return Error("expected string literal");
+    size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') ++pos_;
+    if (pos_ >= s_.size()) return Error("unterminated string");
+    std::string out(s_.substr(start, pos_ - start));
+    ++pos_;
+    return out;
+  }
+
+  StatusOr<RelOp> ParseRelOp() {
+    SkipWs();
+    if (Consume("<=")) return RelOp::kLe;
+    if (Consume(">=")) return RelOp::kGe;
+    if (Consume("!=")) return RelOp::kNe;
+    if (Consume("<>")) return RelOp::kNe;
+    if (Consume("<")) return RelOp::kLt;
+    if (Consume(">")) return RelOp::kGt;
+    if (Consume("=")) return RelOp::kEq;
+    return Error("expected relational operator");
+  }
+
+  bool PeekRelOp() {
+    SkipWs();
+    char c = Peek();
+    return c == '<' || c == '>' || c == '=' || c == '!';
+  }
+
+  Status MaybeParseBrackets(Tpq* q, int node) {
+    SkipWs();
+    if (!Consume("[")) return Status::OK();
+    PIMENTO_RETURN_IF_ERROR(ParsePred(q, node));
+    while (true) {
+      SkipWs();
+      if (ConsumeKeyword("and") || Consume("&&") || Consume("&")) {
+        PIMENTO_RETURN_IF_ERROR(ParsePred(q, node));
+      } else {
+        break;
+      }
+    }
+    SkipWs();
+    if (!Consume("]")) return Error("expected ']'");
+    return Status::OK();
+  }
+
+  bool ConsumeOptionalMarker() {
+    SkipWs();
+    return Consume("?");
+  }
+
+  Status ParsePred(Tpq* q, int node) {
+    SkipWs();
+    if (ConsumeKeyword("ftcontains") || ConsumeKeyword("about")) {
+      SkipWs();
+      if (!Consume("(")) return Error("expected '('");
+      int target = node;
+      SkipWs();
+      if (Consume(".")) {
+        // '.' alone, or './path' / './/path'.
+        if (Peek() == '/') {
+          StatusOr<int> t = ParseRelPathFromDot(q, node);
+          if (!t.ok()) return t.status();
+          target = *t;
+        }
+      } else {
+        return Error("expected '.' or relative path");
+      }
+      SkipWs();
+      if (!Consume(",")) return Error("expected ','");
+      StatusOr<std::string> kw = ParseString();
+      if (!kw.ok()) return kw.status();
+      KeywordPredicate kp;
+      kp.keyword = *kw;
+      if (ConsumeKeyword("window")) {
+        SkipWs();
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ == start) return Error("expected window size");
+        kp.window = std::stoi(std::string(s_.substr(start, pos_ - start)));
+      }
+      SkipWs();
+      if (!Consume(")")) return Error("expected ')'");
+      kp.optional = ConsumeOptionalMarker();
+      q->mutable_node(target).keyword_predicates.push_back(std::move(kp));
+      return Status::OK();
+    }
+    // '.'-rooted path or bare '.'; then optionally a RelOp comparison.
+    SkipWs();
+    if (!Consume(".")) return Error("expected predicate");
+    int target = node;
+    bool is_path = false;
+    if (Peek() == '/') {
+      StatusOr<int> t = ParseRelPathFromDot(q, node);
+      if (!t.ok()) return t.status();
+      target = *t;
+      is_path = true;
+    }
+    if (PeekRelOp()) {
+      StatusOr<RelOp> op = ParseRelOp();
+      if (!op.ok()) return op.status();
+      ValuePredicate vp;
+      vp.op = *op;
+      SkipWs();
+      if (Peek() == '"') {
+        StatusOr<std::string> text = ParseString();
+        if (!text.ok()) return text.status();
+        vp.numeric = false;
+        vp.text = pimento::AsciiToLower(*text);
+      } else {
+        size_t start = pos_;
+        if (Peek() == '-' || Peek() == '+') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.')) {
+          ++pos_;
+        }
+        double num = 0;
+        if (!pimento::ParseDouble(s_.substr(start, pos_ - start), &num)) {
+          return Error("expected numeric literal");
+        }
+        vp.numeric = true;
+        vp.number = num;
+      }
+      vp.optional = ConsumeOptionalMarker();
+      q->mutable_node(target).value_predicates.push_back(std::move(vp));
+      return Status::OK();
+    }
+    if (!is_path) return Error("expected comparison after '.'");
+    // Bare existence path; optional marker applies to the branch node.
+    if (ConsumeOptionalMarker()) q->mutable_node(target).optional = true;
+    return Status::OK();
+  }
+
+  /// Parses '/step(/step)*' after an initial '.', adding nodes under
+  /// `anchor`; returns the last node. Steps may carry nested brackets.
+  StatusOr<int> ParseRelPathFromDot(Tpq* q, int anchor) {
+    int node = anchor;
+    while (true) {
+      EdgeKind edge;
+      if (Consume("//")) {
+        edge = EdgeKind::kDescendant;
+      } else if (Consume("/")) {
+        edge = EdgeKind::kChild;
+      } else {
+        break;
+      }
+      StatusOr<std::string> name = ParseName();
+      if (!name.ok()) return name.status();
+      node = q->AddChild(node, *name, edge);
+      PIMENTO_RETURN_IF_ERROR(MaybeParseBrackets(q, node));
+    }
+    if (node == anchor) return Error("expected relative path");
+    return node;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Tpq> ParseTpq(std::string_view input) {
+  TpqParser p(pimento::StripWhitespace(input));
+  return p.Parse();
+}
+
+}  // namespace pimento::tpq

@@ -1,0 +1,36 @@
+#ifndef PIMENTO_TPQ_TPQ_PARSER_H_
+#define PIMENTO_TPQ_TPQ_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::tpq {
+
+/// Parses the compact XPath/XQuery-Full-Text-like syntax used throughout
+/// the paper's examples into an extended TPQ. Examples:
+///
+///   //car[./description[ftcontains(., "good condition") and
+///         ftcontains(., "low mileage")] and ./price < 2000]
+///   //article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]
+///
+/// Grammar (whitespace-insensitive):
+///   Query    := ('/'|'//') Step ( ('/'|'//') Step )*
+///   Step     := Name ['[' Pred ('and'|'&' Pred)* ']']
+///   Pred     := ('ftcontains'|'about') '(' PathOrDot ',' String ')' ['?']
+///            |  PathOrDot RelOp Literal ['?']
+///            |  RelPath ['?']                       (existence)
+///   PathOrDot:= '.' | RelPath
+///   RelPath  := ('./'|'.//') Step ( ('/'|'//') Step )*
+///   RelOp    := '<' '<=' '>' '>=' '=' '!='
+///   Literal  := number | '"' chars '"'
+///
+/// The distinguished (answer) node is the last step of the main path. A '?'
+/// suffix marks a predicate or branch optional (used when round-tripping
+/// flock-encoded queries).
+StatusOr<Tpq> ParseTpq(std::string_view input);
+
+}  // namespace pimento::tpq
+
+#endif  // PIMENTO_TPQ_TPQ_PARSER_H_

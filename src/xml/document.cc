@@ -1,0 +1,127 @@
+#include "src/xml/document.h"
+
+namespace pimento::xml {
+
+Document::Document() = default;
+
+NodeId Document::AddRoot(std::string tag) {
+  approx_bytes_ += 2 * tag.size() + 5;
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.tag = std::move(tag);
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId Document::AddElement(NodeId parent, std::string tag) {
+  approx_bytes_ += 2 * tag.size() + 5;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.tag = std::move(tag);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId Document::AddText(NodeId parent, std::string text) {
+  approx_bytes_ += text.size();
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = NodeKind::kText;
+  n.text = std::move(text);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void Document::FinalizeIntervals() {
+  if (nodes_.empty()) return;
+  // Iterative DFS assigning pre-order begin and post-visit end counters.
+  int32_t counter = 0;
+  struct Frame {
+    NodeId id;
+    size_t child_idx;
+  };
+  std::vector<Frame> stack;
+  nodes_[0].level = 0;
+  nodes_[0].begin = counter++;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    Node& n = nodes_[top.id];
+    if (top.child_idx < n.children.size()) {
+      NodeId child = n.children[top.child_idx++];
+      nodes_[child].level = n.level + 1;
+      nodes_[child].begin = counter++;
+      stack.push_back({child, 0});
+    } else {
+      n.end = counter++;
+      stack.pop_back();
+    }
+  }
+}
+
+bool Document::IsAncestor(NodeId anc, NodeId desc) const {
+  const Node& a = nodes_[anc];
+  const Node& d = nodes_[desc];
+  return a.begin < d.begin && d.end <= a.end;
+}
+
+std::string Document::TextContent(NodeId id) const {
+  std::string out;
+  std::vector<NodeId> stack = {id};
+  // Collect in document order: push children in reverse so the leftmost is
+  // visited first.
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[cur];
+    if (n.kind == NodeKind::kText) {
+      if (!out.empty()) out.push_back(' ');
+      out += n.text;
+    }
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Document::ChildrenByTag(NodeId id,
+                                            std::string_view tag) const {
+  std::vector<NodeId> out;
+  for (NodeId c : nodes_[id].children) {
+    if (nodes_[c].kind == NodeKind::kElement && nodes_[c].tag == tag) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+NodeId Document::FindDescendant(NodeId id, std::string_view tag) const {
+  std::vector<NodeId> stack(nodes_[id].children.rbegin(),
+                            nodes_[id].children.rend());
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[cur];
+    if (n.kind == NodeKind::kElement && n.tag == tag) return cur;
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> Document::AllElements() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < static_cast<NodeId>(nodes_.size()); ++i) {
+    if (nodes_[i].kind == NodeKind::kElement) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace pimento::xml

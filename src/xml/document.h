@@ -1,0 +1,110 @@
+#ifndef PIMENTO_XML_DOCUMENT_H_
+#define PIMENTO_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimento::xml {
+
+/// Identifier of a node inside one Document; dense, starting at 0 (root).
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class NodeKind : uint8_t {
+  kElement,
+  kText,
+};
+
+/// One DOM node. Attributes are normalized into child elements whose tag is
+/// "@name" holding one text child, so that tree-pattern predicates treat
+/// elements and attributes uniformly (as the paper does for `color`, `age`).
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  std::string tag;   ///< element tag; empty for text nodes
+  std::string text;  ///< text content; empty for element nodes
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+
+  /// Pre-order interval encoding: `a` is an ancestor of `d` iff
+  /// a.begin < d.begin && d.end <= a.end. Assigned by FinalizeIntervals().
+  int32_t begin = 0;
+  int32_t end = 0;
+  int32_t level = 0;  ///< depth; root has level 0
+
+  /// Token span [first_token, last_token) into the collection token stream;
+  /// filled by the index builder. ftcontains containment tests reduce to a
+  /// range check against this span.
+  int32_t first_token = 0;
+  int32_t last_token = 0;
+};
+
+/// An in-memory XML document: an arena of nodes plus structural encodings.
+///
+/// Construction is incremental (AddElement/AddText under a parent) followed
+/// by FinalizeIntervals(); the parser and the data generators both build
+/// documents through this API.
+class Document {
+ public:
+  Document();
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Root element id (0 once a root exists).
+  NodeId root() const { return nodes_.empty() ? kInvalidNode : 0; }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Creates the root element. Must be the first node added.
+  NodeId AddRoot(std::string tag);
+
+  /// Appends an element child under `parent`.
+  NodeId AddElement(NodeId parent, std::string tag);
+
+  /// Appends a text child under `parent`. Consecutive text children are
+  /// merged by the parser, not here.
+  NodeId AddText(NodeId parent, std::string text);
+
+  /// Computes begin/end pre-order intervals and levels for all nodes.
+  /// Call once after construction; safe to call again after mutation.
+  void FinalizeIntervals();
+
+  /// True iff `anc` is a proper ancestor of `desc` (requires finalized
+  /// intervals).
+  bool IsAncestor(NodeId anc, NodeId desc) const;
+
+  /// True iff `parent` is the parent element of `child`.
+  bool IsParent(NodeId parent, NodeId child) const {
+    return nodes_[child].parent == parent;
+  }
+
+  /// Concatenated text of all descendant text nodes, in document order,
+  /// separated by single spaces.
+  std::string TextContent(NodeId id) const;
+
+  /// Direct children of `id` with the given tag.
+  std::vector<NodeId> ChildrenByTag(NodeId id, std::string_view tag) const;
+
+  /// First descendant (any depth) with the given tag, or kInvalidNode.
+  NodeId FindDescendant(NodeId id, std::string_view tag) const;
+
+  /// All element ids in document (pre-)order.
+  std::vector<NodeId> AllElements() const;
+
+  /// Approximate serialized size used by generators to hit byte targets.
+  size_t ApproximateBytes() const { return approx_bytes_; }
+
+ private:
+  std::vector<Node> nodes_;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace pimento::xml
+
+#endif  // PIMENTO_XML_DOCUMENT_H_

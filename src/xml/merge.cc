@@ -1,0 +1,35 @@
+#include "src/xml/merge.h"
+
+namespace pimento::xml {
+
+namespace {
+
+void CopySubtree(const Document& src, NodeId src_node, Document* dst,
+                 NodeId dst_parent) {
+  const Node& n = src.node(src_node);
+  NodeId copy;
+  if (n.kind == NodeKind::kText) {
+    dst->AddText(dst_parent, n.text);
+    return;
+  }
+  copy = dst->AddElement(dst_parent, n.tag);
+  for (NodeId c : n.children) {
+    CopySubtree(src, c, dst, copy);
+  }
+}
+
+}  // namespace
+
+Document MergeDocuments(std::vector<Document> documents,
+                        const std::string& root_tag) {
+  Document merged;
+  NodeId root = merged.AddRoot(root_tag);
+  for (const Document& doc : documents) {
+    if (doc.root() == kInvalidNode) continue;
+    CopySubtree(doc, doc.root(), &merged, root);
+  }
+  merged.FinalizeIntervals();
+  return merged;
+}
+
+}  // namespace pimento::xml

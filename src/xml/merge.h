@@ -1,0 +1,24 @@
+#ifndef PIMENTO_XML_MERGE_H_
+#define PIMENTO_XML_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xml/document.h"
+
+namespace pimento::xml {
+
+/// Merges several documents into one collection document: the inputs'
+/// roots become children of a synthetic root element (default tag
+/// "collection"). Node ids are reassigned (document order across inputs);
+/// intervals and levels are finalized on the result.
+///
+/// This is how PIMENTO handles multi-document corpora: one merged tree,
+/// one set of indexes with corpus-wide term statistics (so idf is global,
+/// as in any collection-level search engine).
+Document MergeDocuments(std::vector<Document> documents,
+                        const std::string& root_tag = "collection");
+
+}  // namespace pimento::xml
+
+#endif  // PIMENTO_XML_MERGE_H_

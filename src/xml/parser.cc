@@ -1,0 +1,325 @@
+#include "src/xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace pimento::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+  bool Consume(std::string_view lit) {
+    if (input_.substr(pos_).substr(0, lit.size()) != lit) return false;
+    AdvanceBy(lit.size());
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view Remaining() const { return input_.substr(pos_); }
+  std::string_view Slice(size_t from, size_t to) const {
+    return input_.substr(from, to - from);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : cur_(input), options_(options) {}
+
+  StatusOr<Document> Parse() {
+    Document doc;
+    PIMENTO_RETURN_IF_ERROR(SkipProlog());
+    if (cur_.AtEnd() || cur_.Peek() != '<') {
+      return Error("expected root element");
+    }
+    PIMENTO_RETURN_IF_ERROR(ParseElement(&doc, kInvalidNode));
+    // Trailing misc (comments / whitespace) is allowed.
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) break;
+      if (cur_.Consume("<!--")) {
+        PIMENTO_RETURN_IF_ERROR(SkipUntil("-->", "unterminated comment"));
+      } else {
+        return Error("content after document element");
+      }
+    }
+    doc.FinalizeIntervals();
+    return doc;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::ParseError("line " + std::to_string(cur_.line()) + ": " +
+                              what);
+  }
+
+  Status SkipUntil(std::string_view lit, const std::string& err) {
+    while (!cur_.AtEnd()) {
+      if (cur_.Consume(lit)) return Status::OK();
+      cur_.Advance();
+    }
+    return Error(err);
+  }
+
+  Status SkipProlog() {
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.Consume("<?")) {
+        PIMENTO_RETURN_IF_ERROR(SkipUntil("?>", "unterminated PI"));
+      } else if (cur_.Consume("<!--")) {
+        PIMENTO_RETURN_IF_ERROR(SkipUntil("-->", "unterminated comment"));
+      } else if (cur_.Consume("<!DOCTYPE")) {
+        // Skip to matching '>' accounting for an optional internal subset.
+        int depth = 1;
+        while (!cur_.AtEnd() && depth > 0) {
+          char c = cur_.Peek();
+          if (c == '<') ++depth;
+          if (c == '>') --depth;
+          cur_.Advance();
+        }
+        if (depth != 0) return Error("unterminated DOCTYPE");
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (cur_.AtEnd() || !IsNameStartChar(cur_.Peek())) {
+      return Error("expected name");
+    }
+    size_t start = cur_.pos();
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) cur_.Advance();
+    return std::string(cur_.Slice(start, cur_.pos()));
+  }
+
+  Status ParseAttributes(Document* doc, NodeId elem) {
+    for (;;) {
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) return Error("unterminated start tag");
+      char c = cur_.Peek();
+      if (c == '>' || c == '/') return Status::OK();
+      StatusOr<std::string> name = ParseName();
+      if (!name.ok()) return name.status();
+      cur_.SkipWhitespace();
+      if (!cur_.Consume("=")) return Error("expected '=' in attribute");
+      cur_.SkipWhitespace();
+      if (cur_.AtEnd()) return Error("unterminated attribute");
+      char quote = cur_.Peek();
+      if (quote != '"' && quote != '\'') {
+        return Error("expected quoted attribute value");
+      }
+      cur_.Advance();
+      size_t start = cur_.pos();
+      while (!cur_.AtEnd() && cur_.Peek() != quote) cur_.Advance();
+      if (cur_.AtEnd()) return Error("unterminated attribute value");
+      std::string value = DecodeEntities(cur_.Slice(start, cur_.pos()));
+      cur_.Advance();  // closing quote
+      if (options_.attributes_as_elements) {
+        NodeId attr = doc->AddElement(elem, "@" + *name);
+        if (!value.empty()) doc->AddText(attr, std::move(value));
+      }
+    }
+  }
+
+  Status ParseElement(Document* doc, NodeId parent) {
+    // Caller guarantees cur_ points at '<'.
+    cur_.Advance();  // '<'
+    StatusOr<std::string> tag = ParseName();
+    if (!tag.ok()) return tag.status();
+    NodeId elem = parent == kInvalidNode ? doc->AddRoot(*tag)
+                                         : doc->AddElement(parent, *tag);
+    PIMENTO_RETURN_IF_ERROR(ParseAttributes(doc, elem));
+    if (cur_.Consume("/>")) return Status::OK();
+    if (!cur_.Consume(">")) return Error("expected '>'");
+    PIMENTO_RETURN_IF_ERROR(ParseContent(doc, elem));
+    // ParseContent consumed "</"; match the tag.
+    StatusOr<std::string> close = ParseName();
+    if (!close.ok()) return close.status();
+    if (*close != *tag) {
+      return Error("mismatched end tag </" + *close + "> for <" + *tag + ">");
+    }
+    cur_.SkipWhitespace();
+    if (!cur_.Consume(">")) return Error("expected '>' in end tag");
+    return Status::OK();
+  }
+
+  Status ParseContent(Document* doc, NodeId elem) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (!options_.skip_whitespace_text || !IsAllWhitespace(text)) {
+        doc->AddText(elem, DecodeEntities(text));
+      }
+      text.clear();
+    };
+    for (;;) {
+      if (cur_.AtEnd()) return Error("unterminated element content");
+      if (cur_.Peek() == '<') {
+        if (cur_.Consume("</")) {
+          flush_text();
+          return Status::OK();
+        }
+        if (cur_.Consume("<!--")) {
+          PIMENTO_RETURN_IF_ERROR(SkipUntil("-->", "unterminated comment"));
+          continue;
+        }
+        if (cur_.Consume("<![CDATA[")) {
+          size_t start = cur_.pos();
+          PIMENTO_RETURN_IF_ERROR(SkipUntil("]]>", "unterminated CDATA"));
+          text += cur_.Slice(start, cur_.pos() - 3);
+          continue;
+        }
+        if (cur_.Consume("<?")) {
+          PIMENTO_RETURN_IF_ERROR(SkipUntil("?>", "unterminated PI"));
+          continue;
+        }
+        flush_text();
+        PIMENTO_RETURN_IF_ERROR(ParseElement(doc, elem));
+      } else {
+        text.push_back(cur_.Peek());
+        cur_.Advance();
+      }
+    }
+  }
+
+  Cursor cur_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i++]);
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(raw[i++]);
+      continue;
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      bool valid = ent.size() > 1;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        for (size_t j = 2; j < ent.size(); ++j) {
+          char c = ent[j];
+          int d;
+          if (c >= '0' && c <= '9') {
+            d = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            d = c - 'a' + 10;
+          } else if (c >= 'A' && c <= 'F') {
+            d = c - 'A' + 10;
+          } else {
+            valid = false;
+            break;
+          }
+          code = code * 16 + d;
+        }
+      } else {
+        for (size_t j = 1; j < ent.size(); ++j) {
+          if (ent[j] < '0' || ent[j] > '9') {
+            valid = false;
+            break;
+          }
+          code = code * 10 + (ent[j] - '0');
+        }
+      }
+      if (!valid || code <= 0 || code > 0x10FFFF) {
+        out.append(raw.substr(i, semi - i + 1));
+      } else if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else {
+        // Minimal UTF-8 encoding.
+        if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      }
+    } else {
+      // Unknown entity: pass through verbatim.
+      out.append(raw.substr(i, semi - i + 1));
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+StatusOr<Document> ParseXml(std::string_view input,
+                            const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace pimento::xml

@@ -1,0 +1,34 @@
+#ifndef PIMENTO_XML_PARSER_H_
+#define PIMENTO_XML_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xml/document.h"
+
+namespace pimento::xml {
+
+struct ParseOptions {
+  /// Drop text nodes consisting only of whitespace (typical for indented
+  /// documents).
+  bool skip_whitespace_text = true;
+  /// Attributes become child elements tagged "@name" (see document.h).
+  bool attributes_as_elements = true;
+};
+
+/// Parses a standalone XML document from `input`.
+///
+/// A from-scratch, non-validating parser covering the subset needed for the
+/// paper's datasets: elements, attributes, character data, CDATA sections,
+/// comments, processing instructions, DOCTYPE (skipped), and the five
+/// predefined entities plus numeric character references.
+StatusOr<Document> ParseXml(std::string_view input,
+                            const ParseOptions& options = {});
+
+/// Decodes XML entities (&amp; &lt; &gt; &apos; &quot; and &#n; / &#xn;)
+/// in `raw`. Unknown entities are passed through verbatim.
+std::string DecodeEntities(std::string_view raw);
+
+}  // namespace pimento::xml
+
+#endif  // PIMENTO_XML_PARSER_H_

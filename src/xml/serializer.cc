@@ -1,0 +1,92 @@
+#include "src/xml/serializer.h"
+
+namespace pimento::xml {
+
+namespace {
+
+void Indent(std::string* out, int level) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(level) * 2, ' ');
+}
+
+void SerializeNode(const Document& doc, NodeId id,
+                   const SerializeOptions& options, int level,
+                   std::string* out) {
+  const Node& n = doc.node(id);
+  if (n.kind == NodeKind::kText) {
+    *out += EscapeXml(n.text);
+    return;
+  }
+  if (options.pretty && level > 0) Indent(out, level);
+  *out += '<';
+  *out += n.tag;
+  // Emit "@name" children as attributes when requested.
+  std::vector<NodeId> content;
+  for (NodeId c : n.children) {
+    const Node& cn = doc.node(c);
+    if (options.expand_attribute_elements && cn.kind == NodeKind::kElement &&
+        !cn.tag.empty() && cn.tag[0] == '@') {
+      *out += ' ';
+      *out += cn.tag.substr(1);
+      *out += "=\"";
+      *out += EscapeXml(doc.TextContent(c));
+      *out += '"';
+    } else {
+      content.push_back(c);
+    }
+  }
+  if (content.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  bool has_element_child = false;
+  for (NodeId c : content) {
+    if (doc.node(c).kind == NodeKind::kElement) has_element_child = true;
+    SerializeNode(doc, c, options, level + 1, out);
+  }
+  if (options.pretty && has_element_child) Indent(out, level);
+  *out += "</";
+  *out += n.tag;
+  *out += '>';
+}
+
+}  // namespace
+
+std::string EscapeXml(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string SerializeXml(const Document& doc, const SerializeOptions& options) {
+  if (doc.root() == kInvalidNode) return "";
+  return SerializeSubtree(doc, doc.root(), options);
+}
+
+std::string SerializeSubtree(const Document& doc, NodeId root,
+                             const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(doc, root, options, 0, &out);
+  return out;
+}
+
+}  // namespace pimento::xml

@@ -1,0 +1,27 @@
+#ifndef PIMENTO_XML_SERIALIZER_H_
+#define PIMENTO_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "src/xml/document.h"
+
+namespace pimento::xml {
+
+struct SerializeOptions {
+  bool pretty = false;   ///< newline + two-space indentation per level
+  bool expand_attribute_elements = true;  ///< "@name" children → attributes
+};
+
+/// Serializes `doc` (or the subtree rooted at `root`) back to XML text,
+/// escaping markup characters. Inverse of ParseXml up to whitespace.
+std::string SerializeXml(const Document& doc,
+                         const SerializeOptions& options = {});
+std::string SerializeSubtree(const Document& doc, NodeId root,
+                             const SerializeOptions& options = {});
+
+/// Escapes &, <, >, " for inclusion in XML text/attribute content.
+std::string EscapeXml(std::string_view raw);
+
+}  // namespace pimento::xml
+
+#endif  // PIMENTO_XML_SERIALIZER_H_

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include "src/algebra/operators.h"
+#include "src/index/collection.h"
+#include "src/xml/parser.h"
+
+namespace pimento::algebra {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::string_view xml_text)
+      : collection(Build(xml_text)), scorer(&collection) {
+    ctx.collection = &collection;
+    ctx.scorer = &scorer;
+  }
+
+  static index::Collection Build(std::string_view xml_text) {
+    auto doc = xml::ParseXml(xml_text);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    return index::Collection::Build(std::move(doc).value());
+  }
+
+  std::vector<Answer> Drain(Operator& op) {
+    std::vector<Answer> out;
+    Answer a;
+    while (op.Next(&a)) out.push_back(a);
+    return out;
+  }
+
+  index::Collection collection;
+  score::Scorer scorer;
+  ExecContext ctx;
+};
+
+constexpr const char* kCars = R"(
+<dealer>
+  <car><description>good condition in NYC</description><price>500</price>
+       <color>red</color><mileage>90000</mileage></car>
+  <car><description>good condition low mileage</description><price>1500</price>
+       <color>black</color><mileage>20000</mileage></car>
+  <car><description>rusty</description><price>300</price>
+       <color>red</color><mileage>150000</mileage></car>
+</dealer>
+)";
+
+TEST(ScanOpTest, EmitsAllElementsOfTag) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  auto answers = f.Drain(scan);
+  EXPECT_EQ(answers.size(), 3u);
+  for (const Answer& a : answers) {
+    EXPECT_EQ(f.collection.doc().node(a.node).tag, "car");
+    EXPECT_EQ(a.s, 0.0);
+    EXPECT_EQ(a.k, 0.0);
+  }
+}
+
+TEST(ScanOpTest, ResetRestarts) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  EXPECT_EQ(f.Drain(scan).size(), 3u);
+  EXPECT_EQ(f.Drain(scan).size(), 0u);
+  scan.Reset();
+  EXPECT_EQ(f.Drain(scan).size(), 3u);
+}
+
+TEST(ScanOpTest, UnknownTagEmitsNothing) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "boat", 0);
+  EXPECT_TRUE(f.Drain(scan).empty());
+}
+
+TEST(ResolveNavTest, DownChildAndDescendant) {
+  Fixture f("<a><b><c/></b><c/></a>");
+  NavPath child = {{NavStep::Kind::kDownChild, "c"}};
+  NavPath desc = {{NavStep::Kind::kDownDescendant, "c"}};
+  EXPECT_EQ(ResolveNav(f.ctx, 0, child).size(), 1u);
+  EXPECT_EQ(ResolveNav(f.ctx, 0, desc).size(), 2u);
+}
+
+TEST(ResolveNavTest, UpSteps) {
+  Fixture f("<a><b><c/></b></a>");
+  xml::NodeId c = f.collection.doc().FindDescendant(0, "c");
+  NavPath up_child = {{NavStep::Kind::kUpChild, "b"}};
+  NavPath up_wrong = {{NavStep::Kind::kUpChild, "a"}};
+  NavPath up_anc = {{NavStep::Kind::kUpDescendant, "a"}};
+  EXPECT_EQ(ResolveNav(f.ctx, c, up_child).size(), 1u);
+  EXPECT_TRUE(ResolveNav(f.ctx, c, up_wrong).empty());
+  EXPECT_EQ(ResolveNav(f.ctx, c, up_anc).size(), 1u);
+}
+
+TEST(ResolveNavTest, MultiStepWithWildcard) {
+  Fixture f("<a><b><x/></b><c><x/></c></a>");
+  NavPath path = {{NavStep::Kind::kDownChild, "*"},
+                  {NavStep::Kind::kDownChild, "x"}};
+  EXPECT_EQ(ResolveNav(f.ctx, 0, path).size(), 2u);
+}
+
+TEST(ResolveNavTest, DeduplicatesTargets) {
+  // Two b children lead to the same ancestor.
+  Fixture f("<a><b/><b/></a>");
+  xml::NodeId b1 = f.collection.tags().Elements("b")[0];
+  xml::NodeId b2 = f.collection.tags().Elements("b")[1];
+  (void)b1;
+  NavPath up_down = {{NavStep::Kind::kUpDescendant, "a"},
+                     {NavStep::Kind::kDownChild, "b"}};
+  auto targets = ResolveNav(f.ctx, b2, up_down);
+  EXPECT_EQ(targets.size(), 2u);  // both b's, each once
+}
+
+TEST(FtContainsOpTest, RequiredFiltersAndScores) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  FtContainsOp ft(f.ctx, {{NavStep::Kind::kDownChild, "description"}},
+                  f.collection.MakePhrase("good condition"),
+                  /*required=*/true, 1.0);
+  ft.set_input(&scan);
+  auto answers = f.Drain(ft);
+  ASSERT_EQ(answers.size(), 2u);
+  for (const Answer& a : answers) EXPECT_GT(a.s, 0.0);
+  EXPECT_EQ(ft.stats().pruned, 1);
+}
+
+TEST(FtContainsOpTest, OptionalNeverFilters) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  FtContainsOp ft(f.ctx, {{NavStep::Kind::kDownChild, "description"}},
+                  f.collection.MakePhrase("low mileage"),
+                  /*required=*/false, 1.0);
+  ft.set_input(&scan);
+  auto answers = f.Drain(ft);
+  ASSERT_EQ(answers.size(), 3u);
+  int scored = 0;
+  for (const Answer& a : answers) {
+    if (a.s > 0) ++scored;
+  }
+  EXPECT_EQ(scored, 1);
+}
+
+TEST(FtContainsOpTest, BoostScalesScoreAndBound) {
+  Fixture f(kCars);
+  index::Phrase p = f.collection.MakePhrase("good condition");
+  FtContainsOp plain(f.ctx, {}, p, true, 1.0);
+  FtContainsOp boosted(f.ctx, {}, p, true, 2.0);
+  EXPECT_DOUBLE_EQ(boosted.MaxSContribution(),
+                   2.0 * plain.MaxSContribution());
+}
+
+TEST(ValuePredOpTest, NumericFilter) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  tpq::ValuePredicate pred;
+  pred.op = tpq::RelOp::kLt;
+  pred.number = 1000;
+  ValuePredOp op(f.ctx, {{NavStep::Kind::kDownChild, "price"}}, pred,
+                 /*required=*/true, 0.5);
+  op.set_input(&scan);
+  EXPECT_EQ(f.Drain(op).size(), 2u);  // 500 and 300
+}
+
+TEST(ValuePredOpTest, StringEquality) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  tpq::ValuePredicate pred;
+  pred.op = tpq::RelOp::kEq;
+  pred.numeric = false;
+  pred.text = "red";
+  ValuePredOp op(f.ctx, {{NavStep::Kind::kDownChild, "color"}}, pred,
+                 /*required=*/true, 0.5);
+  op.set_input(&scan);
+  EXPECT_EQ(f.Drain(op).size(), 2u);
+}
+
+TEST(ValuePredOpTest, OptionalAddsBonus) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  tpq::ValuePredicate pred;
+  pred.op = tpq::RelOp::kLt;
+  pred.number = 1000;
+  ValuePredOp op(f.ctx, {{NavStep::Kind::kDownChild, "price"}}, pred,
+                 /*required=*/false, 0.5);
+  op.set_input(&scan);
+  auto answers = f.Drain(op);
+  ASSERT_EQ(answers.size(), 3u);
+  int bonused = 0;
+  for (const Answer& a : answers) {
+    if (a.s == 0.5) ++bonused;
+  }
+  EXPECT_EQ(bonused, 2);
+  EXPECT_DOUBLE_EQ(op.MaxSContribution(), 0.5);
+}
+
+TEST(ExistsOpTest, RequiredAndOptional) {
+  Fixture f("<a><b><c/></b><b/></a>");
+  ScanOp scan(f.ctx, "b", 0);
+  ExistsOp required(f.ctx, {{NavStep::Kind::kDownChild, "c"}}, true, 0.0);
+  required.set_input(&scan);
+  EXPECT_EQ(f.Drain(required).size(), 1u);
+  scan.Reset();
+  ExistsOp optional(f.ctx, {{NavStep::Kind::kDownChild, "c"}}, false, 0.25);
+  optional.set_input(&scan);
+  auto answers = f.Drain(optional);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_DOUBLE_EQ(answers[0].s + answers[1].s, 0.25);
+}
+
+TEST(VorOpTest, AnnotatesValues) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 1);
+  profile::Vor rule;
+  rule.tag = "car";
+  rule.kind = profile::VorKind::kEqConst;
+  rule.attr = "color";
+  rule.const_value = "red";
+  VorOp vor(f.ctx, rule, 0);
+  vor.set_input(&scan);
+  auto answers = f.Drain(vor);
+  ASSERT_EQ(answers.size(), 3u);
+  ASSERT_EQ(answers[0].vor.size(), 1u);
+  EXPECT_TRUE(answers[0].vor[0].applicable);
+  EXPECT_EQ(answers[0].vor[0].str.value(), "red");
+  EXPECT_EQ(answers[1].vor[0].str.value(), "black");
+}
+
+TEST(VorOpTest, TagMismatchMarksInapplicable) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 1);
+  profile::Vor rule;
+  rule.tag = "boat";
+  rule.attr = "color";
+  VorOp vor(f.ctx, rule, 0);
+  vor.set_input(&scan);
+  auto answers = f.Drain(vor);
+  for (const Answer& a : answers) EXPECT_FALSE(a.vor[0].applicable);
+}
+
+TEST(VorOpTest, GroupAttribute) {
+  Fixture f("<l><car><make>honda</make><hp>90</hp></car></l>");
+  ScanOp scan(f.ctx, "car", 1);
+  profile::Vor rule;
+  rule.tag = "car";
+  rule.kind = profile::VorKind::kCompareSameGroup;
+  rule.attr = "hp";
+  rule.group_attr = "make";
+  rule.smaller_preferred = false;
+  VorOp vor(f.ctx, rule, 0);
+  vor.set_input(&scan);
+  auto answers = f.Drain(vor);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].vor[0].group.value(), "honda");
+  EXPECT_DOUBLE_EQ(answers[0].vor[0].num.value(), 90);
+}
+
+TEST(KorOpTest, AddsKScoreForMatchingTag) {
+  Fixture f(kCars);
+  ScanOp scan(f.ctx, "car", 0);
+  profile::Kor kor;
+  kor.tag = "car";
+  kor.keyword = "NYC";
+  KorOp op(f.ctx, kor, f.collection.MakePhrase("NYC"));
+  op.set_input(&scan);
+  auto answers = f.Drain(op);
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_GT(answers[0].k, 0.0);
+  EXPECT_EQ(answers[1].k, 0.0);
+  EXPECT_EQ(answers[2].k, 0.0);
+  EXPECT_GT(op.MaxKContribution(), 0.0);
+}
+
+TEST(SortOpTest, SortsByS) {
+  RankContext rank({}, profile::RankOrder::kS);
+  std::vector<Answer> input;
+  for (double s : {1.0, 3.0, 2.0}) {
+    Answer a;
+    a.node = static_cast<xml::NodeId>(input.size());
+    a.s = s;
+    input.push_back(a);
+  }
+  MaterializedOp src(input);
+  SortOp sort(&rank, SortOp::Param::kByS);
+  sort.set_input(&src);
+  Answer a;
+  ASSERT_TRUE(sort.Next(&a));
+  EXPECT_DOUBLE_EQ(a.s, 3.0);
+  ASSERT_TRUE(sort.Next(&a));
+  EXPECT_DOUBLE_EQ(a.s, 2.0);
+  EXPECT_TRUE(sort.SortedOutput());
+}
+
+TEST(SortOpTest, RankOrderKVS) {
+  RankContext rank({}, profile::RankOrder::kKVS);
+  std::vector<Answer> input(3);
+  input[0].node = 0;
+  input[0].s = 9.0;
+  input[0].k = 0.0;
+  input[1].node = 1;
+  input[1].s = 1.0;
+  input[1].k = 5.0;
+  input[2].node = 2;
+  input[2].s = 2.0;
+  input[2].k = 5.0;
+  MaterializedOp src(input);
+  SortOp sort(&rank, SortOp::Param::kByRank);
+  sort.set_input(&src);
+  // K dominates S; the K tie between nodes 1 and 2 breaks by S desc.
+  Answer a;
+  ASSERT_TRUE(sort.Next(&a));
+  EXPECT_EQ(a.node, 2);
+  ASSERT_TRUE(sort.Next(&a));
+  EXPECT_EQ(a.node, 1);
+  ASSERT_TRUE(sort.Next(&a));
+  EXPECT_EQ(a.node, 0);
+}
+
+TEST(RankContextTest, KvsOrder) {
+  RankContext rank({}, profile::RankOrder::kKVS);
+  Answer hi_k;
+  hi_k.node = 1;
+  hi_k.k = 2.0;
+  hi_k.s = 0.0;
+  Answer hi_s;
+  hi_s.node = 2;
+  hi_s.k = 0.0;
+  hi_s.s = 10.0;
+  EXPECT_TRUE(rank.RankedBefore(hi_k, hi_s));
+  EXPECT_FALSE(rank.RankedBefore(hi_s, hi_k));
+}
+
+TEST(RankContextTest, VorKeysFollowPriorities) {
+  profile::Vor red;
+  red.name = "red";
+  red.kind = profile::VorKind::kEqConst;
+  red.attr = "color";
+  red.const_value = "red";
+  red.priority = 2;
+  profile::Vor mileage;
+  mileage.name = "m";
+  mileage.kind = profile::VorKind::kCompare;
+  mileage.attr = "mileage";
+  mileage.smaller_preferred = true;
+  mileage.priority = 1;
+  RankContext rank({red, mileage}, profile::RankOrder::kKVS);
+  Answer a;
+  a.vor.resize(2);
+  a.vor[0].applicable = true;
+  a.vor[0].str = "red";
+  a.vor[1].applicable = true;
+  a.vor[1].num = 50.0;
+  auto keys = rank.VorKeys(a);
+  ASSERT_EQ(keys.size(), 2u);
+  // Priority order puts mileage first.
+  EXPECT_DOUBLE_EQ(keys[0], 50.0);
+  EXPECT_DOUBLE_EQ(keys[1], 0.0);
+}
+
+TEST(RankContextTest, TieBreaksByDocumentOrder) {
+  RankContext rank({}, profile::RankOrder::kS);
+  Answer a;
+  a.node = 1;
+  Answer b;
+  b.node = 2;
+  EXPECT_TRUE(rank.RankedBefore(a, b));
+  EXPECT_FALSE(rank.RankedBefore(b, a));
+}
+
+}  // namespace
+}  // namespace pimento::algebra

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "src/profile/ambiguity.h"
+#include "src/profile/constraints.h"
+#include "src/profile/rule_parser.h"
+
+namespace pimento::profile {
+namespace {
+
+Vor V(const char* text) {
+  auto v = ParseVor(text);
+  EXPECT_TRUE(v.ok()) << text << ": " << v.status().ToString();
+  return *v;
+}
+
+TEST(AttrConstraintTest, MergeEqualities) {
+  AttrConstraint a;
+  a.eq_str = "red";
+  AttrConstraint b;
+  b.eq_str = "red";
+  EXPECT_TRUE(a.Merge(b));
+  b.eq_str = "blue";
+  EXPECT_FALSE(a.Merge(b));
+}
+
+TEST(AttrConstraintTest, EqVersusNe) {
+  AttrConstraint a;
+  a.eq_str = "red";
+  AttrConstraint b;
+  b.ne_str.insert("red");
+  EXPECT_FALSE(a.Merge(b));
+  AttrConstraint c;
+  c.ne_str.insert("blue");
+  AttrConstraint d;
+  d.eq_str = "red";
+  EXPECT_TRUE(c.Merge(d));
+}
+
+TEST(AttrConstraintTest, InSetIntersection) {
+  AttrConstraint a;
+  a.in_set = std::set<std::string>{"red", "black"};
+  AttrConstraint b;
+  b.in_set = std::set<std::string>{"black", "white"};
+  EXPECT_TRUE(a.Merge(b));
+  AttrConstraint c;
+  c.in_set = std::set<std::string>{"green"};
+  EXPECT_FALSE(a.Merge(c));
+}
+
+TEST(AttrConstraintTest, NumericIntervals) {
+  AttrConstraint a;
+  a.lo = 10;
+  AttrConstraint b;
+  b.hi = 5;
+  EXPECT_FALSE(a.Merge(b));
+  AttrConstraint c;
+  c.lo = 1;
+  c.hi = 3;
+  AttrConstraint d;
+  d.lo = 2;
+  d.hi = 9;
+  EXPECT_TRUE(c.Merge(d));
+  EXPECT_DOUBLE_EQ(c.lo, 2);
+  EXPECT_DOUBLE_EQ(c.hi, 3);
+}
+
+TEST(AttrConstraintTest, PointIntervalStrictness) {
+  AttrConstraint a;
+  a.lo = 5;
+  a.hi = 5;
+  EXPECT_TRUE(a.Satisfiable());
+  a.lo_strict = true;
+  EXPECT_FALSE(a.Satisfiable());
+}
+
+TEST(CompatibilityTest, DifferentTagsIncompatible) {
+  VarConstraints a;
+  a.tag = "car";
+  VarConstraints b;
+  b.tag = "truck";
+  EXPECT_FALSE(Compatible(a, b));
+  b.tag = "car";
+  EXPECT_TRUE(Compatible(a, b));
+}
+
+TEST(CompatibilityTest, PaperExample) {
+  // π1: red preferred; π2: lower mileage preferred. y (non-red car) is
+  // compatible with u (any car), and v with x — the paper's §5.2 example.
+  Vor red = V("vor pi1: tag=car prefer color = \"red\"");
+  Vor mileage = V("vor pi2: tag=car prefer lower mileage");
+  VorVars red_vars = DeriveVarConstraints(red);
+  VorVars mil_vars = DeriveVarConstraints(mileage);
+  EXPECT_TRUE(Compatible(red_vars.other, mil_vars.preferred));   // y ~ u
+  EXPECT_TRUE(Compatible(mil_vars.other, red_vars.preferred));   // v ~ x
+}
+
+TEST(CompatibilityTest, SameRuleVariablesIncompatible) {
+  // x (color=red) vs y (color≠red) of the same red-rule: incompatible.
+  Vor red = V("vor pi1: tag=car prefer color = \"red\"");
+  VorVars vars = DeriveVarConstraints(red);
+  EXPECT_FALSE(Compatible(vars.preferred, vars.other));
+}
+
+TEST(AmbiguityTest, PaperExampleIsAmbiguous) {
+  // {π1 red, π2 mileage} is the paper's canonical ambiguous set.
+  std::vector<Vor> rules = {V("vor pi1: tag=car prefer color = \"red\""),
+                            V("vor pi2: tag=car prefer lower mileage")};
+  AmbiguityReport report = DetectAmbiguity(rules);
+  EXPECT_TRUE(report.ambiguous);
+  EXPECT_EQ(report.cycle_rules.size(), 2u);
+  EXPECT_NE(report.explanation.find("pi1"), std::string::npos);
+}
+
+TEST(AmbiguityTest, PrioritiesResolve) {
+  std::vector<Vor> rules = {
+      V("vor pi1 priority 2: tag=car prefer color = \"red\""),
+      V("vor pi2 priority 1: tag=car prefer lower mileage")};
+  AmbiguityReport report = DetectAmbiguity(rules);
+  EXPECT_TRUE(report.ambiguous);
+  EXPECT_TRUE(report.resolved_by_priorities);
+}
+
+TEST(AmbiguityTest, EqualPrioritiesDoNotResolve) {
+  std::vector<Vor> rules = {
+      V("vor pi1 priority 1: tag=car prefer color = \"red\""),
+      V("vor pi2 priority 1: tag=car prefer lower mileage")};
+  AmbiguityReport report = DetectAmbiguity(rules);
+  EXPECT_TRUE(report.ambiguous);
+  EXPECT_FALSE(report.resolved_by_priorities);
+}
+
+TEST(AmbiguityTest, DuplicateCompareRulesUnambiguous) {
+  // Two identical "lower mileage" rules: the alternating cycle's
+  // comparison constraints (e1.m < e2.m < e1.m) are unsatisfiable, so no
+  // database instance witnesses a disagreement (refinement of Lemma 5.1).
+  std::vector<Vor> rules = {V("vor a: tag=car prefer lower mileage"),
+                            V("vor b: tag=car prefer lower mileage")};
+  EXPECT_FALSE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, DuplicatePrefRelRulesUnambiguous) {
+  std::vector<Vor> rules = {
+      V("vor a: tag=car prefer color order \"red\" > \"black\""),
+      V("vor b: tag=car prefer color order \"red\" > \"black\"")};
+  EXPECT_FALSE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, CompareOnDifferentAttrsAmbiguous) {
+  std::vector<Vor> rules = {V("vor a: tag=car prefer lower mileage"),
+                            V("vor b: tag=car prefer higher hp")};
+  EXPECT_TRUE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, SingleRuleUnambiguous) {
+  std::vector<Vor> rules = {V("vor pi2: tag=car prefer lower mileage")};
+  EXPECT_FALSE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, DuplicateEqConstRulesUnambiguous) {
+  // Two identical "prefer red" rules agree; no alternating cycle.
+  std::vector<Vor> rules = {V("vor a: tag=car prefer color = \"red\""),
+                            V("vor b: tag=car prefer color = \"red\"")};
+  EXPECT_FALSE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, DifferentConstantsSameAttrAmbiguous) {
+  // red-preferred vs blue-preferred: a red car and a blue car flip order.
+  std::vector<Vor> rules = {V("vor a: tag=car prefer color = \"red\""),
+                            V("vor b: tag=car prefer color = \"blue\"")};
+  EXPECT_TRUE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, OppositeComparisonsAmbiguous) {
+  std::vector<Vor> rules = {V("vor a: tag=car prefer lower mileage"),
+                            V("vor b: tag=car prefer higher mileage")};
+  EXPECT_TRUE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, DifferentTagsUnambiguous) {
+  // Rules over disjoint element types can never disagree on a pair.
+  std::vector<Vor> rules = {V("vor a: tag=car prefer color = \"red\""),
+                            V("vor b: tag=boat prefer lower length")};
+  EXPECT_FALSE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, ThreeRuleCycle) {
+  // a: red > non-red; b: lower mileage; c: higher hp — b and c alone are
+  // ambiguous, and the triple certainly is.
+  std::vector<Vor> rules = {V("vor a: tag=car prefer color = \"red\""),
+                            V("vor b: tag=car prefer lower mileage"),
+                            V("vor c: tag=car prefer higher hp")};
+  AmbiguityReport report = DetectAmbiguity(rules);
+  EXPECT_TRUE(report.ambiguous);
+}
+
+TEST(AmbiguityTest, SameGroupFormStillAmbiguousWithEqConst) {
+  // π3 (same make, higher hp) vs π1 (red): a red low-hp Honda and a
+  // non-red high-hp Honda flip order.
+  std::vector<Vor> rules = {
+      V("vor pi3: tag=car same make prefer higher hp"),
+      V("vor pi1: tag=car prefer color = \"red\"")};
+  EXPECT_TRUE(DetectAmbiguity(rules).ambiguous);
+}
+
+TEST(AmbiguityTest, EmptyRuleSetUnambiguous) {
+  EXPECT_FALSE(DetectAmbiguity({}).ambiguous);
+}
+
+TEST(AmbiguityTest, CompatiblePairsReported) {
+  std::vector<Vor> rules = {V("vor a: tag=car prefer color = \"red\""),
+                            V("vor b: tag=car prefer lower mileage")};
+  AmbiguityReport report = DetectAmbiguity(rules);
+  EXPECT_FALSE(report.compatible_rule_pairs.empty());
+}
+
+// Semantic cross-check: when DetectAmbiguity says a two-rule set is
+// ambiguous, there really are two VorValue assignments on which the rules
+// disagree; when it says unambiguous, the priority-lexicographic comparator
+// is antisymmetric on a sampled domain.
+class AmbiguitySemanticsTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(AmbiguitySemanticsTest, ComparatorAntisymmetricWhenUnambiguous) {
+  std::vector<Vor> rules = {V(GetParam().first), V(GetParam().second)};
+  AmbiguityReport report = DetectAmbiguity(rules);
+  if (report.ambiguous) GTEST_SKIP() << "ambiguous set: not checked here";
+  // Sample a small value domain.
+  std::vector<std::vector<VorValue>> samples;
+  for (const char* color : {"red", "blue"}) {
+    for (double mileage : {10.0, 20.0}) {
+      std::vector<VorValue> vals(2);
+      for (auto& v : vals) {
+        v.applicable = true;
+        v.str = color;
+        v.num = mileage;
+      }
+      samples.push_back(vals);
+    }
+  }
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      PrefResult ab = CompareVorProfile(rules, a, b);
+      PrefResult ba = CompareVorProfile(rules, b, a);
+      EXPECT_EQ(ab, FlipPref(ba));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, AmbiguitySemanticsTest,
+    ::testing::Values(
+        std::pair<const char*, const char*>{
+            "vor a: tag=car prefer color = \"red\"",
+            "vor b: tag=car prefer color = \"red\""},
+        std::pair<const char*, const char*>{
+            "vor a: tag=car prefer color = \"red\"",
+            "vor b: tag=boat prefer lower length"},
+        std::pair<const char*, const char*>{
+            "vor a: tag=car prefer lower mileage",
+            "vor b: tag=car prefer lower mileage"}));
+
+}  // namespace
+}  // namespace pimento::profile

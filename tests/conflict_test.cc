@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "src/profile/conflict_graph.h"
+
+#include <algorithm>
+#include "src/profile/flock.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/containment.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::profile {
+namespace {
+
+tpq::Tpq Q(const char* text) {
+  auto q = tpq::ParseTpq(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+ScopingRule SR(const std::string& text) {
+  auto r = ParseScopingRule(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return *r;
+}
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\") and "
+    "ftcontains(., \"low mileage\")] and ./price < 2000]";
+
+// The Fig. 2 rules.
+std::vector<ScopingRule> Fig2Rules(int p1 = 0, int p2 = 0, int p3 = 0) {
+  return {
+      SR("sr p1 priority " + std::to_string(p1) +
+         ": if //car/description[ftcontains(., \"low mileage\")] then "
+         "delete ftcontains(car, \"good condition\")"),
+      SR("sr p2 priority " + std::to_string(p2) +
+         ": if //car/description[ftcontains(., \"good condition\")] then "
+         "add ftcontains(description, \"american\")"),
+      SR("sr p3 priority " + std::to_string(p3) +
+         ": if //car/description[ftcontains(., \"good condition\")] then "
+         "delete ftcontains(description, \"low mileage\")"),
+  };
+}
+
+TEST(ConflictTest, Fig2AllApplicable) {
+  ConflictReport report = AnalyzeConflicts(Fig2Rules(), Q(kCarQuery));
+  EXPECT_EQ(report.applicable.size(), 3u);
+}
+
+TEST(ConflictTest, P1KillsP2AndP3) {
+  // Applying p1 removes "good condition", so p2 and p3 become inapplicable.
+  ConflictReport report = AnalyzeConflicts(Fig2Rules(), Q(kCarQuery));
+  auto has = [&](int i, int j) {
+    for (const auto& [a, b] : report.conflicts) {
+      if (a == i && b == j) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(0, 1));  // p1 conflicts with p2 (the paper's example)
+  EXPECT_TRUE(has(0, 2));
+  // p3 removes "low mileage", which p1's condition needs.
+  EXPECT_TRUE(has(2, 0));
+}
+
+TEST(ConflictTest, CycleDetected) {
+  // p1 and p3 conflict with each other (the paper's cycle example).
+  ConflictReport report = AnalyzeConflicts(Fig2Rules(), Q(kCarQuery));
+  EXPECT_FALSE(report.acyclic);
+}
+
+TEST(ConflictTest, CycleWithoutPrioritiesIsUnordered) {
+  ConflictReport report =
+      AnalyzeConflicts(Fig2Rules(0, 0, 0), Q(kCarQuery));
+  EXPECT_FALSE(report.ordered);
+}
+
+TEST(ConflictTest, PrioritiesBreakCycles) {
+  ConflictReport report =
+      AnalyzeConflicts(Fig2Rules(3, 1, 2), Q(kCarQuery));
+  EXPECT_FALSE(report.acyclic);
+  ASSERT_TRUE(report.ordered);
+  // Priority order: p2 (1), p3 (2), p1 (3).
+  ASSERT_EQ(report.order.size(), 3u);
+  EXPECT_EQ(report.order[0], 1);
+  EXPECT_EQ(report.order[1], 2);
+  EXPECT_EQ(report.order[2], 0);
+}
+
+TEST(ConflictTest, AcyclicRulesGetTopologicalOrder) {
+  // add-only rules never conflict.
+  std::vector<ScopingRule> rules = {
+      SR("sr a: if //car then add ftcontains(car, \"one\")"),
+      SR("sr b: if //car then add ftcontains(car, \"two\")"),
+  };
+  ConflictReport report = AnalyzeConflicts(rules, Q("//car"));
+  EXPECT_TRUE(report.acyclic);
+  ASSERT_TRUE(report.ordered);
+  EXPECT_EQ(report.order.size(), 2u);
+}
+
+TEST(ConflictTest, KilledRuleOrderedBeforeKiller) {
+  // killer deletes the keyword that victim's condition requires; victim
+  // does not affect killer. Topological order must run victim first.
+  std::vector<ScopingRule> rules = {
+      SR("sr killer: if //car then delete ftcontains(car, \"x\")"),
+      SR("sr victim: if //car[ftcontains(., \"x\")] then add "
+         "ftcontains(car, \"y\")"),
+  };
+  ConflictReport report =
+      AnalyzeConflicts(rules, Q("//car[ftcontains(., \"x\")]"));
+  EXPECT_TRUE(report.acyclic);
+  ASSERT_EQ(report.order.size(), 2u);
+  EXPECT_EQ(report.order[0], 1);  // victim first
+  EXPECT_EQ(report.order[1], 0);
+}
+
+TEST(ConflictTest, InapplicableRulesExcluded) {
+  std::vector<ScopingRule> rules = {
+      SR("sr t: if //truck then add ftcontains(truck, \"d\")"),
+      SR("sr c: if //car then add ftcontains(car, \"d\")"),
+  };
+  ConflictReport report = AnalyzeConflicts(rules, Q("//car"));
+  ASSERT_EQ(report.applicable.size(), 1u);
+  EXPECT_EQ(report.applicable[0], 1);
+  EXPECT_EQ(report.order.size(), 1u);
+}
+
+TEST(ConflictTest, ReportToStringMentionsRules) {
+  auto rules = Fig2Rules(3, 1, 2);
+  ConflictReport report = AnalyzeConflicts(rules, Q(kCarQuery));
+  std::string s = report.ToString(rules);
+  EXPECT_NE(s.find("p1"), std::string::npos);
+  EXPECT_NE(s.find("kills"), std::string::npos);
+}
+
+TEST(FlockTest, CycleWithoutPrioritiesFailsWithConflict) {
+  auto flock = BuildFlock(Q(kCarQuery), Fig2Rules(0, 0, 0));
+  ASSERT_FALSE(flock.ok());
+  EXPECT_EQ(flock.status().code(), StatusCode::kConflict);
+}
+
+TEST(FlockTest, MembersFollowPriorityOrder) {
+  auto flock = BuildFlock(Q(kCarQuery), Fig2Rules(3, 1, 2));
+  ASSERT_TRUE(flock.ok()) << flock.status().ToString();
+  // p2 applies, then p3; p1 becomes inapplicable (low mileage removed).
+  ASSERT_EQ(flock->applied_rules.size(), 2u);
+  EXPECT_EQ(flock->applied_rules[0], 1);
+  EXPECT_EQ(flock->applied_rules[1], 2);
+  EXPECT_EQ(flock->members.size(), 3u);
+  // members[0] is the original query.
+  EXPECT_EQ(flock->members[0].ToString(), Q(kCarQuery).ToString());
+}
+
+TEST(FlockTest, EncodedQueryKeepsRequiredCore) {
+  auto flock = BuildFlock(Q(kCarQuery), Fig2Rules(3, 1, 2));
+  ASSERT_TRUE(flock.ok());
+  const tpq::Tpq& enc = flock->encoded;
+  int desc = enc.FindByTag("description");
+  ASSERT_GE(desc, 0);
+  int required = 0;
+  int optional = 0;
+  for (const auto& kp : enc.node(desc).keyword_predicates) {
+    (kp.optional ? optional : required)++;
+  }
+  // "good condition" stays required; "low mileage" demoted; "american"
+  // added optional.
+  EXPECT_EQ(required, 1);
+  EXPECT_EQ(optional, 2);
+}
+
+TEST(FlockTest, NoRulesYieldsSingletonFlock) {
+  auto flock = BuildFlock(Q(kCarQuery), {});
+  ASSERT_TRUE(flock.ok());
+  EXPECT_EQ(flock->members.size(), 1u);
+  EXPECT_EQ(flock->encoded.ToString(), Q(kCarQuery).ToString());
+}
+
+TEST(FlockTest, EveryMemberSubsumedByEncodedRequiredPart) {
+  // Property: strip optional predicates from the encoded query; each flock
+  // member must be contained in that required core (the encoding's
+  // outer-join keeps every member's answers).
+  auto flock = BuildFlock(Q(kCarQuery), Fig2Rules(3, 1, 2));
+  ASSERT_TRUE(flock.ok());
+  tpq::Tpq core = flock->encoded;
+  for (int i = 0; i < core.size(); ++i) {
+    auto& kps = core.mutable_node(i).keyword_predicates;
+    kps.erase(std::remove_if(kps.begin(), kps.end(),
+                             [](const tpq::KeywordPredicate& kp) {
+                               return kp.optional;
+                             }),
+              kps.end());
+    auto& vps = core.mutable_node(i).value_predicates;
+    vps.erase(std::remove_if(vps.begin(), vps.end(),
+                             [](const tpq::ValuePredicate& vp) {
+                               return vp.optional;
+                             }),
+              vps.end());
+  }
+  for (const tpq::Tpq& member : flock->members) {
+    EXPECT_TRUE(tpq::Contains(core, member))
+        << "member " << member.ToString() << " not contained in core "
+        << core.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pimento::profile

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "src/tpq/containment.h"
+#include "src/tpq/minimize.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::tpq {
+namespace {
+
+Tpq Q(const char* text) {
+  auto q = ParseTpq(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return *q;
+}
+
+TEST(SubsumptionTest, IdenticalPatternsSubsume) {
+  EXPECT_TRUE(SubsumesCondition(Q("//car"), Q("//car")));
+}
+
+TEST(SubsumptionTest, QuerySubsumesWeakerCondition) {
+  // Query has the predicate the condition asks for.
+  EXPECT_TRUE(SubsumesCondition(
+      Q("//car[./description[ftcontains(., \"low mileage\")]]"),
+      Q("//car/description[ftcontains(., \"low mileage\")]")));
+}
+
+TEST(SubsumptionTest, MissingKeywordBlocksSubsumption) {
+  EXPECT_FALSE(SubsumesCondition(
+      Q("//car[./description]"),
+      Q("//car/description[ftcontains(., \"low mileage\")]")));
+}
+
+TEST(SubsumptionTest, PcEdgeRequiresPcInQuery) {
+  // Condition pc(car, description): //car//description does not guarantee
+  // a parent-child relationship.
+  EXPECT_FALSE(SubsumesCondition(Q("//car//description"),
+                                 Q("//car/description")));
+  EXPECT_TRUE(SubsumesCondition(Q("//car/description"),
+                                Q("//car//description")));
+}
+
+TEST(SubsumptionTest, AdEdgeMatchesDeeperPaths) {
+  EXPECT_TRUE(SubsumesCondition(Q("//car/engine/part"), Q("//car//part")));
+}
+
+TEST(SubsumptionTest, ValueImplication) {
+  EXPECT_TRUE(SubsumesCondition(Q("//car[./price < 1500]"),
+                                Q("//car[./price < 2000]")));
+  EXPECT_FALSE(SubsumesCondition(Q("//car[./price < 2500]"),
+                                 Q("//car[./price < 2000]")));
+}
+
+TEST(SubsumptionTest, WildcardTagInCondition) {
+  EXPECT_TRUE(SubsumesCondition(Q("//car/price"), Q("//*[./price]")));
+}
+
+TEST(SubsumptionTest, EmptyConditionIsTrue) {
+  Tpq empty;
+  EXPECT_TRUE(SubsumesCondition(Q("//anything"), empty));
+}
+
+TEST(SubsumptionTest, OptionalQueryPredicatesGuaranteeNothing) {
+  EXPECT_FALSE(SubsumesCondition(Q("//car[ftcontains(., \"nyc\")?]"),
+                                 Q("//car[ftcontains(., \"nyc\")]")));
+  EXPECT_TRUE(SubsumesCondition(Q("//car[ftcontains(., \"nyc\")]"),
+                                Q("//car[ftcontains(., \"nyc\")]")));
+}
+
+TEST(SubsumptionTest, RootAnchoredCondition) {
+  EXPECT_TRUE(SubsumesCondition(Q("/site/people"), Q("/site")));
+  // An unanchored query cannot guarantee the anchored condition.
+  EXPECT_FALSE(SubsumesCondition(Q("//site/people"), Q("/site")));
+}
+
+TEST(ContainmentTest, DistinguishedNodeMustCorrespond) {
+  // //car//price ⊆ //price (as answer sets over price nodes).
+  EXPECT_TRUE(Contains(Q("//price"), Q("//car//price")));
+  // But //car//price ⊄ //car (different distinguished tags).
+  EXPECT_FALSE(Contains(Q("//car"), Q("//car//price")));
+}
+
+TEST(ContainmentTest, MorePredicatesMeansContained) {
+  Tpq narrow = Q("//car[./price < 1000 and ftcontains(., \"clean\")]");
+  Tpq wide = Q("//car[./price < 2000]");
+  EXPECT_TRUE(Contains(wide, narrow));
+  EXPECT_FALSE(Contains(narrow, wide));
+}
+
+TEST(ContainmentTest, EquivalenceIsMutualContainment) {
+  Tpq a = Q("//car[./price < 2000]");
+  Tpq b = Q("//car[./price < 2000]");
+  EXPECT_TRUE(Equivalent(a, b));
+  EXPECT_FALSE(Equivalent(a, Q("//car[./price < 1000]")));
+}
+
+TEST(ContainmentTest, BranchOrderIrrelevant) {
+  EXPECT_TRUE(Equivalent(Q("//car[./price and ./color]"),
+                         Q("//car[./color and ./price]")));
+}
+
+TEST(MinimizeTest, DropsDuplicateBranch) {
+  // //car[./price and ./price] minimizes to //car[./price].
+  Tpq q = Q("//car[./price and ./price]");
+  Tpq m = Minimize(q);
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_TRUE(Equivalent(m, q));
+}
+
+TEST(MinimizeTest, DropsBranchImpliedByStrongerSibling) {
+  // ./price[. < 1000] implies the existence branch ./price.
+  Tpq q = Q("//car[./price[. < 1000] and ./price]");
+  Tpq m = Minimize(q);
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_TRUE(Equivalent(m, q));
+  ASSERT_EQ(m.node(m.FindByTag("price")).value_predicates.size(), 1u);
+}
+
+TEST(MinimizeTest, KeepsIndependentBranches) {
+  Tpq q = Q("//car[./price and ./color]");
+  Tpq m = Minimize(q);
+  EXPECT_EQ(m.size(), 3);
+}
+
+TEST(MinimizeTest, AdBranchSubsumedByPcPath) {
+  // //a[./b/c and .//c]: the .//c branch is implied by ./b/c.
+  Tpq q = Q("//a[./b/c and .//c]");
+  Tpq m = Minimize(q);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_TRUE(Equivalent(m, q));
+}
+
+TEST(MinimizeTest, NeverRemovesDistinguishedSpine) {
+  Tpq q = Q("//article//abs");
+  Tpq m = Minimize(q);
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.node(m.distinguished()).tag, "abs");
+}
+
+// Containment is reflexive and transitive over a pool of related queries.
+class ContainmentLatticeTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ContainmentLatticeTest, Reflexive) {
+  Tpq q = Q(GetParam());
+  EXPECT_TRUE(Contains(q, q)) << GetParam();
+  EXPECT_TRUE(Equivalent(q, q));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pool, ContainmentLatticeTest,
+    ::testing::Values("//car", "//car[./price < 2000]",
+                      "//car[./description[ftcontains(., \"a\")]]",
+                      "//a//b/c[. = 2]",
+                      "//article[ftcontains(.//au, \"x\")]//abs"));
+
+TEST(ContainmentLatticeTest, TransitiveChain) {
+  Tpq q1 = Q("//car[./price < 1000 and ./color = \"red\"]");
+  Tpq q2 = Q("//car[./price < 2000]");
+  Tpq q3 = Q("//car");
+  EXPECT_TRUE(Contains(q2, q1));
+  EXPECT_TRUE(Contains(q3, q2));
+  EXPECT_TRUE(Contains(q3, q1));
+}
+
+}  // namespace
+}  // namespace pimento::tpq

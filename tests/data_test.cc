@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "src/data/car_gen.h"
+#include "src/data/inex_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/index/collection.h"
+#include "src/xml/parser.h"
+
+namespace pimento::data {
+namespace {
+
+TEST(CarGenTest, Deterministic) {
+  CarGenOptions opts;
+  opts.num_cars = 20;
+  std::string a = CarDealerXml(opts);
+  std::string b = CarDealerXml(opts);
+  EXPECT_EQ(a, b);
+  opts.seed = 43;
+  EXPECT_NE(CarDealerXml(opts), a);
+}
+
+TEST(CarGenTest, RequestedCarCount) {
+  CarGenOptions opts;
+  opts.num_cars = 25;
+  xml::Document doc = GenerateCarDealer(opts);
+  index::Collection coll = index::Collection::Build(std::move(doc));
+  EXPECT_EQ(coll.tags().Count("car"), 25u);
+}
+
+TEST(CarGenTest, Figure1CarsPresent) {
+  index::Collection coll =
+      index::Collection::Build(GenerateCarDealer({.num_cars = 5}));
+  // Node 1 is the first Fig. 1 car with "best bid" and "NYC" in its
+  // description; node ids are deterministic (root=0, first car=1).
+  index::Phrase best_bid = coll.MakePhrase("best bid");
+  index::Phrase nyc = coll.MakePhrase("NYC");
+  EXPECT_GT(coll.CountOccurrences(1, best_bid), 0);
+  EXPECT_GT(coll.CountOccurrences(1, nyc), 0);
+}
+
+TEST(CarGenTest, GeneratedXmlParses) {
+  std::string xml_text = CarDealerXml({.num_cars = 10});
+  auto doc = xml::ParseXml(xml_text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+TEST(CarGenTest, CarsHaveExpectedFields) {
+  index::Collection coll =
+      index::Collection::Build(GenerateCarDealer({.num_cars = 15}));
+  for (xml::NodeId car : coll.tags().Elements("car")) {
+    EXPECT_TRUE(coll.AttrNumeric(car, "price").has_value()) << car;
+    EXPECT_FALSE(coll.doc().ChildrenByTag(car, "description").empty());
+  }
+}
+
+TEST(XmarkGenTest, HitsTargetSize) {
+  for (size_t target : {size_t{64} << 10, size_t{256} << 10}) {
+    XmarkOptions opts;
+    opts.target_bytes = target;
+    xml::Document doc = GenerateXmark(opts);
+    EXPECT_GE(doc.ApproximateBytes(), target);
+    EXPECT_LE(doc.ApproximateBytes(), target + (target / 4) + 4096)
+        << "overshoot too large";
+  }
+}
+
+TEST(XmarkGenTest, Deterministic) {
+  XmarkOptions opts;
+  opts.target_bytes = 64 << 10;
+  xml::Document a = GenerateXmark(opts);
+  xml::Document b = GenerateXmark(opts);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(XmarkGenTest, SchemaShape) {
+  XmarkOptions opts;
+  opts.target_bytes = 128 << 10;
+  index::Collection coll = index::Collection::Build(GenerateXmark(opts));
+  EXPECT_GT(coll.tags().Count("person"), 0u);
+  EXPECT_GT(coll.tags().Count("item"), 0u);
+  EXPECT_GT(coll.tags().Count("open_auction"), 0u);
+  EXPECT_EQ(coll.tags().Count("site"), 1u);
+  // Every person has a profile with a business flag.
+  for (xml::NodeId person : coll.tags().Elements("person")) {
+    EXPECT_NE(coll.doc().FindDescendant(person, "business"),
+              xml::kInvalidNode);
+  }
+}
+
+TEST(XmarkGenTest, Fig5KeywordsPresent) {
+  XmarkOptions opts;
+  opts.target_bytes = 128 << 10;
+  index::Collection coll = index::Collection::Build(GenerateXmark(opts));
+  for (const char* kw :
+       {"Yes", "male", "United States", "College", "Phoenix"}) {
+    EXPECT_TRUE(coll.MakePhrase(kw).known()) << kw;
+  }
+  // Some persons aged 33 exist for the π5 VOR.
+  int age33 = 0;
+  for (xml::NodeId person : coll.tags().Elements("person")) {
+    if (coll.AttrNumeric(person, "age").value_or(0) == 33) ++age33;
+  }
+  EXPECT_GT(age33, 0);
+}
+
+TEST(InexGenTest, EightTopicsWithPaperIds) {
+  InexCollection inex = GenerateInex({});
+  ASSERT_EQ(inex.topics.size(), 8u);
+  std::vector<int> ids;
+  for (const auto& t : inex.topics) ids.push_back(t.id);
+  EXPECT_EQ(ids, (std::vector<int>{130, 131, 132, 140, 141, 142, 145, 151}));
+  ASSERT_EQ(inex.relevant.size(), 8u);
+}
+
+TEST(InexGenTest, RelevantComponentsMatchRequestedTags) {
+  InexCollection inex = GenerateInex({});
+  for (size_t t = 0; t < inex.topics.size(); ++t) {
+    for (xml::NodeId id : inex.relevant[t]) {
+      const std::string& tag = inex.doc.node(id).tag;
+      bool requested = false;
+      for (const std::string& r : inex.topics[t].requested_tags) {
+        if (r == tag) requested = true;
+      }
+      EXPECT_TRUE(requested) << "topic " << inex.topics[t].id
+                             << " relevant component has tag " << tag;
+    }
+  }
+}
+
+TEST(InexGenTest, FullRelevantContainMainAndNarrative) {
+  InexCollection inex = GenerateInex({});
+  index::Collection coll = index::Collection::Build(std::move(inex.doc));
+  for (size_t t = 0; t < inex.topics.size(); ++t) {
+    const auto& topic = inex.topics[t];
+    index::Phrase main = coll.MakePhrase(topic.main_keyword);
+    int with_main = 0;
+    int without_main = 0;
+    for (xml::NodeId id : inex.relevant[t]) {
+      bool has_main = coll.CountOccurrences(id, main) > 0;
+      (has_main ? with_main : without_main)++;
+      // All relevant components carry at least one narrative keyword.
+      bool has_narr = false;
+      for (const std::string& n : topic.narrative) {
+        if (coll.CountOccurrences(id, coll.MakePhrase(n)) > 0) {
+          has_narr = true;
+        }
+      }
+      EXPECT_TRUE(has_narr) << "topic " << topic.id;
+    }
+    EXPECT_GT(with_main, 0) << "topic " << topic.id;
+    EXPECT_GT(without_main, 0) << "topic " << topic.id;
+  }
+}
+
+TEST(InexGenTest, TopicQueryAndProfileParse) {
+  InexCollection inex = GenerateInex({});
+  for (const auto& topic : inex.topics) {
+    for (const std::string& tag : topic.requested_tags) {
+      std::string q = TopicQuery(topic, tag);
+      std::string p = TopicProfile(topic, tag);
+      EXPECT_NE(q.find(tag), std::string::npos);
+      EXPECT_NE(p.find("kor"), std::string::npos);
+    }
+  }
+}
+
+TEST(InexGenTest, ArticlesHaveIeeeShape) {
+  InexCollection inex = GenerateInex({});
+  index::Collection coll = index::Collection::Build(std::move(inex.doc));
+  EXPECT_GT(coll.tags().Count("article"), 20u);
+  for (xml::NodeId article : coll.tags().Elements("article")) {
+    EXPECT_NE(coll.doc().FindDescendant(article, "abs"), xml::kInvalidNode);
+    EXPECT_NE(coll.doc().FindDescendant(article, "sec"), xml::kInvalidNode);
+    EXPECT_NE(coll.doc().FindDescendant(article, "au"), xml::kInvalidNode);
+  }
+}
+
+}  // namespace
+}  // namespace pimento::data

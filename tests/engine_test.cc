@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/data/inex_gen.h"
+#include "src/data/xmark_gen.h"
+
+namespace pimento::core {
+namespace {
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\") and "
+    "ftcontains(., \"low mileage\")] and ./price < 2000]";
+
+constexpr const char* kFig2Profile = R"(
+profile figure2
+rank K,V,S
+sr p1 priority 3: if //car/description[ftcontains(., "low mileage")] then delete ftcontains(car, "good condition")
+sr p2 priority 1: if //car/description[ftcontains(., "good condition")] then add ftcontains(description, "american")
+sr p3 priority 2: if //car/description[ftcontains(., "good condition")] then delete ftcontains(description, "low mileage")
+vor pi1: tag=car prefer color = "red"
+kor pi4: tag=car prefer ftcontains("best bid")
+kor pi5: tag=car prefer ftcontains("NYC")
+)";
+
+SearchEngine CarEngine(int cars = 40) {
+  data::CarGenOptions gen;
+  gen.num_cars = cars;
+  return SearchEngine(
+      index::Collection::Build(data::GenerateCarDealer(gen)));
+}
+
+TEST(EngineTest, PlainSearchReturnsRankedAnswers) {
+  SearchEngine engine = CarEngine();
+  auto result = engine.Search("//car[./price < 2000]", SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_LE(result->answers.size(), 5u);
+  ASSERT_FALSE(result->answers.empty());
+  for (size_t i = 0; i < result->answers.size(); ++i) {
+    EXPECT_EQ(result->answers[i].rank, static_cast<int>(i) + 1);
+    EXPECT_EQ(engine.collection().doc().node(result->answers[i].node).tag,
+              "car");
+  }
+}
+
+TEST(EngineTest, QueryParseErrorSurfaces) {
+  SearchEngine engine = CarEngine();
+  auto result = engine.Search("car[", SearchOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineTest, ProfileParseErrorSurfaces) {
+  SearchEngine engine = CarEngine();
+  auto result = engine.Search("//car", "nonsense line", SearchOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineTest, FromXmlParsesAndIndexes) {
+  auto engine = SearchEngine::FromXml(
+      "<shop><car><price>10</price></car></shop>");
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Search("//car", SearchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(EngineTest, FromXmlRejectsBadXml) {
+  EXPECT_FALSE(SearchEngine::FromXml("<broken").ok());
+}
+
+TEST(EngineTest, CorpusSearchSpansDocuments) {
+  auto engine = SearchEngine::FromXmlCorpus(
+      {"<shop><car><price>100</price></car></shop>",
+       "<shop><car><price>200</price></car></shop>"});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto result = engine->Search("//car", SearchOptions{.k = 10});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 2u);
+}
+
+TEST(EngineTest, CorpusReportsFailingDocumentIndex) {
+  auto engine = SearchEngine::FromXmlCorpus({"<ok/>", "<broken"});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().message().find("document 1"), std::string::npos);
+}
+
+TEST(EngineTest, PersonalizationPromotesPreferredCar) {
+  // The Fig. 1 best-bid NYC car lacks "low mileage" and scores low on the
+  // plain query, but the Fig. 2 profile (drop low-mileage + KORs) must rank
+  // it first.
+  SearchEngine engine = CarEngine();
+  auto plain = engine.Search(kCarQuery, SearchOptions{.k = 5});
+  ASSERT_TRUE(plain.ok());
+  auto personalized =
+      engine.Search(kCarQuery, kFig2Profile, SearchOptions{.k = 5});
+  ASSERT_TRUE(personalized.ok()) << personalized.status().ToString();
+  ASSERT_FALSE(personalized->answers.empty());
+  // Node 1 is the hand-crafted Fig. 1 "best bid ... NYC" car (node 0 is the
+  // dealer root).
+  EXPECT_EQ(personalized->answers[0].node, 1);
+  EXPECT_GT(personalized->answers[0].k, 0.0);
+  // The plain query cannot return it (no "low mileage" in its description).
+  for (const RankedAnswer& a : plain->answers) {
+    EXPECT_NE(a.node, 1);
+  }
+}
+
+TEST(EngineTest, StaticAnalysisArtifactsPopulated) {
+  SearchEngine engine = CarEngine();
+  auto result = engine.Search(kCarQuery, kFig2Profile, SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flock.members.size(), 3u);
+  EXPECT_FALSE(result->flock.conflict_report.conflicts.empty());
+  EXPECT_FALSE(result->encoded_query.empty());
+  EXPECT_NE(result->plan_description.find("topkPrune"), std::string::npos);
+  EXPECT_GT(result->stats.scanned, 0);
+}
+
+TEST(EngineTest, UnresolvedAmbiguityFails) {
+  SearchEngine engine = CarEngine();
+  const char* profile = R"(
+vor pi1: tag=car prefer color = "red"
+vor pi2: tag=car prefer lower mileage
+)";
+  auto result = engine.Search("//car", profile, SearchOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAmbiguous);
+}
+
+TEST(EngineTest, PrioritiesResolveAmbiguity) {
+  SearchEngine engine = CarEngine();
+  const char* profile = R"(
+vor pi1 priority 2: tag=car prefer color = "red"
+vor pi2 priority 1: tag=car prefer lower mileage
+)";
+  auto result = engine.Search("//car", profile, SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ambiguity.ambiguous);
+  EXPECT_TRUE(result->ambiguity.resolved_by_priorities);
+  // Ranking follows mileage first (priority 1): keys are in priority order.
+  const auto& answers = result->answers;
+  for (size_t i = 1; i < answers.size(); ++i) {
+    EXPECT_LE(answers[i - 1].vor_keys[0], answers[i].vor_keys[0]);
+  }
+}
+
+TEST(EngineTest, AmbiguityCheckCanBeDisabled) {
+  SearchEngine engine = CarEngine();
+  const char* profile = R"(
+vor pi1: tag=car prefer color = "red"
+vor pi2: tag=car prefer lower mileage
+)";
+  SearchOptions options;
+  options.check_ambiguity = false;
+  auto result = engine.Search("//car", profile, options);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(EngineTest, ConflictingSrsWithoutPrioritiesFail) {
+  SearchEngine engine = CarEngine();
+  const char* profile = R"(
+sr p1: if //car/description[ftcontains(., "low mileage")] then delete ftcontains(car, "good condition")
+sr p3: if //car/description[ftcontains(., "good condition")] then delete ftcontains(description, "low mileage")
+)";
+  auto result = engine.Search(kCarQuery, profile, SearchOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kConflict);
+}
+
+TEST(EngineTest, VorOnlyProfileRanksByValue) {
+  SearchEngine engine = CarEngine();
+  const char* profile = "vor red: tag=car prefer color = \"red\"";
+  auto result = engine.Search("//car", profile, SearchOptions{.k = 10});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // All red cars must precede all non-red ones.
+  bool seen_non_red = false;
+  for (const RankedAnswer& a : result->answers) {
+    bool is_red =
+        engine.collection().AttrString(a.node, "color").value_or("") == "red";
+    if (!is_red) seen_non_red = true;
+    EXPECT_FALSE(is_red && seen_non_red)
+        << "red car ranked after a non-red car";
+  }
+}
+
+TEST(EngineTest, AnswerXmlSerializesSubtree) {
+  SearchEngine engine = CarEngine();
+  auto result = engine.Search("//car", SearchOptions{.k = 1});
+  ASSERT_TRUE(result.ok());
+  std::string xml = engine.AnswerXml(result->answers[0].node);
+  EXPECT_NE(xml.find("<car>"), std::string::npos);
+}
+
+// ---------- the §7.2 guarantee: all four plans return the same top-k ----
+
+struct StrategyCase {
+  plan::Strategy strategy;
+  const char* name;
+};
+
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(StrategyEquivalenceTest, MatchesNaiveOnCarWorkload) {
+  SearchEngine engine = CarEngine(120);
+  SearchOptions naive;
+  naive.k = 8;
+  naive.strategy = plan::Strategy::kNaive;
+  auto baseline = engine.Search(kCarQuery, kFig2Profile, naive);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  SearchOptions opt;
+  opt.k = 8;
+  opt.strategy = GetParam().strategy;
+  auto result = engine.Search(kCarQuery, kFig2Profile, opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(result->answers.size(), baseline->answers.size());
+  for (size_t i = 0; i < result->answers.size(); ++i) {
+    EXPECT_EQ(result->answers[i].node, baseline->answers[i].node)
+        << GetParam().name << " diverges at rank " << i + 1;
+  }
+}
+
+TEST_P(StrategyEquivalenceTest, MatchesNaiveOnXmarkWorkload) {
+  data::XmarkOptions gen;
+  gen.target_bytes = 150 << 10;
+  SearchEngine engine(index::Collection::Build(data::GenerateXmark(gen)));
+  const char* query =
+      "//person[.//business[ftcontains(., \"Yes\")]]";
+  const char* profile = R"(
+kor k1: tag=person prefer ftcontains("male")
+kor k2: tag=person prefer ftcontains("United States")
+kor k3: tag=person prefer ftcontains("College")
+kor k4: tag=person prefer ftcontains("Phoenix")
+)";
+  SearchOptions naive;
+  naive.k = 10;
+  naive.strategy = plan::Strategy::kNaive;
+  auto baseline = engine.Search(query, profile, naive);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->answers.size(), 10u);
+
+  SearchOptions opt;
+  opt.k = 10;
+  opt.strategy = GetParam().strategy;
+  auto result = engine.Search(query, profile, opt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), baseline->answers.size());
+  for (size_t i = 0; i < result->answers.size(); ++i) {
+    EXPECT_EQ(result->answers[i].node, baseline->answers[i].node)
+        << GetParam().name << " diverges at rank " << i + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, StrategyEquivalenceTest,
+    ::testing::Values(
+        StrategyCase{plan::Strategy::kInterleave, "NS-ILtpkP"},
+        StrategyCase{plan::Strategy::kInterleaveSorted, "S-ILtpkP"},
+        StrategyCase{plan::Strategy::kPush, "PtpkP"}),
+    [](const ::testing::TestParamInfo<StrategyCase>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(EngineTest, PushPrunesMoreThanNaive) {
+  data::XmarkOptions gen;
+  gen.target_bytes = 200 << 10;
+  SearchEngine engine(index::Collection::Build(data::GenerateXmark(gen)));
+  const char* query = "//person[.//business[ftcontains(., \"Yes\")]]";
+  const char* profile = R"(
+kor k1: tag=person prefer ftcontains("male")
+kor k2: tag=person prefer ftcontains("Phoenix")
+)";
+  SearchOptions push;
+  push.k = 10;
+  push.strategy = plan::Strategy::kPush;
+  auto result = engine.Search(query, profile, push);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.pruned_by_topk, 0)
+      << "push plans should prune intermediate answers on this workload";
+}
+
+// ---------- INEX-style personalization recovers narrative components ----
+
+TEST(EngineTest, InexProfileRecoversNarrativeOnlyComponents) {
+  data::InexCollection inex = data::GenerateInex({});
+  SearchEngine engine(index::Collection::Build(std::move(inex.doc)));
+  const data::InexTopicSpec& topic = inex.topics[1];  // topic 131
+  ASSERT_EQ(topic.id, 131);
+  const std::string tag = "abs";
+  std::string query = data::TopicQuery(topic, tag);
+  std::string profile = data::TopicProfile(topic, tag);
+
+  auto plain = engine.Search(query, SearchOptions{.k = 5});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  auto personalized = engine.Search(query, profile, SearchOptions{.k = 5});
+  ASSERT_TRUE(personalized.ok()) << personalized.status().ToString();
+
+  // Narrative-only relevant components contain no main keyword: the plain
+  // query can never return them; the personalized one must find at least
+  // one (they dominate on K).
+  auto contains_narrative_only = [&](const SearchResult& r) {
+    for (const RankedAnswer& a : r.answers) {
+      index::Phrase main =
+          engine.collection().MakePhrase(topic.main_keyword);
+      if (engine.collection().CountOccurrences(a.node, main) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(contains_narrative_only(*plain));
+  EXPECT_TRUE(contains_narrative_only(*personalized));
+}
+
+}  // namespace
+}  // namespace pimento::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::core {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : engine(index::Collection::Build(
+            data::GenerateCarDealer({.num_cars = 30}))) {}
+  SearchEngine engine;
+};
+
+TEST(ExplainTest, BreakdownSumsToAnswerScores) {
+  Fixture f;
+  const char* query_text =
+      "//car[./description[ftcontains(., \"good condition\")] and "
+      "./price < 6000]";
+  const char* profile_text = R"(
+vor c: tag=car prefer color = "red"
+kor nyc: tag=car prefer ftcontains("NYC")
+kor bid: tag=car prefer ftcontains("best bid") weight 2
+)";
+  auto query = tpq::ParseTpq(query_text);
+  ASSERT_TRUE(query.ok());
+  auto profile = profile::ParseProfile(profile_text);
+  ASSERT_TRUE(profile.ok());
+  auto result = f.engine.Search(*query, *profile, SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->answers.empty());
+
+  for (const RankedAnswer& answer : result->answers) {
+    auto explanation = f.engine.Explain(*query, *profile, answer.node);
+    ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+    EXPECT_NEAR(explanation->s, answer.s, 1e-9) << "node " << answer.node;
+    EXPECT_NEAR(explanation->k, answer.k, 1e-9) << "node " << answer.node;
+    EXPECT_FALSE(explanation->contributions.empty());
+  }
+}
+
+TEST(ExplainTest, ContributionsNameSources) {
+  Fixture f;
+  auto query = tpq::ParseTpq("//car[ftcontains(., \"good condition\")]");
+  ASSERT_TRUE(query.ok());
+  auto profile = profile::ParseProfile(
+      "kor nyc: tag=car prefer ftcontains(\"NYC\")");
+  ASSERT_TRUE(profile.ok());
+  auto result = f.engine.Search(*query, *profile, SearchOptions{.k = 1});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->answers.empty());
+  auto explanation =
+      f.engine.Explain(*query, *profile, result->answers[0].node);
+  ASSERT_TRUE(explanation.ok());
+  std::string text = explanation->ToString();
+  EXPECT_NE(text.find("good condition"), std::string::npos) << text;
+  EXPECT_NE(text.find("kor nyc"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, VorRowsCarryRankKeys) {
+  Fixture f;
+  auto query = tpq::ParseTpq("//car");
+  ASSERT_TRUE(query.ok());
+  auto profile =
+      profile::ParseProfile("vor m: tag=car prefer lower mileage");
+  ASSERT_TRUE(profile.ok());
+  auto result = f.engine.Search(*query, *profile, SearchOptions{.k = 1});
+  ASSERT_TRUE(result.ok());
+  auto explanation =
+      f.engine.Explain(*query, *profile, result->answers[0].node);
+  ASSERT_TRUE(explanation.ok());
+  bool found_vor = false;
+  for (const ScoreContribution& c : explanation->contributions) {
+    if (c.component == ScoreContribution::Component::kV) {
+      found_vor = true;
+      EXPECT_NE(c.source.find("vor m"), std::string::npos);
+      // The top answer under "lower mileage" carries the minimum key.
+      EXPECT_DOUBLE_EQ(c.amount, result->answers[0].vor_keys[0]);
+    }
+  }
+  EXPECT_TRUE(found_vor);
+}
+
+TEST(ExplainTest, AppliesScopingRulesBeforeExplaining) {
+  Fixture f;
+  // The SR makes "low mileage" optional; a car without it must still have a
+  // (zero-amount) contribution row for the demoted predicate.
+  auto query = tpq::ParseTpq(
+      "//car[./description[ftcontains(., \"good condition\") and "
+      "ftcontains(., \"low mileage\")]]");
+  ASSERT_TRUE(query.ok());
+  auto profile = profile::ParseProfile(
+      "sr p3: if //car/description[ftcontains(., \"good condition\")] then "
+      "delete ftcontains(description, \"low mileage\")");
+  ASSERT_TRUE(profile.ok());
+  auto result = f.engine.Search(*query, *profile, SearchOptions{.k = 10});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->answers.empty());
+  auto explanation =
+      f.engine.Explain(*query, *profile, result->answers.back().node);
+  ASSERT_TRUE(explanation.ok());
+  bool saw_optional_low_mileage = false;
+  for (const ScoreContribution& c : explanation->contributions) {
+    if (c.source.find("optional") != std::string::npos &&
+        c.source.find("low mileage") != std::string::npos) {
+      saw_optional_low_mileage = true;
+    }
+  }
+  EXPECT_TRUE(saw_optional_low_mileage);
+}
+
+TEST(ExplainTest, RejectsBadNode) {
+  Fixture f;
+  auto query = tpq::ParseTpq("//car");
+  ASSERT_TRUE(query.ok());
+  auto bad = f.engine.Explain(*query, profile::UserProfile{}, -5);
+  EXPECT_FALSE(bad.ok());
+  auto bad2 = f.engine.Explain(*query, profile::UserProfile{}, 1 << 30);
+  EXPECT_FALSE(bad2.ok());
+}
+
+TEST(CollectionStatsTest, CountsAreConsistent) {
+  Fixture f;
+  index::CollectionStats stats = f.engine.collection().Stats();
+  EXPECT_GT(stats.elements, 30u);  // 30 cars + fields
+  EXPECT_GT(stats.tokens, 0);
+  EXPECT_GT(stats.vocabulary, 0u);
+  EXPECT_LE(stats.vocabulary, static_cast<size_t>(stats.tokens));
+  EXPECT_GE(stats.distinct_tags, 5u);
+  EXPECT_NE(stats.ToString().find("elements="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pimento::core

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/index/collection.h"
+#include "src/xml/parser.h"
+
+namespace pimento::index {
+namespace {
+
+Collection BuildFrom(std::string_view xml_text,
+                     const text::TokenizeOptions& opts = {}) {
+  auto doc = xml::ParseXml(xml_text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return Collection::Build(std::move(doc).value(), opts);
+}
+
+TEST(InvertedIndexTest, TokenPositionsAndCtf) {
+  Collection coll = BuildFrom("<a>red car red</a>");
+  const InvertedIndex& idx = coll.keywords();
+  EXPECT_EQ(idx.total_tokens(), 3);
+  TermId red = idx.LookupTerm("red");
+  TermId car = idx.LookupTerm("car");
+  ASSERT_NE(red, kUnknownTerm);
+  ASSERT_NE(car, kUnknownTerm);
+  EXPECT_EQ(idx.TermCtf(red), 2);
+  EXPECT_EQ(idx.TermCtf(car), 1);
+  EXPECT_EQ(idx.LookupTerm("bus"), kUnknownTerm);
+  EXPECT_EQ(idx.TermCtf(kUnknownTerm), 0);
+}
+
+TEST(InvertedIndexTest, PhraseCountsRespectAdjacency) {
+  Collection coll = BuildFrom("<a>low mileage car low price mileage</a>");
+  Phrase lm = coll.MakePhrase("low mileage");
+  EXPECT_TRUE(lm.known());
+  EXPECT_EQ(coll.CountOccurrences(0, lm), 1);
+  Phrase lp = coll.MakePhrase("low price");
+  EXPECT_EQ(coll.CountOccurrences(0, lp), 1);
+  Phrase pm = coll.MakePhrase("price low");
+  EXPECT_EQ(coll.CountOccurrences(0, pm), 0);
+}
+
+TEST(InvertedIndexTest, PhraseWithUnknownTermMatchesNothing) {
+  Collection coll = BuildFrom("<a>alpha beta</a>");
+  Phrase p = coll.MakePhrase("alpha gamma");
+  EXPECT_FALSE(p.known());
+  EXPECT_EQ(coll.CountOccurrences(0, p), 0);
+  EXPECT_EQ(coll.keywords().MaxPhraseCount(p), 0);
+}
+
+TEST(InvertedIndexTest, PhraseContainmentIsPerElement) {
+  Collection coll =
+      BuildFrom("<a><b>good condition</b><c>good</c><d>condition</d></a>");
+  Phrase p = coll.MakePhrase("good condition");
+  xml::NodeId b = coll.doc().FindDescendant(0, "b");
+  xml::NodeId c = coll.doc().FindDescendant(0, "c");
+  // The root sees b's occurrence plus the c/d cross-element adjacency in
+  // its document-order token stream (window semantics over mixed content).
+  EXPECT_EQ(coll.CountOccurrences(0, p), 2);
+  EXPECT_EQ(coll.CountOccurrences(b, p), 1);
+  EXPECT_EQ(coll.CountOccurrences(c, p), 0);
+}
+
+TEST(InvertedIndexTest, PhraseSpanningSiblingsNotCounted) {
+  // "good" ends <b> and "condition" starts <c>: adjacent in the global
+  // stream but not a phrase within either element; the root-level count
+  // tolerates it (document-order concatenation), which mirrors XQuery FT
+  // window semantics over mixed content.
+  Collection coll = BuildFrom("<a><b>good</b><c>condition</c></a>");
+  Phrase p = coll.MakePhrase("good condition");
+  xml::NodeId b = coll.doc().FindDescendant(0, "b");
+  EXPECT_EQ(coll.CountOccurrences(b, p), 0);
+}
+
+TEST(InvertedIndexTest, MaxPhraseCountIsRarestTerm) {
+  Collection coll = BuildFrom("<a>x x x y</a>");
+  Phrase p = coll.MakePhrase("x y");
+  EXPECT_EQ(coll.keywords().MaxPhraseCount(p), 1);
+}
+
+TEST(TagIndexTest, ElementsInDocumentOrder) {
+  Collection coll = BuildFrom("<a><b/><c><b/></c><b/></a>");
+  const auto& bs = coll.tags().Elements("b");
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_LT(coll.doc().node(bs[0]).begin, coll.doc().node(bs[1]).begin);
+  EXPECT_LT(coll.doc().node(bs[1]).begin, coll.doc().node(bs[2]).begin);
+  EXPECT_EQ(coll.tags().Count("c"), 1u);
+  EXPECT_EQ(coll.tags().Count("zzz"), 0u);
+}
+
+TEST(TagIndexTest, DescendantsWithTag) {
+  Collection coll = BuildFrom("<a><c><b/><d><b/></d></c><b/></a>");
+  xml::NodeId c = coll.doc().FindDescendant(0, "c");
+  auto under_c = coll.tags().DescendantsWithTag(coll.doc(), c, "b");
+  EXPECT_EQ(under_c.size(), 2u);
+  auto under_root = coll.tags().DescendantsWithTag(coll.doc(), 0, "b");
+  EXPECT_EQ(under_root.size(), 3u);
+}
+
+TEST(TagIndexTest, TagsListsAll) {
+  Collection coll = BuildFrom("<a><b/><c/></a>");
+  auto tags = coll.tags().Tags();
+  EXPECT_EQ(tags, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ValueIndexTest, NumericAndStringValues) {
+  Collection coll = BuildFrom(
+      "<car><price>2000</price><color>Red</color>"
+      "<desc>not <b>simple</b></desc></car>");
+  xml::NodeId price = coll.doc().FindDescendant(0, "price");
+  xml::NodeId color = coll.doc().FindDescendant(0, "color");
+  xml::NodeId desc = coll.doc().FindDescendant(0, "desc");
+  EXPECT_DOUBLE_EQ(coll.values().Numeric(price).value(), 2000);
+  EXPECT_FALSE(coll.values().Numeric(color).has_value());
+  EXPECT_EQ(coll.values().String(color).value(), "red");
+  // Mixed-content elements are not "simple" and have no value.
+  EXPECT_FALSE(coll.values().String(desc).has_value());
+}
+
+TEST(CollectionTest, TokenSpansCoverSubtrees) {
+  Collection coll = BuildFrom("<a>one<b>two three</b><c>four</c></a>");
+  const xml::Document& doc = coll.doc();
+  EXPECT_EQ(coll.ElementLength(0), 4);
+  xml::NodeId b = doc.FindDescendant(0, "b");
+  xml::NodeId c = doc.FindDescendant(0, "c");
+  EXPECT_EQ(coll.ElementLength(b), 2);
+  EXPECT_EQ(coll.ElementLength(c), 1);
+  // Spans nest: b's span inside a's span.
+  EXPECT_GE(doc.node(b).first_token, doc.node(0).first_token);
+  EXPECT_LE(doc.node(b).last_token, doc.node(0).last_token);
+}
+
+TEST(CollectionTest, AttrStringPrefersChildThenDescendant) {
+  Collection coll = BuildFrom(
+      "<car><color>red</color><engine><color>black</color></engine></car>");
+  EXPECT_EQ(coll.AttrString(0, "color").value(), "red");
+}
+
+TEST(CollectionTest, AttrFallsBackToAttributeElements) {
+  Collection coll = BuildFrom(R"(<car color="blue"/>)");
+  EXPECT_EQ(coll.AttrString(0, "color").value(), "blue");
+}
+
+TEST(CollectionTest, AttrNumeric) {
+  Collection coll = BuildFrom("<car><hp>200</hp></car>");
+  EXPECT_DOUBLE_EQ(coll.AttrNumeric(0, "hp").value(), 200);
+  EXPECT_FALSE(coll.AttrNumeric(0, "mileage").has_value());
+}
+
+TEST(CollectionTest, StemmingChangesMatching) {
+  text::TokenizeOptions stem;
+  stem.stem = true;
+  Collection coll = BuildFrom("<a>running engines</a>", stem);
+  // Query phrases normalize through the same pipeline.
+  Phrase p = coll.MakePhrase("runs engine");
+  EXPECT_EQ(coll.CountOccurrences(0, p), 1);
+}
+
+TEST(CollectionTest, MakePhraseNormalizes) {
+  Collection coll = BuildFrom("<a>Good Condition</a>");
+  Phrase p = coll.MakePhrase("  GOOD   condition ");
+  EXPECT_EQ(p.text, "good condition");
+  EXPECT_EQ(coll.CountOccurrences(0, p), 1);
+}
+
+// Parameterized sweep: containment counts stay consistent as the document
+// grows.
+class SpanSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpanSweepTest, PerElementCountsSumToRootCount) {
+  int n = GetParam();
+  std::string text = "<root>";
+  for (int i = 0; i < n; ++i) {
+    text += "<item>target word" + std::to_string(i % 3) + "</item>";
+  }
+  text += "</root>";
+  Collection coll = BuildFrom(text);
+  Phrase p = coll.MakePhrase("target");
+  int total = 0;
+  for (xml::NodeId id : coll.tags().Elements("item")) {
+    total += coll.CountOccurrences(id, p);
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(coll.CountOccurrences(0, p), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpanSweepTest,
+                         ::testing::Values(1, 5, 32, 200));
+
+}  // namespace
+}  // namespace pimento::index

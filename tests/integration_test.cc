@@ -1,0 +1,259 @@
+// Cross-feature integration tests: rank orders, structural prefilter at
+// the engine level, thesaurus + scoping rules, winnow vs ranking, and
+// invariants of the search statistics.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::core {
+namespace {
+
+SearchEngine CarEngine(int cars = 50) {
+  return SearchEngine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = cars})));
+}
+
+TEST(RankOrderTest, VksPutsValuePreferencesFirst) {
+  SearchEngine engine = CarEngine();
+  // Under V,K,S a red car outranks a non-red car with a huge K score.
+  const char* profile_vks = R"(
+rank V,K,S
+vor red: tag=car prefer color = "red"
+kor bid: tag=car prefer ftcontains("best bid") weight 100
+)";
+  auto result =
+      engine.Search("//car", profile_vks, SearchOptions{.k = 10});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool seen_non_red = false;
+  for (const RankedAnswer& a : result->answers) {
+    bool red =
+        engine.collection().AttrString(a.node, "color").value_or("") == "red";
+    if (!red) seen_non_red = true;
+    EXPECT_FALSE(red && seen_non_red) << "V must dominate K under V,K,S";
+  }
+}
+
+TEST(RankOrderTest, KvsPutsKeywordPreferencesFirst) {
+  SearchEngine engine = CarEngine();
+  const char* profile_kvs = R"(
+rank K,V,S
+vor red: tag=car prefer color = "red"
+kor bid: tag=car prefer ftcontains("best bid") weight 100
+)";
+  auto result =
+      engine.Search("//car", profile_kvs, SearchOptions{.k = 3});
+  ASSERT_TRUE(result.ok());
+  // The generated data always contains at least one "best bid" car (the
+  // Fig. 1 car); it must be first even though it is black.
+  ASSERT_FALSE(result->answers.empty());
+  EXPECT_GT(result->answers[0].k, 0.0);
+}
+
+TEST(RankOrderTest, SOrderIgnoresProfileScores) {
+  SearchEngine engine = CarEngine();
+  const char* profile_s = R"(
+rank S
+kor bid: tag=car prefer ftcontains("best bid") weight 100
+)";
+  const char* query = "//car[ftcontains(., \"good condition\")]";
+  auto with_kor = engine.Search(query, profile_s, SearchOptions{.k = 5});
+  auto without = engine.Search(query, SearchOptions{.k = 5});
+  ASSERT_TRUE(with_kor.ok());
+  ASSERT_TRUE(without.ok());
+  ASSERT_EQ(with_kor->answers.size(), without->answers.size());
+  for (size_t i = 0; i < with_kor->answers.size(); ++i) {
+    EXPECT_EQ(with_kor->answers[i].node, without->answers[i].node);
+  }
+}
+
+class PrefilterEquivalenceTest
+    : public ::testing::TestWithParam<plan::Strategy> {};
+
+TEST_P(PrefilterEquivalenceTest, SameAnswersWithAndWithoutPrefilter) {
+  data::XmarkOptions gen;
+  gen.target_bytes = 128u << 10;
+  SearchEngine engine(index::Collection::Build(data::GenerateXmark(gen)));
+  const char* query =
+      "//person[.//business[ftcontains(., \"Yes\")] and ./address/city]";
+  const char* profile = R"(
+kor k1: tag=person prefer ftcontains("male")
+kor k2: tag=person prefer ftcontains("Phoenix") weight 4
+vor pi5: tag=person prefer age = "33"
+)";
+  SearchOptions base;
+  base.k = 10;
+  base.strategy = GetParam();
+  SearchOptions pre = base;
+  pre.use_structural_prefilter = true;
+  auto r1 = engine.Search(query, profile, base);
+  auto r2 = engine.Search(query, profile, pre);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r2->plan_description.find("structjoin"), std::string::npos);
+  ASSERT_EQ(r1->answers.size(), r2->answers.size());
+  for (size_t i = 0; i < r1->answers.size(); ++i) {
+    EXPECT_EQ(r1->answers[i].node, r2->answers[i].node) << "rank " << i + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PrefilterEquivalenceTest,
+                         ::testing::Values(plan::Strategy::kNaive,
+                                           plan::Strategy::kPush),
+                         [](const auto& info) {
+                           return info.param == plan::Strategy::kNaive
+                                      ? std::string("Naive")
+                                      : std::string("Push");
+                         });
+
+TEST(RankOrderTest, VksStrategiesAgreeWithNaive) {
+  data::XmarkOptions gen;
+  gen.target_bytes = 128u << 10;
+  SearchEngine engine(index::Collection::Build(data::GenerateXmark(gen)));
+  const char* query = "//person[.//business[ftcontains(., \"Yes\")]]";
+  const char* profile = R"(
+rank V,K,S
+vor pi5 priority 1: tag=person prefer age = "33"
+kor k1: tag=person prefer ftcontains("male") weight 8
+kor k2: tag=person prefer ftcontains("Phoenix")
+)";
+  SearchOptions naive;
+  naive.k = 10;
+  naive.strategy = plan::Strategy::kNaive;
+  auto baseline = engine.Search(query, profile, naive);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (plan::Strategy strategy :
+       {plan::Strategy::kInterleave, plan::Strategy::kInterleaveSorted,
+        plan::Strategy::kPush}) {
+    SearchOptions opt;
+    opt.k = 10;
+    opt.strategy = strategy;
+    auto result = engine.Search(query, profile, opt);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->answers.size(), baseline->answers.size());
+    for (size_t i = 0; i < result->answers.size(); ++i) {
+      EXPECT_EQ(result->answers[i].node, baseline->answers[i].node)
+          << "V,K,S strategy " << static_cast<int>(strategy) << " rank "
+          << i + 1;
+    }
+  }
+}
+
+TEST(ThesaurusIntegrationTest, ExpansionAppliesToSrAddedKeywords) {
+  SearchEngine engine = CarEngine();
+  text::Thesaurus thesaurus;
+  thesaurus.AddSynonyms({"american", "domestic"});
+  // The SR adds "american" as an optional predicate; the thesaurus then
+  // expands it with "domestic".
+  const char* profile =
+      "sr p2: if //car then add ftcontains(car, \"american\")";
+  auto query = tpq::ParseTpq("//car");
+  ASSERT_TRUE(query.ok());
+  auto prof = profile::ParseProfile(profile);
+  ASSERT_TRUE(prof.ok());
+  SearchOptions options;
+  options.thesaurus = &thesaurus;
+  auto result = engine.Search(*query, *prof, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->encoded_query.find("domestic"), std::string::npos)
+      << result->encoded_query;
+}
+
+TEST(WinnowIntegrationTest, WinnowIsSubsetOfAnswersAndUndominated) {
+  SearchEngine engine = CarEngine(80);
+  const char* profile = R"(
+vor m priority 1: tag=car prefer lower mileage
+vor red priority 2: tag=car prefer color = "red"
+)";
+  auto query = tpq::ParseTpq("//car[./price < 8000]");
+  ASSERT_TRUE(query.ok());
+  auto prof = profile::ParseProfile(profile);
+  ASSERT_TRUE(prof.ok());
+  auto winnowed = engine.SearchWinnow(*query, *prof, SearchOptions{.k = 50});
+  ASSERT_TRUE(winnowed.ok()) << winnowed.status().ToString();
+  ASSERT_FALSE(winnowed->answers.empty());
+  // Under the (total after priorities) mileage-then-color preference the
+  // undominated set is exactly the minimal-mileage car(s) — far fewer
+  // than the full answer set.
+  auto all = engine.Search(*query, *prof, SearchOptions{.k = 1000});
+  ASSERT_TRUE(all.ok());
+  EXPECT_LT(winnowed->answers.size(), all->answers.size());
+  // The winnow winner has the globally smallest mileage among answers
+  // with a mileage value.
+  double best = 1e18;
+  for (const RankedAnswer& a : all->answers) {
+    auto m = engine.collection().AttrNumeric(a.node, "mileage");
+    if (m.has_value()) best = std::min(best, *m);
+  }
+  auto top_m =
+      engine.collection().AttrNumeric(winnowed->answers[0].node, "mileage");
+  ASSERT_TRUE(top_m.has_value());
+  EXPECT_DOUBLE_EQ(*top_m, best);
+}
+
+TEST(StatsInvariantsTest, ScannedCoversEmittedPlusPruned) {
+  SearchEngine engine = CarEngine(70);
+  const char* profile = R"(
+kor nyc: tag=car prefer ftcontains("NYC") weight 4
+kor bid: tag=car prefer ftcontains("best bid")
+)";
+  for (plan::Strategy strategy :
+       {plan::Strategy::kNaive, plan::Strategy::kInterleave,
+        plan::Strategy::kInterleaveSorted, plan::Strategy::kPush}) {
+    SearchOptions options;
+    options.k = 5;
+    options.strategy = strategy;
+    auto result = engine.Search(
+        "//car[ftcontains(., \"good condition\")]", profile, options);
+    ASSERT_TRUE(result.ok());
+    const algebra::PlanStats& s = result->stats;
+    EXPECT_EQ(s.scanned, 70);
+    EXPECT_LE(s.emitted, 5);
+    // Everything scanned is accounted for: filtered, topk-pruned, or it
+    // reached the end (final cut may leave sorted leftovers unemitted).
+    EXPECT_GE(s.scanned,
+              s.pruned_by_filters + s.pruned_by_topk + s.emitted - 5);
+  }
+}
+
+TEST(KSelectionTest, LargerKIsPrefixConsistent) {
+  SearchEngine engine = CarEngine(60);
+  const char* profile = "kor nyc: tag=car prefer ftcontains(\"NYC\")";
+  auto small = engine.Search("//car", profile, SearchOptions{.k = 5});
+  auto large = engine.Search("//car", profile, SearchOptions{.k = 15});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  ASSERT_LE(small->answers.size(), large->answers.size());
+  for (size_t i = 0; i < small->answers.size(); ++i) {
+    EXPECT_EQ(small->answers[i].node, large->answers[i].node)
+        << "top-k must be a prefix of top-K for K>k";
+  }
+}
+
+TEST(EmptyResultTest, NoMatchesIsOkNotError) {
+  SearchEngine engine = CarEngine();
+  auto result = engine.Search(
+      "//car[ftcontains(., \"nonexistent keyword xyz\")]",
+      SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answers.empty());
+}
+
+TEST(StemmedEngineTest, EndToEndWithStemming) {
+  text::TokenizeOptions stem;
+  stem.stem = true;
+  SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 30}), stem));
+  // "conditions" stems to the same token as "condition".
+  auto result = engine.Search(
+      "//car[ftcontains(., \"good conditions\")]", SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->answers.empty());
+}
+
+}  // namespace
+}  // namespace pimento::core

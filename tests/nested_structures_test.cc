@@ -1,0 +1,134 @@
+// Stress tests over recursive documents (same tags nested at multiple
+// depths) — the hardest case for interval-merge structural joins and
+// ancestor navigation. The structural-join access path and the default
+// nav-filter plans must agree exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "src/algebra/struct_join.h"
+#include "src/plan/planner.h"
+#include "src/tpq/tpq_parser.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace pimento::algebra {
+namespace {
+
+/// Builds a recursive document: <sec> elements nested to random depth,
+/// each with optional <st>, <p> and <fig> children and random keywords.
+xml::Document RecursiveDoc(uint32_t seed, int sections) {
+  std::mt19937 rng(seed);
+  xml::Document doc;
+  xml::NodeId root = doc.AddRoot("bdy");
+  std::vector<xml::NodeId> open = {root};
+  for (int i = 0; i < sections; ++i) {
+    xml::NodeId parent = open[rng() % open.size()];
+    xml::NodeId sec = doc.AddElement(parent, "sec");
+    if (rng() % 2 == 0) {
+      xml::NodeId st = doc.AddElement(sec, "st");
+      doc.AddText(st, rng() % 2 == 0 ? "intro words" : "methods words");
+    }
+    int paragraphs = 1 + static_cast<int>(rng() % 3);
+    for (int p = 0; p < paragraphs; ++p) {
+      xml::NodeId para = doc.AddElement(sec, "p");
+      doc.AddText(para, rng() % 3 == 0 ? "special token inside"
+                                       : "ordinary filler text");
+    }
+    if (rng() % 3 == 0) {
+      xml::NodeId fig = doc.AddElement(sec, "fig");
+      doc.AddText(fig, "figure caption");
+    }
+    // Half the time, allow nesting under this new section.
+    if (rng() % 2 == 0) open.push_back(sec);
+  }
+  doc.FinalizeIntervals();
+  return doc;
+}
+
+std::vector<xml::NodeId> PlanAnswers(const index::Collection& coll,
+                                     const tpq::Tpq& q, bool prefilter) {
+  score::Scorer scorer(&coll);
+  plan::PlannerOptions options;
+  options.k = 1 << 20;
+  options.strategy = plan::Strategy::kNaive;
+  options.use_structural_prefilter = prefilter;
+  auto plan = plan::BuildPlan(coll, scorer, q, {}, {}, options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<xml::NodeId> nodes;
+  for (const Answer& a : plan->Execute()) nodes.push_back(a.node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+struct Case {
+  uint32_t seed;
+  const char* query;
+};
+
+class NestedAgreementTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(NestedAgreementTest, StructJoinAgreesWithNavPlan) {
+  index::Collection coll =
+      index::Collection::Build(RecursiveDoc(GetParam().seed, 60));
+  auto q = tpq::ParseTpq(GetParam().query);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<xml::NodeId> nav = PlanAnswers(coll, *q, false);
+  std::vector<xml::NodeId> joined = PlanAnswers(coll, *q, true);
+  EXPECT_EQ(nav, joined) << GetParam().query << " seed " << GetParam().seed;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = "q";
+  name += std::to_string(info.index);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NestedAgreementTest,
+    ::testing::Values(
+        Case{1, "//sec"},                       //
+        Case{1, "//sec//p"},                    //
+        Case{2, "//sec/p"},                     //
+        Case{2, "//sec[./st]//p"},              //
+        Case{3, "//sec[./st]/p"},               //
+        Case{3, "//sec[./fig]//p"},             //
+        Case{4, "//sec[./st and ./fig]//p"},    //
+        Case{4, "//sec//sec/p"},                //
+        Case{5, "//sec[./sec]//p"},             //
+        Case{5, "//bdy//sec//fig"},             //
+        Case{6, "//sec[.//fig]/st"},            //
+        Case{7, "//sec[ftcontains(., \"special token\")]"},
+        Case{8, "//sec[ftcontains(./st, \"intro\")]//p"}),
+    CaseName);
+
+// Sweep many random recursive documents with a fixed query battery.
+class NestedSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NestedSweepTest, AgreementAcrossRandomShapes) {
+  index::Collection coll = index::Collection::Build(
+      RecursiveDoc(static_cast<uint32_t>(GetParam()) * 977 + 5, 80));
+  for (const char* query :
+       {"//sec//p", "//sec/p", "//sec[./st]//p", "//sec[./sec]//sec",
+        "//sec[./fig and ./st]//p"}) {
+    auto q = tpq::ParseTpq(query);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(PlanAnswers(coll, *q, false), PlanAnswers(coll, *q, true))
+        << query << " on shape " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, NestedSweepTest, ::testing::Range(1, 11));
+
+TEST(NestedDocumentTest, SerializeParseRoundTripAtDepth) {
+  xml::Document doc = RecursiveDoc(42, 100);
+  std::string text = xml::SerializeXml(doc);
+  auto reparsed = xml::ParseXml(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->AllElements().size(), doc.AllElements().size());
+}
+
+}  // namespace
+}  // namespace pimento::algebra

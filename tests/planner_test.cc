@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "src/algebra/topk_prune.h"
+#include "src/data/car_gen.h"
+#include "src/plan/planner.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::plan {
+namespace {
+
+tpq::Tpq Q(const char* text) {
+  auto q = tpq::ParseTpq(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+struct Fixture {
+  Fixture()
+      : collection(index::Collection::Build(
+            data::GenerateCarDealer({.num_cars = 30, .seed = 9}))),
+        scorer(&collection) {}
+
+  StatusOr<algebra::Plan> Build(const char* query,
+                                const std::vector<profile::Vor>& vors,
+                                const std::vector<profile::Kor>& kors,
+                                PlannerOptions options = {}) {
+    return BuildPlan(collection, scorer, Q(query), vors, kors, options);
+  }
+
+  index::Collection collection;
+  score::Scorer scorer;
+};
+
+profile::Kor K(const char* text) {
+  auto k = profile::ParseKor(text);
+  EXPECT_TRUE(k.ok()) << k.status().ToString();
+  return *k;
+}
+
+profile::Vor V(const char* text) {
+  auto v = profile::ParseVor(text);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return *v;
+}
+
+TEST(NavPathTest, DistinguishedNodeHasEmptyPath) {
+  tpq::Tpq q = Q("//car[./price < 100]");
+  EXPECT_TRUE(NavPathTo(q, q.distinguished()).empty());
+}
+
+TEST(NavPathTest, DownPath) {
+  tpq::Tpq q = Q("//car[./owner/email]");
+  int email = q.FindByTag("email");
+  auto path = NavPathTo(q, email);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].kind, algebra::NavStep::Kind::kDownChild);
+  EXPECT_EQ(path[0].tag, "owner");
+  EXPECT_EQ(path[1].tag, "email");
+}
+
+TEST(NavPathTest, UpThenDownThroughLca) {
+  // //article[.//au]//abs — from abs up to article (ad edge), down to au.
+  tpq::Tpq q = Q("//article[ftcontains(.//au, \"x\")]//abs");
+  int au = q.FindByTag("au");
+  auto path = NavPathTo(q, au);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].kind, algebra::NavStep::Kind::kUpDescendant);
+  EXPECT_EQ(path[0].tag, "article");
+  EXPECT_EQ(path[1].kind, algebra::NavStep::Kind::kDownDescendant);
+  EXPECT_EQ(path[1].tag, "au");
+}
+
+TEST(PlannerTest, RejectsBadInputs) {
+  Fixture f;
+  EXPECT_FALSE(f.Build("//car", {}, {}, {.k = 0}).ok());
+  tpq::Tpq empty;
+  EXPECT_FALSE(
+      BuildPlan(f.collection, f.scorer, empty, {}, {}, {}).ok());
+  EXPECT_FALSE(f.Build("//*", {}, {}).ok());
+}
+
+std::vector<std::string> OpNames(const algebra::Plan& plan) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < plan.size(); ++i) names.push_back(plan.op(i)->Name());
+  return names;
+}
+
+int CountPrunes(const algebra::Plan& plan) {
+  int n = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    if (dynamic_cast<algebra::TopkPruneOp*>(plan.op(i)) != nullptr) ++n;
+  }
+  return n;
+}
+
+TEST(PlannerTest, NaiveHasSingleFinalPrune) {
+  Fixture f;
+  auto plan = f.Build("//car[ftcontains(., \"good condition\")]", {},
+                      {K("kor a: tag=car prefer ftcontains(\"NYC\")")},
+                      {.strategy = Strategy::kNaive});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(CountPrunes(*plan), 1);
+}
+
+TEST(PlannerTest, InterleavePrunesAfterEachKor) {
+  Fixture f;
+  std::vector<profile::Kor> kors = {
+      K("kor a: tag=car prefer ftcontains(\"NYC\")"),
+      K("kor b: tag=car prefer ftcontains(\"best bid\")")};
+  auto plan = f.Build("//car", {}, kors, {.strategy = Strategy::kInterleave});
+  ASSERT_TRUE(plan.ok());
+  // One prune per kor + the final cut.
+  EXPECT_EQ(CountPrunes(*plan), 3);
+  auto names = OpNames(*plan);
+  // Each interleaved prune directly follows its kor.
+  for (size_t i = 0; i + 1 < names.size(); ++i) {
+    if (names[i].substr(0, 4) == "kor(") {
+      EXPECT_EQ(names[i + 1].substr(0, 9), "topkPrune") << names[i + 1];
+    }
+  }
+}
+
+TEST(PlannerTest, InterleaveSortedAddsSorts) {
+  Fixture f;
+  std::vector<profile::Kor> kors = {
+      K("kor a: tag=car prefer ftcontains(\"NYC\")")};
+  auto plan =
+      f.Build("//car", {}, kors, {.strategy = Strategy::kInterleaveSorted});
+  ASSERT_TRUE(plan.ok());
+  int sorts = 0;
+  for (const std::string& n : OpNames(*plan)) {
+    if (n.substr(0, 4) == "sort") ++sorts;
+  }
+  EXPECT_EQ(sorts, 2);  // one interleaved + the terminal sort
+}
+
+TEST(PlannerTest, PushPlacesPruneBeforeEachKor) {
+  Fixture f;
+  std::vector<profile::Kor> kors = {
+      K("kor a: tag=car prefer ftcontains(\"NYC\")"),
+      K("kor b: tag=car prefer ftcontains(\"best bid\")")};
+  auto plan = f.Build("//car", {}, kors, {.strategy = Strategy::kPush});
+  ASSERT_TRUE(plan.ok());
+  // One before each kor, one after the last kor, one final cut.
+  EXPECT_EQ(CountPrunes(*plan), 4);
+  auto names = OpNames(*plan);
+  for (size_t i = 1; i < names.size(); ++i) {
+    if (names[i].substr(0, 4) == "kor(") {
+      EXPECT_EQ(names[i - 1].substr(0, 9), "topkPrune") << names[i - 1];
+    }
+  }
+}
+
+TEST(PlannerTest, KorScoreBoundsAreSuffixSums) {
+  Fixture f;
+  std::vector<profile::Kor> kors = {
+      K("kor a: tag=car prefer ftcontains(\"NYC\")"),
+      K("kor b: tag=car prefer ftcontains(\"best bid\")")};
+  auto plan = f.Build("//car", {}, kors, {.strategy = Strategy::kPush,
+                                          .kor_order = KorOrder::kAsGiven});
+  ASSERT_TRUE(plan.ok());
+  std::vector<algebra::TopkPruneOp*> prunes;
+  for (size_t i = 0; i < plan->size(); ++i) {
+    if (auto* p = dynamic_cast<algebra::TopkPruneOp*>(plan->op(i))) {
+      prunes.push_back(p);
+    }
+  }
+  ASSERT_EQ(prunes.size(), 4u);
+  // First prune sees both kors downstream; second sees one; the post-kor
+  // prune and the final cut see none.
+  double bound_a = f.scorer.MaxScore(f.collection.MakePhrase("NYC"));
+  double bound_b = f.scorer.MaxScore(f.collection.MakePhrase("best bid"));
+  EXPECT_DOUBLE_EQ(prunes[0]->options().kor_score_bound, bound_a + bound_b);
+  EXPECT_DOUBLE_EQ(prunes[1]->options().kor_score_bound, bound_b);
+  EXPECT_DOUBLE_EQ(prunes[2]->options().kor_score_bound, 0.0);
+  EXPECT_DOUBLE_EQ(prunes[3]->options().kor_score_bound, 0.0);
+}
+
+TEST(PlannerTest, KorOrderHighestFirst) {
+  Fixture f;
+  // "NYC" is rarer than "car" in the generated data, so it has the higher
+  // max score; highest-first must place it before a frequent keyword.
+  std::vector<profile::Kor> kors = {
+      K("kor common: tag=car prefer ftcontains(\"sale\")"),
+      K("kor rare: tag=car prefer ftcontains(\"best bid\")")};
+  double s_common = f.scorer.MaxScore(f.collection.MakePhrase("sale"));
+  double s_rare = f.scorer.MaxScore(f.collection.MakePhrase("best bid"));
+  ASSERT_GT(s_rare, s_common);
+  auto plan =
+      f.Build("//car", {}, kors,
+              {.strategy = Strategy::kNaive,
+               .kor_order = KorOrder::kHighestScoreFirst});
+  ASSERT_TRUE(plan.ok());
+  auto names = OpNames(*plan);
+  int rare_idx = -1;
+  int common_idx = -1;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "kor(rare)") rare_idx = static_cast<int>(i);
+    if (names[i] == "kor(common)") common_idx = static_cast<int>(i);
+  }
+  ASSERT_GE(rare_idx, 0);
+  ASSERT_GE(common_idx, 0);
+  EXPECT_LT(rare_idx, common_idx);
+}
+
+TEST(PlannerTest, InapplicableKorSkipped) {
+  Fixture f;
+  std::vector<profile::Kor> kors = {
+      K("kor boat: tag=boat prefer ftcontains(\"NYC\")")};
+  auto plan = f.Build("//car", {}, kors, {.strategy = Strategy::kNaive});
+  ASSERT_TRUE(plan.ok());
+  for (const std::string& n : OpNames(*plan)) {
+    EXPECT_EQ(n.find("kor("), std::string::npos) << n;
+  }
+}
+
+TEST(PlannerTest, VorOpsPrecedeFirstPrune) {
+  Fixture f;
+  auto plan = f.Build("//car", {V("vor red: tag=car prefer color = \"red\"")},
+                      {K("kor a: tag=car prefer ftcontains(\"NYC\")")},
+                      {.strategy = Strategy::kPush});
+  ASSERT_TRUE(plan.ok());
+  auto names = OpNames(*plan);
+  int vor_idx = -1;
+  int first_prune = -1;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i].substr(0, 4) == "vor(" && vor_idx < 0) {
+      vor_idx = static_cast<int>(i);
+    }
+    if (names[i].substr(0, 9) == "topkPrune" && first_prune < 0) {
+      first_prune = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(vor_idx, 0);
+  ASSERT_GE(first_prune, 0);
+  EXPECT_LT(vor_idx, first_prune);
+}
+
+TEST(PlannerTest, VksOrderGetsVksPrunes) {
+  Fixture f;
+  std::vector<profile::Kor> kors = {
+      K("kor a: tag=car prefer ftcontains(\"NYC\")")};
+  auto plan = f.Build("//car", {}, kors,
+                      {.strategy = Strategy::kPush,
+                       .rank_order = profile::RankOrder::kVKS});
+  ASSERT_TRUE(plan.ok());
+  // Push placements also apply under V,K,S, with the V-first algorithm.
+  EXPECT_EQ(CountPrunes(*plan), 3);
+  bool has_vks = false;
+  for (const std::string& n : OpNames(*plan)) {
+    if (n.find("[V,K,S]") != std::string::npos) has_vks = true;
+  }
+  EXPECT_TRUE(has_vks);
+}
+
+TEST(PlannerTest, SOrderStillPrunesWithAlgorithm1) {
+  Fixture f;
+  auto plan = f.Build("//car[ftcontains(., \"good condition\")]", {}, {},
+                      {.strategy = Strategy::kPush,
+                       .rank_order = profile::RankOrder::kS});
+  ASSERT_TRUE(plan.ok());
+  bool has_s_prune = false;
+  for (const std::string& n : OpNames(*plan)) {
+    if (n.find("topkPrune[S]") != std::string::npos) has_s_prune = true;
+  }
+  EXPECT_TRUE(has_s_prune);
+}
+
+TEST(PlannerTest, OptionalPredicatesBecomeOptionalOps) {
+  Fixture f;
+  auto plan = f.Build("//car[ftcontains(., \"nyc\")? and ./mileage?]", {}, {},
+                      {.strategy = Strategy::kNaive});
+  ASSERT_TRUE(plan.ok());
+  auto names = OpNames(*plan);
+  bool has_optional_ft = false;
+  bool has_optional_exists = false;
+  for (const std::string& n : names) {
+    if (n.substr(0, 12) == "ftcontains?(") has_optional_ft = true;
+    if (n.substr(0, 8) == "exists?(") has_optional_exists = true;
+  }
+  EXPECT_TRUE(has_optional_ft);
+  EXPECT_TRUE(has_optional_exists);
+}
+
+TEST(PlannerTest, ExecutesAndHonorsK) {
+  Fixture f;
+  auto plan = f.Build("//car", {}, {}, {.k = 4});
+  ASSERT_TRUE(plan.ok());
+  auto answers = plan->Execute();
+  EXPECT_EQ(answers.size(), 4u);
+}
+
+TEST(PlannerTest, PlanResetReExecutes) {
+  Fixture f;
+  auto plan = f.Build("//car[ftcontains(., \"good condition\")]", {}, {},
+                      {.k = 3});
+  ASSERT_TRUE(plan.ok());
+  auto first = plan->Execute();
+  plan->Reset();
+  auto second = plan->Execute();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].node, second[i].node);
+  }
+}
+
+}  // namespace
+}  // namespace pimento::plan

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "src/profile/rule_parser.h"
+#include "src/profile/scoping_rule.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::profile {
+namespace {
+
+tpq::Tpq Q(const char* text) {
+  auto q = tpq::ParseTpq(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return *q;
+}
+
+ScopingRule SR(const char* text) {
+  auto r = ParseScopingRule(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return *r;
+}
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\") and "
+    "ftcontains(., \"low mileage\")] and ./price < 2000]";
+
+TEST(SrParserTest, DeleteRule) {
+  ScopingRule r = SR(
+      "sr p1 priority 2: if //car/description[ftcontains(., \"low "
+      "mileage\")] then delete ftcontains(car, \"good condition\")");
+  EXPECT_EQ(r.name, "p1");
+  EXPECT_EQ(r.priority, 2);
+  EXPECT_EQ(r.action, SrAction::kDelete);
+  ASSERT_EQ(r.conclusion.size(), 1u);
+  EXPECT_EQ(r.conclusion[0].kind, SrAtom::Kind::kKeyword);
+  EXPECT_EQ(r.conclusion[0].node_tag, "car");
+  EXPECT_EQ(r.conclusion[0].keyword, "good condition");
+  EXPECT_EQ(r.condition.size(), 2);
+}
+
+TEST(SrParserTest, AddRule) {
+  ScopingRule r = SR(
+      "sr p2: if //car/description[ftcontains(., \"good condition\")] then "
+      "add ftcontains(description, \"american\")");
+  EXPECT_EQ(r.action, SrAction::kAdd);
+  EXPECT_EQ(r.priority, 0);
+}
+
+TEST(SrParserTest, ReplaceRuleWithEdges) {
+  ScopingRule r = SR(
+      "sr relax: if //car then replace pc(car, description) with "
+      "ad(car, description)");
+  EXPECT_EQ(r.action, SrAction::kReplace);
+  ASSERT_EQ(r.replaced.size(), 1u);
+  ASSERT_EQ(r.conclusion.size(), 1u);
+  EXPECT_EQ(r.replaced[0].edge, tpq::EdgeKind::kChild);
+  EXPECT_EQ(r.conclusion[0].edge, tpq::EdgeKind::kDescendant);
+}
+
+TEST(SrParserTest, ValueAtomAndTrueCondition) {
+  ScopingRule r =
+      SR("sr cap: if true then add value(price) <= 3000");
+  EXPECT_TRUE(r.condition.empty());
+  ASSERT_EQ(r.conclusion.size(), 1u);
+  EXPECT_EQ(r.conclusion[0].kind, SrAtom::Kind::kValue);
+  EXPECT_EQ(r.conclusion[0].op, tpq::RelOp::kLe);
+  EXPECT_DOUBLE_EQ(r.conclusion[0].number, 3000);
+}
+
+TEST(SrParserTest, StringValueAtom) {
+  ScopingRule r = SR("sr c: if true then add value(color) = \"Red\"");
+  EXPECT_FALSE(r.conclusion[0].numeric);
+  EXPECT_EQ(r.conclusion[0].text, "red");
+}
+
+TEST(SrParserTest, MultiAtomConclusion) {
+  ScopingRule r = SR(
+      "sr multi: if //car then add ftcontains(car, \"clean\") and "
+      "value(price) < 5000 and pc(car, warranty)");
+  EXPECT_EQ(r.conclusion.size(), 3u);
+}
+
+TEST(SrParserTest, Errors) {
+  EXPECT_FALSE(ParseScopingRule("sr x: bad").ok());
+  EXPECT_FALSE(ParseScopingRule("sr x: if //car add y").ok());  // no 'then'
+  EXPECT_FALSE(ParseScopingRule("vor x: tag=a prefer b = \"c\"").ok());
+  EXPECT_FALSE(
+      ParseScopingRule("sr x: if //car then explode ftcontains(a, \"b\")")
+          .ok());
+}
+
+TEST(SrApplyTest, DeleteRemovesKeywordAnywhereUnderAnchor) {
+  ScopingRule r = SR(
+      "sr p1: if //car/description[ftcontains(., \"low mileage\")] then "
+      "delete ftcontains(car, \"good condition\")");
+  tpq::Tpq q = Q(kCarQuery);
+  ASSERT_TRUE(IsApplicable(r, q));
+  tpq::Tpq rewritten = ApplyRule(r, q);
+  int desc = rewritten.FindByTag("description");
+  ASSERT_GE(desc, 0);
+  ASSERT_EQ(rewritten.node(desc).keyword_predicates.size(), 1u);
+  EXPECT_EQ(rewritten.node(desc).keyword_predicates[0].keyword,
+            "low mileage");
+}
+
+TEST(SrApplyTest, AddAttachesKeywordToConditionMatch) {
+  ScopingRule r = SR(
+      "sr p2: if //car/description[ftcontains(., \"good condition\")] then "
+      "add ftcontains(description, \"american\")");
+  tpq::Tpq rewritten = ApplyRule(r, Q(kCarQuery));
+  int desc = rewritten.FindByTag("description");
+  EXPECT_EQ(rewritten.node(desc).keyword_predicates.size(), 3u);
+  // Added literally (not optional) for flock-member semantics.
+  EXPECT_FALSE(rewritten.node(desc).keyword_predicates.back().optional);
+}
+
+TEST(SrApplyTest, InapplicableRuleIsIdentity) {
+  ScopingRule r = SR(
+      "sr p: if //truck then add ftcontains(truck, \"diesel\")");
+  tpq::Tpq q = Q(kCarQuery);
+  EXPECT_FALSE(IsApplicable(r, q));
+  EXPECT_EQ(ApplyRule(r, q).ToString(), q.ToString());
+}
+
+TEST(SrApplyTest, AddIsIdempotent) {
+  ScopingRule r = SR(
+      "sr p2: if //car then add ftcontains(car, \"american\")");
+  tpq::Tpq once = ApplyRule(r, Q("//car"));
+  tpq::Tpq twice = ApplyRule(r, once);
+  EXPECT_EQ(once.ToString(), twice.ToString());
+}
+
+TEST(SrApplyTest, AddEdgeCreatesBranch) {
+  ScopingRule r = SR("sr p: if //car then add pc(car, warranty)");
+  tpq::Tpq rewritten = ApplyRule(r, Q("//car"));
+  EXPECT_EQ(rewritten.size(), 2);
+  int w = rewritten.FindByTag("warranty");
+  ASSERT_GE(w, 0);
+  EXPECT_EQ(rewritten.node(w).parent_edge, tpq::EdgeKind::kChild);
+}
+
+TEST(SrApplyTest, DeleteEdgeRemovesSubtree) {
+  ScopingRule r = SR("sr p: if //car then delete pc(car, description)");
+  tpq::Tpq rewritten = ApplyRule(r, Q(kCarQuery));
+  EXPECT_EQ(rewritten.FindByTag("description"), -1);
+  EXPECT_GE(rewritten.FindByTag("price"), 0);
+}
+
+TEST(SrApplyTest, DeleteEdgeNeverRemovesDistinguished) {
+  ScopingRule r = SR("sr p: if //article then delete ad(article, abs)");
+  tpq::Tpq q = Q("//article//abs");
+  tpq::Tpq rewritten = ApplyRule(r, q);
+  EXPECT_EQ(rewritten.node(rewritten.distinguished()).tag, "abs");
+  EXPECT_EQ(rewritten.size(), 2);
+}
+
+TEST(SrApplyTest, ReplaceRelaxesPcToAd) {
+  ScopingRule r = SR(
+      "sr relax: if //car then replace pc(car, description) with "
+      "ad(car, description)");
+  tpq::Tpq rewritten = ApplyRule(r, Q(kCarQuery));
+  int desc = rewritten.FindByTag("description");
+  ASSERT_GE(desc, 0);
+  EXPECT_EQ(rewritten.node(desc).parent_edge, tpq::EdgeKind::kDescendant);
+  // Predicates on the relaxed branch survive.
+  EXPECT_EQ(rewritten.node(desc).keyword_predicates.size(), 2u);
+}
+
+TEST(SrApplyTest, ReplaceKeywordSwapsPredicate) {
+  ScopingRule r = SR(
+      "sr syn: if //car then replace ftcontains(description, \"low "
+      "mileage\") with ftcontains(description, \"few miles\")");
+  tpq::Tpq rewritten = ApplyRule(r, Q(kCarQuery));
+  int desc = rewritten.FindByTag("description");
+  bool has_new = false;
+  bool has_old = false;
+  for (const auto& kp : rewritten.node(desc).keyword_predicates) {
+    if (kp.keyword == "few miles") has_new = true;
+    if (kp.keyword == "low mileage") has_old = true;
+  }
+  EXPECT_TRUE(has_new);
+  EXPECT_FALSE(has_old);
+}
+
+TEST(SrEncodeTest, DeleteDemotesToOptional) {
+  ScopingRule r = SR(
+      "sr p3: if //car/description[ftcontains(., \"good condition\")] then "
+      "delete ftcontains(description, \"low mileage\")");
+  tpq::Tpq encoded = ApplyRuleEncoded(r, Q(kCarQuery));
+  int desc = encoded.FindByTag("description");
+  ASSERT_EQ(encoded.node(desc).keyword_predicates.size(), 2u);
+  bool low_mileage_optional = false;
+  for (const auto& kp : encoded.node(desc).keyword_predicates) {
+    if (kp.keyword == "low mileage") low_mileage_optional = kp.optional;
+  }
+  EXPECT_TRUE(low_mileage_optional);
+}
+
+TEST(SrEncodeTest, AddAttachesOptional) {
+  ScopingRule r = SR(
+      "sr p2: if //car then add ftcontains(car, \"american\")");
+  tpq::Tpq encoded = ApplyRuleEncoded(r, Q("//car"));
+  ASSERT_EQ(encoded.node(0).keyword_predicates.size(), 1u);
+  EXPECT_TRUE(encoded.node(0).keyword_predicates[0].optional);
+}
+
+TEST(SrEncodeTest, DeleteEdgeMarksSubtreeOptional) {
+  ScopingRule r = SR("sr p: if //car then delete pc(car, description)");
+  tpq::Tpq encoded = ApplyRuleEncoded(r, Q(kCarQuery));
+  int desc = encoded.FindByTag("description");
+  ASSERT_GE(desc, 0);
+  EXPECT_TRUE(encoded.node(desc).optional);
+}
+
+TEST(VorParserTest, EqConstForm) {
+  auto v = ParseVor("vor pi1 priority 2: tag=car prefer color = \"Red\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->kind, VorKind::kEqConst);
+  EXPECT_EQ(v->tag, "car");
+  EXPECT_EQ(v->attr, "color");
+  EXPECT_EQ(v->const_value, "red");
+  EXPECT_EQ(v->priority, 2);
+}
+
+TEST(VorParserTest, CompareForms) {
+  auto lower = ParseVor("vor pi2: tag=car prefer lower mileage");
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(lower->kind, VorKind::kCompare);
+  EXPECT_TRUE(lower->smaller_preferred);
+  auto higher = ParseVor("vor pi3: tag=car same make prefer higher hp");
+  ASSERT_TRUE(higher.ok());
+  EXPECT_EQ(higher->kind, VorKind::kCompareSameGroup);
+  EXPECT_FALSE(higher->smaller_preferred);
+  EXPECT_EQ(higher->group_attr, "make");
+  EXPECT_EQ(higher->attr, "hp");
+}
+
+TEST(VorParserTest, PrefRelChain) {
+  auto v = ParseVor(
+      "vor colors: tag=car prefer color order \"red\" > \"black\" > "
+      "\"white\", \"blue\" > \"green\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->kind, VorKind::kPrefRel);
+  ASSERT_EQ(v->pref_edges.size(), 3u);
+  EXPECT_EQ(v->pref_edges[0], (std::pair<std::string, std::string>{"red",
+                                                                   "black"}));
+  EXPECT_EQ(v->pref_edges[2],
+            (std::pair<std::string, std::string>{"blue", "green"}));
+}
+
+TEST(VorParserTest, Errors) {
+  EXPECT_FALSE(ParseVor("vor x: tag=car prefer").ok());
+  EXPECT_FALSE(ParseVor("vor x tag=car prefer lower m").ok());  // missing ':'
+  EXPECT_FALSE(ParseVor("kor x: tag=car prefer lower m").ok());
+}
+
+TEST(KorParserTest, Basic) {
+  auto k = ParseKor("kor pi4: tag=car prefer ftcontains(\"best bid\")");
+  ASSERT_TRUE(k.ok()) << k.status().ToString();
+  EXPECT_EQ(k->tag, "car");
+  EXPECT_EQ(k->keyword, "best bid");
+}
+
+TEST(KorParserTest, NoTagMatchesAll) {
+  auto k = ParseKor("kor any: prefer ftcontains(\"urgent\")");
+  ASSERT_TRUE(k.ok());
+  EXPECT_TRUE(k->tag.empty());
+}
+
+TEST(ProfileParserTest, FullProfile) {
+  auto p = ParseProfile(R"(
+# the Fig. 2 profile
+profile figure2
+rank K,V,S
+sr p1 priority 1: if //car then add ftcontains(car, "clean")
+vor pi1: tag=car prefer color = "red"
+kor pi4: tag=car prefer ftcontains("best bid")
+kor pi5: tag=car prefer ftcontains("NYC")
+)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->name, "figure2");
+  EXPECT_EQ(p->rank_order, RankOrder::kKVS);
+  EXPECT_EQ(p->scoping_rules.size(), 1u);
+  EXPECT_EQ(p->vors.size(), 1u);
+  EXPECT_EQ(p->kors.size(), 2u);
+}
+
+TEST(ProfileParserTest, RankOrders) {
+  EXPECT_EQ(ParseProfile("rank V,K,S")->rank_order, RankOrder::kVKS);
+  EXPECT_EQ(ParseProfile("rank S")->rank_order, RankOrder::kS);
+  EXPECT_FALSE(ParseProfile("rank Q,Z").ok());
+}
+
+TEST(ProfileParserTest, LineContinuation) {
+  auto p = ParseProfile(
+      "sr long: if //car \\\n then add ftcontains(car, \"x\")");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->scoping_rules.size(), 1u);
+}
+
+TEST(ProfileParserTest, UnknownLineFails) {
+  EXPECT_FALSE(ParseProfile("frobnicate all the things").ok());
+}
+
+TEST(ToStringTest, RulesRoundTripThroughToString) {
+  ScopingRule r = SR(
+      "sr p1 priority 2: if //car/description[ftcontains(., \"low "
+      "mileage\")] then delete ftcontains(car, \"good condition\")");
+  // ToString is for diagnostics; check the key pieces are present.
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("p1"), std::string::npos);
+  EXPECT_NE(s.find("delete"), std::string::npos);
+  EXPECT_NE(s.find("good condition"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pimento::profile

@@ -1,0 +1,215 @@
+// Semantic property tests tying the static analyses to runtime behavior:
+//  * VorRankKey is a linear extension of CompareVor
+//  * ValuePredicateImplies is sound w.r.t. EvalRelOp
+//  * TPQ containment is sound w.r.t. actual query answers
+//  * the engine is safe for concurrent read-only searches
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/containment.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento {
+namespace {
+
+// ---------- rank keys extend the partial order ----------
+
+profile::VorValue Value(const char* str, double num, const char* group) {
+  profile::VorValue v;
+  v.applicable = true;
+  if (str != nullptr) v.str = str;
+  if (num >= 0) v.num = num;
+  if (group != nullptr) v.group = group;
+  return v;
+}
+
+class RankKeyExtensionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RankKeyExtensionTest, StrictPreferenceImpliesStrictKeyOrder) {
+  auto rule = profile::ParseVor(GetParam());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const char* strs[] = {"red", "black", "white", nullptr};
+  double nums[] = {-1, 1, 2, 5};
+  const char* groups[] = {"honda", "mustang", nullptr};
+  std::vector<profile::VorValue> domain;
+  for (const char* s : strs) {
+    for (double n : nums) {
+      for (const char* g : groups) {
+        domain.push_back(Value(s, n, g));
+      }
+    }
+  }
+  for (const auto& a : domain) {
+    for (const auto& b : domain) {
+      profile::PrefResult r = profile::CompareVor(*rule, a, b);
+      double ka = profile::VorRankKey(*rule, a);
+      double kb = profile::VorRankKey(*rule, b);
+      if (r == profile::PrefResult::kFirstPreferred) {
+        EXPECT_LT(ka, kb);
+      } else if (r == profile::PrefResult::kSecondPreferred) {
+        EXPECT_GT(ka, kb);
+      } else if (r == profile::PrefResult::kEqual) {
+        // Equal under the rule must not produce opposing strict keys in a
+        // way that flips per direction; keys may still differ for
+        // kEqConst? No: equality means same match status / same value.
+        EXPECT_DOUBLE_EQ(ka, kb);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, RankKeyExtensionTest,
+    ::testing::Values(
+        "vor a: tag=car prefer color = \"red\"",
+        "vor b: tag=car prefer lower mileage",
+        "vor c: tag=car prefer higher mileage",
+        "vor e: tag=car prefer color order \"red\" > \"black\" > \"white\""));
+
+// ---------- implication soundness ----------
+
+TEST(ImplicationSoundnessTest, ImpliesAgreesWithEvaluation) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> value_d(-5, 5);
+  const tpq::RelOp ops[] = {tpq::RelOp::kLt, tpq::RelOp::kLe,
+                            tpq::RelOp::kGt, tpq::RelOp::kGe,
+                            tpq::RelOp::kEq, tpq::RelOp::kNe};
+  for (int round = 0; round < 2000; ++round) {
+    tpq::ValuePredicate a;
+    a.op = ops[rng() % 6];
+    a.number = std::floor(value_d(rng));
+    tpq::ValuePredicate b;
+    b.op = ops[rng() % 6];
+    b.number = std::floor(value_d(rng));
+    if (!tpq::ValuePredicateImplies(a, b)) continue;
+    // Soundness: every v satisfying a must satisfy b.
+    for (double v = -6; v <= 6; v += 0.5) {
+      if (tpq::EvalRelOp(v, a.op, a.number)) {
+        EXPECT_TRUE(tpq::EvalRelOp(v, b.op, b.number))
+            << "v=" << v << " a: " << tpq::RelOpToString(a.op) << a.number
+            << " b: " << tpq::RelOpToString(b.op) << b.number;
+      }
+    }
+  }
+}
+
+// ---------- containment soundness against real answers ----------
+
+std::vector<xml::NodeId> AnswersOf(const core::SearchEngine& engine,
+                                   const char* query) {
+  auto result = engine.Search(query, core::SearchOptions{.k = 1 << 20});
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  std::vector<xml::NodeId> nodes;
+  for (const auto& a : result->answers) nodes.push_back(a.node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+TEST(ContainmentSoundnessTest, ContainmentImpliesAnswerSubset) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 60, .seed = 31})));
+  const char* queries[] = {
+      "//car",
+      "//car[./price < 3000]",
+      "//car[./price < 1000]",
+      "//car[./price < 3000 and ./mileage > 20000]",
+      "//car[./description[ftcontains(., \"good condition\")]]",
+      "//car[ftcontains(., \"good condition\")]",
+      "//car[./owner]",
+      "//car[./owner/email]",
+      "//dealer/car",
+  };
+  for (const char* outer_text : queries) {
+    for (const char* inner_text : queries) {
+      auto outer = tpq::ParseTpq(outer_text);
+      auto inner = tpq::ParseTpq(inner_text);
+      ASSERT_TRUE(outer.ok() && inner.ok());
+      if (!tpq::Contains(*outer, *inner)) continue;
+      // Soundness of the homomorphism test: answers(inner) ⊆ answers(outer).
+      std::vector<xml::NodeId> inner_nodes = AnswersOf(engine, inner_text);
+      std::vector<xml::NodeId> outer_nodes = AnswersOf(engine, outer_text);
+      EXPECT_TRUE(std::includes(outer_nodes.begin(), outer_nodes.end(),
+                                inner_nodes.begin(), inner_nodes.end()))
+          << inner_text << " ⊄ " << outer_text;
+    }
+  }
+}
+
+// ---------- concurrent read-only searches ----------
+
+TEST(ConcurrencyTest, ParallelSearchesAgree) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 80})));
+  const char* query =
+      "//car[./description[ftcontains(., \"good condition\")]]";
+  const char* profile = R"(
+vor red: tag=car prefer color = "red"
+kor nyc: tag=car prefer ftcontains("NYC")
+)";
+  auto reference = engine.Search(query, profile, core::SearchOptions{.k = 8});
+  ASSERT_TRUE(reference.ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<bool> agree(kThreads, false);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < 20; ++round) {
+        auto result =
+            engine.Search(query, profile, core::SearchOptions{.k = 8});
+        if (!result.ok() ||
+            result->answers.size() != reference->answers.size()) {
+          return;
+        }
+        for (size_t i = 0; i < result->answers.size(); ++i) {
+          if (result->answers[i].node != reference->answers[i].node) return;
+        }
+      }
+      agree[t] = true;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(agree[t]) << "thread " << t;
+  }
+}
+
+// ---------- flock encoding never loses answers ----------
+
+TEST(FlockSoundnessTest, EncodedQueryAnswersSupersetOfOriginal) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 60})));
+  const char* query =
+      "//car[./description[ftcontains(., \"good condition\") and "
+      "ftcontains(., \"low mileage\")] and ./price < 4000]";
+  const char* profile = R"(
+sr p3 priority 1: if //car/description[ftcontains(., "good condition")] then delete ftcontains(description, "low mileage")
+sr p2 priority 2: if //car/description[ftcontains(., "good condition")] then add ftcontains(description, "american")
+)";
+  auto original = engine.Search(query, core::SearchOptions{.k = 1 << 20});
+  auto personalized =
+      engine.Search(query, profile, core::SearchOptions{.k = 1 << 20});
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(personalized.ok());
+  // The paper's requirement: "the user should not be penalized for having
+  // configured a profile" — every original answer is still returned.
+  std::vector<xml::NodeId> orig_nodes;
+  for (const auto& a : original->answers) orig_nodes.push_back(a.node);
+  std::vector<xml::NodeId> pers_nodes;
+  for (const auto& a : personalized->answers) pers_nodes.push_back(a.node);
+  std::sort(orig_nodes.begin(), orig_nodes.end());
+  std::sort(pers_nodes.begin(), pers_nodes.end());
+  EXPECT_TRUE(std::includes(pers_nodes.begin(), pers_nodes.end(),
+                            orig_nodes.begin(), orig_nodes.end()));
+  EXPECT_GE(pers_nodes.size(), orig_nodes.size());
+}
+
+}  // namespace
+}  // namespace pimento

@@ -1,0 +1,177 @@
+// Differential tests: the operator plans (all four topkPrune strategies)
+// must return exactly the answers of the plan-free reference evaluator on
+// every workload.
+
+#include <gtest/gtest.h>
+
+#include "src/data/car_gen.h"
+#include "src/data/inex_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/plan/planner.h"
+#include "src/profile/flock.h"
+#include "src/plan/reference_eval.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::plan {
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* query;
+  const char* profile;
+};
+
+// Workloads exercising pc/ad edges, value and keyword predicates, optional
+// (SR-encoded) predicates, VORs, and KORs.
+const Workload kCarWorkloads[] = {
+    {"plain_scan", "//car", ""},
+    {"value_filter", "//car[./price < 3000]", ""},
+    {"keyword", "//car[ftcontains(., \"good condition\")]", ""},
+    {"branch",
+     "//car[./description[ftcontains(., \"good condition\")] and "
+     "./price < 5000]",
+     ""},
+    {"optional_predicates",
+     "//car[ftcontains(., \"low mileage\")? and ./mileage?]", ""},
+    {"with_kors", "//car[./price < 6000]",
+     "kor a: tag=car prefer ftcontains(\"NYC\")\n"
+     "kor b: tag=car prefer ftcontains(\"best bid\") weight 3\n"},
+    {"with_vors", "//car",
+     "vor m priority 1: tag=car prefer lower mileage\n"
+     "vor c priority 2: tag=car prefer color = \"red\"\n"},
+    {"full_profile",
+     "//car[./description[ftcontains(., \"good condition\")] and "
+     "./price < 6000]",
+     "sr p3 priority 1: if //car/description[ftcontains(., \"good "
+     "condition\")] then add ftcontains(description, \"american\")\n"
+     "vor c: tag=car prefer color = \"red\"\n"
+     "kor nyc: tag=car prefer ftcontains(\"NYC\")\n"},
+};
+
+class ReferenceAgreementTest
+    : public ::testing::TestWithParam<std::tuple<Workload, Strategy>> {};
+
+TEST_P(ReferenceAgreementTest, PlansMatchReference) {
+  const auto& [workload, strategy] = GetParam();
+  index::Collection collection = index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 60, .seed = 17}));
+  score::Scorer scorer(&collection);
+
+  auto query = tpq::ParseTpq(workload.query);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto profile = profile::ParseProfile(workload.profile);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+
+  // The reference evaluates the same flock-encoded query the plans get.
+  auto flock = profile::BuildFlock(*query, profile->scoping_rules);
+  ASSERT_TRUE(flock.ok()) << flock.status().ToString();
+
+  const int k = 8;
+  std::vector<algebra::Answer> expected = ReferenceEvaluate(
+      collection, scorer, flock->encoded, *profile, k);
+
+  PlannerOptions options;
+  options.k = k;
+  options.strategy = strategy;
+  auto plan = BuildPlan(collection, scorer, flock->encoded, profile->vors,
+                        profile->kors, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<algebra::Answer> actual = plan->Execute();
+
+  ASSERT_EQ(actual.size(), expected.size()) << workload.name;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].node, expected[i].node)
+        << workload.name << " rank " << i + 1;
+    EXPECT_NEAR(actual[i].s, expected[i].s, 1e-9) << workload.name;
+    EXPECT_NEAR(actual[i].k, expected[i].k, 1e-9) << workload.name;
+  }
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<Workload, Strategy>>& info) {
+  std::string out = std::get<0>(info.param).name;
+  out += "_";
+  out += StrategyName(std::get<1>(info.param));
+  for (char& c : out) {
+    if (c == '-') c = '_';
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CarWorkloads, ReferenceAgreementTest,
+    ::testing::Combine(::testing::ValuesIn(kCarWorkloads),
+                       ::testing::Values(Strategy::kNaive,
+                                         Strategy::kInterleave,
+                                         Strategy::kInterleaveSorted,
+                                         Strategy::kPush)),
+    CaseName);
+
+TEST(ReferenceAgreementXmarkTest, Fig5Workload) {
+  index::Collection collection = index::Collection::Build(
+      data::GenerateXmark({.target_bytes = 96u << 10, .seed = 3}));
+  score::Scorer scorer(&collection);
+  auto query =
+      tpq::ParseTpq("//person[.//business[ftcontains(., \"Yes\")]]");
+  ASSERT_TRUE(query.ok());
+  auto profile = profile::ParseProfile(R"(
+kor k1: tag=person prefer ftcontains("male") weight 8
+kor k2: tag=person prefer ftcontains("Phoenix")
+vor pi5: tag=person prefer age = "33"
+)");
+  ASSERT_TRUE(profile.ok());
+  const int k = 12;
+  std::vector<algebra::Answer> expected =
+      ReferenceEvaluate(collection, scorer, *query, *profile, k);
+  for (Strategy strategy :
+       {Strategy::kNaive, Strategy::kInterleave, Strategy::kInterleaveSorted,
+        Strategy::kPush}) {
+    PlannerOptions options;
+    options.k = k;
+    options.strategy = strategy;
+    auto plan = BuildPlan(collection, scorer, *query, profile->vors,
+                          profile->kors, options);
+    ASSERT_TRUE(plan.ok());
+    std::vector<algebra::Answer> actual = plan->Execute();
+    ASSERT_EQ(actual.size(), expected.size()) << StrategyName(strategy);
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].node, expected[i].node)
+          << StrategyName(strategy) << " rank " << i + 1;
+    }
+  }
+}
+
+TEST(ReferenceAgreementInexTest, AncestorConditionWorkload) {
+  // //article[au]...//abs — predicates on the ancestor side of the
+  // distinguished node (up-navigation).
+  data::InexCollection inex = data::GenerateInex({});
+  index::Collection collection =
+      index::Collection::Build(std::move(inex.doc));
+  score::Scorer scorer(&collection);
+  const data::InexTopicSpec& topic = inex.topics[1];
+  auto query = tpq::ParseTpq(data::TopicQuery(topic, "abs"));
+  ASSERT_TRUE(query.ok());
+  auto profile = profile::ParseProfile(data::TopicProfile(topic, "abs"));
+  ASSERT_TRUE(profile.ok());
+  auto flock = profile::BuildFlock(*query, profile->scoping_rules);
+  ASSERT_TRUE(flock.ok());
+  const int k = 5;
+  std::vector<algebra::Answer> expected =
+      ReferenceEvaluate(collection, scorer, flock->encoded, *profile, k);
+  ASSERT_FALSE(expected.empty());
+  PlannerOptions options;
+  options.k = k;
+  options.strategy = Strategy::kPush;
+  auto plan = BuildPlan(collection, scorer, flock->encoded, profile->vors,
+                        profile->kors, options);
+  ASSERT_TRUE(plan.ok());
+  std::vector<algebra::Answer> actual = plan->Execute();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].node, expected[i].node) << "rank " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace pimento::plan

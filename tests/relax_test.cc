@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/data/inex_gen.h"
+#include "src/data/inex_topic.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/containment.h"
+#include "src/tpq/relax.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento {
+namespace {
+
+tpq::Tpq Q(const char* text) {
+  auto q = tpq::ParseTpq(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(RelaxTest, EnumeratesAllKinds) {
+  tpq::Tpq q = Q(
+      "//car[./description[ftcontains(., \"good condition\")] and "
+      "./price < 2000 and ./owner]");
+  auto relaxations = tpq::EnumerateRelaxations(q);
+  int edges = 0;
+  int preds = 0;
+  int leaves = 0;
+  for (const auto& r : relaxations) {
+    switch (r.kind) {
+      case tpq::Relaxation::Kind::kEdgeGeneralization:
+        ++edges;
+        break;
+      case tpq::Relaxation::Kind::kPredicatePromotion:
+        ++preds;
+        break;
+      case tpq::Relaxation::Kind::kLeafDeletion:
+        ++leaves;
+        break;
+    }
+  }
+  EXPECT_EQ(edges, 3);   // description, price, owner pc edges
+  EXPECT_EQ(preds, 2);   // ftcontains + price comparison
+  EXPECT_EQ(leaves, 3);  // all three branches are deletable leaves
+}
+
+TEST(RelaxTest, EveryRelaxationContainsOriginal) {
+  tpq::Tpq q = Q(
+      "//car[./description[ftcontains(., \"good condition\")] and "
+      "./price < 2000]");
+  for (const auto& r : tpq::EnumerateRelaxations(q)) {
+    EXPECT_TRUE(tpq::Contains(r.query, q))
+        << r.description << " does not contain the original";
+  }
+}
+
+TEST(RelaxTest, SpineNeverDeleted) {
+  tpq::Tpq q = Q("//article//abs");
+  for (const auto& r : tpq::EnumerateRelaxations(q)) {
+    EXPECT_NE(r.kind, tpq::Relaxation::Kind::kLeafDeletion);
+    EXPECT_EQ(r.query.node(r.query.distinguished()).tag, "abs");
+  }
+}
+
+TEST(RelaxTest, FixpointReachesFullyRelaxed) {
+  tpq::Tpq q = Q("//car[./price < 10 and ftcontains(., \"x\")]");
+  int guard = 0;
+  while (!tpq::IsFullyRelaxed(q) && guard++ < 32) {
+    q = tpq::EnumerateRelaxations(q)[0].query;
+  }
+  EXPECT_TRUE(tpq::IsFullyRelaxed(q));
+  EXPECT_LT(guard, 32);
+}
+
+TEST(SearchRelaxedTest, FillsUpToKWithRelaxedMatches) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 50})));
+  // Strict query matching almost nothing: very low price + exact phrase.
+  auto q = tpq::ParseTpq(
+      "//car[./price < 400 and ./description[ftcontains(., \"good "
+      "condition\")]]");
+  ASSERT_TRUE(q.ok());
+  auto strict =
+      engine.Search(*q, profile::UserProfile{}, core::SearchOptions{.k = 10});
+  ASSERT_TRUE(strict.ok());
+  auto relaxed = engine.SearchRelaxed(*q, profile::UserProfile{},
+                                      core::SearchOptions{.k = 10});
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+  EXPECT_GE(relaxed->answers.size(), strict->answers.size());
+  EXPECT_EQ(relaxed->answers.size(), 10u);
+  // Strict answers keep their leading ranks.
+  for (size_t i = 0; i < strict->answers.size(); ++i) {
+    EXPECT_EQ(relaxed->answers[i].node, strict->answers[i].node);
+  }
+  EXPECT_NE(relaxed->plan_description.find("relaxed:"), std::string::npos);
+}
+
+TEST(SearchRelaxedTest, NoRelaxationWhenEnoughAnswers) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 50})));
+  auto q = tpq::ParseTpq("//car");
+  ASSERT_TRUE(q.ok());
+  auto result = engine.SearchRelaxed(*q, profile::UserProfile{},
+                                     core::SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan_description.find("relaxed:"), std::string::npos);
+}
+
+// ---------- INEX topic XML ----------
+
+constexpr const char* kTopic131 = R"(
+<inex-topic topic-id="131" query-type="CAS">
+  <title>//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]</title>
+  <description>We are looking for the abstracts of the documents about
+  data mining and written by Jiawei Han.</description>
+  <narrative>To be relevant, the component has to be the abstracts written
+  by Jiawei Han about "data mining". Any topics of data mining (e.g.
+  "association rules", "data cube" etc.) should be considered as
+  relevant.</narrative>
+</inex-topic>
+)";
+
+TEST(InexTopicTest, ParsesPaperExample) {
+  auto topic = data::ParseInexTopic(kTopic131);
+  ASSERT_TRUE(topic.ok()) << topic.status().ToString();
+  EXPECT_EQ(topic->id, 131);
+  EXPECT_EQ(topic->query_type, "CAS");
+  EXPECT_EQ(topic->query.node(topic->query.distinguished()).tag, "abs");
+  ASSERT_EQ(topic->narrative_phrases.size(), 3u);
+  EXPECT_EQ(topic->narrative_phrases[0], "data mining");
+  EXPECT_EQ(topic->narrative_phrases[1], "association rules");
+  EXPECT_EQ(topic->narrative_phrases[2], "data cube");
+}
+
+TEST(InexTopicTest, DerivedProfileParses) {
+  auto topic = data::ParseInexTopic(kTopic131);
+  ASSERT_TRUE(topic.ok());
+  std::string profile_text = data::DeriveTopicProfile(*topic);
+  auto profile = profile::ParseProfile(profile_text);
+  ASSERT_TRUE(profile.ok()) << profile_text << "\n"
+                            << profile.status().ToString();
+  EXPECT_EQ(profile->scoping_rules.size(), 1u);  // one title keyword on abs
+  EXPECT_EQ(profile->kors.size(), 3u);
+}
+
+TEST(InexTopicTest, EndToEndAgainstGeneratedCollection) {
+  // The paper's §7.1 workflow, fully automated: parse the topic XML,
+  // derive the profile from the narrative, run against the collection.
+  data::InexCollection inex = data::GenerateInex({});
+  core::SearchEngine engine(
+      index::Collection::Build(std::move(inex.doc)));
+  auto topic = data::ParseInexTopic(kTopic131);
+  ASSERT_TRUE(topic.ok());
+  auto profile = profile::ParseProfile(data::DeriveTopicProfile(*topic));
+  ASSERT_TRUE(profile.ok());
+  auto result =
+      engine.Search(topic->query, *profile, core::SearchOptions{.k = 5});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->answers.empty());
+  // Every answer is an abs element, and the ranking is K-dominated: the
+  // narrative KORs drive it.
+  for (const auto& a : result->answers) {
+    EXPECT_EQ(engine.collection().doc().node(a.node).tag, "abs");
+  }
+  EXPECT_GT(result->answers[0].k, 0.0);
+}
+
+TEST(InexTopicTest, RejectsMalformedTopics) {
+  EXPECT_FALSE(data::ParseInexTopic("<nope/>").ok());
+  EXPECT_FALSE(data::ParseInexTopic("<inex-topic topic-id=\"1\"/>").ok());
+  EXPECT_FALSE(data::ParseInexTopic(
+                   "<inex-topic topic-id=\"1\"><title>not a query"
+                   "</title></inex-topic>")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace pimento

@@ -1,0 +1,103 @@
+// Robustness (fuzz-lite) tests: randomly mutated inputs must either parse
+// cleanly or fail with a Status — never crash, hang, or corrupt state.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "src/data/car_gen.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace pimento {
+namespace {
+
+std::string Mutate(std::string input, std::mt19937* rng, int mutations) {
+  static const char kBytes[] = "<>/&\"'=[]().,; abcZ01\n\t";
+  std::uniform_int_distribution<size_t> byte_d(0, sizeof(kBytes) - 2);
+  for (int m = 0; m < mutations && !input.empty(); ++m) {
+    std::uniform_int_distribution<size_t> pos_d(0, input.size() - 1);
+    size_t pos = pos_d(*rng);
+    switch ((*rng)() % 3) {
+      case 0:  // replace
+        input[pos] = kBytes[byte_d(*rng)];
+        break;
+      case 1:  // delete
+        input.erase(pos, 1);
+        break;
+      default:  // insert
+        input.insert(pos, 1, kBytes[byte_d(*rng)]);
+        break;
+    }
+  }
+  return input;
+}
+
+class XmlFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlFuzzTest, MutatedDocumentsParseOrFailCleanly) {
+  std::mt19937 rng(GetParam());
+  std::string base = data::CarDealerXml({.num_cars = 3});
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = Mutate(base, &rng, 1 + round % 8);
+    auto doc = xml::ParseXml(mutated);
+    if (doc.ok()) {
+      // Whatever parsed must serialize and re-parse.
+      std::string serialized = xml::SerializeXml(*doc);
+      auto again = xml::ParseXml(serialized);
+      EXPECT_TRUE(again.ok()) << serialized.substr(0, 200);
+    } else {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest, ::testing::Range(1, 9));
+
+class TpqFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpqFuzzTest, MutatedQueriesParseOrFailCleanly) {
+  std::mt19937 rng(GetParam());
+  const std::string base =
+      "//car[./description[ftcontains(., \"good condition\") and "
+      "ftcontains(., \"low mileage\")] and ./price < 2000]";
+  for (int round = 0; round < 80; ++round) {
+    std::string mutated = Mutate(base, &rng, 1 + round % 6);
+    auto q = tpq::ParseTpq(mutated);
+    if (q.ok()) {
+      // Round-trip stability of whatever parsed.
+      std::string printed = q->ToString();
+      auto again = tpq::ParseTpq(printed);
+      EXPECT_TRUE(again.ok()) << printed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpqFuzzTest, ::testing::Range(1, 9));
+
+class ProfileFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileFuzzTest, MutatedProfilesParseOrFailCleanly) {
+  std::mt19937 rng(GetParam());
+  const std::string base =
+      "sr p1 priority 1: if //car/description[ftcontains(., \"low "
+      "mileage\")] then delete ftcontains(car, \"good condition\")\n"
+      "vor pi1: tag=car prefer color = \"red\"\n"
+      "kor pi4: tag=car prefer ftcontains(\"best bid\") weight 2\n";
+  for (int round = 0; round < 80; ++round) {
+    std::string mutated = Mutate(base, &rng, 1 + round % 6);
+    auto p = profile::ParseProfile(mutated);
+    (void)p;  // ok or ParseError; must not crash
+    if (!p.ok()) {
+      EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileFuzzTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pimento

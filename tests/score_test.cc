@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/index/collection.h"
+#include "src/score/scorer.h"
+#include "src/xml/parser.h"
+
+namespace pimento::score {
+namespace {
+
+index::Collection BuildFrom(std::string_view xml_text) {
+  auto doc = xml::ParseXml(xml_text);
+  EXPECT_TRUE(doc.ok());
+  return index::Collection::Build(std::move(doc).value());
+}
+
+TEST(ScorerTest, AbsentKeywordScoresZero) {
+  index::Collection coll = BuildFrom("<a><b>alpha</b></a>");
+  Scorer scorer(&coll);
+  EXPECT_EQ(scorer.Score(0, coll.MakePhrase("missing")), 0.0);
+}
+
+TEST(ScorerTest, PresentKeywordScoresPositive) {
+  index::Collection coll = BuildFrom("<a><b>alpha beta</b></a>");
+  Scorer scorer(&coll);
+  EXPECT_GT(scorer.Score(0, coll.MakePhrase("alpha")), 0.0);
+}
+
+TEST(ScorerTest, ScoreBoundedByMaxScore) {
+  index::Collection coll =
+      BuildFrom("<a><b>x x x x x</b><c>x</c><d>y</d></a>");
+  Scorer scorer(&coll);
+  for (const char* kw : {"x", "y", "x y"}) {
+    index::Phrase p = coll.MakePhrase(kw);
+    double bound = scorer.MaxScore(p);
+    for (xml::NodeId id : coll.doc().AllElements()) {
+      EXPECT_LE(scorer.Score(id, p), bound) << kw << " node " << id;
+    }
+  }
+}
+
+TEST(ScorerTest, RarerTermsScoreHigher) {
+  // "rare" appears once, "common" many times: idf(rare) > idf(common).
+  index::Collection coll = BuildFrom(
+      "<a><b>rare</b><c>common common common common common common</c></a>");
+  Scorer scorer(&coll);
+  xml::NodeId b = coll.doc().FindDescendant(0, "b");
+  xml::NodeId c = coll.doc().FindDescendant(0, "c");
+  double rare_once = scorer.Score(b, coll.MakePhrase("rare"));
+  // Compare against a single occurrence of "common" in its own element to
+  // isolate the idf effect: element c has tf=6 though, so compare idfs.
+  EXPECT_GT(scorer.Idf(coll.MakePhrase("rare")),
+            scorer.Idf(coll.MakePhrase("common")));
+  EXPECT_GT(rare_once, 0);
+  (void)c;
+}
+
+TEST(ScorerTest, MoreOccurrencesScoreHigherSaturating) {
+  index::Collection coll =
+      BuildFrom("<a><b>w</b><c>w w w</c><d>filler filler filler</d></a>");
+  Scorer scorer(&coll);
+  xml::NodeId b = coll.doc().FindDescendant(0, "b");
+  xml::NodeId c = coll.doc().FindDescendant(0, "c");
+  index::Phrase p = coll.MakePhrase("w");
+  EXPECT_GT(scorer.Score(c, p), scorer.Score(b, p));
+  EXPECT_LT(scorer.Score(c, p), scorer.MaxScore(p));
+}
+
+TEST(ScorerTest, UnknownPhraseHasZeroBound) {
+  index::Collection coll = BuildFrom("<a>x</a>");
+  Scorer scorer(&coll);
+  index::Phrase p = coll.MakePhrase("never seen");
+  EXPECT_EQ(scorer.MaxScore(p), 0.0);
+  EXPECT_EQ(scorer.Idf(p), 0.0);
+}
+
+// The bound property the pruning algorithms rely on, swept over documents
+// of different shapes.
+class BoundSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundSweepTest, MaxScoreIsUpperBoundEverywhere) {
+  int n = GetParam();
+  std::string text = "<root>";
+  for (int i = 0; i < n; ++i) {
+    text += "<e>";
+    for (int j = 0; j <= i % 5; ++j) text += "kw ";
+    text += "pad pad</e>";
+  }
+  text += "</root>";
+  index::Collection coll = BuildFrom(text);
+  Scorer scorer(&coll);
+  index::Phrase p = coll.MakePhrase("kw");
+  double bound = scorer.MaxScore(p);
+  for (xml::NodeId id : coll.doc().AllElements()) {
+    EXPECT_LE(scorer.Score(id, p), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoundSweepTest,
+                         ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace pimento::score

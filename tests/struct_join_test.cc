@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/algebra/struct_join.h"
+#include "src/data/car_gen.h"
+#include "src/data/inex_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/plan/planner.h"
+#include "src/tpq/tpq_parser.h"
+#include "src/xml/parser.h"
+
+namespace pimento::algebra {
+namespace {
+
+index::Collection FromXml(std::string_view text) {
+  auto doc = xml::ParseXml(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return index::Collection::Build(std::move(doc).value());
+}
+
+std::vector<xml::NodeId> Match(const index::Collection& coll,
+                               const char* query_text) {
+  auto q = tpq::ParseTpq(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<xml::NodeId> out;
+  EXPECT_TRUE(StructuralMatch(coll, *q, &out)) << query_text;
+  return out;
+}
+
+TEST(StructJoinTest, PlainTagScan) {
+  index::Collection coll = FromXml("<a><b/><c><b/></c></a>");
+  EXPECT_EQ(Match(coll, "//b").size(), 2u);
+  EXPECT_EQ(Match(coll, "//a").size(), 1u);
+  EXPECT_TRUE(Match(coll, "//zzz").empty());
+}
+
+TEST(StructJoinTest, ChildVersusDescendantBranch) {
+  index::Collection coll = FromXml(
+      "<r><a><b/></a><a><x><b/></x></a><a/></r>");
+  EXPECT_EQ(Match(coll, "//a[./b]").size(), 1u);
+  EXPECT_EQ(Match(coll, "//a[.//b]").size(), 2u);
+}
+
+TEST(StructJoinTest, SpineAncestorCondition) {
+  // Distinguished node deeper than the constrained ancestor.
+  index::Collection coll = FromXml(
+      "<r><art><au/><abs/></art><art><abs/></art></r>");
+  EXPECT_EQ(Match(coll, "//art[./au]/abs").size(), 1u);
+  EXPECT_EQ(Match(coll, "//art/abs").size(), 2u);
+}
+
+TEST(StructJoinTest, ValuePredicateFiltering) {
+  index::Collection coll = FromXml(
+      "<d><car><price>100</price></car><car><price>900</price></car></d>");
+  EXPECT_EQ(Match(coll, "//car[./price < 500]").size(), 1u);
+  EXPECT_EQ(Match(coll, "//car[./price > 50]").size(), 2u);
+  EXPECT_TRUE(Match(coll, "//car[./price > 2000]").empty());
+}
+
+TEST(StructJoinTest, IndependentWitnessesAcrossNestedAncestors) {
+  // The decomposed (per-predicate witness) semantics: with nested <a>
+  // elements, ./b and ./c may be satisfied by *different* a-ancestors.
+  index::Collection coll = FromXml(
+      "<r><a><b/><a><c/><d/></a></a></r>");
+  // d's a-ancestors: inner (has c) and outer (has b). Both constraints hold
+  // with split witnesses.
+  auto matches = Match(coll, "//a[./b and ./c]//d");
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(StructJoinTest, WildcardFallsBack) {
+  index::Collection coll = FromXml("<a><b/></a>");
+  auto q = tpq::ParseTpq("//a[./*]");
+  ASSERT_TRUE(q.ok());
+  std::vector<xml::NodeId> out;
+  EXPECT_FALSE(StructuralMatch(coll, *q, &out));
+}
+
+TEST(StructJoinTest, OptionalBranchesIgnored) {
+  index::Collection coll = FromXml("<r><car/><car><m/></car></r>");
+  EXPECT_EQ(Match(coll, "//car[./m?]").size(), 2u);
+  EXPECT_EQ(Match(coll, "//car[./m]").size(), 1u);
+}
+
+// Differential property: the prefilter candidate set equals the nodes the
+// default (nav-based) plan emits, for keyword-free queries.
+class StructJoinAgreementTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(StructJoinAgreementTest, MatchesNavPlanOnCarData) {
+  index::Collection coll = index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 60, .seed = 23}));
+  score::Scorer scorer(&coll);
+  auto q = tpq::ParseTpq(GetParam());
+  ASSERT_TRUE(q.ok());
+  std::vector<xml::NodeId> joined;
+  ASSERT_TRUE(StructuralMatch(coll, *q, &joined));
+
+  plan::PlannerOptions options;
+  options.k = 1 << 20;
+  options.strategy = plan::Strategy::kNaive;
+  auto plan = plan::BuildPlan(coll, scorer, *q, {}, {}, options);
+  ASSERT_TRUE(plan.ok());
+  std::vector<xml::NodeId> scanned;
+  for (const Answer& a : plan->Execute()) scanned.push_back(a.node);
+  std::sort(scanned.begin(), scanned.end());
+  std::sort(joined.begin(), joined.end());
+  EXPECT_EQ(joined, scanned) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, StructJoinAgreementTest,
+    ::testing::Values("//car", "//car[./price < 3000]",
+                      "//car[./owner/email]", "//car[./mileage and ./color]",
+                      "//car[./price < 5000 and ./mileage > 10000]",
+                      "//dealer/car[./color = \"red\"]",
+                      "//car/description"));
+
+TEST(StructJoinAgreementTest, XmarkFig5Structure) {
+  index::Collection coll = index::Collection::Build(
+      data::GenerateXmark({.target_bytes = 128u << 10}));
+  score::Scorer scorer(&coll);
+  auto q = tpq::ParseTpq("//person[.//business]");
+  ASSERT_TRUE(q.ok());
+  std::vector<xml::NodeId> joined;
+  ASSERT_TRUE(StructuralMatch(coll, *q, &joined));
+  EXPECT_EQ(joined.size(), coll.tags().Count("person"));
+}
+
+// End-to-end: plans with the prefilter return identical answers.
+TEST(StructJoinPlanTest, PrefilteredPlanMatchesDefault) {
+  index::Collection coll = index::Collection::Build(
+      data::GenerateXmark({.target_bytes = 128u << 10}));
+  score::Scorer scorer(&coll);
+  auto q = tpq::ParseTpq(
+      "//person[.//business[ftcontains(., \"Yes\")] and ./address/city]");
+  ASSERT_TRUE(q.ok());
+  plan::PlannerOptions base;
+  base.k = 10;
+  plan::PlannerOptions pre = base;
+  pre.use_structural_prefilter = true;
+  auto p1 = plan::BuildPlan(coll, scorer, *q, {}, {}, base);
+  auto p2 = plan::BuildPlan(coll, scorer, *q, {}, {}, pre);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(p2->Describe().find("structjoin"), std::string::npos)
+      << p2->Describe();
+  auto r1 = p1->Execute();
+  auto r2 = p2->Execute();
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].node, r2[i].node) << "rank " << i + 1;
+    EXPECT_NEAR(r1[i].s, r2[i].s, 1e-9);
+  }
+}
+
+TEST(StructJoinPlanTest, InexAncestorQueryAgreement) {
+  data::InexCollection inex = data::GenerateInex({});
+  index::Collection coll = index::Collection::Build(std::move(inex.doc));
+  score::Scorer scorer(&coll);
+  auto q = tpq::ParseTpq("//article[.//au]//abs");
+  ASSERT_TRUE(q.ok());
+  std::vector<xml::NodeId> joined;
+  ASSERT_TRUE(StructuralMatch(coll, *q, &joined));
+  EXPECT_EQ(joined.size(), coll.tags().Count("abs"));
+}
+
+}  // namespace
+}  // namespace pimento::algebra

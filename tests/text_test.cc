@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/text/stemmer.h"
+#include "src/text/stopwords.h"
+#include "src/text/tokenizer.h"
+
+namespace pimento::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  auto tokens = Tokenize("Hello, world! x2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "x2");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, CaseFoldingOptional) {
+  TokenizeOptions opts;
+  opts.lowercase = false;
+  auto tokens = Tokenize("Hello", opts);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "Hello");
+}
+
+TEST(TokenizerTest, StopwordRemoval) {
+  TokenizeOptions opts;
+  opts.drop_stopwords = true;
+  auto tokens = Tokenize("the car is in the garage", opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "car");
+  EXPECT_EQ(tokens[1], "garage");
+}
+
+TEST(TokenizerTest, StemmingOption) {
+  TokenizeOptions opts;
+  opts.stem = true;
+  auto tokens = Tokenize("running cars quickly", opts);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "run");
+  EXPECT_EQ(tokens[1], "car");
+}
+
+TEST(TokenizerTest, NormalizeTermMatchesTokenization) {
+  EXPECT_EQ(NormalizeTerm("  Low   MILEAGE! "), "low mileage");
+  EXPECT_EQ(NormalizeTerm("NYC"), "nyc");
+  EXPECT_EQ(NormalizeTerm(""), "");
+}
+
+TEST(TokenizerTest, NormalizeTermKeepsStopwordsForPhrases) {
+  TokenizeOptions opts;
+  opts.drop_stopwords = true;
+  // Phrase shape must be preserved even when indexing drops stopwords.
+  EXPECT_EQ(NormalizeTerm("state of the art", opts), "state of the art");
+}
+
+TEST(StopwordsTest, CommonWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("with"));
+  EXPECT_FALSE(IsStopword("car"));
+  EXPECT_FALSE(IsStopword("mileage"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+struct StemCase {
+  const char* in;
+  const char* out;
+};
+
+class PorterTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterTest, MatchesReferenceVectors) {
+  EXPECT_EQ(PorterStem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+// Reference vectors from Porter's published examples.
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, PorterTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"digitizer", "digit"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"formaliti", "formal"}, StemCase{"triplicate", "triplic"},
+        StemCase{"formative", "form"}, StemCase{"formalize", "formal"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"homologou", "homolog"}, StemCase{"communism", "commun"},
+        StemCase{"activate", "activ"}, StemCase{"angulariti", "angular"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("at"), "at");
+  EXPECT_EQ(PorterStem("by"), "by");
+  EXPECT_EQ(PorterStem("a"), "a");
+}
+
+TEST(PorterTest, NonLowercaseInputUnchanged) {
+  EXPECT_EQ(PorterStem("Running"), "Running");
+  EXPECT_EQ(PorterStem("x86"), "x86");
+}
+
+TEST(PorterTest, Idempotent) {
+  for (const char* word :
+       {"running", "relational", "caresses", "hopefulness", "mileage"}) {
+    std::string once = PorterStem(word);
+    EXPECT_EQ(PorterStem(once), once) << word;
+  }
+}
+
+}  // namespace
+}  // namespace pimento::text

@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "src/algebra/operators.h"
+#include "src/algebra/topk_prune.h"
+
+namespace pimento::algebra {
+namespace {
+
+Answer MakeAnswer(xml::NodeId node, double s, double k = 0.0) {
+  Answer a;
+  a.node = node;
+  a.s = s;
+  a.k = k;
+  return a;
+}
+
+std::vector<Answer> Drain(Operator& op) {
+  std::vector<Answer> out;
+  Answer a;
+  while (op.Next(&a)) out.push_back(a);
+  return out;
+}
+
+// ---------- Algorithm 1 (S only) ----------
+
+TEST(Alg1Test, NoPruningUntilListFull) {
+  RankContext rank({}, profile::RankOrder::kS);
+  std::vector<Answer> input = {MakeAnswer(0, 1), MakeAnswer(1, 2),
+                               MakeAnswer(2, 3)};
+  TopkPruneOptions opts;
+  opts.k = 5;
+  opts.alg = PruneAlg::kAlg1;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 3u);
+  EXPECT_EQ(prune.pruned(), 0);
+}
+
+TEST(Alg1Test, PrunesWhenBoundCannotBeat) {
+  RankContext rank({}, profile::RankOrder::kS);
+  // k=2; first two answers score 10 and 9. With zero bound, an answer of 5
+  // can never make the top-2.
+  std::vector<Answer> input = {MakeAnswer(0, 10), MakeAnswer(1, 9),
+                               MakeAnswer(2, 5), MakeAnswer(3, 9.5)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg1;
+  opts.query_score_bound = 0.0;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  auto out = Drain(prune);
+  ASSERT_EQ(out.size(), 3u);  // 10, 9, 9.5 survive; 5 pruned
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+TEST(Alg1Test, BoundKeepsPotentialWinners) {
+  RankContext rank({}, profile::RankOrder::kS);
+  std::vector<Answer> input = {MakeAnswer(0, 10), MakeAnswer(1, 9),
+                               MakeAnswer(2, 5)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg1;
+  opts.query_score_bound = 100.0;  // downstream score could still win
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 3u);
+  EXPECT_EQ(prune.pruned(), 0);
+}
+
+TEST(Alg1Test, TieWithBoundZeroIsKept) {
+  // An answer that can exactly tie the kth must be kept (document-order
+  // tie-breaking could favor it).
+  RankContext rank({}, profile::RankOrder::kS);
+  std::vector<Answer> input = {MakeAnswer(5, 10), MakeAnswer(6, 9),
+                               MakeAnswer(1, 9)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg1;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 3u);
+}
+
+TEST(Alg1Test, BulkPruneStopsOnSortedInput) {
+  RankContext rank({}, profile::RankOrder::kS);
+  std::vector<Answer> input;
+  for (int i = 0; i < 100; ++i) {
+    input.push_back(MakeAnswer(i, 100.0 - i));
+  }
+  TopkPruneOptions opts;
+  opts.k = 3;
+  opts.alg = PruneAlg::kAlg1;
+  opts.sorted_input = true;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  auto out = Drain(prune);
+  EXPECT_EQ(out.size(), 3u);
+  // The operator stopped pulling after the first prune: far fewer than 100
+  // answers consumed.
+  EXPECT_LE(prune.stats().consumed, 5);
+}
+
+TEST(FinalCutTest, EmitsExactlyK) {
+  RankContext rank({}, profile::RankOrder::kS);
+  std::vector<Answer> input;
+  for (int i = 0; i < 10; ++i) input.push_back(MakeAnswer(i, 10.0 - i));
+  TopkPruneOptions opts;
+  opts.k = 4;
+  opts.final_cut = true;
+  opts.sorted_input = true;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  auto out = Drain(prune);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].node, 0);
+  EXPECT_EQ(out[3].node, 3);
+}
+
+// ---------- Algorithm 2 (V, S) ----------
+
+struct VorFixture {
+  VorFixture() {
+    profile::Vor red;
+    red.name = "red";
+    red.kind = profile::VorKind::kEqConst;
+    red.attr = "color";
+    red.const_value = "red";
+    rank = RankContext({red}, profile::RankOrder::kKVS);
+  }
+
+  Answer Car(xml::NodeId node, const char* color, double s) {
+    Answer a = MakeAnswer(node, s);
+    a.vor.resize(1);
+    a.vor[0].applicable = true;
+    a.vor[0].str = color;
+    return a;
+  }
+
+  RankContext rank;
+};
+
+TEST(Alg2Test, PreferredAnswerNeverPrunedDespiteLowScore) {
+  VorFixture f;
+  // Top-1 is a non-red car with huge S; a red car with tiny S arrives.
+  std::vector<Answer> input = {f.Car(0, "black", 100), f.Car(1, "black", 90),
+                               f.Car(2, "red", 0.1)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg2;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&f.rank, opts);
+  prune.set_input(&src);
+  auto out = Drain(prune);
+  ASSERT_EQ(out.size(), 3u);  // the red car survives
+  EXPECT_EQ(prune.pruned(), 0);
+}
+
+TEST(Alg2Test, DominatedAnswerPrunedRegardlessOfScoreBound) {
+  VorFixture f;
+  // List holds red cars; a non-red car can never beat them (V precedes S).
+  std::vector<Answer> input = {f.Car(0, "red", 1), f.Car(1, "red", 2),
+                               f.Car(2, "black", 1000)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg2;
+  opts.query_score_bound = 1e9;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&f.rank, opts);
+  prune.set_input(&src);
+  auto out = Drain(prune);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+TEST(Alg2Test, EqualVorFallsBackToAlgorithm1) {
+  VorFixture f;
+  std::vector<Answer> input = {f.Car(0, "red", 10), f.Car(1, "red", 9),
+                               f.Car(2, "red", 1)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg2;
+  opts.query_score_bound = 0.0;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&f.rank, opts);
+  prune.set_input(&src);
+  auto out = Drain(prune);
+  EXPECT_EQ(out.size(), 2u);  // the S=1 red car pruned by the S rule
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+TEST(Alg2Test, PartialOrderModeIncomparableFallsBackToAlg1) {
+  // Form-3 rule (same make): cars of different makes are incomparable.
+  profile::Vor hp;
+  hp.name = "hp";
+  hp.kind = profile::VorKind::kCompareSameGroup;
+  hp.attr = "hp";
+  hp.group_attr = "make";
+  hp.smaller_preferred = false;
+  RankContext rank({hp}, profile::RankOrder::kKVS);
+  auto car = [&](xml::NodeId node, const char* make, double hp_val,
+                 double s) {
+    Answer a = MakeAnswer(node, s);
+    a.vor.resize(1);
+    a.vor[0].applicable = true;
+    a.vor[0].group = make;
+    a.vor[0].num = hp_val;
+    return a;
+  };
+  std::vector<Answer> input = {car(0, "honda", 200, 10),
+                               car(1, "honda", 150, 9),
+                               car(2, "mustang", 300, 1)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg2;
+  opts.vor_mode = VorCompareMode::kPartialOrder;
+  opts.query_score_bound = 0.0;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  auto out = Drain(prune);
+  // The mustang is incomparable to the hondas; Algorithm 1 with S=1 vs
+  // kth.S=9 prunes it.
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+// ---------- Algorithm 3 (K, V, S) ----------
+
+TEST(Alg3Test, KorBoundPrunes) {
+  RankContext rank({}, profile::RankOrder::kKVS);
+  std::vector<Answer> input = {MakeAnswer(0, 0, 10), MakeAnswer(1, 0, 9),
+                               MakeAnswer(2, 0, 3)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg3;
+  opts.kor_score_bound = 2.0;  // 3 + 2 < 9: prune
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 2u);
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+TEST(Alg3Test, KorBoundKeepsReachableAnswers) {
+  RankContext rank({}, profile::RankOrder::kKVS);
+  std::vector<Answer> input = {MakeAnswer(0, 0, 10), MakeAnswer(1, 0, 9),
+                               MakeAnswer(2, 0, 8)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg3;
+  opts.kor_score_bound = 2.0;  // 8 + 2 >= 9: keep
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 3u);
+}
+
+TEST(Alg3Test, ZeroBoundComparesFinalK) {
+  RankContext rank({}, profile::RankOrder::kKVS);
+  std::vector<Answer> input = {MakeAnswer(0, 1, 5), MakeAnswer(1, 1, 4),
+                               MakeAnswer(2, 100, 3)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg3;
+  opts.kor_score_bound = 0.0;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&rank, opts);
+  prune.set_input(&src);
+  // K=3 < kth.K=4 and K is final: pruned despite S=100.
+  EXPECT_EQ(Drain(prune).size(), 2u);
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+TEST(Alg3Test, ZeroBoundEqualKFallsToVS) {
+  VorFixture f;
+  std::vector<Answer> input = {f.Car(0, "red", 5), f.Car(1, "red", 4),
+                               f.Car(2, "black", 100)};
+  for (Answer& a : input) a.k = 7.0;  // equal K everywhere
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlg3;
+  opts.kor_score_bound = 0.0;
+  opts.query_score_bound = 1e9;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&f.rank, opts);
+  prune.set_input(&src);
+  // Equal K → Algorithm 2 → non-red dominated by two red cars → pruned.
+  EXPECT_EQ(Drain(prune).size(), 2u);
+}
+
+// ---------- the V,K,S variant ----------
+
+TEST(AlgVksTest, VDominatesKAndS) {
+  VorFixture f;
+  // kVKS list order: V first. A non-red car with huge K/S is pruned once
+  // the list holds k red cars.
+  std::vector<Answer> input = {f.Car(0, "red", 1), f.Car(1, "red", 2),
+                               f.Car(2, "black", 1000)};
+  input[2].k = 1000;
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlgVks;
+  opts.kor_score_bound = 1e9;
+  opts.query_score_bound = 1e9;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&f.rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 2u);
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+TEST(AlgVksTest, EqualVFallsToKorBound) {
+  VorFixture f;
+  std::vector<Answer> input = {f.Car(0, "red", 0), f.Car(1, "red", 0),
+                               f.Car(2, "red", 0)};
+  input[0].k = 10;
+  input[1].k = 9;
+  input[2].k = 3;
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlgVks;
+  opts.kor_score_bound = 2.0;  // 3 + 2 < 9: prune
+  MaterializedOp src(input);
+  TopkPruneOp prune(&f.rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 2u);
+  EXPECT_EQ(prune.pruned(), 1);
+}
+
+TEST(AlgVksTest, PreferredVAlwaysKept) {
+  VorFixture f;
+  std::vector<Answer> input = {f.Car(0, "black", 100), f.Car(1, "black", 90),
+                               f.Car(2, "red", 0)};
+  TopkPruneOptions opts;
+  opts.k = 2;
+  opts.alg = PruneAlg::kAlgVks;
+  MaterializedOp src(input);
+  TopkPruneOp prune(&f.rank, opts);
+  prune.set_input(&src);
+  EXPECT_EQ(Drain(prune).size(), 3u);
+  EXPECT_EQ(prune.pruned(), 0);
+}
+
+// ---------- soundness property ----------
+//
+// For random inputs, pruning must never change the final top-k: feed the
+// same stream through (a) sort + final cut and (b) topkPrune + sort +
+// final cut; results must agree. The prune's bounds are set to the true
+// remaining contribution (zero here, since scores are final).
+
+class SoundnessTest
+    : public ::testing::TestWithParam<std::tuple<int, profile::RankOrder>> {
+};
+
+TEST_P(SoundnessTest, PruningPreservesTopK) {
+  const auto& [seed, order] = GetParam();
+  std::mt19937 rng(seed);
+  profile::Vor red;
+  red.name = "red";
+  red.kind = profile::VorKind::kEqConst;
+  red.attr = "color";
+  red.const_value = "red";
+  RankContext rank({red}, order);
+
+  std::uniform_real_distribution<double> score(0, 10);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::vector<Answer> input;
+  for (int i = 0; i < 200; ++i) {
+    Answer a = MakeAnswer(i, score(rng), std::floor(score(rng)));
+    a.vor.resize(1);
+    a.vor[0].applicable = true;
+    a.vor[0].str = coin(rng) != 0 ? "red" : "black";
+    input.push_back(a);
+  }
+  const int k = 7;
+
+  auto run = [&](bool with_prune) {
+    MaterializedOp src(input);
+    TopkPruneOptions popts;
+    popts.k = k;
+    popts.alg = order == profile::RankOrder::kKVS ? PruneAlg::kAlg3
+                                                  : PruneAlg::kAlgVks;
+    TopkPruneOp prune(&rank, popts);
+    SortOp sort(&rank, SortOp::Param::kByRank);
+    TopkPruneOptions fopts;
+    fopts.k = k;
+    fopts.final_cut = true;
+    fopts.sorted_input = true;
+    TopkPruneOp final_cut(&rank, fopts);
+    if (with_prune) {
+      prune.set_input(&src);
+      sort.set_input(&prune);
+    } else {
+      sort.set_input(&src);
+    }
+    final_cut.set_input(&sort);
+    std::vector<xml::NodeId> nodes;
+    Answer a;
+    while (final_cut.Next(&a)) nodes.push_back(a.node);
+    return nodes;
+  };
+
+  auto pruned = run(true);
+  auto naive = run(false);
+  EXPECT_EQ(pruned, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SoundnessTest,
+    ::testing::Combine(::testing::Range(1, 21),
+                       ::testing::Values(profile::RankOrder::kKVS,
+                                         profile::RankOrder::kVKS)));
+
+}  // namespace
+}  // namespace pimento::algebra

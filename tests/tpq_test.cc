@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "src/tpq/tpq.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::tpq {
+namespace {
+
+TEST(TpqModelTest, BuildAndInspect) {
+  Tpq q;
+  int car = q.AddRoot("car");
+  int desc = q.AddChild(car, "description", EdgeKind::kChild);
+  int price = q.AddChild(car, "price", EdgeKind::kDescendant);
+  q.set_distinguished(car);
+  EXPECT_EQ(q.size(), 3);
+  EXPECT_EQ(q.node(desc).parent, car);
+  EXPECT_EQ(q.node(desc).parent_edge, EdgeKind::kChild);
+  EXPECT_EQ(q.node(price).parent_edge, EdgeKind::kDescendant);
+  EXPECT_EQ(q.FindByTag("price"), price);
+  EXPECT_EQ(q.FindByTag("none"), -1);
+}
+
+TEST(TpqModelTest, PreOrderVisitsRootFirst) {
+  Tpq q;
+  int a = q.AddRoot("a");
+  int b = q.AddChild(a, "b", EdgeKind::kChild);
+  q.AddChild(b, "c", EdgeKind::kChild);
+  q.AddChild(a, "d", EdgeKind::kChild);
+  auto order = q.PreOrder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(q.node(order[0]).tag, "a");
+  EXPECT_EQ(q.node(order[1]).tag, "b");
+  EXPECT_EQ(q.node(order[2]).tag, "c");
+  EXPECT_EQ(q.node(order[3]).tag, "d");
+}
+
+TEST(TpqModelTest, RemoveSubtreeCompactsAndRemaps) {
+  Tpq q;
+  int a = q.AddRoot("a");
+  int b = q.AddChild(a, "b", EdgeKind::kChild);
+  q.AddChild(b, "c", EdgeKind::kChild);
+  int d = q.AddChild(a, "d", EdgeKind::kChild);
+  q.set_distinguished(d);
+  q.RemoveSubtree(b);
+  EXPECT_EQ(q.size(), 2);
+  EXPECT_EQ(q.node(q.distinguished()).tag, "d");
+  EXPECT_EQ(q.node(0).children.size(), 1u);
+}
+
+TEST(RelOpTest, NumericEvaluation) {
+  EXPECT_TRUE(EvalRelOp(1, RelOp::kLt, 2));
+  EXPECT_FALSE(EvalRelOp(2, RelOp::kLt, 2));
+  EXPECT_TRUE(EvalRelOp(2, RelOp::kLe, 2));
+  EXPECT_TRUE(EvalRelOp(3, RelOp::kGt, 2));
+  EXPECT_TRUE(EvalRelOp(2, RelOp::kGe, 2));
+  EXPECT_TRUE(EvalRelOp(2, RelOp::kEq, 2));
+  EXPECT_TRUE(EvalRelOp(1, RelOp::kNe, 2));
+}
+
+TEST(RelOpTest, StringEvaluation) {
+  EXPECT_TRUE(EvalRelOpStr("red", RelOp::kEq, "red"));
+  EXPECT_TRUE(EvalRelOpStr("red", RelOp::kNe, "blue"));
+  EXPECT_TRUE(EvalRelOpStr("abc", RelOp::kLt, "abd"));
+}
+
+TEST(ImplicationTest, NumericImplications) {
+  auto pred = [](RelOp op, double v) {
+    ValuePredicate p;
+    p.op = op;
+    p.number = v;
+    return p;
+  };
+  // v < 1500 implies v < 2000.
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kLt, 1500),
+                                    pred(RelOp::kLt, 2000)));
+  EXPECT_FALSE(ValuePredicateImplies(pred(RelOp::kLt, 2500),
+                                     pred(RelOp::kLt, 2000)));
+  // v <= 2000 does NOT imply v < 2000.
+  EXPECT_FALSE(ValuePredicateImplies(pred(RelOp::kLe, 2000),
+                                     pred(RelOp::kLt, 2000)));
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kLe, 1999),
+                                    pred(RelOp::kLt, 2000)));
+  // v = 5 implies v < 10, v > 1, v != 7, v <= 5.
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kEq, 5), pred(RelOp::kLt, 10)));
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kEq, 5), pred(RelOp::kGt, 1)));
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kEq, 5), pred(RelOp::kNe, 7)));
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kEq, 5), pred(RelOp::kLe, 5)));
+  EXPECT_FALSE(ValuePredicateImplies(pred(RelOp::kEq, 5), pred(RelOp::kNe, 5)));
+  // v > 10 implies v >= 10 and v != 5.
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kGt, 10),
+                                    pred(RelOp::kGe, 10)));
+  EXPECT_TRUE(ValuePredicateImplies(pred(RelOp::kGt, 10), pred(RelOp::kNe, 5)));
+}
+
+TEST(ImplicationTest, StringImplications) {
+  ValuePredicate eq_red;
+  eq_red.numeric = false;
+  eq_red.op = RelOp::kEq;
+  eq_red.text = "red";
+  ValuePredicate ne_blue = eq_red;
+  ne_blue.op = RelOp::kNe;
+  ne_blue.text = "blue";
+  EXPECT_TRUE(ValuePredicateImplies(eq_red, eq_red));
+  EXPECT_TRUE(ValuePredicateImplies(eq_red, ne_blue));
+  EXPECT_FALSE(ValuePredicateImplies(ne_blue, eq_red));
+}
+
+TEST(ParserTest, PaperQueryParses) {
+  auto q = ParseTpq(
+      "//car[./description[ftcontains(., \"good condition\") and "
+      "ftcontains(., \"low mileage\")] and ./price < 2000]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->size(), 3);
+  EXPECT_EQ(q->node(q->distinguished()).tag, "car");
+  int desc = q->FindByTag("description");
+  int price = q->FindByTag("price");
+  ASSERT_GE(desc, 0);
+  ASSERT_GE(price, 0);
+  EXPECT_EQ(q->node(desc).keyword_predicates.size(), 2u);
+  ASSERT_EQ(q->node(price).value_predicates.size(), 1u);
+  EXPECT_EQ(q->node(price).value_predicates[0].op, RelOp::kLt);
+  EXPECT_DOUBLE_EQ(q->node(price).value_predicates[0].number, 2000);
+}
+
+TEST(ParserTest, InexStyleQueryWithAboutAndDescendantAxis) {
+  auto q = ParseTpq(
+      "//article[about(.//au, \"Jiawei Han\")]//abs[about(., \"data "
+      "mining\")]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->node(q->distinguished()).tag, "abs");
+  int au = q->FindByTag("au");
+  ASSERT_GE(au, 0);
+  EXPECT_EQ(q->node(au).parent_edge, EdgeKind::kDescendant);
+  EXPECT_EQ(q->node(au).keyword_predicates[0].keyword, "Jiawei Han");
+  int abs = q->distinguished();
+  EXPECT_EQ(q->node(abs).parent_edge, EdgeKind::kDescendant);
+  EXPECT_EQ(q->node(abs).keyword_predicates[0].keyword, "data mining");
+}
+
+TEST(ParserTest, RootAnchoredVersusAnywhere) {
+  auto anchored = ParseTpq("/site/people");
+  ASSERT_TRUE(anchored.ok());
+  EXPECT_TRUE(anchored->root_anchored());
+  auto anywhere = ParseTpq("//people");
+  ASSERT_TRUE(anywhere.ok());
+  EXPECT_FALSE(anywhere->root_anchored());
+}
+
+TEST(ParserTest, ValuePredicateOnDistinguishedNode) {
+  auto q = ParseTpq("//age[. = 33]");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->node(0).value_predicates.size(), 1u);
+  EXPECT_EQ(q->node(0).value_predicates[0].op, RelOp::kEq);
+}
+
+TEST(ParserTest, StringValuePredicateLowercased) {
+  auto q = ParseTpq("//car[./color = \"Red\"]");
+  ASSERT_TRUE(q.ok());
+  int color = q->FindByTag("color");
+  ASSERT_GE(color, 0);
+  EXPECT_EQ(q->node(color).value_predicates[0].text, "red");
+  EXPECT_FALSE(q->node(color).value_predicates[0].numeric);
+}
+
+TEST(ParserTest, ExistencePredicate) {
+  auto q = ParseTpq("//car[./owner/email]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 3);
+  EXPECT_GE(q->FindByTag("email"), 0);
+}
+
+TEST(ParserTest, OptionalMarkers) {
+  auto q = ParseTpq("//car[ftcontains(., \"nyc\")? and ./mileage?]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->node(0).keyword_predicates[0].optional);
+  int mileage = q->FindByTag("mileage");
+  ASSERT_GE(mileage, 0);
+  EXPECT_TRUE(q->node(mileage).optional);
+}
+
+TEST(ParserTest, AmpersandConjunction) {
+  auto q = ParseTpq(
+      "//car[ftcontains(., \"a\") & ftcontains(., \"b\")]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->node(0).keyword_predicates.size(), 2u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseTpq("").ok());
+  EXPECT_FALSE(ParseTpq("car").ok());
+  EXPECT_FALSE(ParseTpq("//car[").ok());
+  EXPECT_FALSE(ParseTpq("//car[./price <]").ok());
+  EXPECT_FALSE(ParseTpq("//car[ftcontains(., 'x')]").ok());  // single quotes
+  EXPECT_FALSE(ParseTpq("//car] extra").ok());
+  EXPECT_FALSE(ParseTpq("//car[ftcontains(, \"x\")]").ok());
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ToStringReparsesToSameString) {
+  auto q = ParseTpq(GetParam());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::string printed = q->ToString();
+  auto q2 = ParseTpq(printed);
+  ASSERT_TRUE(q2.ok()) << printed << " -> " << q2.status().ToString();
+  EXPECT_EQ(q2->ToString(), printed);
+  EXPECT_EQ(q2->size(), q->size());
+  EXPECT_EQ(q2->node(q2->distinguished()).tag,
+            q->node(q->distinguished()).tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "//car",
+        "/site/people/person",
+        "//car[./price < 2000]",
+        "//car[./description[ftcontains(., \"good condition\")]]",
+        "//article[ftcontains(.//au, \"Jiawei Han\")]//abs",
+        "//person[./profile/business[ftcontains(., \"Yes\")]]",
+        "//car[ftcontains(., \"nyc\")? and ./mileage?]",
+        "//a[./b[./c[. = 1] and ./d] and ftcontains(., \"kw\")]"));
+
+}  // namespace
+}  // namespace pimento::tpq

@@ -1,0 +1,93 @@
+// Tests for the XQuery-Full-Text window (proximity) semantics: unordered
+// co-occurrence of all phrase terms within w consecutive tokens.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/index/collection.h"
+#include "src/tpq/tpq_parser.h"
+#include "src/xml/parser.h"
+
+namespace pimento::index {
+namespace {
+
+Collection BuildFrom(std::string_view xml_text) {
+  auto doc = xml::ParseXml(xml_text);
+  EXPECT_TRUE(doc.ok());
+  return Collection::Build(std::move(doc).value());
+}
+
+TEST(WindowTest, ExactPhraseVersusWindow) {
+  Collection coll = BuildFrom("<a>data heavy mining pipeline</a>");
+  Phrase exact = coll.MakePhrase("data mining");
+  Phrase win3 = coll.MakePhrase("data mining", 3);
+  Phrase win2 = coll.MakePhrase("data mining", 2);
+  EXPECT_EQ(coll.CountOccurrences(0, exact), 0);
+  EXPECT_EQ(coll.CountOccurrences(0, win3), 1);  // "data heavy mining"
+  EXPECT_EQ(coll.CountOccurrences(0, win2), 0);
+}
+
+TEST(WindowTest, UnorderedWithinWindow) {
+  Collection coll = BuildFrom("<a>mining of data</a>");
+  EXPECT_EQ(coll.CountOccurrences(0, coll.MakePhrase("data mining")), 0);
+  EXPECT_EQ(coll.CountOccurrences(0, coll.MakePhrase("data mining", 3)), 1);
+}
+
+TEST(WindowTest, AdjacentStillMatchesWindow) {
+  Collection coll = BuildFrom("<a>data mining rocks</a>");
+  EXPECT_EQ(coll.CountOccurrences(0, coll.MakePhrase("data mining", 2)), 1);
+}
+
+TEST(WindowTest, RespectsElementSpans) {
+  Collection coll = BuildFrom("<r><a>data x</a><b>mining</b></r>");
+  xml::NodeId a = coll.doc().FindDescendant(0, "a");
+  // Inside <a> alone there is no "mining" within any window.
+  EXPECT_EQ(coll.CountOccurrences(a, coll.MakePhrase("data mining", 5)), 0);
+  // The root's span contains both.
+  EXPECT_EQ(coll.CountOccurrences(0, coll.MakePhrase("data mining", 5)), 1);
+}
+
+TEST(WindowTest, CountsDistinctAnchors) {
+  Collection coll = BuildFrom("<a>data mining and data heavy mining</a>");
+  // Anchor = rarest term; "data" and "mining" both occur twice, tie keeps
+  // the first ("data"): both data-positions have mining within 3.
+  EXPECT_EQ(coll.CountOccurrences(0, coll.MakePhrase("data mining", 3)), 2);
+}
+
+TEST(WindowTest, SingleTermWindowEqualsTermCount) {
+  Collection coll = BuildFrom("<a>kw other kw</a>");
+  EXPECT_EQ(coll.CountOccurrences(0, coll.MakePhrase("kw", 4)), 2);
+  EXPECT_EQ(coll.CountOccurrences(0, coll.MakePhrase("kw")), 2);
+}
+
+TEST(WindowTest, TpqSyntaxParsesAndRoundTrips) {
+  auto q = tpq::ParseTpq(
+      "//abs[ftcontains(., \"data mining\" window 8)]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->node(0).keyword_predicates.size(), 1u);
+  EXPECT_EQ(q->node(0).keyword_predicates[0].window, 8);
+  std::string printed = q->ToString();
+  auto again = tpq::ParseTpq(printed);
+  ASSERT_TRUE(again.ok()) << printed;
+  EXPECT_EQ(again->node(0).keyword_predicates[0].window, 8);
+}
+
+TEST(WindowTest, EndToEndWidensMatches) {
+  auto engine = core::SearchEngine::FromXml(
+      "<r><doc>query fast optimization</doc>"
+      "<doc>query optimization</doc><doc>unrelated text</doc></r>");
+  ASSERT_TRUE(engine.ok());
+  auto exact = engine->Search(
+      "//doc[ftcontains(., \"query optimization\")]",
+      core::SearchOptions{.k = 10});
+  auto window = engine->Search(
+      "//doc[ftcontains(., \"query optimization\" window 3)]",
+      core::SearchOptions{.k = 10});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(exact->answers.size(), 1u);
+  EXPECT_EQ(window->answers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pimento::index

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "src/xml/document.h"
+#include "src/xml/merge.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace pimento::xml {
+namespace {
+
+StatusOr<Document> Parse(std::string_view text) { return ParseXml(text); }
+
+TEST(ParserTest, MinimalDocument) {
+  auto doc = Parse("<a/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->size(), 1u);
+  EXPECT_EQ(doc->node(0).tag, "a");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto doc = Parse("<a><b>hello</b><c>world</c></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId b = doc->FindDescendant(doc->root(), "b");
+  NodeId c = doc->FindDescendant(doc->root(), "c");
+  ASSERT_NE(b, kInvalidNode);
+  ASSERT_NE(c, kInvalidNode);
+  EXPECT_EQ(doc->TextContent(b), "hello");
+  EXPECT_EQ(doc->TextContent(c), "world");
+  EXPECT_EQ(doc->TextContent(doc->root()), "hello world");
+}
+
+TEST(ParserTest, AttributesBecomeElements) {
+  auto doc = Parse(R"(<car id="c1" color="red"/>)");
+  ASSERT_TRUE(doc.ok());
+  NodeId id = doc->FindDescendant(doc->root(), "@id");
+  NodeId color = doc->FindDescendant(doc->root(), "@color");
+  ASSERT_NE(id, kInvalidNode);
+  ASSERT_NE(color, kInvalidNode);
+  EXPECT_EQ(doc->TextContent(id), "c1");
+  EXPECT_EQ(doc->TextContent(color), "red");
+}
+
+TEST(ParserTest, EntityDecoding) {
+  auto doc = Parse("<a>x &lt; y &amp;&amp; y &gt; z &quot;q&quot;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->TextContent(0), "x < y && y > z \"q\"");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  auto doc = Parse("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->TextContent(0), "AB");
+}
+
+TEST(ParserTest, UnknownEntityPassesThrough) {
+  EXPECT_EQ(DecodeEntities("a &foo; b"), "a &foo; b");
+}
+
+TEST(ParserTest, Utf8NumericReference) {
+  EXPECT_EQ(DecodeEntities("&#233;"), "\xC3\xA9");     // é
+  EXPECT_EQ(DecodeEntities("&#x20AC;"), "\xE2\x82\xAC");  // €
+}
+
+TEST(ParserTest, CdataSection) {
+  auto doc = Parse("<a><![CDATA[<not> &markup;]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->TextContent(0), "<not> &markup;");
+}
+
+TEST(ParserTest, CommentsAndPIsSkipped) {
+  auto doc = Parse(
+      "<?xml version=\"1.0\"?><!-- head --><a><!-- mid --><b/><?pi data?>"
+      "</a><!-- tail -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 2u);
+}
+
+TEST(ParserTest, DoctypeSkipped) {
+  auto doc = Parse("<!DOCTYPE a [<!ELEMENT a ANY>]><a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(0).tag, "a");
+}
+
+TEST(ParserTest, WhitespaceTextSkippedByDefault) {
+  auto doc = Parse("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 2u);
+}
+
+TEST(ParserTest, WhitespaceTextKeptOnRequest) {
+  ParseOptions opts;
+  opts.skip_whitespace_text = false;
+  auto doc = ParseXml("<a>\n  <b/>\n</a>", opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GT(doc->size(), 2u);
+}
+
+TEST(ParserTest, MismatchedTagFails) {
+  auto doc = Parse("<a><b></c></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, UnterminatedElementFails) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+}
+
+TEST(ParserTest, ContentAfterRootFails) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+}
+
+TEST(ParserTest, GarbageFails) { EXPECT_FALSE(Parse("hello").ok()); }
+
+TEST(ParserTest, ErrorsMentionLine) {
+  auto doc = Parse("<a>\n<b>\n</c></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(DocumentTest, IntervalEncodingAncestry) {
+  auto doc = Parse("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId a = doc->root();
+  NodeId b = doc->FindDescendant(a, "b");
+  NodeId c = doc->FindDescendant(a, "c");
+  NodeId d = doc->FindDescendant(a, "d");
+  EXPECT_TRUE(doc->IsAncestor(a, b));
+  EXPECT_TRUE(doc->IsAncestor(a, c));
+  EXPECT_TRUE(doc->IsAncestor(b, c));
+  EXPECT_FALSE(doc->IsAncestor(c, b));
+  EXPECT_FALSE(doc->IsAncestor(b, d));
+  EXPECT_FALSE(doc->IsAncestor(b, b));  // proper ancestry only
+}
+
+TEST(DocumentTest, Levels) {
+  auto doc = Parse("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->node(doc->root()).level, 0);
+  EXPECT_EQ(doc->node(doc->FindDescendant(0, "b")).level, 1);
+  EXPECT_EQ(doc->node(doc->FindDescendant(0, "c")).level, 2);
+}
+
+TEST(DocumentTest, ChildrenByTag) {
+  auto doc = Parse("<a><b/><c/><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->ChildrenByTag(doc->root(), "b").size(), 2u);
+  EXPECT_EQ(doc->ChildrenByTag(doc->root(), "c").size(), 1u);
+  EXPECT_TRUE(doc->ChildrenByTag(doc->root(), "x").empty());
+}
+
+TEST(DocumentTest, AllElementsInDocumentOrder) {
+  auto doc = Parse("<a><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto elems = doc->AllElements();
+  ASSERT_EQ(elems.size(), 3u);
+  EXPECT_EQ(doc->node(elems[0]).tag, "a");
+  EXPECT_EQ(doc->node(elems[1]).tag, "b");
+  EXPECT_EQ(doc->node(elems[2]).tag, "c");
+}
+
+TEST(SerializerTest, EscapesMarkup) {
+  EXPECT_EQ(EscapeXml("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+}
+
+TEST(SerializerTest, RoundTrip) {
+  const std::string original =
+      "<dealer><car color=\"red\"><price>500</price>"
+      "<description>good &amp; cheap</description></car></dealer>";
+  auto doc = Parse(original);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = SerializeXml(*doc);
+  auto reparsed = Parse(serialized);
+  ASSERT_TRUE(reparsed.ok()) << serialized;
+  EXPECT_EQ(doc->size(), reparsed->size());
+  EXPECT_EQ(doc->TextContent(0), reparsed->TextContent(0));
+}
+
+TEST(SerializerTest, PrettyPrintReparses) {
+  auto doc = Parse("<a><b>x</b><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opts;
+  opts.pretty = true;
+  std::string pretty = SerializeXml(*doc, opts);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = Parse(pretty);
+  ASSERT_TRUE(reparsed.ok()) << pretty;
+  EXPECT_EQ(reparsed->size(), doc->size());
+}
+
+TEST(SerializerTest, SubtreeSerialization) {
+  auto doc = Parse("<a><b>inner</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId b = doc->FindDescendant(0, "b");
+  EXPECT_EQ(SerializeSubtree(*doc, b), "<b>inner</b>");
+}
+
+TEST(MergeTest, MergesUnderSyntheticRoot) {
+  std::vector<Document> docs;
+  docs.push_back(std::move(*Parse("<a><x>one</x></a>")));
+  docs.push_back(std::move(*Parse("<b>two</b>")));
+  Document merged = MergeDocuments(std::move(docs), "corpus");
+  EXPECT_EQ(merged.node(merged.root()).tag, "corpus");
+  EXPECT_NE(merged.FindDescendant(merged.root(), "a"), kInvalidNode);
+  EXPECT_NE(merged.FindDescendant(merged.root(), "b"), kInvalidNode);
+  EXPECT_EQ(merged.TextContent(merged.root()), "one two");
+  // Intervals are finalized: the two roots do not contain each other.
+  NodeId a = merged.FindDescendant(merged.root(), "a");
+  NodeId b = merged.FindDescendant(merged.root(), "b");
+  EXPECT_FALSE(merged.IsAncestor(a, b));
+  EXPECT_TRUE(merged.IsAncestor(merged.root(), a));
+}
+
+TEST(MergeTest, EmptyInputGivesBareRoot) {
+  Document merged = MergeDocuments({});
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+// Round-trip property over a family of generated documents.
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, ParseSerializeParseIsStable) {
+  // Deterministically build a nested document whose shape depends on the
+  // parameter.
+  int n = GetParam();
+  std::string text = "<root>";
+  for (int i = 0; i < n; ++i) {
+    text += "<item id=\"i" + std::to_string(i) + "\"><value>" +
+            std::to_string(i * 7) + "</value><note>n " + std::to_string(i) +
+            " &amp; more</note></item>";
+  }
+  text += "</root>";
+  auto doc = Parse(text);
+  ASSERT_TRUE(doc.ok());
+  std::string once = SerializeXml(*doc);
+  auto doc2 = Parse(once);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(SerializeXml(*doc2), once);
+  EXPECT_EQ(doc2->size(), doc->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoundTripTest,
+                         ::testing::Values(0, 1, 3, 10, 50));
+
+}  // namespace
+}  // namespace pimento::xml
