@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bulk_prune.dir/bench_ablation_bulk_prune.cpp.o"
+  "CMakeFiles/bench_ablation_bulk_prune.dir/bench_ablation_bulk_prune.cpp.o.d"
+  "bench_ablation_bulk_prune"
+  "bench_ablation_bulk_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bulk_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stemming.dir/bench_ablation_stemming.cpp.o"
+  "CMakeFiles/bench_ablation_stemming.dir/bench_ablation_stemming.cpp.o.d"
+  "bench_ablation_stemming"
+  "bench_ablation_stemming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stemming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_structjoin.dir/bench_ablation_structjoin.cpp.o"
+  "CMakeFiles/bench_ablation_structjoin.dir/bench_ablation_structjoin.cpp.o.d"
+  "bench_ablation_structjoin"
+  "bench_ablation_structjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_structjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

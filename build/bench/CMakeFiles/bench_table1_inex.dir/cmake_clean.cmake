@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_inex.dir/bench_table1_inex.cpp.o"
+  "CMakeFiles/bench_table1_inex.dir/bench_table1_inex.cpp.o.d"
+  "bench_table1_inex"
+  "bench_table1_inex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_inex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/article_search.dir/article_search.cpp.o"
+  "CMakeFiles/article_search.dir/article_search.cpp.o.d"
+  "article_search"
+  "article_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/article_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

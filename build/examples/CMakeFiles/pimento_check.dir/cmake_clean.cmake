@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimento_check.dir/pimento_check.cpp.o"
+  "CMakeFiles/pimento_check.dir/pimento_check.cpp.o.d"
+  "pimento_check"
+  "pimento_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimento_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimento_cli.dir/pimento_cli.cpp.o"
+  "CMakeFiles/pimento_cli.dir/pimento_cli.cpp.o.d"
+  "pimento_cli"
+  "pimento_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimento_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimento_gen.dir/pimento_gen.cpp.o"
+  "CMakeFiles/pimento_gen.dir/pimento_gen.cpp.o.d"
+  "pimento_gen"
+  "pimento_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimento_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/used_car_market.dir/used_car_market.cpp.o"
+  "CMakeFiles/used_car_market.dir/used_car_market.cpp.o.d"
+  "used_car_market"
+  "used_car_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/used_car_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

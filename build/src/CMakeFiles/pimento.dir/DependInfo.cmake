@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/answer.cc" "src/CMakeFiles/pimento.dir/algebra/answer.cc.o" "gcc" "src/CMakeFiles/pimento.dir/algebra/answer.cc.o.d"
+  "/root/repo/src/algebra/operators.cc" "src/CMakeFiles/pimento.dir/algebra/operators.cc.o" "gcc" "src/CMakeFiles/pimento.dir/algebra/operators.cc.o.d"
+  "/root/repo/src/algebra/plan.cc" "src/CMakeFiles/pimento.dir/algebra/plan.cc.o" "gcc" "src/CMakeFiles/pimento.dir/algebra/plan.cc.o.d"
+  "/root/repo/src/algebra/struct_join.cc" "src/CMakeFiles/pimento.dir/algebra/struct_join.cc.o" "gcc" "src/CMakeFiles/pimento.dir/algebra/struct_join.cc.o.d"
+  "/root/repo/src/algebra/topk_prune.cc" "src/CMakeFiles/pimento.dir/algebra/topk_prune.cc.o" "gcc" "src/CMakeFiles/pimento.dir/algebra/topk_prune.cc.o.d"
+  "/root/repo/src/algebra/winnow.cc" "src/CMakeFiles/pimento.dir/algebra/winnow.cc.o" "gcc" "src/CMakeFiles/pimento.dir/algebra/winnow.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pimento.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pimento.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/pimento.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/pimento.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/pimento.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/pimento.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/pimento.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/pimento.dir/core/explain.cc.o.d"
+  "/root/repo/src/data/car_gen.cc" "src/CMakeFiles/pimento.dir/data/car_gen.cc.o" "gcc" "src/CMakeFiles/pimento.dir/data/car_gen.cc.o.d"
+  "/root/repo/src/data/inex_gen.cc" "src/CMakeFiles/pimento.dir/data/inex_gen.cc.o" "gcc" "src/CMakeFiles/pimento.dir/data/inex_gen.cc.o.d"
+  "/root/repo/src/data/inex_topic.cc" "src/CMakeFiles/pimento.dir/data/inex_topic.cc.o" "gcc" "src/CMakeFiles/pimento.dir/data/inex_topic.cc.o.d"
+  "/root/repo/src/data/xmark_gen.cc" "src/CMakeFiles/pimento.dir/data/xmark_gen.cc.o" "gcc" "src/CMakeFiles/pimento.dir/data/xmark_gen.cc.o.d"
+  "/root/repo/src/index/collection.cc" "src/CMakeFiles/pimento.dir/index/collection.cc.o" "gcc" "src/CMakeFiles/pimento.dir/index/collection.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/pimento.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/pimento.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/persist.cc" "src/CMakeFiles/pimento.dir/index/persist.cc.o" "gcc" "src/CMakeFiles/pimento.dir/index/persist.cc.o.d"
+  "/root/repo/src/index/tag_index.cc" "src/CMakeFiles/pimento.dir/index/tag_index.cc.o" "gcc" "src/CMakeFiles/pimento.dir/index/tag_index.cc.o.d"
+  "/root/repo/src/index/value_index.cc" "src/CMakeFiles/pimento.dir/index/value_index.cc.o" "gcc" "src/CMakeFiles/pimento.dir/index/value_index.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/pimento.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/pimento.dir/plan/planner.cc.o.d"
+  "/root/repo/src/plan/reference_eval.cc" "src/CMakeFiles/pimento.dir/plan/reference_eval.cc.o" "gcc" "src/CMakeFiles/pimento.dir/plan/reference_eval.cc.o.d"
+  "/root/repo/src/profile/ambiguity.cc" "src/CMakeFiles/pimento.dir/profile/ambiguity.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/ambiguity.cc.o.d"
+  "/root/repo/src/profile/conflict_graph.cc" "src/CMakeFiles/pimento.dir/profile/conflict_graph.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/conflict_graph.cc.o.d"
+  "/root/repo/src/profile/constraints.cc" "src/CMakeFiles/pimento.dir/profile/constraints.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/constraints.cc.o.d"
+  "/root/repo/src/profile/flock.cc" "src/CMakeFiles/pimento.dir/profile/flock.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/flock.cc.o.d"
+  "/root/repo/src/profile/ordering_rule.cc" "src/CMakeFiles/pimento.dir/profile/ordering_rule.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/ordering_rule.cc.o.d"
+  "/root/repo/src/profile/profile.cc" "src/CMakeFiles/pimento.dir/profile/profile.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/profile.cc.o.d"
+  "/root/repo/src/profile/rule_parser.cc" "src/CMakeFiles/pimento.dir/profile/rule_parser.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/rule_parser.cc.o.d"
+  "/root/repo/src/profile/scoping_rule.cc" "src/CMakeFiles/pimento.dir/profile/scoping_rule.cc.o" "gcc" "src/CMakeFiles/pimento.dir/profile/scoping_rule.cc.o.d"
+  "/root/repo/src/score/scorer.cc" "src/CMakeFiles/pimento.dir/score/scorer.cc.o" "gcc" "src/CMakeFiles/pimento.dir/score/scorer.cc.o.d"
+  "/root/repo/src/text/stemmer.cc" "src/CMakeFiles/pimento.dir/text/stemmer.cc.o" "gcc" "src/CMakeFiles/pimento.dir/text/stemmer.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/pimento.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/pimento.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/thesaurus.cc" "src/CMakeFiles/pimento.dir/text/thesaurus.cc.o" "gcc" "src/CMakeFiles/pimento.dir/text/thesaurus.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/pimento.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/pimento.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/tpq/containment.cc" "src/CMakeFiles/pimento.dir/tpq/containment.cc.o" "gcc" "src/CMakeFiles/pimento.dir/tpq/containment.cc.o.d"
+  "/root/repo/src/tpq/expand.cc" "src/CMakeFiles/pimento.dir/tpq/expand.cc.o" "gcc" "src/CMakeFiles/pimento.dir/tpq/expand.cc.o.d"
+  "/root/repo/src/tpq/minimize.cc" "src/CMakeFiles/pimento.dir/tpq/minimize.cc.o" "gcc" "src/CMakeFiles/pimento.dir/tpq/minimize.cc.o.d"
+  "/root/repo/src/tpq/relax.cc" "src/CMakeFiles/pimento.dir/tpq/relax.cc.o" "gcc" "src/CMakeFiles/pimento.dir/tpq/relax.cc.o.d"
+  "/root/repo/src/tpq/tpq.cc" "src/CMakeFiles/pimento.dir/tpq/tpq.cc.o" "gcc" "src/CMakeFiles/pimento.dir/tpq/tpq.cc.o.d"
+  "/root/repo/src/tpq/tpq_parser.cc" "src/CMakeFiles/pimento.dir/tpq/tpq_parser.cc.o" "gcc" "src/CMakeFiles/pimento.dir/tpq/tpq_parser.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/pimento.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/pimento.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/merge.cc" "src/CMakeFiles/pimento.dir/xml/merge.cc.o" "gcc" "src/CMakeFiles/pimento.dir/xml/merge.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/pimento.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/pimento.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/pimento.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/pimento.dir/xml/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_structures_test.dir/nested_structures_test.cc.o"
+  "CMakeFiles/nested_structures_test.dir/nested_structures_test.cc.o.d"
+  "nested_structures_test"
+  "nested_structures_test.pdb"
+  "nested_structures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_rules_test.dir/profile_rules_test.cc.o"
+  "CMakeFiles/profile_rules_test.dir/profile_rules_test.cc.o.d"
+  "profile_rules_test"
+  "profile_rules_test.pdb"
+  "profile_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relax_test.dir/relax_test.cc.o"
+  "CMakeFiles/relax_test.dir/relax_test.cc.o.d"
+  "relax_test"
+  "relax_test.pdb"
+  "relax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/struct_join_test.dir/struct_join_test.cc.o"
+  "CMakeFiles/struct_join_test.dir/struct_join_test.cc.o.d"
+  "struct_join_test"
+  "struct_join_test.pdb"
+  "struct_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/struct_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

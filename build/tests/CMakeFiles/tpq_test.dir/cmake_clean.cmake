@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpq_test.dir/tpq_test.cc.o"
+  "CMakeFiles/tpq_test.dir/tpq_test.cc.o.d"
+  "tpq_test"
+  "tpq_test.pdb"
+  "tpq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
