@@ -1,0 +1,185 @@
+// Batch-search throughput on the XMark workload: drives the same request
+// mix through SearchEngine::BatchSearch at 1/2/4/8 workers, verifies the
+// ranked answers are identical at every worker count, and writes
+// BENCH_throughput.json (queries/sec, p50/p99 latency per worker count) so
+// the perf trajectory is tracked from PR 1 onward.
+//
+// Usage: bench_throughput [output.json] [target_doc_bytes]
+// Run from the repo root (or pass a path) so the JSON lands there.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/xmark_workload.h"
+#include "src/core/engine.h"
+#include "src/data/xmark_gen.h"
+
+namespace {
+
+using pimento::core::BatchOptions;
+using pimento::core::BatchRequest;
+using pimento::core::BatchResult;
+using pimento::core::SearchEngine;
+
+constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+constexpr int kRepeats = 5;
+constexpr int kRequestsPerRepeat = 64;
+constexpr int kTopK = 10;
+
+/// The request mix: the Fig. 5 query under the π1..π4 KOR profiles (with
+/// and without the VOR and DOI weights) — 8 distinct profile texts cycled
+/// over the batch, so the profile cache sees a realistic repeated-user
+/// population.
+std::vector<BatchRequest> MakeRequests() {
+  std::vector<std::string> profiles;
+  for (int kors = 1; kors <= 4; ++kors) {
+    profiles.push_back(pimento::bench::XmarkProfile(kors));
+    profiles.push_back(
+        pimento::bench::XmarkProfile(kors, /*with_vor=*/true,
+                                     /*weighted=*/true));
+  }
+  std::vector<BatchRequest> requests;
+  requests.reserve(kRequestsPerRepeat);
+  for (int i = 0; i < kRequestsPerRepeat; ++i) {
+    requests.push_back({pimento::bench::kXmarkQuery,
+                        profiles[i % profiles.size()], std::nullopt});
+  }
+  return requests;
+}
+
+/// Node ids + bit-exact scores of every ranked answer, for cross-worker
+/// identity checks.
+std::string Fingerprint(const BatchResult& batch) {
+  std::string out;
+  char buf[64];
+  for (const pimento::core::BatchItem& item : batch.items) {
+    out += item.status.ToString() + ";";
+    for (const pimento::core::RankedAnswer& a : item.result.answers) {
+      std::snprintf(buf, sizeof(buf), "%d:%a:%a,", a.node, a.s, a.k);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+  size_t doc_bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1u << 20;
+
+  pimento::data::XmarkOptions gen;
+  gen.target_bytes = doc_bytes;
+  SearchEngine engine(
+      pimento::index::Collection::Build(pimento::data::GenerateXmark(gen)));
+  std::vector<BatchRequest> requests = MakeRequests();
+
+  std::printf(
+      "throughput — XMark %zu bytes, %zu requests x %d repeats, k=%d\n",
+      doc_bytes, requests.size(), kRepeats, kTopK);
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "workers", "qps", "p50 ms",
+              "p99 ms", "wall ms", "speedup");
+
+  std::string baseline_fp;
+  double baseline_qps = 0.0;
+  bool identical = true;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  std::string rows;
+
+  for (int workers : kWorkerCounts) {
+    BatchOptions options;
+    options.num_workers = workers;
+    options.search.k = kTopK;
+
+    // One untimed warm-up fills the profile cache so every worker count
+    // measures the same steady-state path.
+    BatchResult warm = engine.BatchSearch(requests, options);
+    if (workers == kWorkerCounts[0]) {
+      cache_misses = warm.stats.profile_cache_misses;
+    }
+
+    double wall_ms = 0.0;
+    std::vector<double> latencies;
+    std::string fp;
+    for (int r = 0; r < kRepeats; ++r) {
+      BatchResult batch = engine.BatchSearch(requests, options);
+      wall_ms += batch.stats.wall_ms;
+      cache_hits += batch.stats.profile_cache_hits;
+      for (const pimento::core::BatchItem& item : batch.items) {
+        latencies.push_back(item.elapsed_ms);
+      }
+      if (r == 0) fp = Fingerprint(batch);
+    }
+    std::sort(latencies.begin(), latencies.end());
+
+    if (baseline_fp.empty()) {
+      baseline_fp = fp;
+    } else if (fp != baseline_fp) {
+      identical = false;
+      std::fprintf(stderr,
+                   "FATAL: ranked answers at %d workers differ from the "
+                   "1-worker baseline\n",
+                   workers);
+    }
+
+    double total_queries =
+        static_cast<double>(requests.size()) * static_cast<double>(kRepeats);
+    double qps = total_queries / (wall_ms / 1000.0);
+    double p50 = Percentile(latencies, 0.50);
+    double p99 = Percentile(latencies, 0.99);
+    if (workers == 1) baseline_qps = qps;
+    double speedup = baseline_qps > 0.0 ? qps / baseline_qps : 0.0;
+
+    std::printf("%8d %10.1f %10.3f %10.3f %10.1f %9.2fx\n", workers, qps, p50,
+                p99, wall_ms, speedup);
+
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"workers\": %d, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                  "\"p99_ms\": %.3f, \"wall_ms\": %.1f, "
+                  "\"speedup_vs_1\": %.2f}",
+                  workers, qps, p50, p99, wall_ms, speedup);
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"batch_search_throughput\",\n"
+               "  \"workload\": \"xmark_fig5\",\n"
+               "  \"doc_bytes\": %zu,\n"
+               "  \"requests_per_batch\": %zu,\n"
+               "  \"repeats\": %d,\n"
+               "  \"top_k\": %d,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"results\": [\n%s\n  ],\n"
+               "  \"answers_identical_across_worker_counts\": %s,\n"
+               "  \"profile_cache\": {\"hits\": %lld, \"misses\": %lld}\n"
+               "}\n",
+               doc_bytes, requests.size(), kRepeats, kTopK,
+               std::thread::hardware_concurrency(), rows.c_str(),
+               identical ? "true" : "false",
+               static_cast<long long>(cache_hits),
+               static_cast<long long>(cache_misses));
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return identical ? 0 : 1;
+}

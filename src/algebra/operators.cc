@@ -102,6 +102,7 @@ FtContainsOp::FtContainsOp(const ExecContext& ctx, NavPath nav,
     : ctx_(ctx),
       nav_(std::move(nav)),
       phrase_(std::move(phrase)),
+      idf_(ctx.scorer->Idf(phrase_)),
       required_(required),
       boost_(boost) {}
 
@@ -110,7 +111,7 @@ bool FtContainsOp::Next(Answer* out) {
   while (PullInput(&a)) {
     double best = 0.0;
     for (xml::NodeId node : ResolveNav(ctx_, a.node, nav_)) {
-      best = std::max(best, ctx_.scorer->Score(node, phrase_));
+      best = std::max(best, ctx_.scorer->ScoreWithIdf(node, phrase_, idf_));
     }
     if (best <= 0.0 && required_) {
       ++stats_.pruned;
@@ -129,9 +130,7 @@ std::string FtContainsOp::Name() const {
          phrase_.text + "\")";
 }
 
-double FtContainsOp::MaxSContribution() const {
-  return boost_ * ctx_.scorer->MaxScore(phrase_);
-}
+double FtContainsOp::MaxSContribution() const { return boost_ * idf_; }
 
 ValuePredOp::ValuePredOp(const ExecContext& ctx, NavPath nav,
                          tpq::ValuePredicate pred, bool required, double bonus)
@@ -245,23 +244,24 @@ bool VorOp::Next(Answer* out) {
 }
 
 KorOp::KorOp(const ExecContext& ctx, profile::Kor rule, index::Phrase phrase)
-    : ctx_(ctx), rule_(std::move(rule)), phrase_(std::move(phrase)) {}
+    : ctx_(ctx),
+      rule_(std::move(rule)),
+      phrase_(std::move(phrase)),
+      idf_(ctx.scorer->Idf(phrase_)) {}
 
 bool KorOp::Next(Answer* out) {
   Answer a;
   if (!PullInput(&a)) return false;
   const xml::Node& node = ctx_.collection->doc().node(a.node);
   if (rule_.tag.empty() || node.tag == rule_.tag) {
-    a.k += rule_.weight * ctx_.scorer->Score(a.node, phrase_);
+    a.k += rule_.weight * ctx_.scorer->ScoreWithIdf(a.node, phrase_, idf_);
   }
   *out = std::move(a);
   ++stats_.produced;
   return true;
 }
 
-double KorOp::MaxKContribution() const {
-  return rule_.weight * ctx_.scorer->MaxScore(phrase_);
-}
+double KorOp::MaxKContribution() const { return rule_.weight * idf_; }
 
 SortOp::SortOp(const RankContext* rank, Param param)
     : rank_(rank), param_(param) {}

@@ -138,6 +138,7 @@ class FtContainsOp : public Operator {
   ExecContext ctx_;
   NavPath nav_;
   index::Phrase phrase_;
+  double idf_;  ///< memoized at construction: idf depends only on the phrase
   bool required_;
   double boost_;
 };
@@ -210,6 +211,7 @@ class KorOp : public Operator {
   ExecContext ctx_;
   profile::Kor rule_;
   index::Phrase phrase_;
+  double idf_;  ///< memoized at construction: idf depends only on the phrase
 };
 
 /// Blocking parametric sort (§6.2 sort_param): by the full rank order or by

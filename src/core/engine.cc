@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/algebra/winnow.h"
+#include "src/exec/profile_cache.h"
 #include "src/profile/rule_parser.h"
 #include "src/tpq/expand.h"
 #include "src/tpq/relax.h"
@@ -15,7 +16,8 @@ namespace pimento::core {
 
 SearchEngine::SearchEngine(index::Collection collection)
     : collection_(std::make_unique<index::Collection>(std::move(collection))),
-      scorer_(collection_.get()) {}
+      scorer_(collection_.get()),
+      profile_cache_(std::make_shared<exec::ProfileCache>()) {}
 
 StatusOr<SearchEngine> SearchEngine::FromXml(
     std::string_view xml_text, const text::TokenizeOptions& options) {
@@ -45,10 +47,18 @@ StatusOr<SearchEngine> SearchEngine::FromXmlCorpus(
 StatusOr<SearchResult> SearchEngine::Search(
     const tpq::Tpq& query, const profile::UserProfile& profile,
     const SearchOptions& options) const {
-  SearchResult result;
+  // Static analysis 1: VOR ambiguity (§5.2); precompiled callers pass the
+  // cached report instead.
+  return SearchPrecompiled(query, profile,
+                           profile::DetectAmbiguity(profile.vors), options);
+}
 
-  // Static analysis 1: VOR ambiguity (§5.2).
-  result.ambiguity = profile::DetectAmbiguity(profile.vors);
+StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
+    const tpq::Tpq& query, const profile::UserProfile& profile,
+    const profile::AmbiguityReport& ambiguity,
+    const SearchOptions& options) const {
+  SearchResult result;
+  result.ambiguity = ambiguity;
   if (options.check_ambiguity && result.ambiguity.ambiguous &&
       !result.ambiguity.resolved_by_priorities) {
     return Status::Ambiguous(
@@ -106,9 +116,11 @@ StatusOr<SearchResult> SearchEngine::Search(std::string_view query_text,
                                             const SearchOptions& options) const {
   StatusOr<tpq::Tpq> query = tpq::ParseTpq(query_text);
   if (!query.ok()) return query.status();
-  StatusOr<profile::UserProfile> prof = profile::ParseProfile(profile_text);
-  if (!prof.ok()) return prof.status();
-  return Search(*query, *prof, options);
+  StatusOr<std::shared_ptr<const exec::CompiledProfile>> compiled =
+      profile_cache_->GetOrCompile(profile_text);
+  if (!compiled.ok()) return compiled.status();
+  return SearchPrecompiled(*query, (*compiled)->profile,
+                           (*compiled)->ambiguity, options);
 }
 
 StatusOr<SearchResult> SearchEngine::Search(std::string_view query_text,

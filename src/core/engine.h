@@ -2,6 +2,7 @@
 #define PIMENTO_CORE_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +18,10 @@
 #include "src/score/scorer.h"
 #include "src/text/thesaurus.h"
 #include "src/tpq/tpq.h"
+
+namespace pimento::exec {
+class ProfileCache;
+}  // namespace pimento::exec
 
 namespace pimento::core {
 
@@ -63,6 +68,47 @@ struct SearchResult {
   std::string encoded_query;  ///< the flock-encoded TPQ, printable form
 };
 
+/// One (query, profile) pair of a batch. Profiles are given as text so the
+/// executor can dedupe repeated users through the profile compilation
+/// cache; an empty profile text means "no profile" (pure S ranking).
+struct BatchRequest {
+  std::string query_text;
+  std::string profile_text;
+
+  /// Per-request override of BatchOptions::search.
+  std::optional<SearchOptions> options;
+};
+
+struct BatchOptions {
+  /// Worker threads executing the batch. Clamped to [1, #requests]. The
+  /// assignment of requests to workers is dynamic, but every request's
+  /// result is independent of it — answers are deterministic at any count.
+  int num_workers = 4;
+
+  /// Default search options for requests without their own.
+  SearchOptions search;
+};
+
+/// Outcome of one request of a batch: its own Status (a parse error or
+/// ambiguous profile fails this item, never the batch) and, when ok, the
+/// same SearchResult the sequential Search would have produced.
+struct BatchItem {
+  Status status;
+  SearchResult result;
+  double elapsed_ms = 0.0;  ///< wall time of this request inside its worker
+};
+
+struct BatchStats {
+  int64_t profile_cache_hits = 0;
+  int64_t profile_cache_misses = 0;
+  double wall_ms = 0.0;  ///< end-to-end batch wall time
+};
+
+struct BatchResult {
+  std::vector<BatchItem> items;  ///< 1:1 with the requests, same order
+  BatchStats stats;
+};
+
 /// The PIMENTO search engine: an indexed collection plus profile-aware
 /// query personalization (§4's three problems: flock semantics, ambiguity
 /// analysis, OR-aware top-k evaluation).
@@ -95,12 +141,36 @@ class SearchEngine {
                                 const profile::UserProfile& profile,
                                 const SearchOptions& options = {}) const;
 
-  /// Text-level convenience: parses the query (and profile) first.
+  /// Text-level convenience: parses the query (and profile) first. The
+  /// profile compilation is served from the engine's profile cache, so a
+  /// repeated profile text skips re-parsing and re-analysis.
   StatusOr<SearchResult> Search(std::string_view query_text,
                                 std::string_view profile_text,
                                 const SearchOptions& options = {}) const;
   StatusOr<SearchResult> Search(std::string_view query_text,
                                 const SearchOptions& options = {}) const;
+
+  /// Search with a pre-compiled profile: `ambiguity` is the cached
+  /// DetectAmbiguity(profile.vors) report, so the per-call analysis pass
+  /// is skipped. This is the batch executor's path; results are identical
+  /// to Search(query, profile, options).
+  StatusOr<SearchResult> SearchPrecompiled(
+      const tpq::Tpq& query, const profile::UserProfile& profile,
+      const profile::AmbiguityReport& ambiguity,
+      const SearchOptions& options = {}) const;
+
+  /// Executes many (query, profile) searches concurrently against the
+  /// shared immutable collection on a fixed-size worker pool
+  /// (src/exec/worker_pool.h). Per-request failures land in the matching
+  /// BatchItem::status; the batch itself always completes, and item i is
+  /// byte-identical to a sequential Search of requests[i] at any worker
+  /// count. Profile compilations are shared through the profile cache.
+  BatchResult BatchSearch(const std::vector<BatchRequest>& requests,
+                          const BatchOptions& options = {}) const;
+
+  /// The engine's profile compilation cache (text -> parsed profile +
+  /// ambiguity report, LRU). Exposed for stats and tests.
+  exec::ProfileCache& profile_cache() const { return *profile_cache_; }
 
   /// Progressive relaxation search (the FleXPath-style repertoire the
   /// paper cites as the foundation of SRs): when the personalized query
@@ -137,6 +207,9 @@ class SearchEngine {
   // survives moves of the engine.
   std::unique_ptr<index::Collection> collection_;
   score::Scorer scorer_;
+
+  // Thread-safe; shared_ptr so the type can stay forward-declared here.
+  std::shared_ptr<exec::ProfileCache> profile_cache_;
 };
 
 }  // namespace pimento::core

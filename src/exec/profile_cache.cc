@@ -1,0 +1,99 @@
+#include "src/exec/profile_cache.h"
+
+#include <utility>
+
+#include "src/profile/rule_parser.h"
+
+namespace pimento::exec {
+
+ProfileCache::ProfileCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t ProfileCache::ContentHash(std::string_view text) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
+StatusOr<std::shared_ptr<const CompiledProfile>> Compile(
+    std::string_view profile_text) {
+  StatusOr<profile::UserProfile> parsed =
+      profile::ParseProfile(profile_text);
+  if (!parsed.ok()) return parsed.status();
+  auto compiled = std::make_shared<CompiledProfile>();
+  compiled->profile = *std::move(parsed);
+  compiled->ambiguity = profile::DetectAmbiguity(compiled->profile.vors);
+  return std::shared_ptr<const CompiledProfile>(std::move(compiled));
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
+    std::string_view profile_text) {
+  const uint64_t key = ContentHash(profile_text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.text == profile_text) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return it->second.compiled;
+      }
+      // 64-bit collision: serve the correct compilation, keep the resident
+      // entry (do not thrash on a pathological pair).
+    }
+    ++misses_;
+  }
+
+  // Compile outside the lock: parsing is the expensive part, and two
+  // concurrent misses on the same text are benign (last insert wins with
+  // an identical value).
+  StatusOr<std::shared_ptr<const CompiledProfile>> compiled =
+      Compile(profile_text);
+  if (!compiled.ok()) return compiled.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.text != profile_text) return *compiled;  // collision
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.compiled;  // raced with another miss; theirs is fine
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.text = std::string(profile_text);
+  entry.compiled = *compiled;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return *compiled;
+}
+
+ProfileCache::CacheStats ProfileCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.size = entries_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+void ProfileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace pimento::exec

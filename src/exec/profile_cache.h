@@ -1,0 +1,78 @@
+#ifndef PIMENTO_EXEC_PROFILE_CACHE_H_
+#define PIMENTO_EXEC_PROFILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/profile/ambiguity.h"
+#include "src/profile/profile.h"
+
+namespace pimento::exec {
+
+/// A profile compiled once: the parsed rules plus the profile-level static
+/// analysis (§5.2 VOR ambiguity), which depends only on the profile text.
+/// The query-level analyses (SR conflicts, the flock) stay per-search.
+struct CompiledProfile {
+  profile::UserProfile profile;
+  profile::AmbiguityReport ambiguity;
+};
+
+/// Thread-safe LRU cache of profile compilations, keyed by a 64-bit
+/// content hash of the profile text. Repeated users — the common case for
+/// a personalized engine serving a stable population — skip re-parsing
+/// and re-analysis on every query.
+///
+/// Entries are immutable and handed out as shared_ptr<const>, so a cached
+/// compilation stays valid even if it is evicted while a search holds it.
+/// Hash collisions are detected by comparing the stored text; a colliding
+/// entry is recompiled and not cached (vanishingly rare, never wrong).
+class ProfileCache {
+ public:
+  explicit ProfileCache(size_t capacity = kDefaultCapacity);
+
+  /// Returns the cached compilation of `profile_text`, compiling and
+  /// inserting on miss. Parse failures are not cached and surface as the
+  /// parser's Status.
+  StatusOr<std::shared_ptr<const CompiledProfile>> GetOrCompile(
+      std::string_view profile_text);
+
+  struct CacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+  CacheStats GetStats() const;
+
+  void Clear();
+
+  /// FNV-1a 64-bit hash of the profile text (the cache key). Exposed for
+  /// tests and diagnostics.
+  static uint64_t ContentHash(std::string_view text);
+
+  static constexpr size_t kDefaultCapacity = 256;
+
+ private:
+  struct Entry {
+    std::string text;  ///< full text, for collision detection
+    std::shared_ptr<const CompiledProfile> compiled;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<uint64_t> lru_;  ///< most recently used at the front
+  std::unordered_map<uint64_t, Entry> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace pimento::exec
+
+#endif  // PIMENTO_EXEC_PROFILE_CACHE_H_

@@ -1,0 +1,80 @@
+#include "src/exec/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pimento::exec {
+
+WorkerPool::WorkerPool(int num_workers) {
+  int n = std::max(1, num_workers);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(int num_workers, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  int workers = std::max(1, std::min<int>(num_workers, static_cast<int>(n)));
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  WorkerPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&cursor, n, &fn] {
+      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace pimento::exec

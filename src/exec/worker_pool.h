@@ -1,0 +1,59 @@
+#ifndef PIMENTO_EXEC_WORKER_POOL_H_
+#define PIMENTO_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pimento::exec {
+
+/// A fixed-size pool of worker threads draining a shared task queue.
+///
+/// The pool is the substrate of the batch-search executor: tasks are
+/// closures over read-only engine state, so workers need no coordination
+/// beyond the queue itself. Submit() after shutdown is a no-op; the
+/// destructor drains the queue before joining.
+class WorkerPool {
+ public:
+  /// Spawns `num_workers` threads (clamped to at least 1).
+  explicit WorkerPool(int num_workers);
+
+  /// Waits for all pending tasks, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task for any worker to pick up.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  /// Runs fn(0), ..., fn(n-1) across `num_workers` threads and waits for
+  /// completion. Items are claimed dynamically (an atomic cursor inside),
+  /// so the assignment of items to workers is nondeterministic but every
+  /// item runs exactly once.
+  static void ParallelFor(int num_workers, size_t n,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: queue or stop
+  std::condition_variable done_cv_;   ///< signals Wait(): all idle
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  ///< tasks popped but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pimento::exec
+
+#endif  // PIMENTO_EXEC_WORKER_POOL_H_

@@ -56,20 +56,27 @@ const std::vector<int32_t>& InvertedIndex::Postings(TermId term) const {
   return postings_[term];
 }
 
-int InvertedIndex::CountPhrase(const Phrase& phrase, int32_t first,
-                               int32_t last) const {
-  if (!phrase.known()) return 0;
-  if (phrase.window > 0) return CountWindow(phrase, first, last);
-  const int len = static_cast<int>(phrase.terms.size());
-  // Drive from the rarest term to keep the scan short, then verify
-  // adjacency against the stream.
+int InvertedIndex::RarestAnchor(const Phrase& phrase) const {
   int anchor = 0;
-  for (int i = 1; i < len; ++i) {
+  for (int i = 1; i < static_cast<int>(phrase.terms.size()); ++i) {
     if (postings_[phrase.terms[i]].size() <
         postings_[phrase.terms[anchor]].size()) {
       anchor = i;
     }
   }
+  return anchor;
+}
+
+int InvertedIndex::CountPhrase(const Phrase& phrase, int32_t first,
+                               int32_t last) const {
+  if (!phrase.known()) return 0;
+  if (phrase.window > 0) return CountWindow(phrase, first, last);
+  const int len = static_cast<int>(phrase.terms.size());
+  // A span shorter than the phrase cannot hold an adjacent match.
+  if (last - first < len) return 0;
+  // Drive from the rarest term to keep the scan short, then verify
+  // adjacency against the stream.
+  const int anchor = RarestAnchor(phrase);
   const std::vector<int32_t>& plist = postings_[phrase.terms[anchor]];
   // The phrase start corresponding to anchor position p is p - anchor.
   auto lo = std::lower_bound(plist.begin(), plist.end(), first + anchor);
@@ -93,15 +100,19 @@ int InvertedIndex::CountWindow(const Phrase& phrase, int32_t first,
                                int32_t last) const {
   // Anchor on the rarest term; an anchor occurrence counts when every
   // other term appears within `window` tokens of it (unordered), inside
-  // the span.
+  // the span. Positions can only be shared by equal terms, so a span with
+  // fewer slots than distinct terms cannot hold a match.
   const int len = static_cast<int>(phrase.terms.size());
-  int anchor = 0;
-  for (int i = 1; i < len; ++i) {
-    if (postings_[phrase.terms[i]].size() <
-        postings_[phrase.terms[anchor]].size()) {
-      anchor = i;
+  int distinct = 0;
+  for (int i = 0; i < len; ++i) {
+    bool repeat = false;
+    for (int j = 0; j < i && !repeat; ++j) {
+      repeat = phrase.terms[j] == phrase.terms[i];
     }
+    if (!repeat) ++distinct;
   }
+  if (last - first < distinct) return 0;
+  const int anchor = RarestAnchor(phrase);
   auto near_within = [&](TermId term, int32_t pos) {
     const std::vector<int32_t>& plist = postings_[term];
     int32_t lo = std::max(first, pos - phrase.window + 1);

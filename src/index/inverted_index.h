@@ -85,9 +85,10 @@ class InvertedIndex {
  private:
   int CountWindow(const Phrase& phrase, int32_t first, int32_t last) const;
 
- public:
+  /// Index (into phrase.terms) of the term with the shortest postings
+  /// list — the anchor both counting paths drive their scan from.
+  int RarestAnchor(const Phrase& phrase) const;
 
- private:
   std::unordered_map<std::string, TermId> dictionary_;
   std::vector<std::vector<int32_t>> postings_;  ///< per-term positions
   std::vector<int32_t> stream_;                 ///< term id per position

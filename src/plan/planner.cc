@@ -184,19 +184,24 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
     if (kor.tag.empty() || kor.tag == dtag) applicable_kors.push_back(&kor);
   }
   if (options.kor_order != KorOrder::kAsGiven) {
-    std::stable_sort(applicable_kors.begin(), applicable_kors.end(),
-                     [&](const profile::Kor* a, const profile::Kor* b) {
-                       double sa = a->weight * scorer.MaxScore(
-                                                   collection.MakePhrase(
-                                                       a->keyword));
-                       double sb = b->weight * scorer.MaxScore(
-                                                   collection.MakePhrase(
-                                                       b->keyword));
-                       return options.kor_order ==
-                                      KorOrder::kHighestScoreFirst
-                                  ? sa > sb
-                                  : sa < sb;
+    // Decorate-sort: MaxScore walks the postings lists, so compute each
+    // KOR's bound once instead of once per comparison.
+    std::vector<std::pair<double, const profile::Kor*>> decorated;
+    decorated.reserve(applicable_kors.size());
+    for (const profile::Kor* kor : applicable_kors) {
+      decorated.emplace_back(
+          kor->weight * scorer.MaxScore(collection.MakePhrase(kor->keyword)),
+          kor);
+    }
+    std::stable_sort(decorated.begin(), decorated.end(),
+                     [&](const auto& a, const auto& b) {
+                       return options.kor_order == KorOrder::kHighestScoreFirst
+                                  ? a.first > b.first
+                                  : a.first < b.first;
                      });
+    for (size_t i = 0; i < decorated.size(); ++i) {
+      applicable_kors[i] = decorated[i].second;
+    }
   }
 
   // Early (intermediate) pruning for both OR-aware orders; the S order

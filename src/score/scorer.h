@@ -23,6 +23,13 @@ class Scorer {
   /// Score contribution of ftcontains(e, phrase); 0 when absent.
   double Score(xml::NodeId e, const index::Phrase& phrase) const;
 
+  /// Score with a caller-memoized idf — the hot-path form. Idf depends
+  /// only on the phrase (the collection is immutable once built), so plan
+  /// operators compute it once per phrase at construction instead of once
+  /// per scored node; results are bit-identical to Score().
+  double ScoreWithIdf(xml::NodeId e, const index::Phrase& phrase,
+                      double idf) const;
+
   /// Tight upper bound of Score over all elements.
   double MaxScore(const index::Phrase& phrase) const;
 

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/exec/profile_cache.h"
+#include "src/exec/worker_pool.h"
+
+namespace pimento::core {
+namespace {
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\") and "
+    "ftcontains(., \"low mileage\")] and ./price < 2000]";
+
+constexpr const char* kFig2Profile = R"(
+profile figure2
+rank K,V,S
+sr p1 priority 3: if //car/description[ftcontains(., "low mileage")] then delete ftcontains(car, "good condition")
+sr p2 priority 1: if //car/description[ftcontains(., "good condition")] then add ftcontains(description, "american")
+sr p3 priority 2: if //car/description[ftcontains(., "good condition")] then delete ftcontains(description, "low mileage")
+vor pi1: tag=car prefer color = "red"
+kor pi4: tag=car prefer ftcontains("best bid")
+kor pi5: tag=car prefer ftcontains("NYC")
+)";
+
+constexpr const char* kKorProfile = R"(
+profile kors
+rank K,V,S
+kor pi1: tag=car prefer ftcontains("best bid")
+kor pi2: tag=car prefer ftcontains("NYC")
+)";
+
+// The paper's canonical ambiguous VOR pair, without resolving priorities.
+constexpr const char* kAmbiguousProfile = R"(
+profile ambiguous
+vor pi1: tag=car prefer color = "red"
+vor pi2: tag=car prefer lower mileage
+)";
+
+SearchEngine CarEngine(int cars = 60) {
+  data::CarGenOptions gen;
+  gen.num_cars = cars;
+  return SearchEngine(index::Collection::Build(data::GenerateCarDealer(gen)));
+}
+
+// Byte-exact rendering of one outcome: doubles are printed with %a so two
+// results serialize equally only when every score is bit-identical.
+std::string Canonical(const Status& status, const SearchResult& result) {
+  std::string out = status.ToString() + "\n";
+  if (!status.ok()) return out;
+  out += result.encoded_query + "\n" + result.plan_description + "\n";
+  char buf[64];
+  for (const RankedAnswer& a : result.answers) {
+    std::snprintf(buf, sizeof(buf), "#%d n%d s=%a k=%a", a.rank, a.node, a.s,
+                  a.k);
+    out += buf;
+    for (double v : a.vor_keys) {
+      std::snprintf(buf, sizeof(buf), " v=%a", v);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string CanonicalSequential(const SearchEngine& engine,
+                                const BatchRequest& req,
+                                const SearchOptions& options) {
+  StatusOr<SearchResult> result =
+      engine.Search(req.query_text, req.profile_text,
+                    req.options.has_value() ? *req.options : options);
+  if (!result.ok()) return Canonical(result.status(), SearchResult{});
+  return Canonical(Status::OK(), *result);
+}
+
+std::vector<BatchRequest> MixedRequests() {
+  std::vector<BatchRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back({kCarQuery, kFig2Profile, std::nullopt});
+    requests.push_back({"//car[./price < 2000]", "", std::nullopt});
+    requests.push_back({"car[", "", std::nullopt});  // parse error
+    requests.push_back({"//car", kAmbiguousProfile, std::nullopt});
+    requests.push_back({"//car[./price < 3000]", kKorProfile, std::nullopt});
+    SearchOptions deep;
+    deep.k = 3;
+    deep.strategy = plan::Strategy::kNaive;
+    requests.push_back({kCarQuery, kKorProfile, deep});
+  }
+  return requests;
+}
+
+TEST(BatchExecTest, MatchesSequentialSearchAtEveryWorkerCount) {
+  SearchEngine engine = CarEngine();
+  std::vector<BatchRequest> requests = MixedRequests();
+  BatchOptions options;
+  options.search.k = 5;
+
+  std::vector<std::string> expected;
+  expected.reserve(requests.size());
+  for (const BatchRequest& req : requests) {
+    expected.push_back(CanonicalSequential(engine, req, options.search));
+  }
+
+  for (int workers : {1, 2, 8}) {
+    options.num_workers = workers;
+    BatchResult batch = engine.BatchSearch(requests, options);
+    ASSERT_EQ(batch.items.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(Canonical(batch.items[i].status, batch.items[i].result),
+                expected[i])
+          << "request " << i << " at " << workers << " workers";
+    }
+  }
+}
+
+TEST(BatchExecTest, BadRequestsFailAloneNotTheBatch) {
+  SearchEngine engine = CarEngine(30);
+  std::vector<BatchRequest> requests = {
+      {"//car[./price < 2000]", "", std::nullopt},
+      {"car[", "", std::nullopt},
+      {"//car", kAmbiguousProfile, std::nullopt},
+      {"//car", "nonsense line", std::nullopt},
+  };
+  BatchOptions options;
+  options.num_workers = 2;
+  BatchResult batch = engine.BatchSearch(requests, options);
+  ASSERT_EQ(batch.items.size(), 4u);
+  EXPECT_TRUE(batch.items[0].status.ok());
+  EXPECT_FALSE(batch.items[0].result.answers.empty());
+  EXPECT_EQ(batch.items[1].status.code(), StatusCode::kParseError);
+  EXPECT_EQ(batch.items[2].status.code(), StatusCode::kAmbiguous);
+  EXPECT_EQ(batch.items[3].status.code(), StatusCode::kParseError);
+}
+
+TEST(BatchExecTest, RepeatedProfileHitsCompilationCache) {
+  SearchEngine engine = CarEngine(30);
+  engine.profile_cache().Clear();
+
+  std::vector<BatchRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back({"//car[./price < 3000]", kKorProfile, std::nullopt});
+  }
+  BatchOptions options;
+  options.num_workers = 4;
+  BatchResult batch = engine.BatchSearch(requests, options);
+
+  exec::ProfileCache::CacheStats stats = engine.profile_cache().GetStats();
+  // One compilation; every other request is served from the cache. (A
+  // concurrent first wave can in principle miss more than once — the
+  // executor compiles outside the lock — so bound both sides.)
+  EXPECT_GE(stats.hits, 4);
+  EXPECT_LE(stats.misses, 4);
+  EXPECT_EQ(stats.hits + stats.misses, 8);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(batch.stats.profile_cache_hits, stats.hits);
+  EXPECT_EQ(batch.stats.profile_cache_misses, stats.misses);
+
+  // The sequential text path shares the same cache.
+  auto result = engine.Search("//car", kKorProfile, SearchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(engine.profile_cache().GetStats().hits, stats.hits + 1);
+}
+
+TEST(BatchExecTest, CacheEvictsLeastRecentlyUsed) {
+  exec::ProfileCache cache(/*capacity=*/2);
+  ASSERT_TRUE(cache.GetOrCompile("profile a").ok());
+  ASSERT_TRUE(cache.GetOrCompile("profile b").ok());
+  ASSERT_TRUE(cache.GetOrCompile("profile a").ok());  // refresh a
+  ASSERT_TRUE(cache.GetOrCompile("profile c").ok());  // evicts b
+  exec::ProfileCache::CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.size, 2u);
+  ASSERT_TRUE(cache.GetOrCompile("profile a").ok());  // still resident
+  EXPECT_EQ(cache.GetStats().hits, stats.hits + 1);
+  ASSERT_TRUE(cache.GetOrCompile("profile b").ok());  // recompiled
+  EXPECT_EQ(cache.GetStats().misses, stats.misses + 1);
+}
+
+TEST(BatchExecTest, ParseFailuresAreNotCached) {
+  exec::ProfileCache cache;
+  EXPECT_FALSE(cache.GetOrCompile("nonsense line").ok());
+  EXPECT_FALSE(cache.GetOrCompile("nonsense line").ok());
+  exec::ProfileCache::CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.size, 0u);
+}
+
+TEST(BatchExecTest, EmptyBatchAndSingleWorkerClamp) {
+  SearchEngine engine = CarEngine(10);
+  BatchOptions options;
+  options.num_workers = 0;  // clamped to 1
+  BatchResult empty = engine.BatchSearch({}, options);
+  EXPECT_TRUE(empty.items.empty());
+
+  std::vector<BatchRequest> one = {{"//car", "", std::nullopt}};
+  BatchResult batch = engine.BatchSearch(one, options);
+  ASSERT_EQ(batch.items.size(), 1u);
+  EXPECT_TRUE(batch.items[0].status.ok());
+}
+
+TEST(WorkerPoolTest, ParallelForRunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  for (auto& c : counts) c.store(0);
+  exec::WorkerPool::ParallelFor(8, counts.size(),
+                                [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, SubmitWaitDrainsAllTasks) {
+  exec::WorkerPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace pimento::core
