@@ -1,0 +1,194 @@
+// Ablation F — block-max postings scan: the legacy blind tag scan versus
+// the postings-anchored index scan (IndexScanOp), across postings block
+// sizes, on selective (rarest-phrase ctf < 1%) and non-selective XMark
+// queries. Verifies the two access paths emit bit-identical answers and
+// writes BENCH_ablation_blockmax.json.
+//
+// Usage: bench_ablation_blockmax [output.json] [--smoke]
+//   --smoke: tiny document + 2 runs, for the ctest wiring check.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/algebra/plan.h"
+#include "src/data/xmark_gen.h"
+#include "src/index/collection.h"
+#include "src/plan/planner.h"
+#include "src/profile/rule_parser.h"
+#include "src/score/scorer.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace {
+
+using pimento::bench::MedianMs;
+
+struct Workload {
+  const char* name;
+  const char* query;
+  bool selective;
+};
+
+// Selectivity on the generated XMark corpus: "Phoenix" is 1 of 8 cities
+// (~0.9% of tokens), the name pair intersects two 1-in-9 name terms;
+// "male" covers half the persons (~4%), "Yes" half the business flags.
+constexpr Workload kWorkloads[] = {
+    {"phoenix", "//person[ftcontains(., \"Phoenix\")]", true},
+    {"name_pair",
+     "//person[ftcontains(., \"Tempesti\") and ftcontains(., \"Jaak\")]",
+     true},
+    {"male", "//person[ftcontains(., \"male\")]", false},
+    {"business_yes", "//person[.//business[ftcontains(., \"Yes\")]]", false},
+};
+
+constexpr int kBlockSizes[] = {64, 128, 256};
+
+// Pure S ranking with no KORs: that is the regime where the planner wires
+// the live k-th-answer floor into the index scan (with K or V ahead of S a
+// low-S answer can still win, so no floor is available there).
+const char* kProfile =
+    "profile ablate\n"
+    "rank S\n";
+
+struct Row {
+  double ms = 0.0;
+  long long scanned = 0;
+  long long blocks_skipped = 0;
+  long long blocks_visited = 0;
+  std::vector<pimento::algebra::Answer> answers;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_ablation_blockmax.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const size_t doc_bytes = smoke ? (64u << 10) : (8u << 20);
+  const int runs = smoke ? 2 : 7;
+
+  pimento::data::XmarkOptions gen;
+  gen.target_bytes = doc_bytes;
+  pimento::index::Collection collection =
+      pimento::index::Collection::Build(pimento::data::GenerateXmark(gen));
+  pimento::score::Scorer scorer(&collection);
+  auto profile = pimento::profile::ParseProfile(kProfile);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "Ablation F — block-max index scan vs tag scan, XMark %s (ms, median "
+      "of %d)\n\n",
+      pimento::bench::HumanBytes(doc_bytes).c_str(), runs);
+  std::printf("%-14s %6s %6s %10s %10s %10s %9s %10s %10s\n", "query", "sel",
+              "block", "tag ms", "auto ms", "iscan ms", "speedup", "skipped",
+              "visited");
+
+  bool identical = true;
+  std::string rows;
+  for (int block_size : kBlockSizes) {
+    collection.RefinalizeBlocks(block_size);
+    for (const Workload& w : kWorkloads) {
+      auto query = pimento::tpq::ParseTpq(w.query);
+      if (!query.ok()) {
+        std::fprintf(stderr, "%s: %s\n", w.name,
+                     query.status().ToString().c_str());
+        return 1;
+      }
+      // [0] tag scan baseline, [1] kAuto (cost-gated default),
+      // [2] kPostingsScan (anchored path forced).
+      const pimento::plan::ScanMode kModes[] = {
+          pimento::plan::ScanMode::kTagScan, pimento::plan::ScanMode::kAuto,
+          pimento::plan::ScanMode::kPostingsScan};
+      Row measured[3];
+      for (int mode = 0; mode < 3; ++mode) {
+        pimento::plan::PlannerOptions popts;
+        popts.k = 10;
+        popts.strategy = pimento::plan::Strategy::kPush;
+        popts.rank_order = profile->rank_order;
+        popts.scan_mode = kModes[mode];
+        auto plan =
+            pimento::plan::BuildPlan(collection, scorer, *query,
+                                     profile->vors, profile->kors, popts);
+        if (!plan.ok()) {
+          std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+          return 1;
+        }
+        Row& r = measured[mode];
+        r.ms = MedianMs(runs, [&]() {
+          plan->Reset();
+          r.answers = plan->Execute();
+        });
+        pimento::algebra::PlanStats stats = plan->CollectStats();
+        r.scanned = stats.scanned;
+        r.blocks_skipped = stats.blocks_skipped;
+        r.blocks_visited = stats.blocks_visited;
+      }
+
+      for (int mode = 1; mode < 3; ++mode) {
+        bool same =
+            measured[0].answers.size() == measured[mode].answers.size();
+        for (size_t i = 0; same && i < measured[0].answers.size(); ++i) {
+          const auto& a = measured[0].answers[i];
+          const auto& b = measured[mode].answers[i];
+          same = a.node == b.node && a.s == b.s && a.k == b.k;
+        }
+        if (!same) {
+          identical = false;
+          std::fprintf(stderr,
+                       "FATAL: %s (block %d, mode %d): answers differ from "
+                       "the tag scan\n",
+                       w.name, block_size, mode);
+        }
+      }
+
+      double speedup =
+          measured[2].ms > 0.0 ? measured[0].ms / measured[2].ms : 0.0;
+      std::printf("%-14s %6s %6d %10.2f %10.2f %10.2f %8.2fx %10lld %10lld\n",
+                  w.name, w.selective ? "yes" : "no", block_size,
+                  measured[0].ms, measured[1].ms, measured[2].ms, speedup,
+                  measured[2].blocks_skipped, measured[2].blocks_visited);
+
+      char row[384];
+      std::snprintf(
+          row, sizeof(row),
+          "    {\"query\": \"%s\", \"selective\": %s, \"block_size\": %d, "
+          "\"tagscan_ms\": %.3f, \"auto_ms\": %.3f, \"iscan_ms\": %.3f, "
+          "\"iscan_speedup\": %.2f, \"iscan_scanned\": %lld, "
+          "\"blocks_skipped\": %lld, \"blocks_visited\": %lld}",
+          w.name, w.selective ? "true" : "false", block_size, measured[0].ms,
+          measured[1].ms, measured[2].ms, speedup, measured[2].scanned,
+          measured[2].blocks_skipped, measured[2].blocks_visited);
+      if (!rows.empty()) rows += ",\n";
+      rows += row;
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"ablation_blockmax\",\n"
+               "  \"doc_bytes\": %zu,\n"
+               "  \"runs\": %d,\n"
+               "  \"results\": [\n%s\n  ],\n"
+               "  \"answers_identical\": %s\n"
+               "}\n",
+               doc_bytes, runs, rows.c_str(), identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+  return identical ? 0 : 1;
+}

@@ -2,7 +2,40 @@
 
 #include <algorithm>
 
+#include "src/exec/phrase_count_cache.h"
+
 namespace pimento::algebra {
+
+namespace {
+
+uint32_t RegisterPhraseId(const ExecContext& ctx,
+                          const index::Phrase& phrase) {
+  return ctx.count_cache != nullptr
+             ? ctx.count_cache->RegisterPhrase(phrase.text, phrase.window)
+             : 0;
+}
+
+/// Occurrence count of the cursor's phrase inside `node`'s span, memoized
+/// through the context's count cache when one is attached. The cursor path
+/// counts exactly like InvertedIndex::CountPhrase, so cached and uncached
+/// plans score bit-identically.
+int CountSpanCached(const ExecContext& ctx, index::PhraseCursor* cursor,
+                    uint32_t cache_id, xml::NodeId node) {
+  const xml::Node& n = ctx.collection->doc().node(node);
+  if (ctx.count_cache != nullptr) {
+    int count = 0;
+    if (ctx.count_cache->Lookup(cache_id, n.first_token, n.last_token,
+                                &count)) {
+      return count;
+    }
+    count = cursor->CountInSpan(n.first_token, n.last_token);
+    ctx.count_cache->Insert(cache_id, n.first_token, n.last_token, count);
+    return count;
+  }
+  return cursor->CountInSpan(n.first_token, n.last_token);
+}
+
+}  // namespace
 
 std::vector<xml::NodeId> ResolveNav(const ExecContext& ctx, xml::NodeId start,
                                     const NavPath& path) {
@@ -90,6 +123,141 @@ void ScanOp::Reset() {
   pos_ = 0;
 }
 
+IndexScanOp::IndexScanOp(const ExecContext& ctx, std::string tag,
+                         size_t vor_count,
+                         std::vector<RequiredPhrase> required)
+    : ctx_(ctx),
+      tag_(std::move(tag)),
+      vor_count_(vor_count),
+      required_(std::move(required)) {
+  const index::InvertedIndex& idx = ctx_.collection->keywords();
+  int64_t best = -1;
+  for (size_t i = 0; i < required_.size(); ++i) {
+    if (!required_[i].phrase.known()) {
+      // A required phrase with an unknown term filters out every answer
+      // downstream; the scan can short-circuit to empty.
+      all_known_ = false;
+      return;
+    }
+    int64_t bound = idx.MaxPhraseCount(required_[i].phrase);
+    if (best < 0 || bound < best) {
+      best = bound;
+      anchor_idx_ = i;
+    }
+  }
+  index::PhraseCursor anchor_cursor(&idx, &required_[anchor_idx_].phrase);
+  anchor_term_ = anchor_cursor.anchor_term();
+  idf_ = ctx_.scorer->Idf(required_[anchor_idx_].phrase);
+  boost_ = required_[anchor_idx_].boost;
+  for (size_t i = 0; i < required_.size(); ++i) {
+    if (i == anchor_idx_) continue;
+    other_cursors_.emplace_back(&idx, &required_[i].phrase);
+  }
+}
+
+void IndexScanOp::set_downstream_s_bound(double total) {
+  // The anchor predicate's own MaxSContribution (boost * idf) is part of
+  // `total`; the skipping test swaps it for the per-block bound.
+  other_s_bound_ = total - boost_ * idf_;
+}
+
+bool IndexScanOp::OthersPresent(xml::NodeId node) {
+  if (other_cursors_.empty()) return true;
+  const xml::Node& n = ctx_.collection->doc().node(node);
+  for (index::PhraseCursor& cursor : other_cursors_) {
+    int32_t p = cursor.SeekGE(n.first_token);
+    if (p == index::kNoPosition || p >= n.last_token) return false;
+  }
+  return true;
+}
+
+bool IndexScanOp::FillBuffer() {
+  buffer_.clear();
+  buf_pos_ = 0;
+  if (!all_known_) {
+    exhausted_ = true;
+    return false;
+  }
+  const index::InvertedIndex& idx = ctx_.collection->keywords();
+  const std::vector<int32_t>& plist = idx.Postings(anchor_term_);
+  if (blockmax_ == nullptr) {
+    blockmax_ = ctx_.collection->BlockMaxCounts(anchor_term_, tag_);
+  }
+  const size_t bs = static_cast<size_t>(idx.block_size());
+  const xml::Document& doc = ctx_.collection->doc();
+  while (next_block_ < blockmax_->size()) {
+    const size_t b = next_block_++;
+    const int32_t bm = (*blockmax_)[b];
+    if (bm == 0) {
+      // No tag element owns a posting in this block.
+      ++blocks_skipped_;
+      continue;
+    }
+    if (floor_ != nullptr) {
+      // Score-bounded skip (S rank order): even the block's best candidate,
+      // granted every other downstream bound in full, cannot reach the
+      // current k-th answer's S. Monotone: the floor only rises, so a block
+      // skipped now would also be pruned later. Strict <, matching the
+      // prune's tie-keeping rule.
+      const double best_s =
+          boost_ * score::Scorer::MaxScoreForCount(bm, idf_) + other_s_bound_;
+      if (best_s < floor_->CurrentFloorS()) {
+        ++blocks_skipped_;
+        continue;
+      }
+    }
+    ++blocks_visited_;
+    const size_t end = std::min(plist.size(), (b + 1) * bs);
+    for (size_t i = b * bs; i < end; ++i) {
+      xml::NodeId node = ctx_.collection->TokenOwner(plist[i]);
+      for (; node != xml::kInvalidNode; node = doc.node(node).parent) {
+        if (doc.node(node).tag != tag_) continue;
+        if (!considered_.insert(node).second) continue;
+        if (OthersPresent(node)) buffer_.push_back(node);
+      }
+    }
+    if (!buffer_.empty()) {
+      // Per-block doc-order emission; the set across blocks may interleave
+      // (late-found ancestors), which the terminal total-order sort absorbs.
+      std::sort(buffer_.begin(), buffer_.end());
+      return true;
+    }
+  }
+  exhausted_ = true;
+  return false;
+}
+
+bool IndexScanOp::Next(Answer* out) {
+  while (true) {
+    if (buf_pos_ < buffer_.size()) {
+      *out = Answer{};
+      out->node = buffer_[buf_pos_++];
+      out->vor.resize(vor_count_);
+      ++stats_.produced;
+      return true;
+    }
+    if (exhausted_ || !FillBuffer()) return false;
+  }
+}
+
+void IndexScanOp::Reset() {
+  Operator::Reset();
+  next_block_ = 0;
+  buffer_.clear();
+  buf_pos_ = 0;
+  considered_.clear();
+  exhausted_ = false;
+  blocks_skipped_ = 0;
+  blocks_visited_ = 0;
+  for (index::PhraseCursor& cursor : other_cursors_) cursor.Reset();
+}
+
+std::string IndexScanOp::Name() const {
+  std::string anchor_text =
+      all_known_ ? required_[anchor_idx_].phrase.text : "<unknown>";
+  return "iscan(" + tag_ + " anchor=\"" + anchor_text + "\")";
+}
+
 bool MaterializedOp::Next(Answer* out) {
   if (pos_ >= answers_.size()) return false;
   *out = answers_[pos_++];
@@ -104,14 +272,19 @@ FtContainsOp::FtContainsOp(const ExecContext& ctx, NavPath nav,
       phrase_(std::move(phrase)),
       idf_(ctx.scorer->Idf(phrase_)),
       required_(required),
-      boost_(boost) {}
+      boost_(boost),
+      cursor_(&ctx.collection->keywords(), &phrase_),
+      cache_id_(RegisterPhraseId(ctx, phrase_)) {}
 
 bool FtContainsOp::Next(Answer* out) {
   Answer a;
   while (PullInput(&a)) {
     double best = 0.0;
     for (xml::NodeId node : ResolveNav(ctx_, a.node, nav_)) {
-      best = std::max(best, ctx_.scorer->ScoreWithIdf(node, phrase_, idf_));
+      best = std::max(best, score::Scorer::ScoreFromCount(
+                                CountSpanCached(ctx_, &cursor_, cache_id_,
+                                                node),
+                                idf_));
     }
     if (best <= 0.0 && required_) {
       ++stats_.pruned;
@@ -247,14 +420,18 @@ KorOp::KorOp(const ExecContext& ctx, profile::Kor rule, index::Phrase phrase)
     : ctx_(ctx),
       rule_(std::move(rule)),
       phrase_(std::move(phrase)),
-      idf_(ctx.scorer->Idf(phrase_)) {}
+      idf_(ctx.scorer->Idf(phrase_)),
+      cursor_(&ctx.collection->keywords(), &phrase_),
+      cache_id_(RegisterPhraseId(ctx, phrase_)) {}
 
 bool KorOp::Next(Answer* out) {
   Answer a;
   if (!PullInput(&a)) return false;
   const xml::Node& node = ctx_.collection->doc().node(a.node);
   if (rule_.tag.empty() || node.tag == rule_.tag) {
-    a.k += rule_.weight * ctx_.scorer->ScoreWithIdf(a.node, phrase_, idf_);
+    a.k += rule_.weight *
+           score::Scorer::ScoreFromCount(
+               CountSpanCached(ctx_, &cursor_, cache_id_, a.node), idf_);
   }
   *out = std::move(a);
   ++stats_.produced;

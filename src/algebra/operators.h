@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/algebra/answer.h"
@@ -10,12 +11,21 @@
 #include "src/score/scorer.h"
 #include "src/tpq/tpq.h"
 
+namespace pimento::exec {
+class PhraseCountCache;
+}  // namespace pimento::exec
+
 namespace pimento::algebra {
 
 /// Shared read-only state for all operators of one plan.
 struct ExecContext {
   const index::Collection* collection = nullptr;
   const score::Scorer* scorer = nullptr;
+
+  /// Optional engine-owned memo of (phrase, span) occurrence counts; when
+  /// set, ftcontains/kor operators serve repeated counts from it (shared
+  /// across the flock's branches and across batch requests).
+  exec::PhraseCountCache* count_cache = nullptr;
 };
 
 /// One navigation step from the distinguished-node binding to the pattern
@@ -100,6 +110,82 @@ class ScanOp : public Operator {
   size_t pos_ = 0;
 };
 
+/// Read-only view of a downstream topkPrune's current S threshold, letting
+/// an index-driven leaf skip postings blocks the prune would discard anyway
+/// (§6.3's bounds, enforced before answers exist). Returns -infinity while
+/// no sound floor is available.
+class ScoreFloor {
+ public:
+  virtual ~ScoreFloor() = default;
+  virtual double CurrentFloorS() const = 0;
+};
+
+/// Postings-anchored candidate generator: the planner's replacement for
+/// ScanOp when the plan has at least one required all-downward ftcontains.
+/// Walks the rarest required phrase's anchor-term postings block by block,
+/// maps each position to the enclosing `tag` elements via the collection's
+/// token-owner map, and keeps only candidates whose span also contains the
+/// anchor term of every other required phrase (a galloping cursor
+/// intersection). Two kinds of blocks are skipped outright:
+///  - block-max == 0: no `tag` element owns a posting there;
+///  - score-bounded: with a ScoreFloor wired (S rank order only), a block
+///    whose best achievable total S (block-max anchor score + the other
+///    downstream S bounds) is below the current k-th answer's S.
+/// Every element the legacy tag scan would ultimately deliver past the
+/// required ftcontains filters is emitted (candidates are a superset), so
+/// the final top-k is byte-identical; the terminal rank sort's total order
+/// absorbs the out-of-doc-order emission of late-discovered ancestors.
+class IndexScanOp : public Operator {
+ public:
+  struct RequiredPhrase {
+    index::Phrase phrase;
+    double boost = 1.0;
+  };
+
+  /// `required` must be non-empty; entry boosts mirror the downstream
+  /// FtContainsOp boosts so the anchor's score bound matches exactly.
+  IndexScanOp(const ExecContext& ctx, std::string tag, size_t vor_count,
+              std::vector<RequiredPhrase> required);
+
+  bool Next(Answer* out) override;
+  void Reset() override;
+  std::string Name() const override;
+
+  /// Wires the threshold source (the first downstream topkPrune) and the
+  /// total MaxSContribution of all downstream operators; the anchor
+  /// phrase's own full bound is replaced per block by its block-max bound.
+  void set_score_floor(const ScoreFloor* floor) { floor_ = floor; }
+  void set_downstream_s_bound(double total);
+
+  int64_t blocks_skipped() const { return blocks_skipped_; }
+  int64_t blocks_visited() const { return blocks_visited_; }
+
+ private:
+  bool FillBuffer();
+  bool OthersPresent(xml::NodeId node);
+
+  ExecContext ctx_;
+  std::string tag_;
+  size_t vor_count_;
+  std::vector<RequiredPhrase> required_;
+  bool all_known_ = true;
+  size_t anchor_idx_ = 0;             ///< index into required_
+  index::TermId anchor_term_ = index::kUnknownTerm;
+  double idf_ = 0.0;                  ///< anchor phrase idf
+  double boost_ = 1.0;                ///< anchor predicate boost
+  double other_s_bound_ = 0.0;        ///< downstream S bound minus anchor's
+  const ScoreFloor* floor_ = nullptr;
+  std::vector<index::PhraseCursor> other_cursors_;
+  std::shared_ptr<const std::vector<int32_t>> blockmax_;
+  size_t next_block_ = 0;
+  std::vector<xml::NodeId> buffer_;   ///< current block's candidates, sorted
+  size_t buf_pos_ = 0;
+  std::unordered_set<xml::NodeId> considered_;  ///< dedupe across blocks
+  bool exhausted_ = false;
+  int64_t blocks_skipped_ = 0;
+  int64_t blocks_visited_ = 0;
+};
+
 /// Source over a pre-materialized answer list (tests, and the structural-
 /// join prefilter access path).
 class MaterializedOp : public Operator {
@@ -141,6 +227,8 @@ class FtContainsOp : public Operator {
   double idf_;  ///< memoized at construction: idf depends only on the phrase
   bool required_;
   double boost_;
+  index::PhraseCursor cursor_;  ///< skip-pointer counting over phrase_
+  uint32_t cache_id_ = 0;       ///< count-cache phrase id (when cache set)
 };
 
 /// Value-constraint predicate (./price < 2000). Required form filters; the
@@ -212,6 +300,8 @@ class KorOp : public Operator {
   profile::Kor rule_;
   index::Phrase phrase_;
   double idf_;  ///< memoized at construction: idf depends only on the phrase
+  index::PhraseCursor cursor_;  ///< skip-pointer counting over phrase_
+  uint32_t cache_id_ = 0;       ///< count-cache phrase id (when cache set)
 };
 
 /// Blocking parametric sort (§6.2 sort_param): by the full rank order or by

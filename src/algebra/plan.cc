@@ -10,7 +10,9 @@ std::string PlanStats::ToString() const {
          " pruned_by_topk=" + std::to_string(pruned_by_topk) +
          " kor_consumed=" + std::to_string(kor_consumed) +
          " sorted=" + std::to_string(sorted) +
-         " emitted=" + std::to_string(emitted);
+         " emitted=" + std::to_string(emitted) +
+         " blocks_skipped=" + std::to_string(blocks_skipped) +
+         " blocks_visited=" + std::to_string(blocks_visited);
 }
 
 Operator* Plan::Add(std::unique_ptr<Operator> op) {
@@ -36,6 +38,11 @@ PlanStats Plan::CollectStats() const {
   for (const auto& op : ops_) {
     if (dynamic_cast<const ScanOp*>(op.get()) != nullptr) {
       stats.scanned += op->stats().produced;
+    } else if (const auto* iscan =
+                   dynamic_cast<const IndexScanOp*>(op.get())) {
+      stats.scanned += op->stats().produced;
+      stats.blocks_skipped += iscan->blocks_skipped();
+      stats.blocks_visited += iscan->blocks_visited();
     } else if (dynamic_cast<const TopkPruneOp*>(op.get()) != nullptr) {
       stats.pruned_by_topk += op->stats().pruned;
     } else if (dynamic_cast<const KorOp*>(op.get()) != nullptr) {

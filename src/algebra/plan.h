@@ -19,6 +19,9 @@ struct PlanStats {
                              ///< downstream work that early pruning saves
   int64_t sorted = 0;        ///< answers buffered by sort operators
   int64_t emitted = 0;       ///< final result size
+  int64_t blocks_skipped = 0;  ///< postings blocks the index-driven scan
+                               ///< skipped (structurally or by score bound)
+  int64_t blocks_visited = 0;  ///< postings blocks it actually walked
 
   std::string ToString() const;
 };

@@ -1,11 +1,22 @@
 #include "src/algebra/topk_prune.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace pimento::algebra {
 
 TopkPruneOp::TopkPruneOp(const RankContext* rank, TopkPruneOptions options)
     : rank_(rank), options_(options) {}
+
+double TopkPruneOp::CurrentFloorS() const {
+  if (options_.final_cut || options_.alg != PruneAlg::kAlg1 ||
+      static_cast<int>(topk_list_.size()) < options_.k) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  // Snapshot of the k-th best S seen so far; downstream operators can only
+  // raise an answer's S, so at least k answers will finish at or above it.
+  return topk_list_.back().s;
+}
 
 bool TopkPruneOp::ListBefore(const Answer& x, const Answer& y) const {
   // The list order matches the pruning algorithm's ranking components.

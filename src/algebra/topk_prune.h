@@ -61,13 +61,19 @@ struct TopkPruneOptions {
 /// Algorithm 3 line 9 ("replace kth with a"): we insert `a` in sorted
 /// position and truncate to k, which keeps the true top-k of the answers
 /// seen so far and therefore prunes at least as much, still soundly.
-class TopkPruneOp : public Operator {
+class TopkPruneOp : public Operator, public ScoreFloor {
  public:
   TopkPruneOp(const RankContext* rank, TopkPruneOptions options);
 
   bool Next(Answer* out) override;
   void Reset() override;
   std::string Name() const override;
+
+  /// The current k-th S snapshot, exposed to an upstream postings-anchored
+  /// scan for block skipping. Only sound for the plain Algorithm 1 (S-only)
+  /// intermediate prune — with K or V in the ranking, a low-S answer can
+  /// still win — so every other configuration reports -infinity.
+  double CurrentFloorS() const override;
 
   /// Number of answers this operator refused to pass downstream.
   int64_t pruned() const { return stats_.pruned; }

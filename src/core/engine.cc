@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/algebra/winnow.h"
+#include "src/exec/phrase_count_cache.h"
 #include "src/exec/profile_cache.h"
 #include "src/profile/rule_parser.h"
 #include "src/tpq/expand.h"
@@ -17,7 +18,8 @@ namespace pimento::core {
 SearchEngine::SearchEngine(index::Collection collection)
     : collection_(std::make_unique<index::Collection>(std::move(collection))),
       scorer_(collection_.get()),
-      profile_cache_(std::make_shared<exec::ProfileCache>()) {}
+      profile_cache_(std::make_shared<exec::ProfileCache>()),
+      phrase_count_cache_(std::make_shared<exec::PhraseCountCache>()) {}
 
 StatusOr<SearchEngine> SearchEngine::FromXml(
     std::string_view xml_text, const text::TokenizeOptions& options) {
@@ -87,6 +89,8 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
   popts.kor_order = options.kor_order;
   popts.optional_bonus = options.optional_bonus;
   popts.use_structural_prefilter = options.use_structural_prefilter;
+  popts.scan_mode = options.scan_mode;
+  popts.count_cache = phrase_count_cache_.get();
   StatusOr<algebra::Plan> built =
       plan::BuildPlan(*collection_, scorer_, result.flock.encoded,
                       profile.vors, profile.kors, popts);

@@ -20,6 +20,7 @@
 #include "src/tpq/tpq.h"
 
 namespace pimento::exec {
+class PhraseCountCache;
 class ProfileCache;
 }  // namespace pimento::exec
 
@@ -44,6 +45,13 @@ struct SearchOptions {
   /// Use the sort-merge structural-join access path instead of the tag
   /// scan + navigation filters when the pattern allows it.
   bool use_structural_prefilter = false;
+
+  /// Leaf access path: kAuto picks the postings-anchored scan when a
+  /// required ftcontains can drive it and its rarest phrase is selective
+  /// enough to win; kTagScan forces the legacy blind tag scan (the
+  /// ablation baseline); kPostingsScan forces the anchored scan whenever
+  /// anchorable. Answers are byte-identical in every mode.
+  plan::ScanMode scan_mode = plan::ScanMode::kAuto;
 };
 
 /// One ranked answer of a personalized search.
@@ -172,6 +180,13 @@ class SearchEngine {
   /// ambiguity report, LRU). Exposed for stats and tests.
   exec::ProfileCache& profile_cache() const { return *profile_cache_; }
 
+  /// The engine's (phrase, span) occurrence-count memo, shared by every
+  /// plan's ftcontains/kor operators (and across batch workers). Exposed
+  /// for stats and tests.
+  exec::PhraseCountCache& phrase_count_cache() const {
+    return *phrase_count_cache_;
+  }
+
   /// Progressive relaxation search (the FleXPath-style repertoire the
   /// paper cites as the foundation of SRs): when the personalized query
   /// yields fewer than k answers, single-step relaxations (pc→ad edges,
@@ -210,6 +225,7 @@ class SearchEngine {
 
   // Thread-safe; shared_ptr so the type can stay forward-declared here.
   std::shared_ptr<exec::ProfileCache> profile_cache_;
+  std::shared_ptr<exec::PhraseCountCache> phrase_count_cache_;
 };
 
 }  // namespace pimento::core

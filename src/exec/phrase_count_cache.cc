@@ -1,0 +1,59 @@
+#include "src/exec/phrase_count_cache.h"
+
+namespace pimento::exec {
+
+uint32_t PhraseCountCache::RegisterPhrase(std::string_view text, int window) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto key = std::make_pair(std::string(text), window);
+  auto it = registry_.find(key);
+  if (it != registry_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(registry_.size());
+  registry_.emplace(std::move(key), id);
+  return id;
+}
+
+bool PhraseCountCache::Lookup(uint32_t phrase_id, int32_t first, int32_t last,
+                              int* count) const {
+  const Shard& shard = shards_[ShardOf(phrase_id, first)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counts.find(SpanKey{phrase_id, first, last});
+  if (it == shard.counts.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  *count = it->second;
+  return true;
+}
+
+void PhraseCountCache::Insert(uint32_t phrase_id, int32_t first, int32_t last,
+                              int count) {
+  Shard& shard = shards_[ShardOf(phrase_id, first)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.counts.size() >= kShardCapacity) shard.counts.clear();
+  shard.counts.emplace(SpanKey{phrase_id, first, last}, count);
+}
+
+PhraseCountCache::CacheStats PhraseCountCache::GetStats() const {
+  CacheStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.entries += shard.counts.size();
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  stats.phrases = registry_.size();
+  return stats;
+}
+
+void PhraseCountCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counts.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+  }
+}
+
+}  // namespace pimento::exec

@@ -1,0 +1,100 @@
+#ifndef PIMENTO_EXEC_PHRASE_COUNT_CACHE_H_
+#define PIMENTO_EXEC_PHRASE_COUNT_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace pimento::exec {
+
+/// Thread-safe memo of per-(phrase, token-span) occurrence counts.
+///
+/// The query flock's outer-join branches repeat the same ftcontains over
+/// the same candidate spans, and every request of a batch sharing a
+/// profile re-counts the same KOR phrases over the same elements; since
+/// the collection is immutable, each (phrase, span) count is computed at
+/// most once per engine and served from here afterwards.
+///
+/// Phrases are identified by a dense id handed out by RegisterPhrase for
+/// the exact (normalized text, window) pair — no hashing of phrase
+/// identity, so a cache hit is never wrong. The engine owns one cache;
+/// plan operators receive it through the ExecContext.
+class PhraseCountCache {
+ public:
+  PhraseCountCache() = default;
+
+  /// Stable id for the (text, window) phrase identity; the same pair
+  /// always returns the same id.
+  uint32_t RegisterPhrase(std::string_view text, int window);
+
+  /// True (and *count set) when the count of (phrase_id, [first, last)) is
+  /// cached.
+  bool Lookup(uint32_t phrase_id, int32_t first, int32_t last,
+              int* count) const;
+
+  void Insert(uint32_t phrase_id, int32_t first, int32_t last, int count);
+
+  struct CacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    size_t entries = 0;
+    size_t phrases = 0;
+  };
+  CacheStats GetStats() const;
+
+  void Clear();
+
+  static constexpr size_t kNumShards = 16;
+
+  /// Per-shard entry cap; a full shard is dropped wholesale (counts are
+  /// recomputable, so eviction only costs time, never correctness).
+  static constexpr size_t kShardCapacity = 1 << 15;
+
+ private:
+  struct SpanKey {
+    uint32_t phrase;
+    int32_t first;
+    int32_t last;
+    bool operator==(const SpanKey& o) const {
+      return phrase == o.phrase && first == o.first && last == o.last;
+    }
+  };
+  struct SpanKeyHash {
+    size_t operator()(const SpanKey& k) const {
+      // splitmix64 over the packed key.
+      uint64_t x = (static_cast<uint64_t>(k.phrase) << 32) ^
+                   (static_cast<uint64_t>(static_cast<uint32_t>(k.first))
+                    << 13) ^
+                   static_cast<uint32_t>(k.last);
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<SpanKey, int, SpanKeyHash> counts;
+    mutable int64_t hits = 0;
+    mutable int64_t misses = 0;
+  };
+
+  static size_t ShardOf(uint32_t phrase_id, int32_t first) {
+    return (static_cast<size_t>(phrase_id) * 31 +
+            static_cast<size_t>(static_cast<uint32_t>(first) >> 8)) %
+           kNumShards;
+  }
+
+  mutable std::mutex registry_mu_;
+  std::map<std::pair<std::string, int>, uint32_t> registry_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace pimento::exec
+
+#endif  // PIMENTO_EXEC_PHRASE_COUNT_CACHE_H_

@@ -1,8 +1,27 @@
 #include "src/index/collection.h"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 namespace pimento::index {
+
+/// Lazily computed per-(term, tag) block-max tables. Guarded by one mutex:
+/// computation happens once per key over the collection's lifetime, and
+/// holding the lock during the computation simply serializes first-touch.
+struct Collection::BlockMaxCache {
+  std::mutex mu;
+  std::map<std::pair<TermId, std::string>,
+           std::shared_ptr<const std::vector<int32_t>>>
+      entries;
+};
+
+Collection::Collection() : blockmax_(std::make_unique<BlockMaxCache>()) {}
+Collection::Collection(Collection&&) noexcept = default;
+Collection& Collection::operator=(Collection&&) noexcept = default;
+Collection::~Collection() = default;
 
 Collection Collection::Build(xml::Document doc,
                              const text::TokenizeOptions& options) {
@@ -42,9 +61,11 @@ Collection Collection::Build(xml::Document doc,
       }
     }
   }
+  coll.keywords_.FinalizeBlocks();
   coll.doc_ = std::move(doc);
   coll.tags_.Build(coll.doc_);
   coll.values_.Build(coll.doc_);
+  coll.BuildTokenOwners();
   return coll;
 }
 
@@ -54,10 +75,65 @@ Collection Collection::FromPrebuilt(xml::Document doc,
   Collection coll;
   coll.options_ = options;
   coll.keywords_ = std::move(keywords);
+  // Preserve the index's block size, but make sure skip tables exist even
+  // for hand-assembled indexes.
+  coll.keywords_.FinalizeBlocks(coll.keywords_.block_size());
   coll.doc_ = std::move(doc);
   coll.tags_.Build(coll.doc_);
   coll.values_.Build(coll.doc_);
+  coll.BuildTokenOwners();
   return coll;
+}
+
+void Collection::BuildTokenOwners() {
+  token_owner_.assign(static_cast<size_t>(keywords_.total_tokens()),
+                      xml::kInvalidNode);
+  for (xml::NodeId id = 0; id < static_cast<xml::NodeId>(doc_.size()); ++id) {
+    const xml::Node& n = doc_.node(id);
+    if (n.kind != xml::NodeKind::kText || n.parent == xml::kInvalidNode) {
+      continue;
+    }
+    for (int32_t pos = n.first_token;
+         pos < n.last_token && pos < static_cast<int32_t>(token_owner_.size());
+         ++pos) {
+      token_owner_[pos] = n.parent;
+    }
+  }
+}
+
+std::shared_ptr<const std::vector<int32_t>> Collection::BlockMaxCounts(
+    TermId term, const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(blockmax_->mu);
+  auto key = std::make_pair(term, tag);
+  auto it = blockmax_->entries.find(key);
+  if (it != blockmax_->entries.end()) return it->second;
+  const std::vector<int32_t>& plist = keywords_.Postings(term);
+  const size_t bs = static_cast<size_t>(keywords_.block_size());
+  const size_t nblocks = plist.empty() ? 0 : (plist.size() + bs - 1) / bs;
+  auto bm = std::make_shared<std::vector<int32_t>>(nblocks, 0);
+  for (xml::NodeId e : tags_.Elements(tag)) {
+    const xml::Node& n = doc_.node(e);
+    auto lo = std::lower_bound(plist.begin(), plist.end(), n.first_token);
+    auto hi = std::lower_bound(lo, plist.end(), n.last_token);
+    if (lo == hi) continue;
+    int32_t count = static_cast<int32_t>(hi - lo);
+    // The element's full-span count bounds every block it owns postings in,
+    // so a candidate found in any block is covered even when its other
+    // occurrences sit in skipped blocks.
+    size_t b0 = static_cast<size_t>(lo - plist.begin()) / bs;
+    size_t b1 = static_cast<size_t>(hi - 1 - plist.begin()) / bs;
+    for (size_t b = b0; b <= b1; ++b) {
+      (*bm)[b] = std::max((*bm)[b], count);
+    }
+  }
+  blockmax_->entries.emplace(std::move(key), bm);
+  return bm;
+}
+
+void Collection::RefinalizeBlocks(int block_size) {
+  keywords_.FinalizeBlocks(block_size);
+  std::lock_guard<std::mutex> lock(blockmax_->mu);
+  blockmax_->entries.clear();
 }
 
 std::string CollectionStats::ToString() const {

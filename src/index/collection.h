@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/index/inverted_index.h"
 #include "src/index/tag_index.h"
@@ -45,8 +46,10 @@ class Collection {
   static Collection FromPrebuilt(xml::Document doc, InvertedIndex keywords,
                                  const text::TokenizeOptions& options);
 
-  Collection(Collection&&) = default;
-  Collection& operator=(Collection&&) = default;
+  // Out-of-line so the block-max cache type can stay private to the .cc.
+  Collection(Collection&&) noexcept;
+  Collection& operator=(Collection&&) noexcept;
+  ~Collection();
 
   const xml::Document& doc() const { return doc_; }
   const TagIndex& tags() const { return tags_; }
@@ -67,6 +70,33 @@ class Collection {
   /// Summary statistics over the document and its indexes.
   CollectionStats Stats() const;
 
+  /// NodeId of the deepest element enclosing stream position `pos` (the
+  /// parent element of the text node that produced the token), or
+  /// xml::kInvalidNode out of range. Built once at indexing time; the
+  /// postings-anchored scan maps anchor positions to candidate elements by
+  /// walking the parent chain from here.
+  xml::NodeId TokenOwner(int32_t pos) const {
+    if (pos < 0 || pos >= static_cast<int32_t>(token_owner_.size())) {
+      return xml::kInvalidNode;
+    }
+    return token_owner_[pos];
+  }
+
+  /// Per-block score-bound input for (term, tag): entry b is the largest
+  /// number of `term` occurrences within the span of any `tag` element
+  /// owning a posting of block b (0 = no such element, the block can be
+  /// skipped outright). An element's phrase count never exceeds its anchor
+  /// term count, so idf * bm/(bm+1) bounds the anchor predicate's score
+  /// contribution for every candidate a block can generate. Computed
+  /// lazily per (term, tag), cached, thread-safe (batch workers share it).
+  std::shared_ptr<const std::vector<int32_t>> BlockMaxCounts(
+      TermId term, const std::string& tag) const;
+
+  /// Rebuilds the postings block/skip tables at `block_size` and drops the
+  /// block-max cache (benchmarks sweep the block size; not for use while
+  /// searches run).
+  void RefinalizeBlocks(int block_size);
+
   /// Value of the "attribute" `attr` of element `e`, in the paper's
   /// `x.attr` sense: the simple-element value of the first child (or
   /// descendant, if no child matches) tagged `attr` or `@attr`.
@@ -76,15 +106,22 @@ class Collection {
                                     std::string_view attr) const;
 
  private:
-  Collection() = default;
+  struct BlockMaxCache;  // mutex + map; behind unique_ptr to stay movable
+
+  Collection();
 
   xml::NodeId FindAttrNode(xml::NodeId e, std::string_view attr) const;
+
+  /// Fills token_owner_ from the document's text-node spans.
+  void BuildTokenOwners();
 
   xml::Document doc_;
   TagIndex tags_;
   InvertedIndex keywords_;
   ValueIndex values_;
   text::TokenizeOptions options_;
+  std::vector<xml::NodeId> token_owner_;  ///< deepest element per token
+  mutable std::unique_ptr<BlockMaxCache> blockmax_;
 };
 
 }  // namespace pimento::index

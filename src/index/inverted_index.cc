@@ -35,7 +35,24 @@ InvertedIndex InvertedIndex::FromParts(std::vector<std::string> terms,
       idx.postings_[term].push_back(pos);
     }
   }
+  idx.FinalizeBlocks();
   return idx;
+}
+
+void InvertedIndex::FinalizeBlocks(int block_size) {
+  block_size_ = block_size < 1 ? 1 : block_size;
+  const size_t bs = static_cast<size_t>(block_size_);
+  block_skips_.assign(postings_.size(), {});
+  for (size_t t = 0; t < postings_.size(); ++t) {
+    const std::vector<int32_t>& plist = postings_[t];
+    if (plist.empty()) continue;
+    size_t nblocks = (plist.size() + bs - 1) / bs;
+    std::vector<int32_t>& skips = block_skips_[t];
+    skips.resize(nblocks);
+    for (size_t b = 0; b < nblocks; ++b) {
+      skips[b] = plist[std::min(plist.size(), (b + 1) * bs) - 1];
+    }
+  }
 }
 
 TermId InvertedIndex::LookupTerm(std::string_view normalized) const {
@@ -54,6 +71,14 @@ const std::vector<int32_t>& InvertedIndex::Postings(TermId term) const {
     return kEmpty;
   }
   return postings_[term];
+}
+
+const std::vector<int32_t>& InvertedIndex::BlockSkips(TermId term) const {
+  static const std::vector<int32_t> kEmpty;
+  if (term < 0 || term >= static_cast<TermId>(block_skips_.size())) {
+    return kEmpty;
+  }
+  return block_skips_[term];
 }
 
 int InvertedIndex::RarestAnchor(const Phrase& phrase) const {
@@ -79,14 +104,23 @@ int InvertedIndex::CountPhrase(const Phrase& phrase, int32_t first,
   const int anchor = RarestAnchor(phrase);
   const std::vector<int32_t>& plist = postings_[phrase.terms[anchor]];
   // The phrase start corresponding to anchor position p is p - anchor.
-  auto lo = std::lower_bound(plist.begin(), plist.end(), first + anchor);
+  size_t start_idx =
+      std::lower_bound(plist.begin(), plist.end(), first + anchor) -
+      plist.begin();
+  return CountExactFrom(phrase, anchor, start_idx, last);
+}
+
+int InvertedIndex::CountExactFrom(const Phrase& phrase, int anchor,
+                                  size_t start_idx, int32_t last) const {
+  const int len = static_cast<int>(phrase.terms.size());
+  const std::vector<int32_t>& plist = postings_[phrase.terms[anchor]];
   int count = 0;
-  for (auto it = lo; it != plist.end(); ++it) {
-    int32_t start = *it - anchor;
+  for (size_t i = start_idx; i < plist.size(); ++i) {
+    int32_t start = plist[i] - anchor;
     if (start + len > last) break;
     bool match = true;
-    for (int i = 0; i < len; ++i) {
-      if (stream_[start + i] != phrase.terms[i]) {
+    for (int j = 0; j < len; ++j) {
+      if (stream_[start + j] != phrase.terms[j]) {
         match = false;
         break;
       }
@@ -98,36 +132,57 @@ int InvertedIndex::CountPhrase(const Phrase& phrase, int32_t first,
 
 int InvertedIndex::CountWindow(const Phrase& phrase, int32_t first,
                                int32_t last) const {
-  // Anchor on the rarest term; an anchor occurrence counts when every
-  // other term appears within `window` tokens of it (unordered), inside
-  // the span. Positions can only be shared by equal terms, so a span with
-  // fewer slots than distinct terms cannot hold a match.
-  const int len = static_cast<int>(phrase.terms.size());
-  int distinct = 0;
-  for (int i = 0; i < len; ++i) {
-    bool repeat = false;
-    for (int j = 0; j < i && !repeat; ++j) {
-      repeat = phrase.terms[j] == phrase.terms[i];
-    }
-    if (!repeat) ++distinct;
-  }
-  if (last - first < distinct) return 0;
   const int anchor = RarestAnchor(phrase);
-  auto near_within = [&](TermId term, int32_t pos) {
-    const std::vector<int32_t>& plist = postings_[term];
-    int32_t lo = std::max(first, pos - phrase.window + 1);
-    int32_t hi = std::min(last, pos + phrase.window);  // exclusive
-    auto it = std::lower_bound(plist.begin(), plist.end(), lo);
-    return it != plist.end() && *it < hi;
-  };
   const std::vector<int32_t>& alist = postings_[phrase.terms[anchor]];
-  auto lo = std::lower_bound(alist.begin(), alist.end(), first);
+  size_t start_idx =
+      std::lower_bound(alist.begin(), alist.end(), first) - alist.begin();
+  return CountWindowFrom(phrase, anchor, start_idx, first, last);
+}
+
+int InvertedIndex::CountWindowFrom(const Phrase& phrase, int anchor,
+                                   size_t start_idx, int32_t first,
+                                   int32_t last) const {
+  // Anchor on the rarest term; an anchor occurrence counts when every term
+  // of the phrase appears within `window` tokens of it (unordered, inside
+  // the span) with its full multiplicity: a duplicated term needs that many
+  // distinct positions, so "new new" cannot match a single "new". Every
+  // required occurrence claims a distinct position, so a span with fewer
+  // slots than phrase terms cannot hold a match.
+  const int len = static_cast<int>(phrase.terms.size());
+  if (last - first < len) return 0;
+  std::vector<std::pair<TermId, int>> need;  // distinct term -> multiplicity
+  need.reserve(phrase.terms.size());
+  for (TermId t : phrase.terms) {
+    bool found = false;
+    for (auto& [term, mult] : need) {
+      if (term == t) {
+        ++mult;
+        found = true;
+        break;
+      }
+    }
+    if (!found) need.emplace_back(t, 1);
+  }
+  // 64-bit window arithmetic: the window may exceed the span (or even
+  // INT32_MAX), and p + window must not overflow before the clamp.
+  const int64_t w = phrase.window;
+  const std::vector<int32_t>& alist = postings_[phrase.terms[anchor]];
   int count = 0;
-  for (auto it = lo; it != alist.end() && *it < last; ++it) {
+  for (size_t i = start_idx; i < alist.size() && alist[i] < last; ++i) {
+    const int64_t p = alist[i];
     bool all = true;
-    for (int i = 0; i < len && all; ++i) {
-      if (i == anchor) continue;
-      all = near_within(phrase.terms[i], *it);
+    for (const auto& [term, mult] : need) {
+      const std::vector<int32_t>& plist = postings_[term];
+      int32_t lo = static_cast<int32_t>(
+          std::max<int64_t>(first, p - w + 1));
+      int32_t hi = static_cast<int32_t>(
+          std::min<int64_t>(last, p + w));  // exclusive
+      auto lo_it = std::lower_bound(plist.begin(), plist.end(), lo);
+      auto hi_it = std::lower_bound(lo_it, plist.end(), hi);
+      if (hi_it - lo_it < mult) {
+        all = false;
+        break;
+      }
     }
     if (all) ++count;
   }
@@ -141,6 +196,56 @@ int64_t InvertedIndex::MaxPhraseCount(const Phrase& phrase) const {
     min_ctf = std::min(min_ctf, TermCtf(phrase.terms[i]));
   }
   return min_ctf;
+}
+
+PhraseCursor::PhraseCursor(const InvertedIndex* idx, const Phrase* phrase)
+    : idx_(idx), phrase_(phrase) {
+  valid_ = phrase_->known();
+  if (valid_) {
+    anchor_ = idx_->RarestAnchor(*phrase_);
+    anchor_term_ = phrase_->terms[anchor_];
+  }
+}
+
+int32_t PhraseCursor::SeekGE(int32_t pos) {
+  if (!valid_) return kNoPosition;
+  const std::vector<int32_t>& plist = idx_->Postings(anchor_term_);
+  if (plist.empty()) return kNoPosition;
+  // Backward seek: restart; the skip walk below regains the position.
+  if (idx_pos_ > 0 && plist[idx_pos_ - 1] >= pos) idx_pos_ = 0;
+  if (idx_pos_ >= plist.size()) return kNoPosition;
+  const std::vector<int32_t>& skips = idx_->BlockSkips(anchor_term_);
+  size_t end = plist.size();
+  if (!skips.empty()) {
+    const size_t bs = static_cast<size_t>(idx_->block_size());
+    // Skip whole blocks whose last position is still < pos.
+    size_t b = idx_pos_ / bs;
+    while (b < skips.size() && skips[b] < pos) ++b;
+    if (b >= skips.size()) {
+      idx_pos_ = plist.size();
+      return kNoPosition;
+    }
+    if (idx_pos_ < b * bs) idx_pos_ = b * bs;
+    end = std::min(plist.size(), (b + 1) * bs);
+  }
+  idx_pos_ = std::lower_bound(plist.begin() + idx_pos_, plist.begin() + end,
+                              pos) -
+             plist.begin();
+  if (idx_pos_ >= plist.size()) return kNoPosition;
+  return plist[idx_pos_];
+}
+
+int PhraseCursor::CountInSpan(int32_t first, int32_t last) {
+  if (!valid_) return 0;
+  const Phrase& phrase = *phrase_;
+  if (phrase.window > 0) {
+    SeekGE(first);
+    return idx_->CountWindowFrom(phrase, anchor_, idx_pos_, first, last);
+  }
+  const int len = static_cast<int>(phrase.terms.size());
+  if (last - first < len) return 0;
+  SeekGE(first + anchor_);
+  return idx_->CountExactFrom(phrase, anchor_, idx_pos_, last);
 }
 
 }  // namespace pimento::index

@@ -12,6 +12,16 @@ namespace pimento::index {
 using TermId = int32_t;
 inline constexpr TermId kUnknownTerm = -1;
 
+/// Sentinel returned by PhraseCursor::SeekGE when the postings list holds
+/// no position at or after the requested one.
+inline constexpr int32_t kNoPosition = -1;
+
+/// Postings block size the index finalizes with unless told otherwise.
+/// 128 positions per block keeps the skip tables tiny (one int32 per
+/// block) while a block is still small enough that one skipped block is a
+/// meaningful amount of avoided work.
+inline constexpr int kDefaultBlockSize = 128;
+
 /// A query phrase: the normalized term-id sequence of one ftcontains
 /// argument ("low mileage" → [id(low), id(mileage)]). A phrase containing
 /// kUnknownTerm matches nothing in this collection.
@@ -33,11 +43,18 @@ struct Phrase {
   }
 };
 
+class PhraseCursor;
+
 /// Positional inverted index over one collection's token stream.
 ///
 /// The collection concatenates all text in document order into a stream of
 /// term ids; every DOM node records its [first_token, last_token) span, so
 /// "element e ftcontains k at any depth" is a postings range query.
+///
+/// Postings are organized into fixed-size blocks (FinalizeBlocks): per term
+/// a skip table records the last position of each block, letting cursors
+/// jump whole blocks and letting the planner's postings-anchored scan skip
+/// blocks whose block-max score bound cannot matter.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -49,9 +66,15 @@ class InvertedIndex {
   int32_t AppendToken(std::string_view normalized);
 
   /// Reconstructs an index from its vocabulary and token stream (used by
-  /// persistence); postings are rebuilt.
+  /// persistence); postings are rebuilt and blocks finalized at the
+  /// default size.
   static InvertedIndex FromParts(std::vector<std::string> terms,
                                  std::vector<int32_t> stream);
+
+  /// (Re)builds the per-term block skip tables. Collection::Build calls
+  /// this once the stream is complete; benchmarks re-call it to sweep the
+  /// block size. Idempotent.
+  void FinalizeBlocks(int block_size = kDefaultBlockSize);
 
   // --- query API ---
 
@@ -74,16 +97,35 @@ class InvertedIndex {
   /// Term id at stream position `pos`.
   int32_t StreamTermAt(int32_t pos) const { return stream_[pos]; }
 
+  int block_size() const { return block_size_; }
+
+  /// Skip table of `term`: entry b is the last stream position in the b-th
+  /// postings block. Empty until FinalizeBlocks ran (or for empty terms).
+  const std::vector<int32_t>& BlockSkips(TermId term) const;
+
   /// Number of occurrences of `phrase` fully inside the token span
   /// [first, last): adjacent in-order matches when phrase.window == 0,
-  /// otherwise distinct anchor positions whose window contains all terms.
+  /// otherwise distinct anchor positions whose window contains every term
+  /// of the phrase with its full multiplicity ("new new car" needs two
+  /// distinct "new" positions).
   int CountPhrase(const Phrase& phrase, int32_t first, int32_t last) const;
 
   /// Upper bound on CountPhrase over any span: the rarest term's ctf.
   int64_t MaxPhraseCount(const Phrase& phrase) const;
 
  private:
+  friend class PhraseCursor;
+
   int CountWindow(const Phrase& phrase, int32_t first, int32_t last) const;
+
+  /// Shared verification tails of the two counting modes, parameterized by
+  /// the anchor postings start index so CountPhrase (which lower-bounds
+  /// from scratch) and PhraseCursor (which seeks via block skips) provably
+  /// count identically.
+  int CountExactFrom(const Phrase& phrase, int anchor, size_t start_idx,
+                     int32_t last) const;
+  int CountWindowFrom(const Phrase& phrase, int anchor, size_t start_idx,
+                      int32_t first, int32_t last) const;
 
   /// Index (into phrase.terms) of the term with the shortest postings
   /// list — the anchor both counting paths drive their scan from.
@@ -93,6 +135,46 @@ class InvertedIndex {
   std::vector<std::vector<int32_t>> postings_;  ///< per-term positions
   std::vector<int32_t> stream_;                 ///< term id per position
   std::vector<std::string> term_texts_;
+  int block_size_ = kDefaultBlockSize;
+  std::vector<std::vector<int32_t>> block_skips_;  ///< per-term skip tables
+};
+
+/// A stateful cursor over one phrase's anchor postings list. Forward seeks
+/// ride the block skip table instead of binary-searching the whole list;
+/// a backward seek restarts transparently. Counting through the cursor is
+/// exactly CountPhrase (same verification code), so plan operators can
+/// hold one cursor per phrase and seek monotonically along the answer
+/// stream.
+///
+/// Cursors are cheap value types over an immutable index; each holds its
+/// own position, so concurrent batch workers use separate cursors over the
+/// shared postings.
+class PhraseCursor {
+ public:
+  /// `idx` and `phrase` must outlive the cursor.
+  PhraseCursor(const InvertedIndex* idx, const Phrase* phrase);
+
+  bool valid() const { return valid_; }
+
+  /// Rarest term of the phrase (the anchor the cursor walks).
+  TermId anchor_term() const { return anchor_term_; }
+
+  /// First anchor-term position >= pos, or kNoPosition. Forward seeks are
+  /// amortized O(1) + one in-block bounded binary search.
+  int32_t SeekGE(int32_t pos);
+
+  /// CountPhrase(phrase, first, last), driven from the cursor's position.
+  int CountInSpan(int32_t first, int32_t last);
+
+  void Reset() { idx_pos_ = 0; }
+
+ private:
+  const InvertedIndex* idx_;
+  const Phrase* phrase_;
+  bool valid_ = false;
+  int anchor_ = 0;
+  TermId anchor_term_ = kUnknownTerm;
+  size_t idx_pos_ = 0;  ///< current index into the anchor postings list
 };
 
 }  // namespace pimento::index

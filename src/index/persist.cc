@@ -8,7 +8,8 @@ namespace pimento::index {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '1'};
+constexpr char kMagicV1[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '1'};
+constexpr char kMagicV2[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '2'};
 
 // --- little-endian encoding helpers over a string buffer ---
 
@@ -120,11 +121,9 @@ bool DeserializeNode(Reader* reader, xml::Document* doc,
   return true;
 }
 
-}  // namespace
-
-std::string SerializeCollection(const Collection& collection) {
+std::string SerializeImpl(const Collection& collection, bool with_blocks) {
   std::string out;
-  out.append(kMagic, sizeof(kMagic));
+  out.append(with_blocks ? kMagicV2 : kMagicV1, 8);
   const text::TokenizeOptions& opts = collection.tokenize_options();
   out.push_back(opts.lowercase ? 1 : 0);
   out.push_back(opts.stem ? 1 : 0);
@@ -140,6 +139,15 @@ std::string SerializeCollection(const Collection& collection) {
     PutI32(&out, idx.StreamTermAt(pos));
   }
 
+  if (with_blocks) {
+    PutU32(&out, static_cast<uint32_t>(idx.block_size()));
+    for (TermId t = 0; t < static_cast<TermId>(idx.vocabulary_size()); ++t) {
+      const std::vector<int32_t>& skips = idx.BlockSkips(t);
+      PutU32(&out, static_cast<uint32_t>(skips.size()));
+      for (int32_t s : skips) PutI32(&out, s);
+    }
+  }
+
   if (collection.doc().root() == xml::kInvalidNode) {
     PutU32(&out, 0);
   } else {
@@ -149,11 +157,24 @@ std::string SerializeCollection(const Collection& collection) {
   return out;
 }
 
+}  // namespace
+
+std::string SerializeCollection(const Collection& collection) {
+  return SerializeImpl(collection, /*with_blocks=*/true);
+}
+
+std::string SerializeCollectionLegacy(const Collection& collection) {
+  return SerializeImpl(collection, /*with_blocks=*/false);
+}
+
 StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
   Reader reader(bytes);
   char magic[8];
-  if (!reader.GetRaw(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!reader.GetRaw(magic, sizeof(magic))) {
+    return Status::InvalidArgument("not a PIMENTO index (bad magic)");
+  }
+  bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
     return Status::InvalidArgument("not a PIMENTO index (bad magic)");
   }
   char flags[3];
@@ -189,6 +210,30 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
     }
   }
 
+  uint32_t block_size = 0;
+  std::vector<std::vector<int32_t>> stored_skips;
+  if (v2) {
+    if (!reader.GetU32(&block_size)) {
+      return Status::InvalidArgument("truncated block layout");
+    }
+    if (block_size == 0) {
+      return Status::InvalidArgument("block size must be positive");
+    }
+    stored_skips.resize(vocab);
+    for (uint32_t t = 0; t < vocab; ++t) {
+      uint32_t nblocks = 0;
+      if (!reader.GetU32(&nblocks)) {
+        return Status::InvalidArgument("truncated skip table");
+      }
+      stored_skips[t].resize(nblocks);
+      for (uint32_t b = 0; b < nblocks; ++b) {
+        if (!reader.GetI32(&stored_skips[t][b])) {
+          return Status::InvalidArgument("truncated skip table entry");
+        }
+      }
+    }
+  }
+
   uint32_t has_root = 0;
   if (!reader.GetU32(&has_root)) {
     return Status::InvalidArgument("truncated document");
@@ -203,10 +248,22 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
     return Status::InvalidArgument("trailing bytes after index");
   }
   doc.FinalizeIntervals();
-  return Collection::FromPrebuilt(
-      std::move(doc), InvertedIndex::FromParts(std::move(terms),
-                                               std::move(stream)),
-      opts);
+
+  InvertedIndex idx =
+      InvertedIndex::FromParts(std::move(terms), std::move(stream));
+  if (v2) {
+    idx.FinalizeBlocks(static_cast<int>(block_size));
+    // The stored tables are redundant with the rebuilt postings; comparing
+    // them catches images whose stream and block sections disagree.
+    for (uint32_t t = 0; t < vocab; ++t) {
+      if (idx.BlockSkips(static_cast<TermId>(t)) != stored_skips[t]) {
+        return Status::InvalidArgument(
+            "skip table mismatch for term " + std::to_string(t) +
+            " (corrupt block layout)");
+      }
+    }
+  }
+  return Collection::FromPrebuilt(std::move(doc), std::move(idx), opts);
 }
 
 Status SaveCollection(const Collection& collection, const std::string& path) {

@@ -12,13 +12,23 @@ namespace pimento::index {
 /// and indexed once and reopened instantly.
 ///
 /// Format (little-endian, versioned):
-///   magic "PIMENTO1", tokenize options, vocabulary (term strings),
-///   token stream (term ids), document nodes in pre-order (kind, tag/text,
+///   magic "PIMENTO2", tokenize options, vocabulary (term strings),
+///   token stream (term ids), postings block layout (block size plus the
+///   per-term skip tables), document nodes in pre-order (kind, tag/text,
 ///   child count, token span). Postings, tag/value indexes and structural
-///   intervals are rebuilt on load (cheap, no text processing).
+///   intervals are rebuilt on load (cheap, no text processing); the stored
+///   skip tables are validated against the rebuilt postings so a corrupt
+///   image fails loudly instead of mis-skipping.
+///
+/// Version 1 images ("PIMENTO1", no block layout section) still load; the
+/// block layout is then rebuilt at the default block size.
 
-/// Serializes `collection` into a byte buffer.
+/// Serializes `collection` into a byte buffer (current format, v2).
 std::string SerializeCollection(const Collection& collection);
+
+/// Serializes `collection` in the legacy v1 layout (no block section).
+/// Exists so the v1 fallback path stays testable.
+std::string SerializeCollectionLegacy(const Collection& collection);
 
 /// Reconstructs a collection from SerializeCollection output.
 StatusOr<Collection> DeserializeCollection(std::string_view bytes);

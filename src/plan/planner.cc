@@ -30,6 +30,38 @@ bool EffectiveOptional(const tpq::Tpq& q, int node) {
   return false;
 }
 
+bool AllDownward(const NavPath& nav) {
+  for (const NavStep& step : nav) {
+    if (step.kind == NavStep::Kind::kUpChild ||
+        step.kind == NavStep::Kind::kUpDescendant) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The required keyword predicates reachable from the distinguished node by
+/// downward-only navigation — the predicates whose occurrences provably lie
+/// inside every answer's token span, and can therefore anchor a
+/// postings-driven candidate scan. Upward-navigating predicates look at
+/// text outside the answer's span and cannot anchor.
+std::vector<algebra::IndexScanOp::RequiredPhrase> AnchorablePhrases(
+    const index::Collection& collection, const tpq::Tpq& query) {
+  std::vector<algebra::IndexScanOp::RequiredPhrase> anchored;
+  for (int n : query.PreOrder()) {
+    const tpq::QueryNode& qn = query.node(n);
+    if (qn.keyword_predicates.empty()) continue;
+    if (EffectiveOptional(query, n)) continue;
+    if (!AllDownward(NavPathTo(query, n))) continue;
+    for (const tpq::KeywordPredicate& kp : qn.keyword_predicates) {
+      if (kp.optional) continue;
+      anchored.push_back(
+          {collection.MakePhrase(kp.keyword, kp.window), kp.boost});
+    }
+  }
+  return anchored;
+}
+
 }  // namespace
 
 algebra::NavPath NavPathTo(const tpq::Tpq& query, int target) {
@@ -107,7 +139,7 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
   algebra::Plan plan;
   algebra::RankContext* rank =
       plan.MakeRankContext(vors, options.rank_order);
-  algebra::ExecContext ctx{&collection, &scorer};
+  algebra::ExecContext ctx{&collection, &scorer, options.count_cache};
 
   std::vector<std::unique_ptr<algebra::Operator>> seq;
   bool prefiltered = false;
@@ -127,7 +159,34 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
       prefiltered = true;
     }
   }
-  if (!prefiltered) {
+  algebra::IndexScanOp* index_scan = nullptr;
+  if (!prefiltered && options.scan_mode != ScanMode::kTagScan) {
+    std::vector<algebra::IndexScanOp::RequiredPhrase> anchored =
+        AnchorablePhrases(collection, query);
+    bool use_anchored = !anchored.empty();
+    if (use_anchored && options.scan_mode == ScanMode::kAuto) {
+      // Cost gate: the anchored scan does per-posting work (owner lookup,
+      // ancestor walk, dedupe) proportional to the rarest anchor's ctf,
+      // while the tag scan's work is proportional to the tag count. A
+      // non-selective anchor (ctf comparable to the tag population) makes
+      // the anchored scan a net loss, so kAuto requires a clear margin;
+      // kPostingsScan skips the gate.
+      int64_t anchor_ctf = -1;
+      for (const auto& rp : anchored) {
+        int64_t bound = collection.keywords().MaxPhraseCount(rp.phrase);
+        if (anchor_ctf < 0 || bound < anchor_ctf) anchor_ctf = bound;
+      }
+      int64_t tag_count = static_cast<int64_t>(collection.tags().Count(dtag));
+      use_anchored = anchor_ctf * 4 < tag_count;
+    }
+    if (use_anchored) {
+      auto scan = std::make_unique<algebra::IndexScanOp>(
+          ctx, dtag, vors.size(), std::move(anchored));
+      index_scan = scan.get();
+      seq.push_back(std::move(scan));
+    }
+  }
+  if (!prefiltered && index_scan == nullptr) {
     seq.push_back(std::make_unique<algebra::ScanOp>(ctx, dtag, vors.size()));
   }
 
@@ -291,6 +350,24 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
     }
     static_cast<algebra::TopkPruneOp*>(seq[prune_idx].get())
         ->set_bounds(qsb, ksb);
+  }
+
+  // Push the bounds into the index (block skipping): the postings-anchored
+  // scan gets the total downstream S bound and, under the plain S rank
+  // order with an intermediate Algorithm 1 prune, a live view of the k-th
+  // answer's S as skipping threshold. With K or V ahead of S in the
+  // ranking, a low-S answer can still win, so no floor is wired there.
+  if (index_scan != nullptr) {
+    double total_s = 0.0;
+    for (size_t j = 1; j < seq.size(); ++j) {
+      total_s += seq[j]->MaxSContribution();
+    }
+    index_scan->set_downstream_s_bound(total_s);
+    if (options.rank_order == profile::RankOrder::kS &&
+        !prune_indices.empty()) {
+      index_scan->set_score_floor(static_cast<algebra::TopkPruneOp*>(
+          seq[prune_indices.front()].get()));
+    }
   }
 
   for (auto& op : seq) plan.Add(std::move(op));

@@ -11,6 +11,10 @@
 #include "src/score/scorer.h"
 #include "src/tpq/tpq.h"
 
+namespace pimento::exec {
+class PhraseCountCache;
+}  // namespace pimento::exec
+
 namespace pimento::plan {
 
 /// topkPrune placement strategies, the plans compared in the paper's §7.2.
@@ -32,6 +36,21 @@ enum class KorOrder : uint8_t {
   kLowestScoreFirst,
 };
 
+/// How the planner chooses the leaf access path.
+enum class ScanMode : uint8_t {
+  /// Postings-anchored scan (IndexScanOp) when the plan has at least one
+  /// required all-downward ftcontains AND its rarest phrase is selective
+  /// relative to the distinguished tag's population (cost gate); the blind
+  /// tag scan otherwise. Answers are identical either way.
+  kAuto,
+  /// Always the legacy tag scan (the ablation baseline).
+  kTagScan,
+  /// Postings-anchored scan whenever one is anchorable, skipping kAuto's
+  /// selectivity gate (it still falls back when no required phrase can
+  /// anchor the scan).
+  kPostingsScan,
+};
+
 struct PlannerOptions {
   int k = 10;
   Strategy strategy = Strategy::kPush;
@@ -47,6 +66,14 @@ struct PlannerOptions {
   /// sort-merge structural join over the tag indexes (struct_join.h). Falls
   /// back to the plain scan when the pattern cannot be pre-filtered.
   bool use_structural_prefilter = false;
+
+  /// Leaf access path choice; the structural prefilter, when it applies,
+  /// takes precedence over both scans.
+  ScanMode scan_mode = ScanMode::kAuto;
+
+  /// Optional engine-owned (phrase, span) count memo, handed to the plan's
+  /// operators through the ExecContext.
+  exec::PhraseCountCache* count_cache = nullptr;
 };
 
 /// Compiles the (flock-encoded) query plus the profile's ordering rules into

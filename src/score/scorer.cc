@@ -12,18 +12,12 @@ double Scorer::Idf(const index::Phrase& phrase) const {
 }
 
 double Scorer::Score(xml::NodeId e, const index::Phrase& phrase) const {
-  int tf = collection_->CountOccurrences(e, phrase);
-  if (tf == 0) return 0.0;
-  double tf_d = static_cast<double>(tf);
-  return Idf(phrase) * tf_d / (tf_d + 1.0);
+  return ScoreFromCount(collection_->CountOccurrences(e, phrase), Idf(phrase));
 }
 
 double Scorer::ScoreWithIdf(xml::NodeId e, const index::Phrase& phrase,
                             double idf) const {
-  int tf = collection_->CountOccurrences(e, phrase);
-  if (tf == 0) return 0.0;
-  double tf_d = static_cast<double>(tf);
-  return idf * tf_d / (tf_d + 1.0);
+  return ScoreFromCount(collection_->CountOccurrences(e, phrase), idf);
 }
 
 double Scorer::MaxScore(const index::Phrase& phrase) const {

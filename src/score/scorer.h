@@ -30,6 +30,26 @@ class Scorer {
   double ScoreWithIdf(xml::NodeId e, const index::Phrase& phrase,
                       double idf) const;
 
+  /// Score from an already-computed occurrence count. This is the single
+  /// saturation formula: ScoreWithIdf == ScoreFromCount(tf, idf)
+  /// bit-identically, so operators that obtain tf through cursors or the
+  /// span-count cache score exactly like the postings-walking path.
+  static double ScoreFromCount(int tf, double idf) {
+    if (tf <= 0) return 0.0;
+    double tf_d = static_cast<double>(tf);
+    return idf * tf_d / (tf_d + 1.0);
+  }
+
+  /// Upper bound of Score over elements whose occurrence count is at most
+  /// `max_count` — monotone in max_count, equal to ScoreFromCount at the
+  /// bound. This turns a block-max count into the block's score bound for
+  /// the postings-anchored scan's skipping test.
+  static double MaxScoreForCount(int64_t max_count, double idf) {
+    if (max_count <= 0) return 0.0;
+    double n = static_cast<double>(max_count);
+    return idf * n / (n + 1.0);
+  }
+
   /// Tight upper bound of Score over all elements.
   double MaxScore(const index::Phrase& phrase) const;
 

@@ -1,0 +1,214 @@
+// The postings-anchored index scan (IndexScanOp) versus the legacy blind
+// tag scan: the two access paths must produce byte-identical ranked
+// answers at every Strategy x RankOrder combination, and the block-max
+// score bound must actually skip blocks on threshold-friendly corpora.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/exec/phrase_count_cache.h"
+#include "src/plan/planner.h"
+
+namespace pimento::core {
+namespace {
+
+const plan::Strategy kStrategies[] = {
+    plan::Strategy::kNaive, plan::Strategy::kInterleave,
+    plan::Strategy::kInterleaveSorted, plan::Strategy::kPush};
+
+const char* kRankLines[] = {"rank K,V,S", "rank V,K,S", "rank S"};
+
+std::string ProfileWith(const char* rank_line, const char* tag) {
+  std::string out = "profile t\n";
+  out += rank_line;
+  out += "\n";
+  out += "kor k1: tag=" + std::string(tag) + " prefer ftcontains(\"NYC\")\n";
+  out += "vor v1: tag=" + std::string(tag) + " prefer age = \"33\"\n";
+  return out;
+}
+
+void ExpectIdenticalAcrossScanModes(const SearchEngine& engine,
+                                    const std::string& query,
+                                    const std::string& profile) {
+  for (plan::Strategy strategy : kStrategies) {
+    SearchOptions options;
+    options.k = 7;
+    options.strategy = strategy;
+    options.scan_mode = plan::ScanMode::kTagScan;
+    auto tag = engine.Search(query, profile, options);
+    ASSERT_TRUE(tag.ok()) << tag.status().ToString();
+    // kPostingsScan always takes the anchored path; kAuto may cost-gate
+    // back to the tag scan — identical answers required either way.
+    for (plan::ScanMode mode :
+         {plan::ScanMode::kPostingsScan, plan::ScanMode::kAuto}) {
+      options.scan_mode = mode;
+      auto anchored = engine.Search(query, profile, options);
+      ASSERT_TRUE(anchored.ok()) << anchored.status().ToString();
+      ASSERT_EQ(tag->answers.size(), anchored->answers.size())
+          << query << " strategy " << plan::StrategyName(strategy);
+      for (size_t i = 0; i < tag->answers.size(); ++i) {
+        EXPECT_EQ(tag->answers[i].node, anchored->answers[i].node);
+        // Bit-identical scores, not just approximately equal: the anchored
+        // path must evaluate the same arithmetic in the same order.
+        EXPECT_EQ(tag->answers[i].s, anchored->answers[i].s);
+        EXPECT_EQ(tag->answers[i].k, anchored->answers[i].k);
+        EXPECT_EQ(tag->answers[i].vor_keys, anchored->answers[i].vor_keys);
+      }
+    }
+  }
+}
+
+TEST(IndexScanTest, ByteIdenticalOnCarSaleAcrossStrategiesAndRankOrders) {
+  SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 80})));
+  const char* queries[] = {
+      "//car[ftcontains(., \"good condition\")]",
+      "//car[./description[ftcontains(., \"best bid\")]]",
+      "//car[ftcontains(., \"good condition\") and ftcontains(., \"NYC\")]",
+  };
+  for (const char* rank : kRankLines) {
+    for (const char* query : queries) {
+      ExpectIdenticalAcrossScanModes(engine, query, ProfileWith(rank, "car"));
+    }
+  }
+}
+
+TEST(IndexScanTest, ByteIdenticalOnXmarkAcrossStrategiesAndRankOrders) {
+  SearchEngine engine(index::Collection::Build(
+      data::GenerateXmark({.target_bytes = 192u << 10})));
+  const char* queries[] = {
+      "//person[.//business[ftcontains(., \"Yes\")]]",
+      "//person[ftcontains(., \"Phoenix\")]",
+  };
+  for (const char* rank : kRankLines) {
+    for (const char* query : queries) {
+      ExpectIdenticalAcrossScanModes(engine, query,
+                                     ProfileWith(rank, "person"));
+    }
+  }
+}
+
+TEST(IndexScanTest, PlanDescriptionShowsIndexScan) {
+  SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 20})));
+  SearchOptions options;
+  options.k = 5;
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+  auto result =
+      engine.Search("//car[ftcontains(., \"good condition\")]", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->plan_description.find("iscan("), std::string::npos)
+      << result->plan_description;
+
+  options.scan_mode = plan::ScanMode::kTagScan;
+  auto legacy =
+      engine.Search("//car[ftcontains(., \"good condition\")]", options);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->plan_description.find("iscan("), std::string::npos);
+}
+
+TEST(IndexScanTest, AutoModeCostGatesNonSelectiveAnchors) {
+  // Every item contains "w", so anchoring on it generates as many
+  // candidates as the blind scan visits: kAuto must fall back, while
+  // kPostingsScan still forces the anchored path.
+  std::string xml = "<r>";
+  for (int i = 0; i < 50; ++i) xml += "<item>w filler</item>";
+  xml += "</r>";
+  auto engine = SearchEngine::FromXml(xml);
+  ASSERT_TRUE(engine.ok());
+  const char* query = "//item[ftcontains(., \"w\")]";
+  SearchOptions options;
+  options.k = 5;
+  auto gated = engine->Search(query, options);
+  ASSERT_TRUE(gated.ok());
+  EXPECT_EQ(gated->plan_description.find("iscan("), std::string::npos)
+      << gated->plan_description;
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+  auto forced = engine->Search(query, options);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_NE(forced->plan_description.find("iscan("), std::string::npos)
+      << forced->plan_description;
+}
+
+TEST(IndexScanTest, FallsBackToTagScanWithoutRequiredPhrase) {
+  SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 20})));
+  SearchOptions options;
+  options.k = 5;
+  // No keyword predicate at all: nothing can anchor the scan.
+  auto plain = engine.Search("//car", options);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->plan_description.find("iscan("), std::string::npos)
+      << plain->plan_description;
+  EXPECT_NE(plain->plan_description.find("scan("), std::string::npos);
+
+  // An optional phrase ('?' marker) must not anchor either — answers
+  // without it are still answers.
+  auto optional_only = engine.Search(
+      "//car[ftcontains(., \"good condition\")?]", options);
+  ASSERT_TRUE(optional_only.ok()) << optional_only.status().ToString();
+  EXPECT_EQ(optional_only->plan_description.find("iscan("), std::string::npos)
+      << optional_only->plan_description;
+}
+
+TEST(IndexScanTest, ThresholdSkipsBlocksAndKeepsAnswersIdentical) {
+  // 30 rich items (4 phrase hits each -> s = 0.8*idf) fill the top-k long
+  // before the 500 poor items (1 hit -> 0.5*idf) are reached; under the
+  // plain S rank order the k-th answer floor exceeds every poor block's
+  // block-max bound, so those blocks are skipped wholesale.
+  std::string xml = "<r>";
+  for (int i = 0; i < 30; ++i) xml += "<item>w w w w</item>";
+  for (int i = 0; i < 500; ++i) xml += "<item>w filler</item>";
+  xml += "</r>";
+  auto engine = SearchEngine::FromXml(xml);
+  ASSERT_TRUE(engine.ok());
+
+  SearchOptions options;
+  options.k = 5;
+  options.strategy = plan::Strategy::kPush;
+  const char* profile = "profile p\nrank S\n";
+  const char* query = "//item[ftcontains(., \"w\")]";
+
+  options.scan_mode = plan::ScanMode::kTagScan;
+  auto legacy = engine->Search(query, profile, options);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->stats.blocks_skipped, 0);
+
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+  auto anchored = engine->Search(query, profile, options);
+  ASSERT_TRUE(anchored.ok()) << anchored.status().ToString();
+  EXPECT_GT(anchored->stats.blocks_skipped, 0) << anchored->stats.ToString();
+
+  ASSERT_EQ(legacy->answers.size(), anchored->answers.size());
+  for (size_t i = 0; i < legacy->answers.size(); ++i) {
+    EXPECT_EQ(legacy->answers[i].node, anchored->answers[i].node);
+    EXPECT_EQ(legacy->answers[i].s, anchored->answers[i].s);
+  }
+}
+
+TEST(IndexScanTest, PhraseCountCacheServesRepeatedSearches) {
+  SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 40})));
+  const char* query = "//car[ftcontains(., \"good condition\")]";
+  auto first = engine.Search(query, SearchOptions{.k = 5});
+  ASSERT_TRUE(first.ok());
+  auto before = engine.phrase_count_cache().GetStats();
+  auto second = engine.Search(query, SearchOptions{.k = 5});
+  ASSERT_TRUE(second.ok());
+  auto after = engine.phrase_count_cache().GetStats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  ASSERT_EQ(first->answers.size(), second->answers.size());
+  for (size_t i = 0; i < first->answers.size(); ++i) {
+    EXPECT_EQ(first->answers[i].node, second->answers[i].node);
+    EXPECT_EQ(first->answers[i].s, second->answers[i].s);
+  }
+}
+
+}  // namespace
+}  // namespace pimento::core

@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "src/index/collection.h"
 #include "src/xml/parser.h"
 
@@ -184,6 +191,350 @@ TEST_P(SpanSweepTest, PerElementCountsSumToRootCount) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SpanSweepTest,
                          ::testing::Values(1, 5, 32, 200));
+
+// ---------------------------------------------------------------------------
+// Naive token-stream oracle: counts phrase occurrences by walking the raw
+// stream, independent of postings, anchors, blocks, and cursors. The only
+// shared convention is the documented window anchor (rarest term by ctf,
+// first on a tie).
+int NaiveCount(const InvertedIndex& idx, const Phrase& phrase, int32_t first,
+               int32_t last) {
+  if (!phrase.known()) return 0;
+  const int len = static_cast<int>(phrase.terms.size());
+  if (last - first < len) return 0;
+  if (phrase.window == 0) {
+    int count = 0;
+    for (int32_t p = first; p + len <= last; ++p) {
+      bool match = true;
+      for (int j = 0; j < len; ++j) {
+        if (idx.StreamTermAt(p + j) != phrase.terms[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++count;
+    }
+    return count;
+  }
+  int anchor = 0;
+  for (int i = 1; i < len; ++i) {
+    if (idx.TermCtf(phrase.terms[i]) < idx.TermCtf(phrase.terms[anchor])) {
+      anchor = i;
+    }
+  }
+  std::vector<std::pair<TermId, int>> need;
+  for (TermId t : phrase.terms) {
+    bool found = false;
+    for (auto& [term, mult] : need) {
+      if (term == t) {
+        ++mult;
+        found = true;
+        break;
+      }
+    }
+    if (!found) need.emplace_back(t, 1);
+  }
+  const int64_t w = phrase.window;
+  int count = 0;
+  for (int64_t p = first; p < last; ++p) {
+    if (idx.StreamTermAt(static_cast<int32_t>(p)) !=
+        phrase.terms[anchor]) {
+      continue;
+    }
+    bool all = true;
+    for (const auto& [term, mult] : need) {
+      int64_t lo = std::max<int64_t>(first, p - w + 1);
+      int64_t hi = std::min<int64_t>(last, p + w);
+      int got = 0;
+      for (int64_t q = lo; q < hi; ++q) {
+        if (idx.StreamTermAt(static_cast<int32_t>(q)) == term) ++got;
+      }
+      if (got < mult) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  return count;
+}
+
+TEST(WindowGuardTest, WindowLargerThanSpan) {
+  Collection coll = BuildFrom("<a>data heavy mining</a>");
+  const InvertedIndex& idx = coll.keywords();
+  for (int w : {3, 10, 1000, std::numeric_limits<int>::max()}) {
+    Phrase p = coll.MakePhrase("mining data", w);
+    EXPECT_EQ(coll.CountOccurrences(0, p), 1) << "window " << w;
+    EXPECT_EQ(idx.CountPhrase(p, 0, 3), NaiveCount(idx, p, 0, 3));
+  }
+}
+
+TEST(WindowGuardTest, DuplicateTermsNeedDistinctPositions) {
+  // A single "new" must not satisfy "new new": the duplicated term needs
+  // two distinct stream positions inside the window.
+  Collection one = BuildFrom("<a>new car</a>");
+  EXPECT_EQ(one.CountOccurrences(0, one.MakePhrase("new new", 5)), 0);
+  EXPECT_EQ(one.CountOccurrences(0, one.MakePhrase("new new car", 5)), 0);
+
+  Collection two = BuildFrom("<a>new new car</a>");
+  EXPECT_EQ(two.CountOccurrences(0, two.MakePhrase("new new car", 3)), 1);
+  EXPECT_EQ(two.CountOccurrences(0, two.MakePhrase("new new", 2)), 2);
+
+  // Pin both corpora against the oracle across spans and windows.
+  for (const Collection* coll : {&one, &two}) {
+    const InvertedIndex& idx = coll->keywords();
+    int32_t n = static_cast<int32_t>(idx.total_tokens());
+    for (const char* text : {"new new", "new new car", "new car new"}) {
+      for (int w : {1, 2, 3, 8}) {
+        Phrase p = coll->MakePhrase(text, w);
+        for (int32_t first = 0; first <= n; ++first) {
+          for (int32_t last = first; last <= n; ++last) {
+            EXPECT_EQ(idx.CountPhrase(p, first, last),
+                      NaiveCount(idx, p, first, last))
+                << text << " w=" << w << " [" << first << "," << last << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowGuardTest, SpanShorterThanPhraseIsZero) {
+  Collection coll = BuildFrom("<a>x y z</a>");
+  const InvertedIndex& idx = coll.keywords();
+  Phrase p = coll.MakePhrase("x y z", 100);
+  EXPECT_EQ(idx.CountPhrase(p, 0, 2), 0);  // 2 slots < 3 terms
+  EXPECT_EQ(idx.CountPhrase(p, 0, 3), 1);
+  PhraseCursor cursor(&idx, &p);
+  EXPECT_EQ(cursor.CountInSpan(0, 2), 0);
+  EXPECT_EQ(cursor.CountInSpan(0, 3), 1);
+}
+
+// Random corpus over a tiny vocabulary (so phrases actually repeat), random
+// phrases and spans: the block-skipping cursor, the legacy CountPhrase, and
+// the naive stream scan must agree everywhere.
+TEST(CursorEquivalenceTest, RandomPhrasesAndSpansMatchLegacyAndNaive) {
+  std::mt19937 rng(20260806);
+  const char* vocab[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  std::string xml = "<r>";
+  std::uniform_int_distribution<int> vlen(1, 17);
+  std::uniform_int_distribution<int> vterm(0, 4);
+  for (int e = 0; e < 300; ++e) {
+    xml += "<e>";
+    int tokens = vlen(rng);
+    for (int t = 0; t < tokens; ++t) {
+      if (t > 0) xml += ' ';
+      xml += vocab[vterm(rng)];
+    }
+    xml += "</e>";
+  }
+  xml += "</r>";
+  Collection coll = BuildFrom(xml);
+  const InvertedIndex& idx = coll.keywords();
+  const int32_t n = static_cast<int32_t>(idx.total_tokens());
+  ASSERT_GT(n, 1000);
+
+  std::uniform_int_distribution<int> plen(1, 3);
+  std::uniform_int_distribution<int> wdist(0, 6);
+  std::uniform_int_distribution<int32_t> posd(0, n);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string text;
+    int len = plen(rng);
+    for (int i = 0; i < len; ++i) {
+      if (i > 0) text += ' ';
+      text += vocab[vterm(rng)];
+    }
+    Phrase p = coll.MakePhrase(text, wdist(rng));
+    int32_t a = posd(rng);
+    int32_t b = posd(rng);
+    int32_t first = std::min(a, b);
+    int32_t last = std::max(a, b);
+    int expected = NaiveCount(idx, p, first, last);
+    EXPECT_EQ(idx.CountPhrase(p, first, last), expected)
+        << text << " w=" << p.window << " [" << first << "," << last << ")";
+    PhraseCursor cursor(&idx, &p);
+    EXPECT_EQ(cursor.CountInSpan(first, last), expected);
+  }
+}
+
+// A long-lived cursor queried over a non-monotone span sequence (forward
+// and backward seeks interleaved) counts exactly like from-scratch calls.
+TEST(CursorEquivalenceTest, ReusedCursorMatchesAcrossShuffledSpans) {
+  std::mt19937 rng(7);
+  std::string xml = "<r>";
+  const char* vocab[] = {"one", "two", "three"};
+  for (int e = 0; e < 200; ++e) {
+    xml += "<e>";
+    for (int t = 0; t < 8; ++t) {
+      if (t > 0) xml += ' ';
+      xml += vocab[rng() % 3];
+    }
+    xml += "</e>";
+  }
+  xml += "</r>";
+  Collection coll = BuildFrom(xml);
+  const InvertedIndex& idx = coll.keywords();
+  const int32_t n = static_cast<int32_t>(idx.total_tokens());
+
+  for (const char* text : {"one", "one two", "two three", "one one"}) {
+    for (int w : {0, 3}) {
+      Phrase p = coll.MakePhrase(text, w);
+      PhraseCursor cursor(&idx, &p);
+      std::uniform_int_distribution<int32_t> posd(0, n);
+      for (int iter = 0; iter < 300; ++iter) {
+        int32_t a = posd(rng);
+        int32_t b = posd(rng);
+        int32_t first = std::min(a, b);
+        int32_t last = std::max(a, b);
+        EXPECT_EQ(cursor.CountInSpan(first, last),
+                  idx.CountPhrase(p, first, last))
+            << text << " w=" << w << " [" << first << "," << last << ")";
+      }
+    }
+  }
+}
+
+TEST(BlockSkipTest, SkipTablesMatchPostingsAtEveryBlockSize) {
+  Collection coll = BuildFrom(
+      "<r><a>x y x z x</a><b>y x y x</b><c>z z x y</c></r>");
+  for (int bs : {1, 2, 3, 7, 64}) {
+    coll.RefinalizeBlocks(bs);
+    const InvertedIndex& idx = coll.keywords();
+    EXPECT_EQ(idx.block_size(), bs);
+    for (TermId t = 0; t < static_cast<TermId>(idx.vocabulary_size()); ++t) {
+      const auto& plist = idx.Postings(t);
+      const auto& skips = idx.BlockSkips(t);
+      size_t expect_blocks =
+          plist.empty() ? 0 : (plist.size() + bs - 1) / static_cast<size_t>(bs);
+      ASSERT_EQ(skips.size(), expect_blocks);
+      for (size_t b = 0; b < skips.size(); ++b) {
+        size_t last_idx =
+            std::min(plist.size(), (b + 1) * static_cast<size_t>(bs)) - 1;
+        EXPECT_EQ(skips[b], plist[last_idx]);
+      }
+    }
+  }
+  coll.RefinalizeBlocks(kDefaultBlockSize);
+}
+
+TEST(BlockSkipTest, SeekGEAgreesWithBinarySearchAtTinyBlocks) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 100; ++i) {
+    xml += (i % 3 == 0) ? "hit " : "miss ";
+  }
+  xml += "</r>";
+  Collection coll = BuildFrom(xml);
+  coll.RefinalizeBlocks(4);
+  const InvertedIndex& idx = coll.keywords();
+  Phrase p = coll.MakePhrase("hit");
+  const auto& plist = idx.Postings(p.terms[0]);
+  PhraseCursor cursor(&idx, &p);
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int32_t> posd(
+      0, static_cast<int32_t>(idx.total_tokens()) + 5);
+  for (int iter = 0; iter < 500; ++iter) {
+    int32_t pos = posd(rng);
+    auto it = std::lower_bound(plist.begin(), plist.end(), pos);
+    int32_t expected = it == plist.end() ? kNoPosition : *it;
+    EXPECT_EQ(cursor.SeekGE(pos), expected) << "pos " << pos;
+  }
+}
+
+TEST(BlockMaxTest, BlockMaxBoundsEveryElementCount) {
+  Collection coll = BuildFrom(
+      "<r><e>w w w w</e><e>w</e><e>v w</e><e>w w</e><e>u</e></r>");
+  coll.RefinalizeBlocks(2);
+  const InvertedIndex& idx = coll.keywords();
+  TermId w = idx.LookupTerm("w");
+  ASSERT_NE(w, kUnknownTerm);
+  auto bm = coll.BlockMaxCounts(w, "e");
+  ASSERT_NE(bm, nullptr);
+  ASSERT_EQ(bm->size(), idx.BlockSkips(w).size());
+  Phrase pw = coll.MakePhrase("w");
+  const auto& plist = idx.Postings(w);
+  const size_t bs = static_cast<size_t>(idx.block_size());
+  for (xml::NodeId e : coll.tags().Elements("e")) {
+    const xml::Node& node = coll.doc().node(e);
+    int count = coll.CountOccurrences(e, pw);
+    if (count == 0) continue;
+    // Every block this element's postings fall into must bound its count.
+    auto lo = std::lower_bound(plist.begin(), plist.end(), node.first_token);
+    auto hi = std::lower_bound(plist.begin(), plist.end(), node.last_token);
+    for (auto it = lo; it != hi; ++it) {
+      size_t b = static_cast<size_t>(it - plist.begin()) / bs;
+      EXPECT_GE((*bm)[b], count) << "element " << e << " block " << b;
+    }
+  }
+  // The same shared_ptr is served again (cached).
+  EXPECT_EQ(coll.BlockMaxCounts(w, "e").get(), bm.get());
+}
+
+// Hammer the shared immutable index plus the lazy block-max cache from many
+// threads, each with private cursors — the workload the TSan twin of this
+// suite checks for races.
+TEST(CursorConcurrencyTest, ParallelCursorsAndBlockMaxAreConsistent) {
+  std::string xml = "<r>";
+  std::mt19937 seed_rng(99);
+  const char* vocab[] = {"p", "q", "r", "s"};
+  for (int e = 0; e < 400; ++e) {
+    xml += "<e>";
+    for (int t = 0; t < 6; ++t) {
+      if (t > 0) xml += ' ';
+      xml += vocab[seed_rng() % 4];
+    }
+    xml += "</e>";
+  }
+  xml += "</r>";
+  Collection coll = BuildFrom(xml);
+  coll.RefinalizeBlocks(16);
+  const InvertedIndex& idx = coll.keywords();
+  const int32_t n = static_cast<int32_t>(idx.total_tokens());
+
+  Phrase phrases[] = {coll.MakePhrase("p q"), coll.MakePhrase("q", 0),
+                      coll.MakePhrase("r s", 4), coll.MakePhrase("p p", 3)};
+  // Reference counts, computed single-threaded.
+  std::vector<std::vector<int>> expected(4);
+  std::vector<std::pair<int32_t, int32_t>> spans;
+  std::mt19937 span_rng(1234);
+  std::uniform_int_distribution<int32_t> posd(0, n);
+  for (int i = 0; i < 200; ++i) {
+    int32_t a = posd(span_rng);
+    int32_t b = posd(span_rng);
+    spans.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  for (int pi = 0; pi < 4; ++pi) {
+    for (const auto& [first, last] : spans) {
+      expected[pi].push_back(idx.CountPhrase(phrases[pi], first, last));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(8, 0);
+  for (int ti = 0; ti < 8; ++ti) {
+    threads.emplace_back([&, ti]() {
+      PhraseCursor cursors[] = {PhraseCursor(&idx, &phrases[0]),
+                                PhraseCursor(&idx, &phrases[1]),
+                                PhraseCursor(&idx, &phrases[2]),
+                                PhraseCursor(&idx, &phrases[3])};
+      for (int round = 0; round < 3; ++round) {
+        for (int pi = 0; pi < 4; ++pi) {
+          for (size_t si = 0; si < spans.size(); ++si) {
+            if (cursors[pi].CountInSpan(spans[si].first, spans[si].second) !=
+                expected[pi][si]) {
+              ++failures[ti];
+            }
+          }
+          auto bm = coll.BlockMaxCounts(phrases[pi].terms[0], "e");
+          if (bm == nullptr || bm->empty()) ++failures[ti];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int ti = 0; ti < 8; ++ti) {
+    EXPECT_EQ(failures[ti], 0) << "thread " << ti;
+  }
+}
 
 }  // namespace
 }  // namespace pimento::index

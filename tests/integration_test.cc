@@ -207,6 +207,7 @@ kor bid: tag=car prefer ftcontains("best bid")
     SearchOptions options;
     options.k = 5;
     options.strategy = strategy;
+    options.scan_mode = plan::ScanMode::kTagScan;
     auto result = engine.Search(
         "//car[ftcontains(., \"good condition\")]", profile, options);
     ASSERT_TRUE(result.ok());
@@ -217,6 +218,21 @@ kor bid: tag=car prefer ftcontains("best bid")
     // reached the end (final cut may leave sorted leftovers unemitted).
     EXPECT_GE(s.scanned,
               s.pruned_by_filters + s.pruned_by_topk + s.emitted - 5);
+
+    // The postings-anchored scan visits a subset of the tag nodes (only
+    // candidates containing the required phrase) but must emit the same
+    // ranked answers.
+    options.scan_mode = plan::ScanMode::kAuto;
+    auto anchored = engine.Search(
+        "//car[ftcontains(., \"good condition\")]", profile, options);
+    ASSERT_TRUE(anchored.ok());
+    EXPECT_LE(anchored->stats.scanned, s.scanned);
+    ASSERT_EQ(anchored->answers.size(), result->answers.size());
+    for (size_t i = 0; i < anchored->answers.size(); ++i) {
+      EXPECT_EQ(anchored->answers[i].node, result->answers[i].node);
+      EXPECT_EQ(anchored->answers[i].s, result->answers[i].s);
+      EXPECT_EQ(anchored->answers[i].k, result->answers[i].k);
+    }
   }
 }
 
