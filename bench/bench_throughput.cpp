@@ -4,7 +4,14 @@
 // BENCH_throughput.json (queries/sec, p50/p99 latency per worker count) so
 // the perf trajectory is tracked from PR 1 onward.
 //
-// Usage: bench_throughput [output.json] [target_doc_bytes]
+// A second sweep measures governed execution: every request carries a
+// wall-clock budget (--deadline-ms=1,5,20 by default) in degraded mode, and
+// the table/JSON report qps, the partial-result rate, and p99 latency per
+// budget — how gracefully throughput degrades when callers demand bounded
+// latency.
+//
+// Usage: bench_throughput [--deadline-ms=1,5,20] [output.json]
+//                         [target_doc_bytes]
 // Run from the repo root (or pass a path) so the JSON lands there.
 
 #include <algorithm>
@@ -74,11 +81,37 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[idx];
 }
 
+std::vector<double> ParseDeadlines(const std::string& spec) {
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    double v = std::strtod(spec.substr(pos, comma - pos).c_str(), nullptr);
+    if (v > 0.0) out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
-  size_t doc_bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1u << 20;
+  std::vector<double> deadlines = {1.0, 5.0, 20.0};
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadlines = ParseDeadlines(arg.substr(14));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const char* out_path =
+      !positional.empty() ? positional[0] : "BENCH_throughput.json";
+  size_t doc_bytes = positional.size() > 1
+                         ? std::strtoull(positional[1], nullptr, 10)
+                         : 1u << 20;
 
   pimento::data::XmarkOptions gen;
   gen.target_bytes = doc_bytes;
@@ -167,6 +200,62 @@ int main(int argc, char** argv) {
     rows += row;
   }
 
+  // --- governed sweep: bounded-latency execution in degraded mode ---
+  //
+  // Same request mix, fixed worker count, each request carrying a deadline
+  // with allow_partial=true: the engine returns the best-effort ranked
+  // prefix it had when the budget fired instead of an error. Reported per
+  // budget: throughput, how often results were partial, and p99 latency —
+  // which should track the budget, not the query's natural runtime.
+  std::string deadline_rows;
+  if (!deadlines.empty()) {
+    const int workers = std::min(4, static_cast<int>(hw));
+    std::printf(
+        "\ngoverned (deadline budgets, %d workers, degraded mode)\n",
+        workers);
+    std::printf("%12s %10s %12s %10s %10s\n", "deadline ms", "qps",
+                "partial %", "p50 ms", "p99 ms");
+    for (double budget : deadlines) {
+      BatchOptions options;
+      options.num_workers = workers;
+      options.search.k = kTopK;
+      options.search.limits.deadline_ms = budget;
+      options.search.allow_partial = true;
+
+      engine.BatchSearch(requests, options);  // warm-up
+      double wall_ms = 0.0;
+      int64_t partials = 0;
+      int64_t total = 0;
+      std::vector<double> latencies;
+      for (int r = 0; r < kRepeats; ++r) {
+        BatchResult batch = engine.BatchSearch(requests, options);
+        wall_ms += batch.stats.wall_ms;
+        for (const pimento::core::BatchItem& item : batch.items) {
+          ++total;
+          if (item.status.ok() && item.result.partial) ++partials;
+          latencies.push_back(item.elapsed_ms);
+        }
+      }
+      std::sort(latencies.begin(), latencies.end());
+      double qps = static_cast<double>(total) / (wall_ms / 1000.0);
+      double partial_rate =
+          total > 0 ? static_cast<double>(partials) / total : 0.0;
+      double p50 = Percentile(latencies, 0.50);
+      double p99 = Percentile(latencies, 0.99);
+      std::printf("%12.1f %10.1f %11.1f%% %10.3f %10.3f\n", budget, qps,
+                  100.0 * partial_rate, p50, p99);
+
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "    {\"deadline_ms\": %.1f, \"workers\": %d, "
+                    "\"qps\": %.1f, \"partial_rate\": %.3f, "
+                    "\"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+                    budget, workers, qps, partial_rate, p50, p99);
+      if (!deadline_rows.empty()) deadline_rows += ",\n";
+      deadline_rows += row;
+    }
+  }
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -182,12 +271,13 @@ int main(int argc, char** argv) {
                "  \"top_k\": %d,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"results\": [\n%s\n  ],\n"
+               "  \"deadline_sweep\": [\n%s\n  ],\n"
                "  \"answers_identical_across_worker_counts\": %s,\n"
                "  \"profile_cache\": {\"hits\": %lld, \"misses\": %lld}\n"
                "}\n",
                doc_bytes, requests.size(), kRepeats, kTopK,
                std::thread::hardware_concurrency(), rows.c_str(),
-               identical ? "true" : "false",
+               deadline_rows.c_str(), identical ? "true" : "false",
                static_cast<long long>(cache_hits),
                static_cast<long long>(cache_misses));
   std::fclose(out);

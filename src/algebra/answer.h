@@ -20,6 +20,13 @@ struct Answer {
   std::vector<profile::VorValue> vor;
 };
 
+/// Approximate heap footprint of one answer, for the resource governor's
+/// byte accounting (payload sizes, not allocator slack).
+inline int64_t ApproxAnswerBytes(const Answer& a) {
+  return static_cast<int64_t>(sizeof(Answer)) +
+         static_cast<int64_t>(a.vor.capacity() * sizeof(profile::VorValue));
+}
+
 /// Immutable ranking context shared by sort and topkPrune operators.
 class RankContext {
  public:

@@ -2,11 +2,21 @@
 
 #include <algorithm>
 
+#include "src/common/fault_injector.h"
+#include "src/exec/execution_context.h"
 #include "src/exec/phrase_count_cache.h"
 
 namespace pimento::algebra {
 
 namespace {
+
+/// Governor poll at an operator loop boundary; records the stop site the
+/// first time it fires so partial results can say where execution halted.
+bool GovernedStop(const ExecContext& ctx, const char* site) {
+  if (ctx.governor == nullptr || !ctx.governor->ShouldStop()) return false;
+  ctx.governor->NoteStopSite(site);
+  return true;
+}
 
 uint32_t RegisterPhraseId(const ExecContext& ctx,
                           const index::Phrase& phrase) {
@@ -14,6 +24,10 @@ uint32_t RegisterPhraseId(const ExecContext& ctx,
              ? ctx.count_cache->RegisterPhrase(phrase.text, phrase.window)
              : 0;
 }
+
+/// Approximate per-node footprint of an unordered_set<NodeId> entry
+/// (bucket + node + padding), for the governor's byte accounting.
+constexpr int64_t kApproxHashNodeBytes = 48;
 
 /// Occurrence count of the cursor's phrase inside `node`'s span, memoized
 /// through the context's count cache when one is attached. The cursor path
@@ -109,8 +123,17 @@ ScanOp::ScanOp(const ExecContext& ctx, std::string tag, size_t vor_count)
     : ctx_(ctx), tag_(std::move(tag)), vor_count_(vor_count) {}
 
 bool ScanOp::Next(Answer* out) {
+  // Slow-operator fault site: tests arm it with Kind::kSlow to simulate a
+  // scan that outlives its deadline (the injected Status is ignored — only
+  // the delay side effect matters on this non-Status path).
+  (void)PIMENTO_FAULT_STATUS("exec.scan.next");
+  if (GovernedStop(ctx_, "scan")) return false;
   const std::vector<xml::NodeId>& elems = ctx_.collection->tags().Elements(tag_);
   if (pos_ >= elems.size()) return false;
+  if (ctx_.governor != nullptr && !ctx_.governor->CountAnswer()) {
+    ctx_.governor->NoteStopSite("scan");
+    return false;
+  }
   *out = Answer{};
   out->node = elems[pos_++];
   out->vor.resize(vor_count_);
@@ -186,6 +209,10 @@ bool IndexScanOp::FillBuffer() {
   const size_t bs = static_cast<size_t>(idx.block_size());
   const xml::Document& doc = ctx_.collection->doc();
   while (next_block_ < blockmax_->size()) {
+    if (GovernedStop(ctx_, "iscan")) {
+      exhausted_ = true;
+      return false;
+    }
     const size_t b = next_block_++;
     const int32_t bm = (*blockmax_)[b];
     if (bm == 0) {
@@ -207,6 +234,7 @@ bool IndexScanOp::FillBuffer() {
       }
     }
     ++blocks_visited_;
+    const size_t considered_before = considered_.size();
     const size_t end = std::min(plist.size(), (b + 1) * bs);
     for (size_t i = b * bs; i < end; ++i) {
       xml::NodeId node = ctx_.collection->TokenOwner(plist[i]);
@@ -214,6 +242,18 @@ bool IndexScanOp::FillBuffer() {
         if (doc.node(node).tag != tag_) continue;
         if (!considered_.insert(node).second) continue;
         if (OthersPresent(node)) buffer_.push_back(node);
+      }
+    }
+    if (ctx_.governor != nullptr) {
+      // Charge the block's dedupe-set growth and candidate buffer (the
+      // scan's only data structures that scale with the corpus).
+      const int64_t grown = static_cast<int64_t>(
+          (considered_.size() - considered_before) * kApproxHashNodeBytes +
+          buffer_.size() * sizeof(xml::NodeId));
+      if (!ctx_.governor->TrackBytes(grown)) {
+        ctx_.governor->NoteStopSite("iscan");
+        exhausted_ = true;
+        return false;
       }
     }
     if (!buffer_.empty()) {
@@ -230,6 +270,10 @@ bool IndexScanOp::FillBuffer() {
 bool IndexScanOp::Next(Answer* out) {
   while (true) {
     if (buf_pos_ < buffer_.size()) {
+      if (ctx_.governor != nullptr && !ctx_.governor->CountAnswer()) {
+        ctx_.governor->NoteStopSite("iscan");
+        return false;
+      }
       *out = Answer{};
       out->node = buffer_[buf_pos_++];
       out->vor.resize(vor_count_);
@@ -278,7 +322,7 @@ FtContainsOp::FtContainsOp(const ExecContext& ctx, NavPath nav,
 
 bool FtContainsOp::Next(Answer* out) {
   Answer a;
-  while (PullInput(&a)) {
+  while (!GovernedStop(ctx_, "ftcontains") && PullInput(&a)) {
     double best = 0.0;
     for (xml::NodeId node : ResolveNav(ctx_, a.node, nav_)) {
       best = std::max(best, score::Scorer::ScoreFromCount(
@@ -324,7 +368,7 @@ bool ValuePredOp::Satisfies(xml::NodeId node) const {
 
 bool ValuePredOp::Next(Answer* out) {
   Answer a;
-  while (PullInput(&a)) {
+  while (!GovernedStop(ctx_, "value") && PullInput(&a)) {
     bool sat = false;
     for (xml::NodeId node : ResolveNav(ctx_, a.node, nav_)) {
       if (Satisfies(node)) {
@@ -358,7 +402,7 @@ ExistsOp::ExistsOp(const ExecContext& ctx, NavPath nav, bool required,
 
 bool ExistsOp::Next(Answer* out) {
   Answer a;
-  while (PullInput(&a)) {
+  while (!GovernedStop(ctx_, "exists") && PullInput(&a)) {
     bool exists = !ResolveNav(ctx_, a.node, nav_).empty();
     if (!exists && required_) {
       ++stats_.pruned;
@@ -399,7 +443,7 @@ VorOp::VorOp(const ExecContext& ctx, profile::Vor rule, size_t rule_index)
 
 bool VorOp::Next(Answer* out) {
   Answer a;
-  if (!PullInput(&a)) return false;
+  if (GovernedStop(ctx_, "vor") || !PullInput(&a)) return false;
   if (a.vor.size() <= rule_index_) a.vor.resize(rule_index_ + 1);
   profile::VorValue& value = a.vor[rule_index_];
   const xml::Node& node = ctx_.collection->doc().node(a.node);
@@ -426,7 +470,7 @@ KorOp::KorOp(const ExecContext& ctx, profile::Kor rule, index::Phrase phrase)
 
 bool KorOp::Next(Answer* out) {
   Answer a;
-  if (!PullInput(&a)) return false;
+  if (GovernedStop(ctx_, "kor") || !PullInput(&a)) return false;
   const xml::Node& node = ctx_.collection->doc().node(a.node);
   if (rule_.tag.empty() || node.tag == rule_.tag) {
     a.k += rule_.weight *
@@ -440,13 +484,31 @@ bool KorOp::Next(Answer* out) {
 
 double KorOp::MaxKContribution() const { return rule_.weight * idf_; }
 
-SortOp::SortOp(const RankContext* rank, Param param)
-    : rank_(rank), param_(param) {}
+SortOp::SortOp(const RankContext* rank, Param param,
+               exec::ExecutionContext* governor)
+    : rank_(rank), param_(param), governor_(governor) {}
 
 bool SortOp::Next(Answer* out) {
   if (!drained_) {
     Answer a;
-    while (PullInput(&a)) buffer_.push_back(std::move(a));
+    // A governor stop interrupts the drain but NOT the sort+emit below:
+    // sorting what was buffered is what turns a mid-plan limit into a
+    // best-effort ranked prefix.
+    while (PullInput(&a)) {
+      if (governor_ != nullptr) {
+        const int64_t bytes = ApproxAnswerBytes(a);
+        if (!governor_->TrackBytes(bytes)) {
+          governor_->NoteStopSite("sort");
+          break;
+        }
+        charged_bytes_ += bytes;
+      }
+      buffer_.push_back(std::move(a));
+      if (governor_ != nullptr && governor_->ShouldStop()) {
+        governor_->NoteStopSite("sort");
+        break;
+      }
+    }
     if (param_ == Param::kByS) {
       std::stable_sort(buffer_.begin(), buffer_.end(),
                        [](const Answer& x, const Answer& y) {
@@ -469,6 +531,10 @@ bool SortOp::Next(Answer* out) {
 
 void SortOp::Reset() {
   Operator::Reset();
+  if (governor_ != nullptr && charged_bytes_ > 0) {
+    governor_->ReleaseBytes(charged_bytes_);
+  }
+  charged_bytes_ = 0;
   drained_ = false;
   buffer_.clear();
   pos_ = 0;

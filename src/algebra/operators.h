@@ -12,6 +12,7 @@
 #include "src/tpq/tpq.h"
 
 namespace pimento::exec {
+class ExecutionContext;
 class PhraseCountCache;
 }  // namespace pimento::exec
 
@@ -26,6 +27,12 @@ struct ExecContext {
   /// set, ftcontains/kor operators serve repeated counts from it (shared
   /// across the flock's branches and across batch requests).
   exec::PhraseCountCache* count_cache = nullptr;
+
+  /// Optional per-request resource governor (deadline, cancellation,
+  /// answer/byte budgets). Every operator loop polls it; on stop the
+  /// pipeline ceases to pull new tuples while buffered tuples still flow,
+  /// so the terminal sort + final cut deliver a best-effort top-k prefix.
+  exec::ExecutionContext* governor = nullptr;
 };
 
 /// One navigation step from the distinguished-node binding to the pattern
@@ -313,7 +320,11 @@ class SortOp : public Operator {
     kByRank,  ///< the RankContext's full order (K,V,S / V,K,S / S)
   };
 
-  SortOp(const RankContext* rank, Param param);
+  /// `governor` (optional) is polled while draining the input and charged
+  /// for the buffered answers; on stop the operator sorts and emits what it
+  /// has buffered so far (the best-effort flush).
+  SortOp(const RankContext* rank, Param param,
+         exec::ExecutionContext* governor = nullptr);
 
   bool Next(Answer* out) override;
   void Reset() override;
@@ -325,6 +336,8 @@ class SortOp : public Operator {
  private:
   const RankContext* rank_;
   Param param_;
+  exec::ExecutionContext* governor_;
+  int64_t charged_bytes_ = 0;
   bool drained_ = false;
   std::vector<Answer> buffer_;
   size_t pos_ = 0;

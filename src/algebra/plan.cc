@@ -1,6 +1,7 @@
 #include "src/algebra/plan.h"
 
 #include "src/algebra/topk_prune.h"
+#include "src/exec/execution_context.h"
 
 namespace pimento::algebra {
 
@@ -21,11 +22,27 @@ Operator* Plan::Add(std::unique_ptr<Operator> op) {
   return ops_.back().get();
 }
 
-std::vector<Answer> Plan::Execute() {
+std::vector<Answer> Plan::Execute(exec::ExecutionContext* governor) {
   std::vector<Answer> out;
   if (ops_.empty()) return out;
   Answer a;
-  while (root()->Next(&a)) out.push_back(std::move(a));
+  while (root()->Next(&a)) {
+    if (governor != nullptr && !governor->TrackBytes(ApproxAnswerBytes(a))) {
+      governor->NoteStopSite("result");
+      break;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::string Plan::ProgressDescription() const {
+  std::string out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += ops_[i]->Name() + ":" +
+           std::to_string(ops_[i]->stats().produced);
+  }
   return out;
 }
 

@@ -44,8 +44,15 @@ class Plan {
   size_t size() const { return ops_.size(); }
   Operator* op(size_t i) const { return ops_[i].get(); }
 
-  /// Drains the root operator. Call Reset() first to re-execute.
-  std::vector<Answer> Execute();
+  /// Drains the root operator. Call Reset() first to re-execute. With a
+  /// governor, the result vector is charged against the byte budget and a
+  /// stop yields the answers emitted so far (a best-effort prefix).
+  std::vector<Answer> Execute(exec::ExecutionContext* governor = nullptr);
+
+  /// Per-operator progress ("name:produced", leaf first) — the
+  /// partial-result report of which pipeline stages ran how far before a
+  /// limit fired.
+  std::string ProgressDescription() const;
 
   void Reset();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/exec/execution_context.h"
+
 namespace pimento::algebra {
 
 namespace {
@@ -183,7 +185,13 @@ std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
 }  // namespace
 
 bool StructuralMatch(const index::Collection& collection,
-                     const tpq::Tpq& query, std::vector<xml::NodeId>* out) {
+                     const tpq::Tpq& query, std::vector<xml::NodeId>* out,
+                     exec::ExecutionContext* governor) {
+  auto stop = [governor] {
+    if (governor == nullptr || !governor->ShouldStop()) return false;
+    governor->NoteStopSite("structjoin");
+    return true;
+  };
   out->clear();
   if (query.empty()) return false;
   const int d = query.distinguished();
@@ -203,6 +211,7 @@ bool StructuralMatch(const index::Collection& collection,
     if (vp.optional) continue;
     std::vector<NodeId> kept;
     for (NodeId id : candidates) {
+      if (stop()) break;
       if (ValueHolds(collection, vp, id)) kept.push_back(id);
     }
     candidates = std::move(kept);
@@ -215,7 +224,7 @@ bool StructuralMatch(const index::Collection& collection,
   // (Keyword predicates filter downstream in their scoring operators.)
   for (int n : query.PreOrder()) {
     if (n == d || EffectiveOptional(query, n)) continue;
-    if (candidates.empty()) break;
+    if (candidates.empty() || stop()) break;
     std::vector<PathStep> steps = PathTo(query, n);
     const std::vector<NodeId>& base =
         collection.tags().Elements(query.node(n).tag);

@@ -6,6 +6,10 @@
 #include "src/index/collection.h"
 #include "src/tpq/tpq.h"
 
+namespace pimento::exec {
+class ExecutionContext;
+}  // namespace pimento::exec
+
 namespace pimento::algebra {
 
 /// Sort-merge structural join over the tag indexes (in the spirit of the
@@ -27,8 +31,13 @@ namespace pimento::algebra {
 ///
 /// Returns false (and leaves `out` empty) when the pattern cannot be
 /// pre-filtered this way (a required node with wildcard tag).
+///
+/// `governor` (optional) is polled between semi-join passes; a fired limit
+/// truncates the candidate list (a subset — sound for best-effort partial
+/// answers; strict callers check governor->stopped()).
 bool StructuralMatch(const index::Collection& collection,
-                     const tpq::Tpq& query, std::vector<xml::NodeId>* out);
+                     const tpq::Tpq& query, std::vector<xml::NodeId>* out,
+                     exec::ExecutionContext* governor = nullptr);
 
 }  // namespace pimento::algebra
 

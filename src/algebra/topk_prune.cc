@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/exec/execution_context.h"
+
 namespace pimento::algebra {
 
-TopkPruneOp::TopkPruneOp(const RankContext* rank, TopkPruneOptions options)
-    : rank_(rank), options_(options) {}
+TopkPruneOp::TopkPruneOp(const RankContext* rank, TopkPruneOptions options,
+                         exec::ExecutionContext* governor)
+    : rank_(rank), options_(options), governor_(governor) {}
 
 double TopkPruneOp::CurrentFloorS() const {
   if (options_.final_cut || options_.alg != PruneAlg::kAlg1 ||
@@ -167,7 +170,12 @@ bool TopkPruneOp::Next(Answer* out) {
     return true;
   }
   Answer a;
-  while (PullInput(&a)) {
+  while (true) {
+    if (governor_ != nullptr && governor_->ShouldStop()) {
+      governor_->NoteStopSite("topkPrune");
+      return false;
+    }
+    if (!PullInput(&a)) break;
     Decision d = Decide(a);
     if (d == Decision::kKeep) {
       ++emitted_;

@@ -63,7 +63,10 @@ struct TopkPruneOptions {
 /// seen so far and therefore prunes at least as much, still soundly.
 class TopkPruneOp : public Operator, public ScoreFloor {
  public:
-  TopkPruneOp(const RankContext* rank, TopkPruneOptions options);
+  /// `governor` (optional) is polled in the pull loop: a fired limit stops
+  /// further pulling (typed unwind), never mis-prunes what was seen.
+  TopkPruneOp(const RankContext* rank, TopkPruneOptions options,
+              exec::ExecutionContext* governor = nullptr);
 
   bool Next(Answer* out) override;
   void Reset() override;
@@ -101,6 +104,7 @@ class TopkPruneOp : public Operator, public ScoreFloor {
 
   const RankContext* rank_;
   TopkPruneOptions options_;
+  exec::ExecutionContext* governor_;
   std::vector<Answer> topk_list_;  ///< best→worst under ListBefore
   int emitted_ = 0;
   bool input_exhausted_ = false;

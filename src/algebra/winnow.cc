@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "src/exec/execution_context.h"
+
 namespace pimento::algebra {
 
 std::vector<Answer> Winnow(const RankContext& rank,
-                           const std::vector<Answer>& input) {
+                           const std::vector<Answer>& input,
+                           exec::ExecutionContext* governor) {
   std::vector<Answer> out;
   for (size_t i = 0; i < input.size(); ++i) {
+    if (governor != nullptr && governor->ShouldStop()) {
+      governor->NoteStopSite("winnow");
+      break;
+    }
     bool dominated = false;
     for (size_t j = 0; j < input.size() && !dominated; ++j) {
       if (i == j) continue;
@@ -22,13 +29,14 @@ std::vector<Answer> Winnow(const RankContext& rank,
   return out;
 }
 
-std::vector<std::vector<Answer>> WinnowStrata(const RankContext& rank,
-                                              const std::vector<Answer>& input,
-                                              int max_levels) {
+std::vector<std::vector<Answer>> WinnowStrata(
+    const RankContext& rank, const std::vector<Answer>& input, int max_levels,
+    exec::ExecutionContext* governor) {
   std::vector<std::vector<Answer>> strata;
   std::vector<Answer> remaining = input;
   for (int level = 0; level < max_levels && !remaining.empty(); ++level) {
-    std::vector<Answer> stratum = Winnow(rank, remaining);
+    if (governor != nullptr && governor->stopped()) break;
+    std::vector<Answer> stratum = Winnow(rank, remaining, governor);
     if (stratum.empty()) break;  // defensive: cannot happen for finite input
     // Remove the stratum's members from `remaining` by node id.
     std::vector<Answer> rest;

@@ -5,6 +5,10 @@
 
 #include "src/algebra/answer.h"
 
+namespace pimento::exec {
+class ExecutionContext;
+}  // namespace pimento::exec
+
 namespace pimento::algebra {
 
 /// Chomicki's winnow operator — the purely qualitative baseline the paper
@@ -13,15 +17,18 @@ namespace pimento::algebra {
 /// Unlike PIMENTO's ranking it ignores the K and S scores entirely; the
 /// undominated set is returned in the RankContext's full order for
 /// deterministic output.
+/// `governor` (optional) is polled inside the dominance loop; a fired limit
+/// stops the scan and returns the undominated answers found so far.
 std::vector<Answer> Winnow(const RankContext& rank,
-                           const std::vector<Answer>& input);
+                           const std::vector<Answer>& input,
+                           exec::ExecutionContext* governor = nullptr);
 
 /// Iterated winnow: stratifies the input into preference levels — level 0
 /// is Winnow(input), level 1 is Winnow(rest), and so on (at most
 /// `max_levels`; remaining answers are appended as a final stratum).
-std::vector<std::vector<Answer>> WinnowStrata(const RankContext& rank,
-                                              const std::vector<Answer>& input,
-                                              int max_levels);
+std::vector<std::vector<Answer>> WinnowStrata(
+    const RankContext& rank, const std::vector<Answer>& input, int max_levels,
+    exec::ExecutionContext* governor = nullptr);
 
 }  // namespace pimento::algebra
 

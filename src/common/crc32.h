@@ -1,0 +1,18 @@
+#ifndef PIMENTO_COMMON_CRC32_H_
+#define PIMENTO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pimento {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum framing the
+/// sections of the persisted index image. Table-driven, no dependencies.
+uint32_t Crc32(const void* data, size_t len);
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace pimento
+
+#endif  // PIMENTO_COMMON_CRC32_H_

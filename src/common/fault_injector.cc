@@ -1,0 +1,80 @@
+#include "src/common/fault_injector.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace pimento {
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_[site] = ArmedFault{std::move(spec), 0};
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.erase(site);
+  if (faults_.empty()) armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  hits_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+Status FaultInjector::Check(const char* site) {
+  FaultSpec spec;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_[site];
+    auto it = faults_.find(site);
+    if (it == faults_.end()) return Status::OK();
+    ArmedFault& armed = it->second;
+    if (armed.spec.skip > 0) {
+      --armed.spec.skip;
+      return Status::OK();
+    }
+    if (armed.spec.times == 0) return Status::OK();
+    if (armed.spec.times > 0) --armed.spec.times;
+    ++armed.fired;
+    spec = armed.spec;
+    fire = true;
+  }
+  if (!fire) return Status::OK();
+  switch (spec.kind) {
+    case Kind::kError: {
+      std::string msg = spec.message.empty()
+                            ? "injected fault at " + std::string(site)
+                            : spec.message;
+      return Status(spec.code, std::move(msg));
+    }
+    case Kind::kAllocFail:
+      return Status::ResourceExhausted("injected allocation failure at " +
+                                       std::string(site));
+    case Kind::kSlow:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+      return Status::OK();
+    case Kind::kThrow:
+      throw std::runtime_error("injected exception at " + std::string(site));
+  }
+  return Status::OK();
+}
+
+}  // namespace pimento

@@ -1,0 +1,95 @@
+#ifndef PIMENTO_COMMON_FAULT_INJECTOR_H_
+#define PIMENTO_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace pimento {
+
+/// Deterministic fault injection for robustness tests, compiled in always.
+///
+/// The production fast path is a single relaxed atomic load: when no fault
+/// is armed anywhere in the process, PIMENTO_INJECT_FAULT is one predicted
+/// branch and nothing else. Tests arm named sites to force I/O errors,
+/// allocation failures, and slow operators, then assert the typed Status
+/// that surfaces.
+///
+/// Sites are plain string names chosen at the call site, e.g.
+///   "persist.load.read", "cache.profile.fill", "exec.worker.dispatch".
+/// Hit counts are kept per site (armed or not, while armed() is true) so a
+/// test can verify a site was actually traversed.
+class FaultInjector {
+ public:
+  enum class Kind : uint8_t {
+    kError,      ///< return the spec's status (default kIoError)
+    kAllocFail,  ///< return kResourceExhausted ("allocation failed")
+    kSlow,       ///< sleep delay_ms, then succeed
+    kThrow,      ///< throw std::runtime_error (worker-pool hardening tests)
+  };
+
+  struct FaultSpec {
+    Kind kind = Kind::kError;
+    StatusCode code = StatusCode::kIoError;  ///< for kError
+    std::string message;                     ///< for kError; "" = default
+    int delay_ms = 0;                        ///< for kSlow
+    int skip = 0;      ///< let the first `skip` traversals pass
+    int times = -1;    ///< fire at most `times` traversals (-1 = forever)
+  };
+
+  static FaultInjector& Instance();
+
+  /// Global fast-path flag: true while any site is armed.
+  static bool armed() { return armed_.load(std::memory_order_relaxed); }
+
+  void Arm(const std::string& site, FaultSpec spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Traversals of `site` while the injector was armed (fired or not).
+  int64_t HitCount(const std::string& site) const;
+
+  /// The slow path behind PIMENTO_INJECT_FAULT: counts the traversal and
+  /// applies the armed spec for `site`, if any.
+  Status Check(const char* site);
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedFault {
+    FaultSpec spec;
+    int64_t fired = 0;
+  };
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ArmedFault> faults_;
+  std::unordered_map<std::string, int64_t> hits_;
+};
+
+}  // namespace pimento
+
+/// Fault site check for Status/StatusOr-returning scopes: returns the
+/// injected Status when the site is armed and fires, no-op otherwise.
+#define PIMENTO_INJECT_FAULT(site)                                          \
+  do {                                                                      \
+    if (::pimento::FaultInjector::armed()) {                                \
+      ::pimento::Status _pimento_fault =                                    \
+          ::pimento::FaultInjector::Instance().Check(site);                 \
+      if (!_pimento_fault.ok()) return _pimento_fault;                      \
+    }                                                                       \
+  } while (0)
+
+/// Fault site check for void/non-Status scopes: evaluates to the injected
+/// Status (possibly thrown/delayed side effects included) or OK.
+#define PIMENTO_FAULT_STATUS(site)                    \
+  (::pimento::FaultInjector::armed()                  \
+       ? ::pimento::FaultInjector::Instance().Check(site) \
+       : ::pimento::Status::OK())
+
+#endif  // PIMENTO_COMMON_FAULT_INJECTOR_H_

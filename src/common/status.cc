@@ -22,6 +22,16 @@ const char* CodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCorruptIndex:
+      return "CORRUPT_INDEX";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
   }
   return "UNKNOWN";
 }

@@ -18,6 +18,11 @@ enum class StatusCode {
   kAmbiguous,      ///< ambiguous value-based ordering rules
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,    ///< the request's deadline fired mid-execution
+  kCancelled,           ///< the caller's cancel token was set
+  kResourceExhausted,   ///< a memory/answer budget was exceeded
+  kCorruptIndex,        ///< a persisted index image failed validation
+  kIoError,             ///< an I/O operation failed (or was fault-injected)
 };
 
 /// Result of an operation: a code plus a human-readable message.
@@ -51,6 +56,21 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status CorruptIndex(std::string msg) {
+    return Status(StatusCode::kCorruptIndex, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

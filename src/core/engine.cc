@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/algebra/winnow.h"
+#include "src/exec/execution_context.h"
 #include "src/exec/phrase_count_cache.h"
 #include "src/exec/profile_cache.h"
 #include "src/profile/rule_parser.h"
@@ -59,6 +60,16 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
     const tpq::Tpq& query, const profile::UserProfile& profile,
     const profile::AmbiguityReport& ambiguity,
     const SearchOptions& options) const {
+  // The governor's clock starts here, covering rewriting, planning and
+  // execution. With default limits it is inert (active() == false) and the
+  // whole path is byte-identical to an ungoverned run.
+  exec::ExecutionContext governor(options.limits);
+  // Stage boundary: a token cancelled before the request even starts (or a
+  // deadline that already passed) must be observed deterministically, not
+  // only at the operators' amortized stride-64 polls.
+  if (governor.CheckNow() && !options.allow_partial) {
+    return governor.ToStatus();
+  }
   SearchResult result;
   result.ambiguity = ambiguity;
   if (options.check_ambiguity && result.ambiguity.ambiguous &&
@@ -91,6 +102,7 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
   popts.use_structural_prefilter = options.use_structural_prefilter;
   popts.scan_mode = options.scan_mode;
   popts.count_cache = phrase_count_cache_.get();
+  if (governor.active()) popts.governor = &governor;
   StatusOr<algebra::Plan> built =
       plan::BuildPlan(*collection_, scorer_, result.flock.encoded,
                       profile.vors, profile.kors, popts);
@@ -98,8 +110,20 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
   algebra::Plan plan = *std::move(built);
   result.plan_description = plan.Describe();
 
-  std::vector<algebra::Answer> answers = plan.Execute();
+  std::vector<algebra::Answer> answers = plan.Execute(popts.governor);
   result.stats = plan.CollectStats();
+  if (governor.stopped()) {
+    if (!options.allow_partial) return governor.ToStatus();
+    result.partial = true;
+    result.stop_reason = governor.reason();
+    result.partial_detail = governor.stop_detail();
+    if (!governor.stop_site().empty()) {
+      result.partial_detail += " at " + governor.stop_site();
+    }
+    result.partial_detail += " after " +
+                             std::to_string(governor.ElapsedMs()) +
+                             " ms; progress: " + plan.ProgressDescription();
+  }
 
   algebra::RankContext rank(profile.vors, profile.rank_order);
   result.answers.reserve(answers.size());
@@ -188,26 +212,38 @@ StatusOr<SearchResult> SearchEngine::SearchWinnow(
 
   // Re-materialize algebra answers from the ranked list (scores and VOR
   // values are needed for the dominance test); the plan is re-run since
-  // RankedAnswer drops the VorValue annotations.
+  // RankedAnswer drops the VorValue annotations. The re-run and the O(n^2)
+  // winnow get their own governor (a fresh budget for this phase).
+  exec::ExecutionContext governor(options.limits);
   plan::PlannerOptions popts;
   popts.k = 1 << 28;
   popts.strategy = plan::Strategy::kNaive;
   popts.rank_order = profile.rank_order;
+  if (governor.active()) popts.governor = &governor;
   StatusOr<algebra::Plan> built =
       plan::BuildPlan(*collection_, scorer_, base->flock.encoded,
                       profile.vors, profile.kors, popts);
   if (!built.ok()) return built.status();
   algebra::Plan plan = *std::move(built);
-  std::vector<algebra::Answer> answers = plan.Execute();
+  std::vector<algebra::Answer> answers = plan.Execute(popts.governor);
 
   algebra::RankContext rank(profile.vors, profile.rank_order);
   std::vector<algebra::Answer> undominated =
-      algebra::Winnow(rank, answers);
+      algebra::Winnow(rank, answers, popts.governor);
   if (static_cast<int>(undominated.size()) > options.k) {
     undominated.resize(options.k);
   }
 
   SearchResult result = *std::move(base);
+  if (governor.stopped()) {
+    if (!options.allow_partial) return governor.ToStatus();
+    result.partial = true;
+    result.stop_reason = governor.reason();
+    result.partial_detail = governor.stop_detail();
+    if (!governor.stop_site().empty()) {
+      result.partial_detail += " at " + governor.stop_site();
+    }
+  }
   result.answers.clear();
   result.stats = plan.CollectStats();
   result.plan_description = plan.Describe() + " -> winnow";
@@ -237,8 +273,21 @@ StatusOr<Explanation> SearchEngine::Explain(
     encoded = tpq::ExpandKeywords(encoded, *options.thesaurus,
                                   options.synonym_boost);
   }
-  return ExplainAnswer(*collection_, scorer_, encoded, profile, node,
-                       options.optional_bonus);
+  Explanation explanation = ExplainAnswer(*collection_, scorer_, encoded,
+                                          profile, node,
+                                          options.optional_bonus);
+  const exec::ProfileCache::CacheStats ps = profile_cache_->GetStats();
+  const exec::PhraseCountCache::CacheStats cs =
+      phrase_count_cache_->GetStats();
+  explanation.cache_report =
+      "profile{hits=" + std::to_string(ps.hits) +
+      " misses=" + std::to_string(ps.misses) +
+      " evictions=" + std::to_string(ps.evictions) +
+      " bytes=" + std::to_string(ps.bytes) + "} phrase_count{hits=" +
+      std::to_string(cs.hits) + " misses=" + std::to_string(cs.misses) +
+      " evictions=" + std::to_string(cs.evictions) +
+      " bytes=" + std::to_string(cs.bytes) + "}";
+  return explanation;
 }
 
 std::string SearchEngine::AnswerXml(xml::NodeId node) const {

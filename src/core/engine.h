@@ -10,6 +10,7 @@
 #include "src/algebra/plan.h"
 #include "src/common/status.h"
 #include "src/core/explain.h"
+#include "src/exec/execution_context.h"
 #include "src/index/collection.h"
 #include "src/plan/planner.h"
 #include "src/profile/ambiguity.h"
@@ -52,6 +53,19 @@ struct SearchOptions {
   /// ablation baseline); kPostingsScan forces the anchored scan whenever
   /// anchorable. Answers are byte-identical in every mode.
   plan::ScanMode scan_mode = plan::ScanMode::kAuto;
+
+  /// Per-request resource limits (deadline, cooperative cancellation,
+  /// answer and byte budgets). Defaults to no limits, in which case the
+  /// governed path is never taken and answers are byte-identical to an
+  /// ungoverned run.
+  exec::QueryLimits limits = {};
+
+  /// What happens when a limit fires mid-plan. In degraded mode (true) the
+  /// search returns the best-effort top-k prefix accumulated so far with
+  /// SearchResult::partial = true; in strict mode (false, default) it
+  /// returns the typed error (kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted) instead.
+  bool allow_partial = false;
 };
 
 /// One ranked answer of a personalized search.
@@ -74,6 +88,14 @@ struct SearchResult {
   algebra::PlanStats stats;
   std::string plan_description;
   std::string encoded_query;  ///< the flock-encoded TPQ, printable form
+
+  /// True when a resource limit fired mid-plan and `answers` is the
+  /// best-effort prefix the pipeline had ranked by then (degraded mode).
+  bool partial = false;
+  exec::StopReason stop_reason = exec::StopReason::kNone;
+  /// Which limit fired where, plus per-operator progress — how far each
+  /// pipeline stage (flock branch operator) ran before the stop.
+  std::string partial_detail;
 };
 
 /// One (query, profile) pair of a batch. Profiles are given as text so the

@@ -49,6 +49,7 @@ std::string Explanation::ToString() const {
   for (const ScoreContribution& c : contributions) {
     out += c.ToString() + "\n";
   }
+  if (!cache_report.empty()) out += "  caches: " + cache_report + "\n";
   return out;
 }
 

@@ -30,6 +30,11 @@ struct Explanation {
   double k = 0;
   std::vector<ScoreContribution> contributions;
 
+  /// Engine cache health at explain time (profile + phrase-count caches:
+  /// hits, misses, evictions, resident bytes). Filled by
+  /// SearchEngine::Explain; empty when explaining outside an engine.
+  std::string cache_report;
+
   std::string ToString() const;
 };
 

@@ -9,7 +9,9 @@
 // worker count or scheduling.
 
 #include <chrono>
+#include <exception>
 
+#include "src/common/fault_injector.h"
 #include "src/core/engine.h"
 #include "src/exec/profile_cache.h"
 #include "src/exec/worker_pool.h"
@@ -25,6 +27,30 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// The per-item work, separated so the dispatch wrapper can catch
+/// exceptions (a throwing request fails its own BatchItem, never the
+/// batch) and host the worker-dispatch fault site.
+Status RunBatchItem(const SearchEngine& engine, const BatchRequest& req,
+                    const BatchOptions& options, exec::ProfileCache& cache,
+                    BatchItem* item) {
+  PIMENTO_INJECT_FAULT("exec.worker.dispatch");
+  // Same pipeline as the text-level Search, with the profile compilation
+  // shared through the cache: parse the query, fetch or compile the
+  // profile, run the precompiled search.
+  StatusOr<tpq::Tpq> query = tpq::ParseTpq(req.query_text);
+  if (!query.ok()) return query.status();
+  StatusOr<std::shared_ptr<const exec::CompiledProfile>> compiled =
+      cache.GetOrCompile(req.profile_text);
+  if (!compiled.ok()) return compiled.status();
+  const SearchOptions& search_options =
+      req.options.has_value() ? *req.options : options.search;
+  StatusOr<SearchResult> result = engine.SearchPrecompiled(
+      *query, (*compiled)->profile, (*compiled)->ambiguity, search_options);
+  if (!result.ok()) return result.status();
+  item->result = *std::move(result);
+  return Status::OK();
+}
+
 }  // namespace
 
 BatchResult SearchEngine::BatchSearch(
@@ -38,35 +64,16 @@ BatchResult SearchEngine::BatchSearch(
 
   exec::WorkerPool::ParallelFor(
       options.num_workers, requests.size(), [&](size_t i) {
-        const BatchRequest& req = requests[i];
         BatchItem& item = batch.items[i];
         auto start = std::chrono::steady_clock::now();
-
-        // Same pipeline as the text-level Search, with the profile
-        // compilation shared through the cache: parse the query, fetch or
-        // compile the profile, run the precompiled search.
-        StatusOr<tpq::Tpq> query = tpq::ParseTpq(req.query_text);
-        if (!query.ok()) {
-          item.status = query.status();
-          item.elapsed_ms = MsSince(start);
-          return;
-        }
-        StatusOr<std::shared_ptr<const exec::CompiledProfile>> compiled =
-            profile_cache_->GetOrCompile(req.profile_text);
-        if (!compiled.ok()) {
-          item.status = compiled.status();
-          item.elapsed_ms = MsSince(start);
-          return;
-        }
-        const SearchOptions& search_options =
-            req.options.has_value() ? *req.options : options.search;
-        StatusOr<SearchResult> result =
-            SearchPrecompiled(*query, (*compiled)->profile,
-                              (*compiled)->ambiguity, search_options);
-        if (!result.ok()) {
-          item.status = result.status();
-        } else {
-          item.result = *std::move(result);
+        try {
+          item.status = RunBatchItem(*this, requests[i], options,
+                                     *profile_cache_, &item);
+        } catch (const std::exception& e) {
+          item.status =
+              Status::Internal(std::string("request threw: ") + e.what());
+        } catch (...) {
+          item.status = Status::Internal("request threw a non-exception");
         }
         item.elapsed_ms = MsSince(start);
       });

@@ -1,0 +1,86 @@
+#include "src/exec/execution_context.h"
+
+namespace pimento::exec {
+
+ExecutionContext::ExecutionContext(const QueryLimits& limits)
+    : limits_(limits), active_(!limits.none()) {
+  if (!active_) return;
+  start_ = std::chrono::steady_clock::now();
+  if (limits_.deadline_ms > 0.0) {
+    deadline_ = start_ + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 limits_.deadline_ms));
+  }
+}
+
+bool ExecutionContext::CheckNow() {
+  if (!active_) return false;
+  if (stop_.load(std::memory_order_relaxed) != StopReason::kNone) return true;
+  if (limits_.cancel != nullptr &&
+      limits_.cancel->load(std::memory_order_relaxed)) {
+    Stop(StopReason::kCancelled, "cancelled by caller");
+    return true;
+  }
+  if (limits_.deadline_ms > 0.0 &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    Stop(StopReason::kDeadline,
+         "deadline of " + std::to_string(limits_.deadline_ms) +
+             " ms exceeded");
+    return true;
+  }
+  return false;
+}
+
+bool ExecutionContext::TrackBytes(int64_t n) {
+  if (!active_) return true;
+  bytes_ += n;
+  if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
+  if (limits_.max_bytes > 0 && bytes_ > limits_.max_bytes) {
+    Stop(StopReason::kResourceExhausted,
+         "memory budget exceeded (max_bytes=" +
+             std::to_string(limits_.max_bytes) + ", tracked=" +
+             std::to_string(bytes_) + ")");
+    return false;
+  }
+  return true;
+}
+
+void ExecutionContext::ReleaseBytes(int64_t n) {
+  if (!active_) return;
+  bytes_ -= n;
+  if (bytes_ < 0) bytes_ = 0;
+}
+
+double ExecutionContext::ElapsedMs() const {
+  if (!active_) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+Status ExecutionContext::ToStatus() const {
+  switch (stop_.load(std::memory_order_acquire)) {
+    case StopReason::kNone:
+      return Status::OK();
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded(stop_detail_);
+    case StopReason::kCancelled:
+      return Status::Cancelled(stop_detail_);
+    case StopReason::kResourceExhausted:
+      return Status::ResourceExhausted(stop_detail_);
+  }
+  return Status::Internal("unknown stop reason");
+}
+
+void ExecutionContext::Stop(StopReason reason, std::string detail) {
+  StopReason expected = StopReason::kNone;
+  // First stopper wins; the detail string is only written by the winner,
+  // and only the request's own thread reads it afterwards.
+  if (stop_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_acq_rel)) {
+    stop_detail_ = std::move(detail);
+  }
+}
+
+}  // namespace pimento::exec

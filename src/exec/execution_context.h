@@ -1,0 +1,155 @@
+#ifndef PIMENTO_EXEC_EXECUTION_CONTEXT_H_
+#define PIMENTO_EXEC_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace pimento::exec {
+
+/// Per-request resource limits. Default-constructed limits mean "none":
+/// execution is exactly the ungoverned path and results are byte-identical
+/// to it.
+struct QueryLimits {
+  /// Wall-clock budget for the whole request (parse, plan, execute).
+  /// Non-positive: no deadline.
+  double deadline_ms = 0.0;
+
+  /// Cooperative cancellation token owned by the caller; polled at operator
+  /// boundaries. Null: not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Cap on candidate answers materialized by the plan's leaf scan (an
+  /// upper bound on downstream per-tuple work). Non-positive: no cap.
+  int64_t max_answers = 0;
+
+  /// Cap on bytes the plan's buffering operators (sorts, prune memos, scan
+  /// buffers, the result vector) may track through the governor's
+  /// accounting hook. Approximate by design — it bounds the dominant
+  /// allocations, not every byte. Non-positive: no cap.
+  int64_t max_bytes = 0;
+
+  bool none() const {
+    return deadline_ms <= 0.0 && cancel == nullptr && max_answers <= 0 &&
+           max_bytes <= 0;
+  }
+};
+
+/// Why a governed execution stopped early.
+enum class StopReason : uint8_t {
+  kNone = 0,
+  kDeadline,
+  kCancelled,
+  kResourceExhausted,
+};
+
+/// The per-request resource governor threaded through the whole query path
+/// (planner -> algebra::ExecContext -> every operator loop).
+///
+/// Operators poll ShouldStop() at their loop boundaries; the check is
+/// amortized (the clock is read every kPollStride polls) so governed and
+/// ungoverned execution have indistinguishable per-tuple cost. Once any
+/// limit fires, the stop is sticky: every subsequent poll returns true and
+/// the pipeline unwinds by ceasing to pull new tuples — already-buffered
+/// tuples still flow, which is what turns a mid-plan deadline into a
+/// best-effort top-k prefix instead of an empty result.
+///
+/// Thread model: one governor per request. Polling happens on the request's
+/// worker thread; the cancel token and the stop flag are atomics so an
+/// external thread can cancel and observers can read the outcome safely.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  explicit ExecutionContext(const QueryLimits& limits);
+
+  /// True when any limit is configured; false means every poll is a single
+  /// predictable branch.
+  bool active() const { return active_; }
+
+  /// Amortized limit check; sets the sticky stop state on the first
+  /// violation. Call at operator loop boundaries.
+  bool ShouldStop() {
+    if (!active_) return false;
+    if (stop_.load(std::memory_order_relaxed) != StopReason::kNone) {
+      return true;
+    }
+    if (++polls_ % kPollStride != 0) return false;
+    return CheckNow();
+  }
+
+  /// Like ShouldStop() but never skips the real check; used at stage
+  /// boundaries (between parse / plan / execute) where precision matters
+  /// more than amortization.
+  bool CheckNow();
+
+  bool stopped() const {
+    return stop_.load(std::memory_order_acquire) != StopReason::kNone;
+  }
+  StopReason reason() const { return stop_.load(std::memory_order_acquire); }
+
+  /// The typed error for the stop state: kDeadlineExceeded, kCancelled, or
+  /// kResourceExhausted (OK when not stopped).
+  Status ToStatus() const;
+
+  /// Counts one leaf-materialized candidate against max_answers. Returns
+  /// false (and sets the stop state) when the cap is exceeded.
+  bool CountAnswer() {
+    if (!active_) return true;
+    ++answers_;
+    if (limits_.max_answers > 0 && answers_ > limits_.max_answers) {
+      Stop(StopReason::kResourceExhausted,
+           "answer budget exceeded (max_answers=" +
+               std::to_string(limits_.max_answers) + ")");
+      return false;
+    }
+    return true;
+  }
+
+  /// Accounting-allocator hook: charges `n` bytes against max_bytes.
+  /// Returns false (and sets the stop state) when the budget is exceeded.
+  /// Buffering operators charge growth here; the charge is approximate
+  /// (container payloads, not allocator slack).
+  bool TrackBytes(int64_t n);
+  void ReleaseBytes(int64_t n);
+
+  int64_t bytes_tracked() const { return bytes_; }
+  int64_t peak_bytes() const { return peak_bytes_; }
+  int64_t answers_counted() const { return answers_; }
+
+  /// Milliseconds elapsed since construction.
+  double ElapsedMs() const;
+
+  /// Records the plan stage the stop was first observed at (best-effort,
+  /// for the partial-result report).
+  void NoteStopSite(const char* site) {
+    if (stop_site_.empty()) stop_site_ = site;
+  }
+  const std::string& stop_site() const { return stop_site_; }
+
+  /// Human-readable description of the limit that fired (empty until then).
+  const std::string& stop_detail() const { return stop_detail_; }
+
+  static constexpr uint32_t kPollStride = 64;
+
+ private:
+  void Stop(StopReason reason, std::string detail);
+
+  QueryLimits limits_;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point deadline_{};
+  uint32_t polls_ = 0;
+  int64_t answers_ = 0;
+  int64_t bytes_ = 0;
+  int64_t peak_bytes_ = 0;
+  std::atomic<StopReason> stop_{StopReason::kNone};
+  std::string stop_detail_;
+  std::string stop_site_;
+};
+
+}  // namespace pimento::exec
+
+#endif  // PIMENTO_EXEC_EXECUTION_CONTEXT_H_

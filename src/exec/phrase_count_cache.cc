@@ -30,7 +30,10 @@ void PhraseCountCache::Insert(uint32_t phrase_id, int32_t first, int32_t last,
                               int count) {
   Shard& shard = shards_[ShardOf(phrase_id, first)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.counts.size() >= kShardCapacity) shard.counts.clear();
+  if (shard.counts.size() >= shard_capacity_) {
+    shard.evictions += static_cast<int64_t>(shard.counts.size());
+    shard.counts.clear();
+  }
   shard.counts.emplace(SpanKey{phrase_id, first, last}, count);
 }
 
@@ -40,8 +43,11 @@ PhraseCountCache::CacheStats PhraseCountCache::GetStats() const {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
     stats.entries += shard.counts.size();
   }
+  stats.bytes =
+      static_cast<int64_t>(stats.entries) * kApproxEntryBytes;
   std::lock_guard<std::mutex> lock(registry_mu_);
   stats.phrases = registry_.size();
   return stats;
@@ -53,6 +59,7 @@ void PhraseCountCache::Clear() {
     shard.counts.clear();
     shard.hits = 0;
     shard.misses = 0;
+    shard.evictions = 0;
   }
 }
 

@@ -26,7 +26,11 @@ namespace pimento::exec {
 /// plan operators receive it through the ExecContext.
 class PhraseCountCache {
  public:
-  PhraseCountCache() = default;
+  /// `max_bytes` is a hard cap on the cache's approximate resident bytes:
+  /// the per-shard entry budget is derived from it (never above
+  /// kShardCapacity). max_bytes == 0 keeps the default shard capacity.
+  explicit PhraseCountCache(size_t max_bytes = 0)
+      : shard_capacity_(ShardCapacityFor(max_bytes)), max_bytes_(max_bytes) {}
 
   /// Stable id for the (text, window) phrase identity; the same pair
   /// always returns the same id.
@@ -42,6 +46,8 @@ class PhraseCountCache {
   struct CacheStats {
     int64_t hits = 0;
     int64_t misses = 0;
+    int64_t evictions = 0;  ///< entries dropped by shard resets
+    int64_t bytes = 0;      ///< approximate resident bytes
     size_t entries = 0;
     size_t phrases = 0;
   };
@@ -49,11 +55,21 @@ class PhraseCountCache {
 
   void Clear();
 
+  /// The configured byte cap (0 = default shard capacity) and the entry
+  /// budget per shard it translates to. Exposed for tests.
+  size_t max_bytes() const { return max_bytes_; }
+  size_t shard_capacity() const { return shard_capacity_; }
+
   static constexpr size_t kNumShards = 16;
 
-  /// Per-shard entry cap; a full shard is dropped wholesale (counts are
-  /// recomputable, so eviction only costs time, never correctness).
+  /// Default per-shard entry cap; a full shard is dropped wholesale
+  /// (counts are recomputable, so eviction only costs time, never
+  /// correctness).
   static constexpr size_t kShardCapacity = 1 << 15;
+
+  /// Approximate resident cost of one cached count (key + value + hash
+  /// table overhead).
+  static constexpr size_t kApproxEntryBytes = 48;
 
  private:
   struct SpanKey {
@@ -82,6 +98,7 @@ class PhraseCountCache {
     std::unordered_map<SpanKey, int, SpanKeyHash> counts;
     mutable int64_t hits = 0;
     mutable int64_t misses = 0;
+    int64_t evictions = 0;
   };
 
   static size_t ShardOf(uint32_t phrase_id, int32_t first) {
@@ -90,6 +107,15 @@ class PhraseCountCache {
            kNumShards;
   }
 
+  static size_t ShardCapacityFor(size_t max_bytes) {
+    if (max_bytes == 0) return kShardCapacity;
+    size_t per_shard = max_bytes / kApproxEntryBytes / kNumShards;
+    if (per_shard == 0) per_shard = 1;
+    return per_shard < kShardCapacity ? per_shard : kShardCapacity;
+  }
+
+  size_t shard_capacity_;
+  size_t max_bytes_;
   mutable std::mutex registry_mu_;
   std::map<std::pair<std::string, int>, uint32_t> registry_;
   std::array<Shard, kNumShards> shards_;

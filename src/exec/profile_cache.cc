@@ -2,12 +2,13 @@
 
 #include <utility>
 
+#include "src/common/fault_injector.h"
 #include "src/profile/rule_parser.h"
 
 namespace pimento::exec {
 
-ProfileCache::ProfileCache(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+ProfileCache::ProfileCache(size_t capacity, size_t max_bytes)
+    : capacity_(capacity == 0 ? 1 : capacity), max_bytes_(max_bytes) {}
 
 uint64_t ProfileCache::ContentHash(std::string_view text) {
   uint64_t h = 14695981039346656037ull;  // FNV offset basis
@@ -51,6 +52,10 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
     ++misses_;
   }
 
+  // The cache-fill fault site: tests force a miss-path failure here to
+  // verify it surfaces as this request's Status and poisons nothing.
+  PIMENTO_INJECT_FAULT("cache.profile.fill");
+
   // Compile outside the lock: parsing is the expensive part, and two
   // concurrent misses on the same text are benign (last insert wins with
   // an identical value).
@@ -70,10 +75,18 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
   entry.text = std::string(profile_text);
   entry.compiled = *compiled;
   entry.lru_it = lru_.begin();
+  bytes_ += EntryBytes(entry);
   entries_.emplace(key, std::move(entry));
-  while (entries_.size() > capacity_) {
-    entries_.erase(lru_.back());
+  // Evict from the LRU tail past either cap, but never the entry just
+  // inserted (a single oversized profile still gets served and cached).
+  while (entries_.size() > 1 &&
+         (entries_.size() > capacity_ ||
+          (max_bytes_ > 0 && bytes_ > static_cast<int64_t>(max_bytes_)))) {
+    auto victim = entries_.find(lru_.back());
+    bytes_ -= EntryBytes(victim->second);
+    entries_.erase(victim);
     lru_.pop_back();
+    ++evictions_;
   }
   return *compiled;
 }
@@ -83,8 +96,11 @@ ProfileCache::CacheStats ProfileCache::GetStats() const {
   CacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.bytes = bytes_;
   stats.size = entries_.size();
   stats.capacity = capacity_;
+  stats.max_bytes = max_bytes_;
   return stats;
 }
 
@@ -94,6 +110,8 @@ void ProfileCache::Clear() {
   lru_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+  bytes_ = 0;
 }
 
 }  // namespace pimento::exec

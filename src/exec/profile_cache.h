@@ -34,7 +34,12 @@ struct CompiledProfile {
 /// entry is recompiled and not cached (vanishingly rare, never wrong).
 class ProfileCache {
  public:
-  explicit ProfileCache(size_t capacity = kDefaultCapacity);
+  /// `capacity` bounds the entry count, `max_bytes` the approximate
+  /// resident bytes (profile texts plus per-entry overhead); whichever cap
+  /// is hit first evicts from the LRU tail. max_bytes == 0 disables the
+  /// byte cap.
+  explicit ProfileCache(size_t capacity = kDefaultCapacity,
+                        size_t max_bytes = kDefaultMaxBytes);
 
   /// Returns the cached compilation of `profile_text`, compiling and
   /// inserting on miss. Parse failures are not cached and surface as the
@@ -45,8 +50,11 @@ class ProfileCache {
   struct CacheStats {
     int64_t hits = 0;
     int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t bytes = 0;  ///< approximate resident bytes
     size_t size = 0;
     size_t capacity = 0;
+    size_t max_bytes = 0;
   };
   CacheStats GetStats() const;
 
@@ -57,6 +65,10 @@ class ProfileCache {
   static uint64_t ContentHash(std::string_view text);
 
   static constexpr size_t kDefaultCapacity = 256;
+  static constexpr size_t kDefaultMaxBytes = 8u << 20;
+  /// Approximate fixed cost of one entry beyond its text (map node, LRU
+  /// node, compiled profile).
+  static constexpr size_t kEntryOverheadBytes = 512;
 
  private:
   struct Entry {
@@ -65,12 +77,19 @@ class ProfileCache {
     std::list<uint64_t>::iterator lru_it;
   };
 
+  static int64_t EntryBytes(const Entry& entry) {
+    return static_cast<int64_t>(entry.text.size() + kEntryOverheadBytes);
+  }
+
   mutable std::mutex mu_;
   size_t capacity_;
+  size_t max_bytes_;
   std::list<uint64_t> lru_;  ///< most recently used at the front
   std::unordered_map<uint64_t, Entry> entries_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t bytes_ = 0;
 };
 
 }  // namespace pimento::exec

@@ -13,13 +13,20 @@ WorkerPool::WorkerPool(int num_workers) {
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { Stop(); }
+
+void WorkerPool::Stop() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  // Only the first caller joins; repeated Stop() (including the one the
+  // destructor issues after an explicit Stop()) is a no-op.
+  if (joined_.exchange(true, std::memory_order_acq_rel)) return;
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
@@ -47,7 +54,13 @@ void WorkerPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A throwing task must not wedge the pool: count it and keep
+      // draining so Wait()/Stop() and the destructor still complete.
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -1,7 +1,9 @@
 #ifndef PIMENTO_EXEC_WORKER_POOL_H_
 #define PIMENTO_EXEC_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -16,12 +18,17 @@ namespace pimento::exec {
 /// closures over read-only engine state, so workers need no coordination
 /// beyond the queue itself. Submit() after shutdown is a no-op; the
 /// destructor drains the queue before joining.
+///
+/// Failure model: a task that throws does not take the pool down — the
+/// exception is caught in the worker loop (counted in exceptions_caught())
+/// and the worker keeps draining. Stop() is idempotent and safe to call
+/// any number of times, including before the destructor runs.
 class WorkerPool {
  public:
   /// Spawns `num_workers` threads (clamped to at least 1).
   explicit WorkerPool(int num_workers);
 
-  /// Waits for all pending tasks, then joins the workers.
+  /// Waits for all pending tasks, then joins the workers (via Stop()).
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -34,6 +41,16 @@ class WorkerPool {
 
   /// Blocks until every task submitted so far has finished executing.
   void Wait();
+
+  /// Drains the queue and joins the workers. Idempotent: the first call
+  /// shuts the pool down, later calls are no-ops. After Stop(), Submit()
+  /// is a no-op.
+  void Stop();
+
+  /// Tasks that exited via an exception (swallowed by the worker loop).
+  int64_t exceptions_caught() const {
+    return exceptions_.load(std::memory_order_relaxed);
+  }
 
   /// Runs fn(0), ..., fn(n-1) across `num_workers` threads and waits for
   /// completion. Items are claimed dynamically (an atomic cursor inside),
@@ -51,6 +68,8 @@ class WorkerPool {
   std::deque<std::function<void()>> queue_;
   int in_flight_ = 0;  ///< tasks popped but not yet finished
   bool stopping_ = false;
+  std::atomic<bool> joined_{false};  ///< Stop() already joined the workers
+  std::atomic<int64_t> exceptions_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,8 +1,12 @@
 #include "src/index/persist.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "src/common/crc32.h"
+#include "src/common/fault_injector.h"
 
 namespace pimento::index {
 
@@ -10,6 +14,12 @@ namespace {
 
 constexpr char kMagicV1[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '1'};
 constexpr char kMagicV2[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '2'};
+constexpr char kMagicV3[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '3'};
+
+/// v3 section order; each is independently length- and CRC-framed.
+constexpr const char* kSectionNames[] = {"flags", "vocab", "stream", "blocks",
+                                         "doc"};
+constexpr size_t kNumSections = 5;
 
 // --- little-endian encoding helpers over a string buffer ---
 
@@ -63,6 +73,14 @@ class Reader {
   bool GetRaw(char* dst, size_t n) {
     if (pos_ + n > bytes_.size()) return false;
     std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// A borrowed view of the next `n` bytes (no copy).
+  bool GetView(std::string_view* out, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    *out = bytes_.substr(pos_, n);
     pos_ += n;
     return true;
   }
@@ -121,33 +139,51 @@ bool DeserializeNode(Reader* reader, xml::Document* doc,
   return true;
 }
 
-std::string SerializeImpl(const Collection& collection, bool with_blocks) {
+// --- per-section serializers (shared by all format versions) ---
+
+std::string FlagsSection(const Collection& collection) {
   std::string out;
-  out.append(with_blocks ? kMagicV2 : kMagicV1, 8);
   const text::TokenizeOptions& opts = collection.tokenize_options();
   out.push_back(opts.lowercase ? 1 : 0);
   out.push_back(opts.stem ? 1 : 0);
   out.push_back(opts.drop_stopwords ? 1 : 0);
+  return out;
+}
 
+std::string VocabSection(const Collection& collection) {
+  std::string out;
   const InvertedIndex& idx = collection.keywords();
   PutU32(&out, static_cast<uint32_t>(idx.vocabulary_size()));
   for (TermId t = 0; t < static_cast<TermId>(idx.vocabulary_size()); ++t) {
     PutStr(&out, idx.TermText(t));
   }
+  return out;
+}
+
+std::string StreamSection(const Collection& collection) {
+  std::string out;
+  const InvertedIndex& idx = collection.keywords();
   PutU32(&out, static_cast<uint32_t>(idx.total_tokens()));
   for (int32_t pos = 0; pos < idx.total_tokens(); ++pos) {
     PutI32(&out, idx.StreamTermAt(pos));
   }
+  return out;
+}
 
-  if (with_blocks) {
-    PutU32(&out, static_cast<uint32_t>(idx.block_size()));
-    for (TermId t = 0; t < static_cast<TermId>(idx.vocabulary_size()); ++t) {
-      const std::vector<int32_t>& skips = idx.BlockSkips(t);
-      PutU32(&out, static_cast<uint32_t>(skips.size()));
-      for (int32_t s : skips) PutI32(&out, s);
-    }
+std::string BlocksSection(const Collection& collection) {
+  std::string out;
+  const InvertedIndex& idx = collection.keywords();
+  PutU32(&out, static_cast<uint32_t>(idx.block_size()));
+  for (TermId t = 0; t < static_cast<TermId>(idx.vocabulary_size()); ++t) {
+    const std::vector<int32_t>& skips = idx.BlockSkips(t);
+    PutU32(&out, static_cast<uint32_t>(skips.size()));
+    for (int32_t s : skips) PutI32(&out, s);
   }
+  return out;
+}
 
+std::string DocSection(const Collection& collection) {
+  std::string out;
   if (collection.doc().root() == xml::kInvalidNode) {
     PutU32(&out, 0);
   } else {
@@ -157,29 +193,30 @@ std::string SerializeImpl(const Collection& collection, bool with_blocks) {
   return out;
 }
 
-}  // namespace
-
-std::string SerializeCollection(const Collection& collection) {
-  return SerializeImpl(collection, /*with_blocks=*/true);
+std::string SerializeUnframed(const Collection& collection, bool with_blocks) {
+  std::string out;
+  out.append(with_blocks ? kMagicV2 : kMagicV1, 8);
+  out += FlagsSection(collection);
+  out += VocabSection(collection);
+  out += StreamSection(collection);
+  if (with_blocks) out += BlocksSection(collection);
+  out += DocSection(collection);
+  return out;
 }
 
-std::string SerializeCollectionLegacy(const Collection& collection) {
-  return SerializeImpl(collection, /*with_blocks=*/false);
+void AppendFramed(std::string* out, const std::string& payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  PutU32(out, Crc32(payload));
 }
 
-StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
-  Reader reader(bytes);
-  char magic[8];
-  if (!reader.GetRaw(magic, sizeof(magic))) {
-    return Status::InvalidArgument("not a PIMENTO index (bad magic)");
-  }
-  bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
-  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
-    return Status::InvalidArgument("not a PIMENTO index (bad magic)");
-  }
+/// Parses the concatenated sections (everything after the magic for v1/v2,
+/// the CRC-validated payloads for v3). All failures are kCorruptIndex.
+StatusOr<Collection> ParseBody(std::string_view body, bool with_blocks) {
+  Reader reader(body);
   char flags[3];
   if (!reader.GetRaw(flags, 3)) {
-    return Status::InvalidArgument("truncated index header");
+    return Status::CorruptIndex("truncated index header");
   }
   text::TokenizeOptions opts;
   opts.lowercase = flags[0] != 0;
@@ -188,47 +225,47 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
 
   uint32_t vocab = 0;
   if (!reader.GetU32(&vocab)) {
-    return Status::InvalidArgument("truncated vocabulary");
+    return Status::CorruptIndex("truncated vocabulary");
   }
   std::vector<std::string> terms(vocab);
   for (uint32_t t = 0; t < vocab; ++t) {
     if (!reader.GetStr(&terms[t])) {
-      return Status::InvalidArgument("truncated vocabulary entry");
+      return Status::CorruptIndex("truncated vocabulary entry");
     }
   }
   uint32_t stream_size = 0;
   if (!reader.GetU32(&stream_size)) {
-    return Status::InvalidArgument("truncated token stream");
+    return Status::CorruptIndex("truncated token stream");
   }
   std::vector<int32_t> stream(stream_size);
   for (uint32_t i = 0; i < stream_size; ++i) {
     if (!reader.GetI32(&stream[i])) {
-      return Status::InvalidArgument("truncated token stream entry");
+      return Status::CorruptIndex("truncated token stream entry");
     }
     if (stream[i] < 0 || static_cast<uint32_t>(stream[i]) >= vocab) {
-      return Status::InvalidArgument("token stream references bad term id");
+      return Status::CorruptIndex("token stream references bad term id");
     }
   }
 
   uint32_t block_size = 0;
   std::vector<std::vector<int32_t>> stored_skips;
-  if (v2) {
+  if (with_blocks) {
     if (!reader.GetU32(&block_size)) {
-      return Status::InvalidArgument("truncated block layout");
+      return Status::CorruptIndex("truncated block layout");
     }
     if (block_size == 0) {
-      return Status::InvalidArgument("block size must be positive");
+      return Status::CorruptIndex("block size must be positive");
     }
     stored_skips.resize(vocab);
     for (uint32_t t = 0; t < vocab; ++t) {
       uint32_t nblocks = 0;
       if (!reader.GetU32(&nblocks)) {
-        return Status::InvalidArgument("truncated skip table");
+        return Status::CorruptIndex("truncated skip table");
       }
       stored_skips[t].resize(nblocks);
       for (uint32_t b = 0; b < nblocks; ++b) {
         if (!reader.GetI32(&stored_skips[t][b])) {
-          return Status::InvalidArgument("truncated skip table entry");
+          return Status::CorruptIndex("truncated skip table entry");
         }
       }
     }
@@ -236,28 +273,28 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
 
   uint32_t has_root = 0;
   if (!reader.GetU32(&has_root)) {
-    return Status::InvalidArgument("truncated document");
+    return Status::CorruptIndex("truncated document");
   }
   xml::Document doc;
   if (has_root != 0) {
     if (!DeserializeNode(&reader, &doc, xml::kInvalidNode)) {
-      return Status::InvalidArgument("corrupt document tree");
+      return Status::CorruptIndex("corrupt document tree");
     }
   }
   if (!reader.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after index");
+    return Status::CorruptIndex("trailing bytes after index");
   }
   doc.FinalizeIntervals();
 
   InvertedIndex idx =
       InvertedIndex::FromParts(std::move(terms), std::move(stream));
-  if (v2) {
+  if (with_blocks) {
     idx.FinalizeBlocks(static_cast<int>(block_size));
     // The stored tables are redundant with the rebuilt postings; comparing
     // them catches images whose stream and block sections disagree.
     for (uint32_t t = 0; t < vocab; ++t) {
       if (idx.BlockSkips(static_cast<TermId>(t)) != stored_skips[t]) {
-        return Status::InvalidArgument(
+        return Status::CorruptIndex(
             "skip table mismatch for term " + std::to_string(t) +
             " (corrupt block layout)");
       }
@@ -266,20 +303,110 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
   return Collection::FromPrebuilt(std::move(doc), std::move(idx), opts);
 }
 
+}  // namespace
+
+std::string SerializeCollection(const Collection& collection) {
+  std::string out;
+  out.append(kMagicV3, 8);
+  AppendFramed(&out, FlagsSection(collection));
+  AppendFramed(&out, VocabSection(collection));
+  AppendFramed(&out, StreamSection(collection));
+  AppendFramed(&out, BlocksSection(collection));
+  AppendFramed(&out, DocSection(collection));
+  return out;
+}
+
+std::string SerializeCollectionV2(const Collection& collection) {
+  return SerializeUnframed(collection, /*with_blocks=*/true);
+}
+
+std::string SerializeCollectionLegacy(const Collection& collection) {
+  return SerializeUnframed(collection, /*with_blocks=*/false);
+}
+
+StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
+  Reader reader(bytes);
+  char magic[8];
+  if (!reader.GetRaw(magic, sizeof(magic))) {
+    return Status::CorruptIndex("not a PIMENTO index (bad magic)");
+  }
+  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    // v3: validate every section frame (length + CRC32) before
+    // interpreting a single payload byte.
+    std::string body;
+    for (size_t i = 0; i < kNumSections; ++i) {
+      uint32_t len = 0;
+      std::string_view payload;
+      uint32_t crc = 0;
+      if (!reader.GetU32(&len) || !reader.GetView(&payload, len) ||
+          !reader.GetU32(&crc)) {
+        return Status::CorruptIndex(std::string("truncated section '") +
+                                    kSectionNames[i] + "'");
+      }
+      if (Crc32(payload) != crc) {
+        return Status::CorruptIndex(std::string("checksum mismatch in "
+                                                "section '") +
+                                    kSectionNames[i] +
+                                    "' (corrupt or truncated image)");
+      }
+      body.append(payload);
+    }
+    if (!reader.AtEnd()) {
+      return Status::CorruptIndex("trailing bytes after index");
+    }
+    return ParseBody(body, /*with_blocks=*/true);
+  }
+  bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    return Status::CorruptIndex("not a PIMENTO index (bad magic)");
+  }
+  return ParseBody(bytes.substr(8), /*with_blocks=*/v2);
+}
+
 Status SaveCollection(const Collection& collection, const std::string& path) {
   std::string bytes = SerializeCollection(collection);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::InvalidArgument("cannot open " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::Internal("write failed for " + path);
+  // Atomic save: write the full image to a sibling temp file, then rename
+  // over the target — a crash mid-save never leaves a torn image at `path`.
+  const std::string tmp = path + ".tmp";
+  PIMENTO_INJECT_FAULT("persist.save.open");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    Status write_fault = PIMENTO_FAULT_STATUS("persist.save.write");
+    if (!write_fault.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return write_fault;
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed for " + tmp);
+    }
+  }
+  Status rename_fault = PIMENTO_FAULT_STATUS("persist.save.rename");
+  if (!rename_fault.ok()) {
+    // Simulated crash between write and rename: the temp file is cleaned
+    // up and the previous image at `path` (if any) is left untouched.
+    std::remove(tmp.c_str());
+    return rename_fault;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed for " + path);
+  }
   return Status::OK();
 }
 
 StatusOr<Collection> LoadCollection(const std::string& path) {
+  PIMENTO_INJECT_FAULT("persist.load.open");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
+  PIMENTO_INJECT_FAULT("persist.load.read");
+  if (in.bad()) return Status::IoError("read failed for " + path);
   return DeserializeCollection(bytes);
 }
 

@@ -11,29 +11,44 @@ namespace pimento::index {
 /// Binary persistence for indexed collections, so a corpus is tokenized
 /// and indexed once and reopened instantly.
 ///
-/// Format (little-endian, versioned):
-///   magic "PIMENTO2", tokenize options, vocabulary (term strings),
-///   token stream (term ids), postings block layout (block size plus the
-///   per-term skip tables), document nodes in pre-order (kind, tag/text,
-///   child count, token span). Postings, tag/value indexes and structural
-///   intervals are rebuilt on load (cheap, no text processing); the stored
-///   skip tables are validated against the rebuilt postings so a corrupt
-///   image fails loudly instead of mis-skipping.
+/// Current format (v3, little-endian): magic "PIMENTO3" followed by five
+/// sections — tokenize flags, vocabulary (term strings), token stream
+/// (term ids), postings block layout (block size plus the per-term skip
+/// tables), document nodes in pre-order (kind, tag/text, child count,
+/// token span). Every section is framed as
 ///
-/// Version 1 images ("PIMENTO1", no block layout section) still load; the
-/// block layout is then rebuilt at the default block size.
+///   u32 payload_length | payload | u32 crc32(payload)
+///
+/// so a truncated or bit-flipped image is rejected at load with a precise
+/// kCorruptIndex status naming the damaged section, before any payload is
+/// interpreted. Postings, tag/value indexes and structural intervals are
+/// rebuilt on load (cheap, no text processing); the stored skip tables are
+/// additionally validated against the rebuilt postings.
+///
+/// Older images still load: v2 ("PIMENTO2", same sections unframed) and
+/// v1 ("PIMENTO1", no block layout section; blocks are rebuilt at the
+/// default size).
+///
+/// SaveCollection writes atomically: the image goes to `path + ".tmp"`
+/// first and is renamed over `path` only after a complete, flushed write,
+/// so a crash mid-save never leaves a torn image at `path`.
 
-/// Serializes `collection` into a byte buffer (current format, v2).
+/// Serializes `collection` into a byte buffer (current format, v3).
 std::string SerializeCollection(const Collection& collection);
+
+/// Serializes `collection` in the v2 layout (unframed sections). Exists so
+/// the v2 fallback path stays testable.
+std::string SerializeCollectionV2(const Collection& collection);
 
 /// Serializes `collection` in the legacy v1 layout (no block section).
 /// Exists so the v1 fallback path stays testable.
 std::string SerializeCollectionLegacy(const Collection& collection);
 
-/// Reconstructs a collection from SerializeCollection output.
+/// Reconstructs a collection from SerializeCollection output. Corrupt or
+/// truncated images fail with kCorruptIndex.
 StatusOr<Collection> DeserializeCollection(std::string_view bytes);
 
-/// File convenience wrappers.
+/// File convenience wrappers. SaveCollection is atomic (tmp + rename).
 Status SaveCollection(const Collection& collection, const std::string& path);
 StatusOr<Collection> LoadCollection(const std::string& path);
 

@@ -139,13 +139,15 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
   algebra::Plan plan;
   algebra::RankContext* rank =
       plan.MakeRankContext(vors, options.rank_order);
-  algebra::ExecContext ctx{&collection, &scorer, options.count_cache};
+  algebra::ExecContext ctx{&collection, &scorer, options.count_cache,
+                           options.governor};
 
   std::vector<std::unique_ptr<algebra::Operator>> seq;
   bool prefiltered = false;
   if (options.use_structural_prefilter) {
     std::vector<xml::NodeId> matches;
-    if (algebra::StructuralMatch(collection, query, &matches)) {
+    if (algebra::StructuralMatch(collection, query, &matches,
+                                 options.governor)) {
       std::vector<algebra::Answer> answers;
       answers.reserve(matches.size());
       for (xml::NodeId node : matches) {
@@ -286,7 +288,8 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
     po.vor_mode = options.vor_mode;
     po.sorted_input = sorted_input;
     prune_indices.push_back(seq.size());
-    seq.push_back(std::make_unique<algebra::TopkPruneOp>(rank, po));
+    seq.push_back(
+        std::make_unique<algebra::TopkPruneOp>(rank, po, options.governor));
   };
   auto add_kor = [&](const profile::Kor& kor) {
     seq.push_back(std::make_unique<algebra::KorOp>(
@@ -294,7 +297,7 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
   };
   auto add_sort = [&]() {
     seq.push_back(std::make_unique<algebra::SortOp>(
-        rank, algebra::SortOp::Param::kByRank));
+        rank, algebra::SortOp::Param::kByRank, options.governor));
   };
 
   switch (early ? options.strategy : Strategy::kNaive) {
@@ -336,7 +339,8 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
     po.vor_mode = options.vor_mode;
     po.sorted_input = true;
     po.final_cut = true;
-    seq.push_back(std::make_unique<algebra::TopkPruneOp>(rank, po));
+    seq.push_back(
+        std::make_unique<algebra::TopkPruneOp>(rank, po, options.governor));
   }
 
   // Score bounds: suffix sums of the downstream operators' maximum

@@ -12,6 +12,7 @@
 #include "src/tpq/tpq.h"
 
 namespace pimento::exec {
+class ExecutionContext;
 class PhraseCountCache;
 }  // namespace pimento::exec
 
@@ -74,6 +75,11 @@ struct PlannerOptions {
   /// Optional engine-owned (phrase, span) count memo, handed to the plan's
   /// operators through the ExecContext.
   exec::PhraseCountCache* count_cache = nullptr;
+
+  /// Optional per-request resource governor. When set, the structural
+  /// prefilter and every operator poll it; a fired limit stops pulling new
+  /// tuples while buffered ones still flow (best-effort top-k prefix).
+  exec::ExecutionContext* governor = nullptr;
 };
 
 /// Compiles the (flock-encoded) query plus the profile's ordering rules into

@@ -1,0 +1,356 @@
+// Fault injection: every named site — index load/save, cache fill, worker
+// dispatch — surfaces a typed Status when forced to fail, and nothing
+// crashes, wedges, or poisons shared state. Also the WorkerPool hardening
+// regressions (idempotent Stop, throwing tasks) and the cache cap /
+// counter behavior.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/exec/phrase_count_cache.h"
+#include "src/exec/profile_cache.h"
+#include "src/exec/worker_pool.h"
+#include "src/index/persist.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento {
+namespace {
+
+using core::BatchOptions;
+using core::BatchRequest;
+using core::BatchResult;
+using core::SearchEngine;
+using core::SearchOptions;
+using index::Collection;
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\")] and "
+    "./price < 5000]";
+
+constexpr const char* kCarProfile = R"(
+profile faulty
+rank K,V,S
+kor pi4: tag=car prefer ftcontains("best bid")
+)";
+
+Collection CarCollection(int cars = 25) {
+  data::CarGenOptions gen;
+  gen.num_cars = cars;
+  return Collection::Build(data::GenerateCarDealer(gen));
+}
+
+SearchEngine CarEngine(int cars = 40) {
+  return SearchEngine(CarCollection(cars));
+}
+
+/// Disarms every fault when a test exits, even via an assertion failure.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::Instance().DisarmAll(); }
+};
+
+// --- injector unit behavior ---
+
+TEST(FaultInjectorTest, DisarmedIsInvisible) {
+  EXPECT_FALSE(FaultInjector::armed());
+  // The macro must be a no-op with no side effects.
+  auto site = [] {
+    PIMENTO_INJECT_FAULT("fault_test.unit");
+    return Status::OK();
+  };
+  EXPECT_TRUE(site().ok());
+}
+
+TEST(FaultInjectorTest, ArmedSiteFiresWithConfiguredStatus) {
+  FaultGuard guard;
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kError;
+  spec.code = StatusCode::kIoError;
+  spec.message = "disk on fire";
+  FaultInjector::Instance().Arm("fault_test.unit", spec);
+  EXPECT_TRUE(FaultInjector::armed());
+
+  Status status = FaultInjector::Instance().Check("fault_test.unit");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.ToString().find("disk on fire"), std::string::npos);
+
+  // Unarmed sites pass even while the injector is globally armed.
+  EXPECT_TRUE(FaultInjector::Instance().Check("fault_test.other").ok());
+}
+
+TEST(FaultInjectorTest, SkipAndTimesWindowTheFault) {
+  FaultGuard guard;
+  FaultInjector::FaultSpec spec;
+  spec.skip = 2;   // first two traversals pass
+  spec.times = 1;  // then exactly one failure
+  FaultInjector::Instance().Arm("fault_test.window", spec);
+  EXPECT_TRUE(FaultInjector::Instance().Check("fault_test.window").ok());
+  EXPECT_TRUE(FaultInjector::Instance().Check("fault_test.window").ok());
+  EXPECT_FALSE(FaultInjector::Instance().Check("fault_test.window").ok());
+  EXPECT_TRUE(FaultInjector::Instance().Check("fault_test.window").ok());
+  EXPECT_EQ(FaultInjector::Instance().HitCount("fault_test.window"), 4);
+}
+
+TEST(FaultInjectorTest, AllocFailMapsToResourceExhausted) {
+  FaultGuard guard;
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kAllocFail;
+  FaultInjector::Instance().Arm("fault_test.alloc", spec);
+  EXPECT_EQ(FaultInjector::Instance().Check("fault_test.alloc").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(FaultInjectorTest, DisarmAllClearsEverything) {
+  FaultInjector::Instance().Arm("fault_test.a", {});
+  FaultInjector::Instance().Arm("fault_test.b", {});
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_TRUE(FaultInjector::Instance().Check("fault_test.a").ok());
+}
+
+// --- persistence fault sites ---
+
+TEST(FaultTest, SaveOpenFaultSurfacesAndLeavesNoFile) {
+  FaultGuard guard;
+  Collection original = CarCollection(5);
+  std::string path = ::testing::TempDir() + "/fault_save_open.idx";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  FaultInjector::Instance().Arm("persist.save.open", {});
+  Status status = index::SaveCollection(original, path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(FaultTest, RenameFaultPreservesPriorImageAndTempIsGone) {
+  FaultGuard guard;
+  Collection original = CarCollection(5);
+  std::string path = ::testing::TempDir() + "/fault_save_rename.idx";
+
+  // First save succeeds and becomes the durable image.
+  ASSERT_TRUE(index::SaveCollection(original, path).ok());
+
+  // A crash at the rename step must leave the durable image untouched and
+  // clean up the temp file.
+  FaultInjector::Instance().Arm("persist.save.rename", {});
+  Collection other = CarCollection(9);
+  Status status = index::SaveCollection(other, path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  FaultInjector::Instance().DisarmAll();
+  auto loaded = index::LoadCollection(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->doc().size(), original.doc().size());
+  std::remove(path.c_str());
+}
+
+TEST(FaultTest, WriteFaultRemovesTempFile) {
+  FaultGuard guard;
+  Collection original = CarCollection(5);
+  std::string path = ::testing::TempDir() + "/fault_save_write.idx";
+  std::remove(path.c_str());
+
+  FaultInjector::Instance().Arm("persist.save.write", {});
+  Status status = index::SaveCollection(original, path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(FaultTest, LoadFaultSitesSurfaceTypedErrors) {
+  FaultGuard guard;
+  Collection original = CarCollection(5);
+  std::string path = ::testing::TempDir() + "/fault_load.idx";
+  ASSERT_TRUE(index::SaveCollection(original, path).ok());
+
+  FaultInjector::Instance().Arm("persist.load.open", {});
+  EXPECT_EQ(index::LoadCollection(path).status().code(),
+            StatusCode::kIoError);
+  FaultInjector::Instance().DisarmAll();
+
+  FaultInjector::Instance().Arm("persist.load.read", {});
+  EXPECT_EQ(index::LoadCollection(path).status().code(),
+            StatusCode::kIoError);
+  FaultInjector::Instance().DisarmAll();
+
+  // With faults cleared the same path loads fine — nothing was poisoned.
+  EXPECT_TRUE(index::LoadCollection(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- cache fill fault site ---
+
+TEST(FaultTest, ProfileCacheFillFaultFailsRequestNotCache) {
+  FaultGuard guard;
+  SearchEngine engine = CarEngine();
+
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kAllocFail;
+  spec.times = 1;
+  FaultInjector::Instance().Arm("cache.profile.fill", spec);
+
+  auto failed = engine.Search(kCarQuery, kCarProfile, SearchOptions{.k = 5});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+
+  // The failed fill must not have cached anything broken: the same profile
+  // compiles and runs once the fault is exhausted.
+  auto ok = engine.Search(kCarQuery, kCarProfile, SearchOptions{.k = 5});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_FALSE(ok->answers.empty());
+}
+
+// --- worker dispatch fault sites ---
+
+TEST(FaultTest, DispatchFaultFailsOnlyItsBatchItem) {
+  FaultGuard guard;
+  SearchEngine engine = CarEngine();
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kError;
+  spec.code = StatusCode::kInternal;
+  spec.skip = 1;   // request 0 passes
+  spec.times = 1;  // request 1 fails, request 2 passes
+  FaultInjector::Instance().Arm("exec.worker.dispatch", spec);
+
+  std::vector<BatchRequest> requests(3, BatchRequest{kCarQuery, kCarProfile, {}});
+  BatchOptions options;
+  options.num_workers = 1;  // deterministic dispatch order
+  BatchResult batch = engine.BatchSearch(requests, options);
+  ASSERT_EQ(batch.items.size(), 3u);
+  EXPECT_TRUE(batch.items[0].status.ok());
+  EXPECT_EQ(batch.items[1].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(batch.items[2].status.ok());
+}
+
+TEST(FaultTest, ThrowingDispatchBecomesInternalStatusAndBatchCompletes) {
+  FaultGuard guard;
+  SearchEngine engine = CarEngine();
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kThrow;
+  spec.times = 1;
+  FaultInjector::Instance().Arm("exec.worker.dispatch", spec);
+
+  std::vector<BatchRequest> requests(4, BatchRequest{kCarQuery, kCarProfile, {}});
+  BatchOptions options;
+  options.num_workers = 2;
+  BatchResult batch = engine.BatchSearch(requests, options);
+  ASSERT_EQ(batch.items.size(), 4u);
+  int failures = 0;
+  for (const auto& item : batch.items) {
+    if (!item.status.ok()) {
+      ++failures;
+      EXPECT_EQ(item.status.code(), StatusCode::kInternal);
+    }
+  }
+  EXPECT_EQ(failures, 1);
+
+  // The engine is still healthy afterwards.
+  FaultInjector::Instance().DisarmAll();
+  BatchResult again = engine.BatchSearch(requests, options);
+  for (const auto& item : again.items) EXPECT_TRUE(item.status.ok());
+}
+
+// --- WorkerPool hardening regressions ---
+
+TEST(WorkerPoolTest, StopIsIdempotent) {
+  exec::WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Stop();
+  pool.Stop();  // second call must be a harmless no-op
+  EXPECT_EQ(ran.load(), 8);
+  pool.Submit([&ran] { ran.fetch_add(1); });  // no-op after Stop
+  pool.Stop();
+  EXPECT_EQ(ran.load(), 8);
+}  // destructor runs Stop() a fourth time
+
+TEST(WorkerPoolTest, ThrowingTaskDoesNotWedgeThePool) {
+  exec::WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 6; ++i) {
+    pool.Submit([&ran, i] {
+      if (i % 2 == 0) throw std::runtime_error("task failed");
+      ran.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(pool.exceptions_caught(), 3);
+  pool.Stop();  // and the pool still shuts down cleanly
+}
+
+TEST(WorkerPoolTest, NonExceptionWorkStillRunsAfterThrow) {
+  exec::WorkerPool pool(1);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.exceptions_caught(), 1);
+}
+
+// --- cache caps and counters ---
+
+TEST(CacheStatsTest, ProfileCacheCountsHitsMissesAndEvictsByBytes) {
+  // Byte cap small enough that two entries can never coexist.
+  exec::ProfileCache cache(/*capacity=*/64, /*max_bytes=*/700);
+  std::string p1 = "profile a\nkor k: tag=car prefer ftcontains(\"x\")\n";
+  std::string p2 = "profile b\nkor k: tag=car prefer ftcontains(\"y\")\n";
+
+  ASSERT_TRUE(cache.GetOrCompile(p1).ok());
+  ASSERT_TRUE(cache.GetOrCompile(p1).ok());  // hit
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_GT(stats.bytes, 0);
+  EXPECT_LE(stats.bytes, 700);
+
+  ASSERT_TRUE(cache.GetOrCompile(p2).ok());  // forces eviction of p1
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_LE(stats.bytes, 700);
+}
+
+TEST(CacheStatsTest, PhraseCountCacheDerivesShardBudgetFromByteCap) {
+  exec::PhraseCountCache uncapped;
+  EXPECT_EQ(uncapped.shard_capacity(), exec::PhraseCountCache::kShardCapacity);
+
+  exec::PhraseCountCache capped(/*max_bytes=*/1u << 16);
+  EXPECT_LT(capped.shard_capacity(), exec::PhraseCountCache::kShardCapacity);
+  EXPECT_GE(capped.shard_capacity(), 1u);
+}
+
+TEST(CacheStatsTest, ExplainReportsCacheCounters) {
+  SearchEngine engine = CarEngine();
+  auto query = tpq::ParseTpq(kCarQuery);
+  ASSERT_TRUE(query.ok());
+  auto search = engine.Search(kCarQuery, kCarProfile, SearchOptions{.k = 5});
+  ASSERT_TRUE(search.ok());
+  ASSERT_FALSE(search->answers.empty());
+
+  auto profile = profile::ParseProfile(kCarProfile);
+  ASSERT_TRUE(profile.ok());
+  auto explanation =
+      engine.Explain(*query, *profile, search->answers[0].node);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_NE(explanation->cache_report.find("profile{"), std::string::npos);
+  EXPECT_NE(explanation->cache_report.find("phrase_count{"), std::string::npos);
+  EXPECT_NE(explanation->ToString().find("caches:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pimento

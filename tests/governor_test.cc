@@ -1,0 +1,352 @@
+// Resource-governed execution: deadlines, cooperative cancellation, answer
+// and byte budgets, strict vs. degraded (partial-result) mode, and the
+// no-limits identity guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/exec/execution_context.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::core {
+namespace {
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\")] and "
+    "./price < 5000]";
+
+constexpr const char* kCarProfile = R"(
+profile governed
+rank K,V,S
+vor pi1: tag=car prefer color = "red"
+kor pi4: tag=car prefer ftcontains("best bid")
+kor pi5: tag=car prefer ftcontains("NYC")
+)";
+
+SearchEngine CarEngine(int cars = 80) {
+  data::CarGenOptions gen;
+  gen.num_cars = cars;
+  return SearchEngine(index::Collection::Build(data::GenerateCarDealer(gen)));
+}
+
+SearchEngine XmarkEngine(size_t target_bytes = 256u << 10) {
+  return SearchEngine(index::Collection::Build(
+      data::GenerateXmark({.target_bytes = target_bytes})));
+}
+
+std::string Canonical(const SearchResult& result) {
+  std::string out;
+  char buf[64];
+  for (const RankedAnswer& a : result.answers) {
+    std::snprintf(buf, sizeof(buf), "#%d n%d s=%a k=%a\n", a.rank, a.node,
+                  a.s, a.k);
+    out += buf;
+  }
+  return out;
+}
+
+// --- ExecutionContext unit behavior ---
+
+TEST(ExecutionContextTest, NoLimitsIsInert) {
+  exec::ExecutionContext ctx{exec::QueryLimits{}};
+  EXPECT_FALSE(ctx.active());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.CountAnswer());
+  EXPECT_TRUE(ctx.TrackBytes(1 << 30));
+  EXPECT_FALSE(ctx.stopped());
+  EXPECT_TRUE(ctx.ToStatus().ok());
+}
+
+TEST(ExecutionContextTest, DeadlineFiresSticky) {
+  exec::QueryLimits limits;
+  limits.deadline_ms = 0.01;
+  exec::ExecutionContext ctx{limits};
+  EXPECT_TRUE(ctx.active());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(ctx.CheckNow());
+  EXPECT_TRUE(ctx.stopped());
+  EXPECT_EQ(ctx.reason(), exec::StopReason::kDeadline);
+  EXPECT_EQ(ctx.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  // Sticky: every later poll reports the stop without re-reading the clock.
+  EXPECT_TRUE(ctx.ShouldStop());
+}
+
+TEST(ExecutionContextTest, CancellationToken) {
+  std::atomic<bool> cancel{false};
+  exec::QueryLimits limits;
+  limits.cancel = &cancel;
+  exec::ExecutionContext ctx{limits};
+  EXPECT_FALSE(ctx.CheckNow());
+  cancel.store(true);
+  EXPECT_TRUE(ctx.CheckNow());
+  EXPECT_EQ(ctx.reason(), exec::StopReason::kCancelled);
+  EXPECT_EQ(ctx.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContextTest, AnswerAndByteBudgets) {
+  exec::QueryLimits limits;
+  limits.max_answers = 3;
+  exec::ExecutionContext ctx{limits};
+  EXPECT_TRUE(ctx.CountAnswer());
+  EXPECT_TRUE(ctx.CountAnswer());
+  EXPECT_TRUE(ctx.CountAnswer());
+  EXPECT_FALSE(ctx.CountAnswer());
+  EXPECT_EQ(ctx.reason(), exec::StopReason::kResourceExhausted);
+
+  exec::QueryLimits blimits;
+  blimits.max_bytes = 100;
+  exec::ExecutionContext bctx{blimits};
+  EXPECT_TRUE(bctx.TrackBytes(60));
+  bctx.ReleaseBytes(30);
+  EXPECT_TRUE(bctx.TrackBytes(60));  // 90 tracked, under budget
+  EXPECT_EQ(bctx.peak_bytes(), 90);
+  EXPECT_FALSE(bctx.TrackBytes(20));  // 110 > 100
+  EXPECT_EQ(bctx.ToStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecutionContextTest, FirstStopSiteWins) {
+  exec::QueryLimits limits;
+  limits.max_answers = 1;
+  exec::ExecutionContext ctx{limits};
+  ctx.CountAnswer();
+  ctx.CountAnswer();
+  ctx.NoteStopSite("scan");
+  ctx.NoteStopSite("sort");
+  EXPECT_EQ(ctx.stop_site(), "scan");
+}
+
+// --- identity: no limits (or generous limits) change nothing ---
+
+TEST(GovernorTest, GenerousLimitsAreByteIdenticalToUngovernedRun) {
+  SearchEngine engine = CarEngine();
+  exec::QueryLimits generous;
+  generous.deadline_ms = 60000.0;
+  generous.max_answers = 1 << 28;
+  generous.max_bytes = 1ll << 40;
+  for (plan::ScanMode mode : {plan::ScanMode::kAuto, plan::ScanMode::kTagScan,
+                              plan::ScanMode::kPostingsScan}) {
+    for (const char* rank : {"rank S\n", "rank K,V,S\n", "rank V,K,S\n"}) {
+      std::string profile = std::string("profile p\n") + rank +
+                            "vor pi1: tag=car prefer color = \"red\"\n"
+                            "kor pi4: tag=car prefer ftcontains(\"NYC\")\n";
+      SearchOptions plain{.k = 10, .scan_mode = mode};
+      SearchOptions governed{.k = 10, .scan_mode = mode, .limits = generous};
+      auto r1 = engine.Search(kCarQuery, profile, plain);
+      auto r2 = engine.Search(kCarQuery, profile, governed);
+      ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+      ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+      EXPECT_FALSE(r2->partial);
+      EXPECT_EQ(Canonical(*r1), Canonical(*r2))
+          << "scan mode " << static_cast<int>(mode) << " rank " << rank;
+    }
+  }
+}
+
+// --- strict vs. degraded outcomes ---
+
+TEST(GovernorTest, MaxAnswersStrictReturnsTypedError) {
+  SearchEngine engine = CarEngine();
+  SearchOptions options{.k = 10};
+  options.limits.max_answers = 5;
+  auto result = engine.Search(kCarQuery, kCarProfile, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, MaxAnswersPartialReturnsRankedPrefix) {
+  SearchEngine engine = CarEngine();
+  SearchOptions options{.k = 10};
+  options.limits.max_answers = 5;
+  options.allow_partial = true;
+  auto result = engine.Search(kCarQuery, kCarProfile, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->partial);
+  EXPECT_EQ(result->stop_reason, exec::StopReason::kResourceExhausted);
+  EXPECT_FALSE(result->partial_detail.empty());
+  // The prefix is still ranked 1..n.
+  for (size_t i = 0; i < result->answers.size(); ++i) {
+    EXPECT_EQ(result->answers[i].rank, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(GovernorTest, UnfiredLimitsLeavePartialFalseAndAnswersIdentical) {
+  SearchEngine engine = CarEngine();
+  auto full = engine.Search(kCarQuery, kCarProfile, SearchOptions{.k = 10});
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full->answers.empty());
+
+  // A budget the query never reaches must not change anything: no partial
+  // flag, byte-identical ranking.
+  SearchOptions options{.k = 10};
+  options.limits.max_answers = 1 << 20;
+  options.allow_partial = true;
+  auto governed = engine.Search(kCarQuery, kCarProfile, options);
+  ASSERT_TRUE(governed.ok());
+  EXPECT_FALSE(governed->partial);
+  EXPECT_EQ(Canonical(*full), Canonical(*governed));
+}
+
+TEST(GovernorTest, PreCancelledStrictFailsWithCancelled) {
+  SearchEngine engine = CarEngine();
+  std::atomic<bool> cancel{true};
+  SearchOptions options{.k = 10};
+  options.limits.cancel = &cancel;
+  auto result = engine.Search(kCarQuery, kCarProfile, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernorTest, CrossThreadCancellationUnwinds) {
+  SearchEngine engine = XmarkEngine();
+  // Slow the scan down so the canceller always wins the race.
+  FaultInjector::FaultSpec slow;
+  slow.kind = FaultInjector::Kind::kSlow;
+  slow.delay_ms = 1;
+  FaultInjector::Instance().Arm("exec.scan.next", slow);
+
+  std::atomic<bool> cancel{false};
+  SearchOptions options{.k = 10};
+  options.limits.cancel = &cancel;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    cancel.store(true);
+  });
+  auto result = engine.Search("//person[.//business[ftcontains(., \"Yes\")]]",
+                              options);
+  canceller.join();
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernorTest, TinyByteBudgetStopsWithResourceExhausted) {
+  SearchEngine engine = XmarkEngine();
+  SearchOptions options{.k = 50};
+  options.limits.max_bytes = 512;
+  auto result = engine.Search("//person[.//business[ftcontains(., \"Yes\")]]", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  options.allow_partial = true;
+  auto degraded = engine.Search("//person[.//business[ftcontains(., \"Yes\")]]", options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->partial);
+  EXPECT_EQ(degraded->stop_reason, exec::StopReason::kResourceExhausted);
+}
+
+// --- deadline behavior on a larger corpus ---
+
+TEST(GovernorTest, OneMsBudgetReturnsWellUnderFiftyMs) {
+  SearchEngine engine = XmarkEngine(512u << 10);
+  SearchOptions options{.k = 10};
+  options.limits.deadline_ms = 1.0;
+  options.allow_partial = true;
+  const char* query = "//person[.//business[ftcontains(., \"Yes\")]]";
+
+  std::vector<double> elapsed;
+  for (int i = 0; i < 30; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = engine.Search(query, options);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    elapsed.push_back(ms);
+  }
+  std::sort(elapsed.begin(), elapsed.end());
+  // p99 on 30 samples is the max; the bound has a wide margin over the
+  // poll stride's worst-case overshoot, so it holds under sanitizers too.
+  EXPECT_LT(elapsed.back(), 50.0)
+      << "a 1 ms budget must cut execution well before 50 ms";
+}
+
+TEST(GovernorTest, DeadlinePartialReportsProgress) {
+  SearchEngine engine = XmarkEngine(512u << 10);
+  // Pin the stop to the scan with a slow-operator fault so the test is
+  // deterministic: the deadline always fires mid-scan.
+  FaultInjector::FaultSpec slow;
+  slow.kind = FaultInjector::Kind::kSlow;
+  slow.delay_ms = 1;
+  FaultInjector::Instance().Arm("exec.scan.next", slow);
+  SearchOptions options{.k = 10};
+  options.limits.deadline_ms = 5.0;
+  options.allow_partial = true;
+  auto result = engine.Search("//person[.//business[ftcontains(., \"Yes\")]]", options);
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->partial);
+  EXPECT_EQ(result->stop_reason, exec::StopReason::kDeadline);
+  // The partial report names the stage and the per-operator progress.
+  EXPECT_NE(result->partial_detail.find("progress:"), std::string::npos)
+      << result->partial_detail;
+}
+
+TEST(GovernorTest, StrictDeadlineReturnsDeadlineExceeded) {
+  SearchEngine engine = XmarkEngine(512u << 10);
+  FaultInjector::FaultSpec slow;
+  slow.kind = FaultInjector::Kind::kSlow;
+  slow.delay_ms = 1;
+  FaultInjector::Instance().Arm("exec.scan.next", slow);
+  SearchOptions options{.k = 10};
+  options.limits.deadline_ms = 5.0;
+  auto result = engine.Search("//person[.//business[ftcontains(., \"Yes\")]]", options);
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --- batch: per-request limits ---
+
+TEST(GovernorTest, BatchThreadsPerRequestLimits) {
+  SearchEngine engine = CarEngine();
+  SearchOptions strict{.k = 10};
+  strict.limits.max_answers = 3;
+  SearchOptions degraded{.k = 10};
+  degraded.limits.max_answers = 3;
+  degraded.allow_partial = true;
+
+  std::vector<BatchRequest> requests;
+  requests.push_back({kCarQuery, kCarProfile, std::nullopt});
+  requests.push_back({kCarQuery, kCarProfile, strict});
+  requests.push_back({kCarQuery, kCarProfile, degraded});
+  BatchResult batch = engine.BatchSearch(requests, BatchOptions{});
+  ASSERT_EQ(batch.items.size(), 3u);
+  EXPECT_TRUE(batch.items[0].status.ok());
+  EXPECT_FALSE(batch.items[0].result.partial);
+  EXPECT_EQ(batch.items[1].status.code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(batch.items[2].status.ok());
+  EXPECT_TRUE(batch.items[2].result.partial);
+}
+
+// --- winnow under a governor ---
+
+TEST(GovernorTest, WinnowHonorsAnswerBudget) {
+  SearchEngine engine = CarEngine();
+  auto query = tpq::ParseTpq(kCarQuery);
+  ASSERT_TRUE(query.ok());
+  auto profile = profile::ParseProfile(
+      "profile w\nvor pi1: tag=car prefer color = \"red\"\n");
+  ASSERT_TRUE(profile.ok());
+  SearchOptions options{.k = 10};
+  options.limits.max_answers = 4;
+  auto strict = engine.SearchWinnow(*query, *profile, options);
+  EXPECT_FALSE(strict.ok());
+  options.allow_partial = true;
+  auto degraded = engine.SearchWinnow(*query, *profile, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->partial);
+}
+
+}  // namespace
+}  // namespace pimento::core

@@ -6,7 +6,9 @@
 #include <random>
 #include <string>
 
+#include "src/core/engine.h"
 #include "src/data/car_gen.h"
+#include "src/index/persist.h"
 #include "src/profile/rule_parser.h"
 #include "src/tpq/tpq_parser.h"
 #include "src/xml/parser.h"
@@ -98,6 +100,74 @@ TEST_P(ProfileFuzzTest, MutatedProfilesParseOrFailCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProfileFuzzTest, ::testing::Range(1, 9));
+
+class PersistFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PersistFuzzTest, MutatedImagesLoadOrFailWithCorruptIndex) {
+  std::mt19937 rng(GetParam());
+  index::Collection original =
+      index::Collection::Build(data::GenerateCarDealer({.num_cars = 4}));
+  const std::string image = index::SerializeCollection(original);
+
+  // Random truncations: every strict prefix must be rejected.
+  std::uniform_int_distribution<size_t> len_d(0, image.size() - 1);
+  for (int round = 0; round < 40; ++round) {
+    auto truncated = index::DeserializeCollection(
+        std::string_view(image).substr(0, len_d(rng)));
+    ASSERT_FALSE(truncated.ok());
+    EXPECT_EQ(truncated.status().code(), StatusCode::kCorruptIndex);
+  }
+
+  // Random byte mutations anywhere in the image (magic, framing, payload):
+  // load must either succeed (an identity mutation) or fail with a typed
+  // kCorruptIndex — never crash or return a half-built collection.
+  std::uniform_int_distribution<size_t> pos_d(0, image.size() - 1);
+  std::uniform_int_distribution<int> bits_d(1, 255);
+  for (int round = 0; round < 60; ++round) {
+    std::string mutated = image;
+    int flips = 1 + round % 4;
+    for (int f = 0; f < flips; ++f) {
+      mutated[pos_d(rng)] ^= static_cast<char>(bits_d(rng));
+    }
+    auto loaded = index::DeserializeCollection(mutated);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptIndex);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistFuzzTest, ::testing::Range(1, 9));
+
+// End-to-end: a real engine fed mutated query and profile strings must
+// answer with ok or a typed Status — mutated text must never reach a
+// crashing code path past the parsers.
+class EngineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzzTest, MutatedRequestsSearchOrFailCleanly) {
+  std::mt19937 rng(GetParam());
+  core::SearchEngine engine(
+      index::Collection::Build(data::GenerateCarDealer({.num_cars = 10})));
+  const std::string query =
+      "//car[./description[ftcontains(., \"good condition\")] and "
+      "./price < 5000]";
+  const std::string profile =
+      "profile fuzz\n"
+      "vor pi1: tag=car prefer color = \"red\"\n"
+      "kor pi4: tag=car prefer ftcontains(\"best bid\")\n";
+  for (int round = 0; round < 40; ++round) {
+    std::string mq = Mutate(query, &rng, 1 + round % 5);
+    std::string mp = Mutate(profile, &rng, 1 + round % 5);
+    auto result = engine.Search(mq, mp, core::SearchOptions{.k = 5});
+    if (!result.ok()) {
+      EXPECT_NE(result.status().code(), StatusCode::kOk);
+      EXPECT_NE(result.status().code(), StatusCode::kInternal)
+          << "mutated input must fail with a typed user error, got: "
+          << result.status().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace pimento
