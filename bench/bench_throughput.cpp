@@ -10,9 +10,11 @@
 // budget — how gracefully throughput degrades when callers demand bounded
 // latency.
 //
-// Usage: bench_throughput [--deadline-ms=1,5,20] [output.json]
+// Usage: bench_throughput [--deadline-ms=1,5,20] [--metrics] [output.json]
 //                         [target_doc_bytes]
-// Run from the repo root (or pass a path) so the JSON lands there.
+// Run from the repo root (or pass a path) so the JSON lands there. With
+// --metrics the JSON additionally embeds the engine-wide metrics registry
+// snapshot (obs::MetricsRegistry) taken after the sweeps.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,6 +27,7 @@
 #include "bench/xmark_workload.h"
 #include "src/core/engine.h"
 #include "src/data/xmark_gen.h"
+#include "src/obs/metrics.h"
 
 namespace {
 
@@ -98,11 +101,14 @@ std::vector<double> ParseDeadlines(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::vector<double> deadlines = {1.0, 5.0, 20.0};
+  bool embed_metrics = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadlines = ParseDeadlines(arg.substr(14));
+    } else if (arg == "--metrics") {
+      embed_metrics = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -273,13 +279,20 @@ int main(int argc, char** argv) {
                "  \"results\": [\n%s\n  ],\n"
                "  \"deadline_sweep\": [\n%s\n  ],\n"
                "  \"answers_identical_across_worker_counts\": %s,\n"
-               "  \"profile_cache\": {\"hits\": %lld, \"misses\": %lld}\n"
-               "}\n",
+               "  \"profile_cache\": {\"hits\": %lld, \"misses\": %lld}",
                doc_bytes, requests.size(), kRepeats, kTopK,
                std::thread::hardware_concurrency(), rows.c_str(),
                deadline_rows.c_str(), identical ? "true" : "false",
                static_cast<long long>(cache_hits),
                static_cast<long long>(cache_misses));
+  if (embed_metrics) {
+    // The engine-wide registry snapshot after the sweeps: request counters,
+    // latency histograms, cache/pool/governor counters — one scrape of the
+    // whole run.
+    std::fprintf(out, ",\n  \"metrics\": %s",
+                 pimento::obs::MetricsRegistry::Default().RenderJson().c_str());
+  }
+  std::fprintf(out, "\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return identical ? 0 : 1;

@@ -3,10 +3,13 @@
 // Usage:
 //   pimento_cli <file.xml>[,more.xml...] <query> [--profile <file>] [--k N]
 //               [--strategy naive|interleave|interleave-sorted|push]
-//               [--stem] [--explain] [--stats]
+//               [--stem] [--explain] [--stats] [--metrics]
+//               [--trace] [--trace-out <file.json>]
 //
 // Example:
 //   pimento_cli cars.xml '//car[./price < 2000]' --profile me.profile --k 5
+//   pimento_cli cars.xml '//car' --trace --metrics
+//   pimento_cli cars.xml '//car' --trace-out trace.json   # chrome://tracing
 
 #include <cstdio>
 #include <cstring>
@@ -15,6 +18,7 @@
 #include <string>
 
 #include "src/core/engine.h"
+#include "src/obs/metrics.h"
 
 namespace {
 
@@ -33,7 +37,8 @@ int Usage() {
       "usage: pimento_cli <file.xml>[,more...] <query> [--profile <file>]"
       " [--k N]\n"
       "                   [--strategy naive|interleave|interleave-sorted|"
-      "push] [--stem] [--explain] [--stats]\n");
+      "push] [--stem] [--explain] [--stats]\n"
+      "                   [--metrics] [--trace] [--trace-out <file.json>]\n");
   return 2;
 }
 
@@ -42,32 +47,34 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string xml_path = argv[1];
-  std::string query = argv[2];
-  std::string profile_text;
-  pimento::core::SearchOptions options;
+  pimento::core::SearchRequest request;
+  request.query_text = argv[2];
   pimento::text::TokenizeOptions tokenize;
   bool explain = false;
   bool show_stats = false;
+  bool show_metrics = false;
+  bool show_trace = false;
+  std::string trace_out;
 
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--profile" && i + 1 < argc) {
-      if (!ReadFile(argv[++i], &profile_text)) {
+      if (!ReadFile(argv[++i], &request.profile_text)) {
         std::fprintf(stderr, "cannot read profile %s\n", argv[i]);
         return 1;
       }
     } else if (arg == "--k" && i + 1 < argc) {
-      options.k = std::atoi(argv[++i]);
+      request.options.k = std::atoi(argv[++i]);
     } else if (arg == "--strategy" && i + 1 < argc) {
       std::string s = argv[++i];
       if (s == "naive") {
-        options.strategy = pimento::plan::Strategy::kNaive;
+        request.options.strategy = pimento::plan::Strategy::kNaive;
       } else if (s == "interleave") {
-        options.strategy = pimento::plan::Strategy::kInterleave;
+        request.options.strategy = pimento::plan::Strategy::kInterleave;
       } else if (s == "interleave-sorted") {
-        options.strategy = pimento::plan::Strategy::kInterleaveSorted;
+        request.options.strategy = pimento::plan::Strategy::kInterleaveSorted;
       } else if (s == "push") {
-        options.strategy = pimento::plan::Strategy::kPush;
+        request.options.strategy = pimento::plan::Strategy::kPush;
       } else {
         return Usage();
       }
@@ -77,6 +84,14 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--stats") {
       show_stats = true;
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    } else if (arg == "--trace") {
+      show_trace = true;
+      request.trace.enabled = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      request.trace.enabled = true;
     } else {
       return Usage();
     }
@@ -113,9 +128,7 @@ int main(int argc, char** argv) {
                 engine->collection().Stats().ToString().c_str());
   }
 
-  auto result = profile_text.empty()
-                    ? engine->Search(query, options)
-                    : engine->Search(query, profile_text, options);
+  auto result = engine->Execute(request);
   if (!result.ok()) {
     std::fprintf(stderr, "search error: %s\n",
                  result.status().ToString().c_str());
@@ -132,5 +145,23 @@ int main(int argc, char** argv) {
                 engine->AnswerXml(a.node).c_str());
   }
   if (result->answers.empty()) std::printf("(no answers)\n");
+
+  if (show_trace) {
+    std::printf("\n--- trace ---\n%s", result->trace.ToString().c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << result->trace.ToChromeJson();
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (show_metrics) {
+    std::printf("\n--- metrics ---\n%s",
+                pimento::obs::MetricsRegistry::Default().RenderText().c_str());
+  }
   return 0;
 }

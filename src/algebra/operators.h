@@ -85,6 +85,11 @@ class Operator {
     return input_ != nullptr && input_->SortedOutput();
   }
 
+  /// True for pass-through instrumentation (obs::TraceOp): the operator
+  /// forwards its input's tuples unchanged and must stay invisible in plan
+  /// descriptions so a traced plan describes identically to an untraced one.
+  virtual bool IsTransparent() const { return false; }
+
   void set_input(Operator* input) { input_ = input; }
   Operator* input() const { return input_; }
   const OperatorStats& stats() const { return stats_; }

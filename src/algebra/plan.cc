@@ -39,7 +39,8 @@ std::vector<Answer> Plan::Execute(exec::ExecutionContext* governor) {
 std::string Plan::ProgressDescription() const {
   std::string out;
   for (size_t i = 0; i < ops_.size(); ++i) {
-    if (i > 0) out += " -> ";
+    if (ops_[i]->IsTransparent()) continue;
+    if (!out.empty()) out += " -> ";
     out += ops_[i]->Name() + ":" +
            std::to_string(ops_[i]->stats().produced);
   }
@@ -77,7 +78,8 @@ PlanStats Plan::CollectStats() const {
 std::string Plan::Describe() const {
   std::string out;
   for (size_t i = 0; i < ops_.size(); ++i) {
-    if (i > 0) out += " -> ";
+    if (ops_[i]->IsTransparent()) continue;
+    if (!out.empty()) out += " -> ";
     out += ops_[i]->Name();
   }
   return out;

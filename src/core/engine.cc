@@ -1,11 +1,14 @@
 #include "src/core/engine.h"
 
+#include <chrono>
+#include <optional>
 #include <utility>
 
 #include "src/algebra/winnow.h"
 #include "src/exec/execution_context.h"
 #include "src/exec/phrase_count_cache.h"
 #include "src/exec/profile_cache.h"
+#include "src/obs/metrics.h"
 #include "src/profile/rule_parser.h"
 #include "src/tpq/expand.h"
 #include "src/tpq/relax.h"
@@ -16,11 +19,85 @@
 
 namespace pimento::core {
 
+namespace {
+
+/// The engine's registration into the process-wide metrics registry; the
+/// pointers are resolved once and updated lock-free per request.
+struct EngineMetrics {
+  obs::Counter* requests_total;
+  obs::Counter* requests_topk;
+  obs::Counter* requests_relaxed;
+  obs::Counter* requests_winnow;
+  obs::Counter* request_errors;
+  obs::Counter* partial_results;
+  obs::Counter* traced_requests;
+  obs::Counter* answers_emitted;
+  obs::Counter* candidates_scanned;
+  obs::Counter* pruned_by_topk;
+  obs::Counter* blocks_skipped;
+  obs::Counter* blocks_visited;
+  obs::Histogram* latency_ms;
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    EngineMetrics em;
+    em.requests_total = r.GetCounter("pimento_requests_total",
+                                     "search requests entering Execute");
+    em.requests_topk =
+        r.GetCounter("pimento_requests_topk_total", "top-k mode requests");
+    em.requests_relaxed = r.GetCounter("pimento_requests_relaxed_total",
+                                       "relaxed mode requests");
+    em.requests_winnow = r.GetCounter("pimento_requests_winnow_total",
+                                      "winnow mode requests");
+    em.request_errors = r.GetCounter("pimento_request_errors_total",
+                                     "requests returning a non-OK status");
+    em.partial_results =
+        r.GetCounter("pimento_partial_results_total",
+                     "degraded-mode results cut short by a resource limit");
+    em.traced_requests = r.GetCounter("pimento_traced_requests_total",
+                                      "requests that recorded a span tree");
+    em.answers_emitted = r.GetCounter("pimento_answers_emitted_total",
+                                      "ranked answers returned to callers");
+    em.candidates_scanned =
+        r.GetCounter("pimento_candidates_scanned_total",
+                     "candidate answers produced by plan leaf scans");
+    em.pruned_by_topk = r.GetCounter(
+        "pimento_pruned_by_topk_total",
+        "answers dropped by topkPrune operators (Algorithms 1-3)");
+    em.blocks_skipped =
+        r.GetCounter("pimento_index_blocks_skipped_total",
+                     "postings blocks skipped by the index-driven scan");
+    em.blocks_visited =
+        r.GetCounter("pimento_index_blocks_visited_total",
+                     "postings blocks walked by the index-driven scan");
+    em.latency_ms = r.GetHistogram("pimento_request_latency_ms",
+                                   "end-to-end Execute latency, ms");
+    return em;
+  }();
+  return m;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+const profile::UserProfile& EmptyProfile() {
+  static const profile::UserProfile* empty = new profile::UserProfile();
+  return *empty;
+}
+
+}  // namespace
+
 SearchEngine::SearchEngine(index::Collection collection)
     : collection_(std::make_unique<index::Collection>(std::move(collection))),
       scorer_(collection_.get()),
       profile_cache_(std::make_shared<exec::ProfileCache>()),
-      phrase_count_cache_(std::make_shared<exec::PhraseCountCache>()) {}
+      phrase_count_cache_(std::make_shared<exec::PhraseCountCache>()),
+      trace_ticker_(std::make_unique<std::atomic<uint64_t>>(0)) {}
 
 StatusOr<SearchEngine> SearchEngine::FromXml(
     std::string_view xml_text, const text::TokenizeOptions& options) {
@@ -47,23 +124,114 @@ StatusOr<SearchEngine> SearchEngine::FromXmlCorpus(
       xml::MergeDocuments(std::move(docs)), options));
 }
 
-StatusOr<SearchResult> SearchEngine::Search(
-    const tpq::Tpq& query, const profile::UserProfile& profile,
-    const SearchOptions& options) const {
-  // Static analysis 1: VOR ambiguity (§5.2); precompiled callers pass the
-  // cached report instead.
-  return SearchPrecompiled(query, profile,
-                           profile::DetectAmbiguity(profile.vors), options);
+bool SearchEngine::ShouldTrace(const TraceOptions& trace) const {
+  if (trace.enabled) return true;
+  if (trace.sample_one_in <= 0) return false;
+  const uint64_t tick =
+      trace_ticker_->fetch_add(1, std::memory_order_relaxed) + 1;
+  return tick % static_cast<uint64_t>(trace.sample_one_in) == 0;
 }
 
-StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
+StatusOr<SearchResult> SearchEngine::Execute(
+    const SearchRequest& request) const {
+  const EngineMetrics& metrics = Metrics();
+  metrics.requests_total->Increment();
+  const auto start = std::chrono::steady_clock::now();
+
+  const bool traced = ShouldTrace(request.trace);
+  obs::TraceContext trace(traced);
+  obs::TraceContext* tr = traced ? &trace : nullptr;
+  if (traced) metrics.traced_requests->Increment();
+
+  // A small helper so every early return records the error + latency.
+  auto fail = [&](const Status& status) -> StatusOr<SearchResult> {
+    metrics.request_errors->Increment();
+    metrics.latency_ms->Observe(MsSince(start));
+    return status;
+  };
+
+  // Resolve the query: parse the text form if no parsed query was given.
+  std::optional<tpq::Tpq> parsed_query;
+  const tpq::Tpq* query = request.query;
+  if (query == nullptr) {
+    obs::TraceContext::Scope span(tr, "parse.query", "engine");
+    StatusOr<tpq::Tpq> parsed = tpq::ParseTpq(request.query_text);
+    if (!parsed.ok()) return fail(parsed.status());
+    parsed_query = *std::move(parsed);
+    query = &*parsed_query;
+  }
+
+  // Resolve the profile: parsed object > text (through the profile cache)
+  // > none. The compiled handle keeps a cached profile alive for the call.
+  const profile::UserProfile* prof = request.profile;
+  const profile::AmbiguityReport* ambiguity =
+      prof != nullptr ? request.ambiguity : nullptr;
+  std::shared_ptr<const exec::CompiledProfile> compiled;
+  if (prof == nullptr) {
+    if (!request.profile_text.empty()) {
+      obs::TraceContext::Scope span(tr, "profile.compile", "engine");
+      StatusOr<std::shared_ptr<const exec::CompiledProfile>> got =
+          profile_cache_->GetOrCompile(request.profile_text);
+      if (!got.ok()) return fail(got.status());
+      compiled = *std::move(got);
+      prof = &compiled->profile;
+      ambiguity = &compiled->ambiguity;
+    } else {
+      prof = &EmptyProfile();
+    }
+  }
+  profile::AmbiguityReport local_ambiguity;
+  if (ambiguity == nullptr) {
+    obs::TraceContext::Scope span(tr, "analyze.ambiguity", "planner");
+    local_ambiguity = profile::DetectAmbiguity(prof->vors);
+    ambiguity = &local_ambiguity;
+  }
+
+  const exec::QueryLimits& limits = EffectiveLimits(request);
+
+  StatusOr<SearchResult> result = [&]() -> StatusOr<SearchResult> {
+    switch (request.mode) {
+      case SearchMode::kRelaxed:
+        metrics.requests_relaxed->Increment();
+        return ExecuteRelaxed(*query, *prof, *ambiguity, request.options,
+                              limits, tr);
+      case SearchMode::kWinnow:
+        metrics.requests_winnow->Increment();
+        return ExecuteWinnow(*query, *prof, *ambiguity, request.options,
+                             limits, tr);
+      case SearchMode::kTopK:
+        break;
+    }
+    metrics.requests_topk->Increment();
+    return ExecuteTopK(*query, *prof, *ambiguity, request.options, limits,
+                       tr);
+  }();
+
+  metrics.latency_ms->Observe(MsSince(start));
+  if (!result.ok()) {
+    metrics.request_errors->Increment();
+    return result.status();
+  }
+  metrics.answers_emitted->Increment(
+      static_cast<int64_t>(result->answers.size()));
+  metrics.candidates_scanned->Increment(result->stats.scanned);
+  metrics.pruned_by_topk->Increment(result->stats.pruned_by_topk);
+  metrics.blocks_skipped->Increment(result->stats.blocks_skipped);
+  metrics.blocks_visited->Increment(result->stats.blocks_visited);
+  if (result->partial) metrics.partial_results->Increment();
+  if (traced) result->trace = trace.Finish();
+  return result;
+}
+
+StatusOr<SearchResult> SearchEngine::ExecuteTopK(
     const tpq::Tpq& query, const profile::UserProfile& profile,
-    const profile::AmbiguityReport& ambiguity,
-    const SearchOptions& options) const {
+    const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+    const exec::QueryLimits& limits, obs::TraceContext* trace) const {
   // The governor's clock starts here, covering rewriting, planning and
   // execution. With default limits it is inert (active() == false) and the
   // whole path is byte-identical to an ungoverned run.
-  exec::ExecutionContext governor(options.limits);
+  exec::ExecutionContext governor(limits);
+  governor.set_trace(trace);
   // Stage boundary: a token cancelled before the request even starts (or a
   // deadline that already passed) must be observed deterministically, not
   // only at the operators' amortized stride-64 polls.
@@ -81,11 +249,15 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
   }
 
   // Static analysis 2 + rewriting: SR conflicts and the query flock (§5.1).
-  StatusOr<profile::QueryFlock> flock =
-      profile::BuildFlock(query, profile.scoping_rules);
-  if (!flock.ok()) return flock.status();
-  result.flock = *std::move(flock);
+  {
+    obs::TraceContext::Scope span(trace, "planner.flock", "planner");
+    StatusOr<profile::QueryFlock> flock =
+        profile::BuildFlock(query, profile.scoping_rules, trace);
+    if (!flock.ok()) return flock.status();
+    result.flock = *std::move(flock);
+  }
   if (options.thesaurus != nullptr && !options.thesaurus->empty()) {
+    obs::TraceContext::Scope span(trace, "planner.expand_keywords", "planner");
     result.flock.encoded = tpq::ExpandKeywords(
         result.flock.encoded, *options.thesaurus, options.synonym_boost);
   }
@@ -102,15 +274,22 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
   popts.use_structural_prefilter = options.use_structural_prefilter;
   popts.scan_mode = options.scan_mode;
   popts.count_cache = phrase_count_cache_.get();
+  popts.trace = trace;
   if (governor.active()) popts.governor = &governor;
-  StatusOr<algebra::Plan> built =
-      plan::BuildPlan(*collection_, scorer_, result.flock.encoded,
-                      profile.vors, profile.kors, popts);
+  StatusOr<algebra::Plan> built = [&] {
+    obs::TraceContext::Scope span(trace, "planner.plan_build", "planner");
+    return plan::BuildPlan(*collection_, scorer_, result.flock.encoded,
+                           profile.vors, profile.kors, popts);
+  }();
   if (!built.ok()) return built.status();
   algebra::Plan plan = *std::move(built);
   result.plan_description = plan.Describe();
 
-  std::vector<algebra::Answer> answers = plan.Execute(popts.governor);
+  std::vector<algebra::Answer> answers;
+  {
+    obs::TraceContext::Scope span(trace, "execute", "engine");
+    answers = plan.Execute(popts.governor);
+  }
   result.stats = plan.CollectStats();
   if (governor.stopped()) {
     if (!options.allow_partial) return governor.ToStatus();
@@ -125,6 +304,7 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
                              " ms; progress: " + plan.ProgressDescription();
   }
 
+  obs::TraceContext::Scope rank_span(trace, "rank.materialize", "engine");
   algebra::RankContext rank(profile.vors, profile.rank_order);
   result.answers.reserve(answers.size());
   for (size_t i = 0; i < answers.size(); ++i) {
@@ -139,29 +319,12 @@ StatusOr<SearchResult> SearchEngine::SearchPrecompiled(
   return result;
 }
 
-StatusOr<SearchResult> SearchEngine::Search(std::string_view query_text,
-                                            std::string_view profile_text,
-                                            const SearchOptions& options) const {
-  StatusOr<tpq::Tpq> query = tpq::ParseTpq(query_text);
-  if (!query.ok()) return query.status();
-  StatusOr<std::shared_ptr<const exec::CompiledProfile>> compiled =
-      profile_cache_->GetOrCompile(profile_text);
-  if (!compiled.ok()) return compiled.status();
-  return SearchPrecompiled(*query, (*compiled)->profile,
-                           (*compiled)->ambiguity, options);
-}
-
-StatusOr<SearchResult> SearchEngine::Search(std::string_view query_text,
-                                            const SearchOptions& options) const {
-  StatusOr<tpq::Tpq> query = tpq::ParseTpq(query_text);
-  if (!query.ok()) return query.status();
-  return Search(*query, profile::UserProfile{}, options);
-}
-
-StatusOr<SearchResult> SearchEngine::SearchRelaxed(
+StatusOr<SearchResult> SearchEngine::ExecuteRelaxed(
     const tpq::Tpq& query, const profile::UserProfile& profile,
-    const SearchOptions& options) const {
-  StatusOr<SearchResult> base = Search(query, profile, options);
+    const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+    const exec::QueryLimits& limits, obs::TraceContext* trace) const {
+  StatusOr<SearchResult> base =
+      ExecuteTopK(query, profile, ambiguity, options, limits, trace);
   if (!base.ok()) return base.status();
   if (static_cast<int>(base->answers.size()) >= options.k) return base;
 
@@ -175,7 +338,8 @@ StatusOr<SearchResult> SearchEngine::SearchRelaxed(
     if (relaxations.empty()) break;
     current = relaxations[0].query;
     applied += (applied.empty() ? "" : ", ") + relaxations[0].description;
-    StatusOr<SearchResult> next = Search(current, profile, options);
+    StatusOr<SearchResult> next =
+        ExecuteTopK(current, profile, ambiguity, options, limits, trace);
     if (!next.ok()) return next.status();
     for (const RankedAnswer& a : next->answers) {
       bool seen = false;
@@ -199,37 +363,48 @@ StatusOr<SearchResult> SearchEngine::SearchRelaxed(
   return merged;
 }
 
-StatusOr<SearchResult> SearchEngine::SearchWinnow(
+StatusOr<SearchResult> SearchEngine::ExecuteWinnow(
     const tpq::Tpq& query, const profile::UserProfile& profile,
-    const SearchOptions& options) const {
+    const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+    const exec::QueryLimits& limits, obs::TraceContext* trace) const {
   // Retrieve the full (unpruned) answer set with a naive plan, then apply
   // the winnow operator over the VOR partial order.
   SearchOptions all = options;
   all.k = 1 << 28;
   all.strategy = plan::Strategy::kNaive;
-  StatusOr<SearchResult> base = Search(query, profile, all);
+  StatusOr<SearchResult> base =
+      ExecuteTopK(query, profile, ambiguity, all, limits, trace);
   if (!base.ok()) return base.status();
 
   // Re-materialize algebra answers from the ranked list (scores and VOR
   // values are needed for the dominance test); the plan is re-run since
   // RankedAnswer drops the VorValue annotations. The re-run and the O(n^2)
   // winnow get their own governor (a fresh budget for this phase).
-  exec::ExecutionContext governor(options.limits);
+  exec::ExecutionContext governor(limits);
+  governor.set_trace(trace);
   plan::PlannerOptions popts;
   popts.k = 1 << 28;
   popts.strategy = plan::Strategy::kNaive;
   popts.rank_order = profile.rank_order;
+  popts.trace = trace;
   if (governor.active()) popts.governor = &governor;
   StatusOr<algebra::Plan> built =
       plan::BuildPlan(*collection_, scorer_, base->flock.encoded,
                       profile.vors, profile.kors, popts);
   if (!built.ok()) return built.status();
   algebra::Plan plan = *std::move(built);
-  std::vector<algebra::Answer> answers = plan.Execute(popts.governor);
+  std::vector<algebra::Answer> answers;
+  {
+    obs::TraceContext::Scope span(trace, "winnow.rerun", "engine");
+    answers = plan.Execute(popts.governor);
+  }
 
   algebra::RankContext rank(profile.vors, profile.rank_order);
-  std::vector<algebra::Answer> undominated =
-      algebra::Winnow(rank, answers, popts.governor);
+  std::vector<algebra::Answer> undominated;
+  {
+    obs::TraceContext::Scope span(trace, "winnow.dominance", "engine");
+    undominated = algebra::Winnow(rank, answers, popts.governor);
+  }
   if (static_cast<int>(undominated.size()) > options.k) {
     undominated.resize(options.k);
   }
@@ -262,20 +437,66 @@ StatusOr<SearchResult> SearchEngine::SearchWinnow(
 StatusOr<Explanation> SearchEngine::Explain(
     const tpq::Tpq& query, const profile::UserProfile& profile,
     xml::NodeId node, const SearchOptions& options) const {
+  SearchRequest request;
+  request.query = &query;
+  request.profile = &profile;
+  request.options = options;
+  return Explain(request, node);
+}
+
+StatusOr<Explanation> SearchEngine::Explain(const SearchRequest& request,
+                                            xml::NodeId node) const {
   if (node < 0 || node >= static_cast<xml::NodeId>(collection_->doc().size())) {
     return Status::InvalidArgument("node id out of range");
   }
-  StatusOr<profile::QueryFlock> flock =
-      profile::BuildFlock(query, profile.scoping_rules);
-  if (!flock.ok()) return flock.status();
-  tpq::Tpq encoded = flock->encoded;
+  const bool traced = ShouldTrace(request.trace);
+  obs::TraceContext trace(traced);
+  obs::TraceContext* tr = traced ? &trace : nullptr;
+
+  std::optional<tpq::Tpq> parsed_query;
+  const tpq::Tpq* query = request.query;
+  if (query == nullptr) {
+    obs::TraceContext::Scope span(tr, "parse.query", "engine");
+    StatusOr<tpq::Tpq> parsed = tpq::ParseTpq(request.query_text);
+    if (!parsed.ok()) return parsed.status();
+    parsed_query = *std::move(parsed);
+    query = &*parsed_query;
+  }
+  const profile::UserProfile* prof = request.profile;
+  std::shared_ptr<const exec::CompiledProfile> compiled;
+  if (prof == nullptr) {
+    if (!request.profile_text.empty()) {
+      obs::TraceContext::Scope span(tr, "profile.compile", "engine");
+      StatusOr<std::shared_ptr<const exec::CompiledProfile>> got =
+          profile_cache_->GetOrCompile(request.profile_text);
+      if (!got.ok()) return got.status();
+      compiled = *std::move(got);
+      prof = &compiled->profile;
+    } else {
+      prof = &EmptyProfile();
+    }
+  }
+  const SearchOptions& options = request.options;
+
+  tpq::Tpq encoded;
+  {
+    obs::TraceContext::Scope span(tr, "planner.flock", "planner");
+    StatusOr<profile::QueryFlock> flock =
+        profile::BuildFlock(*query, prof->scoping_rules, tr);
+    if (!flock.ok()) return flock.status();
+    encoded = std::move(flock->encoded);
+  }
   if (options.thesaurus != nullptr && !options.thesaurus->empty()) {
+    obs::TraceContext::Scope span(tr, "planner.expand_keywords", "planner");
     encoded = tpq::ExpandKeywords(encoded, *options.thesaurus,
                                   options.synonym_boost);
   }
-  Explanation explanation = ExplainAnswer(*collection_, scorer_, encoded,
-                                          profile, node,
-                                          options.optional_bonus);
+  Explanation explanation;
+  {
+    obs::TraceContext::Scope span(tr, "explain.recompute", "engine");
+    explanation = ExplainAnswer(*collection_, scorer_, encoded, *prof, node,
+                                options.optional_bonus);
+  }
   const exec::ProfileCache::CacheStats ps = profile_cache_->GetStats();
   const exec::PhraseCountCache::CacheStats cs =
       phrase_count_cache_->GetStats();
@@ -287,6 +508,7 @@ StatusOr<Explanation> SearchEngine::Explain(
       std::to_string(cs.hits) + " misses=" + std::to_string(cs.misses) +
       " evictions=" + std::to_string(cs.evictions) +
       " bytes=" + std::to_string(cs.bytes) + "}";
+  if (traced) explanation.trace_report = trace.Finish().ToString();
   return explanation;
 }
 

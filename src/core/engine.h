@@ -1,6 +1,7 @@
 #ifndef PIMENTO_CORE_ENGINE_H_
 #define PIMENTO_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -10,8 +11,10 @@
 #include "src/algebra/plan.h"
 #include "src/common/status.h"
 #include "src/core/explain.h"
+#include "src/core/search_request.h"
 #include "src/exec/execution_context.h"
 #include "src/index/collection.h"
+#include "src/obs/trace.h"
 #include "src/plan/planner.h"
 #include "src/profile/ambiguity.h"
 #include "src/profile/flock.h"
@@ -26,47 +29,6 @@ class ProfileCache;
 }  // namespace pimento::exec
 
 namespace pimento::core {
-
-struct SearchOptions {
-  int k = 10;
-  plan::Strategy strategy = plan::Strategy::kPush;
-  plan::KorOrder kor_order = plan::KorOrder::kHighestScoreFirst;
-  algebra::VorCompareMode vor_mode = algebra::VorCompareMode::kLinearized;
-  double optional_bonus = 0.5;
-
-  /// Fail with kAmbiguous when the profile's VORs are ambiguous (§5.2) and
-  /// the user priorities do not resolve the ambiguity.
-  bool check_ambiguity = true;
-
-  /// Optional keyword expansion (extension; §7.1 left thesauri out): every
-  /// query keyword gains optional synonym predicates with this boost.
-  const text::Thesaurus* thesaurus = nullptr;
-  double synonym_boost = 0.5;
-
-  /// Use the sort-merge structural-join access path instead of the tag
-  /// scan + navigation filters when the pattern allows it.
-  bool use_structural_prefilter = false;
-
-  /// Leaf access path: kAuto picks the postings-anchored scan when a
-  /// required ftcontains can drive it and its rarest phrase is selective
-  /// enough to win; kTagScan forces the legacy blind tag scan (the
-  /// ablation baseline); kPostingsScan forces the anchored scan whenever
-  /// anchorable. Answers are byte-identical in every mode.
-  plan::ScanMode scan_mode = plan::ScanMode::kAuto;
-
-  /// Per-request resource limits (deadline, cooperative cancellation,
-  /// answer and byte budgets). Defaults to no limits, in which case the
-  /// governed path is never taken and answers are byte-identical to an
-  /// ungoverned run.
-  exec::QueryLimits limits = {};
-
-  /// What happens when a limit fires mid-plan. In degraded mode (true) the
-  /// search returns the best-effort top-k prefix accumulated so far with
-  /// SearchResult::partial = true; in strict mode (false, default) it
-  /// returns the typed error (kDeadlineExceeded / kCancelled /
-  /// kResourceExhausted) instead.
-  bool allow_partial = false;
-};
 
 /// One ranked answer of a personalized search.
 struct RankedAnswer {
@@ -96,9 +58,17 @@ struct SearchResult {
   /// Which limit fired where, plus per-operator progress — how far each
   /// pipeline stage (flock branch operator) ran before the stop.
   std::string partial_detail;
+
+  /// The request's span tree (planner phases + per-operator cumulative
+  /// times, tuple and prune counts, block skips), filled when the request
+  /// was traced (SearchRequest::trace); trace.enabled is false otherwise.
+  obs::TraceReport trace;
 };
 
-/// One (query, profile) pair of a batch. Profiles are given as text so the
+/// \deprecated One (query, profile) pair of the legacy text-level batch
+/// API. New callers pass a std::vector<SearchRequest> to BatchSearch
+/// instead, which gives every item the full per-request surface (its own
+/// options, limits and trace flags). Profiles are given as text so the
 /// executor can dedupe repeated users through the profile compilation
 /// cache; an empty profile text means "no profile" (pure S ranking).
 struct BatchRequest {
@@ -107,6 +77,15 @@ struct BatchRequest {
 
   /// Per-request override of BatchOptions::search.
   std::optional<SearchOptions> options;
+
+  /// The equivalent unified request (what BatchSearch runs internally).
+  SearchRequest ToSearchRequest(const SearchOptions& defaults) const {
+    SearchRequest r;
+    r.query_text = query_text;
+    r.profile_text = profile_text;
+    r.options = options.has_value() ? *options : defaults;
+    return r;
+  }
 };
 
 struct BatchOptions {
@@ -115,7 +94,8 @@ struct BatchOptions {
   /// result is independent of it — answers are deterministic at any count.
   int num_workers = 4;
 
-  /// Default search options for requests without their own.
+  /// Default search options for legacy BatchRequest items without their
+  /// own (SearchRequest items always carry theirs).
   SearchOptions search;
 };
 
@@ -142,6 +122,12 @@ struct BatchResult {
 /// The PIMENTO search engine: an indexed collection plus profile-aware
 /// query personalization (§4's three problems: flock semantics, ambiguity
 /// analysis, OR-aware top-k evaluation).
+///
+/// Every query enters through Execute(SearchRequest) — the one choke point
+/// where limits are resolved, tracing is decided, and engine-wide metrics
+/// (obs::MetricsRegistry::Default()) are recorded. The legacy Search* /
+/// SearchRelaxed / SearchWinnow / SearchPrecompiled overloads survive as
+/// thin deprecated shims over it (docs/api_migration.md has the mapping).
 class SearchEngine {
  public:
   explicit SearchEngine(index::Collection collection);
@@ -163,38 +149,90 @@ class SearchEngine {
   const index::Collection& collection() const { return *collection_; }
   const score::Scorer& scorer() const { return scorer_; }
 
-  /// Personalized search: rewrites `query` through the profile's scoping
-  /// rules (flock encoding), enforces the ordering rules, executes with the
-  /// selected topkPrune strategy, and returns the top-k answers ranked by
-  /// the profile's rank order.
+  /// The unified entry point: resolves the request's query (parsing text
+  /// if needed), its profile (through the engine's profile cache for text
+  /// profiles), its effective resource limits and trace decision, then
+  /// dispatches on request.mode. All other search calls funnel here.
+  StatusOr<SearchResult> Execute(const SearchRequest& request) const;
+
+  /// \deprecated Shim over Execute: personalized top-k search with a
+  /// parsed query and profile.
   StatusOr<SearchResult> Search(const tpq::Tpq& query,
                                 const profile::UserProfile& profile,
-                                const SearchOptions& options = {}) const;
+                                const SearchOptions& options = {}) const {
+    SearchRequest r = SearchRequest::Parsed(query, profile, options);
+    return Execute(r);
+  }
 
-  /// Text-level convenience: parses the query (and profile) first. The
-  /// profile compilation is served from the engine's profile cache, so a
-  /// repeated profile text skips re-parsing and re-analysis.
+  /// \deprecated Shim over Execute: text-level search. The profile
+  /// compilation is served from the engine's profile cache, so a repeated
+  /// profile text skips re-parsing and re-analysis.
   StatusOr<SearchResult> Search(std::string_view query_text,
                                 std::string_view profile_text,
-                                const SearchOptions& options = {}) const;
+                                const SearchOptions& options = {}) const {
+    return Execute(SearchRequest::Text(std::string(query_text),
+                                       std::string(profile_text), options));
+  }
+  /// \deprecated Shim over Execute: text query, no profile.
   StatusOr<SearchResult> Search(std::string_view query_text,
-                                const SearchOptions& options = {}) const;
+                                const SearchOptions& options = {}) const {
+    return Execute(SearchRequest::Text(std::string(query_text), "", options));
+  }
 
-  /// Search with a pre-compiled profile: `ambiguity` is the cached
-  /// DetectAmbiguity(profile.vors) report, so the per-call analysis pass
-  /// is skipped. This is the batch executor's path; results are identical
-  /// to Search(query, profile, options).
+  /// \deprecated Shim over Execute: search with a pre-compiled profile —
+  /// `ambiguity` is the cached DetectAmbiguity(profile.vors) report, so
+  /// the per-call analysis pass is skipped. Results are identical to
+  /// Search(query, profile, options).
   StatusOr<SearchResult> SearchPrecompiled(
       const tpq::Tpq& query, const profile::UserProfile& profile,
       const profile::AmbiguityReport& ambiguity,
-      const SearchOptions& options = {}) const;
+      const SearchOptions& options = {}) const {
+    SearchRequest r = SearchRequest::Parsed(query, profile, options);
+    r.ambiguity = &ambiguity;
+    return Execute(r);
+  }
 
-  /// Executes many (query, profile) searches concurrently against the
-  /// shared immutable collection on a fixed-size worker pool
-  /// (src/exec/worker_pool.h). Per-request failures land in the matching
+  /// \deprecated Shim over Execute (SearchMode::kRelaxed): progressive
+  /// relaxation search (the FleXPath-style repertoire the paper cites as
+  /// the foundation of SRs): when the personalized query yields fewer than
+  /// k answers, single-step relaxations (pc→ad edges, predicate promotion,
+  /// branch demotion) are applied one at a time until k answers accumulate
+  /// or the query is fully relaxed. Answers found by stricter variants
+  /// keep their earlier ranks; `result.plan_description` records the
+  /// applied relaxations.
+  StatusOr<SearchResult> SearchRelaxed(
+      const tpq::Tpq& query, const profile::UserProfile& profile,
+      const SearchOptions& options = {}) const {
+    SearchRequest r = SearchRequest::Parsed(query, profile, options);
+    r.mode = SearchMode::kRelaxed;
+    return Execute(r);
+  }
+
+  /// \deprecated Shim over Execute (SearchMode::kWinnow): the qualitative
+  /// baseline (§2, Chomicki's winnow): evaluates the (flock-encoded) query
+  /// and returns the answers *undominated* under the profile's VOR partial
+  /// order instead of the score-ranked top k. `options.k` caps the
+  /// returned undominated set.
+  StatusOr<SearchResult> SearchWinnow(
+      const tpq::Tpq& query, const profile::UserProfile& profile,
+      const SearchOptions& options = {}) const {
+    SearchRequest r = SearchRequest::Parsed(query, profile, options);
+    r.mode = SearchMode::kWinnow;
+    return Execute(r);
+  }
+
+  /// Executes many searches concurrently against the shared immutable
+  /// collection on a fixed-size worker pool (src/exec/worker_pool.h) —
+  /// each item carrying its full per-request surface (options, limits,
+  /// trace flags). Per-request failures land in the matching
   /// BatchItem::status; the batch itself always completes, and item i is
-  /// byte-identical to a sequential Search of requests[i] at any worker
-  /// count. Profile compilations are shared through the profile cache.
+  /// byte-identical to a sequential Execute of requests[i] at any worker
+  /// count. Text profiles are shared through the profile cache.
+  BatchResult BatchSearch(const std::vector<SearchRequest>& requests,
+                          const BatchOptions& options = {}) const;
+
+  /// \deprecated Legacy text-pair batch; forwards to the SearchRequest
+  /// overload with BatchOptions::search as the per-item default.
   BatchResult BatchSearch(const std::vector<BatchRequest>& requests,
                           const BatchOptions& options = {}) const;
 
@@ -209,25 +247,6 @@ class SearchEngine {
     return *phrase_count_cache_;
   }
 
-  /// Progressive relaxation search (the FleXPath-style repertoire the
-  /// paper cites as the foundation of SRs): when the personalized query
-  /// yields fewer than k answers, single-step relaxations (pc→ad edges,
-  /// predicate promotion, branch demotion) are applied one at a time until
-  /// k answers accumulate or the query is fully relaxed. Answers found by
-  /// stricter variants keep their earlier ranks; `result.plan_description`
-  /// records the applied relaxations.
-  StatusOr<SearchResult> SearchRelaxed(const tpq::Tpq& query,
-                                       const profile::UserProfile& profile,
-                                       const SearchOptions& options = {}) const;
-
-  /// The qualitative baseline (§2, Chomicki's winnow): evaluates the
-  /// (flock-encoded) query and returns the answers *undominated* under the
-  /// profile's VOR partial order instead of the score-ranked top k.
-  /// `options.k` caps the returned undominated set.
-  StatusOr<SearchResult> SearchWinnow(const tpq::Tpq& query,
-                                      const profile::UserProfile& profile,
-                                      const SearchOptions& options = {}) const;
-
   /// Serialized subtree of an answer node (for display).
   std::string AnswerXml(xml::NodeId node) const;
 
@@ -239,7 +258,35 @@ class SearchEngine {
                                 xml::NodeId node,
                                 const SearchOptions& options = {}) const;
 
+  /// Request-shaped Explain: the query/profile come from `request` (text
+  /// forms are parsed/compiled exactly as Execute would), and when the
+  /// request asks for tracing the explanation carries its own span tree
+  /// (flock build, expansion, per-predicate recomputation) in
+  /// Explanation::trace_report.
+  StatusOr<Explanation> Explain(const SearchRequest& request,
+                                xml::NodeId node) const;
+
  private:
+  /// True when this request should record spans (explicit flag, or the
+  /// engine-wide 1-in-N sampling cadence says it is this request's turn).
+  bool ShouldTrace(const TraceOptions& trace) const;
+
+  /// The three repertoires behind Execute; `trace` may be inert.
+  StatusOr<SearchResult> ExecuteTopK(const tpq::Tpq& query,
+                                     const profile::UserProfile& profile,
+                                     const profile::AmbiguityReport& ambiguity,
+                                     const SearchOptions& options,
+                                     const exec::QueryLimits& limits,
+                                     obs::TraceContext* trace) const;
+  StatusOr<SearchResult> ExecuteRelaxed(
+      const tpq::Tpq& query, const profile::UserProfile& profile,
+      const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+      const exec::QueryLimits& limits, obs::TraceContext* trace) const;
+  StatusOr<SearchResult> ExecuteWinnow(
+      const tpq::Tpq& query, const profile::UserProfile& profile,
+      const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+      const exec::QueryLimits& limits, obs::TraceContext* trace) const;
+
   // The collection lives behind a stable pointer so the scorer's reference
   // survives moves of the engine.
   std::unique_ptr<index::Collection> collection_;
@@ -248,6 +295,9 @@ class SearchEngine {
   // Thread-safe; shared_ptr so the type can stay forward-declared here.
   std::shared_ptr<exec::ProfileCache> profile_cache_;
   std::shared_ptr<exec::PhraseCountCache> phrase_count_cache_;
+
+  // Engine-wide request ticker driving TraceOptions::sample_one_in.
+  std::unique_ptr<std::atomic<uint64_t>> trace_ticker_;
 };
 
 }  // namespace pimento::core

@@ -50,6 +50,7 @@ std::string Explanation::ToString() const {
     out += c.ToString() + "\n";
   }
   if (!cache_report.empty()) out += "  caches: " + cache_report + "\n";
+  if (!trace_report.empty()) out += "  trace:\n" + trace_report;
   return out;
 }
 

@@ -35,6 +35,12 @@ struct Explanation {
   /// SearchEngine::Explain; empty when explaining outside an engine.
   std::string cache_report;
 
+  /// Rendered span tree of the explain request (parse, flock, per-predicate
+  /// recomputation). Filled by the SearchRequest-shaped
+  /// SearchEngine::Explain when the request asked for tracing; empty
+  /// otherwise.
+  std::string trace_report;
+
   std::string ToString() const;
 };
 

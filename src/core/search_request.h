@@ -1,0 +1,158 @@
+#ifndef PIMENTO_CORE_SEARCH_REQUEST_H_
+#define PIMENTO_CORE_SEARCH_REQUEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/algebra/topk_prune.h"
+#include "src/exec/execution_context.h"
+#include "src/plan/planner.h"
+#include "src/text/thesaurus.h"
+
+namespace pimento::tpq {
+class Tpq;
+}  // namespace pimento::tpq
+
+namespace pimento::profile {
+struct UserProfile;
+struct AmbiguityReport;
+}  // namespace pimento::profile
+
+namespace pimento::core {
+
+/// Tuning knobs of one search (everything that is not "which query, which
+/// profile, which resource budget"). Carried by SearchRequest; the legacy
+/// Search* overloads still accept it directly.
+struct SearchOptions {
+  int k = 10;
+  plan::Strategy strategy = plan::Strategy::kPush;
+  plan::KorOrder kor_order = plan::KorOrder::kHighestScoreFirst;
+  algebra::VorCompareMode vor_mode = algebra::VorCompareMode::kLinearized;
+  double optional_bonus = 0.5;
+
+  /// Fail with kAmbiguous when the profile's VORs are ambiguous (§5.2) and
+  /// the user priorities do not resolve the ambiguity.
+  bool check_ambiguity = true;
+
+  /// Optional keyword expansion (extension; §7.1 left thesauri out): every
+  /// query keyword gains optional synonym predicates with this boost.
+  const text::Thesaurus* thesaurus = nullptr;
+  double synonym_boost = 0.5;
+
+  /// Use the sort-merge structural-join access path instead of the tag
+  /// scan + navigation filters when the pattern allows it.
+  bool use_structural_prefilter = false;
+
+  /// Leaf access path: kAuto picks the postings-anchored scan when a
+  /// required ftcontains can drive it and its rarest phrase is selective
+  /// enough to win; kTagScan forces the legacy blind tag scan (the
+  /// ablation baseline); kPostingsScan forces the anchored scan whenever
+  /// anchorable. Answers are byte-identical in every mode.
+  plan::ScanMode scan_mode = plan::ScanMode::kAuto;
+
+  /// \deprecated Legacy home of the per-request resource limits, honored
+  /// for the old Search*(…, SearchOptions) overloads. The canonical home
+  /// is SearchRequest::limits, which wins when set; see EffectiveLimits.
+  exec::QueryLimits limits = {};
+
+  /// What happens when a limit fires mid-plan. In degraded mode (true) the
+  /// search returns the best-effort top-k prefix accumulated so far with
+  /// SearchResult::partial = true; in strict mode (false, default) it
+  /// returns the typed error (kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted) instead.
+  bool allow_partial = false;
+};
+
+/// Which evaluation repertoire ExecuteRequest dispatches to — the three
+/// public search flavors collapsed into one entry point.
+enum class SearchMode : uint8_t {
+  kTopK,     ///< ranked top-k (the paper's main pipeline)
+  kRelaxed,  ///< progressive FleXPath-style relaxation until k answers
+  kWinnow,   ///< undominated set under the VOR partial order (§2 baseline)
+};
+
+/// Per-request tracing controls.
+struct TraceOptions {
+  /// Force span recording for this request.
+  bool enabled = false;
+
+  /// Probabilistic-free sampling: trace every Nth request the engine
+  /// executes (N > 0; 0 = never sample). Orthogonal to `enabled` — a
+  /// request is traced when either says so. Sampling is engine-wide, so
+  /// concurrent batch items share the same 1-in-N cadence.
+  int sample_one_in = 0;
+};
+
+/// The single query-entry value: everything SearchEngine needs to run one
+/// personalized search. All four legacy Search* shapes (parsed/text query,
+/// parsed/precompiled/text profile) are corners of this one struct; see
+/// docs/api_migration.md for the old-call → request mapping.
+///
+/// Query: set exactly one of `query` (borrowed, parsed) or `query_text`.
+/// Profile: set `profile` (borrowed; optionally with the precompiled
+/// `ambiguity` report to skip re-analysis), or `profile_text` (compiled
+/// through the engine's profile cache), or neither (no personalization).
+struct SearchRequest {
+  const tpq::Tpq* query = nullptr;
+  std::string query_text;
+
+  const profile::UserProfile* profile = nullptr;
+  const profile::AmbiguityReport* ambiguity = nullptr;
+  std::string profile_text;
+
+  SearchMode mode = SearchMode::kTopK;
+  SearchOptions options;
+
+  /// Canonical home of the per-request resource limits (deadline,
+  /// cancellation, answer/byte budgets). Leave default ("none") to fall
+  /// back to the deprecated options.limits mirror.
+  exec::QueryLimits limits = {};
+
+  TraceOptions trace;
+
+  /// Text-level request (the common service-facing shape).
+  static SearchRequest Text(std::string query_text,
+                            std::string profile_text = "",
+                            SearchOptions options = {}) {
+    SearchRequest r;
+    r.query_text = std::move(query_text);
+    r.profile_text = std::move(profile_text);
+    r.options = std::move(options);
+    return r;
+  }
+
+  /// Parsed-object request. `query` and `profile` are borrowed and must
+  /// outlive the Execute call.
+  static SearchRequest Parsed(const tpq::Tpq& query,
+                              const profile::UserProfile& profile,
+                              SearchOptions options = {}) {
+    SearchRequest r;
+    r.query = &query;
+    r.profile = &profile;
+    r.options = std::move(options);
+    return r;
+  }
+};
+
+/// The one place request- and options-level limits are reconciled: the
+/// request's canonical limits win when any of them is set; otherwise the
+/// deprecated options.limits mirror applies (so every legacy caller keeps
+/// its exact behavior).
+inline const exec::QueryLimits& EffectiveLimits(const SearchRequest& r) {
+  // No-new-field guard: if QueryLimits grows, this assert fires and forces
+  // whoever added the field to revisit this canonicalization (and
+  // QueryLimits::none()) so the two homes cannot silently drift apart.
+  static_assert(sizeof(exec::QueryLimits) ==
+                    sizeof(double) + sizeof(const std::atomic<bool>*) +
+                        2 * sizeof(int64_t),
+                "exec::QueryLimits gained a field: update "
+                "core::EffectiveLimits and QueryLimits::none() so "
+                "SearchRequest::limits and SearchOptions::limits cannot "
+                "drift");
+  return r.limits.none() ? r.options.limits : r.limits;
+}
+
+}  // namespace pimento::core
+
+#endif  // PIMENTO_CORE_SEARCH_REQUEST_H_

@@ -5,7 +5,7 @@
 // Every request is independent: workers share only the immutable indexed
 // collection, the const scorer, and the mutex-guarded profile cache, and
 // each writes to its own pre-allocated result slot. Item i is therefore
-// byte-identical to a sequential Search of requests[i] regardless of the
+// byte-identical to a sequential Execute of requests[i] regardless of the
 // worker count or scheduling.
 
 #include <chrono>
@@ -15,7 +15,7 @@
 #include "src/core/engine.h"
 #include "src/exec/profile_cache.h"
 #include "src/exec/worker_pool.h"
-#include "src/tpq/tpq_parser.h"
+#include "src/obs/metrics.h"
 
 namespace pimento::core {
 
@@ -30,22 +30,12 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 /// The per-item work, separated so the dispatch wrapper can catch
 /// exceptions (a throwing request fails its own BatchItem, never the
 /// batch) and host the worker-dispatch fault site.
-Status RunBatchItem(const SearchEngine& engine, const BatchRequest& req,
-                    const BatchOptions& options, exec::ProfileCache& cache,
+Status RunBatchItem(const SearchEngine& engine, const SearchRequest& req,
                     BatchItem* item) {
   PIMENTO_INJECT_FAULT("exec.worker.dispatch");
-  // Same pipeline as the text-level Search, with the profile compilation
-  // shared through the cache: parse the query, fetch or compile the
-  // profile, run the precompiled search.
-  StatusOr<tpq::Tpq> query = tpq::ParseTpq(req.query_text);
-  if (!query.ok()) return query.status();
-  StatusOr<std::shared_ptr<const exec::CompiledProfile>> compiled =
-      cache.GetOrCompile(req.profile_text);
-  if (!compiled.ok()) return compiled.status();
-  const SearchOptions& search_options =
-      req.options.has_value() ? *req.options : options.search;
-  StatusOr<SearchResult> result = engine.SearchPrecompiled(
-      *query, (*compiled)->profile, (*compiled)->ambiguity, search_options);
+  // The full unified pipeline: query parse, profile compilation (shared
+  // through the engine's cache), limits resolution, tracing, metrics.
+  StatusOr<SearchResult> result = engine.Execute(req);
   if (!result.ok()) return result.status();
   item->result = *std::move(result);
   return Status::OK();
@@ -54,11 +44,21 @@ Status RunBatchItem(const SearchEngine& engine, const BatchRequest& req,
 }  // namespace
 
 BatchResult SearchEngine::BatchSearch(
-    const std::vector<BatchRequest>& requests,
+    const std::vector<SearchRequest>& requests,
     const BatchOptions& options) const {
   auto batch_start = std::chrono::steady_clock::now();
   BatchResult batch;
   batch.items.resize(requests.size());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  static obs::Counter* batches_total =
+      registry.GetCounter("pimento_batches_total", "BatchSearch invocations");
+  static obs::Counter* batch_items_total = registry.GetCounter(
+      "pimento_batch_items_total", "individual requests run through batches");
+  static obs::Histogram* batch_wall_ms = registry.GetHistogram(
+      "pimento_batch_wall_ms", "end-to-end batch wall time, ms");
+  batches_total->Increment();
+  batch_items_total->Increment(static_cast<int64_t>(requests.size()));
 
   const exec::ProfileCache::CacheStats before = profile_cache_->GetStats();
 
@@ -67,8 +67,7 @@ BatchResult SearchEngine::BatchSearch(
         BatchItem& item = batch.items[i];
         auto start = std::chrono::steady_clock::now();
         try {
-          item.status = RunBatchItem(*this, requests[i], options,
-                                     *profile_cache_, &item);
+          item.status = RunBatchItem(*this, requests[i], &item);
         } catch (const std::exception& e) {
           item.status =
               Status::Internal(std::string("request threw: ") + e.what());
@@ -82,7 +81,18 @@ BatchResult SearchEngine::BatchSearch(
   batch.stats.profile_cache_hits = after.hits - before.hits;
   batch.stats.profile_cache_misses = after.misses - before.misses;
   batch.stats.wall_ms = MsSince(batch_start);
+  batch_wall_ms->Observe(batch.stats.wall_ms);
   return batch;
+}
+
+BatchResult SearchEngine::BatchSearch(const std::vector<BatchRequest>& requests,
+                                      const BatchOptions& options) const {
+  std::vector<SearchRequest> unified;
+  unified.reserve(requests.size());
+  for (const BatchRequest& req : requests) {
+    unified.push_back(req.ToSearchRequest(options.search));
+  }
+  return BatchSearch(unified, options);
 }
 
 }  // namespace pimento::core

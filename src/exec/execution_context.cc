@@ -1,6 +1,34 @@
 #include "src/exec/execution_context.h"
 
+#include "src/obs/metrics.h"
+
 namespace pimento::exec {
+
+namespace {
+
+obs::Counter* StopCounter(StopReason reason) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+  static obs::Counter* deadline = r.GetCounter(
+      "pimento_governor_stops_deadline_total", "governed stops: deadline");
+  static obs::Counter* cancelled = r.GetCounter(
+      "pimento_governor_stops_cancelled_total", "governed stops: cancelled");
+  static obs::Counter* exhausted =
+      r.GetCounter("pimento_governor_stops_resource_total",
+                   "governed stops: answer/byte budget exhausted");
+  switch (reason) {
+    case StopReason::kDeadline:
+      return deadline;
+    case StopReason::kCancelled:
+      return cancelled;
+    case StopReason::kResourceExhausted:
+      return exhausted;
+    case StopReason::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 ExecutionContext::ExecutionContext(const QueryLimits& limits)
     : limits_(limits), active_(!limits.none()) {
@@ -80,6 +108,7 @@ void ExecutionContext::Stop(StopReason reason, std::string detail) {
   if (stop_.compare_exchange_strong(expected, reason,
                                     std::memory_order_acq_rel)) {
     stop_detail_ = std::move(detail);
+    if (obs::Counter* c = StopCounter(reason)) c->Increment();
   }
 }
 

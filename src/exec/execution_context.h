@@ -8,6 +8,10 @@
 
 #include "src/common/status.h"
 
+namespace pimento::obs {
+class TraceContext;
+}  // namespace pimento::obs
+
 namespace pimento::exec {
 
 /// Per-request resource limits. Default-constructed limits mean "none":
@@ -132,6 +136,12 @@ class ExecutionContext {
   /// Human-readable description of the limit that fired (empty until then).
   const std::string& stop_detail() const { return stop_detail_; }
 
+  /// The request's trace, carried on the context so anything holding the
+  /// governor (operators, the winnow, the structural prefilter) can record
+  /// spans without extra plumbing. Null when the request is untraced.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+  obs::TraceContext* trace() const { return trace_; }
+
   static constexpr uint32_t kPollStride = 64;
 
  private:
@@ -148,6 +158,7 @@ class ExecutionContext {
   std::atomic<StopReason> stop_{StopReason::kNone};
   std::string stop_detail_;
   std::string stop_site_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace pimento::exec

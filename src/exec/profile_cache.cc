@@ -3,9 +3,37 @@
 #include <utility>
 
 #include "src/common/fault_injector.h"
+#include "src/obs/metrics.h"
 #include "src/profile/rule_parser.h"
 
 namespace pimento::exec {
+
+namespace {
+
+/// Registry-level mirrors of the per-cache counters: the cache's own stats
+/// are per-instance and resettable (tests rely on that); these aggregate
+/// across every ProfileCache in the process and only ever go up.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return CacheMetrics{
+        r.GetCounter("pimento_profile_cache_hits_total",
+                     "profile compilations served from cache"),
+        r.GetCounter("pimento_profile_cache_misses_total",
+                     "profile compilations that had to parse"),
+        r.GetCounter("pimento_profile_cache_evictions_total",
+                     "profile cache LRU evictions")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 ProfileCache::ProfileCache(size_t capacity, size_t max_bytes)
     : capacity_(capacity == 0 ? 1 : capacity), max_bytes_(max_bytes) {}
@@ -43,6 +71,7 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
     if (it != entries_.end()) {
       if (it->second.text == profile_text) {
         ++hits_;
+        Metrics().hits->Increment();
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
         return it->second.compiled;
       }
@@ -50,6 +79,7 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
       // entry (do not thrash on a pathological pair).
     }
     ++misses_;
+    Metrics().misses->Increment();
   }
 
   // The cache-fill fault site: tests force a miss-path failure here to
@@ -87,6 +117,7 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
     entries_.erase(victim);
     lru_.pop_back();
     ++evictions_;
+    Metrics().evictions->Increment();
   }
   return *compiled;
 }

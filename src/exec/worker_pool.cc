@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/obs/metrics.h"
+
 namespace pimento::exec {
+
+namespace {
+
+obs::Counter* TasksCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_worker_tasks_total", "tasks executed by worker pools");
+  return c;
+}
+
+obs::Counter* ExceptionsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_worker_task_exceptions_total",
+      "worker tasks that escaped with an exception");
+  return c;
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(int num_workers) {
   int n = std::max(1, num_workers);
@@ -56,10 +75,13 @@ void WorkerPool::WorkerLoop() {
     }
     try {
       task();
+      TasksCounter()->Increment();
     } catch (...) {
       // A throwing task must not wedge the pool: count it and keep
       // draining so Wait()/Stop() and the destructor still complete.
       exceptions_.fetch_add(1, std::memory_order_relaxed);
+      TasksCounter()->Increment();
+      ExceptionsCounter()->Increment();
     }
     {
       std::unique_lock<std::mutex> lock(mu_);

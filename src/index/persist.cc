@@ -7,6 +7,7 @@
 
 #include "src/common/crc32.h"
 #include "src/common/fault_injector.h"
+#include "src/obs/metrics.h"
 
 namespace pimento::index {
 
@@ -363,8 +364,41 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
   return ParseBody(bytes.substr(8), /*with_blocks=*/v2);
 }
 
-Status SaveCollection(const Collection& collection, const std::string& path) {
+namespace {
+
+/// Registry counters for the persistence layer: attempt + failure pairs,
+/// so the failure ratio is directly readable off a scrape.
+struct PersistMetrics {
+  obs::Counter* saves;
+  obs::Counter* save_failures;
+  obs::Counter* loads;
+  obs::Counter* load_failures;
+  obs::Counter* bytes_written;
+  obs::Counter* bytes_read;
+};
+
+const PersistMetrics& Metrics() {
+  static const PersistMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return PersistMetrics{
+        r.GetCounter("pimento_persist_saves_total", "index save attempts"),
+        r.GetCounter("pimento_persist_save_failures_total",
+                     "index saves that failed (injected or real I/O)"),
+        r.GetCounter("pimento_persist_loads_total", "index load attempts"),
+        r.GetCounter("pimento_persist_load_failures_total",
+                     "index loads that failed (missing, torn, corrupt)"),
+        r.GetCounter("pimento_persist_bytes_written_total",
+                     "serialized index bytes successfully saved"),
+        r.GetCounter("pimento_persist_bytes_read_total",
+                     "serialized index bytes successfully loaded")};
+  }();
+  return m;
+}
+
+Status SaveCollectionImpl(const Collection& collection,
+                          const std::string& path, int64_t* bytes_out) {
   std::string bytes = SerializeCollection(collection);
+  *bytes_out = static_cast<int64_t>(bytes.size());
   // Atomic save: write the full image to a sibling temp file, then rename
   // over the target — a crash mid-save never leaves a torn image at `path`.
   const std::string tmp = path + ".tmp";
@@ -399,7 +433,8 @@ Status SaveCollection(const Collection& collection, const std::string& path) {
   return Status::OK();
 }
 
-StatusOr<Collection> LoadCollection(const std::string& path) {
+StatusOr<Collection> LoadCollectionImpl(const std::string& path,
+                                        int64_t* bytes_out) {
   PIMENTO_INJECT_FAULT("persist.load.open");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
@@ -407,7 +442,36 @@ StatusOr<Collection> LoadCollection(const std::string& path) {
                     std::istreambuf_iterator<char>());
   PIMENTO_INJECT_FAULT("persist.load.read");
   if (in.bad()) return Status::IoError("read failed for " + path);
+  *bytes_out = static_cast<int64_t>(bytes.size());
   return DeserializeCollection(bytes);
+}
+
+}  // namespace
+
+Status SaveCollection(const Collection& collection, const std::string& path) {
+  const PersistMetrics& m = Metrics();
+  m.saves->Increment();
+  int64_t bytes = 0;
+  Status status = SaveCollectionImpl(collection, path, &bytes);
+  if (status.ok()) {
+    m.bytes_written->Increment(bytes);
+  } else {
+    m.save_failures->Increment();
+  }
+  return status;
+}
+
+StatusOr<Collection> LoadCollection(const std::string& path) {
+  const PersistMetrics& m = Metrics();
+  m.loads->Increment();
+  int64_t bytes = 0;
+  StatusOr<Collection> loaded = LoadCollectionImpl(path, &bytes);
+  if (loaded.ok()) {
+    m.bytes_read->Increment(bytes);
+  } else {
+    m.load_failures->Increment();
+  }
+  return loaded;
 }
 
 }  // namespace pimento::index

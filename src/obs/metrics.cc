@@ -1,0 +1,213 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace pimento::obs {
+
+namespace internal {
+
+uint32_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Renders a double the way Prometheus expects: integral values without a
+/// fractional tail, +Inf spelled out.
+std::string RenderDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+/// JSON spelling: +Inf is not valid JSON, so the overflow boundary is
+/// rendered as a very large finite number.
+std::string RenderJsonDouble(double v) {
+  if (std::isinf(v)) return "1e308";
+  return RenderDouble(v);
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  const int64_t micros = static_cast<int64_t>(v * 1e6);
+  sum_micros_[internal::ThisThreadShard() & internal::kShardMask]
+      .value.fetch_add(micros, std::memory_order_relaxed);
+}
+
+uint32_t Histogram::BucketIndex(double v) {
+  if (!(v > 0.0) || std::isnan(v)) return 0;  // <= 0 and NaN underflow
+  // v = m * 2^e with m in [1,2): v lies in [2^e, 2^(e+1)), which is bucket
+  // e - kMinExp + 1 in the layout documented in the header.
+  const int e = std::ilogb(v);
+  if (e < kMinExp) return 0;
+  const int64_t idx = static_cast<int64_t>(e) - kMinExp + 1;
+  if (idx >= static_cast<int64_t>(kBucketCount)) return kBucketCount - 1;
+  return static_cast<uint32_t>(idx);
+}
+
+double Histogram::BucketUpperBound(uint32_t i) {
+  if (i >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, kMinExp + static_cast<int>(i));
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const std::atomic<int64_t>& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  int64_t micros = 0;
+  for (const internal::ShardCell& s : sum_micros_) {
+    micros += s.value.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(micros) / 1e6;
+}
+
+void Histogram::ResetForTest() {
+  for (std::atomic<int64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  for (internal::ShardCell& s : sum_micros_) {
+    s.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(new Counter(name, help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name, help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name,
+                      std::unique_ptr<Histogram>(new Histogram(name, help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    if (!c->help().empty()) out += "# HELP " + name + " " + c->help() + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c->Value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!g->help().empty()) out += "# HELP " + name + " " + g->help() + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g->Value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!h->help().empty()) out += "# HELP " + name + " " + h->help() + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    int64_t cumulative = 0;
+    for (uint32_t i = 0; i < Histogram::kBucketCount; ++i) {
+      cumulative += h->BucketCount(i);
+      // Empty prefix buckets are elided (the log scale spans ~13 decades;
+      // a full dump would be mostly zeros), but cumulative counts stay
+      // exact and the mandatory +Inf bucket is always present.
+      if (h->BucketCount(i) == 0 && i + 1 < Histogram::kBucketCount) continue;
+      out += name + "_bucket{le=\"" +
+             RenderDouble(Histogram::BucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + RenderDouble(h->Sum()) + "\n";
+    out += name + "_count " + std::to_string(h->Count()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(c->Value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(g->Value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {\"count\": " + std::to_string(h->Count()) +
+           ", \"sum\": " + RenderJsonDouble(h->Sum()) + ", \"buckets\": [";
+    int64_t cumulative = 0;
+    bool first_bucket = true;
+    for (uint32_t i = 0; i < Histogram::kBucketCount; ++i) {
+      cumulative += h->BucketCount(i);
+      if (h->BucketCount(i) == 0 && i + 1 < Histogram::kBucketCount) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[" + RenderJsonDouble(Histogram::BucketUpperBound(i)) + ", " +
+             std::to_string(cumulative) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTest();
+  for (auto& [name, g] : gauges_) g->ResetForTest();
+  for (auto& [name, h] : histograms_) h->ResetForTest();
+}
+
+}  // namespace pimento::obs

@@ -1,0 +1,181 @@
+#ifndef PIMENTO_OBS_METRICS_H_
+#define PIMENTO_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pimento::obs {
+
+namespace internal {
+
+/// One cache-line-padded atomic cell of a sharded metric. Writers pick a
+/// shard by a thread-local slot so concurrent updates from different
+/// threads rarely touch the same line; readers sum all shards.
+struct alignas(64) ShardCell {
+  std::atomic<int64_t> value{0};
+};
+
+/// This thread's stable shard slot (assigned round-robin on first use).
+uint32_t ThisThreadShard();
+
+constexpr uint32_t kShardCount = 8;  // power of two
+constexpr uint32_t kShardMask = kShardCount - 1;
+
+}  // namespace internal
+
+/// Monotone event counter. Increment is one relaxed fetch_add on this
+/// thread's shard — no lock, no shared line in the common case.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    shards_[internal::ThisThreadShard() & internal::kShardMask]
+        .value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const internal::ShardCell& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void ResetForTest() {
+    for (internal::ShardCell& s : shards_) {
+      s.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::string name_;
+  std::string help_;
+  internal::ShardCell shards_[internal::kShardCount];
+};
+
+/// Point-in-time value (resident bytes, pool size, ...). Set/Add are single
+/// relaxed atomic ops; unlike Counter a gauge is not sharded because Set
+/// has last-writer-wins semantics that sharding would break.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Distribution with fixed log-scale (base-2) buckets.
+///
+/// Bucket layout over non-negative values v:
+///   bucket 0:              v <  2^kMinExp                 (underflow)
+///   bucket i (1..N-2):     2^(kMinExp+i-1) <= v < 2^(kMinExp+i)
+///   bucket N-1:            v >= 2^(kMinExp+N-2)           (overflow)
+/// With kMinExp = -10 and kBucketCount = 44 the finite boundaries run from
+/// ~0.001 to ~2^33 — for millisecond observations that is ~1 microsecond up
+/// to ~100 days, which covers every latency this engine can produce.
+///
+/// Observe is lock-free: one bucket fetch_add plus a sharded sum update.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -10;
+  static constexpr uint32_t kBucketCount = 44;
+
+  void Observe(double v);
+
+  /// Bucket index Observe(v) lands in (exposed for the boundary tests).
+  static uint32_t BucketIndex(double v);
+
+  /// Upper boundary of bucket i as rendered in the Prometheus `le` label:
+  /// 2^(kMinExp+i) for i < kBucketCount-1, +infinity for the last. Buckets
+  /// are half-open ([lower, upper)), so a value exactly on a power-of-two
+  /// boundary lands in the bucket whose *lower* bound it is.
+  static double BucketUpperBound(uint32_t i);
+
+  int64_t Count() const;
+  double Sum() const;
+  int64_t BucketCount(uint32_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void ResetForTest();
+
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> buckets_[kBucketCount]{};
+  /// Sum is kept in fixed-point micro-units so it can be sharded with
+  /// plain integer fetch_add (atomic doubles would need a CAS loop).
+  internal::ShardCell sum_micros_[internal::kShardCount];
+};
+
+/// Engine-wide metric registry. Registration (GetCounter/...) takes a
+/// mutex; the returned pointer is stable for the registry's lifetime, so
+/// call sites register once (function-local static) and update lock-free
+/// ever after. Names follow the Prometheus convention
+/// (`pimento_<subsystem>_<what>_<unit>`); re-registering a name returns
+/// the existing metric and ignores the (first-writer-wins) help text.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every engine subsystem registers into.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  /// Prometheus text exposition format (HELP/TYPE lines, cumulative
+  /// histogram buckets), metrics sorted by name.
+  std::string RenderText() const;
+
+  /// The same snapshot as JSON:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///    {"count": c, "sum": s, "buckets": [[le, cumulative], ...]}}}
+  std::string RenderJson() const;
+
+  /// Zeroes every registered metric (registrations and pointers survive).
+  /// Tests only: concurrent updaters may be partially counted.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pimento::obs
+
+#endif  // PIMENTO_OBS_METRICS_H_

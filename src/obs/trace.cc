@@ -1,0 +1,218 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/fault_injector.h"
+
+namespace pimento::obs {
+
+namespace {
+
+double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(bool enabled) : enabled_(enabled) {
+  if (!enabled_) return;
+  epoch_ = std::chrono::steady_clock::now();
+  // The implicit root: every phase and operator span nests under it, and
+  // Finish() stamps its duration as the total measured query time.
+  TraceSpan root;
+  root.name = "request";
+  root.category = "engine";
+  spans_.push_back(std::move(root));
+  stack_.push_back(0);
+}
+
+int64_t TraceContext::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint32_t TraceContext::BeginSpan(const char* name, const char* category) {
+  if (!enabled_) return kNoSpan;
+  // The span-allocation fault site: never traversed when tracing is off,
+  // which is exactly what the zero-overhead guard test asserts.
+  (void)PIMENTO_FAULT_STATUS("obs.trace.span");
+  TraceSpan span;
+  span.parent = stack_.empty() ? kNoSpan : stack_.back();
+  span.name = name;
+  span.category = category;
+  span.start_ns = NowNs();
+  const uint32_t id = static_cast<uint32_t>(spans_.size());
+  spans_.push_back(std::move(span));
+  stack_.push_back(id);
+  return id;
+}
+
+void TraceContext::EndSpan(uint32_t id) {
+  if (id == kNoSpan || !enabled_) return;
+  spans_[id].dur_ns = NowNs() - spans_[id].start_ns;
+  // Tolerate out-of-order ends defensively: pop through the span.
+  while (!stack_.empty()) {
+    const uint32_t top = stack_.back();
+    stack_.pop_back();
+    if (top == id) break;
+  }
+}
+
+uint32_t TraceContext::OpenOpSpan(const std::string& name) {
+  if (!enabled_) return kNoSpan;
+  (void)PIMENTO_FAULT_STATUS("obs.trace.span");
+  TraceSpan span;
+  span.parent = stack_.empty() ? kNoSpan : stack_.back();
+  span.name = name;
+  span.category = "operator";
+  span.start_ns = NowNs();
+  const uint32_t id = static_cast<uint32_t>(spans_.size());
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+void TraceContext::SetOpCounters(uint32_t id, int64_t tuples_in,
+                                 int64_t tuples_out, int64_t pruned,
+                                 int64_t blocks_skipped,
+                                 int64_t blocks_visited) {
+  if (id == kNoSpan) return;
+  TraceSpan& s = spans_[id];
+  s.tuples_in = tuples_in;
+  s.tuples_out = tuples_out;
+  s.pruned = pruned;
+  s.blocks_skipped = blocks_skipped;
+  s.blocks_visited = blocks_visited;
+}
+
+TraceReport TraceContext::Finish() {
+  TraceReport report;
+  report.enabled = enabled_;
+  if (!enabled_) return report;
+  spans_[0].dur_ns = NowNs();
+  report.total_ns = spans_[0].dur_ns;
+  report.spans = std::move(spans_);
+  spans_.clear();
+  stack_.clear();
+  enabled_ = false;
+  return report;
+}
+
+int64_t TraceReport::SelfNs(uint32_t i) const {
+  int64_t self = spans[i].dur_ns;
+  for (const TraceSpan& s : spans) {
+    if (s.parent == i) self -= s.dur_ns;
+  }
+  return std::max<int64_t>(self, 0);
+}
+
+double TraceReport::CoverageFraction() const {
+  if (spans.empty() || total_ns <= 0) return 0.0;
+  // Self times partition the root span up to clock jitter and untraced
+  // gaps, so their sum over all spans *except the root's own self time*
+  // measures how much of the request the tree attributes to a phase or
+  // operator.
+  int64_t attributed = 0;
+  for (uint32_t i = 1; i < spans.size(); ++i) attributed += SelfNs(i);
+  return static_cast<double>(attributed) / static_cast<double>(total_ns);
+}
+
+std::string TraceReport::ToString() const {
+  if (!enabled) return "(tracing disabled)";
+  std::string out;
+  char buf[256];
+  // Depth-first render preserving recording order among siblings.
+  std::vector<std::vector<uint32_t>> children(spans.size());
+  for (uint32_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].parent != kNoSpan) children[spans[i].parent].push_back(i);
+  }
+  std::vector<std::pair<uint32_t, int>> work;  // (span, depth)
+  work.emplace_back(0, 0);
+  while (!work.empty()) {
+    auto [i, depth] = work.back();
+    work.pop_back();
+    const TraceSpan& s = spans[i];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    std::snprintf(buf, sizeof(buf), "%s [%s] total=%.3fms self=%.3fms",
+                  s.name.c_str(), s.category.c_str(), Ms(s.dur_ns),
+                  Ms(SelfNs(i)));
+    out += buf;
+    if (s.category == "operator") {
+      std::snprintf(buf, sizeof(buf), " in=%lld out=%lld pruned=%lld",
+                    static_cast<long long>(s.tuples_in),
+                    static_cast<long long>(s.tuples_out),
+                    static_cast<long long>(s.pruned));
+      out += buf;
+      if (s.blocks_visited > 0 || s.blocks_skipped > 0) {
+        std::snprintf(buf, sizeof(buf), " blocks=%lld skipped=%lld",
+                      static_cast<long long>(s.blocks_visited),
+                      static_cast<long long>(s.blocks_skipped));
+        out += buf;
+      }
+    }
+    out += "\n";
+    for (auto it = children[i].rbegin(); it != children[i].rend(); ++it) {
+      work.emplace_back(*it, depth + 1);
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "coverage=%.1f%% of %.3fms\n",
+                100.0 * CoverageFraction(), Ms(total_ns));
+  out += buf;
+  return out;
+}
+
+std::string TraceReport::ToChromeJson() const {
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  for (uint32_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\": \"" + JsonEscape(s.name) + "\", \"cat\": \"" +
+           s.category + "\", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": 1",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ", \"args\": {\"tuples_in\": %lld, \"tuples_out\": %lld, "
+                  "\"pruned\": %lld, \"blocks_skipped\": %lld, "
+                  "\"blocks_visited\": %lld}}",
+                  static_cast<long long>(s.tuples_in),
+                  static_cast<long long>(s.tuples_out),
+                  static_cast<long long>(s.pruned),
+                  static_cast<long long>(s.blocks_skipped),
+                  static_cast<long long>(s.blocks_visited));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace pimento::obs

@@ -1,0 +1,144 @@
+#ifndef PIMENTO_OBS_TRACE_H_
+#define PIMENTO_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimento::obs {
+
+inline constexpr uint32_t kNoSpan = 0xffffffffu;
+
+/// One node of a query's span tree. Spans come in two flavors:
+///  - phase spans (category "engine"/"planner"): contiguous Begin/End
+///    intervals nested by the trace's current-span stack;
+///  - operator spans (category "operator"): cumulative — dur_ns sums the
+///    operator's Next() time over the whole run, start_ns is the first
+///    call. Operator spans still nest (each operator's Next encloses its
+///    input's), so self time = dur - sum(children dur) holds for both.
+struct TraceSpan {
+  uint32_t parent = kNoSpan;  ///< index into TraceReport::spans
+  std::string name;
+  std::string category;  ///< "engine" | "planner" | "operator"
+  int64_t start_ns = 0;  ///< relative to the trace epoch
+  int64_t dur_ns = 0;
+
+  /// Operator-span payload (zero elsewhere): tuples pulled from the input,
+  /// tuples emitted, tuples dropped (filters and the topkPrune Algorithms
+  /// 1-3), and the index-driven scan's block-skipping outcome.
+  int64_t tuples_in = 0;
+  int64_t tuples_out = 0;
+  int64_t pruned = 0;
+  int64_t blocks_skipped = 0;
+  int64_t blocks_visited = 0;
+};
+
+/// The finished trace of one request: a span tree plus the total request
+/// duration, exportable as an indented tree or Chrome trace_event JSON
+/// (load the latter in chrome://tracing or Perfetto).
+struct TraceReport {
+  bool enabled = false;
+  std::vector<TraceSpan> spans;
+  int64_t total_ns = 0;  ///< duration of the root span
+
+  /// Self time of span i: its duration minus its direct children's.
+  int64_t SelfNs(uint32_t i) const;
+
+  /// Fraction of the root span's duration accounted for by the self times
+  /// of all spans — how much of the measured query time the tree explains
+  /// (1.0 = no unattributed gaps).
+  double CoverageFraction() const;
+
+  /// Indented span tree with durations, self times and operator counters.
+  std::string ToString() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}). Operator spans are
+  /// cumulative, so their single "X" event approximates many Next() slices
+  /// by one [start, start+dur] block.
+  std::string ToChromeJson() const;
+};
+
+/// Per-query span recorder, carried on exec::ExecutionContext and handed
+/// to the planner. Disabled (the default) it records nothing: BeginSpan
+/// returns immediately after one boolean test, so a sampling-off request
+/// performs no span allocation at all (asserted in tests via the
+/// "obs.trace.span" fault-injector site, which only the enabled path
+/// traverses).
+///
+/// Thread model: one TraceContext per request, used from that request's
+/// worker thread only (same contract as the governor).
+class TraceContext {
+ public:
+  TraceContext() = default;
+  explicit TraceContext(bool enabled);
+
+  bool enabled() const { return enabled_; }
+
+  /// Opens a phase span as a child of the current span and makes it
+  /// current. Returns kNoSpan (and does nothing) when disabled.
+  uint32_t BeginSpan(const char* name, const char* category);
+
+  /// Closes `id` (stamps its duration) and pops it from the current-span
+  /// stack. No-op for kNoSpan.
+  void EndSpan(uint32_t id);
+
+  /// Opens a *cumulative* operator span as a child of the current span.
+  /// The caller accumulates duration via AddOpSample and nests its pulls
+  /// with PushCurrent/PopCurrent; EndSpan must not be called on it.
+  uint32_t OpenOpSpan(const std::string& name);
+
+  /// Adds one Next() timing sample to an operator span.
+  void AddOpSample(uint32_t id, int64_t dur_ns) {
+    if (id == kNoSpan) return;
+    spans_[id].dur_ns += dur_ns;
+  }
+
+  /// Overwrites an operator span's tuple/prune/block counters (callers
+  /// flush cumulative operator stats, so assignment, not addition).
+  void SetOpCounters(uint32_t id, int64_t tuples_in, int64_t tuples_out,
+                     int64_t pruned, int64_t blocks_skipped,
+                     int64_t blocks_visited);
+
+  /// Manual current-span stack control for cumulative spans.
+  void PushCurrent(uint32_t id) {
+    if (id != kNoSpan) stack_.push_back(id);
+  }
+  void PopCurrent() {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+
+  /// Nanoseconds since the trace epoch (construction).
+  int64_t NowNs() const;
+
+  /// Seals the trace: closes the implicit root interval and returns the
+  /// report. The context must not be used afterwards.
+  TraceReport Finish();
+
+  /// RAII phase span.
+  class Scope {
+   public:
+    Scope(TraceContext* trace, const char* name, const char* category)
+        : trace_(trace),
+          id_(trace != nullptr ? trace->BeginSpan(name, category) : kNoSpan) {}
+    ~Scope() {
+      if (trace_ != nullptr) trace_->EndSpan(id_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TraceContext* trace_;
+    uint32_t id_;
+  };
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::vector<TraceSpan> spans_;
+  std::vector<uint32_t> stack_;  ///< open phase spans / pushed op spans
+};
+
+}  // namespace pimento::obs
+
+#endif  // PIMENTO_OBS_TRACE_H_

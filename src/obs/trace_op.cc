@@ -1,0 +1,41 @@
+#include "src/obs/trace_op.h"
+
+namespace pimento::obs {
+
+TraceOp::TraceOp(TraceContext* trace, algebra::Operator* wrapped)
+    : trace_(trace),
+      wrapped_(wrapped),
+      iscan_(dynamic_cast<const algebra::IndexScanOp*>(wrapped)),
+      name_(wrapped->Name()) {}
+
+void TraceOp::FlushCounters() {
+  const algebra::OperatorStats& s = wrapped_->stats();
+  trace_->SetOpCounters(span_, s.consumed, s.produced, s.pruned,
+                        iscan_ != nullptr ? iscan_->blocks_skipped() : 0,
+                        iscan_ != nullptr ? iscan_->blocks_visited() : 0);
+}
+
+bool TraceOp::Next(algebra::Answer* out) {
+  if (span_ == kNoSpan) {
+    // First pull: the current span is the downstream decorator's (or the
+    // engine's execute phase for the root), so the span tree nests the
+    // chain leaf-deepest automatically.
+    span_ = trace_->OpenOpSpan(name_);
+  }
+  const int64_t t0 = trace_->NowNs();
+  trace_->PushCurrent(span_);
+  const bool ok = PullInput(out);
+  trace_->PopCurrent();
+  trace_->AddOpSample(span_, trace_->NowNs() - t0);
+  FlushCounters();
+  if (ok) ++stats_.produced;
+  return ok;
+}
+
+void TraceOp::Reset() {
+  Operator::Reset();
+  // The span survives a Reset: re-executions keep accumulating into the
+  // same operator line, mirroring how OperatorStats are reported.
+}
+
+}  // namespace pimento::obs

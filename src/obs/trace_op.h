@@ -1,0 +1,53 @@
+#ifndef PIMENTO_OBS_TRACE_OP_H_
+#define PIMENTO_OBS_TRACE_OP_H_
+
+#include <string>
+
+#include "src/algebra/operators.h"
+#include "src/obs/trace.h"
+
+namespace pimento::obs {
+
+/// Transparent tracing decorator the planner interleaves into the operator
+/// chain when the request is traced (and only then — an untraced plan
+/// contains no TraceOp, so tracing-off overhead is exactly zero).
+///
+/// Each TraceOp times its wrapped operator's Next() cumulatively into one
+/// operator span and flushes the operator's tuple/prune counters into the
+/// span as it goes. Spans nest leaf-under-root (a downstream operator's
+/// Next encloses its input's), so the report's self-time subtraction
+/// yields each operator's own cost.
+class TraceOp : public algebra::Operator {
+ public:
+  /// `wrapped` is the operator immediately upstream (the decorator's input
+  /// once the plan wires it); borrowed, owned by the same plan.
+  TraceOp(TraceContext* trace, algebra::Operator* wrapped);
+
+  bool Next(algebra::Answer* out) override;
+  void Reset() override;
+  std::string Name() const override { return "trace(" + name_ + ")"; }
+  bool IsTransparent() const override { return true; }
+
+  /// Bounds pass through so a decorator never perturbs planner math that
+  /// runs after insertion (insertion happens last precisely so the suffix
+  /// sums are computed over the raw chain; these are belt and braces).
+  double MaxSContribution() const override {
+    return wrapped_->MaxSContribution();
+  }
+  double MaxKContribution() const override {
+    return wrapped_->MaxKContribution();
+  }
+
+ private:
+  void FlushCounters();
+
+  TraceContext* trace_;
+  algebra::Operator* wrapped_;
+  const algebra::IndexScanOp* iscan_;  ///< wrapped, when it is the leaf scan
+  std::string name_;
+  uint32_t span_ = kNoSpan;  ///< opened lazily on the first Next()
+};
+
+}  // namespace pimento::obs
+
+#endif  // PIMENTO_OBS_TRACE_OP_H_

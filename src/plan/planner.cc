@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/algebra/struct_join.h"
+#include "src/obs/trace_op.h"
 
 namespace pimento::plan {
 
@@ -374,7 +375,18 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
     }
   }
 
-  for (auto& op : seq) plan.Add(std::move(op));
+  // Decorator insertion happens last, after every score bound, suffix sum
+  // and score-floor pointer has been wired against the raw chain — a
+  // TraceOp is execution-transparent and must stay planner-invisible too.
+  for (auto& op : seq) {
+    if (options.trace != nullptr) {
+      auto traced = std::make_unique<obs::TraceOp>(options.trace, op.get());
+      plan.Add(std::move(op));
+      plan.Add(std::move(traced));
+    } else {
+      plan.Add(std::move(op));
+    }
+  }
   return plan;
 }
 

@@ -16,6 +16,10 @@ class ExecutionContext;
 class PhraseCountCache;
 }  // namespace pimento::exec
 
+namespace pimento::obs {
+class TraceContext;
+}  // namespace pimento::obs
+
 namespace pimento::plan {
 
 /// topkPrune placement strategies, the plans compared in the paper's §7.2.
@@ -80,6 +84,14 @@ struct PlannerOptions {
   /// prefilter and every operator poll it; a fired limit stops pulling new
   /// tuples while buffered ones still flow (best-effort top-k prefix).
   exec::ExecutionContext* governor = nullptr;
+
+  /// Optional per-request trace. When set, the planner interleaves a
+  /// transparent obs::TraceOp decorator after every operator of the chain,
+  /// giving the trace report one cumulative span per operator. Decorators
+  /// are inserted after all bound computation, so pruning thresholds (and
+  /// answers) are byte-identical to an untraced plan. Null = no decorators,
+  /// zero overhead.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// Compiles the (flock-encoded) query plus the profile's ordering rules into

@@ -1,16 +1,23 @@
 #include "src/profile/flock.h"
 
+#include "src/obs/trace.h"
+
 namespace pimento::profile {
 
 StatusOr<QueryFlock> BuildFlock(const tpq::Tpq& query,
-                                const std::vector<ScopingRule>& rules) {
+                                const std::vector<ScopingRule>& rules,
+                                obs::TraceContext* trace) {
   QueryFlock flock;
-  flock.conflict_report = AnalyzeConflicts(rules, query);
+  {
+    obs::TraceContext::Scope span(trace, "flock.conflict_analysis", "planner");
+    flock.conflict_report = AnalyzeConflicts(rules, query);
+  }
   if (!flock.conflict_report.ordered) {
     return Status::Conflict(
         "scoping rules form a conflict cycle without distinct priorities:\n" +
         flock.conflict_report.ToString(rules));
   }
+  obs::TraceContext::Scope span(trace, "flock.encode", "planner");
   flock.members.push_back(query);
   flock.encoded = query;
   for (int rule_idx : flock.conflict_report.order) {

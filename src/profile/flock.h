@@ -8,6 +8,10 @@
 #include "src/profile/scoping_rule.h"
 #include "src/tpq/tpq.h"
 
+namespace pimento::obs {
+class TraceContext;
+}  // namespace pimento::obs
+
 namespace pimento::profile {
 
 /// The query flock of §5.1: Q, p1(Q), p2(p1(Q)), ..., in the application
@@ -34,8 +38,11 @@ struct QueryFlock {
 
 /// Builds the flock for `query` under `rules`. Fails with kConflict when
 /// the conflict graph is cyclic and priorities do not break the cycles.
+/// When `trace` is non-null the conflict analysis and the member/encoding
+/// passes record spans into it.
 StatusOr<QueryFlock> BuildFlock(const tpq::Tpq& query,
-                                const std::vector<ScopingRule>& rules);
+                                const std::vector<ScopingRule>& rules,
+                                obs::TraceContext* trace = nullptr);
 
 }  // namespace pimento::profile
 

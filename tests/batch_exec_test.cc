@@ -194,13 +194,70 @@ TEST(BatchExecTest, EmptyBatchAndSingleWorkerClamp) {
   SearchEngine engine = CarEngine(10);
   BatchOptions options;
   options.num_workers = 0;  // clamped to 1
-  BatchResult empty = engine.BatchSearch({}, options);
+  BatchResult empty = engine.BatchSearch(std::vector<BatchRequest>{}, options);
   EXPECT_TRUE(empty.items.empty());
 
   std::vector<BatchRequest> one = {{"//car", "", std::nullopt}};
   BatchResult batch = engine.BatchSearch(one, options);
   ASSERT_EQ(batch.items.size(), 1u);
   EXPECT_TRUE(batch.items[0].status.ok());
+}
+
+TEST(BatchExecTest, SearchRequestItemsMatchSequentialExecute) {
+  SearchEngine engine = CarEngine();
+
+  // Heterogeneous per-item surfaces: different options, modes, limits and
+  // trace flags in one batch — the full SearchRequest repertoire.
+  std::vector<SearchRequest> requests;
+  requests.push_back(SearchRequest::Text(kCarQuery, kFig2Profile));
+  SearchOptions small;
+  small.k = 3;
+  small.strategy = plan::Strategy::kNaive;
+  requests.push_back(SearchRequest::Text("//car[./price < 3000]", kKorProfile,
+                                         small));
+  SearchRequest relaxed = SearchRequest::Text("//car[./price < 100]", "");
+  relaxed.mode = SearchMode::kRelaxed;
+  requests.push_back(relaxed);
+  SearchRequest winnow = SearchRequest::Text("//car", kKorProfile);
+  winnow.mode = SearchMode::kWinnow;
+  requests.push_back(winnow);
+  SearchRequest traced = SearchRequest::Text("//car[./price < 2000]", "");
+  traced.trace.enabled = true;
+  requests.push_back(traced);
+  SearchRequest limited = SearchRequest::Text("//car", "");
+  limited.limits.max_answers = 2;  // fails with kResourceExhausted
+  requests.push_back(limited);
+  requests.push_back(SearchRequest::Text("car[", ""));  // parse error
+
+  std::vector<std::string> expected;
+  expected.reserve(requests.size());
+  for (const SearchRequest& req : requests) {
+    StatusOr<SearchResult> result = engine.Execute(req);
+    expected.push_back(result.ok() ? Canonical(Status::OK(), *result)
+                                   : Canonical(result.status(),
+                                               SearchResult{}));
+  }
+
+  for (int workers : {1, 2, 4, 8}) {
+    BatchOptions options;
+    options.num_workers = workers;
+    BatchResult batch = engine.BatchSearch(requests, options);
+    ASSERT_EQ(batch.items.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(Canonical(batch.items[i].status, batch.items[i].result),
+                expected[i])
+          << "workers=" << workers << " item=" << i;
+    }
+  }
+
+  // The traced item really carried its span tree through the batch.
+  BatchOptions options;
+  options.num_workers = 4;
+  BatchResult batch = engine.BatchSearch(requests, options);
+  EXPECT_TRUE(batch.items[4].result.trace.enabled);
+  EXPECT_GT(batch.items[4].result.trace.spans.size(), 1u);
+  EXPECT_FALSE(batch.items[0].result.trace.enabled);
+  EXPECT_EQ(batch.items[5].status.code(), StatusCode::kResourceExhausted);
 }
 
 TEST(WorkerPoolTest, ParallelForRunsEveryIndexOnce) {

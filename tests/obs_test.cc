@@ -1,0 +1,424 @@
+// The observability layer: metrics registry primitives (sharded counters,
+// gauges, log-scale histograms, Prometheus/JSON rendering), per-query span
+// trees behind the unified SearchRequest entry point, the zero-overhead
+// guarantee when tracing is off, 1-in-N sampling, and the
+// SearchRequest-vs-legacy-overload identity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento {
+namespace {
+
+using core::SearchEngine;
+using core::SearchMode;
+using core::SearchOptions;
+using core::SearchRequest;
+using core::SearchResult;
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\")] and "
+    "./price < 5000]";
+
+constexpr const char* kProfile = R"(
+profile obs
+rank K,V,S
+sr p1 priority 1: if //car/description[ftcontains(., "good condition")] then add ftcontains(description, "american")
+vor pi1: tag=car prefer color = "red"
+kor pi2: tag=car prefer ftcontains("best bid")
+kor pi3: tag=car prefer ftcontains("NYC")
+)";
+
+SearchEngine CarEngine(int cars = 80) {
+  data::CarGenOptions gen;
+  gen.num_cars = cars;
+  return SearchEngine(index::Collection::Build(data::GenerateCarDealer(gen)));
+}
+
+/// Byte-exact rendering of one outcome (%a doubles), for identity checks.
+std::string Canonical(const StatusOr<SearchResult>& result) {
+  if (!result.ok()) return result.status().ToString();
+  std::string out = result->encoded_query + "\n" +
+                    result->plan_description + "\n";
+  char buf[64];
+  for (const core::RankedAnswer& a : result->answers) {
+    std::snprintf(buf, sizeof(buf), "#%d n%d s=%a k=%a\n", a.rank, a.node,
+                  a.s, a.k);
+    out += buf;
+  }
+  return out;
+}
+
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::Instance().DisarmAll(); }
+};
+
+// --- histogram bucket boundaries ---
+
+TEST(HistogramTest, BucketZeroHoldsNonPositiveAndUnderflow) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-3.5), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0u);
+  // Below the smallest finite boundary 2^-10.
+  EXPECT_EQ(Histogram::BucketIndex(std::ldexp(1.0, Histogram::kMinExp - 1)),
+            0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e-300), 0u);
+}
+
+TEST(HistogramTest, BucketsAreHalfOpenPowersOfTwo) {
+  // A value exactly on a boundary belongs to the bucket whose *lower*
+  // bound it is: 2^kMinExp is the first value of bucket 1, not bucket 0.
+  EXPECT_EQ(Histogram::BucketIndex(std::ldexp(1.0, Histogram::kMinExp)), 1u);
+  // 1.0 = 2^0: bucket i covers [2^(kMinExp+i-1), 2^(kMinExp+i)), so 1.0
+  // lands at i = -kMinExp + 1.
+  const uint32_t one_bucket = static_cast<uint32_t>(-Histogram::kMinExp) + 1;
+  EXPECT_EQ(Histogram::BucketIndex(1.0), one_bucket);
+  EXPECT_EQ(Histogram::BucketIndex(1.999), one_bucket);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), one_bucket + 1);
+  EXPECT_EQ(Histogram::BucketIndex(0.75), one_bucket - 1);
+  // Consistency: every finite upper bound is the first value of the next
+  // bucket.
+  for (uint32_t i = 0; i + 2 < Histogram::kBucketCount; ++i) {
+    const double ub = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(ub), i + 1) << "boundary " << ub;
+  }
+}
+
+TEST(HistogramTest, OverflowClampsToLastBucket) {
+  const double huge = std::ldexp(
+      1.0, Histogram::kMinExp + static_cast<int>(Histogram::kBucketCount));
+  EXPECT_EQ(Histogram::BucketIndex(huge), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kBucketCount - 1);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kBucketCount - 1)));
+}
+
+TEST(HistogramTest, ObserveAccumulatesCountSumAndBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t_hist", "test");
+  h->Observe(0.5);
+  h->Observe(0.5);
+  h->Observe(3.0);
+  EXPECT_EQ(h->Count(), 3);
+  EXPECT_NEAR(h->Sum(), 4.0, 1e-5);
+  EXPECT_EQ(h->BucketCount(Histogram::BucketIndex(0.5)), 2);
+  EXPECT_EQ(h->BucketCount(Histogram::BucketIndex(3.0)), 1);
+}
+
+// --- counters, gauges, registry ---
+
+TEST(MetricsTest, CounterIncrementsAndSumsAcrossShards) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("t_counter", "test");
+  EXPECT_EQ(c->Value(), 0);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsAreExact) {
+  MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("t_conc", "test");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  obs::Gauge* g = registry.GetGauge("t_gauge", "test");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("t_same", "first help wins");
+  obs::Counter* b = registry.GetCounter("t_same", "ignored");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->help(), "first help wins");
+}
+
+TEST(MetricsTest, RenderTextIsPrometheusShaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("t_requests_total", "requests")->Increment(3);
+  Histogram* h = registry.GetHistogram("t_lat_ms", "latency");
+  h->Observe(0.5);
+  h->Observe(100.0);
+  registry.GetGauge("t_resident", "bytes")->Set(64);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE t_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("t_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ms_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_resident gauge"), std::string::npos);
+  EXPECT_NE(text.find("t_resident 64"), std::string::npos);
+}
+
+TEST(MetricsTest, RenderJsonCarriesAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("t_c", "")->Increment();
+  registry.GetGauge("t_g", "")->Set(5);
+  registry.GetHistogram("t_h", "")->Observe(1.0);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"t_c\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+// --- tracing through the unified entry point ---
+
+TEST(TraceTest, TracedSearchYieldsSpanTreeAndIdenticalAnswers) {
+  SearchEngine engine = CarEngine();
+  SearchRequest plain = SearchRequest::Text(kCarQuery, kProfile);
+  StatusOr<SearchResult> untraced = engine.Execute(plain);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_FALSE(untraced->trace.enabled);
+  EXPECT_TRUE(untraced->trace.spans.empty());
+
+  SearchRequest traced_req = plain;
+  traced_req.trace.enabled = true;
+  StatusOr<SearchResult> traced = engine.Execute(traced_req);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(traced->trace.enabled);
+
+  // Tracing must not perturb the search: answers, encoded query and plan
+  // description are byte-identical.
+  EXPECT_EQ(Canonical(untraced), Canonical(traced));
+
+  // The tree covers the planner phases and every operator of the plan.
+  std::set<std::string> phases;
+  int operator_spans = 0;
+  for (const obs::TraceSpan& s : traced->trace.spans) {
+    if (s.category == "operator") {
+      ++operator_spans;
+    } else {
+      phases.insert(s.name);
+    }
+  }
+  EXPECT_TRUE(phases.count("parse.query")) << traced->trace.ToString();
+  EXPECT_TRUE(phases.count("planner.flock"));
+  EXPECT_TRUE(phases.count("flock.conflict_analysis"));
+  EXPECT_TRUE(phases.count("planner.plan_build"));
+  EXPECT_TRUE(phases.count("execute"));
+  EXPECT_TRUE(phases.count("rank.materialize"));
+  // One operator span per plan operator: the description lists the chain.
+  int plan_ops = 1;
+  for (size_t pos = 0;
+       (pos = traced->plan_description.find(" -> ", pos)) != std::string::npos;
+       pos += 4) {
+    ++plan_ops;
+  }
+  EXPECT_EQ(operator_spans, plan_ops) << traced->plan_description << "\n"
+                                      << traced->trace.ToString();
+
+  // The root span's duration is the measured query time; the per-span self
+  // times must account for (nearly) all of it.
+  EXPECT_GT(traced->trace.total_ns, 0);
+  const double coverage = traced->trace.CoverageFraction();
+  EXPECT_GT(coverage, 0.5) << traced->trace.ToString();
+  EXPECT_LT(coverage, 1.1) << traced->trace.ToString();
+
+  // Operator spans carry the tuple flow; the leaf scan produced something.
+  int64_t max_out = 0;
+  for (const obs::TraceSpan& s : traced->trace.spans) {
+    if (s.category == "operator") max_out = std::max(max_out, s.tuples_out);
+  }
+  EXPECT_GT(max_out, 0);
+
+  // Exports render.
+  EXPECT_NE(traced->trace.ToString().find("coverage="), std::string::npos);
+  EXPECT_NE(traced->trace.ToChromeJson().find("\"traceEvents\""),
+            std::string::npos);
+}
+
+TEST(TraceTest, SamplingOffPerformsNoSpanAllocation) {
+  FaultGuard guard;
+  SearchEngine engine = CarEngine(30);
+  // Arm an unrelated site so the injector counts traversals process-wide;
+  // the "obs.trace.span" site itself stays unarmed (pass-through).
+  FaultInjector::FaultSpec spec;
+  spec.skip = 1 << 30;  // never actually fires
+  FaultInjector::Instance().Arm("obs_test.dummy", spec);
+
+  const int64_t before =
+      FaultInjector::Instance().HitCount("obs.trace.span");
+  StatusOr<SearchResult> off = engine.Execute(SearchRequest::Text(kCarQuery));
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(FaultInjector::Instance().HitCount("obs.trace.span"), before)
+      << "untraced request allocated trace spans";
+
+  SearchRequest traced_req = SearchRequest::Text(kCarQuery);
+  traced_req.trace.enabled = true;
+  StatusOr<SearchResult> on = engine.Execute(traced_req);
+  ASSERT_TRUE(on.ok());
+  EXPECT_GT(FaultInjector::Instance().HitCount("obs.trace.span"), before)
+      << "traced request recorded no spans";
+}
+
+TEST(TraceTest, SampleOneInNTracesEveryNthRequest) {
+  SearchEngine engine = CarEngine(30);
+  SearchRequest request = SearchRequest::Text("//car");
+  request.trace.sample_one_in = 2;
+  std::vector<bool> traced;
+  for (int i = 0; i < 6; ++i) {
+    StatusOr<SearchResult> result = engine.Execute(request);
+    ASSERT_TRUE(result.ok());
+    traced.push_back(result->trace.enabled);
+  }
+  // The engine-wide ticker starts at zero for a fresh engine: requests
+  // 2, 4, 6 are traced.
+  EXPECT_EQ(traced,
+            (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST(TraceTest, RelaxedAndWinnowModesTraceToo) {
+  SearchEngine engine = CarEngine(40);
+  StatusOr<tpq::Tpq> query = tpq::ParseTpq("//car[./price < 100]");
+  ASSERT_TRUE(query.ok());
+  for (SearchMode mode : {SearchMode::kRelaxed, SearchMode::kWinnow}) {
+    SearchRequest request;
+    request.query = &*query;
+    request.mode = mode;
+    request.trace.enabled = true;
+    StatusOr<SearchResult> result = engine.Execute(request);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->trace.enabled);
+    EXPECT_GT(result->trace.spans.size(), 1u);
+  }
+}
+
+// --- the unified SearchRequest entry point ---
+
+TEST(SearchRequestTest, LegacyOverloadsMatchExecute) {
+  SearchEngine engine = CarEngine();
+  SearchOptions options;
+  options.k = 5;
+
+  // Text pair.
+  StatusOr<SearchResult> via_shim = engine.Search(kCarQuery, kProfile, options);
+  StatusOr<SearchResult> via_request =
+      engine.Execute(SearchRequest::Text(kCarQuery, kProfile, options));
+  EXPECT_EQ(Canonical(via_shim), Canonical(via_request));
+
+  // Parsed pair, plus the relaxed and winnow modes.
+  StatusOr<tpq::Tpq> query = tpq::ParseTpq(kCarQuery);
+  ASSERT_TRUE(query.ok());
+  StatusOr<SearchResult> text_profile = engine.Search(kCarQuery, kProfile);
+  ASSERT_TRUE(text_profile.ok());
+
+  StatusOr<SearchResult> relaxed_shim =
+      engine.Search(kCarQuery, kProfile, options);
+  SearchRequest relaxed_req = SearchRequest::Text(kCarQuery, kProfile, options);
+  relaxed_req.mode = SearchMode::kTopK;
+  EXPECT_EQ(Canonical(relaxed_shim), Canonical(engine.Execute(relaxed_req)));
+
+  // No-profile single-string overload.
+  StatusOr<SearchResult> bare_shim = engine.Search("//car", options);
+  StatusOr<SearchResult> bare_req =
+      engine.Execute(SearchRequest::Text("//car", "", options));
+  EXPECT_EQ(Canonical(bare_shim), Canonical(bare_req));
+}
+
+TEST(SearchRequestTest, RequestLimitsAreCanonicalOverOptionsLimits) {
+  SearchEngine engine = CarEngine(40);
+
+  // Limits on the request fire.
+  SearchRequest request = SearchRequest::Text("//car");
+  request.limits.max_answers = 3;
+  StatusOr<SearchResult> strict = engine.Execute(request);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kResourceExhausted);
+
+  // Legacy home still honored when the request's limits are unset.
+  SearchRequest legacy = SearchRequest::Text("//car");
+  legacy.options.limits.max_answers = 3;
+  StatusOr<SearchResult> legacy_result = engine.Execute(legacy);
+  ASSERT_FALSE(legacy_result.ok());
+  EXPECT_EQ(legacy_result.status().code(), StatusCode::kResourceExhausted);
+
+  // The canonical home wins when both are set: a permissive request-level
+  // budget overrides a restrictive options-level one.
+  SearchRequest both = SearchRequest::Text("//car");
+  both.limits.max_answers = 1 << 20;
+  both.options.limits.max_answers = 1;
+  StatusOr<SearchResult> permissive = engine.Execute(both);
+  EXPECT_TRUE(permissive.ok()) << permissive.status().ToString();
+
+  // EffectiveLimits itself.
+  EXPECT_EQ(&core::EffectiveLimits(both), &both.limits);
+  EXPECT_EQ(&core::EffectiveLimits(legacy), &legacy.options.limits);
+}
+
+TEST(SearchRequestTest, EngineMetricsCountRequestsAndGovernorStops) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  obs::Counter* requests =
+      registry.GetCounter("pimento_requests_total");
+  obs::Counter* stops =
+      registry.GetCounter("pimento_governor_stops_resource_total");
+  obs::Counter* errors = registry.GetCounter("pimento_request_errors_total");
+  obs::Histogram* latency =
+      registry.GetHistogram("pimento_request_latency_ms");
+  const int64_t requests_before = requests->Value();
+  const int64_t stops_before = stops->Value();
+  const int64_t errors_before = errors->Value();
+  const int64_t observations_before = latency->Count();
+
+  SearchEngine engine = CarEngine(40);
+  ASSERT_TRUE(engine.Execute(SearchRequest::Text("//car")).ok());
+  SearchRequest limited = SearchRequest::Text("//car");
+  limited.limits.max_answers = 1;
+  ASSERT_FALSE(engine.Execute(limited).ok());
+
+  EXPECT_EQ(requests->Value(), requests_before + 2);
+  EXPECT_GE(stops->Value(), stops_before + 1);
+  EXPECT_EQ(errors->Value(), errors_before + 1);
+  EXPECT_EQ(latency->Count(), observations_before + 2);
+}
+
+TEST(SearchRequestTest, ExplainCarriesTraceReport) {
+  SearchEngine engine = CarEngine(30);
+  StatusOr<SearchResult> result = engine.Execute(SearchRequest::Text("//car"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->answers.empty());
+
+  SearchRequest request = SearchRequest::Text("//car");
+  request.trace.enabled = true;
+  StatusOr<core::Explanation> explained =
+      engine.Explain(request, result->answers[0].node);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_FALSE(explained->trace_report.empty());
+  EXPECT_NE(explained->trace_report.find("coverage="), std::string::npos);
+  EXPECT_NE(explained->ToString().find("trace:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pimento
