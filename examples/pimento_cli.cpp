@@ -5,11 +5,14 @@
 //               [--strategy naive|interleave|interleave-sorted|push]
 //               [--stem] [--explain] [--stats] [--metrics]
 //               [--trace] [--trace-out <file.json>]
+//               [--verify-plan] [--lint-profile]
 //
 // Example:
 //   pimento_cli cars.xml '//car[./price < 2000]' --profile me.profile --k 5
 //   pimento_cli cars.xml '//car' --trace --metrics
 //   pimento_cli cars.xml '//car' --trace-out trace.json   # chrome://tracing
+//   pimento_cli cars.xml '//car' --profile me.profile --verify-plan
+//   pimento_cli cars.xml '//car' --profile me.profile --lint-profile
 
 #include <cstdio>
 #include <cstring>
@@ -17,8 +20,10 @@
 #include <sstream>
 #include <string>
 
+#include "src/analysis/profile_linter.h"
 #include "src/core/engine.h"
 #include "src/obs/metrics.h"
+#include "src/profile/rule_parser.h"
 
 namespace {
 
@@ -38,7 +43,8 @@ int Usage() {
       " [--k N]\n"
       "                   [--strategy naive|interleave|interleave-sorted|"
       "push] [--stem] [--explain] [--stats]\n"
-      "                   [--metrics] [--trace] [--trace-out <file.json>]\n");
+      "                   [--metrics] [--trace] [--trace-out <file.json>]\n"
+      "                   [--verify-plan] [--lint-profile]\n");
   return 2;
 }
 
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   bool show_metrics = false;
   bool show_trace = false;
+  bool lint_profile = false;
   std::string trace_out;
 
   for (int i = 3; i < argc; ++i) {
@@ -92,9 +99,40 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
       request.trace.enabled = true;
+    } else if (arg == "--verify-plan") {
+      request.verify_plan = true;
+    } else if (arg == "--lint-profile") {
+      lint_profile = true;
     } else {
       return Usage();
     }
+  }
+
+  // --lint-profile: static profile diagnostics, before any indexing (the
+  // lints are query- and collection-independent).
+  if (lint_profile) {
+    if (request.profile_text.empty()) {
+      std::fprintf(stderr, "--lint-profile requires --profile <file>\n");
+      return 2;
+    }
+    auto profile = pimento::profile::ParseProfile(request.profile_text);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "profile parse error: %s\n",
+                   profile.status().ToString().c_str());
+      return 1;
+    }
+    pimento::analysis::Diagnostics diags =
+        pimento::analysis::LintProfile(*profile);
+    if (diags.empty()) {
+      std::printf("profile lint: clean (%zu scoping rules, %zu VORs, %zu "
+                  "KORs)\n",
+                  profile->scoping_rules.size(), profile->vors.size(),
+                  profile->kors.size());
+    } else {
+      std::printf("%s\n",
+                  pimento::analysis::RenderDiagnostics(diags).c_str());
+    }
+    if (pimento::analysis::HasErrors(diags)) return 1;
   }
 
   // Comma-separated file lists are indexed as one corpus.
@@ -135,6 +173,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (request.verify_plan) {
+    std::printf("plan verifier: %s\n",
+                result->verifier_report.empty()
+                    ? "clean"
+                    : result->verifier_report.c_str());
+  }
   if (explain) {
     std::printf("encoded query: %s\n", result->encoded_query.c_str());
     std::printf("plan: %s\n", result->plan_description.c_str());

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Banned-pattern lint, run as a tier-1 ctest target (lint_banned_patterns).
+#
+# Each rule greps for a construct that has bitten this codebase or would
+# break a layering invariant. A hit prints the offending lines and fails.
+# Extend by appending a `check` call; keep rules grep-able and literal so a
+# failure message is self-explanatory.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT" || exit 1
+
+fail=0
+
+# check <description> <extended-regex> <path...> [--exclude-dir=...]
+check() {
+  desc="$1"; regex="$2"; shift 2
+  hits=$(grep -rnE "$regex" "$@" 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "LINT FAIL: $desc"
+    echo "$hits"
+    echo
+    fail=1
+  fi
+}
+
+# 1. No naked system(): shelling out bypasses the fault injector, the
+#    resource governor, and sandboxing assumptions.
+check "naked system() call (use in-process APIs)" \
+  '(^|[^a-zA-Z0-9_:.])system\(' \
+  src bench examples
+
+# 2. Operator::Next() is the engine-internal pull protocol. Outside the
+#    algebra layer, consumers must go through Plan::Execute so governor
+#    polling, tracing, and stats stay correct.
+check "Operator Next() driven outside src/algebra/ (use Plan::Execute)" \
+  '(->|\.)Next\(' \
+  src --exclude-dir=algebra
+
+# 3. The legacy Search* shims exist for old callers only; new engine code
+#    must construct a SearchRequest and call Execute().
+check "legacy Search* shim called from src/ (use Execute(SearchRequest))" \
+  '(\.|->)(Search|SearchRelaxed|SearchWinnow|SearchPrecompiled)\(' \
+  src
+
+exit $fail

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library
+# sources, using the build tree's compile_commands.json. Invoked by the
+# lint_clang_tidy ctest target when a clang-tidy binary exists.
+#
+# Usage: run_clang_tidy.sh <clang-tidy-binary> <build-dir>
+set -u
+
+TIDY="${1:?usage: run_clang_tidy.sh <clang-tidy> <build-dir>}"
+BUILD="${2:?usage: run_clang_tidy.sh <clang-tidy> <build-dir>}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "no compile_commands.json in $BUILD (CMAKE_EXPORT_COMPILE_COMMANDS?)"
+  exit 1
+fi
+
+fail=0
+for f in "$ROOT"/src/*/*.cc; do
+  if ! "$TIDY" -p "$BUILD" --quiet "$f"; then
+    fail=1
+  fi
+done
+exit $fail

@@ -115,6 +115,10 @@ class ScanOp : public Operator {
   void Reset() override;
   std::string Name() const override { return "scan(" + tag_ + ")"; }
 
+  // Read-only introspection for the static plan verifier.
+  const ExecContext& context() const { return ctx_; }
+  size_t vor_count() const { return vor_count_; }
+
  private:
   ExecContext ctx_;
   std::string tag_;
@@ -172,6 +176,12 @@ class IndexScanOp : public Operator {
   int64_t blocks_skipped() const { return blocks_skipped_; }
   int64_t blocks_visited() const { return blocks_visited_; }
 
+  // Read-only introspection for the static plan verifier.
+  const ExecContext& context() const { return ctx_; }
+  size_t vor_count() const { return vor_count_; }
+  const std::vector<RequiredPhrase>& required() const { return required_; }
+  const ScoreFloor* score_floor() const { return floor_; }
+
  private:
   bool FillBuffer();
   bool OthersPresent(xml::NodeId node);
@@ -213,6 +223,10 @@ class MaterializedOp : public Operator {
   }
   std::string Name() const override { return name_; }
 
+  /// The materialized source list (read-only; the verifier derives the
+  /// produced VOR width from it).
+  const std::vector<Answer>& answers() const { return answers_; }
+
  private:
   std::vector<Answer> answers_;
   std::string name_;
@@ -231,6 +245,10 @@ class FtContainsOp : public Operator {
   bool Next(Answer* out) override;
   std::string Name() const override;
   double MaxSContribution() const override;
+
+  // Read-only introspection for the static plan verifier.
+  const ExecContext& context() const { return ctx_; }
+  bool required() const { return required_; }
 
  private:
   ExecContext ctx_;
@@ -254,6 +272,10 @@ class ValuePredOp : public Operator {
   std::string Name() const override;
   double MaxSContribution() const override { return required_ ? 0.0 : bonus_; }
 
+  // Read-only introspection for the static plan verifier.
+  const ExecContext& context() const { return ctx_; }
+  bool required() const { return required_; }
+
  private:
   bool Satisfies(xml::NodeId node) const;
 
@@ -274,6 +296,10 @@ class ExistsOp : public Operator {
   std::string Name() const override;
   double MaxSContribution() const override { return required_ ? 0.0 : bonus_; }
 
+  // Read-only introspection for the static plan verifier.
+  const ExecContext& context() const { return ctx_; }
+  bool required() const { return required_; }
+
  private:
   ExecContext ctx_;
   NavPath nav_;
@@ -291,6 +317,11 @@ class VorOp : public Operator {
   bool Next(Answer* out) override;
   std::string Name() const override { return "vor(" + rule_.name + ")"; }
 
+  // Read-only introspection for the static plan verifier.
+  const ExecContext& context() const { return ctx_; }
+  const profile::Vor& rule() const { return rule_; }
+  size_t rule_index() const { return rule_index_; }
+
  private:
   ExecContext ctx_;
   profile::Vor rule_;
@@ -306,6 +337,10 @@ class KorOp : public Operator {
   bool Next(Answer* out) override;
   std::string Name() const override { return "kor(" + rule_.name + ")"; }
   double MaxKContribution() const override;
+
+  // Read-only introspection for the static plan verifier.
+  const ExecContext& context() const { return ctx_; }
+  const profile::Kor& rule() const { return rule_; }
 
  private:
   ExecContext ctx_;
@@ -337,6 +372,11 @@ class SortOp : public Operator {
     return param_ == Param::kByS ? "sort(S)" : "sort(rank)";
   }
   bool SortedOutput() const override { return true; }
+
+  // Read-only introspection for the static plan verifier.
+  Param param() const { return param_; }
+  const RankContext* rank() const { return rank_; }
+  exec::ExecutionContext* governor() const { return governor_; }
 
  private:
   const RankContext* rank_;

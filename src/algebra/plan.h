@@ -67,6 +67,10 @@ class Plan {
   RankContext* MakeRankContext(std::vector<profile::Vor> vors,
                                profile::RankOrder order);
 
+  /// The attached ranking context, or null before MakeRankContext (the
+  /// static verifier reads the VOR relation and rank order through it).
+  const RankContext* rank_context() const { return rank_.get(); }
+
  private:
   std::vector<std::unique_ptr<Operator>> ops_;
   std::unique_ptr<RankContext> rank_;

@@ -90,6 +90,10 @@ class TopkPruneOp : public Operator, public ScoreFloor {
 
   const TopkPruneOptions& options() const { return options_; }
 
+  // Read-only introspection for the static plan verifier.
+  const RankContext* rank() const { return rank_; }
+  exec::ExecutionContext* governor() const { return governor_; }
+
  private:
   enum class Decision { kKeep, kPrune, kPruneMonotone };
 

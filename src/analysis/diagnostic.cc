@@ -1,0 +1,57 @@
+#include "src/analysis/diagnostic.h"
+
+namespace pimento::analysis {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = std::string(SeverityName(severity)) + " " + code + ": " +
+                    message;
+  if (!witness.empty()) out += " [witness: " + witness + "]";
+  return out;
+}
+
+bool HasErrors(const Diagnostics& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::string RenderDiagnostics(const Diagnostics& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+  }
+  return out;
+}
+
+std::string RenderErrors(const Diagnostics& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    if (d.severity != Severity::kError) continue;
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+  }
+  return out;
+}
+
+const Diagnostic* FindCode(const Diagnostics& diags, std::string_view code) {
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace pimento::analysis

@@ -1,0 +1,54 @@
+#ifndef PIMENTO_ANALYSIS_DIAGNOSTIC_H_
+#define PIMENTO_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimento::analysis {
+
+/// How bad a finding is. kError marks a violated soundness invariant (a
+/// plan that may return wrong answers, a profile that cannot be enforced);
+/// kWarning marks a sound-but-suspect construct (dead rule, weakened
+/// pruning); kInfo records resolved or informational facts.
+enum class Severity : uint8_t {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity s);
+
+/// One finding of a static analyzer. `code` identifies the invariant (the
+/// catalogue lives in docs/analysis.md: PV1xx structure, PV2xx pruning
+/// soundness, PV3xx operator ordering, PV4xx decorators, PV5xx governor
+/// threading, PV6xx flock shape, PL1xx scoping-rule lints, PL2xx
+/// ordering-rule lints); `witness` is the concrete evidence — the operator
+/// position, the rule cycle, the homomorphism pair — that makes the finding
+/// checkable by a human without re-running the analyzer.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  std::string message;
+  std::string witness;
+
+  /// "error PV201: <message> [witness: <witness>]".
+  std::string ToString() const;
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+bool HasErrors(const Diagnostics& diags);
+
+/// One finding per line; empty string for an empty list.
+std::string RenderDiagnostics(const Diagnostics& diags);
+
+/// Error-severity findings only, one per line.
+std::string RenderErrors(const Diagnostics& diags);
+
+/// First finding with `code`, or null.
+const Diagnostic* FindCode(const Diagnostics& diags, std::string_view code);
+
+}  // namespace pimento::analysis
+
+#endif  // PIMENTO_ANALYSIS_DIAGNOSTIC_H_

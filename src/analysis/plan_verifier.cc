@@ -1,0 +1,662 @@
+#include "src/analysis/plan_verifier.h"
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algebra/operators.h"
+#include "src/algebra/topk_prune.h"
+#include "src/obs/trace_op.h"
+#include "src/profile/profile.h"
+#include "src/tpq/containment.h"
+
+namespace pimento::analysis {
+
+namespace {
+
+using algebra::Operator;
+using algebra::PruneAlg;
+using algebra::RankContext;
+using algebra::SortOp;
+using algebra::TopkPruneOp;
+
+/// Tolerance for comparing recomputed score-bound suffix sums. The planner
+/// and the verifier add the same doubles in the same order, so planner
+/// plans match bitwise; the epsilon only forgives benign re-derivations in
+/// hand-built plans.
+constexpr double kBoundEps = 1e-9;
+
+struct Finding {
+  Diagnostics* out;
+
+  void Add(Severity sev, const char* code, std::string message,
+           std::string witness) {
+    out->push_back(Diagnostic{sev, code, std::move(message),
+                              std::move(witness)});
+  }
+  void Error(const char* code, std::string message, std::string witness) {
+    Add(Severity::kError, code, std::move(message), std::move(witness));
+  }
+  void Warn(const char* code, std::string message, std::string witness) {
+    Add(Severity::kWarning, code, std::move(message), std::move(witness));
+  }
+};
+
+std::string OpWitness(size_t pos, const Operator* op) {
+  return "op[" + std::to_string(pos) + "] " + op->Name();
+}
+
+bool IsSource(const Operator* op) {
+  return dynamic_cast<const algebra::ScanOp*>(op) != nullptr ||
+         dynamic_cast<const algebra::IndexScanOp*>(op) != nullptr ||
+         dynamic_cast<const algebra::MaterializedOp*>(op) != nullptr;
+}
+
+bool IsVAware(PruneAlg alg) { return alg != PruneAlg::kAlg1; }
+bool IsKAware(PruneAlg alg) {
+  return alg == PruneAlg::kAlg3 || alg == PruneAlg::kAlgVks;
+}
+
+/// The governor pointer an operator was wired with, when the operator type
+/// carries one (sources and navigation joins through their ExecContext,
+/// sorts and prunes directly). `*has` stays false for governor-less types.
+exec::ExecutionContext* GovernorOf(const Operator* op, bool* has) {
+  *has = true;
+  if (const auto* o = dynamic_cast<const algebra::ScanOp*>(op)) {
+    return o->context().governor;
+  }
+  if (const auto* o = dynamic_cast<const algebra::IndexScanOp*>(op)) {
+    return o->context().governor;
+  }
+  if (const auto* o = dynamic_cast<const algebra::FtContainsOp*>(op)) {
+    return o->context().governor;
+  }
+  if (const auto* o = dynamic_cast<const algebra::ValuePredOp*>(op)) {
+    return o->context().governor;
+  }
+  if (const auto* o = dynamic_cast<const algebra::ExistsOp*>(op)) {
+    return o->context().governor;
+  }
+  if (const auto* o = dynamic_cast<const algebra::VorOp*>(op)) {
+    return o->context().governor;
+  }
+  if (const auto* o = dynamic_cast<const algebra::KorOp*>(op)) {
+    return o->context().governor;
+  }
+  if (const auto* o = dynamic_cast<const SortOp*>(op)) return o->governor();
+  if (const auto* o = dynamic_cast<const TopkPruneOp*>(op)) {
+    return o->governor();
+  }
+  *has = false;
+  return nullptr;
+}
+
+/// First non-transparent operator at or below `op` (skips TraceOp
+/// decorators), or null.
+const Operator* SkipTransparent(const Operator* op) {
+  while (op != nullptr && op->IsTransparent()) op = op->input();
+  return op;
+}
+
+/// True when `rule`'s kPrefRel edge set contains a directed cycle; fills
+/// `*cycle` with one witness path of values.
+bool PrefRelCyclic(const profile::Vor& rule, std::string* cycle) {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [a, b] : rule.pref_edges) adj[a].push_back(b);
+  std::set<std::string> done;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  // Iterative DFS with an explicit path so the witness cycle pops out.
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& v) -> bool {
+    if (on_path.count(v)) {
+      std::string w;
+      bool in_cycle = false;
+      for (const std::string& p : path) {
+        if (p == v) in_cycle = true;
+        if (in_cycle) w += p + " > ";
+      }
+      *cycle = w + v;
+      return true;
+    }
+    if (done.count(v)) return false;
+    on_path.insert(v);
+    path.push_back(v);
+    for (const std::string& n : adj[v]) {
+      if (visit(n)) return true;
+    }
+    path.pop_back();
+    on_path.erase(v);
+    done.insert(v);
+    return false;
+  };
+  for (const auto& [v, _] : adj) {
+    if (visit(v)) return true;
+  }
+  return false;
+}
+
+/// The skeleton of `q` with every optional (SR-encoded outer-join) subtree
+/// and predicate stripped: the query's mandatory branch. An optional node
+/// on the distinguished spine cannot be stripped (the distinguished binding
+/// must survive); `*spine_optional` reports that malformation instead.
+tpq::Tpq RequiredSkeleton(const tpq::Tpq& q, bool* spine_optional) {
+  *spine_optional = false;
+  tpq::Tpq out = q;
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    for (int n : out.PreOrder()) {
+      if (!out.node(n).optional) continue;
+      bool on_spine = false;
+      for (int cur = out.distinguished(); cur >= 0;
+           cur = out.node(cur).parent) {
+        if (cur == n) {
+          on_spine = true;
+          break;
+        }
+      }
+      if (on_spine) {
+        *spine_optional = true;
+        continue;
+      }
+      out.RemoveSubtree(n);
+      removed = true;
+      break;
+    }
+    if (*spine_optional) break;
+  }
+  for (int n : out.PreOrder()) {
+    tpq::QueryNode& qn = out.mutable_node(n);
+    std::erase_if(qn.value_predicates,
+                  [](const tpq::ValuePredicate& p) { return p.optional; });
+    std::erase_if(qn.keyword_predicates,
+                  [](const tpq::KeywordPredicate& p) { return p.optional; });
+  }
+  return out;
+}
+
+}  // namespace
+
+Diagnostics VerifyPlan(const algebra::Plan& plan) {
+  Diagnostics diags;
+  Finding f{&diags};
+
+  if (plan.empty()) {
+    f.Error("PV101", "plan has no operators", "");
+    return diags;
+  }
+
+  // --- PV1xx: chain structure -------------------------------------------
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const Operator* op = plan.op(i);
+    const Operator* expect = i == 0 ? nullptr : plan.op(i - 1);
+    if (op->input() != expect) {
+      f.Error("PV102",
+              "operator chain is broken: input pointer does not reference "
+              "the previous operator",
+              OpWitness(i, op));
+    }
+    if (i == 0 && !IsSource(op)) {
+      f.Error("PV103", "the leaf operator is not a source (scan/iscan/"
+              "materialized)",
+              OpWitness(i, op));
+    }
+    if (i > 0 && IsSource(op)) {
+      f.Error("PV103", "source operator appears mid-chain", OpWitness(i, op));
+    }
+  }
+
+  // The rank relation the plan's sorts/prunes compare under: the plan's own
+  // context when attached, else the first one an operator references.
+  const RankContext* rank = plan.rank_context();
+  for (size_t i = 0; rank == nullptr && i < plan.size(); ++i) {
+    if (const auto* p = dynamic_cast<const TopkPruneOp*>(plan.op(i))) {
+      rank = p->rank();
+    } else if (const auto* s = dynamic_cast<const SortOp*>(plan.op(i))) {
+      rank = s->rank();
+    }
+  }
+  const profile::RankOrder order =
+      rank != nullptr ? rank->order() : profile::RankOrder::kS;
+  const size_t vor_arity = rank != nullptr ? rank->vors().size() : 0;
+
+  // --- PV11x: VOR schema propagation --------------------------------------
+  // The leaf produces `leaf_width` VOR slots; each VorOp annotates one rule
+  // index; every V-consuming operator (OR-aware prune, rank sort over a
+  // non-empty relation) needs the full relation annotated upstream.
+  int64_t leaf_width = -1;  // -1 = unknown (empty materialized source)
+  if (const auto* s = dynamic_cast<const algebra::ScanOp*>(plan.op(0))) {
+    leaf_width = static_cast<int64_t>(s->vor_count());
+  } else if (const auto* is =
+                 dynamic_cast<const algebra::IndexScanOp*>(plan.op(0))) {
+    leaf_width = static_cast<int64_t>(is->vor_count());
+  } else if (const auto* m =
+                 dynamic_cast<const algebra::MaterializedOp*>(plan.op(0))) {
+    if (!m->answers().empty()) {
+      leaf_width = static_cast<int64_t>(m->answers().front().vor.size());
+    }
+  }
+  if (leaf_width >= 0 && static_cast<size_t>(leaf_width) != vor_arity) {
+    f.Warn("PV113",
+           "leaf produces " + std::to_string(leaf_width) +
+               " VOR slots but the rank relation has " +
+               std::to_string(vor_arity),
+           OpWitness(0, plan.op(0)));
+  }
+
+  std::set<size_t> annotated;  // VorOp rule indices seen so far (upstream)
+  size_t vorops_seen = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const Operator* op = plan.op(i);
+    if (const auto* v = dynamic_cast<const algebra::VorOp*>(op)) {
+      ++vorops_seen;
+      if (v->rule_index() >= vor_arity) {
+        f.Error("PV110",
+                "vor operator annotates rule index " +
+                    std::to_string(v->rule_index()) +
+                    " beyond the rank relation arity " +
+                    std::to_string(vor_arity),
+                OpWitness(i, op));
+      } else if (!annotated.insert(v->rule_index()).second) {
+        f.Error("PV111",
+                "duplicate vor operator for rule index " +
+                    std::to_string(v->rule_index()),
+                OpWitness(i, op));
+      }
+      continue;
+    }
+    // Does this operator consume V?
+    bool consumes_v = false;
+    if (const auto* p = dynamic_cast<const TopkPruneOp*>(op)) {
+      consumes_v = IsVAware(p->options().alg) && vor_arity > 0;
+    } else if (const auto* s = dynamic_cast<const SortOp*>(op)) {
+      consumes_v = s->param() == SortOp::Param::kByRank && vor_arity > 0 &&
+                   order != profile::RankOrder::kS;
+    }
+    if (consumes_v && annotated.size() < vor_arity) {
+      std::string missing;
+      for (size_t r = 0; r < vor_arity; ++r) {
+        if (annotated.count(r)) continue;
+        if (!missing.empty()) missing += ",";
+        missing += rank != nullptr ? rank->vors()[r].name : std::to_string(r);
+      }
+      f.Error("PV112",
+              "V-consuming operator runs before the full VOR relation is "
+              "annotated (missing: " + missing + ")",
+              OpWitness(i, op));
+    }
+  }
+
+  // --- PV2xx: topkPrune soundness ----------------------------------------
+  // Recompute each prune's scorebounds as the suffix sums of the
+  // non-transparent downstream operators' maximum contributions, exactly
+  // like the planner does (transparent decorators forward their wrapped
+  // operator's bounds and must be skipped to avoid double counting).
+  const TopkPruneOp* final_cut = nullptr;
+  size_t final_cut_pos = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const auto* prune = dynamic_cast<const TopkPruneOp*>(plan.op(i));
+    if (prune == nullptr) continue;
+    const algebra::TopkPruneOptions& po = prune->options();
+
+    if (po.final_cut) {
+      if (final_cut != nullptr) {
+        f.Error("PV206", "more than one final-cut topkPrune",
+                OpWitness(i, prune));
+      }
+      final_cut = prune;
+      final_cut_pos = i;
+    }
+
+    // --- PV30x: sorted-input preconditions (checked for every prune that
+    // claims a sorted stream, the terminal cut included) ------------------
+    if (po.sorted_input || po.final_cut) {
+      const Operator* in = SkipTransparent(prune->input());
+      const auto* sort = dynamic_cast<const SortOp*>(in);
+      if (sort == nullptr) {
+        f.Error(po.final_cut ? "PV206" : "PV301",
+                po.final_cut
+                    ? "final-cut topkPrune is not fed by the terminal rank "
+                      "sort: the first k of an unsorted stream is not the "
+                      "top k"
+                    : "sorted-input topkPrune is not fed by a sort: bulk "
+                      "pruning (§6.4) would drop unseen better answers",
+                OpWitness(i, prune) + " <- " +
+                    (in != nullptr ? in->Name() : "null"));
+      } else if (sort->param() == SortOp::Param::kByS &&
+                 (po.final_cut ? order != profile::RankOrder::kS
+                               : IsVAware(po.alg))) {
+        f.Error("PV302",
+                "S-only sort feeds an OR-aware sorted consumer: the bulk "
+                "prune's monotonicity assumption does not hold",
+                OpWitness(i, prune) + " <- " + sort->Name());
+      }
+    }
+
+    double s_suffix = 0.0;
+    double k_suffix = 0.0;
+    std::string contributors;
+    for (size_t j = i + 1; j < plan.size(); ++j) {
+      if (plan.op(j)->IsTransparent()) continue;
+      const double ms = plan.op(j)->MaxSContribution();
+      const double mk = plan.op(j)->MaxKContribution();
+      s_suffix += ms;
+      k_suffix += mk;
+      if (ms > 0.0 || mk > 0.0) {
+        if (!contributors.empty()) contributors += ", ";
+        contributors += plan.op(j)->Name();
+      }
+    }
+    if (po.final_cut) {
+      // The terminal cut does not prune by bounds; only check that nothing
+      // downstream of it can still change scores or ordering.
+      if (s_suffix > 0.0 || k_suffix > 0.0) {
+        f.Error("PV304",
+                "score-contributing operator downstream of the final cut",
+                OpWitness(i, prune) + " <- " + contributors);
+      }
+      continue;
+    }
+    if (po.query_score_bound + kBoundEps < s_suffix) {
+      f.Error("PV201",
+              "query-scorebound " + std::to_string(po.query_score_bound) +
+                  " understates the downstream S contributions " +
+                  std::to_string(s_suffix) +
+                  " (Algorithm 1 precondition): the prune can drop answers "
+                  "that would still reach the top k",
+              OpWitness(i, prune) + " <- " + contributors);
+    } else if (po.query_score_bound > s_suffix + kBoundEps) {
+      f.Warn("PV203",
+             "query-scorebound " + std::to_string(po.query_score_bound) +
+                 " overstates the downstream S contributions " +
+                 std::to_string(s_suffix) + " (sound but weakens pruning)",
+             OpWitness(i, prune));
+    }
+    if (IsKAware(po.alg)) {
+      if (po.kor_score_bound + kBoundEps < k_suffix) {
+        f.Error("PV202",
+                "kor-scorebound " + std::to_string(po.kor_score_bound) +
+                    " does not cover the remaining KOR contributions " +
+                    std::to_string(k_suffix) +
+                    " (Algorithm 3 precondition)",
+                OpWitness(i, prune) + " <- " + contributors);
+      } else if (po.kor_score_bound > k_suffix + kBoundEps) {
+        f.Warn("PV203",
+               "kor-scorebound " + std::to_string(po.kor_score_bound) +
+                   " overstates the remaining KOR contributions " +
+                   std::to_string(k_suffix),
+               OpWitness(i, prune));
+      }
+    } else if (k_suffix > kBoundEps) {
+      // A K-blind prune with KORs still to run: under a K-first ranking the
+      // prune ignores a component that can reorder answers.
+      if (order == profile::RankOrder::kKVS ||
+          order == profile::RankOrder::kVKS) {
+        f.Error("PV202",
+                "K-blind pruning algorithm with KOR operators downstream "
+                "under a K-aware rank order",
+                OpWitness(i, prune) + " <- " + contributors);
+      }
+    }
+
+    // Algorithm/rank-order agreement.
+    bool alg_ok = true;
+    switch (order) {
+      case profile::RankOrder::kS:
+        alg_ok = po.alg == PruneAlg::kAlg1;
+        break;
+      case profile::RankOrder::kKVS:
+        alg_ok = po.alg != PruneAlg::kAlgVks;
+        break;
+      case profile::RankOrder::kVKS:
+        alg_ok = po.alg == PruneAlg::kAlg1 || po.alg == PruneAlg::kAlgVks;
+        break;
+    }
+    if (!alg_ok) {
+      f.Error("PV204",
+              "pruning algorithm disagrees with the rank order " +
+                  std::string(profile::RankOrderName(order)) +
+                  ": prune decisions would contradict the final sort",
+              OpWitness(i, prune));
+    }
+
+    // Algorithm 2/3 precondition: the VOR relation attached and acyclic.
+    if (IsVAware(po.alg) && vor_arity > 0) {
+      if (prune->rank() == nullptr) {
+        f.Error("PV205", "OR-aware prune without an attached VOR relation",
+                OpWitness(i, prune));
+      } else {
+        for (const profile::Vor& rule : prune->rank()->vors()) {
+          std::string cycle;
+          if (rule.kind == profile::VorKind::kPrefRel &&
+              PrefRelCyclic(rule, &cycle)) {
+            f.Error("PV205",
+                    "VOR preference relation of rule '" + rule.name +
+                        "' is cyclic — not a strict partial order "
+                        "(Algorithm 2 precondition)",
+                    cycle);
+          }
+        }
+      }
+    }
+
+  }
+
+  // --- PV30x: nothing reorders or rescores after the terminal ranking ----
+  {
+    const Operator* root = SkipTransparent(plan.root());
+    const auto* root_prune = dynamic_cast<const TopkPruneOp*>(root);
+    if (final_cut == nullptr) {
+      f.Warn("PV207", "plan has no final-cut topkPrune at the root",
+             OpWitness(plan.size() - 1, plan.root()));
+    } else if (root_prune != final_cut) {
+      f.Error("PV206", "final-cut topkPrune is not the plan root",
+              OpWitness(final_cut_pos, final_cut));
+    }
+  }
+  for (size_t i = 0; i < plan.size(); ++i) {
+    // VorOps after any V-consumer were already flagged via PV112 coverage;
+    // here: KOR or VOR operators strictly after the final cut change what
+    // the emitted ranking was computed from.
+    if (final_cut == nullptr || i <= final_cut_pos) continue;
+    const Operator* op = plan.op(i);
+    if (dynamic_cast<const algebra::KorOp*>(op) != nullptr ||
+        dynamic_cast<const algebra::VorOp*>(op) != nullptr) {
+      f.Error("PV304", "rank-contributing operator downstream of the final "
+              "cut",
+              OpWitness(i, op));
+    }
+  }
+
+  // --- PV20x: score-floor wiring (§6.3 block skipping) --------------------
+  if (const auto* iscan =
+          dynamic_cast<const algebra::IndexScanOp*>(plan.op(0))) {
+    if (iscan->score_floor() != nullptr) {
+      if (order != profile::RankOrder::kS) {
+        f.Error("PV208",
+                "index scan skips blocks by an S floor under rank order " +
+                    std::string(profile::RankOrderName(order)) +
+                    ": a low-S answer can still win, skipping is unsound",
+                OpWitness(0, iscan));
+      }
+      const TopkPruneOp* target = nullptr;
+      size_t target_pos = 0;
+      for (size_t i = 0; i < plan.size(); ++i) {
+        const auto* p = dynamic_cast<const TopkPruneOp*>(plan.op(i));
+        if (p != nullptr &&
+            static_cast<const algebra::ScoreFloor*>(p) ==
+                iscan->score_floor()) {
+          target = p;
+          target_pos = i;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        f.Error("PV209",
+                "index scan's score floor does not point at a topkPrune of "
+                "this plan",
+                OpWitness(0, iscan));
+      } else if (target->options().alg != PruneAlg::kAlg1 ||
+                 target->options().final_cut) {
+        f.Error("PV209",
+                "index scan's score floor targets a prune that cannot "
+                "soundly expose a floor (needs a non-final Algorithm 1 "
+                "prune)",
+                OpWitness(target_pos, target));
+      }
+    }
+  }
+
+  // --- PV4xx: decorator transparency --------------------------------------
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const Operator* op = plan.op(i);
+    if (!op->IsTransparent()) continue;
+    if (const auto* t = dynamic_cast<const obs::TraceOp*>(op)) {
+      if (op->input() == nullptr) {
+        f.Error("PV402", "transparent decorator at the leaf has nothing to "
+                "wrap",
+                OpWitness(i, op));
+      } else if (t->wrapped() != op->input()) {
+        f.Error("PV401",
+                "trace decorator wraps an operator that is not its input: "
+                "its declared schema/bounds drift from the stream it "
+                "actually forwards",
+                OpWitness(i, op) + " wraps " +
+                    (t->wrapped() != nullptr ? t->wrapped()->Name() : "null") +
+                    " but reads " + op->input()->Name());
+      }
+    }
+    if (op->input() != nullptr &&
+        (std::abs(op->MaxSContribution() -
+                  op->input()->MaxSContribution()) > kBoundEps ||
+         std::abs(op->MaxKContribution() -
+                  op->input()->MaxKContribution()) > kBoundEps)) {
+      f.Error("PV403",
+              "transparent operator drifts its input's score bounds",
+              OpWitness(i, op));
+    }
+  }
+
+  // --- PV5xx: governor threading ------------------------------------------
+  {
+    exec::ExecutionContext* seen = nullptr;
+    size_t seen_pos = 0;
+    bool mixed_reported = false;
+    for (size_t i = 0; i < plan.size() && !mixed_reported; ++i) {
+      bool has = false;
+      exec::ExecutionContext* g = GovernorOf(plan.op(i), &has);
+      if (!has) continue;
+      if (g != nullptr && seen == nullptr) {
+        seen = g;
+        seen_pos = i;
+      }
+      if (seen != nullptr && g != seen) {
+        f.Error("PV501",
+                "inconsistent governor threading: a blocking/scanning "
+                "operator sees a different execution context — a fired "
+                "limit could not stop the whole pipeline",
+                OpWitness(i, plan.op(i)) + " vs " +
+                    OpWitness(seen_pos, plan.op(seen_pos)));
+        mixed_reported = true;
+      }
+    }
+    if (!mixed_reported && seen != nullptr) {
+      // Second pass: governed plan, but an earlier operator was left
+      // ungoverned (null before the first non-null was found).
+      for (size_t i = 0; i < seen_pos; ++i) {
+        bool has = false;
+        if (GovernorOf(plan.op(i), &has) == nullptr && has) {
+          f.Error("PV501",
+                  "inconsistent governor threading: operator below the "
+                  "governed region is not wired to the execution context",
+                  OpWitness(i, plan.op(i)) + " vs " +
+                      OpWitness(seen_pos, plan.op(seen_pos)));
+          break;
+        }
+      }
+    }
+  }
+
+  return diags;
+}
+
+Diagnostics VerifyFlock(const profile::QueryFlock& flock) {
+  Diagnostics diags;
+  Finding f{&diags};
+
+  if (flock.members.empty()) {
+    f.Error("PV601", "flock has no members (the original query is missing)",
+            "");
+    return diags;
+  }
+  if (flock.applied_rules.size() != flock.members.size() - 1) {
+    f.Error("PV602",
+            "flock bookkeeping broken: " +
+                std::to_string(flock.members.size()) + " members but " +
+                std::to_string(flock.applied_rules.size()) +
+                " applied rules",
+            "");
+  }
+  if (!flock.conflict_report.ordered) {
+    f.Error("PV603",
+            "conflict report is unordered: scoping rules form a cycle "
+            "without distinct priorities",
+            "");
+  }
+
+  const tpq::Tpq& original = flock.members.front();
+  if (flock.encoded.empty()) {
+    f.Error("PV604", "encoded query is empty", "");
+    return diags;
+  }
+  if (original.empty()) {
+    f.Error("PV601", "original query (members[0]) is empty", "");
+    return diags;
+  }
+  if (flock.encoded.node(flock.encoded.distinguished()).tag !=
+      original.node(original.distinguished()).tag) {
+    f.Error("PV605",
+            "encoded query answers a different tag than the original",
+            "encoded: " +
+                flock.encoded.node(flock.encoded.distinguished()).tag +
+                " vs original: " +
+                original.node(original.distinguished()).tag);
+  }
+
+  // The §6.1 encoding invariant: demoting deleted predicates to optional
+  // and attaching added ones as optional means every flock member's answers
+  // still satisfy the encoded query's *required* part — in particular the
+  // original query (members[0]), the mandatory branch.
+  bool spine_optional = false;
+  tpq::Tpq skeleton = RequiredSkeleton(flock.encoded, &spine_optional);
+  if (spine_optional) {
+    f.Error("PV604",
+            "encoded query marks a node on the distinguished spine "
+            "optional: the mandatory branch cannot be stripped of it",
+            flock.encoded.ToString());
+    return diags;
+  }
+  for (size_t m = 0; m < flock.members.size(); ++m) {
+    if (flock.members[m].empty()) continue;
+    if (!tpq::Contains(skeleton, flock.members[m])) {
+      std::string which =
+          m == 0 ? "the original query"
+                 : "member " + std::to_string(m) + " (rule index " +
+                       std::to_string(flock.applied_rules[m - 1]) + ")";
+      f.Error("PV604",
+              "encoded query's required part does not cover " + which +
+                  ": the single-plan encoding would filter answers a flock "
+                  "member must return",
+              "required part: " + skeleton.ToString() + " vs member: " +
+                  flock.members[m].ToString());
+    }
+  }
+  return diags;
+}
+
+}  // namespace pimento::analysis

@@ -1,0 +1,43 @@
+#ifndef PIMENTO_ANALYSIS_PLAN_VERIFIER_H_
+#define PIMENTO_ANALYSIS_PLAN_VERIFIER_H_
+
+#include "src/algebra/plan.h"
+#include "src/analysis/diagnostic.h"
+#include "src/profile/flock.h"
+
+namespace pimento::analysis {
+
+/// Statically verifies a compiled Plan *without executing it*: the operator
+/// chain is walked once and every structural/semantic invariant the paper's
+/// algorithms rely on is checked against the operators' declared metadata.
+///
+/// Invariant catalogue (details and paper sections in docs/analysis.md):
+///  - PV1xx  chain structure and VOR schema propagation: every operator's
+///           consumed bindings are produced below it.
+///  - PV2xx  topkPrune soundness preconditions per pruning mode: the
+///           query-scorebound on the S path (Algorithm 1), the VOR relation
+///           attached and acyclic (Algorithm 2), every remaining KOR covered
+///           by the kor-scorebound (Algorithm 3), algorithm/rank-order
+///           agreement, score-floor wiring.
+///  - PV3xx  ordering: sorted-input pruning fed by a real sort of the right
+///           parameter, VOR/KOR operators never downstream of their
+///           consumers.
+///  - PV4xx  decorator transparency: a TraceOp wraps exactly its input and
+///           forwards its bounds unchanged.
+///  - PV5xx  governor threading: every governed operator sees the same
+///           execution context.
+///
+/// An error diagnostic means the plan can return wrong answers; a clean
+/// plan is structurally entitled to the soundness arguments of §6.
+Diagnostics VerifyPlan(const algebra::Plan& plan);
+
+/// Statically verifies a query flock (§5.1/§6.1): members/applied-rules
+/// bookkeeping, an ordered conflict report, and — the central encoding
+/// invariant — that the encoded query's *required* part covers every flock
+/// member (the original query is members[0], so the mandatory
+/// original-query branch is preserved). PV6xx codes.
+Diagnostics VerifyFlock(const profile::QueryFlock& flock);
+
+}  // namespace pimento::analysis
+
+#endif  // PIMENTO_ANALYSIS_PLAN_VERIFIER_H_

@@ -1,0 +1,357 @@
+#include "src/analysis/profile_linter.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/profile/ambiguity.h"
+#include "src/tpq/containment.h"
+
+namespace pimento::analysis {
+
+namespace {
+
+using profile::ScopingRule;
+using profile::SrAction;
+using profile::SrAtom;
+using profile::Vor;
+
+/// Canonical text of an atom set, order-insensitive.
+std::set<std::string> AtomSet(const std::vector<SrAtom>& atoms) {
+  std::set<std::string> out;
+  for (const SrAtom& a : atoms) out.insert(a.ToString());
+  return out;
+}
+
+/// True when every atom of `a` appears in `b`.
+bool AtomSubset(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// The atoms rule `r` takes away from the query: the conclusion of a
+/// delete rule, the replaced part of a replace rule.
+const std::vector<SrAtom>* RemovedAtoms(const ScopingRule& r) {
+  switch (r.action) {
+    case SrAction::kDelete:
+      return &r.conclusion;
+    case SrAction::kReplace:
+      return &r.replaced;
+    case SrAction::kAdd:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// True when removing `atom` can falsify `condition`: the condition pattern
+/// contains a matching predicate/edge on a node with the atom's tag. This
+/// is the query-independent over-approximation of the §5.1 conflict test
+/// ("j is no longer applicable to i(Q)") — if no condition atom matches,
+/// no query can make the rules conflict.
+bool AtomTouchesCondition(const SrAtom& atom, const tpq::Tpq& condition) {
+  for (int n : condition.PreOrder()) {
+    const tpq::QueryNode& qn = condition.node(n);
+    if (qn.tag != atom.node_tag) continue;
+    switch (atom.kind) {
+      case SrAtom::Kind::kKeyword:
+        for (const tpq::KeywordPredicate& kp : qn.keyword_predicates) {
+          if (kp.keyword == atom.keyword) return true;
+        }
+        break;
+      case SrAtom::Kind::kValue:
+        if (!qn.value_predicates.empty()) return true;
+        break;
+      case SrAtom::Kind::kEdge:
+        for (int c : condition.PreOrder()) {
+          if (condition.node(c).parent == n &&
+              condition.node(c).tag == atom.child_tag) {
+            return true;
+          }
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+/// True when `rule`'s preference edges contain a directed cycle; `*cycle`
+/// gets one witness path `v1 > v2 > ... > v1`.
+bool PrefEdgesCyclic(const Vor& rule, std::string* cycle) {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [a, b] : rule.pref_edges) adj[a].push_back(b);
+  std::set<std::string> done;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& v) -> bool {
+    if (on_path.count(v)) {
+      std::string w;
+      bool in_cycle = false;
+      for (const std::string& p : path) {
+        if (p == v) in_cycle = true;
+        if (in_cycle) w += p + " > ";
+      }
+      *cycle = w + v;
+      return true;
+    }
+    if (done.count(v)) return false;
+    on_path.insert(v);
+    path.push_back(v);
+    for (const std::string& n : adj[v]) {
+      if (visit(n)) return true;
+    }
+    path.pop_back();
+    on_path.erase(v);
+    done.insert(v);
+    return false;
+  };
+  for (const auto& [v, _] : adj) {
+    if (visit(v)) return true;
+  }
+  return false;
+}
+
+/// True when `to` is reachable from `from` over `edges`, optionally
+/// skipping one edge (by index).
+bool Reachable(const std::vector<std::pair<std::string, std::string>>& edges,
+               const std::string& from, const std::string& to,
+               size_t skip_edge) {
+  std::vector<std::string> frontier{from};
+  std::set<std::string> seen{from};
+  while (!frontier.empty()) {
+    std::string v = frontier.back();
+    frontier.pop_back();
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (e == skip_edge || edges[e].first != v) continue;
+      if (edges[e].second == to) return true;
+      if (seen.insert(edges[e].second).second) {
+        frontier.push_back(edges[e].second);
+      }
+    }
+  }
+  return false;
+}
+
+/// Fingerprint of a VOR's semantic content (everything but name/priority).
+std::string VorFingerprint(const Vor& v) {
+  std::string fp = std::to_string(static_cast<int>(v.kind)) + "|" + v.tag +
+                   "|" + v.attr + "|" + v.const_value + "|" +
+                   (v.smaller_preferred ? "<" : ">") + "|" + v.group_attr;
+  for (const auto& [a, b] : v.pref_edges) fp += "|" + a + ">" + b;
+  return fp;
+}
+
+}  // namespace
+
+Diagnostics LintProfile(const profile::UserProfile& profile) {
+  Diagnostics diags;
+  const auto& srs = profile.scoping_rules;
+
+  // --- PL101/PL102: duplicate and shadowed scoping rules -------------------
+  for (size_t i = 0; i < srs.size(); ++i) {
+    const std::set<std::string> concl_i = AtomSet(srs[i].conclusion);
+    const std::set<std::string> repl_i = AtomSet(srs[i].replaced);
+    for (size_t j = 0; j < srs.size(); ++j) {
+      if (i == j || srs[i].action != srs[j].action) continue;
+      const std::set<std::string> concl_j = AtomSet(srs[j].conclusion);
+      const std::set<std::string> repl_j = AtomSet(srs[j].replaced);
+      const bool same_effect = concl_i == concl_j && repl_i == repl_j;
+      const bool cond_i_implies_j =
+          tpq::SubsumesCondition(srs[i].condition, srs[j].condition);
+      if (same_effect && cond_i_implies_j &&
+          tpq::SubsumesCondition(srs[j].condition, srs[i].condition)) {
+        if (i < j) {
+          diags.push_back(
+              {Severity::kWarning, "PL102",
+               "scoping rules '" + srs[i].name + "' and '" + srs[j].name +
+                   "' are duplicates (equivalent condition, same action and "
+                   "atoms)",
+               srs[i].ToString()});
+        }
+        continue;  // exact duplicate; shadowing would double-report
+      }
+      // Rule i is shadowed by j: whenever i applies, j applies too
+      // (homomorphisms compose: a match of i.condition into any query
+      // extends j.condition's match into i.condition), and j already does
+      // everything i would.
+      if (cond_i_implies_j && AtomSubset(concl_i, concl_j) &&
+          repl_i == repl_j && srs[j].priority <= srs[i].priority) {
+        diags.push_back(
+            {Severity::kWarning, "PL101",
+             "scoping rule '" + srs[i].name + "' is shadowed by '" +
+                 srs[j].name +
+                 "': whenever it applies, the shadowing rule applies and "
+                 "subsumes its effect — it is dead",
+             "shadowed: " + srs[i].ToString() + " | by: " +
+                 srs[j].ToString()});
+      }
+    }
+  }
+
+  // --- PL103/PL104: potential conflict cycles ------------------------------
+  // Arc i -> j when applying i can disable j (i removes an atom j's
+  // condition tests). Query-independent over-approximation of
+  // AnalyzeConflicts: a cycle here is a latent kConflict failure unless
+  // its members carry pairwise-distinct priorities.
+  {
+    std::vector<std::vector<int>> adj(srs.size());
+    for (size_t i = 0; i < srs.size(); ++i) {
+      const std::vector<SrAtom>* removed = RemovedAtoms(srs[i]);
+      if (removed == nullptr) continue;
+      for (size_t j = 0; j < srs.size(); ++j) {
+        if (i == j || srs[j].condition.empty()) continue;
+        for (const SrAtom& atom : *removed) {
+          if (AtomTouchesCondition(atom, srs[j].condition)) {
+            adj[i].push_back(static_cast<int>(j));
+            break;
+          }
+        }
+      }
+    }
+    // DFS cycle search; report each cycle once via its smallest member.
+    std::set<int> reported;
+    std::vector<int> color(srs.size(), 0);  // 0 white, 1 on stack, 2 done
+    std::vector<int> path;
+    std::function<void(int)> visit = [&](int v) {
+      color[v] = 1;
+      path.push_back(v);
+      for (int n : adj[v]) {
+        if (color[n] == 1) {
+          std::vector<int> cycle;
+          bool in = false;
+          for (int p : path) {
+            if (p == n) in = true;
+            if (in) cycle.push_back(p);
+          }
+          int anchor = *std::min_element(cycle.begin(), cycle.end());
+          if (reported.insert(anchor).second) {
+            std::set<int> prios;
+            std::string names;
+            for (int c : cycle) {
+              prios.insert(srs[c].priority);
+              names += srs[c].name + " -> ";
+            }
+            names += srs[n].name;
+            if (prios.size() < cycle.size()) {
+              diags.push_back(
+                  {Severity::kError, "PL103",
+                   "scoping rules form a potential conflict cycle without "
+                   "pairwise-distinct priorities: any query triggering all "
+                   "of them fails with kConflict",
+                   names});
+            } else {
+              diags.push_back(
+                  {Severity::kInfo, "PL104",
+                   "potential scoping-rule conflict cycle is resolved by "
+                   "distinct priorities",
+                   names});
+            }
+          }
+        } else if (color[n] == 0) {
+          visit(n);
+        }
+      }
+      path.pop_back();
+      color[v] = 2;
+    };
+    for (size_t i = 0; i < srs.size(); ++i) {
+      if (color[i] == 0) visit(static_cast<int>(i));
+    }
+  }
+
+  // --- PL201/PL202: VOR ambiguity (Lemma 5.1) ------------------------------
+  if (!profile.vors.empty()) {
+    profile::AmbiguityReport rep = profile::DetectAmbiguity(profile.vors);
+    if (rep.ambiguous && !rep.resolved_by_priorities) {
+      diags.push_back(
+          {Severity::kError, "PL201",
+           "the VOR set is ambiguous: an alternating (prefer, =) cycle "
+           "exists and priorities do not break it — answer ranking is not "
+           "well-defined",
+           rep.explanation});
+    } else if (rep.ambiguous) {
+      diags.push_back({Severity::kInfo, "PL202",
+                       "VOR alternating cycle present but resolved by "
+                       "distinct rule priorities",
+                       rep.explanation});
+    }
+  }
+
+  // --- PL203/PL204/PL205/PL206: individual VOR hygiene ---------------------
+  std::map<std::string, size_t> vor_seen;
+  std::map<std::string, size_t> vor_target_seen;  // (tag, attr) -> index
+  for (size_t i = 0; i < profile.vors.size(); ++i) {
+    const Vor& v = profile.vors[i];
+    if (v.kind == profile::VorKind::kPrefRel) {
+      std::string cycle;
+      if (PrefEdgesCyclic(v, &cycle)) {
+        diags.push_back(
+            {Severity::kError, "PL203",
+             "prefRel VOR '" + v.name +
+                 "' has cyclic preference edges — not a strict partial "
+                 "order, comparisons under it are contradictory",
+             cycle});
+      } else {
+        for (size_t e = 0; e < v.pref_edges.size(); ++e) {
+          if (Reachable(v.pref_edges, v.pref_edges[e].first,
+                        v.pref_edges[e].second, e)) {
+            diags.push_back(
+                {Severity::kWarning, "PL204",
+                 "prefRel VOR '" + v.name +
+                     "' edge is redundant (already implied by "
+                     "transitivity)",
+                 v.pref_edges[e].first + " > " + v.pref_edges[e].second});
+          }
+        }
+      }
+    }
+    const std::string fp = VorFingerprint(v);
+    auto [it, fresh] = vor_seen.emplace(fp, i);
+    if (!fresh) {
+      diags.push_back({Severity::kWarning, "PL205",
+                       "VOR '" + v.name + "' duplicates '" +
+                           profile.vors[it->second].name + "'",
+                       v.ToString()});
+    }
+    const std::string target = v.tag + "|" + v.attr;
+    auto [t_it, t_fresh] = vor_target_seen.emplace(target, i);
+    if (!t_fresh && fresh) {
+      diags.push_back(
+          {Severity::kInfo, "PL206",
+           "VOR '" + v.name + "' orders the same (tag, attribute) as '" +
+               profile.vors[t_it->second].name +
+               "': it only breaks the earlier rule's ties",
+           v.ToString()});
+    }
+  }
+
+  // --- PL207: KOR hygiene --------------------------------------------------
+  std::map<std::string, size_t> kor_seen;
+  for (size_t i = 0; i < profile.kors.size(); ++i) {
+    const profile::Kor& k = profile.kors[i];
+    if (k.keyword.empty()) {
+      diags.push_back({Severity::kError, "PL207",
+                       "KOR '" + k.name +
+                           "' has an empty keyword: it can never score",
+                       k.ToString()});
+      continue;
+    }
+    auto [it, fresh] = kor_seen.emplace(k.tag + "|" + k.keyword, i);
+    if (!fresh) {
+      diags.push_back({Severity::kWarning, "PL207",
+                       "KOR '" + k.name + "' duplicates '" +
+                           profile.kors[it->second].name +
+                           "' (same tag and keyword): the keyword is "
+                           "rewarded twice",
+                       k.ToString()});
+    }
+  }
+
+  return diags;
+}
+
+}  // namespace pimento::analysis

@@ -1,0 +1,38 @@
+#ifndef PIMENTO_ANALYSIS_PROFILE_LINTER_H_
+#define PIMENTO_ANALYSIS_PROFILE_LINTER_H_
+
+#include "src/analysis/diagnostic.h"
+#include "src/profile/profile.h"
+
+namespace pimento::analysis {
+
+/// Statically lints a parsed profile, query-independently: problems found
+/// here will bite *some* query, or (for the warnings) mean a rule can never
+/// change any result.
+///
+/// Scoping rules (PL1xx):
+///  - PL101  shadowed rule: whenever it applies, an earlier rule with the
+///           same action already does everything it would (dead rule).
+///  - PL102  duplicate scoping rules.
+///  - PL103  potential conflict cycle whose members do not carry pairwise
+///           distinct priorities: any query triggering the cycle fails with
+///           kConflict at enforcement time. The witness is the cycle.
+///  - PL104  (info) potential conflict cycle resolved by priorities.
+///
+/// Ordering rules (PL2xx):
+///  - PL201  the VOR set is ambiguous (Lemma 5.1 alternating cycle) and
+///           priorities do not resolve it; the witness is the cycle.
+///  - PL202  (info) ambiguity present but resolved by distinct priorities.
+///  - PL203  a prefRel VOR whose preference edges are cyclic — not a
+///           strict partial order.
+///  - PL204  (warning) redundant prefRel edge already implied by
+///           transitivity.
+///  - PL205  duplicate VORs.
+///  - PL206  (warning) VORs beyond the first on the same (tag, attr) can
+///           only break ties of the earlier one.
+///  - PL207  duplicate KORs, or a KOR with an empty keyword.
+Diagnostics LintProfile(const profile::UserProfile& profile);
+
+}  // namespace pimento::analysis
+
+#endif  // PIMENTO_ANALYSIS_PROFILE_LINTER_H_

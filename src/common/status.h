@@ -29,7 +29,7 @@ enum class StatusCode {
 ///
 /// Mirrors the Status idiom used by Arrow/RocksDB: cheap to copy in the OK
 /// case, carries context in the error case.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -87,7 +87,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Check ok() before value().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /*implicit*/ StatusOr(T value) : value_(std::move(value)) {}
   /*implicit*/ StatusOr(Status status) : status_(std::move(status)) {}

@@ -1,10 +1,13 @@
 #include "src/core/engine.h"
 
+#include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <utility>
 
 #include "src/algebra/winnow.h"
+#include "src/analysis/plan_verifier.h"
 #include "src/exec/execution_context.h"
 #include "src/exec/phrase_count_cache.h"
 #include "src/exec/profile_cache.h"
@@ -88,6 +91,41 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 const profile::UserProfile& EmptyProfile() {
   static const profile::UserProfile* empty = new profile::UserProfile();
   return *empty;
+}
+
+/// Whether this request runs the static verifier: always in debug builds
+/// (planner bugs die in CI, not in users' result lists), on request in
+/// release builds (verification walks the whole chain — small but not
+/// free, so release keeps it opt-in).
+bool ShouldVerify(const SearchOptions& options) {
+#ifndef NDEBUG
+  (void)options;
+  return true;
+#else
+  return options.verify_plan;
+#endif
+}
+
+/// Folds one verifier pass into the request: findings are appended to
+/// `*report` (when the caller asked for them), error-severity findings
+/// fail the request — and, in debug builds, abort it, so a planner
+/// regression cannot hide behind a passing-looking test run.
+Status CheckVerified(const analysis::Diagnostics& diags, const char* what,
+                     bool requested, std::string* report) {
+  if (diags.empty()) return Status::OK();
+  if (requested) {
+    if (!report->empty()) *report += "\n";
+    *report += analysis::RenderDiagnostics(diags);
+  }
+  if (!analysis::HasErrors(diags)) return Status::OK();
+#ifndef NDEBUG
+  std::fprintf(stderr, "static plan verifier: %s rejected:\n%s\n", what,
+               analysis::RenderErrors(diags).c_str());
+  assert(false && "static plan verification failed");
+#endif
+  return Status::Internal(std::string(what) +
+                          " rejected by the static plan verifier:\n" +
+                          analysis::RenderErrors(diags));
 }
 
 }  // namespace
@@ -189,22 +227,26 @@ StatusOr<SearchResult> SearchEngine::Execute(
 
   const exec::QueryLimits& limits = EffectiveLimits(request);
 
+  // The request-level verify switch folds into the options copy so the
+  // private Execute* paths (and ExecuteRelaxed's re-entries) see one flag.
+  SearchOptions options = request.options;
+  options.verify_plan = options.verify_plan || request.verify_plan;
+
   StatusOr<SearchResult> result = [&]() -> StatusOr<SearchResult> {
     switch (request.mode) {
       case SearchMode::kRelaxed:
         metrics.requests_relaxed->Increment();
-        return ExecuteRelaxed(*query, *prof, *ambiguity, request.options,
-                              limits, tr);
+        return ExecuteRelaxed(*query, *prof, *ambiguity, options, limits,
+                              tr);
       case SearchMode::kWinnow:
         metrics.requests_winnow->Increment();
-        return ExecuteWinnow(*query, *prof, *ambiguity, request.options,
-                             limits, tr);
+        return ExecuteWinnow(*query, *prof, *ambiguity, options, limits,
+                             tr);
       case SearchMode::kTopK:
         break;
     }
     metrics.requests_topk->Increment();
-    return ExecuteTopK(*query, *prof, *ambiguity, request.options, limits,
-                       tr);
+    return ExecuteTopK(*query, *prof, *ambiguity, options, limits, tr);
   }();
 
   metrics.latency_ms->Observe(MsSince(start));
@@ -256,6 +298,16 @@ StatusOr<SearchResult> SearchEngine::ExecuteTopK(
     if (!flock.ok()) return flock.status();
     result.flock = *std::move(flock);
   }
+  // Verify the flock shape before thesaurus expansion: expansion mutates
+  // the encoded query (synonym predicates) but not the members, so the
+  // §6.1 member-coverage invariant only holds against the raw encoding.
+  if (ShouldVerify(options)) {
+    obs::TraceContext::Scope span(trace, "verify.flock", "analysis");
+    Status verified =
+        CheckVerified(analysis::VerifyFlock(result.flock), "query flock",
+                      options.verify_plan, &result.verifier_report);
+    if (!verified.ok()) return verified;
+  }
   if (options.thesaurus != nullptr && !options.thesaurus->empty()) {
     obs::TraceContext::Scope span(trace, "planner.expand_keywords", "planner");
     result.flock.encoded = tpq::ExpandKeywords(
@@ -284,6 +336,14 @@ StatusOr<SearchResult> SearchEngine::ExecuteTopK(
   if (!built.ok()) return built.status();
   algebra::Plan plan = *std::move(built);
   result.plan_description = plan.Describe();
+
+  if (ShouldVerify(options)) {
+    obs::TraceContext::Scope span(trace, "verify.plan", "analysis");
+    Status verified =
+        CheckVerified(analysis::VerifyPlan(plan), "compiled plan",
+                      options.verify_plan, &result.verifier_report);
+    if (!verified.ok()) return verified;
+  }
 
   std::vector<algebra::Answer> answers;
   {
@@ -393,6 +453,15 @@ StatusOr<SearchResult> SearchEngine::ExecuteWinnow(
                       profile.vors, profile.kors, popts);
   if (!built.ok()) return built.status();
   algebra::Plan plan = *std::move(built);
+  // The winnow re-run compiles a second (naive, unbounded-k) plan; it goes
+  // through the same verifier gate as the primary plan.
+  if (ShouldVerify(options)) {
+    obs::TraceContext::Scope span(trace, "verify.plan", "analysis");
+    Status verified =
+        CheckVerified(analysis::VerifyPlan(plan), "winnow re-run plan",
+                      options.verify_plan, &base->verifier_report);
+    if (!verified.ok()) return verified;
+  }
   std::vector<algebra::Answer> answers;
   {
     obs::TraceContext::Scope span(trace, "winnow.rerun", "engine");

@@ -51,6 +51,13 @@ struct SearchResult {
   std::string plan_description;
   std::string encoded_query;  ///< the flock-encoded TPQ, printable form
 
+  /// Findings of the static plan verifier, one per line, when the request
+  /// asked for verification (SearchRequest::verify_plan). Empty means the
+  /// verifier ran and found nothing, or was not requested; a request whose
+  /// plan has error-severity findings fails with kInternal instead of
+  /// executing.
+  std::string verifier_report;
+
   /// True when a resource limit fired mid-plan and `answers` is the
   /// best-effort prefix the pipeline had ranked by then (degraded mode).
   bool partial = false;

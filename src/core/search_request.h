@@ -62,6 +62,14 @@ struct SearchOptions {
   /// returns the typed error (kDeadlineExceeded / kCancelled /
   /// kResourceExhausted) instead.
   bool allow_partial = false;
+
+  /// Run the static plan verifier (analysis::VerifyPlan / VerifyFlock) on
+  /// every plan this request compiles, before executing it. Findings are
+  /// returned in SearchResult::verifier_report; an error-severity finding
+  /// fails the request with kInternal instead of executing an unsound
+  /// plan. Debug (!NDEBUG) builds verify every request regardless and
+  /// assert on errors; release builds verify only when this is set.
+  bool verify_plan = false;
 };
 
 /// Which evaluation repertoire ExecuteRequest dispatches to — the three
@@ -110,6 +118,10 @@ struct SearchRequest {
   exec::QueryLimits limits = {};
 
   TraceOptions trace;
+
+  /// Request-level switch for the static plan verifier; ORed into
+  /// options.verify_plan by Execute (either place turns it on).
+  bool verify_plan = false;
 
   /// Text-level request (the common service-facing shape).
   static SearchRequest Text(std::string query_text,

@@ -38,6 +38,10 @@ class TraceOp : public algebra::Operator {
     return wrapped_->MaxKContribution();
   }
 
+  /// The decorated operator (read-only; the static verifier checks it is
+  /// exactly this decorator's input).
+  const algebra::Operator* wrapped() const { return wrapped_; }
+
  private:
   void FlushCounters();
 

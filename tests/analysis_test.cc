@@ -1,0 +1,422 @@
+// The static analysis layer: the plan verifier must reject hand-built
+// known-bad plans with the documented diagnostic code (and a witness), must
+// pass every plan the seed planner produces (all scan modes x rank orders x
+// strategies, on two corpora), and the profile linter must pin the paper's
+// golden diagnostics (Example 5 ambiguity, SR conflict cycles, shadowed
+// rules). The engine-level gate (SearchRequest::verify_plan) is exercised
+// end to end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/operators.h"
+#include "src/algebra/plan.h"
+#include "src/algebra/topk_prune.h"
+#include "src/analysis/plan_verifier.h"
+#include "src/analysis/profile_linter.h"
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_op.h"
+#include "src/plan/planner.h"
+#include "src/profile/flock.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::analysis {
+namespace {
+
+using algebra::Answer;
+using algebra::ExistsOp;
+using algebra::MaterializedOp;
+using algebra::NavPath;
+using algebra::Plan;
+using algebra::PruneAlg;
+using algebra::SortOp;
+using algebra::TopkPruneOp;
+using algebra::TopkPruneOptions;
+using algebra::VorOp;
+
+// ---------------------------------------------------------------------------
+// Hand-built known-bad plans. MaterializedOp sources keep the fixtures
+// collection-free: the verifier never executes, so only declared metadata
+// matters.
+// ---------------------------------------------------------------------------
+
+std::vector<Answer> TwoAnswers(size_t vor_width) {
+  std::vector<Answer> answers(2);
+  answers[0].node = 1;
+  answers[1].node = 2;
+  for (Answer& a : answers) a.vor.resize(vor_width);
+  return answers;
+}
+
+profile::Vor ColorVor(const std::string& name) {
+  profile::Vor v;
+  v.name = name;
+  v.kind = profile::VorKind::kEqConst;
+  v.tag = "car";
+  v.attr = "color";
+  v.const_value = "red";
+  return v;
+}
+
+const Diagnostic* ExpectCode(const Diagnostics& diags, const char* code) {
+  const Diagnostic* d = FindCode(diags, code);
+  EXPECT_NE(d, nullptr) << "expected " << code << " in:\n"
+                        << RenderDiagnostics(diags);
+  return d;
+}
+
+TEST(PlanVerifierBadPlans, UnderstatedScoreboundIsPV201) {
+  // A non-final Algorithm 1 prune claims query_score_bound = 0 while an
+  // optional exists-join downstream can still add 0.5 to S: answers within
+  // 0.5 of the k-th snapshot get wrongly pruned.
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kS);
+  plan.Add(std::make_unique<MaterializedOp>(TwoAnswers(0)));
+  TopkPruneOptions prune;
+  prune.k = 1;
+  prune.alg = PruneAlg::kAlg1;
+  prune.query_score_bound = 0.0;  // the lie: downstream adds up to 0.5
+  plan.Add(std::make_unique<TopkPruneOp>(rank, prune));
+  plan.Add(std::make_unique<ExistsOp>(algebra::ExecContext{}, NavPath{},
+                                      /*required=*/false, /*bonus=*/0.5));
+  plan.Add(std::make_unique<SortOp>(rank, SortOp::Param::kByRank));
+  TopkPruneOptions final_cut;
+  final_cut.k = 1;
+  final_cut.sorted_input = true;
+  final_cut.final_cut = true;
+  plan.Add(std::make_unique<TopkPruneOp>(rank, final_cut));
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  const Diagnostic* d = ExpectCode(diags, "PV201");
+  ASSERT_NE(d, nullptr);
+  // The witness names the pruning operator and the understating bound.
+  EXPECT_NE(d->witness.find("topkPrune"), std::string::npos) << d->witness;
+  EXPECT_NE(d->message.find("0.5"), std::string::npos) << d->message;
+}
+
+TEST(PlanVerifierBadPlans, ScoreContributorBelowFinalCutIsPV304) {
+  // An optional S contributor *after* the final cut: the emitted "top k"
+  // was ranked before part of the score existed.
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kS);
+  plan.Add(std::make_unique<MaterializedOp>(TwoAnswers(0)));
+  plan.Add(std::make_unique<SortOp>(rank, SortOp::Param::kByRank));
+  TopkPruneOptions final_cut;
+  final_cut.k = 1;
+  final_cut.sorted_input = true;
+  final_cut.final_cut = true;
+  plan.Add(std::make_unique<TopkPruneOp>(rank, final_cut));
+  plan.Add(std::make_unique<ExistsOp>(algebra::ExecContext{}, NavPath{},
+                                      /*required=*/false, /*bonus=*/0.5));
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  ExpectCode(diags, "PV304");
+}
+
+TEST(PlanVerifierBadPlans, VorSchemaBreaks) {
+  // (a) A vor operator annotating rule index 2 of a 1-rule relation
+  // (PV110); (b) the rank sort consuming V with rule 0 never annotated
+  // upstream (PV112).
+  Plan plan;
+  auto* rank =
+      plan.MakeRankContext({ColorVor("v0")}, profile::RankOrder::kKVS);
+  plan.Add(std::make_unique<MaterializedOp>(TwoAnswers(1)));
+  plan.Add(std::make_unique<VorOp>(algebra::ExecContext{}, ColorVor("v2"),
+                                   /*rule_index=*/2));
+  plan.Add(std::make_unique<SortOp>(rank, SortOp::Param::kByRank));
+  TopkPruneOptions final_cut;
+  final_cut.k = 1;
+  final_cut.sorted_input = true;
+  final_cut.final_cut = true;
+  plan.Add(std::make_unique<TopkPruneOp>(rank, final_cut));
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  ExpectCode(diags, "PV110");
+  const Diagnostic* missing = ExpectCode(diags, "PV112");
+  ASSERT_NE(missing, nullptr);
+  // The witness lists the unannotated rule by name.
+  EXPECT_NE(missing->message.find("v0"), std::string::npos)
+      << missing->message;
+}
+
+TEST(PlanVerifierBadPlans, MisattachedTraceDecoratorIsPV401) {
+  // A trace decorator wrapping the *leaf* while chained after the sort: its
+  // forwarded bounds/spans describe a different operator than the stream it
+  // actually relays.
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kS);
+  obs::TraceContext trace(true);
+  algebra::Operator* leaf =
+      plan.Add(std::make_unique<MaterializedOp>(TwoAnswers(0)));
+  plan.Add(std::make_unique<SortOp>(rank, SortOp::Param::kByRank));
+  plan.Add(std::make_unique<obs::TraceOp>(&trace, leaf));  // wrong target
+  TopkPruneOptions final_cut;
+  final_cut.k = 1;
+  final_cut.sorted_input = true;
+  final_cut.final_cut = true;
+  plan.Add(std::make_unique<TopkPruneOp>(rank, final_cut));
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  const Diagnostic* d = ExpectCode(diags, "PV401");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->witness.find("sort"), std::string::npos) << d->witness;
+}
+
+TEST(PlanVerifierBadPlans, UnsortedFinalCutIsPV206) {
+  // A final cut not fed by the terminal rank sort: the first k of an
+  // unsorted stream is not the top k.
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kS);
+  plan.Add(std::make_unique<MaterializedOp>(TwoAnswers(0)));
+  TopkPruneOptions final_cut;
+  final_cut.k = 1;
+  final_cut.sorted_input = true;
+  final_cut.final_cut = true;
+  plan.Add(std::make_unique<TopkPruneOp>(rank, final_cut));
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  ExpectCode(diags, "PV206");
+}
+
+TEST(PlanVerifierBadPlans, EmptyPlanIsPV101) {
+  Plan plan;
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  ExpectCode(diags, "PV101");
+}
+
+// ---------------------------------------------------------------------------
+// Known-good plans: everything the seed planner emits must verify clean.
+// ---------------------------------------------------------------------------
+
+class PlannerPlansVerifyClean : public ::testing::Test {
+ protected:
+  static std::string ProfileText(const char* rank_line) {
+    std::string out = "profile t\n";
+    out += rank_line;
+    out += "\n";
+    out += "kor k1: tag=car prefer ftcontains(\"NYC\")\n";
+    out += "kor k2: tag=car prefer ftcontains(\"low mileage\")\n";
+    out += "vor v1: tag=car prefer color = \"red\"\n";
+    out += "sr s1 priority 1: if //car then delete "
+           "ftcontains(description, \"clean\")\n";
+    return out;
+  }
+
+  void VerifyAllModes(const core::SearchEngine& engine,
+                      const std::string& query) {
+    static const char* kRankLines[] = {"rank K,V,S", "rank V,K,S", "rank S"};
+    static const plan::Strategy kStrategies[] = {
+        plan::Strategy::kNaive, plan::Strategy::kInterleave,
+        plan::Strategy::kInterleaveSorted, plan::Strategy::kPush};
+    static const plan::ScanMode kScanModes[] = {plan::ScanMode::kAuto,
+                                                plan::ScanMode::kTagScan,
+                                                plan::ScanMode::kPostingsScan};
+    for (const char* rank_line : kRankLines) {
+      auto profile = profile::ParseProfile(ProfileText(rank_line));
+      ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+      auto parsed = tpq::ParseTpq(query);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      auto flock =
+          profile::BuildFlock(*parsed, profile->scoping_rules, nullptr);
+      ASSERT_TRUE(flock.ok()) << flock.status().ToString();
+      EXPECT_FALSE(HasErrors(VerifyFlock(*flock)))
+          << RenderErrors(VerifyFlock(*flock));
+      for (plan::Strategy strategy : kStrategies) {
+        for (plan::ScanMode scan_mode : kScanModes) {
+          plan::PlannerOptions popts;
+          popts.k = 5;
+          popts.strategy = strategy;
+          popts.rank_order = profile->rank_order;
+          popts.scan_mode = scan_mode;
+          auto built = plan::BuildPlan(engine.collection(), engine.scorer(),
+                                       flock->encoded, profile->vors,
+                                       profile->kors, popts);
+          ASSERT_TRUE(built.ok()) << built.status().ToString();
+          Diagnostics diags = VerifyPlan(*built);
+          EXPECT_FALSE(HasErrors(diags))
+              << rank_line << " strategy=" << plan::StrategyName(strategy)
+              << " scan_mode=" << static_cast<int>(scan_mode) << "\n"
+              << RenderErrors(diags) << "\nplan: " << built->Describe();
+        }
+      }
+    }
+  }
+};
+
+TEST_F(PlannerPlansVerifyClean, CarDealerCorpus) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 80})));
+  VerifyAllModes(engine, "//car[ftcontains(., \"excellent\")]");
+  VerifyAllModes(engine,
+                 "//car[ftcontains(./description, \"low mileage\")]");
+}
+
+TEST_F(PlannerPlansVerifyClean, XmarkCorpus) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateXmark({.target_bytes = 96u << 10})));
+  VerifyAllModes(engine, "//item[ftcontains(., \"gold\")]");
+}
+
+// ---------------------------------------------------------------------------
+// Engine gate: SearchRequest::verify_plan runs the verifier per request.
+// ---------------------------------------------------------------------------
+
+TEST(EngineVerifyGate, CleanRequestReportsNothingAndSucceeds) {
+  core::SearchEngine engine(index::Collection::Build(
+      data::GenerateCarDealer({.num_cars = 40})));
+  core::SearchRequest request = core::SearchRequest::Text(
+      "//car[ftcontains(., \"NYC\")]",
+      "profile t\nrank K,V,S\n"
+      "kor k1: tag=car prefer ftcontains(\"NYC\")\n"
+      "vor v1: tag=car prefer color = \"red\"\n");
+  request.verify_plan = true;
+  auto result = engine.Execute(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->verifier_report.empty()) << result->verifier_report;
+  // Winnow mode compiles a second plan; it must pass the gate too.
+  request.mode = core::SearchMode::kWinnow;
+  auto winnow = engine.Execute(request);
+  ASSERT_TRUE(winnow.ok()) << winnow.status().ToString();
+  EXPECT_TRUE(winnow->verifier_report.empty()) << winnow->verifier_report;
+}
+
+// ---------------------------------------------------------------------------
+// Profile linter goldens.
+// ---------------------------------------------------------------------------
+
+TEST(ProfileLinter, PaperExample5AlternatingCycleIsPL201) {
+  // The paper's Example 5: pi1 (red first) and pi2 (lower mileage first)
+  // with equal priorities admit an alternating cycle — ambiguous ranking.
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "vor pi1: tag=car prefer color = \"red\"\n"
+      "vor pi2: tag=car prefer lower mileage\n");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  Diagnostics diags = LintProfile(*profile);
+  EXPECT_TRUE(HasErrors(diags));
+  const Diagnostic* d = ExpectCode(diags, "PL201");
+  ASSERT_NE(d, nullptr);
+  // The witness is the alternating cycle, naming both rules.
+  EXPECT_NE(d->witness.find("pi1"), std::string::npos) << d->witness;
+  EXPECT_NE(d->witness.find("pi2"), std::string::npos) << d->witness;
+}
+
+TEST(ProfileLinter, Example5WithPrioritiesIsResolvedInfoPL202) {
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "vor pi1 priority 1: tag=car prefer color = \"red\"\n"
+      "vor pi2 priority 2: tag=car prefer lower mileage\n");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  Diagnostics diags = LintProfile(*profile);
+  EXPECT_FALSE(HasErrors(diags)) << RenderErrors(diags);
+  ExpectCode(diags, "PL202");
+}
+
+TEST(ProfileLinter, SrConflictCycleWithoutPrioritiesIsPL103) {
+  // r1 deletes the keyword r2's condition tests, and vice versa: a query
+  // triggering both can be rewritten in two orders with different results,
+  // and equal priorities cannot break the tie.
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "sr r1: if //car[ftcontains(., \"luxury\")] then delete "
+      "ftcontains(car, \"budget\")\n"
+      "sr r2: if //car[ftcontains(., \"budget\")] then delete "
+      "ftcontains(car, \"luxury\")\n");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  Diagnostics diags = LintProfile(*profile);
+  EXPECT_TRUE(HasErrors(diags));
+  const Diagnostic* d = ExpectCode(diags, "PL103");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->witness.find("r1"), std::string::npos) << d->witness;
+  EXPECT_NE(d->witness.find("r2"), std::string::npos) << d->witness;
+}
+
+TEST(ProfileLinter, SrConflictCycleWithPrioritiesIsPL104) {
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "sr r1 priority 1: if //car[ftcontains(., \"luxury\")] then delete "
+      "ftcontains(car, \"budget\")\n"
+      "sr r2 priority 2: if //car[ftcontains(., \"budget\")] then delete "
+      "ftcontains(car, \"luxury\")\n");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  Diagnostics diags = LintProfile(*profile);
+  EXPECT_FALSE(HasErrors(diags)) << RenderErrors(diags);
+  ExpectCode(diags, "PL104");
+}
+
+TEST(ProfileLinter, ShadowedScopingRuleIsPL101) {
+  // s1 (condition //car, any car query) subsumes s2 (only car queries that
+  // also mention "cheap") and performs the same delete: s2 is dead.
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "sr s1 priority 1: if //car then delete ftcontains(car, \"old\")\n"
+      "sr s2 priority 2: if //car[ftcontains(., \"cheap\")] then delete "
+      "ftcontains(car, \"old\")\n");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  Diagnostics diags = LintProfile(*profile);
+  const Diagnostic* d = ExpectCode(diags, "PL101");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("s2"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("s1"), std::string::npos) << d->message;
+}
+
+TEST(ProfileLinter, CyclicPrefRelIsPL203) {
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "vor v1: tag=car prefer color order \"red\" > \"black\" > \"red\"\n");
+  if (!profile.ok()) {
+    // The parser may itself reject the cyclic order; either layer may own
+    // this diagnostic, but one of them must.
+    SUCCEED() << "parser rejected cyclic prefRel: "
+              << profile.status().ToString();
+    return;
+  }
+  Diagnostics diags = LintProfile(*profile);
+  EXPECT_TRUE(HasErrors(diags));
+  const Diagnostic* d = ExpectCode(diags, "PL203");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->witness.find("red"), std::string::npos) << d->witness;
+}
+
+TEST(ProfileLinter, DuplicateKorIsPL207) {
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "kor k1: tag=car prefer ftcontains(\"NYC\")\n"
+      "kor k2: tag=car prefer ftcontains(\"NYC\")\n");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  Diagnostics diags = LintProfile(*profile);
+  const Diagnostic* d = ExpectCode(diags, "PL207");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("k2"), std::string::npos) << d->message;
+}
+
+TEST(ProfileLinter, CleanProfileHasNoFindings) {
+  auto profile = profile::ParseProfile(
+      "profile p\n"
+      "rank K,V,S\n"
+      "sr s1 priority 1: if //car[ftcontains(., \"family\")] then add "
+      "ftcontains(car, \"safe\")\n"
+      "vor pi1 priority 1: tag=car prefer color = \"red\"\n"
+      "kor pi4: tag=car prefer ftcontains(\"best bid\")\n");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  Diagnostics diags = LintProfile(*profile);
+  EXPECT_TRUE(diags.empty()) << RenderDiagnostics(diags);
+}
+
+}  // namespace
+}  // namespace pimento::analysis
