@@ -5,10 +5,16 @@
 // writes BENCH_ablation_blockmax.json.
 //
 // Usage: bench_ablation_blockmax [output.json] [--smoke]
-//   --smoke: tiny document + 2 runs, for the ctest wiring check.
+//   --smoke: small document + 2 runs, for the ctest wiring check. The
+//   smoke run asserts that the floor actually skipped blocks on at least
+//   one anchored run (with tiny postings blocks so skips are reachable at
+//   this scale) and that every access path agreed on the answers.
+//   The full run additionally enforces the non-selective regression
+//   guard: iscan_speedup >= 0.95 on every non-selective row.
 
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -43,7 +49,10 @@ constexpr Workload kWorkloads[] = {
     {"business_yes", "//person[.//business[ftcontains(., \"Yes\")]]", false},
 };
 
+// The smoke corpus is small, so it gets a tiny block size in the sweep to
+// keep floor-driven skips reachable there.
 constexpr int kBlockSizes[] = {64, 128, 256};
+constexpr int kSmokeBlockSizes[] = {16, 64};
 
 // Pure S ranking with no KORs: that is the regime where the planner wires
 // the live k-th-answer floor into the index scan (with K or V ahead of S a
@@ -72,7 +81,7 @@ int main(int argc, char** argv) {
       out_path = argv[i];
     }
   }
-  const size_t doc_bytes = smoke ? (64u << 10) : (8u << 20);
+  const size_t doc_bytes = smoke ? (256u << 10) : (8u << 20);
   const int runs = smoke ? 2 : 7;
 
   pimento::data::XmarkOptions gen;
@@ -95,8 +104,14 @@ int main(int argc, char** argv) {
               "visited");
 
   bool identical = true;
+  bool speedup_ok = true;
+  long long total_skipped = 0;
   std::string rows;
-  for (int block_size : kBlockSizes) {
+  const int* block_sizes = smoke ? kSmokeBlockSizes : kBlockSizes;
+  const size_t n_block_sizes = smoke ? std::size(kSmokeBlockSizes)
+                                     : std::size(kBlockSizes);
+  for (size_t bi = 0; bi < n_block_sizes; ++bi) {
+    const int block_size = block_sizes[bi];
     collection.RefinalizeBlocks(block_size);
     for (const Workload& w : kWorkloads) {
       auto query = pimento::tpq::ParseTpq(w.query);
@@ -131,9 +146,13 @@ int main(int argc, char** argv) {
         });
         pimento::algebra::PlanStats stats = plan->CollectStats();
         r.scanned = stats.scanned;
-        r.blocks_skipped = stats.blocks_skipped;
-        r.blocks_visited = stats.blocks_visited;
+        // Scan-level block skipping plus the galloping intersection
+        // cursors' block movement — the same sums the engine exports as
+        // pimento_index_blocks_{skipped,visited}_total.
+        r.blocks_skipped = stats.blocks_skipped + stats.cursor_blocks_skipped;
+        r.blocks_visited = stats.blocks_visited + stats.cursor_blocks_visited;
       }
+      total_skipped += measured[2].blocks_skipped;
 
       for (int mode = 1; mode < 3; ++mode) {
         bool same =
@@ -154,6 +173,16 @@ int main(int argc, char** argv) {
 
       double speedup =
           measured[2].ms > 0.0 ? measured[0].ms / measured[2].ms : 0.0;
+      // Regression guard (timing, so full runs only): the retuned kAuto
+      // cost gate plus the live floor must keep the anchored path within
+      // 5% of the tag scan even on non-selective queries.
+      if (!smoke && !w.selective && speedup < 0.95) {
+        speedup_ok = false;
+        std::fprintf(stderr,
+                     "FATAL: %s (block %d): non-selective iscan_speedup "
+                     "%.2f < 0.95\n",
+                     w.name, block_size, speedup);
+      }
       std::printf("%-14s %6s %6d %10.2f %10.2f %10.2f %8.2fx %10lld %10lld\n",
                   w.name, w.selective ? "yes" : "no", block_size,
                   measured[0].ms, measured[1].ms, measured[2].ms, speedup,
@@ -190,5 +219,12 @@ int main(int argc, char** argv) {
                doc_bytes, runs, rows.c_str(), identical ? "true" : "false");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path);
-  return identical ? 0 : 1;
+  if (total_skipped <= 0) {
+    // At any scale some anchored run must have skipped blocks, otherwise
+    // the floor wiring silently died (the exact regression this guard is
+    // for: counters pinned at zero while everything still "works").
+    std::fprintf(stderr, "FATAL: no run skipped any block\n");
+    return 1;
+  }
+  return identical && speedup_ok ? 0 : 1;
 }

@@ -44,7 +44,10 @@ constexpr int kTopK = 10;
 /// The request mix: the Fig. 5 query under the π1..π4 KOR profiles (with
 /// and without the VOR and DOI weights) — 8 distinct profile texts cycled
 /// over the batch, so the profile cache sees a realistic repeated-user
-/// population.
+/// population. Every fourth request swaps in the selective Phoenix query,
+/// whose rare anchor passes the kAuto cost gate: the batch then exercises
+/// the postings-anchored scan (and its block skip/visit counters), not
+/// just the tag-scan regime.
 std::vector<BatchRequest> MakeRequests() {
   std::vector<std::string> profiles;
   for (int kors = 1; kors <= 4; ++kors) {
@@ -53,11 +56,24 @@ std::vector<BatchRequest> MakeRequests() {
         pimento::bench::XmarkProfile(kors, /*with_vor=*/true,
                                      /*weighted=*/true));
   }
+  // Half the Phoenix requests carry a plain S-rank profile: the planner
+  // wires the live k-th-answer floor there, so the batch also moves the
+  // block-skip counter (the KOR-heavy profiles keep K-aware floors, which
+  // only validate when the k-th answer maxes out every KOR — rare on this
+  // workload).
+  const std::string s_profile = "profile plain\nrank S\n";
   std::vector<BatchRequest> requests;
   requests.reserve(kRequestsPerRepeat);
   for (int i = 0; i < kRequestsPerRepeat; ++i) {
-    requests.push_back({pimento::bench::kXmarkQuery,
-                        profiles[i % profiles.size()], std::nullopt});
+    if (i % 4 == 3) {
+      requests.push_back({pimento::bench::kXmarkSelectiveQuery,
+                          i % 8 == 3 ? s_profile
+                                     : profiles[i % profiles.size()],
+                          std::nullopt});
+    } else {
+      requests.push_back({pimento::bench::kXmarkQuery,
+                          profiles[i % profiles.size()], std::nullopt});
+    }
   }
   return requests;
 }

@@ -10,6 +10,13 @@ namespace pimento::bench {
 inline const char* kXmarkQuery =
     "//person[.//business[ftcontains(., \"Yes\")]]";
 
+/// A selective companion query ("Phoenix" is 1 of 8 cities, ~0.9% of
+/// tokens): its rare anchor passes the kAuto cost gate, so batches mixing
+/// it in exercise the postings-anchored index scan and the block-max
+/// skip/visit counters alongside the tag-scan regime above.
+inline const char* kXmarkSelectiveQuery =
+    "//person[ftcontains(., \"Phoenix\")]";
+
 /// Profile text with the first `num_kors` (1..4) keyword ORs of Fig. 5.
 /// `with_vor` additionally includes π5 (age = 33 preferred). `weighted`
 /// assigns steeply decaying degree-of-interest weights (32/4/2/1), the

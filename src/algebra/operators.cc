@@ -214,23 +214,30 @@ bool IndexScanOp::FillBuffer() {
       return false;
     }
     const size_t b = next_block_++;
-    const int32_t bm = (*blockmax_)[b];
+    const int32_t bm = blockmax_->max_count[b];
     if (bm == 0) {
       // No tag element owns a posting in this block.
       ++blocks_skipped_;
       continue;
     }
     if (floor_ != nullptr) {
-      // Score-bounded skip (S rank order): even the block's best candidate,
-      // granted every other downstream bound in full, cannot reach the
-      // current k-th answer's S. Monotone: the floor only rises, so a block
-      // skipped now would also be pruned later. Strict <, matching the
-      // prune's tie-keeping rule.
-      const double best_s =
-          boost_ * score::Scorer::MaxScoreForCount(bm, idf_) + other_s_bound_;
-      if (best_s < floor_->CurrentFloorS()) {
-        ++blocks_skipped_;
-        continue;
+      const FloorSnapshot fl = floor_->CurrentFloor();
+      if (fl.valid) {
+        // Score-bounded skip: even the block's best candidate, granted
+        // every other downstream bound in full, cannot beat the current
+        // k-th answer — strictly below its S, or tying it while every
+        // element the block can produce (node >= min_owner) follows the
+        // k-th answer in document order, the ranking's final tiebreak.
+        // Monotone: the floor only rises, so a block skipped now would
+        // also be pruned later.
+        const double best_s =
+            boost_ * score::Scorer::MaxScoreForCount(bm, idf_) +
+            other_s_bound_;
+        if (best_s < fl.s ||
+            (best_s == fl.s && blockmax_->min_owner[b] > fl.node)) {
+          ++blocks_skipped_;
+          continue;
+        }
       }
     }
     ++blocks_visited_;
@@ -294,6 +301,22 @@ void IndexScanOp::Reset() {
   blocks_skipped_ = 0;
   blocks_visited_ = 0;
   for (index::PhraseCursor& cursor : other_cursors_) cursor.Reset();
+}
+
+int64_t IndexScanOp::cursor_blocks_skipped() const {
+  int64_t total = 0;
+  for (const index::PhraseCursor& cursor : other_cursors_) {
+    total += cursor.blocks_skipped();
+  }
+  return total;
+}
+
+int64_t IndexScanOp::cursor_blocks_visited() const {
+  int64_t total = 0;
+  for (const index::PhraseCursor& cursor : other_cursors_) {
+    total += cursor.blocks_visited();
+  }
+  return total;
 }
 
 std::string IndexScanOp::Name() const {

@@ -126,14 +126,27 @@ class ScanOp : public Operator {
   size_t pos_ = 0;
 };
 
-/// Read-only view of a downstream topkPrune's current S threshold, letting
-/// an index-driven leaf skip postings blocks the prune would discard anyway
-/// (§6.3's bounds, enforced before answers exist). Returns -infinity while
-/// no sound floor is available.
+/// One published pruning threshold: the k-th answer's S together with its
+/// document-order position. The node matters for the tie case — the final
+/// ranking breaks every remaining tie by node ascending, so a candidate
+/// whose best achievable S only *ties* the floor and whose node lies after
+/// `node` can still be skipped soundly (on uniform-score corpora the tie
+/// case is the only one that ever fires).
+struct FloorSnapshot {
+  bool valid = false;  ///< false: no sound floor right now, never skip
+  double s = 0.0;
+  xml::NodeId node = xml::kInvalidNode;
+};
+
+/// Read-only view of a downstream topkPrune's current threshold, letting an
+/// index-driven leaf skip postings blocks the prune would discard anyway
+/// (§6.3's bounds, enforced before answers exist). Publisher and consumer
+/// live in the same pull pipeline (same thread); cross-request sharing
+/// never happens, so no synchronization is needed.
 class ScoreFloor {
  public:
   virtual ~ScoreFloor() = default;
-  virtual double CurrentFloorS() const = 0;
+  virtual FloorSnapshot CurrentFloor() const = 0;
 };
 
 /// Postings-anchored candidate generator: the planner's replacement for
@@ -144,9 +157,13 @@ class ScoreFloor {
 /// anchor term of every other required phrase (a galloping cursor
 /// intersection). Two kinds of blocks are skipped outright:
 ///  - block-max == 0: no `tag` element owns a posting there;
-///  - score-bounded: with a ScoreFloor wired (S rank order only), a block
-///    whose best achievable total S (block-max anchor score + the other
-///    downstream S bounds) is below the current k-th answer's S.
+///  - score-bounded: with a ScoreFloor wired and publishing a valid
+///    snapshot, a block whose best achievable total S (block-max anchor
+///    score + the other downstream S bounds) is below the current k-th
+///    answer's S — or ties it while the block's earliest candidate element
+///    (its min-owner) lies after the k-th answer in document order, the
+///    final tiebreak. The snapshot's validity conditions per algorithm
+///    live with the publisher (TopkPruneOp::CurrentFloor).
 /// Every element the legacy tag scan would ultimately deliver past the
 /// required ftcontains filters is emitted (candidates are a superset), so
 /// the final top-k is byte-identical; the terminal rank sort's total order
@@ -176,6 +193,12 @@ class IndexScanOp : public Operator {
   int64_t blocks_skipped() const { return blocks_skipped_; }
   int64_t blocks_visited() const { return blocks_visited_; }
 
+  /// Block movement of the non-anchor intersection cursors (the galloping
+  /// SeekGE walks) — cursor-layer counters, kept separate from the scan's
+  /// own block skipping above.
+  int64_t cursor_blocks_skipped() const;
+  int64_t cursor_blocks_visited() const;
+
   // Read-only introspection for the static plan verifier.
   const ExecContext& context() const { return ctx_; }
   size_t vor_count() const { return vor_count_; }
@@ -198,7 +221,7 @@ class IndexScanOp : public Operator {
   double other_s_bound_ = 0.0;        ///< downstream S bound minus anchor's
   const ScoreFloor* floor_ = nullptr;
   std::vector<index::PhraseCursor> other_cursors_;
-  std::shared_ptr<const std::vector<int32_t>> blockmax_;
+  std::shared_ptr<const index::BlockScoreBounds> blockmax_;
   size_t next_block_ = 0;
   std::vector<xml::NodeId> buffer_;   ///< current block's candidates, sorted
   size_t buf_pos_ = 0;
@@ -245,6 +268,10 @@ class FtContainsOp : public Operator {
   bool Next(Answer* out) override;
   std::string Name() const override;
   double MaxSContribution() const override;
+
+  /// Cursor-layer block movement while counting spans (metrics only).
+  int64_t cursor_blocks_skipped() const { return cursor_.blocks_skipped(); }
+  int64_t cursor_blocks_visited() const { return cursor_.blocks_visited(); }
 
   // Read-only introspection for the static plan verifier.
   const ExecContext& context() const { return ctx_; }
@@ -337,6 +364,10 @@ class KorOp : public Operator {
   bool Next(Answer* out) override;
   std::string Name() const override { return "kor(" + rule_.name + ")"; }
   double MaxKContribution() const override;
+
+  /// Cursor-layer block movement while counting spans (metrics only).
+  int64_t cursor_blocks_skipped() const { return cursor_.blocks_skipped(); }
+  int64_t cursor_blocks_visited() const { return cursor_.blocks_visited(); }
 
   // Read-only introspection for the static plan verifier.
   const ExecContext& context() const { return ctx_; }

@@ -13,7 +13,9 @@ std::string PlanStats::ToString() const {
          " sorted=" + std::to_string(sorted) +
          " emitted=" + std::to_string(emitted) +
          " blocks_skipped=" + std::to_string(blocks_skipped) +
-         " blocks_visited=" + std::to_string(blocks_visited);
+         " blocks_visited=" + std::to_string(blocks_visited) +
+         " cursor_blocks_skipped=" + std::to_string(cursor_blocks_skipped) +
+         " cursor_blocks_visited=" + std::to_string(cursor_blocks_visited);
 }
 
 Operator* Plan::Add(std::unique_ptr<Operator> op) {
@@ -61,13 +63,21 @@ PlanStats Plan::CollectStats() const {
       stats.scanned += op->stats().produced;
       stats.blocks_skipped += iscan->blocks_skipped();
       stats.blocks_visited += iscan->blocks_visited();
+      stats.cursor_blocks_skipped += iscan->cursor_blocks_skipped();
+      stats.cursor_blocks_visited += iscan->cursor_blocks_visited();
     } else if (dynamic_cast<const TopkPruneOp*>(op.get()) != nullptr) {
       stats.pruned_by_topk += op->stats().pruned;
-    } else if (dynamic_cast<const KorOp*>(op.get()) != nullptr) {
+    } else if (const auto* kor = dynamic_cast<const KorOp*>(op.get())) {
       stats.kor_consumed += op->stats().consumed;
+      stats.cursor_blocks_skipped += kor->cursor_blocks_skipped();
+      stats.cursor_blocks_visited += kor->cursor_blocks_visited();
     } else if (dynamic_cast<const SortOp*>(op.get()) != nullptr) {
       stats.sorted += op->stats().consumed;
     } else {
+      if (const auto* ft = dynamic_cast<const FtContainsOp*>(op.get())) {
+        stats.cursor_blocks_skipped += ft->cursor_blocks_skipped();
+        stats.cursor_blocks_visited += ft->cursor_blocks_visited();
+      }
       stats.pruned_by_filters += op->stats().pruned;
     }
   }

@@ -22,6 +22,10 @@ struct PlanStats {
   int64_t blocks_skipped = 0;  ///< postings blocks the index-driven scan
                                ///< skipped (structurally or by score bound)
   int64_t blocks_visited = 0;  ///< postings blocks it actually walked
+  int64_t cursor_blocks_skipped = 0;  ///< blocks galloping phrase cursors
+                                      ///< (ftcontains/kor/intersection)
+                                      ///< jumped over while seeking
+  int64_t cursor_blocks_visited = 0;  ///< blocks those cursors landed in
 
   std::string ToString() const;
 };

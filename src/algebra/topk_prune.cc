@@ -11,14 +11,53 @@ TopkPruneOp::TopkPruneOp(const RankContext* rank, TopkPruneOptions options,
                          exec::ExecutionContext* governor)
     : rank_(rank), options_(options), governor_(governor) {}
 
-double TopkPruneOp::CurrentFloorS() const {
-  if (options_.final_cut || options_.alg != PruneAlg::kAlg1 ||
-      static_cast<int>(topk_list_.size()) < options_.k) {
-    return -std::numeric_limits<double>::infinity();
+bool TopkPruneOp::VorKeysAtBest(const Answer& kth) const {
+  const std::vector<profile::Vor>& rules = rank_->vors();
+  if (kth.vor.size() < rules.size()) return false;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const profile::Vor& rule = rules[i];
+    if (rule.kind == profile::VorKind::kCompare ||
+        rule.kind == profile::VorKind::kCompareSameGroup) {
+      // Numeric comparisons have no attainable best value: some candidate
+      // could always hold a smaller (or larger) attribute.
+      return false;
+    }
+    // kEqConst and kPrefRel bottom out at 0.0 (constant match / prefRel
+    // root); any other key leaves room for a candidate to win on V.
+    if (profile::VorRankKey(rule, kth.vor[i]) != 0.0) return false;
   }
-  // Snapshot of the k-th best S seen so far; downstream operators can only
-  // raise an answer's S, so at least k answers will finish at or above it.
-  return topk_list_.back().s;
+  return true;
+}
+
+FloorSnapshot TopkPruneOp::CurrentFloor() const {
+  FloorSnapshot fl;
+  if (options_.final_cut ||
+      static_cast<int>(topk_list_.size()) < options_.k) {
+    return fl;
+  }
+  // Snapshot of the k-th answer seen so far. Downstream operators can only
+  // raise an answer's scores, so at least k answers finish ranked at or
+  // above this snapshot; the per-algorithm guards below ensure no skipped
+  // candidate could have overtaken it on the components ahead of S.
+  const Answer& kth = topk_list_.back();
+  switch (options_.alg) {
+    case PruneAlg::kAlg1:
+      break;  // list order is (S desc, node asc): the snapshot is a floor
+    case PruneAlg::kAlg2:
+      if (!VorKeysAtBest(kth)) return fl;
+      break;
+    case PruneAlg::kAlg3:
+    case PruneAlg::kAlgVks:
+      if (options_.kor_score_bound != 0.0 ||
+          !(kth.k >= options_.total_k_bound) || !VorKeysAtBest(kth)) {
+        return fl;
+      }
+      break;
+  }
+  fl.valid = true;
+  fl.s = kth.s;
+  fl.node = kth.node;
+  return fl;
 }
 
 bool TopkPruneOp::ListBefore(const Answer& x, const Answer& y) const {

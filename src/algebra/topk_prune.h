@@ -1,6 +1,7 @@
 #ifndef PIMENTO_ALGEBRA_TOPK_PRUNE_H_
 #define PIMENTO_ALGEBRA_TOPK_PRUNE_H_
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,13 @@ struct TopkPruneOptions {
   /// decisions that are monotone in the sort order trigger the early stop.
   bool sorted_input = false;
 
+  /// Attainable upper bound on the K score any answer of this plan can
+  /// finish with (planner-computed sum of per-kor block-max score bounds).
+  /// A K-aware prune (Alg3/VKS) may publish a cursor floor only once its
+  /// k-th answer has reached this bound — no candidate can then overtake on
+  /// K. Infinity (the default) keeps K-aware floors permanently invalid.
+  double total_k_bound = std::numeric_limits<double>::infinity();
+
   /// End-of-plan cut: emit exactly the first k answers, then stop.
   bool final_cut = false;
 };
@@ -72,11 +80,20 @@ class TopkPruneOp : public Operator, public ScoreFloor {
   void Reset() override;
   std::string Name() const override;
 
-  /// The current k-th S snapshot, exposed to an upstream postings-anchored
-  /// scan for block skipping. Only sound for the plain Algorithm 1 (S-only)
-  /// intermediate prune — with K or V in the ranking, a low-S answer can
-  /// still win — so every other configuration reports -infinity.
-  double CurrentFloorS() const override;
+  /// The live cursor floor: a (S, node) snapshot of the current k-th
+  /// answer, exposed to upstream postings-anchored scans for block-max
+  /// skipping. Valid only when the k-th answer provably cannot be overtaken
+  /// by a candidate the scan would drop on S alone:
+  ///  - Alg1 (S-only list order): always, once the list is full.
+  ///  - Alg2 (V,S): additionally the k-th answer's VOR rank keys must all
+  ///    sit at their best attainable value (so no candidate can win on V).
+  ///  - Alg3/VKS (K in the ranking): additionally every kor has run
+  ///    (kor_score_bound == 0) and the k-th K has reached total_k_bound
+  ///    (so no candidate can win on K).
+  /// The node component makes the floor tie-aware: a block whose best score
+  /// exactly equals the floor may still be skipped when every element it
+  /// can produce follows floor.node in document order.
+  FloorSnapshot CurrentFloor() const override;
 
   /// Number of answers this operator refused to pass downstream.
   int64_t pruned() const { return stats_.pruned; }
@@ -87,6 +104,10 @@ class TopkPruneOp : public Operator, public ScoreFloor {
     options_.query_score_bound = query_score_bound;
     options_.kor_score_bound = kor_score_bound;
   }
+
+  /// Installs the plan-wide attainable K bound (see
+  /// TopkPruneOptions::total_k_bound).
+  void set_total_k_bound(double bound) { options_.total_k_bound = bound; }
 
   const TopkPruneOptions& options() const { return options_; }
 
@@ -105,6 +126,11 @@ class TopkPruneOp : public Operator, public ScoreFloor {
   Decision DecideKS(const Answer& a);   // K-then-S tail shared by VKS
   void Insert(const Answer& a);
   bool ListBefore(const Answer& x, const Answer& y) const;
+
+  /// True iff every VOR rank key of `kth` sits at its best attainable
+  /// value (kEqConst match / kPrefRel root). Numeric-compare rules are
+  /// unbounded below, so any such rule makes this false.
+  bool VorKeysAtBest(const Answer& kth) const;
 
   const RankContext* rank_;
   TopkPruneOptions options_;

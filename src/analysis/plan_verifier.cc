@@ -473,16 +473,16 @@ Diagnostics VerifyPlan(const algebra::Plan& plan) {
     }
   }
 
-  // --- PV20x: score-floor wiring (§6.3 block skipping) --------------------
+  // --- PV20x: score-floor wiring (§6.3 block-max skipping) ----------------
   if (const auto* iscan =
           dynamic_cast<const algebra::IndexScanOp*>(plan.op(0))) {
     if (iscan->score_floor() != nullptr) {
-      if (order != profile::RankOrder::kS) {
-        f.Error("PV208",
-                "index scan skips blocks by an S floor under rank order " +
-                    std::string(profile::RankOrderName(order)) +
-                    ": a low-S answer can still win, skipping is unsound",
-                OpWitness(0, iscan));
+      bool has_korop = false;
+      for (size_t i = 0; i < plan.size(); ++i) {
+        if (dynamic_cast<const algebra::KorOp*>(plan.op(i)) != nullptr) {
+          has_korop = true;
+          break;
+        }
       }
       const TopkPruneOp* target = nullptr;
       size_t target_pos = 0;
@@ -496,18 +496,69 @@ Diagnostics VerifyPlan(const algebra::Plan& plan) {
           break;
         }
       }
-      if (target == nullptr) {
+      if (target == nullptr || target->options().final_cut) {
         f.Error("PV209",
-                "index scan's score floor does not point at a topkPrune of "
-                "this plan",
-                OpWitness(0, iscan));
-      } else if (target->options().alg != PruneAlg::kAlg1 ||
-                 target->options().final_cut) {
-        f.Error("PV209",
-                "index scan's score floor targets a prune that cannot "
-                "soundly expose a floor (needs a non-final Algorithm 1 "
-                "prune)",
-                OpWitness(target_pos, target));
+                "index scan's score floor does not point at a non-final "
+                "topkPrune of this plan",
+                target == nullptr ? OpWitness(0, iscan)
+                                  : OpWitness(target_pos, target));
+      } else {
+        const PruneAlg talg = target->options().alg;
+        // The floor skips blocks on (S, node) alone, so the publishing
+        // prune must be able to certify that no skipped candidate could
+        // have won on a ranking component ahead of S. An algorithm blind
+        // to such a component is only acceptable when the plan cannot
+        // produce that component at all (no kor operators / empty VOR
+        // relation).
+        bool floor_ok = true;
+        switch (order) {
+          case profile::RankOrder::kS:
+            floor_ok = talg == PruneAlg::kAlg1;
+            break;
+          case profile::RankOrder::kKVS:
+            floor_ok = talg == PruneAlg::kAlg3 ||
+                       (talg == PruneAlg::kAlg2 && !has_korop) ||
+                       (talg == PruneAlg::kAlg1 && !has_korop &&
+                        vor_arity == 0);
+            break;
+          case profile::RankOrder::kVKS:
+            floor_ok = talg == PruneAlg::kAlgVks ||
+                       (talg == PruneAlg::kAlg1 && !has_korop &&
+                        vor_arity == 0);
+            break;
+        }
+        if (!floor_ok) {
+          f.Error("PV208",
+                  "index scan's score floor targets a prune blind to rank "
+                  "components ahead of S under rank order " +
+                      std::string(profile::RankOrderName(order)) +
+                      ": a low-S answer can still win, skipping is unsound",
+                  OpWitness(target_pos, target));
+        }
+        if (IsKAware(talg) &&
+            (target->options().kor_score_bound > kBoundEps ||
+             !std::isfinite(target->options().total_k_bound))) {
+          f.Warn("PV210",
+                 "K-aware floor target can never validate: its "
+                 "kor-scorebound is nonzero or no attainable plan-wide K "
+                 "bound was installed (dead floor, blocks are never "
+                 "skipped by score)",
+                 OpWitness(target_pos, target));
+        }
+        if (IsVAware(talg) && target->rank() != nullptr) {
+          for (const profile::Vor& rule : target->rank()->vors()) {
+            if (rule.kind == profile::VorKind::kCompare ||
+                rule.kind == profile::VorKind::kCompareSameGroup) {
+              f.Warn("PV211",
+                     "V-aware floor target can never validate: VOR rule '" +
+                         rule.name +
+                         "' compares numeric values, which have no "
+                         "attainable best (dead floor)",
+                     OpWitness(target_pos, target));
+              break;
+            }
+          }
+        }
       }
     }
   }

@@ -258,8 +258,10 @@ StatusOr<SearchResult> SearchEngine::Execute(
       static_cast<int64_t>(result->answers.size()));
   metrics.candidates_scanned->Increment(result->stats.scanned);
   metrics.pruned_by_topk->Increment(result->stats.pruned_by_topk);
-  metrics.blocks_skipped->Increment(result->stats.blocks_skipped);
-  metrics.blocks_visited->Increment(result->stats.blocks_visited);
+  metrics.blocks_skipped->Increment(result->stats.blocks_skipped +
+                                    result->stats.cursor_blocks_skipped);
+  metrics.blocks_visited->Increment(result->stats.blocks_visited +
+                                    result->stats.cursor_blocks_visited);
   if (result->partial) metrics.partial_results->Increment();
   if (traced) result->trace = trace.Finish();
   return result;
@@ -325,6 +327,7 @@ StatusOr<SearchResult> SearchEngine::ExecuteTopK(
   popts.optional_bonus = options.optional_bonus;
   popts.use_structural_prefilter = options.use_structural_prefilter;
   popts.scan_mode = options.scan_mode;
+  popts.use_score_floor = options.use_score_floor;
   popts.count_cache = phrase_count_cache_.get();
   popts.trace = trace;
   if (governor.active()) popts.governor = &governor;

@@ -51,6 +51,11 @@ struct SearchOptions {
   /// anchorable. Answers are byte-identical in every mode.
   plan::ScanMode scan_mode = plan::ScanMode::kAuto;
 
+  /// Wire the live topkPrune score floor into the postings-anchored scan
+  /// (block-max dynamic pruning). Answers are byte-identical either way;
+  /// off = the ablation baseline.
+  bool use_score_floor = true;
+
   /// \deprecated Legacy home of the per-request resource limits, honored
   /// for the old Search*(…, SearchOptions) overloads. The canonical home
   /// is SearchRequest::limits, which wins when set; see EffectiveLimits.

@@ -14,7 +14,7 @@ namespace pimento::index {
 struct Collection::BlockMaxCache {
   std::mutex mu;
   std::map<std::pair<TermId, std::string>,
-           std::shared_ptr<const std::vector<int32_t>>>
+           std::shared_ptr<const BlockScoreBounds>>
       entries;
 };
 
@@ -101,7 +101,7 @@ void Collection::BuildTokenOwners() {
   }
 }
 
-std::shared_ptr<const std::vector<int32_t>> Collection::BlockMaxCounts(
+std::shared_ptr<const BlockScoreBounds> Collection::BlockMaxCounts(
     TermId term, const std::string& tag) const {
   std::lock_guard<std::mutex> lock(blockmax_->mu);
   auto key = std::make_pair(term, tag);
@@ -110,7 +110,9 @@ std::shared_ptr<const std::vector<int32_t>> Collection::BlockMaxCounts(
   const std::vector<int32_t>& plist = keywords_.Postings(term);
   const size_t bs = static_cast<size_t>(keywords_.block_size());
   const size_t nblocks = plist.empty() ? 0 : (plist.size() + bs - 1) / bs;
-  auto bm = std::make_shared<std::vector<int32_t>>(nblocks, 0);
+  auto bm = std::make_shared<BlockScoreBounds>();
+  bm->max_count.assign(nblocks, 0);
+  bm->min_owner.assign(nblocks, xml::kInvalidNode);
   for (xml::NodeId e : tags_.Elements(tag)) {
     const xml::Node& n = doc_.node(e);
     auto lo = std::lower_bound(plist.begin(), plist.end(), n.first_token);
@@ -123,7 +125,10 @@ std::shared_ptr<const std::vector<int32_t>> Collection::BlockMaxCounts(
     size_t b0 = static_cast<size_t>(lo - plist.begin()) / bs;
     size_t b1 = static_cast<size_t>(hi - 1 - plist.begin()) / bs;
     for (size_t b = b0; b <= b1; ++b) {
-      (*bm)[b] = std::max((*bm)[b], count);
+      bm->max_count[b] = std::max(bm->max_count[b], count);
+      if (bm->min_owner[b] == xml::kInvalidNode || e < bm->min_owner[b]) {
+        bm->min_owner[b] = e;
+      }
     }
   }
   blockmax_->entries.emplace(std::move(key), bm);

@@ -15,6 +15,23 @@
 
 namespace pimento::index {
 
+/// Per-block score-bound inputs for one (term, tag) pair. Entry b of
+/// `max_count` is the largest number of `term` occurrences inside the span
+/// of any `tag` element owning a posting of block b (0 = no such element,
+/// the block can be skipped outright); entry b of `min_owner` is the
+/// smallest NodeId (= earliest in document order) among those elements, or
+/// xml::kInvalidNode when max_count[b] == 0. min_owner lets a tie-aware
+/// score floor skip a block even when its best score exactly equals the
+/// floor: every candidate the block can produce ranks after the floor's
+/// (score, node) pair.
+struct BlockScoreBounds {
+  std::vector<int32_t> max_count;
+  std::vector<xml::NodeId> min_owner;
+
+  size_t size() const { return max_count.size(); }
+  bool empty() const { return max_count.empty(); }
+};
+
 /// Summary statistics of an indexed collection (for tooling/diagnostics).
 struct CollectionStats {
   size_t elements = 0;
@@ -82,14 +99,12 @@ class Collection {
     return token_owner_[pos];
   }
 
-  /// Per-block score-bound input for (term, tag): entry b is the largest
-  /// number of `term` occurrences within the span of any `tag` element
-  /// owning a posting of block b (0 = no such element, the block can be
-  /// skipped outright). An element's phrase count never exceeds its anchor
-  /// term count, so idf * bm/(bm+1) bounds the anchor predicate's score
-  /// contribution for every candidate a block can generate. Computed
-  /// lazily per (term, tag), cached, thread-safe (batch workers share it).
-  std::shared_ptr<const std::vector<int32_t>> BlockMaxCounts(
+  /// Per-block score bounds for (term, tag); see BlockScoreBounds. An
+  /// element's phrase count never exceeds its anchor term count, so
+  /// idf * bm/(bm+1) bounds the anchor predicate's score contribution for
+  /// every candidate a block can generate. Computed lazily per (term, tag),
+  /// cached, thread-safe (batch workers share it).
+  std::shared_ptr<const BlockScoreBounds> BlockMaxCounts(
       TermId term, const std::string& tag) const;
 
   /// Rebuilds the postings block/skip tables at `block_size` and drops the

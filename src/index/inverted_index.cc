@@ -218,12 +218,36 @@ int32_t PhraseCursor::SeekGE(int32_t pos) {
   size_t end = plist.size();
   if (!skips.empty()) {
     const size_t bs = static_cast<size_t>(idx_->block_size());
-    // Skip whole blocks whose last position is still < pos.
     size_t b = idx_pos_ / bs;
-    while (b < skips.size() && skips[b] < pos) ++b;
+    if (b < skips.size() && skips[b] < pos) {
+      // Galloping over the skip table: exponential bracket from the current
+      // block, then a bounded binary search — O(log distance) instead of
+      // the linear walk, which matters when an intersection cursor jumps
+      // far ahead between sparse candidate spans.
+      const size_t start_block = b;
+      size_t hi = b + 1;
+      size_t step = 1;
+      while (hi < skips.size() && skips[hi] < pos) {
+        b = hi;
+        hi += step;
+        step <<= 1;
+      }
+      const size_t search_end = std::min(hi + 1, skips.size());
+      b = static_cast<size_t>(
+          std::lower_bound(skips.begin() + b + 1, skips.begin() + search_end,
+                           pos) -
+          skips.begin());
+      if (b > start_block + 1) {
+        blocks_skipped_ += static_cast<int64_t>(b - start_block - 1);
+      }
+    }
     if (b >= skips.size()) {
       idx_pos_ = plist.size();
       return kNoPosition;
+    }
+    if (b != last_block_) {
+      last_block_ = b;
+      ++blocks_visited_;
     }
     if (idx_pos_ < b * bs) idx_pos_ = b * bs;
     end = std::min(plist.size(), (b + 1) * bs);

@@ -140,11 +140,11 @@ class InvertedIndex {
 };
 
 /// A stateful cursor over one phrase's anchor postings list. Forward seeks
-/// ride the block skip table instead of binary-searching the whole list;
-/// a backward seek restarts transparently. Counting through the cursor is
-/// exactly CountPhrase (same verification code), so plan operators can
-/// hold one cursor per phrase and seek monotonically along the answer
-/// stream.
+/// gallop over the block skip table (exponential bracket + bounded binary
+/// search, O(log distance)) instead of walking it linearly; a backward
+/// seek restarts transparently. Counting through the cursor is exactly
+/// CountPhrase (same verification code), so plan operators can hold one
+/// cursor per phrase and seek monotonically along the answer stream.
 ///
 /// Cursors are cheap value types over an immutable index; each holds its
 /// own position, so concurrent batch workers use separate cursors over the
@@ -168,6 +168,12 @@ class PhraseCursor {
 
   void Reset() { idx_pos_ = 0; }
 
+  /// Lifetime counters of the cursor's block movement: blocks the galloping
+  /// seek jumped over without touching their postings, and blocks it landed
+  /// in for an in-block search. Feed the pimento_index_blocks_* metrics.
+  int64_t blocks_skipped() const { return blocks_skipped_; }
+  int64_t blocks_visited() const { return blocks_visited_; }
+
  private:
   const InvertedIndex* idx_;
   const Phrase* phrase_;
@@ -175,6 +181,9 @@ class PhraseCursor {
   int anchor_ = 0;
   TermId anchor_term_ = kUnknownTerm;
   size_t idx_pos_ = 0;  ///< current index into the anchor postings list
+  size_t last_block_ = static_cast<size_t>(-1);  ///< last block landed in
+  int64_t blocks_skipped_ = 0;
+  int64_t blocks_visited_ = 0;
 };
 
 }  // namespace pimento::index

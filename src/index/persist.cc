@@ -7,6 +7,7 @@
 
 #include "src/common/crc32.h"
 #include "src/common/fault_injector.h"
+#include "src/index/varint.h"
 #include "src/obs/metrics.h"
 
 namespace pimento::index {
@@ -16,10 +17,22 @@ namespace {
 constexpr char kMagicV1[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '1'};
 constexpr char kMagicV2[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '2'};
 constexpr char kMagicV3[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '3'};
+constexpr char kMagicV4[8] = {'P', 'I', 'M', 'E', 'N', 'T', 'O', '4'};
 
-/// v3 section order; each is independently length- and CRC-framed.
-constexpr const char* kSectionNames[] = {"flags", "vocab", "stream", "blocks",
-                                         "doc"};
+/// Image format lineage; ParseBody branches on it where the layouts differ.
+enum class Format : uint8_t {
+  kV1,  ///< unframed, no block layout section
+  kV2,  ///< unframed, with block layout
+  kV3,  ///< crc-framed sections, uncompressed token stream
+  kV4,  ///< crc-framed sections, delta-compressed postings
+};
+
+/// Framed section order (v3/v4); each is independently length- and
+/// CRC-framed. v4 replaces the raw token stream with compressed postings.
+constexpr const char* kSectionNamesV3[] = {"flags", "vocab", "stream",
+                                           "blocks", "doc"};
+constexpr const char* kSectionNamesV4[] = {"flags", "vocab", "postings",
+                                           "blocks", "doc"};
 constexpr size_t kNumSections = 5;
 
 // --- little-endian encoding helpers over a string buffer ---
@@ -87,6 +100,14 @@ class Reader {
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  bool GetVarint(uint64_t* v) {
+    return pimento::index::GetVarint(bytes_, &pos_, v);
+  }
+
+  bool DecodeDeltas(size_t count, std::vector<int32_t>* out) {
+    return pimento::index::DecodeDeltas(bytes_, &pos_, count, out);
+  }
 
  private:
   std::string_view bytes_;
@@ -171,6 +192,19 @@ std::string StreamSection(const Collection& collection) {
   return out;
 }
 
+std::string PostingsSection(const Collection& collection) {
+  std::string out;
+  const InvertedIndex& idx = collection.keywords();
+  PutU32(&out, static_cast<uint32_t>(idx.total_tokens()));
+  PutU32(&out, static_cast<uint32_t>(idx.vocabulary_size()));
+  for (TermId t = 0; t < static_cast<TermId>(idx.vocabulary_size()); ++t) {
+    const std::vector<int32_t>& plist = idx.Postings(t);
+    PutVarint(&out, plist.size());
+    EncodeDeltas(plist, &out);
+  }
+  return out;
+}
+
 std::string BlocksSection(const Collection& collection) {
   std::string out;
   const InvertedIndex& idx = collection.keywords();
@@ -212,8 +246,9 @@ void AppendFramed(std::string* out, const std::string& payload) {
 }
 
 /// Parses the concatenated sections (everything after the magic for v1/v2,
-/// the CRC-validated payloads for v3). All failures are kCorruptIndex.
-StatusOr<Collection> ParseBody(std::string_view body, bool with_blocks) {
+/// the CRC-validated payloads for v3/v4). All failures are kCorruptIndex.
+StatusOr<Collection> ParseBody(std::string_view body, Format format) {
+  const bool with_blocks = format != Format::kV1;
   Reader reader(body);
   char flags[3];
   if (!reader.GetRaw(flags, 3)) {
@@ -234,17 +269,66 @@ StatusOr<Collection> ParseBody(std::string_view body, bool with_blocks) {
       return Status::CorruptIndex("truncated vocabulary entry");
     }
   }
-  uint32_t stream_size = 0;
-  if (!reader.GetU32(&stream_size)) {
-    return Status::CorruptIndex("truncated token stream");
-  }
-  std::vector<int32_t> stream(stream_size);
-  for (uint32_t i = 0; i < stream_size; ++i) {
-    if (!reader.GetI32(&stream[i])) {
-      return Status::CorruptIndex("truncated token stream entry");
+  std::vector<int32_t> stream;
+  if (format == Format::kV4) {
+    // Compressed postings: the stream is reconstructed position by
+    // position. Beyond the section CRC, the structure itself is validated:
+    // every position must be claimed by exactly one term (no gaps, no
+    // double claims), every delta must be >= 1, every position in range.
+    uint32_t total_tokens = 0;
+    uint32_t n_terms = 0;
+    if (!reader.GetU32(&total_tokens) || !reader.GetU32(&n_terms)) {
+      return Status::CorruptIndex("truncated postings header");
     }
-    if (stream[i] < 0 || static_cast<uint32_t>(stream[i]) >= vocab) {
-      return Status::CorruptIndex("token stream references bad term id");
+    if (n_terms != vocab) {
+      return Status::CorruptIndex(
+          "postings term count disagrees with vocabulary");
+    }
+    stream.assign(total_tokens, -1);
+    uint64_t assigned = 0;
+    std::vector<int32_t> plist;
+    for (uint32_t t = 0; t < n_terms; ++t) {
+      uint64_t n_postings = 0;
+      if (!reader.GetVarint(&n_postings)) {
+        return Status::CorruptIndex("truncated postings list header");
+      }
+      if (n_postings > total_tokens) {
+        return Status::CorruptIndex("postings list longer than the stream");
+      }
+      plist.clear();
+      if (!reader.DecodeDeltas(static_cast<size_t>(n_postings), &plist)) {
+        return Status::CorruptIndex("corrupt postings deltas for term " +
+                                    std::to_string(t));
+      }
+      for (int32_t p : plist) {
+        if (p < 0 || static_cast<uint32_t>(p) >= total_tokens) {
+          return Status::CorruptIndex("posting position out of range");
+        }
+        if (stream[p] != -1) {
+          return Status::CorruptIndex(
+              "stream position claimed by two terms");
+        }
+        stream[p] = static_cast<int32_t>(t);
+      }
+      assigned += n_postings;
+    }
+    if (assigned != total_tokens) {
+      return Status::CorruptIndex(
+          "postings do not cover the token stream exactly");
+    }
+  } else {
+    uint32_t stream_size = 0;
+    if (!reader.GetU32(&stream_size)) {
+      return Status::CorruptIndex("truncated token stream");
+    }
+    stream.resize(stream_size);
+    for (uint32_t i = 0; i < stream_size; ++i) {
+      if (!reader.GetI32(&stream[i])) {
+        return Status::CorruptIndex("truncated token stream entry");
+      }
+      if (stream[i] < 0 || static_cast<uint32_t>(stream[i]) >= vocab) {
+        return Status::CorruptIndex("token stream references bad term id");
+      }
     }
   }
 
@@ -308,6 +392,17 @@ StatusOr<Collection> ParseBody(std::string_view body, bool with_blocks) {
 
 std::string SerializeCollection(const Collection& collection) {
   std::string out;
+  out.append(kMagicV4, 8);
+  AppendFramed(&out, FlagsSection(collection));
+  AppendFramed(&out, VocabSection(collection));
+  AppendFramed(&out, PostingsSection(collection));
+  AppendFramed(&out, BlocksSection(collection));
+  AppendFramed(&out, DocSection(collection));
+  return out;
+}
+
+std::string SerializeCollectionV3(const Collection& collection) {
+  std::string out;
   out.append(kMagicV3, 8);
   AppendFramed(&out, FlagsSection(collection));
   AppendFramed(&out, VocabSection(collection));
@@ -331,9 +426,11 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
   if (!reader.GetRaw(magic, sizeof(magic))) {
     return Status::CorruptIndex("not a PIMENTO index (bad magic)");
   }
-  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
-    // v3: validate every section frame (length + CRC32) before
+  const bool v4 = std::memcmp(magic, kMagicV4, sizeof(kMagicV4)) == 0;
+  if (v4 || std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    // v3/v4: validate every section frame (length + CRC32) before
     // interpreting a single payload byte.
+    const char* const* names = v4 ? kSectionNamesV4 : kSectionNamesV3;
     std::string body;
     for (size_t i = 0; i < kNumSections; ++i) {
       uint32_t len = 0;
@@ -342,12 +439,12 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
       if (!reader.GetU32(&len) || !reader.GetView(&payload, len) ||
           !reader.GetU32(&crc)) {
         return Status::CorruptIndex(std::string("truncated section '") +
-                                    kSectionNames[i] + "'");
+                                    names[i] + "'");
       }
       if (Crc32(payload) != crc) {
         return Status::CorruptIndex(std::string("checksum mismatch in "
                                                 "section '") +
-                                    kSectionNames[i] +
+                                    names[i] +
                                     "' (corrupt or truncated image)");
       }
       body.append(payload);
@@ -355,13 +452,13 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes) {
     if (!reader.AtEnd()) {
       return Status::CorruptIndex("trailing bytes after index");
     }
-    return ParseBody(body, /*with_blocks=*/true);
+    return ParseBody(body, v4 ? Format::kV4 : Format::kV3);
   }
   bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
   if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
     return Status::CorruptIndex("not a PIMENTO index (bad magic)");
   }
-  return ParseBody(bytes.substr(8), /*with_blocks=*/v2);
+  return ParseBody(bytes.substr(8), v2 ? Format::kV2 : Format::kV1);
 }
 
 namespace {

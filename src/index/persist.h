@@ -11,30 +11,41 @@ namespace pimento::index {
 /// Binary persistence for indexed collections, so a corpus is tokenized
 /// and indexed once and reopened instantly.
 ///
-/// Current format (v3, little-endian): magic "PIMENTO3" followed by five
-/// sections — tokenize flags, vocabulary (term strings), token stream
-/// (term ids), postings block layout (block size plus the per-term skip
-/// tables), document nodes in pre-order (kind, tag/text, child count,
-/// token span). Every section is framed as
+/// Current format (v4, little-endian): magic "PIMENTO4" followed by five
+/// sections — tokenize flags, vocabulary (term strings), compressed
+/// postings (per term: varint posting count + varint-coded position
+/// deltas, predecessor of the first entry = -1 so every delta >= 1),
+/// postings block layout (block size plus the per-term skip tables),
+/// document nodes in pre-order (kind, tag/text, child count, token span).
+/// Every section is framed as
 ///
 ///   u32 payload_length | payload | u32 crc32(payload)
 ///
 /// so a truncated or bit-flipped image is rejected at load with a precise
 /// kCorruptIndex status naming the damaged section, before any payload is
-/// interpreted. Postings, tag/value indexes and structural intervals are
-/// rebuilt on load (cheap, no text processing); the stored skip tables are
-/// additionally validated against the rebuilt postings.
+/// interpreted. The token stream is reconstructed from the postings at
+/// load, with structural validation on top of the CRCs: a zero delta,
+/// an out-of-range position, a position claimed by two terms, or postings
+/// that do not cover the stream exactly are each kCorruptIndex. Tag/value
+/// indexes and structural intervals are rebuilt on load (cheap, no text
+/// processing); the stored skip tables are additionally validated against
+/// the rebuilt postings.
 ///
-/// Older images still load: v2 ("PIMENTO2", same sections unframed) and
-/// v1 ("PIMENTO1", no block layout section; blocks are rebuilt at the
-/// default size).
+/// Older images still load: v3 ("PIMENTO3", the token stream stored as
+/// uncompressed u32 term ids, same framing), v2 ("PIMENTO2", v3's
+/// sections unframed) and v1 ("PIMENTO1", no block layout section; blocks
+/// are rebuilt at the default size).
 ///
 /// SaveCollection writes atomically: the image goes to `path + ".tmp"`
 /// first and is renamed over `path` only after a complete, flushed write,
 /// so a crash mid-save never leaves a torn image at `path`.
 
-/// Serializes `collection` into a byte buffer (current format, v3).
+/// Serializes `collection` into a byte buffer (current format, v4).
 std::string SerializeCollection(const Collection& collection);
+
+/// Serializes `collection` in the v3 layout (uncompressed token stream).
+/// Exists so the v3 fallback path stays testable.
+std::string SerializeCollectionV3(const Collection& collection);
 
 /// Serializes `collection` in the v2 layout (unframed sections). Exists so
 /// the v2 fallback path stays testable.

@@ -1,0 +1,99 @@
+#ifndef PIMENTO_INDEX_VARINT_H_
+#define PIMENTO_INDEX_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimento::index {
+
+/// LEB128 varint + delta coding for the persisted postings sections
+/// (format v4). Header-only: the encoder is trivial and the decoder's
+/// fast path wants to inline into the per-term load loop.
+///
+/// Postings lists are strictly increasing positions; they are stored as
+/// gaps (position minus predecessor, predecessor of the first entry = -1),
+/// so every gap is >= 1 and a decoded gap of 0 is by itself proof of
+/// corruption — the decoder rejects it without needing the checksum.
+
+/// Appends `value` (>= 0) to `out` as an unsigned LEB128 varint.
+inline void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// Reads one varint from [*pos, data.size()); advances *pos. False on
+/// truncation or on an encoding longer than 10 bytes (64-bit overflow).
+inline bool GetVarint(std::string_view data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// Appends `plist` (a strictly increasing postings list) to `out` as
+/// delta-coded varints, previous position starting at -1.
+inline void EncodeDeltas(const std::vector<int32_t>& plist,
+                         std::string* out) {
+  int64_t prev = -1;
+  for (int32_t p : plist) {
+    PutVarint(out, static_cast<uint64_t>(static_cast<int64_t>(p) - prev));
+    prev = p;
+  }
+}
+
+/// Decodes `count` delta-coded positions from `data` starting at *pos into
+/// `out` (appended); advances *pos. False on truncation, a zero delta
+/// (positions must strictly increase), or 32-bit position overflow.
+///
+/// Fast path: whenever the next 8 deltas are all single-byte (no
+/// continuation bit set anywhere in the next 8 bytes — one 64-bit load and
+/// mask to check), they decode branch-free; the scalar loop handles the
+/// remainder and multi-byte gaps, then re-enters the fast path.
+inline bool DecodeDeltas(std::string_view data, size_t* pos, size_t count,
+                         std::vector<int32_t>* out) {
+  int64_t prev = -1;
+  size_t n = 0;
+  while (n < count) {
+    while (n + 8 <= count && *pos + 8 <= data.size()) {
+      uint64_t word;
+      std::memcpy(&word, data.data() + *pos, 8);
+      if ((word & 0x8080808080808080ULL) != 0) break;
+      for (int i = 0; i < 8; ++i) {
+        const int64_t delta = (word >> (8 * i)) & 0x7F;
+        if (delta == 0) return false;
+        prev += delta;
+        out->push_back(static_cast<int32_t>(prev));
+      }
+      if (prev > INT32_MAX) return false;
+      *pos += 8;
+      n += 8;
+    }
+    if (n >= count) break;
+    uint64_t delta = 0;
+    if (!GetVarint(data, pos, &delta)) return false;
+    if (delta == 0) return false;
+    prev += static_cast<int64_t>(delta);
+    if (prev > INT32_MAX) return false;
+    out->push_back(static_cast<int32_t>(prev));
+    ++n;
+  }
+  return true;
+}
+
+}  // namespace pimento::index
+
+#endif  // PIMENTO_INDEX_VARINT_H_

@@ -143,6 +143,34 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
   algebra::ExecContext ctx{&collection, &scorer, options.count_cache,
                            options.governor};
 
+  // Applicable KORs, in the configured order. Hoisted above the access-path
+  // choice: the kAuto cost gate needs to know whether the plan will carry
+  // intermediate prunes (and hence a score floor) before picking the leaf.
+  std::vector<const profile::Kor*> applicable_kors;
+  for (const profile::Kor& kor : kors) {
+    if (kor.tag.empty() || kor.tag == dtag) applicable_kors.push_back(&kor);
+  }
+  if (options.kor_order != KorOrder::kAsGiven) {
+    // Decorate-sort: MaxScore walks the postings lists, so compute each
+    // KOR's bound once instead of once per comparison.
+    std::vector<std::pair<double, const profile::Kor*>> decorated;
+    decorated.reserve(applicable_kors.size());
+    for (const profile::Kor* kor : applicable_kors) {
+      decorated.emplace_back(
+          kor->weight * scorer.MaxScore(collection.MakePhrase(kor->keyword)),
+          kor);
+    }
+    std::stable_sort(decorated.begin(), decorated.end(),
+                     [&](const auto& a, const auto& b) {
+                       return options.kor_order == KorOrder::kHighestScoreFirst
+                                  ? a.first > b.first
+                                  : a.first < b.first;
+                     });
+    for (size_t i = 0; i < decorated.size(); ++i) {
+      applicable_kors[i] = decorated[i].second;
+    }
+  }
+
   std::vector<std::unique_ptr<algebra::Operator>> seq;
   bool prefiltered = false;
   if (options.use_structural_prefilter) {
@@ -180,7 +208,16 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
         if (anchor_ctf < 0 || bound < anchor_ctf) anchor_ctf = bound;
       }
       int64_t tag_count = static_cast<int64_t>(collection.tags().Count(dtag));
-      use_anchored = anchor_ctf * 4 < tag_count;
+      // A live score floor (plain-S ranking with a pushed-down prune — the
+      // only shape where the floor wires under rank S, see the wiring block
+      // below) restores the anchored scan's advantage on non-selective
+      // anchors: once the heap fills, block-max skipping bypasses most of
+      // the postings the per-posting work would otherwise touch.
+      const bool floor_will_wire =
+          options.use_score_floor &&
+          options.rank_order == profile::RankOrder::kS &&
+          applicable_kors.empty() && options.strategy == Strategy::kPush;
+      use_anchored = anchor_ctf * 4 < tag_count || floor_will_wire;
     }
     if (use_anchored) {
       auto scan = std::make_unique<algebra::IndexScanOp>(
@@ -238,32 +275,6 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
   // vor operators annotate V before any V-aware pruning.
   for (size_t i = 0; i < vors.size(); ++i) {
     seq.push_back(std::make_unique<algebra::VorOp>(ctx, vors[i], i));
-  }
-
-  // Applicable KORs, in the configured order.
-  std::vector<const profile::Kor*> applicable_kors;
-  for (const profile::Kor& kor : kors) {
-    if (kor.tag.empty() || kor.tag == dtag) applicable_kors.push_back(&kor);
-  }
-  if (options.kor_order != KorOrder::kAsGiven) {
-    // Decorate-sort: MaxScore walks the postings lists, so compute each
-    // KOR's bound once instead of once per comparison.
-    std::vector<std::pair<double, const profile::Kor*>> decorated;
-    decorated.reserve(applicable_kors.size());
-    for (const profile::Kor* kor : applicable_kors) {
-      decorated.emplace_back(
-          kor->weight * scorer.MaxScore(collection.MakePhrase(kor->keyword)),
-          kor);
-    }
-    std::stable_sort(decorated.begin(), decorated.end(),
-                     [&](const auto& a, const auto& b) {
-                       return options.kor_order == KorOrder::kHighestScoreFirst
-                                  ? a.first > b.first
-                                  : a.first < b.first;
-                     });
-    for (size_t i = 0; i < decorated.size(); ++i) {
-      applicable_kors[i] = decorated[i].second;
-    }
   }
 
   // Early (intermediate) pruning for both OR-aware orders; the S order
@@ -358,20 +369,68 @@ StatusOr<algebra::Plan> BuildPlan(const index::Collection& collection,
   }
 
   // Push the bounds into the index (block skipping): the postings-anchored
-  // scan gets the total downstream S bound and, under the plain S rank
-  // order with an intermediate Algorithm 1 prune, a live view of the k-th
-  // answer's S as skipping threshold. With K or V ahead of S in the
-  // ranking, a low-S answer can still win, so no floor is wired there.
+  // scan gets the total downstream S bound plus a live view of the k-th
+  // answer as skipping threshold. The floor target is the first
+  // intermediate prune whose kor-scorebound already reached zero — at that
+  // point K is final, so the publisher's per-algorithm validity conditions
+  // (TopkPruneOp::CurrentFloor) can ever hold. The planner refuses to wire
+  // floors that provably never validate (numeric-compare VOR rules are
+  // unbounded below; a K-aware prune needs an attainable plan-wide K
+  // bound), keeping wired-but-dead floors out of the plans it emits.
   if (index_scan != nullptr) {
     double total_s = 0.0;
     for (size_t j = 1; j < seq.size(); ++j) {
       total_s += seq[j]->MaxSContribution();
     }
     index_scan->set_downstream_s_bound(total_s);
-    if (options.rank_order == profile::RankOrder::kS &&
-        !prune_indices.empty()) {
-      index_scan->set_score_floor(static_cast<algebra::TopkPruneOp*>(
-          seq[prune_indices.front()].get()));
+    if (options.use_score_floor && !prune_indices.empty()) {
+      algebra::TopkPruneOp* target = nullptr;
+      for (size_t prune_idx : prune_indices) {
+        auto* prune =
+            static_cast<algebra::TopkPruneOp*>(seq[prune_idx].get());
+        if (prune->options().kor_score_bound == 0.0) {
+          target = prune;
+          break;
+        }
+      }
+      bool v_ok = true;
+      if (target != nullptr && alg != algebra::PruneAlg::kAlg1) {
+        for (const profile::Vor& rule : vors) {
+          if (rule.kind == profile::VorKind::kCompare ||
+              rule.kind == profile::VorKind::kCompareSameGroup) {
+            v_ok = false;
+            break;
+          }
+        }
+      }
+      if (target != nullptr && v_ok) {
+        if (alg == algebra::PruneAlg::kAlg3 ||
+            alg == algebra::PruneAlg::kAlgVks) {
+          // Attainable plan-wide K bound: each kor's best-possible
+          // contribution is its weight times the score of the largest
+          // anchor-term count any distinguished-tag element actually has
+          // (per-block maxima folded over all blocks). Summed in kor
+          // application order, so an answer achieving every per-kor
+          // maximum reaches the bound bitwise and the floor can validate.
+          double total_k_bound = 0.0;
+          for (const profile::Kor* kor : applicable_kors) {
+            index::Phrase phrase = collection.MakePhrase(kor->keyword);
+            if (!phrase.known()) continue;  // contributes exactly 0
+            index::PhraseCursor cursor(&collection.keywords(), &phrase);
+            auto bounds =
+                collection.BlockMaxCounts(cursor.anchor_term(), dtag);
+            int32_t max_count = 0;
+            for (int32_t c : bounds->max_count) {
+              max_count = std::max(max_count, c);
+            }
+            total_k_bound +=
+                kor->weight * score::Scorer::MaxScoreForCount(
+                                  max_count, scorer.Idf(phrase));
+          }
+          target->set_total_k_bound(total_k_bound);
+        }
+        index_scan->set_score_floor(target);
+      }
     }
   }
 

@@ -76,6 +76,15 @@ struct PlannerOptions {
   /// takes precedence over both scans.
   ScanMode scan_mode = ScanMode::kAuto;
 
+  /// Wire a live score floor (the first eligible intermediate topkPrune)
+  /// into the postings-anchored scan, letting it skip blocks whose best
+  /// achievable score cannot beat the current k-th answer. Answers are
+  /// byte-identical either way; off = the ablation baseline. A wired floor
+  /// also relaxes kAuto's selectivity gate under the S rank order, since
+  /// block-max skipping restores the anchored scan's advantage on
+  /// non-selective anchors.
+  bool use_score_floor = true;
+
   /// Optional engine-owned (phrase, span) count memo, handed to the plan's
   /// operators through the ExecContext.
   exec::PhraseCountCache* count_cache = nullptr;

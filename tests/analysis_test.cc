@@ -25,6 +25,8 @@
 #include "src/obs/trace_op.h"
 #include "src/plan/planner.h"
 #include "src/profile/flock.h"
+#include "src/score/scorer.h"
+#include "src/xml/parser.h"
 #include "src/profile/rule_parser.h"
 #include "src/tpq/tpq_parser.h"
 
@@ -196,6 +198,171 @@ TEST(PlanVerifierBadPlans, EmptyPlanIsPV101) {
   Diagnostics diags = VerifyPlan(plan);
   EXPECT_TRUE(HasErrors(diags));
   ExpectCode(diags, "PV101");
+}
+
+// ---------------------------------------------------------------------------
+// Score-floor wiring diagnostics (PV208-PV211). These fixtures need a real
+// collection: IndexScanOp resolves its anchor cursor at construction.
+// ---------------------------------------------------------------------------
+
+class FloorWiringPlans : public ::testing::Test {
+ protected:
+  FloorWiringPlans()
+      : coll_(index::Collection::Build(*xml::ParseXml(
+            "<r><car color=\"red\">w NYC</car><car>w w</car></r>"))),
+        scorer_(&coll_) {
+    ctx_.collection = &coll_;
+    ctx_.scorer = &scorer_;
+  }
+
+  std::unique_ptr<algebra::IndexScanOp> MakeScan(size_t vor_count) {
+    std::vector<algebra::IndexScanOp::RequiredPhrase> req;
+    req.push_back({coll_.MakePhrase("w"), 1.0});
+    return std::make_unique<algebra::IndexScanOp>(ctx_, "car", vor_count,
+                                                  std::move(req));
+  }
+
+  std::unique_ptr<algebra::KorOp> MakeKor() {
+    profile::Kor kor;
+    kor.name = "k1";
+    kor.tag = "car";
+    kor.keyword = "NYC";
+    return std::make_unique<algebra::KorOp>(ctx_, kor,
+                                            coll_.MakePhrase("NYC"));
+  }
+
+  // Terminal sort + final cut shared by every fixture.
+  void AddTail(Plan* plan, algebra::RankContext* rank) {
+    plan->Add(std::make_unique<SortOp>(rank, SortOp::Param::kByRank));
+    TopkPruneOptions final_cut;
+    final_cut.k = 1;
+    final_cut.sorted_input = true;
+    final_cut.final_cut = true;
+    plan->Add(std::make_unique<TopkPruneOp>(rank, final_cut));
+  }
+
+  index::Collection coll_;
+  score::Scorer scorer_;
+  algebra::ExecContext ctx_;
+};
+
+TEST_F(FloorWiringPlans, FloorTargetingFinalCutIsPV209) {
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kS);
+  auto scan = MakeScan(0);
+  auto* scan_ptr = scan.get();
+  plan.Add(std::move(scan));
+  plan.Add(std::make_unique<SortOp>(rank, SortOp::Param::kByRank));
+  TopkPruneOptions final_cut;
+  final_cut.k = 1;
+  final_cut.sorted_input = true;
+  final_cut.final_cut = true;
+  auto prune = std::make_unique<TopkPruneOp>(rank, final_cut);
+  // The final cut never republishes a floor (it is the cut): wiring the
+  // scan to it leaves the scan skipping on a stale threshold.
+  scan_ptr->set_score_floor(prune.get());
+  plan.Add(std::move(prune));
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  ExpectCode(diags, "PV209");
+}
+
+TEST_F(FloorWiringPlans, KBlindFloorUnderKvsWithKorIsPV208) {
+  // Rank K,V,S with a kor in the plan, but the floor publisher is a plain
+  // Algorithm 1 prune: its (S, node) floor ignores K, so a low-S answer
+  // that wins on K can be skipped — unsound.
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kKVS);
+  auto scan = MakeScan(0);
+  auto* scan_ptr = scan.get();
+  plan.Add(std::move(scan));
+  plan.Add(MakeKor());
+  TopkPruneOptions po;
+  po.k = 1;
+  po.alg = PruneAlg::kAlg1;
+  auto prune = std::make_unique<TopkPruneOp>(rank, po);
+  scan_ptr->set_score_floor(prune.get());
+  plan.Add(std::move(prune));
+  AddTail(&plan, rank);
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_TRUE(HasErrors(diags));
+  ExpectCode(diags, "PV208");
+}
+
+TEST_F(FloorWiringPlans, KAwareFloorWithoutAttainableBoundIsPV210) {
+  // An Algorithm 3 publisher is sound under K,V,S — but with the default
+  // (infinite) total_k_bound its validity condition can never hold: the
+  // wiring is dead weight, worth a warning, not an error.
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kKVS);
+  auto scan = MakeScan(0);
+  auto* scan_ptr = scan.get();
+  plan.Add(std::move(scan));
+  plan.Add(MakeKor());
+  TopkPruneOptions po;
+  po.k = 1;
+  po.alg = PruneAlg::kAlg3;
+  auto prune = std::make_unique<TopkPruneOp>(rank, po);
+  scan_ptr->set_score_floor(prune.get());
+  plan.Add(std::move(prune));
+  AddTail(&plan, rank);
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_FALSE(HasErrors(diags)) << RenderErrors(diags);
+  ExpectCode(diags, "PV210");
+}
+
+TEST_F(FloorWiringPlans, KAwareFloorWithAttainableBoundVerifiesClean) {
+  Plan plan;
+  auto* rank = plan.MakeRankContext({}, profile::RankOrder::kKVS);
+  auto scan = MakeScan(0);
+  auto* scan_ptr = scan.get();
+  plan.Add(std::move(scan));
+  plan.Add(MakeKor());
+  TopkPruneOptions po;
+  po.k = 1;
+  po.alg = PruneAlg::kAlg3;
+  auto prune = std::make_unique<TopkPruneOp>(rank, po);
+  prune->set_total_k_bound(0.5);
+  scan_ptr->set_score_floor(prune.get());
+  plan.Add(std::move(prune));
+  AddTail(&plan, rank);
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_FALSE(HasErrors(diags)) << RenderErrors(diags);
+  EXPECT_EQ(FindCode(diags, "PV208"), nullptr);
+  EXPECT_EQ(FindCode(diags, "PV209"), nullptr);
+  EXPECT_EQ(FindCode(diags, "PV210"), nullptr);
+  EXPECT_EQ(FindCode(diags, "PV211"), nullptr);
+}
+
+TEST_F(FloorWiringPlans, VAwareFloorWithCompareVorIsPV211) {
+  // A numeric-compare VOR has no attainable best value, so an Algorithm 2
+  // publisher's V-validity check can never pass: dead wiring again.
+  profile::Vor cmp;
+  cmp.name = "v0";
+  cmp.kind = profile::VorKind::kCompare;
+  cmp.tag = "car";
+  cmp.attr = "price";
+  Plan plan;
+  auto* rank = plan.MakeRankContext({cmp}, profile::RankOrder::kKVS);
+  auto scan = MakeScan(1);
+  auto* scan_ptr = scan.get();
+  plan.Add(std::move(scan));
+  plan.Add(std::make_unique<VorOp>(ctx_, cmp, /*rule_index=*/0));
+  TopkPruneOptions po;
+  po.k = 1;
+  po.alg = PruneAlg::kAlg2;
+  auto prune = std::make_unique<TopkPruneOp>(rank, po);
+  scan_ptr->set_score_floor(prune.get());
+  plan.Add(std::move(prune));
+  AddTail(&plan, rank);
+
+  Diagnostics diags = VerifyPlan(plan);
+  EXPECT_FALSE(HasErrors(diags)) << RenderErrors(diags);
+  ExpectCode(diags, "PV211");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,331 @@
+// The live (S, node) score floor that TopkPruneOp publishes into the
+// cursor layer (Block-Max-WAND style) is a pure performance device: with
+// the floor on or off, every search must return byte-identical ranked
+// answers across rank orders, strategies and scan modes. This suite
+// hammers that equivalence on generated corpora and randomized documents,
+// checks that the floor actually skips blocks (including via the
+// node-order tiebreak on uniform-score corpora and through the K-aware
+// Algorithm 3 validity conditions), and exercises the floor under
+// concurrent searches — the workload its TSan twin checks for races.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/data/xmark_gen.h"
+#include "src/plan/planner.h"
+
+namespace pimento::core {
+namespace {
+
+const plan::Strategy kStrategies[] = {
+    plan::Strategy::kNaive, plan::Strategy::kInterleave,
+    plan::Strategy::kInterleaveSorted, plan::Strategy::kPush};
+
+const plan::ScanMode kScanModes[] = {plan::ScanMode::kTagScan,
+                                     plan::ScanMode::kPostingsScan,
+                                     plan::ScanMode::kAuto};
+
+const char* kRankLines[] = {"rank K,V,S", "rank V,K,S", "rank S"};
+
+std::string ProfileWith(const char* rank_line, const char* tag,
+                        const char* kor_kw, const char* vor_val) {
+  std::string out = "profile t\n";
+  out += rank_line;
+  out += "\n";
+  out += "kor k1: tag=" + std::string(tag) + " prefer ftcontains(\"" +
+         kor_kw + "\")\n";
+  out += "vor v1: tag=" + std::string(tag) + " prefer age = \"" + vor_val +
+         "\"\n";
+  return out;
+}
+
+// Runs `query` under every strategy x scan-mode combination with the floor
+// on and off and requires bit-identical answers (node ids, S, K, VOR keys).
+void ExpectFloorIsInvisible(const SearchEngine& engine,
+                            const std::string& query,
+                            const std::string& profile) {
+  for (plan::Strategy strategy : kStrategies) {
+    for (plan::ScanMode mode : kScanModes) {
+      SearchOptions options;
+      options.k = 7;
+      options.strategy = strategy;
+      options.scan_mode = mode;
+      options.use_score_floor = false;
+      auto off = engine.Search(query, profile, options);
+      ASSERT_TRUE(off.ok()) << off.status().ToString();
+      options.use_score_floor = true;
+      auto on = engine.Search(query, profile, options);
+      ASSERT_TRUE(on.ok()) << on.status().ToString();
+      ASSERT_EQ(off->answers.size(), on->answers.size())
+          << query << " strategy " << plan::StrategyName(strategy);
+      for (size_t i = 0; i < off->answers.size(); ++i) {
+        EXPECT_EQ(off->answers[i].node, on->answers[i].node) << query;
+        EXPECT_EQ(off->answers[i].s, on->answers[i].s) << query;
+        EXPECT_EQ(off->answers[i].k, on->answers[i].k) << query;
+        EXPECT_EQ(off->answers[i].vor_keys, on->answers[i].vor_keys)
+            << query;
+      }
+    }
+  }
+}
+
+TEST(FloorEquivalenceTest, ByteIdenticalOnCarSale) {
+  SearchEngine engine(
+      index::Collection::Build(data::GenerateCarDealer({.num_cars = 80})));
+  const char* queries[] = {
+      "//car[ftcontains(., \"good condition\")]",
+      "//car[./description[ftcontains(., \"best bid\")]]",
+      "//car[ftcontains(., \"good condition\") and ftcontains(., \"NYC\")]",
+  };
+  for (const char* rank : kRankLines) {
+    for (const char* query : queries) {
+      ExpectFloorIsInvisible(engine, query,
+                             ProfileWith(rank, "car", "NYC", "33"));
+    }
+  }
+}
+
+TEST(FloorEquivalenceTest, ByteIdenticalOnXmark) {
+  SearchEngine engine(index::Collection::Build(
+      data::GenerateXmark({.target_bytes = 192u << 10})));
+  const char* queries[] = {
+      "//person[.//business[ftcontains(., \"Yes\")]]",
+      "//person[ftcontains(., \"Phoenix\")]",
+  };
+  for (const char* rank : kRankLines) {
+    for (const char* query : queries) {
+      ExpectFloorIsInvisible(engine, query,
+                             ProfileWith(rank, "person", "Yes", "33"));
+    }
+  }
+}
+
+// Randomized corpora: skewed term frequencies so floors fire on some seeds
+// and not on others, small blocks so a wrongly skipped block would lose
+// answers immediately.
+TEST(FloorEquivalenceTest, ByteIdenticalOnRandomizedCorpora) {
+  const char* vocab[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  for (uint32_t seed = 1; seed <= 5; ++seed) {
+    std::mt19937 rng(seed);
+    std::string xml = "<r>";
+    const int items = 120 + static_cast<int>(rng() % 120);
+    for (int i = 0; i < items; ++i) {
+      xml += "<item age=\"" + std::to_string(rng() % 4 + 30) + "\">";
+      const int tokens = 1 + static_cast<int>(rng() % 8);
+      for (int t = 0; t < tokens; ++t) {
+        if (t > 0) xml += ' ';
+        // Zipf-ish skew: "alpha" dominates, tail terms are rare.
+        const uint32_t r = rng() % 16;
+        xml += vocab[r < 8 ? 0 : r < 12 ? 1 : r < 14 ? 2 : r < 15 ? 3 : 4];
+      }
+      xml += "</item>";
+    }
+    xml += "</r>";
+    auto engine = SearchEngine::FromXml(xml);
+    ASSERT_TRUE(engine.ok());
+    // Refinalize to small blocks so skips are possible on tiny corpora.
+    const char* queries[] = {
+        "//item[ftcontains(., \"alpha\")]",
+        "//item[ftcontains(., \"gamma\")]",
+        "//item[ftcontains(., \"alpha\") and ftcontains(., \"beta\")]",
+    };
+    for (const char* rank : kRankLines) {
+      for (const char* query : queries) {
+        ExpectFloorIsInvisible(*engine, query,
+                               ProfileWith(rank, "item", "beta", "31"));
+      }
+    }
+  }
+}
+
+TEST(FloorSkipTest, SkewedScoresSkipBlocksUnderRankS) {
+  // 30 rich items fill the top-k before the 500 poor ones are reached; the
+  // k-th floor exceeds every poor block's block-max bound.
+  std::string xml = "<r>";
+  for (int i = 0; i < 30; ++i) xml += "<item>w w w w</item>";
+  for (int i = 0; i < 500; ++i) xml += "<item>w filler</item>";
+  xml += "</r>";
+  auto engine = SearchEngine::FromXml(xml);
+  ASSERT_TRUE(engine.ok());
+  SearchOptions options;
+  options.k = 5;
+  options.strategy = plan::Strategy::kPush;
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+  const char* profile = "profile p\nrank S\n";
+  const char* query = "//item[ftcontains(., \"w\")]";
+  auto on = engine->Search(query, profile, options);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_GT(on->stats.blocks_skipped, 0) << on->stats.ToString();
+  options.use_score_floor = false;
+  auto off = engine->Search(query, profile, options);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->stats.blocks_skipped, 0) << off->stats.ToString();
+  ASSERT_EQ(on->answers.size(), off->answers.size());
+  for (size_t i = 0; i < on->answers.size(); ++i) {
+    EXPECT_EQ(on->answers[i].node, off->answers[i].node);
+    EXPECT_EQ(on->answers[i].s, off->answers[i].s);
+  }
+}
+
+TEST(FloorSkipTest, UniformScoresSkipBlocksViaNodeOrderTiebreak) {
+  // Every item scores identically (tf = 1 everywhere), so best_s == floor
+  // bitwise and a plain `<` floor never fires. The tie-aware floor still
+  // skips: final ranking breaks score ties by node id ascending, and a
+  // block whose min-owner element id exceeds the k-th answer's id cannot
+  // contribute a better answer.
+  std::string xml = "<r>";
+  for (int i = 0; i < 600; ++i) xml += "<item>w filler</item>";
+  xml += "</r>";
+  auto engine = SearchEngine::FromXml(xml);
+  ASSERT_TRUE(engine.ok());
+  SearchOptions options;
+  options.k = 5;
+  options.strategy = plan::Strategy::kPush;
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+  const char* profile = "profile p\nrank S\n";
+  const char* query = "//item[ftcontains(., \"w\")]";
+  auto on = engine->Search(query, profile, options);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_GT(on->stats.blocks_skipped, 0) << on->stats.ToString();
+  options.use_score_floor = false;
+  auto off = engine->Search(query, profile, options);
+  ASSERT_TRUE(off.ok());
+  ASSERT_EQ(on->answers.size(), off->answers.size());
+  for (size_t i = 0; i < on->answers.size(); ++i) {
+    EXPECT_EQ(on->answers[i].node, off->answers[i].node);
+    EXPECT_EQ(on->answers[i].s, off->answers[i].s);
+  }
+}
+
+TEST(FloorSkipTest, KorAwareFloorFiresWhenKthAnswerReachesKBound) {
+  // Under rank K,V,S with a kor, the floor target is the Algorithm 3 prune
+  // past the last kor (kor-scorebound zero). Every item carries the kor
+  // keyword exactly once, so the k-th answer's K equals the attainable
+  // plan-wide bound and the K-aware validity condition holds; the rich
+  // items' S then floors out the poor blocks.
+  std::string xml = "<r>";
+  for (int i = 0; i < 30; ++i) xml += "<item>g w w w w</item>";
+  for (int i = 0; i < 500; ++i) xml += "<item>g w filler</item>";
+  xml += "</r>";
+  auto engine = SearchEngine::FromXml(xml);
+  ASSERT_TRUE(engine.ok());
+  SearchOptions options;
+  options.k = 5;
+  options.strategy = plan::Strategy::kPush;
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+  const char* profile =
+      "profile p\nrank K,V,S\nkor k1: tag=item prefer ftcontains(\"g\")\n";
+  const char* query = "//item[ftcontains(., \"w\")]";
+  auto on = engine->Search(query, profile, options);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_GT(on->stats.blocks_skipped, 0) << on->stats.ToString();
+  options.use_score_floor = false;
+  auto off = engine->Search(query, profile, options);
+  ASSERT_TRUE(off.ok());
+  ASSERT_EQ(on->answers.size(), off->answers.size());
+  for (size_t i = 0; i < on->answers.size(); ++i) {
+    EXPECT_EQ(on->answers[i].node, off->answers[i].node);
+    EXPECT_EQ(on->answers[i].s, off->answers[i].s);
+    EXPECT_EQ(on->answers[i].k, off->answers[i].k);
+  }
+}
+
+TEST(FloorSkipTest, KorAwareFloorStaysQuietWhenKBoundUnreached) {
+  // Only one item reaches the maximal kor count; once the top-k holds any
+  // answer below the attainable K bound the floor must not validate, and
+  // answers stay identical regardless.
+  std::string xml = "<r><item>g g g w</item>";
+  for (int i = 0; i < 400; ++i) xml += "<item>g w filler</item>";
+  xml += "</r>";
+  auto engine = SearchEngine::FromXml(xml);
+  ASSERT_TRUE(engine.ok());
+  SearchOptions options;
+  options.k = 5;
+  options.strategy = plan::Strategy::kPush;
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+  const char* profile =
+      "profile p\nrank K,V,S\nkor k1: tag=item prefer ftcontains(\"g\")\n";
+  const char* query = "//item[ftcontains(., \"w\")]";
+  auto on = engine->Search(query, profile, options);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  // The k-th answer's K sits below the bound, so the floor never
+  // validates and no block may be skipped.
+  EXPECT_EQ(on->stats.blocks_skipped, 0) << on->stats.ToString();
+  options.use_score_floor = false;
+  auto off = engine->Search(query, profile, options);
+  ASSERT_TRUE(off.ok());
+  ASSERT_EQ(on->answers.size(), off->answers.size());
+  for (size_t i = 0; i < on->answers.size(); ++i) {
+    EXPECT_EQ(on->answers[i].node, off->answers[i].node);
+    EXPECT_EQ(on->answers[i].s, off->answers[i].s);
+    EXPECT_EQ(on->answers[i].k, off->answers[i].k);
+  }
+}
+
+// Concurrent searches with live floors: per-search operator chains are
+// private, but the collection's lazy block-max cache (where the floor's
+// per-block bounds come from) is shared. Eight threads re-running the
+// same floored searches must all see the single-threaded reference
+// answers — the TSan twin of this suite checks the same workload for
+// data races.
+TEST(FloorConcurrencyTest, ParallelFlooredSearchesMatchReference) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 30; ++i) xml += "<item>g w w w w</item>";
+  for (int i = 0; i < 300; ++i) xml += "<item>g w filler</item>";
+  xml += "</r>";
+  auto engine = SearchEngine::FromXml(xml);
+  ASSERT_TRUE(engine.ok());
+  const char* profiles[] = {
+      "profile p\nrank S\n",
+      "profile p\nrank K,V,S\nkor k1: tag=item prefer ftcontains(\"g\")\n",
+  };
+  const char* query = "//item[ftcontains(., \"w\")]";
+  SearchOptions options;
+  options.k = 5;
+  options.strategy = plan::Strategy::kPush;
+  options.scan_mode = plan::ScanMode::kPostingsScan;
+
+  // Single-threaded reference, floor off.
+  std::vector<std::vector<xml::NodeId>> expected;
+  for (const char* profile : profiles) {
+    SearchOptions off = options;
+    off.use_score_floor = false;
+    auto ref = engine->Search(query, profile, off);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    std::vector<xml::NodeId> nodes;
+    for (const auto& a : ref->answers) nodes.push_back(a.node);
+    expected.push_back(std::move(nodes));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(8, 0);
+  for (int ti = 0; ti < 8; ++ti) {
+    threads.emplace_back([&, ti]() {
+      for (int round = 0; round < 4; ++round) {
+        for (size_t pi = 0; pi < 2; ++pi) {
+          auto got = engine->Search(query, profiles[pi], options);
+          if (!got.ok() || got->answers.size() != expected[pi].size()) {
+            ++failures[ti];
+            continue;
+          }
+          for (size_t i = 0; i < expected[pi].size(); ++i) {
+            if (got->answers[i].node != expected[pi][i]) ++failures[ti];
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int ti = 0; ti < 8; ++ti) {
+    EXPECT_EQ(failures[ti], 0) << "thread " << ti;
+  }
+}
+
+}  // namespace
+}  // namespace pimento::core

@@ -462,8 +462,17 @@ TEST(BlockMaxTest, BlockMaxBoundsEveryElementCount) {
     auto hi = std::lower_bound(plist.begin(), plist.end(), node.last_token);
     for (auto it = lo; it != hi; ++it) {
       size_t b = static_cast<size_t>(it - plist.begin()) / bs;
-      EXPECT_GE((*bm)[b], count) << "element " << e << " block " << b;
+      EXPECT_GE(bm->max_count[b], count) << "element " << e << " block " << b;
+      // min_owner lower-bounds the id of every element discoverable in b.
+      ASSERT_NE(bm->min_owner[b], xml::kInvalidNode);
+      EXPECT_LE(bm->min_owner[b], e) << "element " << e << " block " << b;
     }
+  }
+  // A block with no matching element has count 0 and no owner; a nonzero
+  // block always records one.
+  for (size_t b = 0; b < bm->size(); ++b) {
+    EXPECT_EQ(bm->max_count[b] > 0, bm->min_owner[b] != xml::kInvalidNode)
+        << "block " << b;
   }
   // The same shared_ptr is served again (cached).
   EXPECT_EQ(coll.BlockMaxCounts(w, "e").get(), bm.get());
