@@ -1,0 +1,314 @@
+// Tentpole bench — profile compilation: the per-query flock built by the
+// legacy rule scan (BuildFlock: one homomorphism per rule, O(a·n) more for
+// conflict arcs) versus the compiled profile (BuildFlockCompiled: rule
+// index probe + static certificates + order memo), across profile sizes,
+// plus the cold-user lane (loading precomputed relations from the
+// ProfileStore versus re-deriving them). Verifies the two flock paths are
+// byte-identical on every query and writes BENCH_profile_compile.json.
+//
+// Usage: bench_profile_compile [output.json] [--smoke]
+//   --smoke: small sizes + 3 runs, for the ctest wiring check. The smoke
+//   run asserts byte-identical flocks and flock_speedup >= 1.0 on every
+//   row. The full run additionally enforces the tentpole acceptance:
+//   flock_speedup >= 5 and hom_reduction >= 10 at 256 rules, and the
+//   store-load lane beating recompilation.
+
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/exec/profile_cache.h"
+#include "src/exec/profile_store.h"
+#include "src/profile/compiled_profile.h"
+#include "src/profile/flock.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/containment.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace {
+
+using pimento::bench::MedianMs;
+namespace profile = pimento::profile;
+
+constexpr int kSizes[] = {16, 64, 256};
+constexpr int kSmokeSizes[] = {16, 64};
+constexpr int kNumTags = 16;
+constexpr int kNumKeywords = 32;
+
+std::string Tag(int i) { return "t" + std::to_string(i % kNumTags); }
+std::string Kw(int i) { return "kw" + std::to_string(i % kNumKeywords); }
+
+/// A synthetic population profile: rules spread uniformly over the tag
+/// pool (so the rarest-tag buckets stay balanced), a mix of adds, deletes
+/// (shadowing other rules' condition terms) and edge relaxations.
+/// Priorities are distinct so conflict cycles always resolve — both paths
+/// then agree on a flock instead of a kConflict verdict.
+std::vector<profile::ScopingRule> MakeRules(int n) {
+  std::mt19937 rng(n * 7919 + 17);
+  std::vector<profile::ScopingRule> rules;
+  rules.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const std::string tag = Tag(static_cast<int>(rng() % kNumTags));
+    const std::string cond =
+        "//" + tag + "[ftcontains(., \"" + Kw(static_cast<int>(rng())) +
+        "\")]";
+    std::string text =
+        "sr r" + std::to_string(i) + " priority " + std::to_string(i) +
+        ": if " + cond;
+    switch (rng() % 4) {
+      case 0:
+      case 1:
+        text += " then add ftcontains(" + tag + ", \"" +
+                Kw(static_cast<int>(rng())) + "\")";
+        break;
+      case 2:
+        text += " then delete ftcontains(" + tag + ", \"" +
+                Kw(static_cast<int>(rng())) + "\")";
+        break;
+      default:
+        text += " then replace pc(" + tag + ", " +
+                Tag(static_cast<int>(rng())) + ") with ad(" + tag + ", " +
+                Tag(static_cast<int>(rng())) + ")";
+        break;
+    }
+    auto rule = profile::ParseScopingRule(text);
+    if (!rule.ok()) {
+      std::fprintf(stderr, "bad generated rule: %s\n", text.c_str());
+      std::abort();
+    }
+    rules.push_back(*std::move(rule));
+  }
+  return rules;
+}
+
+/// The query mix one user population sends: each query names one or two
+/// tags and a couple of keywords, so a handful of rules apply while the
+/// index prunes the rest.
+std::vector<pimento::tpq::Tpq> MakeQueries(int count, int seed) {
+  std::mt19937 rng(seed);
+  std::vector<pimento::tpq::Tpq> queries;
+  for (int i = 0; i < count; ++i) {
+    const std::string text =
+        "//" + Tag(static_cast<int>(rng() % kNumTags)) +
+        "[ftcontains(., \"" + Kw(static_cast<int>(rng())) +
+        "\") and ftcontains(., \"" + Kw(static_cast<int>(rng())) +
+        "\") and ./" + Tag(static_cast<int>(rng() % kNumTags)) +
+        "[ftcontains(., \"" + Kw(static_cast<int>(rng())) + "\")]]";
+    auto q = pimento::tpq::ParseTpq(text);
+    if (!q.ok()) {
+      std::fprintf(stderr, "bad generated query: %s\n", text.c_str());
+      std::abort();
+    }
+    queries.push_back(*std::move(q));
+  }
+  return queries;
+}
+
+bool FlocksIdentical(const profile::QueryFlock& a,
+                     const profile::QueryFlock& b) {
+  if (a.members.size() != b.members.size()) return false;
+  for (size_t i = 0; i < a.members.size(); ++i) {
+    if (a.members[i].ToString() != b.members[i].ToString()) return false;
+  }
+  return a.applied_rules == b.applied_rules &&
+         a.encoded.ToString() == b.encoded.ToString() &&
+         a.conflict_report.applicable == b.conflict_report.applicable &&
+         a.conflict_report.conflicts == b.conflict_report.conflicts &&
+         a.conflict_report.order == b.conflict_report.order;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_profile_compile.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const int runs = smoke ? 3 : 9;
+  const int num_queries = smoke ? 16 : 64;
+  const int* sizes = smoke ? kSmokeSizes : kSizes;
+  const size_t n_sizes = smoke ? std::size(kSmokeSizes) : std::size(kSizes);
+
+  const std::string store_path = std::string(out_path) + ".store";
+  std::remove(store_path.c_str());
+
+  std::printf(
+      "Profile compilation — scan vs compiled flock build (ms per %d "
+      "queries, median of %d)\n\n",
+      num_queries, runs);
+  std::printf("%-6s %10s %10s %9s %10s %10s %8s %11s %11s %9s\n", "rules",
+              "scan ms", "comp ms", "speedup", "scan homs", "comp homs",
+              "hom red", "compile ms", "load ms", "load spd");
+
+  bool identical = true;
+  bool ok = true;
+  std::string rows;
+  for (size_t si = 0; si < n_sizes; ++si) {
+    const int n = sizes[si];
+    std::vector<profile::ScopingRule> rules = MakeRules(n);
+    std::vector<pimento::tpq::Tpq> queries = MakeQueries(num_queries, n + 1);
+
+    // Compile lane: the O(n²) derivation a cold user pays without a store.
+    profile::CompiledRules compiled;
+    const double compile_ms =
+        MedianMs(runs, [&]() { compiled = profile::CompileRules(rules); });
+
+    // Byte-identity across the whole query mix, checked before timing.
+    for (const pimento::tpq::Tpq& q : queries) {
+      auto scan = profile::BuildFlock(q, rules);
+      auto fast = profile::BuildFlockCompiled(q, compiled);
+      if (scan.ok() != fast.ok() ||
+          (scan.ok() && !FlocksIdentical(*scan, *fast))) {
+        identical = false;
+        std::fprintf(stderr, "FATAL: %d rules, query %s: flocks differ\n", n,
+                     q.ToString().c_str());
+      }
+    }
+
+    // Flock lanes, hom probes counted once over a full untimed pass.
+    int64_t probes = pimento::tpq::HomomorphismProbes();
+    for (const pimento::tpq::Tpq& q : queries) {
+      auto flock = profile::BuildFlock(q, rules);
+      (void)flock;
+    }
+    const int64_t scan_homs = pimento::tpq::HomomorphismProbes() - probes;
+    probes = pimento::tpq::HomomorphismProbes();
+    for (const pimento::tpq::Tpq& q : queries) {
+      auto flock = profile::BuildFlockCompiled(q, compiled);
+      (void)flock;
+    }
+    const int64_t comp_homs = pimento::tpq::HomomorphismProbes() - probes;
+
+    const double scan_ms = MedianMs(runs, [&]() {
+      for (const pimento::tpq::Tpq& q : queries) {
+        auto flock = profile::BuildFlock(q, rules);
+        (void)flock;
+      }
+    });
+    const double comp_ms = MedianMs(runs, [&]() {
+      for (const pimento::tpq::Tpq& q : queries) {
+        auto flock = profile::BuildFlockCompiled(q, compiled);
+        (void)flock;
+      }
+    });
+
+    // Cold-user lane: relations served by the store versus re-derived.
+    double load_ms = 0.0;
+    {
+      auto store = pimento::exec::ProfileStore::Open(store_path);
+      if (!store.ok()) {
+        std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> lines;
+      std::vector<uint64_t> hashes;
+      for (const profile::ScopingRule& r : rules) {
+        lines.push_back(r.ToString());
+        hashes.push_back(pimento::exec::ProfileStore::RuleHash(lines.back()));
+      }
+      const uint64_t profile_hash = static_cast<uint64_t>(n);
+      if (!(*store)
+               ->Put(profile_hash, profile::kRuleCompilerVersion, lines,
+                     profile::SerializeRelations(compiled))
+               .ok()) {
+        std::fprintf(stderr, "store put failed\n");
+        return 1;
+      }
+      load_ms = MedianMs(runs, [&]() {
+        std::string blob;
+        if (!(*store)->Get(profile_hash, profile::kRuleCompilerVersion,
+                           hashes, &blob)) {
+          std::fprintf(stderr, "FATAL: store miss on a just-put profile\n");
+          std::abort();
+        }
+        profile::CompiledRules loaded = profile::CompileRules(rules, blob);
+        if (loaded.compile_hom_runs != 0) {
+          std::fprintf(stderr, "FATAL: store load still ran homs\n");
+          std::abort();
+        }
+      });
+    }
+
+    const double speedup = comp_ms > 0.0 ? scan_ms / comp_ms : 0.0;
+    const double hom_red =
+        comp_homs > 0 ? static_cast<double>(scan_homs) / comp_homs
+                      : static_cast<double>(scan_homs);
+    const double load_speedup = load_ms > 0.0 ? compile_ms / load_ms : 0.0;
+    std::printf(
+        "%-6d %10.3f %10.3f %8.2fx %10lld %10lld %7.1fx %11.3f %11.3f "
+        "%8.2fx\n",
+        n, scan_ms, comp_ms, speedup, static_cast<long long>(scan_homs),
+        static_cast<long long>(comp_homs), hom_red, compile_ms, load_ms,
+        load_speedup);
+
+    if (speedup < 1.0) {
+      ok = false;
+      std::fprintf(stderr, "FATAL: %d rules: flock_speedup %.2f < 1.0\n", n,
+                   speedup);
+    }
+    if (!smoke && n >= 256) {
+      if (speedup < 5.0) {
+        ok = false;
+        std::fprintf(stderr,
+                     "FATAL: %d rules: flock_speedup %.2f < 5.0 "
+                     "(tentpole acceptance)\n",
+                     n, speedup);
+      }
+      if (hom_red < 10.0) {
+        ok = false;
+        std::fprintf(stderr,
+                     "FATAL: %d rules: hom_reduction %.1f < 10 "
+                     "(tentpole acceptance)\n",
+                     n, hom_red);
+      }
+    }
+    if (!smoke && load_ms >= compile_ms) {
+      ok = false;
+      std::fprintf(stderr,
+                   "FATAL: %d rules: store load %.3f ms not faster than "
+                   "recompilation %.3f ms\n",
+                   n, load_ms, compile_ms);
+    }
+
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"rules\": %d, \"queries\": %d, \"scan_flock_ms\": %.3f, "
+        "\"compiled_flock_ms\": %.3f, \"flock_speedup\": %.2f, "
+        "\"scan_homs\": %lld, \"compiled_homs\": %lld, "
+        "\"hom_reduction\": %.1f, \"compile_ms\": %.3f, "
+        "\"store_load_ms\": %.3f, \"store_load_speedup\": %.2f}",
+        n, num_queries, scan_ms, comp_ms, speedup,
+        static_cast<long long>(scan_homs), static_cast<long long>(comp_homs),
+        hom_red, compile_ms, load_ms, load_speedup);
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+  }
+  std::remove(store_path.c_str());
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"profile_compile\",\n"
+               "  \"runs\": %d,\n"
+               "  \"results\": [\n%s\n  ],\n"
+               "  \"flocks_identical\": %s\n"
+               "}\n",
+               runs, rows.c_str(), identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+  return identical && ok ? 0 : 1;
+}

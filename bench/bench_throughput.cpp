@@ -10,8 +10,15 @@
 // budget — how gracefully throughput degrades when callers demand bounded
 // latency.
 //
-// Usage: bench_throughput [--deadline-ms=1,5,20] [--metrics] [output.json]
-//                         [target_doc_bytes]
+// A third sweep measures the distinct-user regime (--users=N, default 32):
+// N users with distinct rule-heavy profiles, one request each, through
+// three lanes — cold with no store (every profile pays the full O(n²) rule
+// compilation), cold with the ProfileStore attached (relations load from
+// disk), and warm (pure ProfileCache hits). The JSON reports wall
+// time/qps per lane plus the store's hit/miss counters.
+//
+// Usage: bench_throughput [--deadline-ms=1,5,20] [--users=N] [--metrics]
+//                         [output.json] [target_doc_bytes]
 // Run from the repo root (or pass a path) so the JSON lands there. With
 // --metrics the JSON additionally embeds the engine-wide metrics registry
 // snapshot (obs::MetricsRegistry) taken after the sweeps.
@@ -27,6 +34,8 @@
 #include "bench/xmark_workload.h"
 #include "src/core/engine.h"
 #include "src/data/xmark_gen.h"
+#include "src/exec/profile_cache.h"
+#include "src/exec/profile_store.h"
 #include "src/obs/metrics.h"
 
 namespace {
@@ -100,6 +109,28 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[idx];
 }
 
+/// One user's profile: a shared rule template instantiated with per-user
+/// keywords, heavy enough (16 SRs) that the O(n²) rule compilation — the
+/// cost the ProfileStore amortizes — is visible per cold user.
+std::string UserProfileText(int user) {
+  std::string text = "profile user" + std::to_string(user) + "\nrank K,V,S\n";
+  for (int r = 0; r < 16; ++r) {
+    const std::string kw =
+        "u" + std::to_string(user) + "kw" + std::to_string(r);
+    if (r % 3 == 0) {
+      text += "sr s" + std::to_string(r) + " priority " + std::to_string(r) +
+              ": if //person[ftcontains(., \"" + kw +
+              "\")] then delete ftcontains(person, \"" + kw + "x\")\n";
+    } else {
+      text += "sr s" + std::to_string(r) + " priority " + std::to_string(r) +
+              ": if //person[ftcontains(., \"" + kw +
+              "\")] then add ftcontains(person, \"" + kw + "y\")\n";
+    }
+  }
+  text += "kor pi4: tag=person prefer ftcontains(\"Phoenix\")\n";
+  return text;
+}
+
 std::vector<double> ParseDeadlines(const std::string& spec) {
   std::vector<double> out;
   size_t pos = 0;
@@ -118,11 +149,14 @@ std::vector<double> ParseDeadlines(const std::string& spec) {
 int main(int argc, char** argv) {
   std::vector<double> deadlines = {1.0, 5.0, 20.0};
   bool embed_metrics = false;
+  int num_users = 32;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--deadline-ms=", 0) == 0) {
       deadlines = ParseDeadlines(arg.substr(14));
+    } else if (arg.rfind("--users=", 0) == 0) {
+      num_users = std::atoi(arg.c_str() + 8);
     } else if (arg == "--metrics") {
       embed_metrics = true;
     } else {
@@ -278,6 +312,105 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- distinct-user sweep: profile compilation cold/warm lanes ---
+  //
+  // N users, one request each, every profile distinct and rule-heavy. Lane
+  // 1 (cold, no store) pays the full O(n²) rule compilation per user; lane
+  // 2 (cold, store attached) loads the precomputed relations from the
+  // ProfileStore the way a freshly restarted process serving a known
+  // population would; lane 3 (warm) hits the in-memory ProfileCache.
+  std::string users_json;
+  if (num_users > 0) {
+    const std::string store_path = std::string(out_path) + ".profile_store";
+    std::remove(store_path.c_str());
+    std::vector<BatchRequest> user_requests;
+    user_requests.reserve(num_users);
+    for (int u = 0; u < num_users; ++u) {
+      user_requests.push_back({u % 4 == 3
+                                   ? pimento::bench::kXmarkSelectiveQuery
+                                   : pimento::bench::kXmarkQuery,
+                               UserProfileText(u), std::nullopt});
+    }
+    BatchOptions options;
+    options.num_workers = std::min(4, static_cast<int>(hw));
+    options.search.k = kTopK;
+
+    // Lane 1: cold population, recompilation only.
+    engine.profile_cache().Clear();
+    double cold_compile_ms = 0.0;
+    {
+      BatchResult batch = engine.BatchSearch(user_requests, options);
+      cold_compile_ms = batch.stats.wall_ms;
+    }
+
+    // Populate the store (also verifies attach): one pass re-persists
+    // every compiled profile, then the cache is dropped to simulate a
+    // process restart with the store file in place.
+    if (pimento::Status attached = engine.SetProfileStore(store_path);
+        !attached.ok()) {
+      std::fprintf(stderr, "%s\n", attached.ToString().c_str());
+      return 1;
+    }
+    engine.profile_cache().Clear();
+    engine.BatchSearch(user_requests, options);
+    const int64_t persisted = engine.profile_store()->GetStats().appends;
+
+    // Lane 2: cold population, relations from the store.
+    engine.profile_cache().Clear();
+    double cold_store_ms = 0.0;
+    {
+      BatchResult batch = engine.BatchSearch(user_requests, options);
+      cold_store_ms = batch.stats.wall_ms;
+    }
+    const pimento::exec::ProfileStore::Stats store_stats =
+        engine.profile_store()->GetStats();
+
+    // Lane 3: warm ProfileCache (the steady state the other sweeps run in).
+    double warm_ms = 0.0;
+    {
+      BatchResult batch = engine.BatchSearch(user_requests, options);
+      warm_ms = batch.stats.wall_ms;
+    }
+
+    const double store_speedup =
+        cold_store_ms > 0.0 ? cold_compile_ms / cold_store_ms : 0.0;
+    std::printf("\ndistinct users (%d users, %d workers)\n", num_users,
+                options.num_workers);
+    std::printf("%-22s %12s %8s\n", "lane", "wall ms", "qps");
+    std::printf("%-22s %12.1f %8.1f\n", "cold (recompile)", cold_compile_ms,
+                num_users / (cold_compile_ms / 1000.0));
+    std::printf("%-22s %12.1f %8.1f   (%.2fx vs recompile)\n",
+                "cold (profile store)", cold_store_ms,
+                num_users / (cold_store_ms / 1000.0), store_speedup);
+    std::printf("%-22s %12.1f %8.1f\n", "warm (cache)", warm_ms,
+                num_users / (warm_ms / 1000.0));
+    if (store_stats.hits < num_users) {
+      std::fprintf(stderr,
+                   "FATAL: cold-store lane hit the store only %lld/%d times\n",
+                   static_cast<long long>(store_stats.hits), num_users);
+      identical = false;
+    }
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"users_sweep\": {\"users\": %d, \"workers\": %d, "
+        "\"cold_compile_ms\": %.1f, \"cold_store_ms\": %.1f, "
+        "\"warm_ms\": %.1f, \"cold_store_speedup\": %.2f, "
+        "\"store\": {\"hits\": %lld, \"misses\": %lld, \"appends\": %lld, "
+        "\"profiles\": %lld, \"rule_lines\": %lld, "
+        "\"dedup_rule_hits\": %lld}},\n",
+        num_users, options.num_workers, cold_compile_ms, cold_store_ms,
+        warm_ms, store_speedup, static_cast<long long>(store_stats.hits),
+        static_cast<long long>(store_stats.misses),
+        static_cast<long long>(persisted),
+        static_cast<long long>(store_stats.profiles),
+        static_cast<long long>(store_stats.rule_lines),
+        static_cast<long long>(store_stats.dedup_rule_hits));
+    users_json = buf;
+    std::remove(store_path.c_str());
+  }
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -294,11 +427,13 @@ int main(int argc, char** argv) {
                "  \"hardware_threads\": %u,\n"
                "  \"results\": [\n%s\n  ],\n"
                "  \"deadline_sweep\": [\n%s\n  ],\n"
+               "%s"
                "  \"answers_identical_across_worker_counts\": %s,\n"
                "  \"profile_cache\": {\"hits\": %lld, \"misses\": %lld}",
                doc_bytes, requests.size(), kRepeats, kTopK,
                std::thread::hardware_concurrency(), rows.c_str(),
-               deadline_rows.c_str(), identical ? "true" : "false",
+               deadline_rows.c_str(), users_json.c_str(),
+               identical ? "true" : "false",
                static_cast<long long>(cache_hits),
                static_cast<long long>(cache_misses));
   if (embed_metrics) {

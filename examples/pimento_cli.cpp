@@ -6,6 +6,7 @@
 //               [--stem] [--explain] [--stats] [--metrics]
 //               [--trace] [--trace-out <file.json>]
 //               [--verify-plan] [--lint-profile]
+//               [--profile-store <path>]
 //
 // Example:
 //   pimento_cli cars.xml '//car[./price < 2000]' --profile me.profile --k 5
@@ -13,6 +14,8 @@
 //   pimento_cli cars.xml '//car' --trace-out trace.json   # chrome://tracing
 //   pimento_cli cars.xml '//car' --profile me.profile --verify-plan
 //   pimento_cli cars.xml '//car' --profile me.profile --lint-profile
+//   pimento_cli cars.xml '//car' --profile me.profile \
+//       --profile-store /tmp/pimento.profiles   # reuse compiled profiles
 
 #include <cstdio>
 #include <cstring>
@@ -44,7 +47,8 @@ int Usage() {
       "                   [--strategy naive|interleave|interleave-sorted|"
       "push] [--stem] [--explain] [--stats]\n"
       "                   [--metrics] [--trace] [--trace-out <file.json>]\n"
-      "                   [--verify-plan] [--lint-profile]\n");
+      "                   [--verify-plan] [--lint-profile]"
+      " [--profile-store <path>]\n");
   return 2;
 }
 
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
   bool show_trace = false;
   bool lint_profile = false;
   std::string trace_out;
+  std::string profile_store;
 
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
@@ -103,6 +108,8 @@ int main(int argc, char** argv) {
       request.verify_plan = true;
     } else if (arg == "--lint-profile") {
       lint_profile = true;
+    } else if (arg == "--profile-store" && i + 1 < argc) {
+      profile_store = argv[++i];
     } else {
       return Usage();
     }
@@ -164,6 +171,17 @@ int main(int argc, char** argv) {
   if (show_stats) {
     std::printf("collection: %s\n",
                 engine->collection().Stats().ToString().c_str());
+  }
+
+  // --profile-store: persist compiled profiles across runs so repeat
+  // invocations skip rule compilation (the file is created on first use).
+  if (!profile_store.empty()) {
+    pimento::Status attached = engine->SetProfileStore(profile_store);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "cannot open profile store %s: %s\n",
+                   profile_store.c_str(), attached.ToString().c_str());
+      return 1;
+    }
   }
 
   auto result = engine->Execute(request);

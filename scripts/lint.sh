@@ -43,4 +43,13 @@ check "legacy Search* shim called from src/ (use Execute(SearchRequest))" \
   '(\.|->)(Search|SearchRelaxed|SearchWinnow|SearchPrecompiled)\(' \
   src
 
+# 4. AnalyzeConflicts is the uncompiled O(n·homs) scan; engine/exec code
+#    must go through the compiled profile (BuildFlockCompiled /
+#    AnalyzeConflictsCompiled) or BuildFlock so the rule index and the
+#    precomputed relations are never silently bypassed. The profile layer
+#    itself (and tests) legitimately reference the scan path.
+check "AnalyzeConflicts called outside src/profile/ (use the compiled path)" \
+  '(^|[^a-zA-Z0-9_])AnalyzeConflicts\(' \
+  src bench examples --exclude-dir=profile
+
 exit $fail

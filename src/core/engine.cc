@@ -11,7 +11,9 @@
 #include "src/exec/execution_context.h"
 #include "src/exec/phrase_count_cache.h"
 #include "src/exec/profile_cache.h"
+#include "src/exec/profile_store.h"
 #include "src/obs/metrics.h"
+#include "src/profile/compiled_profile.h"
 #include "src/profile/rule_parser.h"
 #include "src/tpq/expand.h"
 #include "src/tpq/relax.h"
@@ -39,6 +41,13 @@ struct EngineMetrics {
   obs::Counter* pruned_by_topk;
   obs::Counter* blocks_skipped;
   obs::Counter* blocks_visited;
+  obs::Counter* flocks_scan;
+  obs::Counter* flocks_compiled;
+  obs::Counter* flock_hom_runs;
+  obs::Counter* flock_candidates;
+  obs::Counter* flock_static_pairs;
+  obs::Counter* flock_probed_pairs;
+  obs::Counter* flock_memo_hits;
   obs::Histogram* latency_ms;
 };
 
@@ -75,6 +84,27 @@ const EngineMetrics& Metrics() {
     em.blocks_visited =
         r.GetCounter("pimento_index_blocks_visited_total",
                      "postings blocks walked by the index-driven scan");
+    em.flocks_scan = r.GetCounter(
+        "pimento_flocks_scan_total",
+        "query flocks built by the legacy per-rule scan path");
+    em.flocks_compiled = r.GetCounter(
+        "pimento_flocks_compiled_total",
+        "query flocks built through the compiled-profile index");
+    em.flock_hom_runs = r.GetCounter(
+        "pimento_flock_hom_runs_total",
+        "homomorphism searches charged by compiled flock builds");
+    em.flock_candidates = r.GetCounter(
+        "pimento_flock_candidates_total",
+        "rules surviving the signature filter in compiled flock builds");
+    em.flock_static_pairs = r.GetCounter(
+        "pimento_flock_static_pairs_total",
+        "conflict pairs decided by compile-time certificates");
+    em.flock_probed_pairs = r.GetCounter(
+        "pimento_flock_probed_pairs_total",
+        "conflict pairs that needed a query-time probe");
+    em.flock_memo_hits = r.GetCounter(
+        "pimento_flock_order_memo_hits_total",
+        "conflict orders served from the applicable-set memo");
     em.latency_ms = r.GetHistogram("pimento_request_latency_ms",
                                    "end-to-end Execute latency, ms");
     return em;
@@ -91,6 +121,29 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 const profile::UserProfile& EmptyProfile() {
   static const profile::UserProfile* empty = new profile::UserProfile();
   return *empty;
+}
+
+/// Builds the query flock through the compiled (indexed) path when the
+/// profile came through the compiler, the legacy scan otherwise. The two
+/// paths produce byte-identical flocks; only the counters differ.
+StatusOr<profile::QueryFlock> BuildFlockFor(
+    const tpq::Tpq& query, const profile::UserProfile& profile,
+    const profile::CompiledRules* compiled_rules, obs::TraceContext* trace) {
+  const EngineMetrics& metrics = Metrics();
+  if (compiled_rules == nullptr) {
+    metrics.flocks_scan->Increment();
+    return profile::BuildFlock(query, profile.scoping_rules, trace);
+  }
+  profile::FlockBuildStats fstats;
+  StatusOr<profile::QueryFlock> flock =
+      profile::BuildFlockCompiled(query, *compiled_rules, trace, &fstats);
+  metrics.flocks_compiled->Increment();
+  metrics.flock_hom_runs->Increment(fstats.hom_runs);
+  metrics.flock_candidates->Increment(fstats.candidates);
+  metrics.flock_static_pairs->Increment(fstats.static_pairs);
+  metrics.flock_probed_pairs->Increment(fstats.probed_pairs);
+  metrics.flock_memo_hits->Increment(fstats.order_memo_hits);
+  return flock;
 }
 
 /// Whether this request runs the static verifier: always in debug builds
@@ -199,21 +252,29 @@ StatusOr<SearchResult> SearchEngine::Execute(
     query = &*parsed_query;
   }
 
-  // Resolve the profile: parsed object > text (through the profile cache)
-  // > none. The compiled handle keeps a cached profile alive for the call.
+  // Resolve the profile: parsed object > precompiled handle > text
+  // (through the profile cache) > none. The compiled handle keeps a cached
+  // profile alive for the call; when one is in play the flock runs the
+  // compiled (indexed) path.
   const profile::UserProfile* prof = request.profile;
   const profile::AmbiguityReport* ambiguity =
       prof != nullptr ? request.ambiguity : nullptr;
+  const profile::CompiledRules* compiled_rules = nullptr;
   std::shared_ptr<const exec::CompiledProfile> compiled;
   if (prof == nullptr) {
-    if (!request.profile_text.empty()) {
+    if (request.compiled_profile != nullptr) {
+      compiled = request.compiled_profile;
+    } else if (!request.profile_text.empty()) {
       obs::TraceContext::Scope span(tr, "profile.compile", "engine");
       StatusOr<std::shared_ptr<const exec::CompiledProfile>> got =
           profile_cache_->GetOrCompile(request.profile_text);
       if (!got.ok()) return fail(got.status());
       compiled = *std::move(got);
+    }
+    if (compiled != nullptr) {
       prof = &compiled->profile;
       ambiguity = &compiled->ambiguity;
+      compiled_rules = &compiled->compiled_rules;
     } else {
       prof = &EmptyProfile();
     }
@@ -236,17 +297,18 @@ StatusOr<SearchResult> SearchEngine::Execute(
     switch (request.mode) {
       case SearchMode::kRelaxed:
         metrics.requests_relaxed->Increment();
-        return ExecuteRelaxed(*query, *prof, *ambiguity, options, limits,
-                              tr);
+        return ExecuteRelaxed(*query, *prof, *ambiguity, compiled_rules,
+                              options, limits, tr);
       case SearchMode::kWinnow:
         metrics.requests_winnow->Increment();
-        return ExecuteWinnow(*query, *prof, *ambiguity, options, limits,
-                             tr);
+        return ExecuteWinnow(*query, *prof, *ambiguity, compiled_rules,
+                             options, limits, tr);
       case SearchMode::kTopK:
         break;
     }
     metrics.requests_topk->Increment();
-    return ExecuteTopK(*query, *prof, *ambiguity, options, limits, tr);
+    return ExecuteTopK(*query, *prof, *ambiguity, compiled_rules, options,
+                       limits, tr);
   }();
 
   metrics.latency_ms->Observe(MsSince(start));
@@ -269,7 +331,8 @@ StatusOr<SearchResult> SearchEngine::Execute(
 
 StatusOr<SearchResult> SearchEngine::ExecuteTopK(
     const tpq::Tpq& query, const profile::UserProfile& profile,
-    const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+    const profile::AmbiguityReport& ambiguity,
+    const profile::CompiledRules* compiled_rules, const SearchOptions& options,
     const exec::QueryLimits& limits, obs::TraceContext* trace) const {
   // The governor's clock starts here, covering rewriting, planning and
   // execution. With default limits it is inert (active() == false) and the
@@ -296,7 +359,7 @@ StatusOr<SearchResult> SearchEngine::ExecuteTopK(
   {
     obs::TraceContext::Scope span(trace, "planner.flock", "planner");
     StatusOr<profile::QueryFlock> flock =
-        profile::BuildFlock(query, profile.scoping_rules, trace);
+        BuildFlockFor(query, profile, compiled_rules, trace);
     if (!flock.ok()) return flock.status();
     result.flock = *std::move(flock);
   }
@@ -384,10 +447,12 @@ StatusOr<SearchResult> SearchEngine::ExecuteTopK(
 
 StatusOr<SearchResult> SearchEngine::ExecuteRelaxed(
     const tpq::Tpq& query, const profile::UserProfile& profile,
-    const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+    const profile::AmbiguityReport& ambiguity,
+    const profile::CompiledRules* compiled_rules, const SearchOptions& options,
     const exec::QueryLimits& limits, obs::TraceContext* trace) const {
-  StatusOr<SearchResult> base =
-      ExecuteTopK(query, profile, ambiguity, options, limits, trace);
+  StatusOr<SearchResult> base = ExecuteTopK(query, profile, ambiguity,
+                                            compiled_rules, options, limits,
+                                            trace);
   if (!base.ok()) return base.status();
   if (static_cast<int>(base->answers.size()) >= options.k) return base;
 
@@ -402,7 +467,8 @@ StatusOr<SearchResult> SearchEngine::ExecuteRelaxed(
     current = relaxations[0].query;
     applied += (applied.empty() ? "" : ", ") + relaxations[0].description;
     StatusOr<SearchResult> next =
-        ExecuteTopK(current, profile, ambiguity, options, limits, trace);
+        ExecuteTopK(current, profile, ambiguity, compiled_rules, options,
+                    limits, trace);
     if (!next.ok()) return next.status();
     for (const RankedAnswer& a : next->answers) {
       bool seen = false;
@@ -428,15 +494,16 @@ StatusOr<SearchResult> SearchEngine::ExecuteRelaxed(
 
 StatusOr<SearchResult> SearchEngine::ExecuteWinnow(
     const tpq::Tpq& query, const profile::UserProfile& profile,
-    const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
+    const profile::AmbiguityReport& ambiguity,
+    const profile::CompiledRules* compiled_rules, const SearchOptions& options,
     const exec::QueryLimits& limits, obs::TraceContext* trace) const {
   // Retrieve the full (unpruned) answer set with a naive plan, then apply
   // the winnow operator over the VOR partial order.
   SearchOptions all = options;
   all.k = 1 << 28;
   all.strategy = plan::Strategy::kNaive;
-  StatusOr<SearchResult> base =
-      ExecuteTopK(query, profile, ambiguity, all, limits, trace);
+  StatusOr<SearchResult> base = ExecuteTopK(query, profile, ambiguity,
+                                            compiled_rules, all, limits, trace);
   if (!base.ok()) return base.status();
 
   // Re-materialize algebra answers from the ranked list (scores and VOR
@@ -535,15 +602,21 @@ StatusOr<Explanation> SearchEngine::Explain(const SearchRequest& request,
     query = &*parsed_query;
   }
   const profile::UserProfile* prof = request.profile;
+  const profile::CompiledRules* compiled_rules = nullptr;
   std::shared_ptr<const exec::CompiledProfile> compiled;
   if (prof == nullptr) {
-    if (!request.profile_text.empty()) {
+    if (request.compiled_profile != nullptr) {
+      compiled = request.compiled_profile;
+      prof = &compiled->profile;
+      compiled_rules = &compiled->compiled_rules;
+    } else if (!request.profile_text.empty()) {
       obs::TraceContext::Scope span(tr, "profile.compile", "engine");
       StatusOr<std::shared_ptr<const exec::CompiledProfile>> got =
           profile_cache_->GetOrCompile(request.profile_text);
       if (!got.ok()) return got.status();
       compiled = *std::move(got);
       prof = &compiled->profile;
+      compiled_rules = &compiled->compiled_rules;
     } else {
       prof = &EmptyProfile();
     }
@@ -554,7 +627,7 @@ StatusOr<Explanation> SearchEngine::Explain(const SearchRequest& request,
   {
     obs::TraceContext::Scope span(tr, "planner.flock", "planner");
     StatusOr<profile::QueryFlock> flock =
-        profile::BuildFlock(*query, prof->scoping_rules, tr);
+        BuildFlockFor(*query, *prof, compiled_rules, tr);
     if (!flock.ok()) return flock.status();
     encoded = std::move(flock->encoded);
   }
@@ -580,8 +653,40 @@ StatusOr<Explanation> SearchEngine::Explain(const SearchRequest& request,
       std::to_string(cs.hits) + " misses=" + std::to_string(cs.misses) +
       " evictions=" + std::to_string(cs.evictions) +
       " bytes=" + std::to_string(cs.bytes) + "}";
+  if (profile_store_ != nullptr) {
+    const exec::ProfileStore::Stats ss = profile_store_->GetStats();
+    explanation.cache_report +=
+        " profile_store{hits=" + std::to_string(ss.hits) +
+        " misses=" + std::to_string(ss.misses) +
+        " profiles=" + std::to_string(ss.profiles) +
+        " rule_lines=" + std::to_string(ss.rule_lines) +
+        " dedup_rule_hits=" + std::to_string(ss.dedup_rule_hits) + "}";
+  }
+  const EngineMetrics& em = Metrics();
+  explanation.cache_report +=
+      " flock_compile{scan=" + std::to_string(em.flocks_scan->Value()) +
+      " compiled=" + std::to_string(em.flocks_compiled->Value()) +
+      " hom_runs=" + std::to_string(em.flock_hom_runs->Value()) +
+      " candidates=" + std::to_string(em.flock_candidates->Value()) +
+      " static_pairs=" + std::to_string(em.flock_static_pairs->Value()) +
+      " probed_pairs=" + std::to_string(em.flock_probed_pairs->Value()) +
+      " memo_hits=" + std::to_string(em.flock_memo_hits->Value()) + "}";
   if (traced) explanation.trace_report = trace.Finish().ToString();
   return explanation;
+}
+
+Status SearchEngine::SetProfileStore(const std::string& path) {
+  StatusOr<std::unique_ptr<exec::ProfileStore>> store =
+      exec::ProfileStore::Open(path);
+  if (!store.ok()) return store.status();
+  profile_store_ = std::shared_ptr<exec::ProfileStore>(*std::move(store));
+  profile_cache_->set_store(profile_store_.get());
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const exec::CompiledProfile>>
+SearchEngine::CompileProfile(std::string_view profile_text) const {
+  return profile_cache_->GetOrCompile(profile_text);
 }
 
 std::string SearchEngine::AnswerXml(xml::NodeId node) const {

@@ -26,7 +26,13 @@
 namespace pimento::exec {
 class PhraseCountCache;
 class ProfileCache;
+class ProfileStore;
+struct CompiledProfile;
 }  // namespace pimento::exec
+
+namespace pimento::profile {
+struct CompiledRules;
+}  // namespace pimento::profile
 
 namespace pimento::core {
 
@@ -244,8 +250,24 @@ class SearchEngine {
                           const BatchOptions& options = {}) const;
 
   /// The engine's profile compilation cache (text -> parsed profile +
-  /// ambiguity report, LRU). Exposed for stats and tests.
+  /// ambiguity report + compiled rules, LRU). Exposed for stats and tests.
   exec::ProfileCache& profile_cache() const { return *profile_cache_; }
+
+  /// Attaches a persistent compiled-profile store at `path` (created if
+  /// absent) underneath the in-memory profile cache: users cold in this
+  /// process load their precompiled rule relations from disk instead of
+  /// re-deriving them, and fresh compilations are persisted. Call before
+  /// serving traffic (the store pointer is handed to the cache unlocked).
+  Status SetProfileStore(const std::string& path);
+
+  /// The attached store, or nullptr. Exposed for stats and tests.
+  exec::ProfileStore* profile_store() const { return profile_store_.get(); }
+
+  /// Compiles (or fetches from cache/store) the profile given as text and
+  /// returns the shareable handle for SearchRequest::compiled_profile —
+  /// the repeated-user fast path that skips even the cache lookup.
+  StatusOr<std::shared_ptr<const exec::CompiledProfile>> CompileProfile(
+      std::string_view profile_text) const;
 
   /// The engine's (phrase, span) occurrence-count memo, shared by every
   /// plan's ftcontains/kor operators (and across batch workers). Exposed
@@ -278,21 +300,29 @@ class SearchEngine {
   /// engine-wide 1-in-N sampling cadence says it is this request's turn).
   bool ShouldTrace(const TraceOptions& trace) const;
 
-  /// The three repertoires behind Execute; `trace` may be inert.
+  /// The three repertoires behind Execute; `trace` may be inert. When
+  /// `compiled_rules` is non-null (the profile came through the compiler)
+  /// flock construction runs the indexed path — byte-identical output; a
+  /// null pointer keeps the legacy scan (borrowed parsed profiles).
   StatusOr<SearchResult> ExecuteTopK(const tpq::Tpq& query,
                                      const profile::UserProfile& profile,
                                      const profile::AmbiguityReport& ambiguity,
+                                     const profile::CompiledRules* compiled_rules,
                                      const SearchOptions& options,
                                      const exec::QueryLimits& limits,
                                      obs::TraceContext* trace) const;
   StatusOr<SearchResult> ExecuteRelaxed(
       const tpq::Tpq& query, const profile::UserProfile& profile,
-      const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
-      const exec::QueryLimits& limits, obs::TraceContext* trace) const;
+      const profile::AmbiguityReport& ambiguity,
+      const profile::CompiledRules* compiled_rules,
+      const SearchOptions& options, const exec::QueryLimits& limits,
+      obs::TraceContext* trace) const;
   StatusOr<SearchResult> ExecuteWinnow(
       const tpq::Tpq& query, const profile::UserProfile& profile,
-      const profile::AmbiguityReport& ambiguity, const SearchOptions& options,
-      const exec::QueryLimits& limits, obs::TraceContext* trace) const;
+      const profile::AmbiguityReport& ambiguity,
+      const profile::CompiledRules* compiled_rules,
+      const SearchOptions& options, const exec::QueryLimits& limits,
+      obs::TraceContext* trace) const;
 
   // The collection lives behind a stable pointer so the scorer's reference
   // survives moves of the engine.
@@ -302,6 +332,7 @@ class SearchEngine {
   // Thread-safe; shared_ptr so the type can stay forward-declared here.
   std::shared_ptr<exec::ProfileCache> profile_cache_;
   std::shared_ptr<exec::PhraseCountCache> phrase_count_cache_;
+  std::shared_ptr<exec::ProfileStore> profile_store_;
 
   // Engine-wide request ticker driving TraceOptions::sample_one_in.
   std::unique_ptr<std::atomic<uint64_t>> trace_ticker_;

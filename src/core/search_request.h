@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/algebra/topk_prune.h"
@@ -18,6 +19,10 @@ namespace pimento::profile {
 struct UserProfile;
 struct AmbiguityReport;
 }  // namespace pimento::profile
+
+namespace pimento::exec {
+struct CompiledProfile;
+}  // namespace pimento::exec
 
 namespace pimento::core {
 
@@ -113,6 +118,15 @@ struct SearchRequest {
   const profile::UserProfile* profile = nullptr;
   const profile::AmbiguityReport* ambiguity = nullptr;
   std::string profile_text;
+
+  /// Precompiled-profile handle (from SearchEngine::CompileProfile or a
+  /// prior compilation): carries the parsed profile, its ambiguity report
+  /// AND the compiled scoping rules, so the request skips the profile
+  /// cache entirely and flock construction runs the compiled (indexed)
+  /// path. Wins over `profile_text`; `profile` (borrowed parsed) still
+  /// wins over both. Shared ownership keeps the compilation alive across
+  /// the call regardless of cache eviction.
+  std::shared_ptr<const exec::CompiledProfile> compiled_profile;
 
   SearchMode mode = SearchMode::kTopK;
   SearchOptions options;

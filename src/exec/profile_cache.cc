@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/fault_injector.h"
+#include "src/exec/profile_store.h"
 #include "src/obs/metrics.h"
 #include "src/profile/rule_parser.h"
 
@@ -17,6 +18,9 @@ struct CacheMetrics {
   obs::Counter* hits;
   obs::Counter* misses;
   obs::Counter* evictions;
+  obs::Counter* compiles;
+  obs::Counter* store_hits;
+  obs::Counter* store_misses;
 };
 
 const CacheMetrics& Metrics() {
@@ -28,7 +32,13 @@ const CacheMetrics& Metrics() {
         r.GetCounter("pimento_profile_cache_misses_total",
                      "profile compilations that had to parse"),
         r.GetCounter("pimento_profile_cache_evictions_total",
-                     "profile cache LRU evictions")};
+                     "profile cache LRU evictions"),
+        r.GetCounter("pimento_profile_compiles_total",
+                     "full rule compilations (relations derived, not loaded)"),
+        r.GetCounter("pimento_profile_store_hits_total",
+                     "compiled-rule relations served by the profile store"),
+        r.GetCounter("pimento_profile_store_misses_total",
+                     "profile-store lookups that fell back to compiling")};
   }();
   return m;
 }
@@ -50,13 +60,51 @@ uint64_t ProfileCache::ContentHash(std::string_view text) {
 namespace {
 
 StatusOr<std::shared_ptr<const CompiledProfile>> Compile(
-    std::string_view profile_text) {
+    std::string_view profile_text, uint64_t content_hash,
+    ProfileStore* store) {
   StatusOr<profile::UserProfile> parsed =
       profile::ParseProfile(profile_text);
   if (!parsed.ok()) return parsed.status();
   auto compiled = std::make_shared<CompiledProfile>();
   compiled->profile = *std::move(parsed);
   compiled->ambiguity = profile::DetectAmbiguity(compiled->profile.vors);
+
+  // Rule compilation: try the persistent store for the precomputed O(n²)
+  // relations first; only a store miss (cold user, stale compiler version,
+  // changed rules) pays for the full derivation, which is then persisted
+  // for every later process.
+  const std::vector<profile::ScopingRule>& rules =
+      compiled->profile.scoping_rules;
+  std::vector<std::string> rule_lines;
+  std::vector<uint64_t> rule_hashes;
+  if (store != nullptr) {
+    rule_lines.reserve(rules.size());
+    rule_hashes.reserve(rules.size());
+    for (const profile::ScopingRule& r : rules) {
+      rule_lines.push_back(r.ToString());
+      rule_hashes.push_back(ProfileStore::RuleHash(rule_lines.back()));
+    }
+  }
+  std::string relations;
+  const bool store_hit =
+      store != nullptr && store->Get(content_hash,
+                                     profile::kRuleCompilerVersion,
+                                     rule_hashes, &relations);
+  if (store != nullptr) {
+    (store_hit ? Metrics().store_hits : Metrics().store_misses)->Increment();
+  }
+  compiled->compiled_rules = profile::CompileRules(rules, relations);
+  if (!store_hit) {
+    Metrics().compiles->Increment();
+    if (store != nullptr) {
+      // Persistence is best-effort: a full store or unwritable disk must
+      // not fail the search that triggered the compile.
+      store
+          ->Put(content_hash, profile::kRuleCompilerVersion, rule_lines,
+                SerializeRelations(compiled->compiled_rules))
+          .ok();
+    }
+  }
   return std::shared_ptr<const CompiledProfile>(std::move(compiled));
 }
 
@@ -86,11 +134,11 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
   // verify it surfaces as this request's Status and poisons nothing.
   PIMENTO_INJECT_FAULT("cache.profile.fill");
 
-  // Compile outside the lock: parsing is the expensive part, and two
-  // concurrent misses on the same text are benign (last insert wins with
-  // an identical value).
+  // Compile outside the lock: parsing and rule compilation are the
+  // expensive part, and two concurrent misses on the same text are benign
+  // (last insert wins with an identical value; the store Put is idempotent).
   StatusOr<std::shared_ptr<const CompiledProfile>> compiled =
-      Compile(profile_text);
+      Compile(profile_text, key, store_);
   if (!compiled.ok()) return compiled.status();
 
   std::lock_guard<std::mutex> lock(mu_);

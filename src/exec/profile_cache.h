@@ -11,16 +11,23 @@
 
 #include "src/common/status.h"
 #include "src/profile/ambiguity.h"
+#include "src/profile/compiled_profile.h"
 #include "src/profile/profile.h"
 
 namespace pimento::exec {
 
+class ProfileStore;
+
 /// A profile compiled once: the parsed rules plus the profile-level static
-/// analysis (§5.2 VOR ambiguity), which depends only on the profile text.
-/// The query-level analyses (SR conflicts, the flock) stay per-search.
+/// analysis (§5.2 VOR ambiguity) and the scoping-rule compilation (the
+/// subsumption index + pairwise conflict/implication relations), all of
+/// which depend only on the profile text. The query-level analyses (SR
+/// conflicts against Q, the flock) stay per-search but run through
+/// `compiled_rules`' precomputed certificates.
 struct CompiledProfile {
   profile::UserProfile profile;
   profile::AmbiguityReport ambiguity;
+  profile::CompiledRules compiled_rules;
 };
 
 /// Thread-safe LRU cache of profile compilations, keyed by a 64-bit
@@ -46,6 +53,13 @@ class ProfileCache {
   /// parser's Status.
   StatusOr<std::shared_ptr<const CompiledProfile>> GetOrCompile(
       std::string_view profile_text);
+
+  /// Attaches the persistent compiled-profile store: cache misses then try
+  /// the store for the precomputed rule relations before falling back to a
+  /// full compile, and fresh compiles are persisted for future processes.
+  /// The store must outlive the cache; call before serving traffic.
+  void set_store(ProfileStore* store) { store_ = store; }
+  ProfileStore* store() const { return store_; }
 
   struct CacheStats {
     int64_t hits = 0;
@@ -80,6 +94,8 @@ class ProfileCache {
   static int64_t EntryBytes(const Entry& entry) {
     return static_cast<int64_t>(entry.text.size() + kEntryOverheadBytes);
   }
+
+  ProfileStore* store_ = nullptr;  ///< optional persistent layer, not owned
 
   mutable std::mutex mu_;
   size_t capacity_;

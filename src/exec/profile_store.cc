@@ -1,0 +1,226 @@
+#include "src/exec/profile_store.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/crc32.h"
+#include "src/common/fault_injector.h"
+
+namespace pimento::exec {
+
+namespace {
+
+constexpr uint8_t kRuleLineRecord = 1;
+constexpr uint8_t kProfileRecord = 2;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(8);
+  return true;
+}
+
+void AppendFramed(std::string* out, const std::string& payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  PutU32(out, Crc32(payload));
+}
+
+}  // namespace
+
+uint64_t ProfileStore::RuleHash(std::string_view line) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : line) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+StatusOr<std::unique_ptr<ProfileStore>> ProfileStore::Open(
+    const std::string& path) {
+  std::unique_ptr<ProfileStore> store(new ProfileStore(path));
+  Status s = store->Load();
+  if (!s.ok()) return s;
+  return store;
+}
+
+Status ProfileStore::Load() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    // Fresh store: write the header so appends have a well-formed base.
+    std::ofstream out(path_, std::ios::binary);
+    if (!out) return Status::IoError("profile store: cannot create " + path_);
+    out.write(kMagic, 8);
+    out.flush();
+    if (!out) return Status::IoError("profile store: cannot write " + path_);
+    return Status::OK();
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < 8 || bytes.compare(0, 8, kMagic, 8) != 0) {
+    return Status::CorruptIndex("profile store: bad magic in " + path_);
+  }
+  std::string_view rest(bytes);
+  rest.remove_prefix(8);
+  size_t good_end = 8;
+  while (!rest.empty()) {
+    std::string_view probe = rest;
+    uint32_t len = 0;
+    if (!GetU32(&probe, &len) || probe.size() < len + 4) break;  // torn tail
+    std::string_view payload = probe.substr(0, len);
+    probe.remove_prefix(len);
+    uint32_t crc = 0;
+    GetU32(&probe, &crc);
+    if (Crc32(payload) != crc) break;  // torn/bit-flipped tail
+    // Decode the record; malformed-but-checksummed payloads are corruption,
+    // not a torn append.
+    std::string_view p = payload;
+    if (p.empty()) {
+      return Status::CorruptIndex("profile store: empty record in " + path_);
+    }
+    const uint8_t type = static_cast<uint8_t>(p[0]);
+    p.remove_prefix(1);
+    if (type == kRuleLineRecord) {
+      uint64_t hash = 0;
+      if (!GetU64(&p, &hash)) {
+        return Status::CorruptIndex("profile store: short rule record");
+      }
+      rule_lines_.insert(hash);
+    } else if (type == kProfileRecord) {
+      uint64_t hash = 0;
+      uint32_t version = 0, count = 0, blob_len = 0;
+      ProfileRecord rec;
+      if (!GetU64(&p, &hash) || !GetU32(&p, &version) || !GetU32(&p, &count)) {
+        return Status::CorruptIndex("profile store: short profile record");
+      }
+      rec.compiler_version = version;
+      rec.rule_hashes.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t rh = 0;
+        if (!GetU64(&p, &rh)) {
+          return Status::CorruptIndex("profile store: short rule-hash list");
+        }
+        rec.rule_hashes.push_back(rh);
+      }
+      if (!GetU32(&p, &blob_len) || p.size() != blob_len) {
+        return Status::CorruptIndex("profile store: bad relations length");
+      }
+      rec.relations.assign(p.data(), p.size());
+      profiles_[hash] = std::move(rec);  // later records win (re-puts)
+    } else {
+      return Status::CorruptIndex("profile store: unknown record type " +
+                                  std::to_string(type));
+    }
+    rest.remove_prefix(4 + len + 4);
+    good_end = bytes.size() - rest.size();
+  }
+  if (good_end < bytes.size()) {
+    // Torn tail from a crashed append: truncate to the last good record so
+    // the next append starts from a clean frame boundary.
+    stats_.truncated_bytes =
+        static_cast<int64_t>(bytes.size() - good_end);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("profile store: cannot rewrite " + path_);
+    out.write(bytes.data(), static_cast<std::streamsize>(good_end));
+    out.flush();
+    if (!out) return Status::IoError("profile store: cannot rewrite " + path_);
+  }
+  stats_.profiles = static_cast<int64_t>(profiles_.size());
+  stats_.rule_lines = static_cast<int64_t>(rule_lines_.size());
+  return Status::OK();
+}
+
+bool ProfileStore::Get(uint64_t profile_hash, uint32_t compiler_version,
+                       const std::vector<uint64_t>& rule_hashes,
+                       std::string* relations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto it = profiles_.find(profile_hash);
+  if (it == profiles_.end() ||
+      it->second.compiler_version != compiler_version ||
+      it->second.rule_hashes != rule_hashes) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *relations = it->second.relations;
+  return true;
+}
+
+Status ProfileStore::Put(uint64_t profile_hash, uint32_t compiler_version,
+                         const std::vector<std::string>& rule_lines,
+                         std::string_view relations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PIMENTO_INJECT_FAULT("store.profile.put");
+  ProfileRecord rec;
+  rec.compiler_version = compiler_version;
+  std::string out;
+  for (const std::string& line : rule_lines) {
+    const uint64_t rh = RuleHash(line);
+    rec.rule_hashes.push_back(rh);
+    if (rule_lines_.count(rh) > 0) {
+      ++stats_.dedup_rule_hits;
+      continue;
+    }
+    std::string payload;
+    payload.push_back(static_cast<char>(kRuleLineRecord));
+    PutU64(&payload, rh);
+    payload.append(line);
+    AppendFramed(&out, payload);
+  }
+  {
+    std::string payload;
+    payload.push_back(static_cast<char>(kProfileRecord));
+    PutU64(&payload, profile_hash);
+    PutU32(&payload, compiler_version);
+    PutU32(&payload, static_cast<uint32_t>(rec.rule_hashes.size()));
+    for (uint64_t rh : rec.rule_hashes) PutU64(&payload, rh);
+    PutU32(&payload, static_cast<uint32_t>(relations.size()));
+    payload.append(relations);
+    AppendFramed(&out, payload);
+  }
+  std::ofstream file(path_, std::ios::binary | std::ios::app);
+  if (!file) return Status::IoError("profile store: cannot append " + path_);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) return Status::IoError("profile store: append failed " + path_);
+  // Publish in memory only after the bytes are durable.
+  for (const std::string& line : rule_lines) {
+    rule_lines_.insert(RuleHash(line));
+  }
+  rec.relations.assign(relations.data(), relations.size());
+  profiles_[profile_hash] = std::move(rec);
+  ++stats_.appends;
+  stats_.profiles = static_cast<int64_t>(profiles_.size());
+  stats_.rule_lines = static_cast<int64_t>(rule_lines_.size());
+  return Status::OK();
+}
+
+ProfileStore::Stats ProfileStore::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pimento::exec

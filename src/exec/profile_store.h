@@ -1,0 +1,101 @@
+#ifndef PIMENTO_EXEC_PROFILE_STORE_H_
+#define PIMENTO_EXEC_PROFILE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pimento::exec {
+
+/// Persistent store of compiled-profile relations, layered *under* the
+/// in-memory LRU ProfileCache: a cold user whose profile was compiled in an
+/// earlier process (or by another node sharing the file) loads the O(n²)
+/// pairwise relation matrices from disk instead of re-deriving them with
+/// O(n²) homomorphisms. The profile text itself always arrives with the
+/// request; the store never needs to reproduce it.
+///
+/// On-disk format (little-endian), following the index-persist framing:
+///
+///   magic "PIMPROF1"
+///   record*    — each record framed as  u32 len | payload | u32 crc32
+///
+/// Record payloads start with a 1-byte type:
+///   type 1 (rule line): u64 line_hash | rule text
+///       One scoping-rule line, content-addressed — profiles sharing rules
+///       (the common case for templated populations) store each line once.
+///   type 2 (profile):   u64 profile_hash | u32 compiler_version |
+///                       u32 rule_count | rule_count × u64 line_hash |
+///                       u32 blob_len | relations blob
+///       The compiled relations for one profile text (hash = the
+///       ProfileCache content hash), referencing its rules by line hash.
+///
+/// The file is append-only; a torn tail (crash mid-append) is detected by
+/// the framing and truncated away at open. A stale compiler version or a
+/// rule-hash mismatch makes Get miss, falling back to recompilation (which
+/// then re-appends a fresh record). All methods are thread-safe.
+class ProfileStore {
+ public:
+  struct Stats {
+    int64_t lookups = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t appends = 0;
+    int64_t dedup_rule_hits = 0;  ///< rule lines already present on Put
+    int64_t profiles = 0;         ///< distinct profile records resident
+    int64_t rule_lines = 0;       ///< distinct rule lines resident
+    int64_t truncated_bytes = 0;  ///< torn tail dropped at open
+  };
+
+  /// Opens (creating if absent) the store at `path` and loads its records.
+  /// A corrupt prefix fails with kCorruptIndex; a torn tail is truncated.
+  static StatusOr<std::unique_ptr<ProfileStore>> Open(const std::string& path);
+
+  /// Looks up the relations blob for `profile_hash`. Hits only when the
+  /// stored compiler version matches and the stored rule-line hashes equal
+  /// `rule_hashes` (so a text-hash collision or rule change can never
+  /// resurrect stale relations).
+  bool Get(uint64_t profile_hash, uint32_t compiler_version,
+           const std::vector<uint64_t>& rule_hashes, std::string* relations);
+
+  /// Persists the relations for `profile_hash`: appends any rule lines not
+  /// yet stored (deduped by content hash) and the profile record. Durable
+  /// on return; idempotent per profile_hash.
+  Status Put(uint64_t profile_hash, uint32_t compiler_version,
+             const std::vector<std::string>& rule_lines,
+             std::string_view relations);
+
+  Stats GetStats() const;
+
+  /// Content hash of one rule line (the dedup key).
+  static uint64_t RuleHash(std::string_view line);
+
+  static constexpr char kMagic[9] = "PIMPROF1";
+
+ private:
+  explicit ProfileStore(std::string path) : path_(std::move(path)) {}
+
+  struct ProfileRecord {
+    uint32_t compiler_version = 0;
+    std::vector<uint64_t> rule_hashes;
+    std::string relations;
+  };
+
+  Status Load();
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::unordered_set<uint64_t> rule_lines_;
+  std::unordered_map<uint64_t, ProfileRecord> profiles_;
+  Stats stats_;
+};
+
+}  // namespace pimento::exec
+
+#endif  // PIMENTO_EXEC_PROFILE_STORE_H_

@@ -1,11 +1,20 @@
 #ifndef PIMENTO_INDEX_VARINT_H_
 #define PIMENTO_INDEX_VARINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#if defined(PIMENTO_SIMD_VARINT) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PIMENTO_SIMD_VARINT_ENABLED 1
+#include <tmmintrin.h>
+#else
+#define PIMENTO_SIMD_VARINT_ENABLED 0
+#endif
 
 namespace pimento::index {
 
@@ -55,19 +64,123 @@ inline void EncodeDeltas(const std::vector<int32_t>& plist,
   }
 }
 
+namespace internal {
+
+/// Test/bench toggle for the SIMD decode path: when false, DecodeDeltas
+/// takes the scalar route even on SSSE3 hardware, so the randomized
+/// equivalence suite and the ablation bench can run both decoders over the
+/// same bytes in one process. Always-on in production.
+inline std::atomic<bool> g_simd_varint_enabled{true};
+
+#if PIMENTO_SIMD_VARINT_ENABLED
+
+inline bool CpuHasSsse3() {
+  static const bool has = __builtin_cpu_supports("ssse3");
+  return has;
+}
+
+/// Decodes 16 single-byte deltas (caller has already verified no
+/// continuation bits) into 16 positions appended to `out`, updating *prev.
+/// Returns false on a zero delta (corruption). The caller guarantees
+/// *prev + 16*127 cannot overflow int32, so the lane arithmetic is exact.
+///
+/// Widen bytes to 16-bit lanes, build inclusive prefix sums with shift-add
+/// steps, carry the low half's total into the high half with a pshufb
+/// broadcast of its last lane, then widen to 32-bit and add the running
+/// position.
+__attribute__((target("ssse3"))) inline bool Decode16DeltasSsse3(
+    const char* src, int64_t* prev, std::vector<int32_t>* out) {
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+  const __m128i zero = _mm_setzero_si128();
+  if (_mm_movemask_epi8(_mm_cmpeq_epi8(v, zero)) != 0) return false;
+  __m128i lo = _mm_unpacklo_epi8(v, zero);  // deltas 0..7 as u16 lanes
+  __m128i hi = _mm_unpackhi_epi8(v, zero);  // deltas 8..15
+  lo = _mm_add_epi16(lo, _mm_slli_si128(lo, 2));
+  lo = _mm_add_epi16(lo, _mm_slli_si128(lo, 4));
+  lo = _mm_add_epi16(lo, _mm_slli_si128(lo, 8));
+  hi = _mm_add_epi16(hi, _mm_slli_si128(hi, 2));
+  hi = _mm_add_epi16(hi, _mm_slli_si128(hi, 4));
+  hi = _mm_add_epi16(hi, _mm_slli_si128(hi, 8));
+  // Broadcast lo's lane 7 (bytes 14,15) into every u16 lane and carry it.
+  hi = _mm_add_epi16(hi, _mm_shuffle_epi8(lo, _mm_set1_epi16(0x0F0E)));
+  const __m128i prev4 = _mm_set1_epi32(static_cast<int32_t>(*prev));
+  const size_t n = out->size();
+  out->resize(n + 16);
+  int32_t* dst = out->data() + n;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                   _mm_add_epi32(_mm_unpacklo_epi16(lo, zero), prev4));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 4),
+                   _mm_add_epi32(_mm_unpackhi_epi16(lo, zero), prev4));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 8),
+                   _mm_add_epi32(_mm_unpacklo_epi16(hi, zero), prev4));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 12),
+                   _mm_add_epi32(_mm_unpackhi_epi16(hi, zero), prev4));
+  *prev = dst[15];
+  return true;
+}
+
+#endif  // PIMENTO_SIMD_VARINT_ENABLED
+
+}  // namespace internal
+
+/// Whether this build AND this CPU can take the SIMD decode path. Exposed
+/// so tests can skip the equivalence lane on hardware without SSSE3.
+inline bool SimdVarintAvailable() {
+#if PIMENTO_SIMD_VARINT_ENABLED
+  return internal::CpuHasSsse3();
+#else
+  return false;
+#endif
+}
+
+/// Test/bench hook: force the scalar decode path (false) or restore the
+/// default (true). Returns the previous setting.
+inline bool SetSimdVarintEnabled(bool enabled) {
+  return internal::g_simd_varint_enabled.exchange(
+      enabled, std::memory_order_relaxed);
+}
+
 /// Decodes `count` delta-coded positions from `data` starting at *pos into
 /// `out` (appended); advances *pos. False on truncation, a zero delta
 /// (positions must strictly increase), or 32-bit position overflow.
 ///
-/// Fast path: whenever the next 8 deltas are all single-byte (no
-/// continuation bit set anywhere in the next 8 bytes — one 64-bit load and
-/// mask to check), they decode branch-free; the scalar loop handles the
-/// remainder and multi-byte gaps, then re-enters the fast path.
+/// Fast paths, in order: when SSSE3 is compiled in and present, any run of
+/// 16 single-byte deltas (no continuation bit in the next 16 bytes — two
+/// 64-bit loads to check) decodes in one SIMD pass (prefix sums in 16-bit
+/// lanes, pshufb carry, widen to 32-bit); otherwise 8 single-byte deltas
+/// decode branch-free from one 64-bit word. The scalar loop handles the
+/// remainder and multi-byte gaps, then re-enters the fast paths. All three
+/// paths produce identical output and identical accept/reject decisions:
+/// the SIMD pass bails to scalar near INT32_MAX so overflow is always
+/// detected by the same scalar checks.
 inline bool DecodeDeltas(std::string_view data, size_t* pos, size_t count,
                          std::vector<int32_t>* out) {
   int64_t prev = -1;
   size_t n = 0;
+#if PIMENTO_SIMD_VARINT_ENABLED
+  const bool simd =
+      internal::CpuHasSsse3() &&
+      internal::g_simd_varint_enabled.load(std::memory_order_relaxed);
+#endif
   while (n < count) {
+#if PIMENTO_SIMD_VARINT_ENABLED
+    if (simd) {
+      while (n + 16 <= count && *pos + 16 <= data.size() &&
+             prev <= INT32_MAX - 16 * 127) {
+        uint64_t w0, w1;
+        std::memcpy(&w0, data.data() + *pos, 8);
+        std::memcpy(&w1, data.data() + *pos + 8, 8);
+        if (((w0 | w1) & 0x8080808080808080ULL) != 0) break;
+        if (!internal::Decode16DeltasSsse3(data.data() + *pos, &prev, out)) {
+          return false;  // zero delta: corrupt, same verdict as scalar
+        }
+        *pos += 16;
+        n += 16;
+      }
+      if (n >= count) break;
+    }
+#endif
     while (n + 8 <= count && *pos + 8 <= data.size()) {
       uint64_t word;
       std::memcpy(&word, data.data() + *pos, 8);

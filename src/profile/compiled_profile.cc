@@ -1,0 +1,473 @@
+#include "src/profile/compiled_profile.h"
+
+#include <algorithm>
+
+#include "src/common/crc32.h"
+#include "src/obs/trace.h"
+#include "src/text/tokenizer.h"
+#include "src/tpq/containment.h"
+
+namespace pimento::profile {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s, uint64_t h = 0xcbf29ce484222325ULL) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t RulesFingerprint(const std::vector<ScopingRule>& rules) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ScopingRule& r : rules) h = Fnv1a(r.ToString() + "\n", h);
+  return h;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(8);
+  return true;
+}
+
+bool HasChildEdge(const tpq::Tpq& t) {
+  for (int i = 0; i < t.size(); ++i) {
+    if (i != t.root() && t.node(i).parent_edge == tpq::EdgeKind::kChild) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasValuePredicate(const tpq::Tpq& t) {
+  for (int i = 0; i < t.size(); ++i) {
+    if (!t.node(i).value_predicates.empty()) return true;
+  }
+  return false;
+}
+
+/// True when deleting `atom` from any query provably cannot invalidate a
+/// homomorphism of `cond` into that query. Deletion never removes nodes
+/// except for kEdge atoms (always unsafe here), so the mapping structure
+/// survives; only predicate *coverage* can break, and only for predicates
+/// the deletion actually touches:
+///  - a keyword atom erases exactly the predicates with its normalized
+///    term — harmless unless `cond` requires that term somewhere;
+///  - a value atom erases exactly the predicates equal to it — harmless
+///    unless that predicate implies one of `cond`'s (the matcher covers a
+///    condition value predicate only through implication).
+/// Optional condition-side predicates still demand coverage (the matcher
+/// checks every pattern predicate), so they count too.
+bool DeleteAtomSafeFor(const SrAtom& atom, const tpq::Tpq& cond) {
+  switch (atom.kind) {
+    case SrAtom::Kind::kKeyword: {
+      const std::string want = text::NormalizeTerm(atom.keyword);
+      for (int n = 0; n < cond.size(); ++n) {
+        for (const tpq::KeywordPredicate& kp : cond.node(n).keyword_predicates) {
+          if (text::NormalizeTerm(kp.keyword) == want) return false;
+        }
+      }
+      return true;
+    }
+    case SrAtom::Kind::kValue: {
+      tpq::ValuePredicate vp;
+      vp.op = atom.op;
+      vp.numeric = atom.numeric;
+      vp.number = atom.number;
+      vp.text = atom.text;
+      for (int n = 0; n < cond.size(); ++n) {
+        for (const tpq::ValuePredicate& pat : cond.node(n).value_predicates) {
+          if (tpq::ValuePredicateImplies(vp, pat)) return false;
+        }
+      }
+      return true;
+    }
+    case SrAtom::Kind::kEdge:
+      return false;  // removes a whole subtree: undecidable statically
+  }
+  return false;
+}
+
+/// Certifies that the conflict arc i → j cannot exist for ANY query: rule
+/// i's application always leaves rule j's condition subsumed. This is the
+/// query-independent half of AnalyzeConflicts; anything uncertified is
+/// probed per query exactly as the scan path does.
+bool ArcStaticallyImpossible(const ScopingRule& ri, const ScopingRule& rj) {
+  if (rj.condition.empty()) return true;  // `true` condition always holds
+  switch (ri.action) {
+    case SrAction::kAdd:
+      // Adds only append predicates/nodes; every homomorphism into Q stays
+      // valid into i(Q) (coverage is existential, node indices stable).
+      return true;
+    case SrAction::kDelete:
+      for (const SrAtom& atom : ri.conclusion) {
+        if (!DeleteAtomSafeFor(atom, rj.condition)) return false;
+      }
+      return true;
+    case SrAction::kReplace: {
+      // Mirror ApplyRuleImpl's static pairing: edge atoms with identical
+      // endpoints mutate the edge kind in place; the rest fall through to
+      // delete (replaced) / add (conclusion) semantics.
+      std::vector<bool> used(ri.conclusion.size(), false);
+      std::vector<bool> handled(ri.replaced.size(), false);
+      for (size_t i = 0; i < ri.replaced.size(); ++i) {
+        const SrAtom& del = ri.replaced[i];
+        if (del.kind != SrAtom::Kind::kEdge) continue;
+        for (size_t j = 0; j < ri.conclusion.size(); ++j) {
+          const SrAtom& add = ri.conclusion[j];
+          if (used[j] || add.kind != SrAtom::Kind::kEdge) continue;
+          if (add.node_tag != del.node_tag || add.child_tag != del.child_tag) {
+            continue;
+          }
+          // pc → ad weakens an edge: only visible to conditions that
+          // require pc edges. ad → pc strengthens (ancestorship keeps
+          // holding); identical kinds are a no-op.
+          if (del.edge != add.edge && add.edge == tpq::EdgeKind::kDescendant &&
+              HasChildEdge(rj.condition)) {
+            return false;
+          }
+          handled[i] = true;
+          used[j] = true;
+          break;
+        }
+      }
+      for (size_t i = 0; i < ri.replaced.size(); ++i) {
+        if (handled[i]) continue;
+        if (!DeleteAtomSafeFor(ri.replaced[i], rj.condition)) return false;
+      }
+      return true;  // unpaired conclusion atoms are adds: safe
+    }
+  }
+  return false;
+}
+
+bool LoadRelations(std::string_view blob, CompiledRules* c) {
+  uint32_t version = 0, n = 0, words = 0;
+  uint64_t fingerprint = 0;
+  if (!GetU32(&blob, &version) || version != kRuleCompilerVersion) return false;
+  if (!GetU32(&blob, &n) || static_cast<int>(n) != c->n) return false;
+  if (!GetU32(&blob, &words) || static_cast<int>(words) != c->words_per_row) {
+    return false;
+  }
+  if (!GetU64(&blob, &fingerprint) ||
+      fingerprint != RulesFingerprint(c->rules)) {
+    return false;
+  }
+  const size_t cells = static_cast<size_t>(c->n) * c->words_per_row;
+  if (blob.size() != 2 * cells * 8 + 4) return false;
+  // The matrices carry their own checksum: a flipped certificate bit would
+  // silently break flock byte-identity, so a blob that frames correctly
+  // but sums wrong is rejected here and recompiled from scratch.
+  const uint32_t stored_crc = static_cast<uint32_t>(
+      static_cast<uint8_t>(blob[blob.size() - 4]) |
+      static_cast<uint8_t>(blob[blob.size() - 3]) << 8 |
+      static_cast<uint8_t>(blob[blob.size() - 2]) << 16 |
+      static_cast<uint8_t>(blob[blob.size() - 1]) << 24);
+  if (Crc32(blob.data(), blob.size() - 4) != stored_crc) return false;
+  c->arc_impossible.resize(cells);
+  c->implies.resize(cells);
+  for (size_t k = 0; k < cells; ++k) GetU64(&blob, &c->arc_impossible[k]);
+  for (size_t k = 0; k < cells; ++k) GetU64(&blob, &c->implies[k]);
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeRelations(const CompiledRules& c) {
+  std::string out;
+  PutU32(&out, kRuleCompilerVersion);
+  PutU32(&out, static_cast<uint32_t>(c.n));
+  PutU32(&out, static_cast<uint32_t>(c.words_per_row));
+  PutU64(&out, RulesFingerprint(c.rules));
+  const size_t matrices_start = out.size();
+  for (uint64_t w : c.arc_impossible) PutU64(&out, w);
+  for (uint64_t w : c.implies) PutU64(&out, w);
+  PutU32(&out, Crc32(out.data() + matrices_start,
+                     out.size() - matrices_start));
+  return out;
+}
+
+CompiledRules CompileRules(std::vector<ScopingRule> rules,
+                           std::string_view relations) {
+  CompiledRules c;
+  c.rules = std::move(rules);
+  c.n = static_cast<int>(c.rules.size());
+  c.words_per_row = (c.n + 63) / 64;
+  c.index = RuleIndex::Build(c.rules);
+  c.order_memo = std::make_shared<CompiledRules::OrderMemo>();
+  if (!relations.empty() && LoadRelations(relations, &c)) return c;
+
+  const size_t cells = static_cast<size_t>(c.n) * c.words_per_row;
+  c.arc_impossible.assign(cells, 0);
+  c.implies.assign(cells, 0);
+  auto set_bit = [&](std::vector<uint64_t>& m, int i, int j) {
+    m[i * c.words_per_row + (j >> 6)] |= 1ULL << (j & 63);
+  };
+  for (int i = 0; i < c.n; ++i) {
+    for (int j = 0; j < c.n; ++j) {
+      if (i == j) continue;
+      if (ArcStaticallyImpossible(c.rules[i], c.rules[j])) {
+        set_bit(c.arc_impossible, i, j);
+      }
+      // implies(i, j): i applicable ⇒ j applicable, witnessed by a
+      // homomorphism condition_j → condition_i. Composition with the
+      // condition_i → Q match is sound for tags, edges, ancestorship,
+      // root anchoring and keyword coverage, but NOT for value-predicate
+      // implication (the implication relation is incomplete), so rules
+      // whose condition carries value predicates are never implied.
+      const tpq::Tpq& cj = c.rules[j].condition;
+      if (cj.empty()) {
+        set_bit(c.implies, i, j);
+      } else if (!HasValuePredicate(cj) && !c.rules[i].condition.empty()) {
+        ++c.compile_hom_runs;
+        if (tpq::FindHomomorphism(cj, c.rules[i].condition,
+                                  /*match_distinguished=*/false)) {
+          set_bit(c.implies, i, j);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+struct AppEntry {
+  int rule = 0;
+  bool mapped = false;
+  std::vector<int> mapping;
+};
+
+void MaterializeMapping(const CompiledRules& c, const tpq::Tpq& query,
+                        AppEntry* e, FlockBuildStats* stats) {
+  if (e->mapped) return;
+  tpq::FindHomomorphism(c.rules[e->rule].condition, query,
+                        /*match_distinguished=*/false, &e->mapping);
+  e->mapped = true;
+  if (stats != nullptr) ++stats->hom_runs;
+}
+
+void AnalyzeCompiledInternal(const CompiledRules& c, const tpq::Tpq& query,
+                             ConflictReport* report,
+                             std::vector<AppEntry>* entries,
+                             FlockBuildStats* stats) {
+  RuleIndexStats istats;
+  const uint64_t qmask = RuleIndex::QueryMask(query);
+  const std::vector<int> candidates =
+      c.index.CandidateRules(qmask, RuleIndex::QueryTags(query), &istats);
+  if (stats != nullptr) {
+    stats->index_probes += istats.probes;
+    stats->bucket_hits += istats.bucket_hits;
+    stats->candidates += istats.candidates;
+  }
+
+  // Applicability: homomorphism only on index survivors, and only on those
+  // not already implied by an earlier applicable rule.
+  for (int r : candidates) {
+    const tpq::Tpq& cond = c.rules[r].condition;
+    AppEntry e;
+    e.rule = r;
+    bool applicable = false;
+    if (cond.empty()) {
+      applicable = true;
+      e.mapped = true;
+    } else {
+      for (const AppEntry& prev : *entries) {
+        if (c.Implies(prev.rule, r)) {
+          applicable = true;
+          if (stats != nullptr) ++stats->implied_rules;
+          break;
+        }
+      }
+      if (!applicable) {
+        e.mapped = true;
+        applicable = tpq::FindHomomorphism(cond, query,
+                                           /*match_distinguished=*/false,
+                                           &e.mapping);
+        if (stats != nullptr) ++stats->hom_runs;
+      }
+    }
+    if (applicable) {
+      report->applicable.push_back(r);
+      entries->push_back(std::move(e));
+    }
+  }
+
+  const size_t a = entries->size();
+  bool all_static = true;
+  for (size_t ai = 0; ai < a && all_static; ++ai) {
+    for (size_t aj = 0; aj < a; ++aj) {
+      if (ai == aj) continue;
+      if (!c.ArcImpossible((*entries)[ai].rule, (*entries)[aj].rule)) {
+        all_static = false;
+        break;
+      }
+    }
+  }
+
+  if (all_static) {
+    // No pair needs probing ⇒ no arcs for any query with this applicable
+    // set ⇒ the order is query-independent and memoizable.
+    if (stats != nullptr && a > 1) {
+      stats->static_pairs += static_cast<int64_t>(a) * (a - 1);
+    }
+    std::string key((c.n + 7) / 8, '\0');
+    for (int r : report->applicable) key[r >> 3] |= char(1 << (r & 7));
+    if (c.order_memo != nullptr) {
+      std::lock_guard<std::mutex> lock(c.order_memo->mu);
+      auto it = c.order_memo->orders.find(key);
+      if (it != c.order_memo->orders.end()) {
+        report->order = it->second;
+        report->acyclic = true;
+        report->ordered = true;
+        if (stats != nullptr) ++stats->order_memo_hits;
+        return;
+      }
+    }
+    DeriveOrder(c.rules, report);
+    if (c.order_memo != nullptr) {
+      std::lock_guard<std::mutex> lock(c.order_memo->mu);
+      if (c.order_memo->orders.size() <
+          CompiledRules::OrderMemo::kMaxEntries) {
+        c.order_memo->orders.emplace(std::move(key), report->order);
+      }
+      if (stats != nullptr) ++stats->order_memo_misses;
+    }
+    return;
+  }
+
+  // Arc probing, identical to the scan path except that statically decided
+  // pairs skip the probe and the signature prefilter decides inapplicable
+  // survivors without a homomorphism. Rows whose arcs are all statically
+  // absent skip ApplyRule entirely.
+  for (size_t ai = 0; ai < a; ++ai) {
+    const int i = (*entries)[ai].rule;
+    bool need_after = false;
+    for (size_t aj = 0; aj < a; ++aj) {
+      if (ai != aj && !c.ArcImpossible(i, (*entries)[aj].rule)) {
+        need_after = true;
+        break;
+      }
+    }
+    if (!need_after) {
+      if (stats != nullptr && a > 1) {
+        stats->static_pairs += static_cast<int64_t>(a) - 1;
+      }
+      continue;
+    }
+    MaterializeMapping(c, query, &(*entries)[ai], stats);
+    const tpq::Tpq after_i =
+        ApplyRule(c.rules[i], query, &(*entries)[ai].mapping);
+    const uint64_t amask = RuleIndex::QueryMask(after_i);
+    for (size_t aj = 0; aj < a; ++aj) {
+      if (ai == aj) continue;
+      const int j = (*entries)[aj].rule;
+      if (c.ArcImpossible(i, j)) {
+        if (stats != nullptr) ++stats->static_pairs;
+        continue;
+      }
+      if (!c.index.MightApply(j, amask)) {
+        // The signature certifies condition_j cannot match after_i ⇒ the
+        // scan path's probe would fail ⇒ the arc exists.
+        report->conflicts.emplace_back(i, j);
+        if (stats != nullptr) ++stats->prefiltered_pairs;
+        continue;
+      }
+      if (stats != nullptr) {
+        ++stats->probed_pairs;
+        ++stats->hom_runs;
+      }
+      if (!IsApplicable(c.rules[j], after_i)) {
+        report->conflicts.emplace_back(i, j);
+      }
+    }
+  }
+  DeriveOrder(c.rules, report);
+}
+
+}  // namespace
+
+ConflictReport AnalyzeConflictsCompiled(const CompiledRules& compiled,
+                                        const tpq::Tpq& query,
+                                        FlockBuildStats* stats) {
+  ConflictReport report;
+  std::vector<AppEntry> entries;
+  AnalyzeCompiledInternal(compiled, query, &report, &entries, stats);
+  return report;
+}
+
+StatusOr<QueryFlock> BuildFlockCompiled(const tpq::Tpq& query,
+                                        const CompiledRules& compiled,
+                                        obs::TraceContext* trace,
+                                        FlockBuildStats* stats) {
+  QueryFlock flock;
+  std::vector<AppEntry> entries;
+  {
+    obs::TraceContext::Scope span(trace, "flock.conflict_analysis", "planner");
+    AnalyzeCompiledInternal(compiled, query, &flock.conflict_report, &entries,
+                            stats);
+  }
+  if (!flock.conflict_report.ordered) {
+    return Status::Conflict(
+        "scoping rules form a conflict cycle without distinct priorities:\n" +
+        flock.conflict_report.ToString(compiled.rules));
+  }
+  obs::TraceContext::Scope span(trace, "flock.encode", "planner");
+  flock.members.push_back(query);
+  flock.encoded = query;
+  std::vector<int> mapping;
+  for (int rule_idx : flock.conflict_report.order) {
+    const ScopingRule& rule = compiled.rules[rule_idx];
+    const tpq::Tpq& current = flock.members.back();
+    const std::vector<int>* premapped = nullptr;
+    if (flock.applied_rules.empty()) {
+      // current == Q: the analysis already matched (or implied) this rule
+      // against Q, so its mapping is reusable — materialize if it was only
+      // implied. Applicability against Q is already established.
+      for (AppEntry& e : entries) {
+        if (e.rule != rule_idx) continue;
+        MaterializeMapping(compiled, query, &e, stats);
+        premapped = &e.mapping;
+        break;
+      }
+      if (premapped == nullptr) continue;  // unreachable: order ⊆ applicable
+    } else {
+      // §5.1: applicability is judged against the literal chain; rules
+      // rendered inapplicable by earlier applications drop out.
+      if (stats != nullptr && !rule.condition.empty()) ++stats->hom_runs;
+      if (!IsApplicable(rule, current, &mapping)) continue;
+      premapped = &mapping;
+    }
+    const bool encoded_is_current = flock.applied_rules.empty();
+    flock.members.push_back(ApplyRule(rule, current, premapped));
+    flock.applied_rules.push_back(rule_idx);
+    flock.encoded = ApplyRuleEncoded(rule, flock.encoded,
+                                     encoded_is_current ? premapped : nullptr);
+  }
+  return flock;
+}
+
+}  // namespace pimento::profile

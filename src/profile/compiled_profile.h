@@ -1,0 +1,118 @@
+#ifndef PIMENTO_PROFILE_COMPILED_PROFILE_H_
+#define PIMENTO_PROFILE_COMPILED_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/profile/flock.h"
+#include "src/profile/rule_index.h"
+#include "src/profile/scoping_rule.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::obs {
+class TraceContext;
+}  // namespace pimento::obs
+
+namespace pimento::profile {
+
+/// Bump when the compiled relations change meaning: stored blobs carry the
+/// version and stale ones are recompiled, never reinterpreted.
+inline constexpr uint32_t kRuleCompilerVersion = 1;
+
+/// Per-flock-build counters for the compiled path (all deltas, caller
+/// aggregates). `hom_runs` counts homomorphism searches this build charged,
+/// comparable against the scan path's per-build count.
+struct FlockBuildStats {
+  int64_t index_probes = 0;
+  int64_t bucket_hits = 0;
+  int64_t candidates = 0;        ///< rules surviving the signature filter
+  int64_t hom_runs = 0;          ///< homomorphisms run by the compiled path
+  int64_t implied_rules = 0;     ///< applicability decided by rule-rule implication
+  int64_t static_pairs = 0;      ///< conflict pairs decided at compile time
+  int64_t prefiltered_pairs = 0; ///< pairs decided by the signature prefilter
+  int64_t probed_pairs = 0;      ///< pairs that needed the query-time probe
+  int64_t order_memo_hits = 0;
+  int64_t order_memo_misses = 0;
+};
+
+/// A profile's scoping rules compiled once, queried many times:
+///  - `index`: the subsumption automaton (bloom signatures + rarest-tag
+///    buckets) turning the applicability scan into a probe;
+///  - `arc_impossible`: bit (i, j) set when the conflict arc i → j is
+///    *provably* absent for every query — rule i's application cannot
+///    invalidate rule j's condition (add-only rules, deletes that touch no
+///    term condition j requires, edge relaxations condition j cannot see);
+///  - `implies`: bit (i, j) set when rule i applicable ⇒ rule j applicable
+///    (a homomorphism from condition j into condition i, composition-safe
+///    because condition j carries no value predicates), letting the scan
+///    mark j applicable without matching it;
+///  - a memoized conflict order for applicable sets whose pairs are all
+///    statically decided (the order is then query-independent).
+///
+/// The flock a compiled profile produces is byte-identical to the scan
+/// path's (`BuildFlock`) for every query: every shortcut above is a sound
+/// certificate of the scan path's outcome, and anything uncertified falls
+/// back to the same probes in the same order.
+struct CompiledRules {
+  std::vector<ScopingRule> rules;
+  RuleIndex index;
+  int n = 0;
+  int words_per_row = 0;
+  std::vector<uint64_t> arc_impossible;  ///< n rows × words_per_row
+  std::vector<uint64_t> implies;         ///< n rows × words_per_row
+  int64_t compile_hom_runs = 0;          ///< homs spent compiling (O(n²))
+
+  bool ArcImpossible(int i, int j) const {
+    return (arc_impossible[i * words_per_row + (j >> 6)] >>
+            (j & 63)) & 1;
+  }
+  bool Implies(int i, int j) const {
+    return (implies[i * words_per_row + (j >> 6)] >> (j & 63)) & 1;
+  }
+
+  /// Conflict-order memo, keyed by the applicable-set bitmask. Only sets
+  /// whose pairs are all statically decided are memoized (their order is
+  /// query-independent); bounded, thread-safe, shared across searches.
+  struct OrderMemo {
+    std::mutex mu;
+    std::unordered_map<std::string, std::vector<int>> orders;
+    static constexpr size_t kMaxEntries = 4096;
+  };
+  std::shared_ptr<OrderMemo> order_memo;
+};
+
+/// Compiles `rules`: builds the index and derives the pairwise relations
+/// (O(n²) homomorphisms — the cost the ProfileStore amortizes). When
+/// `relations` carries a valid serialized blob for these rules (same count,
+/// same compiler version), the pairwise matrices are loaded from it instead
+/// of recomputed.
+CompiledRules CompileRules(std::vector<ScopingRule> rules,
+                           std::string_view relations = {});
+
+/// Serializes the pairwise relation matrices (the expensive part of the
+/// compile; the index rebuilds from the rules in linear time).
+std::string SerializeRelations(const CompiledRules& compiled);
+
+/// Drop-in replacement for AnalyzeConflicts: byte-identical ConflictReport,
+/// computed through the index and the precomputed relations.
+ConflictReport AnalyzeConflictsCompiled(const CompiledRules& compiled,
+                                        const tpq::Tpq& query,
+                                        FlockBuildStats* stats = nullptr);
+
+/// Drop-in replacement for BuildFlock over a compiled profile: identical
+/// QueryFlock (members, applied rules, encoding, conflict report) for every
+/// query, built with the minimal number of homomorphism runs.
+StatusOr<QueryFlock> BuildFlockCompiled(const tpq::Tpq& query,
+                                        const CompiledRules& compiled,
+                                        obs::TraceContext* trace = nullptr,
+                                        FlockBuildStats* stats = nullptr);
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_COMPILED_PROFILE_H_

@@ -9,13 +9,20 @@ namespace pimento::profile {
 ConflictReport AnalyzeConflicts(const std::vector<ScopingRule>& rules,
                                 const tpq::Tpq& query) {
   ConflictReport report;
+  std::vector<std::vector<int>> mappings;
   for (int i = 0; i < static_cast<int>(rules.size()); ++i) {
-    if (IsApplicable(rules[i], query)) report.applicable.push_back(i);
+    std::vector<int> mapping;
+    if (IsApplicable(rules[i], query, &mapping)) {
+      report.applicable.push_back(i);
+      mappings.push_back(std::move(mapping));
+    }
   }
   // Conflict arcs among applicable rules: i conflicts with j iff j is not
-  // applicable to i(Q).
-  for (int i : report.applicable) {
-    tpq::Tpq after_i = ApplyRule(rules[i], query);
+  // applicable to i(Q). The applicability mapping threads into ApplyRule so
+  // each condition matches against Q exactly once.
+  for (size_t a = 0; a < report.applicable.size(); ++a) {
+    int i = report.applicable[a];
+    tpq::Tpq after_i = ApplyRule(rules[i], query, &mappings[a]);
     for (int j : report.applicable) {
       if (i == j) continue;
       if (!IsApplicable(rules[j], after_i)) {
@@ -23,7 +30,13 @@ ConflictReport AnalyzeConflicts(const std::vector<ScopingRule>& rules,
       }
     }
   }
+  DeriveOrder(rules, &report);
+  return report;
+}
 
+void DeriveOrder(const std::vector<ScopingRule>& rules,
+                 ConflictReport* report_ptr) {
+  ConflictReport& report = *report_ptr;
   // Kahn's algorithm over arcs (i → j means "i kills j", so j must be
   // applied before i): in-degree counts arcs *into* the later rule.
   const int n = static_cast<int>(rules.size());
@@ -61,7 +74,7 @@ ConflictReport AnalyzeConflicts(const std::vector<ScopingRule>& rules,
   if (report.acyclic) {
     report.order = std::move(topo);
     report.ordered = true;
-    return report;
+    return;
   }
 
   // Cyclic: the user-assigned priorities must break the cycles — every
@@ -77,12 +90,11 @@ ConflictReport AnalyzeConflicts(const std::vector<ScopingRule>& rules,
   for (int i : cyclic) prios.insert(rules[i].priority);
   if (prios.size() != cyclic.size()) {
     report.ordered = false;
-    return report;
+    return;
   }
   report.order = report.applicable;
   std::sort(report.order.begin(), report.order.end(), by_priority);
   report.ordered = true;
-  return report;
 }
 
 std::string ConflictReport::ToString(

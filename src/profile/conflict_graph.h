@@ -41,6 +41,13 @@ struct ConflictReport {
 ConflictReport AnalyzeConflicts(const std::vector<ScopingRule>& rules,
                                 const tpq::Tpq& query);
 
+/// Derives `report->order` / `acyclic` / `ordered` from already-populated
+/// `applicable` and `conflicts` (Kahn with priority tie-break; priority sort
+/// fallback on cycles with pairwise-distinct priorities). Shared by the scan
+/// path above and the compiled path so both produce identical orders.
+void DeriveOrder(const std::vector<ScopingRule>& rules,
+                 ConflictReport* report);
+
 }  // namespace pimento::profile
 
 #endif  // PIMENTO_PROFILE_CONFLICT_GRAPH_H_

@@ -20,16 +20,22 @@ StatusOr<QueryFlock> BuildFlock(const tpq::Tpq& query,
   obs::TraceContext::Scope span(trace, "flock.encode", "planner");
   flock.members.push_back(query);
   flock.encoded = query;
+  std::vector<int> mapping;
   for (int rule_idx : flock.conflict_report.order) {
     const ScopingRule& rule = rules[rule_idx];
     const tpq::Tpq& current = flock.members.back();
     // Applicability is judged against the literal chain (§5.1: the flock is
     // Q, p1(Q), p2(p1(Q)), ...); rules rendered inapplicable by earlier
     // applications drop out.
-    if (!IsApplicable(rule, current)) continue;
-    flock.members.push_back(ApplyRule(rule, current));
+    if (!IsApplicable(rule, current, &mapping)) continue;
+    // The mapping is a homomorphism into `current`; `encoded` only equals
+    // `current` before the first application, so the encoding pass can reuse
+    // it just for that first rule.
+    bool encoded_is_current = flock.applied_rules.empty();
+    flock.members.push_back(ApplyRule(rule, current, &mapping));
     flock.applied_rules.push_back(rule_idx);
-    flock.encoded = ApplyRuleEncoded(rule, flock.encoded);
+    flock.encoded = ApplyRuleEncoded(rule, flock.encoded,
+                                     encoded_is_current ? &mapping : nullptr);
   }
   return flock;
 }

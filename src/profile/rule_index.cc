@@ -1,0 +1,134 @@
+#include "src/profile/rule_index.h"
+
+#include <algorithm>
+
+#include "src/text/tokenizer.h"
+
+namespace pimento::profile {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s, uint64_t h = 0xcbf29ce484222325ULL) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Two-probe bloom bits for a namespaced feature string.
+uint64_t FeatureBits(std::string_view ns, std::string_view a,
+                     std::string_view b = {}) {
+  uint64_t h = Fnv1a(b, Fnv1a(a, Fnv1a(ns)));
+  return (1ULL << (h & 63)) | (1ULL << ((h >> 6) & 63));
+}
+
+}  // namespace
+
+uint64_t RuleIndex::ConditionMask(const tpq::Tpq& condition) {
+  uint64_t mask = 0;
+  for (int i = 0; i < condition.size(); ++i) {
+    const tpq::QueryNode& n = condition.node(i);
+    if (n.tag != "*") mask |= FeatureBits("t", n.tag);
+    for (const tpq::KeywordPredicate& kp : n.keyword_predicates) {
+      if (kp.optional) continue;
+      mask |= FeatureBits("k", text::NormalizeTerm(kp.keyword));
+    }
+    if (i != condition.root() && n.parent_edge == tpq::EdgeKind::kChild) {
+      const std::string& ptag = condition.node(n.parent).tag;
+      if (ptag != "*" && n.tag != "*") mask |= FeatureBits("e", ptag, n.tag);
+    }
+  }
+  return mask;
+}
+
+uint64_t RuleIndex::QueryMask(const tpq::Tpq& query) {
+  uint64_t mask = 0;
+  for (int i = 0; i < query.size(); ++i) {
+    const tpq::QueryNode& n = query.node(i);
+    mask |= FeatureBits("t", n.tag);
+    for (const tpq::KeywordPredicate& kp : n.keyword_predicates) {
+      if (kp.optional) continue;  // optional predicates guarantee nothing
+      mask |= FeatureBits("k", text::NormalizeTerm(kp.keyword));
+    }
+    if (i != query.root() && n.parent_edge == tpq::EdgeKind::kChild) {
+      mask |= FeatureBits("e", query.node(n.parent).tag, n.tag);
+    }
+  }
+  return mask;
+}
+
+std::vector<std::string> RuleIndex::QueryTags(const tpq::Tpq& query) {
+  std::vector<std::string> tags;
+  for (int i = 0; i < query.size(); ++i) {
+    const std::string& t = query.node(i).tag;
+    if (t == "*") continue;
+    if (std::find(tags.begin(), tags.end(), t) == tags.end()) {
+      tags.push_back(t);
+    }
+  }
+  return tags;
+}
+
+RuleIndex RuleIndex::Build(const std::vector<ScopingRule>& rules) {
+  RuleIndex index;
+  index.masks_.reserve(rules.size());
+
+  // Document frequency of each non-* tag across the rule conditions; the
+  // rarest tag of each condition keys its bucket, minimizing the rules a
+  // random query's tag set pulls in.
+  std::unordered_map<std::string, int> df;
+  std::vector<std::vector<std::string>> cond_tags(rules.size());
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const tpq::Tpq& cond = rules[r].condition;
+    for (int i = 0; i < cond.size(); ++i) {
+      const std::string& t = cond.node(i).tag;
+      if (t == "*") continue;
+      auto& tags = cond_tags[r];
+      if (std::find(tags.begin(), tags.end(), t) == tags.end()) {
+        tags.push_back(t);
+        ++df[t];
+      }
+    }
+  }
+  for (size_t r = 0; r < rules.size(); ++r) {
+    index.masks_.push_back(ConditionMask(rules[r].condition));
+    if (cond_tags[r].empty()) {
+      index.always_.push_back(static_cast<int>(r));
+      continue;
+    }
+    const std::string* best = &cond_tags[r][0];
+    for (const std::string& t : cond_tags[r]) {
+      if (df[t] < df[*best] || (df[t] == df[*best] && t < *best)) best = &t;
+    }
+    index.buckets_[*best].push_back(static_cast<int>(r));
+  }
+  return index;
+}
+
+std::vector<int> RuleIndex::CandidateRules(
+    uint64_t query_mask, const std::vector<std::string>& query_tags,
+    RuleIndexStats* stats) const {
+  std::vector<int> out;
+  out.reserve(always_.size());
+  out.insert(out.end(), always_.begin(), always_.end());
+  for (const std::string& t : query_tags) {
+    auto it = buckets_.find(t);
+    if (it == buckets_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  // Each rule lives in exactly one bucket, so the merge has no duplicates;
+  // ascending order keeps candidate processing identical to the scan path.
+  std::sort(out.begin(), out.end());
+  if (stats != nullptr) {
+    ++stats->probes;
+    stats->bucket_hits += static_cast<int64_t>(out.size());
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](int r) { return !MightApply(r, query_mask); }),
+            out.end());
+  if (stats != nullptr) stats->candidates += static_cast<int64_t>(out.size());
+  return out;
+}
+
+}  // namespace pimento::profile

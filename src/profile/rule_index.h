@@ -1,0 +1,83 @@
+#ifndef PIMENTO_PROFILE_RULE_INDEX_H_
+#define PIMENTO_PROFILE_RULE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/profile/scoping_rule.h"
+#include "src/tpq/tpq.h"
+
+namespace pimento::profile {
+
+/// Subsumption index over SR conditions: rule applicability ("the condition
+/// is subsumed by Q", §5.1) is turned from a per-rule homomorphism scan into
+/// a bitwise probe plus homomorphisms on the few survivors.
+///
+/// Soundness (no false negatives) rests on necessary conditions of the
+/// homomorphism: a condition node's non-* tag must appear verbatim as a
+/// query node tag (a non-* pattern tag does NOT match a query `*`), every
+/// required condition keyword must appear as a required query keyword
+/// (same normalized term), and a pc edge between two non-* tags must appear
+/// as a pc edge with exactly those endpoint tags. Each such feature sets two
+/// bits of a 64-bit bloom mask; `(rule.mask & ~query.mask) == 0` is then
+/// necessary for applicability. Value predicates are never indexed (their
+/// implication lattice is not set-membership), so rules relying only on
+/// value predicates fall through to the homomorphism.
+///
+/// On top of the masks, rules are bucketed by their *rarest* non-* condition
+/// tag (document frequency across the rule corpus), so `CandidateRules`
+/// touches only the buckets named by the query's tags plus the bucket of
+/// condition-free rules, not the whole rule list.
+struct RuleIndexStats {
+  int64_t probes = 0;      ///< CandidateRules calls
+  int64_t bucket_hits = 0; ///< rules surfaced by the bucket walk
+  int64_t candidates = 0;  ///< rules surviving the signature filter
+};
+
+class RuleIndex {
+ public:
+  RuleIndex() = default;
+
+  /// Builds the index for `rules`. The index stores only signatures and
+  /// bucket lists; callers keep the rule vector alongside (CompiledRules
+  /// owns both).
+  static RuleIndex Build(const std::vector<ScopingRule>& rules);
+
+  /// Rule indices that *may* be applicable to a query with signature
+  /// `query_mask` and tag set `query_tags` — a superset of the truly
+  /// applicable rules, ascending by rule index. The caller runs the
+  /// homomorphism on each survivor.
+  std::vector<int> CandidateRules(uint64_t query_mask,
+                                  const std::vector<std::string>& query_tags,
+                                  RuleIndexStats* stats = nullptr) const;
+
+  /// Bitwise-only applicability prefilter for one rule: false means the rule
+  /// is certainly NOT applicable to any query with this mask. Used by the
+  /// conflict probe to decide arcs without re-matching.
+  bool MightApply(int rule, uint64_t query_mask) const {
+    return (masks_[rule] & ~query_mask) == 0;
+  }
+
+  size_t size() const { return masks_.size(); }
+
+  /// Bloom mask of the query's guarantees (tags, required keywords,
+  /// fully-tagged pc edges). Recompute per probed query; cheap and linear.
+  static uint64_t QueryMask(const tpq::Tpq& query);
+
+  /// Distinct node tags of `query` (including `*`; `*` probes no bucket).
+  static std::vector<std::string> QueryTags(const tpq::Tpq& query);
+
+  /// Bloom mask of one condition's requirements (exposed for tests).
+  static uint64_t ConditionMask(const tpq::Tpq& condition);
+
+ private:
+  std::vector<uint64_t> masks_;          // per-rule condition signature
+  std::vector<int> always_;              // rules with no non-* condition tag
+  std::unordered_map<std::string, std::vector<int>> buckets_;  // rarest tag
+};
+
+}  // namespace pimento::profile
+
+#endif  // PIMENTO_PROFILE_RULE_INDEX_H_

@@ -40,24 +40,41 @@ bool SameKeyword(const std::string& a, const std::string& b) {
   return text::NormalizeTerm(a) == text::NormalizeTerm(b);
 }
 
+/// How a mutation relates to a memoized condition-into-query homomorphism.
+/// The applicability match is deterministic (the backtracking search tries
+/// query nodes in ascending index), so mutations split into three classes:
+///  - kNone: nothing changed.
+///  - kInvisible: only optional predicates were added — the matcher skips
+///    optional query-side predicates entirely, so every Candidate() outcome
+///    (and hence the search result, success or failure) is unchanged.
+///  - kAppendNode: a node was appended at the end. Candidate() outcomes for
+///    all pre-existing nodes are unchanged, so a previously *successful*
+///    search re-finds the identical mapping before ever considering the new
+///    node; a previously failed search could now succeed through it.
+///  - kInvalidating: required predicates changed, a subtree was removed, or
+///    an edge kind mutated — the memo must be dropped and re-matched.
+enum class Mutation : uint8_t { kNone, kInvisible, kAppendNode, kInvalidating };
+
 /// Adds an atom's predicate/edge to the query. In `encode` mode the
 /// addition is marked optional (the flock-encoding outer-join semantics)
 /// with the rule's weight as its score boost.
-void AddAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
-             double weight = 1.0) {
-  if (anchor < 0) return;
+Mutation AddAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
+                 double weight = 1.0) {
+  if (anchor < 0) return Mutation::kNone;
   switch (atom.kind) {
     case SrAtom::Kind::kKeyword: {
       for (const tpq::KeywordPredicate& kp :
            query->node(anchor).keyword_predicates) {
-        if (SameKeyword(kp.keyword, atom.keyword)) return;  // already there
+        if (SameKeyword(kp.keyword, atom.keyword)) {
+          return Mutation::kNone;  // already there
+        }
       }
       tpq::KeywordPredicate kp;
       kp.keyword = atom.keyword;
       kp.optional = encode;
       if (encode) kp.boost = weight;
       query->mutable_node(anchor).keyword_predicates.push_back(std::move(kp));
-      break;
+      return encode ? Mutation::kInvisible : Mutation::kInvalidating;
     }
     case SrAtom::Kind::kValue: {
       tpq::ValuePredicate vp;
@@ -71,33 +88,35 @@ void AddAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
            query->node(anchor).value_predicates) {
         if (existing.op == vp.op && existing.numeric == vp.numeric &&
             existing.number == vp.number && existing.text == vp.text) {
-          return;
+          return Mutation::kNone;
         }
       }
       query->mutable_node(anchor).value_predicates.push_back(std::move(vp));
-      break;
+      return encode ? Mutation::kInvisible : Mutation::kInvalidating;
     }
     case SrAtom::Kind::kEdge: {
       for (int c : query->node(anchor).children) {
         if (query->node(c).tag == atom.child_tag &&
             query->node(c).parent_edge == atom.edge) {
-          return;
+          return Mutation::kNone;
         }
       }
       int child = query->AddChild(anchor, atom.child_tag, atom.edge);
       query->mutable_node(child).optional = encode;
-      break;
+      return Mutation::kAppendNode;
     }
   }
+  return Mutation::kNone;
 }
 
 /// Deletes an atom's predicate/edge from the query. In `encode` mode the
 /// target is demoted to optional instead of removed (with the rule's weight
 /// as its boost), so answers matching the original (stricter) query still
 /// score higher in the single encoded plan.
-void DeleteAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
-                double weight = 1.0) {
-  if (anchor < 0) return;
+Mutation DeleteAtom(const SrAtom& atom, tpq::Tpq* query, int anchor,
+                    bool encode, double weight = 1.0) {
+  if (anchor < 0) return Mutation::kNone;
+  bool changed = false;
   switch (atom.kind) {
     case SrAtom::Kind::kKeyword: {
       // ftcontains is an any-depth condition, so the target keyword
@@ -107,17 +126,20 @@ void DeleteAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
         if (encode) {
           for (tpq::KeywordPredicate& kp : preds) {
             if (SameKeyword(kp.keyword, atom.keyword)) {
+              changed = changed || !kp.optional;
               kp.optional = true;
               kp.boost = weight;
             }
           }
         } else {
+          const size_t before = preds.size();
           preds.erase(std::remove_if(preds.begin(), preds.end(),
                                      [&](const tpq::KeywordPredicate& kp) {
                                        return SameKeyword(kp.keyword,
                                                           atom.keyword);
                                      }),
                       preds.end());
+          changed = changed || preds.size() != before;
         }
       }
       break;
@@ -132,13 +154,16 @@ void DeleteAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
         if (encode) {
           for (tpq::ValuePredicate& vp : preds) {
             if (matches(vp)) {
+              changed = changed || !vp.optional;
               vp.optional = true;
               vp.boost = weight;
             }
           }
         } else {
+          const size_t before = preds.size();
           preds.erase(std::remove_if(preds.begin(), preds.end(), matches),
                       preds.end());
+          changed = changed || preds.size() != before;
         }
       }
       break;
@@ -158,15 +183,18 @@ void DeleteAtom(const SrAtom& atom, tpq::Tpq* query, int anchor, bool encode,
         }
         if (protects) continue;
         if (encode) {
+          changed = !query->node(c).optional;
           query->mutable_node(c).optional = true;
         } else {
           query->RemoveSubtree(c);
+          changed = true;
         }
-        return;
+        break;
       }
       break;
     }
   }
+  return changed ? Mutation::kInvalidating : Mutation::kNone;
 }
 
 }  // namespace
@@ -223,27 +251,72 @@ bool IsApplicable(const ScopingRule& rule, const tpq::Tpq& query) {
   return tpq::SubsumesCondition(query, rule.condition);
 }
 
+bool IsApplicable(const ScopingRule& rule, const tpq::Tpq& query,
+                  std::vector<int>* mapping) {
+  if (rule.condition.empty()) {
+    if (mapping != nullptr) mapping->clear();
+    return true;
+  }
+  return tpq::FindHomomorphism(rule.condition, query,
+                               /*match_distinguished=*/false, mapping);
+}
+
 namespace {
 
 tpq::Tpq ApplyRuleImpl(const ScopingRule& rule, const tpq::Tpq& query,
-                       bool encode) {
-  std::vector<int> mapping;
-  if (!rule.condition.empty() &&
-      !tpq::FindHomomorphism(rule.condition, query,
-                             /*match_distinguished=*/false, &mapping)) {
+                       bool encode, const std::vector<int>* premapped) {
+  // The one homomorphism of this application: either threaded in from the
+  // caller's IsApplicable (the flock builder and conflict analysis do), or
+  // matched here. It is memoized against the evolving output query and only
+  // re-matched after a mutation that can change the (deterministic) search
+  // result — see Mutation. For the common single-match rules this makes each
+  // (rule, query) pair match exactly once end to end.
+  bool memo_valid = false;
+  bool memo_matched = false;
+  std::vector<int> memo_mapping;
+  if (premapped != nullptr) {
+    memo_valid = true;
+    memo_matched = true;
+    memo_mapping = *premapped;
+  } else if (!rule.condition.empty() &&
+             !tpq::FindHomomorphism(rule.condition, query,
+                                    /*match_distinguished=*/false,
+                                    &memo_mapping)) {
     return query;  // not applicable: identity
+  } else {
+    memo_valid = true;
+    memo_matched = true;
   }
   tpq::Tpq out = query;
 
-  // Mutations (subtree removal, node insertion) shift node indices, so the
-  // anchor of each atom is re-resolved against the current query state.
-  auto resolve = [&](const std::string& tag) {
-    std::vector<int> m;
-    if (!rule.condition.empty() &&
-        tpq::FindHomomorphism(rule.condition, out,
-                              /*match_distinguished=*/false, &m)) {
-      return ResolveAnchor(rule, out, m, tag);
+  // Mutations (subtree removal, node insertion) can shift node indices or
+  // flip the match, so each atom's anchor resolves against the memo of the
+  // current query state.
+  auto note_mutation = [&](Mutation m) {
+    switch (m) {
+      case Mutation::kNone:
+      case Mutation::kInvisible:
+        break;
+      case Mutation::kAppendNode:
+        // A successful match re-finds the identical mapping (the appended
+        // node is tried last); a failed one could newly succeed, so only
+        // the success memo survives.
+        if (!(memo_valid && memo_matched)) memo_valid = false;
+        break;
+      case Mutation::kInvalidating:
+        memo_valid = false;
+        break;
     }
+  };
+  auto resolve = [&](const std::string& tag) {
+    if (rule.condition.empty()) return out.FindByTag(tag);
+    if (!memo_valid) {
+      memo_matched = tpq::FindHomomorphism(rule.condition, out,
+                                           /*match_distinguished=*/false,
+                                           &memo_mapping);
+      memo_valid = true;
+    }
+    if (memo_matched) return ResolveAnchor(rule, out, memo_mapping, tag);
     return out.FindByTag(tag);
   };
 
@@ -267,7 +340,10 @@ tpq::Tpq ApplyRuleImpl(const ScopingRule& rule, const tpq::Tpq& query,
           for (int c : out.node(anchor).children) {
             if (out.node(c).tag == del.child_tag &&
                 out.node(c).parent_edge == del.edge) {
-              out.mutable_node(c).parent_edge = add.edge;
+              if (out.node(c).parent_edge != add.edge) {
+                out.mutable_node(c).parent_edge = add.edge;
+                note_mutation(Mutation::kInvalidating);
+              }
               break;
             }
           }
@@ -279,13 +355,15 @@ tpq::Tpq ApplyRuleImpl(const ScopingRule& rule, const tpq::Tpq& query,
     }
     for (size_t i = 0; i < rule.replaced.size(); ++i) {
       if (handled[i]) continue;
-      DeleteAtom(rule.replaced[i], &out, resolve(rule.replaced[i].node_tag),
-                 encode, rule.weight);
+      note_mutation(DeleteAtom(rule.replaced[i], &out,
+                               resolve(rule.replaced[i].node_tag), encode,
+                               rule.weight));
     }
     for (size_t j = 0; j < rule.conclusion.size(); ++j) {
       if (used[j]) continue;
-      AddAtom(rule.conclusion[j], &out, resolve(rule.conclusion[j].node_tag),
-              encode, rule.weight);
+      note_mutation(AddAtom(rule.conclusion[j], &out,
+                            resolve(rule.conclusion[j].node_tag), encode,
+                            rule.weight));
     }
     return out;
   }
@@ -293,9 +371,9 @@ tpq::Tpq ApplyRuleImpl(const ScopingRule& rule, const tpq::Tpq& query,
   for (const SrAtom& atom : rule.conclusion) {
     int anchor = resolve(atom.node_tag);
     if (rule.action == SrAction::kAdd) {
-      AddAtom(atom, &out, anchor, encode, rule.weight);
+      note_mutation(AddAtom(atom, &out, anchor, encode, rule.weight));
     } else {
-      DeleteAtom(atom, &out, anchor, encode, rule.weight);
+      note_mutation(DeleteAtom(atom, &out, anchor, encode, rule.weight));
     }
   }
   return out;
@@ -303,12 +381,14 @@ tpq::Tpq ApplyRuleImpl(const ScopingRule& rule, const tpq::Tpq& query,
 
 }  // namespace
 
-tpq::Tpq ApplyRule(const ScopingRule& rule, const tpq::Tpq& query) {
-  return ApplyRuleImpl(rule, query, /*encode=*/false);
+tpq::Tpq ApplyRule(const ScopingRule& rule, const tpq::Tpq& query,
+                   const std::vector<int>* mapping) {
+  return ApplyRuleImpl(rule, query, /*encode=*/false, mapping);
 }
 
-tpq::Tpq ApplyRuleEncoded(const ScopingRule& rule, const tpq::Tpq& query) {
-  return ApplyRuleImpl(rule, query, /*encode=*/true);
+tpq::Tpq ApplyRuleEncoded(const ScopingRule& rule, const tpq::Tpq& query,
+                          const std::vector<int>* mapping) {
+  return ApplyRuleImpl(rule, query, /*encode=*/true, mapping);
 }
 
 }  // namespace pimento::profile

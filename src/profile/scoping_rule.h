@@ -69,17 +69,32 @@ struct ScopingRule {
 /// True iff `rule`'s condition is subsumed by `query` (§5.1 applicability).
 bool IsApplicable(const ScopingRule& rule, const tpq::Tpq& query);
 
+/// Mapping-capturing applicability check: on success `*mapping` receives
+/// the condition-node -> query-node homomorphism, which ApplyRule /
+/// ApplyRuleEncoded accept back so the same (rule, query) pair is never
+/// re-matched (the flock builder and conflict analysis thread it through).
+/// An empty condition matches with an empty mapping.
+bool IsApplicable(const ScopingRule& rule, const tpq::Tpq& query,
+                  std::vector<int>* mapping);
+
 /// p(Q): applies `rule` to `query`, returning the rewritten query. Returns
 /// the query unchanged if the rule is not applicable. Added predicates are
 /// *required* in the rewritten query (this is the literal flock-member
 /// semantics; flock *encoding* later relaxes them to optional).
-tpq::Tpq ApplyRule(const ScopingRule& rule, const tpq::Tpq& query);
+///
+/// `mapping`, when non-null, must be the homomorphism IsApplicable found
+/// for exactly this (rule, query) pair; the application then starts from it
+/// instead of re-running the match. Output is byte-identical either way.
+tpq::Tpq ApplyRule(const ScopingRule& rule, const tpq::Tpq& query,
+                   const std::vector<int>* mapping = nullptr);
 
 /// Flock-encoding variant of ApplyRule (§6.1): added predicates become
 /// *optional* (scored, non-filtering), deleted predicates are demoted to
 /// optional instead of removed, and replace-relaxations mutate edges in
 /// place — producing the single-plan encoding of the query flock.
-tpq::Tpq ApplyRuleEncoded(const ScopingRule& rule, const tpq::Tpq& query);
+/// `mapping` as in ApplyRule.
+tpq::Tpq ApplyRuleEncoded(const ScopingRule& rule, const tpq::Tpq& query,
+                          const std::vector<int>* mapping = nullptr);
 
 }  // namespace pimento::profile
 

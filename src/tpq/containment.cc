@@ -1,5 +1,6 @@
 #include "src/tpq/containment.h"
 
+#include <atomic>
 #include <string>
 
 #include "src/text/tokenizer.h"
@@ -106,12 +107,19 @@ class Matcher {
   std::vector<int> mapping_;
 };
 
+std::atomic<int64_t> g_hom_probes{0};
+
 }  // namespace
+
+int64_t HomomorphismProbes() {
+  return g_hom_probes.load(std::memory_order_relaxed);
+}
 
 bool FindHomomorphism(const Tpq& pattern, const Tpq& query,
                       bool match_distinguished, std::vector<int>* mapping) {
   if (pattern.empty()) return true;  // condition "true"
   if (query.empty()) return false;
+  g_hom_probes.fetch_add(1, std::memory_order_relaxed);
   Matcher m(pattern, query, match_distinguished);
   if (!m.Run()) return false;
   if (mapping != nullptr) *mapping = m.mapping();

@@ -1,6 +1,7 @@
 #ifndef PIMENTO_TPQ_CONTAINMENT_H_
 #define PIMENTO_TPQ_CONTAINMENT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/tpq/tpq.h"
@@ -31,6 +32,13 @@ namespace pimento::tpq {
 bool FindHomomorphism(const Tpq& pattern, const Tpq& query,
                       bool match_distinguished,
                       std::vector<int>* mapping = nullptr);
+
+/// Process-wide count of homomorphism searches actually run (empty-pattern
+/// short-circuits are free and not counted). Monotone, thread-safe. The
+/// profile compiler's match-count probes and bench_profile_compile read it
+/// to pin "each (rule, query) pair matches at most once" and the compiled
+/// path's >=10x homomorphism reduction.
+int64_t HomomorphismProbes();
 
 /// True iff `query`'s answers are guaranteed to satisfy `condition`, i.e.
 /// the query subsumes the rule condition (rule applicability, §5.1).

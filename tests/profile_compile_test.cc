@@ -1,0 +1,687 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/common/fault_injector.h"
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/exec/profile_cache.h"
+#include "src/exec/profile_store.h"
+#include "src/profile/compiled_profile.h"
+#include "src/profile/flock.h"
+#include "src/profile/rule_index.h"
+#include "src/profile/rule_parser.h"
+#include "src/tpq/containment.h"
+#include "src/tpq/tpq_parser.h"
+
+namespace pimento::profile {
+namespace {
+
+tpq::Tpq Q(const std::string& text) {
+  auto q = tpq::ParseTpq(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return *q;
+}
+
+ScopingRule SR(const std::string& text) {
+  auto r = ParseScopingRule(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return *r;
+}
+
+// --- randomized profile / query generators -------------------------------
+//
+// The pools are deliberately small so generated rules shadow each other
+// (deletes killing other rules' condition terms), replace-chains arise
+// (relaxing the edge another rule's condition needs), and identical
+// priorities force the unordered-cycle error path.
+
+const char* kTags[] = {"car", "description", "price", "seller", "truck"};
+const char* kKeywords[] = {"alpha", "beta", "gamma", "low mileage",
+                           "good condition"};
+
+std::string RandTag(std::mt19937& rng) { return kTags[rng() % 5]; }
+std::string RandKw(std::mt19937& rng) { return kKeywords[rng() % 5]; }
+
+std::string RandCondition(std::mt19937& rng) {
+  switch (rng() % 5) {
+    case 0:
+      return "true";
+    case 1:
+      return "//" + RandTag(rng);
+    case 2:
+      return "//" + RandTag(rng) + "/" + RandTag(rng);
+    case 3:
+      return "//" + RandTag(rng) + "[ftcontains(., \"" + RandKw(rng) +
+             "\")]";
+    default:
+      return "//" + RandTag(rng) + "/" + RandTag(rng) +
+             "[ftcontains(., \"" + RandKw(rng) + "\")]";
+  }
+}
+
+std::string RandRule(std::mt19937& rng, int i) {
+  const std::string name = "g" + std::to_string(i);
+  // Colliding priorities on purpose: % 4 over up to 24 rules.
+  const std::string prio = " priority " + std::to_string(rng() % 4);
+  const std::string cond = RandCondition(rng);
+  switch (rng() % 4) {
+    case 0:
+      return "sr " + name + prio + ": if " + cond + " then add ftcontains(" +
+             RandTag(rng) + ", \"" + RandKw(rng) + "\")";
+    case 1:
+      return "sr " + name + prio + ": if " + cond +
+             " then delete ftcontains(" + RandTag(rng) + ", \"" +
+             RandKw(rng) + "\")";
+    case 2: {
+      const std::string parent = RandTag(rng), child = RandTag(rng);
+      return "sr " + name + prio + ": if " + cond + " then replace pc(" +
+             parent + ", " + child + ") with ad(" + parent + ", " + child +
+             ")";
+    }
+    default:
+      return "sr " + name + prio + ": if " + cond + " then delete value(" +
+             RandTag(rng) + ") < " + std::to_string(1000 + rng() % 3000);
+  }
+}
+
+std::vector<ScopingRule> RandProfile(std::mt19937& rng, int n) {
+  std::vector<ScopingRule> rules;
+  rules.reserve(n);
+  for (int i = 0; i < n; ++i) rules.push_back(SR(RandRule(rng, i)));
+  return rules;
+}
+
+std::string RandQuery(std::mt19937& rng) {
+  switch (rng() % 5) {
+    case 0:
+      return "//" + RandTag(rng);
+    case 1:
+      return "//" + RandTag(rng) + "[ftcontains(., \"" + RandKw(rng) +
+             "\")]";
+    case 2:
+      return "//" + RandTag(rng) + "[./" + RandTag(rng) +
+             "[ftcontains(., \"" + RandKw(rng) + "\")]]";
+    case 3:
+      return "//" + RandTag(rng) + "[./" + RandTag(rng) +
+             "[ftcontains(., \"" + RandKw(rng) + "\") and ftcontains(., \"" +
+             RandKw(rng) + "\")] and ./price < " +
+             std::to_string(1000 + rng() % 3000) + "]";
+    default:
+      return "//" + RandTag(rng) + "/" + RandTag(rng);
+  }
+}
+
+/// Asserts the compiled path reproduces the scan path byte-for-byte on one
+/// (rules, query) pair: same status on failure, same members, applied
+/// rules, encoding, and conflict report on success.
+void ExpectFlockIdentical(const std::vector<ScopingRule>& rules,
+                          const CompiledRules& compiled,
+                          const tpq::Tpq& query, const std::string& label) {
+  StatusOr<QueryFlock> scan = BuildFlock(query, rules);
+  StatusOr<QueryFlock> fast = BuildFlockCompiled(query, compiled);
+  ASSERT_EQ(scan.ok(), fast.ok())
+      << label << ": scan=" << scan.status().ToString()
+      << " compiled=" << fast.status().ToString();
+  if (!scan.ok()) {
+    EXPECT_EQ(scan.status().ToString(), fast.status().ToString()) << label;
+    return;
+  }
+  ASSERT_EQ(scan->members.size(), fast->members.size()) << label;
+  for (size_t m = 0; m < scan->members.size(); ++m) {
+    EXPECT_EQ(scan->members[m].ToString(), fast->members[m].ToString())
+        << label << " member " << m;
+  }
+  EXPECT_EQ(scan->applied_rules, fast->applied_rules) << label;
+  EXPECT_EQ(scan->encoded.ToString(), fast->encoded.ToString()) << label;
+  EXPECT_EQ(scan->conflict_report.applicable, fast->conflict_report.applicable)
+      << label;
+  EXPECT_EQ(scan->conflict_report.conflicts, fast->conflict_report.conflicts)
+      << label;
+  EXPECT_EQ(scan->conflict_report.acyclic, fast->conflict_report.acyclic)
+      << label;
+  EXPECT_EQ(scan->conflict_report.order, fast->conflict_report.order)
+      << label;
+  EXPECT_EQ(scan->conflict_report.ordered, fast->conflict_report.ordered)
+      << label;
+}
+
+// --- compiled-vs-scan equivalence ----------------------------------------
+
+TEST(CompiledFlockTest, Fig2ByteIdentical) {
+  const std::vector<ScopingRule> rules = {
+      SR("sr p1 priority 3: if //car/description[ftcontains(., \"low "
+         "mileage\")] then delete ftcontains(car, \"good condition\")"),
+      SR("sr p2 priority 1: if //car/description[ftcontains(., \"good "
+         "condition\")] then add ftcontains(description, \"american\")"),
+      SR("sr p3 priority 2: if //car/description[ftcontains(., \"good "
+         "condition\")] then delete ftcontains(description, \"low "
+         "mileage\")"),
+  };
+  CompiledRules compiled = CompileRules(rules);
+  ExpectFlockIdentical(
+      rules, compiled,
+      Q("//car[./description[ftcontains(., \"good condition\") and "
+        "ftcontains(., \"low mileage\")] and ./price < 2000]"),
+      "fig2");
+  ExpectFlockIdentical(rules, compiled, Q("//car"), "fig2 bare");
+  ExpectFlockIdentical(rules, compiled, Q("//truck"), "fig2 miss");
+}
+
+TEST(CompiledFlockTest, ReplaceChainByteIdentical) {
+  // relax1 rewrites the pc edge relax2's condition still sees as ad;
+  // together with the keyword delete this exercises arc probes that the
+  // static certificates cannot decide.
+  const std::vector<ScopingRule> rules = {
+      SR("sr relax1 priority 1: if //car/description then replace "
+         "pc(car, description) with ad(car, description)"),
+      SR("sr kill priority 2: if //car[ftcontains(., \"alpha\")] then "
+         "delete ftcontains(car, \"alpha\")"),
+      SR("sr relax2 priority 3: if //car//description then replace "
+         "pc(description, price) with ad(description, price)"),
+  };
+  CompiledRules compiled = CompileRules(rules);
+  ExpectFlockIdentical(
+      rules, compiled,
+      Q("//car[ftcontains(., \"alpha\") and ./description/price < 500]"),
+      "replace chain");
+  ExpectFlockIdentical(rules, compiled,
+                       Q("//car/description[ftcontains(., \"alpha\")]"),
+                       "replace chain 2");
+}
+
+TEST(CompiledFlockTest, ConflictingPrioritiesSameVerdict) {
+  // Mutual shadowing with equal priorities: the scan path fails with
+  // kConflict; the compiled path must fail identically.
+  const std::vector<ScopingRule> rules = {
+      SR("sr a priority 1: if //car[ftcontains(., \"alpha\")] then delete "
+         "ftcontains(car, \"beta\")"),
+      SR("sr b priority 1: if //car[ftcontains(., \"beta\")] then delete "
+         "ftcontains(car, \"alpha\")"),
+  };
+  CompiledRules compiled = CompileRules(rules);
+  const tpq::Tpq query =
+      Q("//car[ftcontains(., \"alpha\") and ftcontains(., \"beta\")]");
+  StatusOr<QueryFlock> scan = BuildFlock(query, rules);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kConflict);
+  ExpectFlockIdentical(rules, compiled, query, "mutual shadow");
+}
+
+TEST(CompiledFlockTest, RandomizedByteIdentity) {
+  std::mt19937 rng(20260807);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = 1 + rng() % 24;
+    std::vector<ScopingRule> rules = RandProfile(rng, n);
+    CompiledRules compiled = CompileRules(rules);
+    for (int qi = 0; qi < 6; ++qi) {
+      const std::string qtext = RandQuery(rng);
+      ExpectFlockIdentical(rules, compiled, Q(qtext),
+                           "trial " + std::to_string(trial) + " q=" + qtext);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CompiledFlockTest, RelationsRoundTripSkipsRecompilation) {
+  std::mt19937 rng(777);
+  std::vector<ScopingRule> rules = RandProfile(rng, 16);
+  CompiledRules fresh = CompileRules(rules);
+  const std::string blob = SerializeRelations(fresh);
+  CompiledRules loaded = CompileRules(rules, blob);
+  EXPECT_EQ(loaded.compile_hom_runs, 0)
+      << "valid relations blob must skip the O(n^2) derivation";
+  EXPECT_EQ(fresh.arc_impossible, loaded.arc_impossible);
+  EXPECT_EQ(fresh.implies, loaded.implies);
+  // And a tampered blob must fall back to a full (correct) compile.
+  std::string bad = blob;
+  bad[bad.size() / 2] ^= 0x40;
+  CompiledRules recompiled = CompileRules(rules, bad);
+  EXPECT_EQ(recompiled.arc_impossible, fresh.arc_impossible);
+  EXPECT_EQ(recompiled.implies, fresh.implies);
+}
+
+// --- homomorphism accounting ---------------------------------------------
+
+TEST(HomCountTest, ApplyRuleWithMappingRunsNoExtraHom) {
+  const ScopingRule rule =
+      SR("sr p1: if //car/description[ftcontains(., \"low mileage\")] then "
+         "delete ftcontains(car, \"good condition\")");
+  const tpq::Tpq query =
+      Q("//car[./description[ftcontains(., \"good condition\") and "
+        "ftcontains(., \"low mileage\")]]");
+  std::vector<int> mapping;
+  int64_t before = tpq::HomomorphismProbes();
+  ASSERT_TRUE(IsApplicable(rule, query, &mapping));
+  EXPECT_EQ(tpq::HomomorphismProbes() - before, 1)
+      << "applicability is exactly one homomorphism search";
+  before = tpq::HomomorphismProbes();
+  tpq::Tpq applied = ApplyRule(rule, query, &mapping);
+  EXPECT_EQ(tpq::HomomorphismProbes() - before, 0)
+      << "a premapped ApplyRule must not re-match (satellite: each "
+         "(rule, query) pair matches at most once)";
+  // And the unmapped form still works, at exactly one re-match.
+  before = tpq::HomomorphismProbes();
+  tpq::Tpq applied2 = ApplyRule(rule, query);
+  EXPECT_EQ(tpq::HomomorphismProbes() - before, 1);
+  EXPECT_EQ(applied.ToString(), applied2.ToString());
+}
+
+TEST(HomCountTest, CompiledPathPrunesHomsByTag) {
+  // 40 rules spread over 5 tags; the query mentions one tag, so the index
+  // should hand the compiled path only that tag's rules while the scan
+  // path matches all 40.
+  std::vector<ScopingRule> rules;
+  for (int i = 0; i < 40; ++i) {
+    const std::string tag = kTags[i % 5];
+    rules.push_back(SR("sr s" + std::to_string(i) + ": if //" + tag +
+                       "[ftcontains(., \"kw" + std::to_string(i) +
+                       "\")] then add ftcontains(" + tag + ", \"extra" +
+                       std::to_string(i) + "\")"));
+  }
+  CompiledRules compiled = CompileRules(rules);
+  const tpq::Tpq query = Q("//seller[ftcontains(., \"kw3\")]");
+
+  int64_t before = tpq::HomomorphismProbes();
+  auto scan = BuildFlock(query, rules);
+  const int64_t scan_homs = tpq::HomomorphismProbes() - before;
+  ASSERT_TRUE(scan.ok());
+
+  FlockBuildStats stats;
+  before = tpq::HomomorphismProbes();
+  auto fast = BuildFlockCompiled(query, compiled, nullptr, &stats);
+  const int64_t fast_homs = tpq::HomomorphismProbes() - before;
+  ASSERT_TRUE(fast.ok());
+
+  EXPECT_GE(scan_homs, 40) << "scan path matches every rule";
+  EXPECT_LE(stats.candidates, 8) << "index must prune to one tag's bucket";
+  EXPECT_LE(fast_homs * 4, scan_homs)
+      << "compiled path must run at least 4x fewer homomorphisms";
+}
+
+TEST(HomCountTest, OrderMemoServesRepeatQueries) {
+  // Add-only rules: every pair is statically arc-impossible, so the
+  // conflict order is query-independent and memoizable.
+  std::vector<ScopingRule> rules;
+  for (int i = 0; i < 8; ++i) {
+    rules.push_back(SR("sr m" + std::to_string(i) + ": if //car then add "
+                       "ftcontains(car, \"memo" + std::to_string(i) +
+                       "\")"));
+  }
+  CompiledRules compiled = CompileRules(rules);
+  const tpq::Tpq query = Q("//car");
+  FlockBuildStats first, second;
+  ASSERT_TRUE(BuildFlockCompiled(query, compiled, nullptr, &first).ok());
+  ASSERT_TRUE(BuildFlockCompiled(query, compiled, nullptr, &second).ok());
+  EXPECT_EQ(first.order_memo_misses, 1);
+  EXPECT_EQ(second.order_memo_hits, 1);
+  EXPECT_EQ(second.probed_pairs, 0)
+      << "statically decided pairs never probe at query time";
+}
+
+// --- rule index ----------------------------------------------------------
+
+TEST(RuleIndexTest, NoFalseNegativesRandomized) {
+  std::mt19937 rng(424242);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<ScopingRule> rules = RandProfile(rng, 1 + rng() % 20);
+    RuleIndex index = RuleIndex::Build(rules);
+    for (int qi = 0; qi < 8; ++qi) {
+      const tpq::Tpq query = Q(RandQuery(rng));
+      const uint64_t qmask = RuleIndex::QueryMask(query);
+      std::vector<int> cand = index.CandidateRules(
+          qmask, RuleIndex::QueryTags(query), nullptr);
+      for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+        if (!IsApplicable(rules[r], query)) continue;
+        EXPECT_TRUE(std::find(cand.begin(), cand.end(), r) != cand.end())
+            << "applicable rule " << rules[r].ToString()
+            << " missing from candidates for " << query.ToString();
+        EXPECT_TRUE(index.MightApply(r, qmask));
+      }
+    }
+  }
+}
+
+TEST(RuleIndexTest, CandidatesAscendingNoDuplicates) {
+  std::mt19937 rng(11);
+  std::vector<ScopingRule> rules = RandProfile(rng, 24);
+  RuleIndex index = RuleIndex::Build(rules);
+  for (int qi = 0; qi < 10; ++qi) {
+    const tpq::Tpq query = Q(RandQuery(rng));
+    std::vector<int> cand = index.CandidateRules(
+        RuleIndex::QueryMask(query), RuleIndex::QueryTags(query), nullptr);
+    for (size_t i = 1; i < cand.size(); ++i) {
+      EXPECT_LT(cand[i - 1], cand[i]);
+    }
+  }
+}
+
+// --- profile store -------------------------------------------------------
+
+std::string StorePath(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> RuleLines(const std::vector<ScopingRule>& rules) {
+  std::vector<std::string> lines;
+  for (const ScopingRule& r : rules) lines.push_back(r.ToString());
+  return lines;
+}
+
+std::vector<uint64_t> LineHashes(const std::vector<std::string>& lines) {
+  std::vector<uint64_t> hashes;
+  for (const std::string& l : lines) {
+    hashes.push_back(exec::ProfileStore::RuleHash(l));
+  }
+  return hashes;
+}
+
+TEST(ProfileStoreTest, RoundTripAcrossReopen) {
+  const std::string path = StorePath("profile_store_rt.bin");
+  std::mt19937 rng(5);
+  std::vector<ScopingRule> rules = RandProfile(rng, 8);
+  const std::vector<std::string> lines = RuleLines(rules);
+  const std::vector<uint64_t> hashes = LineHashes(lines);
+  const std::string blob = SerializeRelations(CompileRules(rules));
+  {
+    auto store = exec::ProfileStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE(
+        (*store)->Put(0xAB, kRuleCompilerVersion, lines, blob).ok());
+    std::string got;
+    EXPECT_TRUE((*store)->Get(0xAB, kRuleCompilerVersion, hashes, &got));
+    EXPECT_EQ(got, blob);
+  }
+  auto reopened = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::string got;
+  EXPECT_TRUE((*reopened)->Get(0xAB, kRuleCompilerVersion, hashes, &got));
+  EXPECT_EQ(got, blob);
+  EXPECT_EQ((*reopened)->GetStats().profiles, 1);
+  EXPECT_EQ((*reopened)->GetStats().rule_lines, 8);
+}
+
+TEST(ProfileStoreTest, VersionAndRuleChangeInvalidate) {
+  const std::string path = StorePath("profile_store_ver.bin");
+  auto store = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  const std::vector<std::string> lines = {"sr a: if true then add "
+                                          "ftcontains(car, \"x\")"};
+  const std::vector<uint64_t> hashes = LineHashes(lines);
+  ASSERT_TRUE((*store)->Put(1, kRuleCompilerVersion, lines, "blob").ok());
+  std::string got;
+  EXPECT_TRUE((*store)->Get(1, kRuleCompilerVersion, hashes, &got));
+  EXPECT_FALSE((*store)->Get(1, kRuleCompilerVersion + 1, hashes, &got))
+      << "a compiler bump must invalidate stored relations";
+  std::vector<uint64_t> other = hashes;
+  other[0] ^= 1;
+  EXPECT_FALSE((*store)->Get(1, kRuleCompilerVersion, other, &got))
+      << "changed rules must invalidate stored relations";
+  EXPECT_FALSE((*store)->Get(2, kRuleCompilerVersion, hashes, &got));
+}
+
+TEST(ProfileStoreTest, SharedRuleLinesDeduped) {
+  const std::string path = StorePath("profile_store_dedup.bin");
+  auto store = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  // Two "users" whose profiles share both rule lines.
+  const std::vector<std::string> lines = {
+      "sr a: if //car then add ftcontains(car, \"x\")",
+      "sr b: if //car then add ftcontains(car, \"y\")"};
+  ASSERT_TRUE((*store)->Put(100, kRuleCompilerVersion, lines, "b1").ok());
+  ASSERT_TRUE((*store)->Put(200, kRuleCompilerVersion, lines, "b2").ok());
+  const exec::ProfileStore::Stats stats = (*store)->GetStats();
+  EXPECT_EQ(stats.profiles, 2);
+  EXPECT_EQ(stats.rule_lines, 2) << "shared lines stored once";
+  EXPECT_EQ(stats.dedup_rule_hits, 2);
+}
+
+TEST(ProfileStoreTest, TornTailTruncatedOnOpen) {
+  const std::string path = StorePath("profile_store_torn.bin");
+  const std::vector<std::string> lines = {"sr a: if true then add "
+                                          "ftcontains(car, \"x\")"};
+  const std::vector<uint64_t> hashes = LineHashes(lines);
+  {
+    auto store = exec::ProfileStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(7, kRuleCompilerVersion, lines, "blob").ok());
+  }
+  {
+    // Simulate a crash mid-append: a frame header promising more bytes
+    // than the file holds.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    const uint32_t len = 1000;
+    f.write(reinterpret_cast<const char*>(&len), 4);
+    f.write("partial", 7);
+  }
+  auto reopened = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GT((*reopened)->GetStats().truncated_bytes, 0);
+  std::string got;
+  EXPECT_TRUE((*reopened)->Get(7, kRuleCompilerVersion, hashes, &got))
+      << "records before the torn tail must survive";
+  // The truncation is durable: a third open sees a clean file.
+  auto third = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ((*third)->GetStats().truncated_bytes, 0);
+}
+
+TEST(ProfileStoreTest, BadMagicIsCorrupt) {
+  const std::string path = StorePath("profile_store_magic.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTPROF!garbage";
+  }
+  auto store = exec::ProfileStore::Open(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kCorruptIndex);
+}
+
+TEST(ProfileStoreTest, ChecksummedGarbagePayloadIsCorrupt) {
+  const std::string path = StorePath("profile_store_payload.bin");
+  {
+    auto store = exec::ProfileStore::Open(path);
+    ASSERT_TRUE(store.ok());
+  }
+  {
+    // A perfectly framed record whose payload type is unknown: the frame
+    // checks out, so this is not a torn tail — it is corruption (or a
+    // future format) and must fail loudly instead of being dropped.
+    std::string payload("\x63 garbage payload", 17);
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const uint32_t crc = Crc32(payload.data(), payload.size());
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write(reinterpret_cast<const char*>(&len), 4);
+    f.write(payload.data(), payload.size());
+    f.write(reinterpret_cast<const char*>(&crc), 4);
+  }
+  auto store = exec::ProfileStore::Open(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kCorruptIndex);
+}
+
+TEST(ProfileStoreTest, PutFaultSurfacesButSearchSurvives) {
+  const std::string path = StorePath("profile_store_fault.bin");
+  struct FaultGuard {
+    ~FaultGuard() { FaultInjector::Instance().DisarmAll(); }
+  } guard;
+  auto store = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kError;
+  spec.code = StatusCode::kIoError;
+  FaultInjector::Instance().Arm("store.profile.put", spec);
+  Status put = (*store)->Put(9, kRuleCompilerVersion,
+                             {"sr a: if true then add ftcontains(a, \"x\")"},
+                             "blob");
+  EXPECT_FALSE(put.ok());
+  EXPECT_EQ(put.code(), StatusCode::kIoError);
+  std::string got;
+  EXPECT_FALSE((*store)->Get(
+      9, kRuleCompilerVersion,
+      LineHashes({"sr a: if true then add ftcontains(a, \"x\")"}), &got))
+      << "a failed Put must not publish in-memory state";
+
+  // End-to-end: with the store still failing, a cache compile succeeds
+  // anyway (persistence is best-effort).
+  exec::ProfileCache cache;
+  cache.set_store(store->get());
+  auto compiled = cache.GetOrCompile(
+      "sr p1: if //car then add ftcontains(car, \"zzz\")");
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+}
+
+TEST(ProfileStoreTest, CacheLayeringServesColdUserFromDisk) {
+  const std::string path = StorePath("profile_store_layered.bin");
+  const std::string text =
+      "sr p1: if //car/description[ftcontains(., \"low mileage\")] then "
+      "delete ftcontains(car, \"good condition\")\n"
+      "sr p2: if //car then add ftcontains(car, \"vintage\")\n";
+  {
+    auto store = exec::ProfileStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    exec::ProfileCache cache;
+    cache.set_store(store->get());
+    ASSERT_TRUE(cache.GetOrCompile(text).ok());
+    EXPECT_EQ((*store)->GetStats().appends, 1);
+  }
+  // A new process (fresh cache, reopened store): the compile must be a
+  // store hit, and the compiled flocks must match a from-scratch compile.
+  auto store = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  exec::ProfileCache cache;
+  cache.set_store(store->get());
+  auto warm = cache.GetOrCompile(text);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ((*store)->GetStats().hits, 1);
+  EXPECT_EQ((*store)->GetStats().appends, 0) << "a hit must not re-append";
+  EXPECT_EQ((*warm)->compiled_rules.compile_hom_runs, 0)
+      << "cold-user path loads relations instead of re-deriving";
+  ExpectFlockIdentical((*warm)->profile.scoping_rules,
+                       (*warm)->compiled_rules, Q("//car"), "layered");
+}
+
+// --- concurrency (also run under TSan; see tests/CMakeLists.txt) ---------
+
+TEST(ProfileStoreConcurrencyTest, ConcurrentCompileAndStoreTraffic) {
+  const std::string path = StorePath("profile_store_conc.bin");
+  auto store = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  exec::ProfileCache cache;
+  cache.set_store(store->get());
+  // Four distinct profiles, eight threads hammering GetOrCompile plus raw
+  // store Get/Put traffic; every operation must succeed and agree.
+  std::vector<std::string> texts;
+  for (int i = 0; i < 4; ++i) {
+    texts.push_back("sr c" + std::to_string(i) +
+                    ": if //car then add ftcontains(car, \"kw" +
+                    std::to_string(i) + "\")\n");
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::string& text = texts[(t + i) % texts.size()];
+        auto compiled = cache.GetOrCompile(text);
+        if (!compiled.ok()) {
+          ++failures;
+          continue;
+        }
+        auto flock =
+            BuildFlockCompiled(Q("//car"), (*compiled)->compiled_rules);
+        if (!flock.ok() || flock->members.size() != 2) ++failures;
+        std::string blob;
+        (*store)->Get(exec::ProfileCache::ContentHash(text),
+                      kRuleCompilerVersion,
+                      LineHashes(RuleLines((*compiled)->profile.scoping_rules)),
+                      &blob);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*store)->GetStats().profiles, 4);
+}
+
+// --- engine-level identity ----------------------------------------------
+
+TEST(EngineCompiledProfileTest, HandleTextAndParsedAgreeAcrossRankOrders) {
+  core::SearchEngine engine = [] {
+    data::CarGenOptions gen;
+    gen.num_cars = 60;
+    return core::SearchEngine(
+        index::Collection::Build(data::GenerateCarDealer(gen)));
+  }();
+  const char* kRankLines[] = {"rank K,V,S", "rank V,K,S", "rank S"};
+  const std::string body =
+      "sr p1 priority 3: if //car/description[ftcontains(., \"low "
+      "mileage\")] then delete ftcontains(car, \"good condition\")\n"
+      "sr p2 priority 1: if //car/description[ftcontains(., \"good "
+      "condition\")] then add ftcontains(description, \"american\")\n"
+      "sr p3 priority 2: if //car/description[ftcontains(., \"good "
+      "condition\")] then delete ftcontains(description, \"low mileage\")\n"
+      "vor pi1: tag=car prefer color = \"red\"\n"
+      "kor pi4: tag=car prefer ftcontains(\"best bid\")\n";
+  const std::string query =
+      "//car[./description[ftcontains(., \"good condition\") and "
+      "ftcontains(., \"low mileage\")] and ./price < 2000]";
+  for (const char* rank : kRankLines) {
+    const std::string text = std::string(rank) + "\n" + body;
+
+    // Path 1: borrowed parsed profile — the legacy scan flock path.
+    auto parsed = ParseProfile(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    core::SearchRequest by_parsed;
+    by_parsed.query_text = query;
+    by_parsed.profile = &*parsed;
+    auto scan_result = engine.Execute(by_parsed);
+    ASSERT_TRUE(scan_result.ok()) << scan_result.status().ToString();
+
+    // Path 2: profile text through the cache (compiled path).
+    core::SearchRequest by_text;
+    by_text.query_text = query;
+    by_text.profile_text = text;
+    auto text_result = engine.Execute(by_text);
+    ASSERT_TRUE(text_result.ok()) << text_result.status().ToString();
+
+    // Path 3: explicit precompiled handle.
+    auto handle = engine.CompileProfile(text);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    core::SearchRequest by_handle;
+    by_handle.query_text = query;
+    by_handle.compiled_profile = *handle;
+    auto handle_result = engine.Execute(by_handle);
+    ASSERT_TRUE(handle_result.ok()) << handle_result.status().ToString();
+
+    ASSERT_EQ(scan_result->answers.size(), text_result->answers.size())
+        << rank;
+    ASSERT_EQ(scan_result->answers.size(), handle_result->answers.size())
+        << rank;
+    for (size_t i = 0; i < scan_result->answers.size(); ++i) {
+      EXPECT_EQ(scan_result->answers[i].node, text_result->answers[i].node)
+          << rank << " answer " << i;
+      EXPECT_EQ(scan_result->answers[i].node, handle_result->answers[i].node)
+          << rank << " answer " << i;
+      EXPECT_DOUBLE_EQ(scan_result->answers[i].s,
+                       handle_result->answers[i].s)
+          << rank << " answer " << i;
+    }
+    EXPECT_EQ(scan_result->flock.encoded.ToString(),
+              handle_result->flock.encoded.ToString())
+        << rank;
+  }
+}
+
+}  // namespace
+}  // namespace pimento::profile

@@ -1,0 +1,186 @@
+#include "src/index/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace pimento::index {
+namespace {
+
+/// Restores the SIMD toggle on scope exit so a failing assertion cannot
+/// leak a scalar-forced process into other tests.
+class SimdToggleGuard {
+ public:
+  explicit SimdToggleGuard(bool enabled)
+      : previous_(SetSimdVarintEnabled(enabled)) {}
+  ~SimdToggleGuard() { SetSimdVarintEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+/// Decodes `data` with the path selected by `simd`; returns the decoder's
+/// verdict and fills positions/end_pos.
+bool DecodeWith(bool simd, const std::string& data, size_t count,
+                std::vector<int32_t>* positions, size_t* end_pos) {
+  SimdToggleGuard guard(simd);
+  positions->clear();
+  *end_pos = 0;
+  return DecodeDeltas(data, end_pos, count, positions);
+}
+
+TEST(VarintSimdTest, RoundTripSmallGapsTakesFastPath) {
+  if (!SimdVarintAvailable()) GTEST_SKIP() << "no SSSE3 on this host";
+  // 64 positions with gap 1..3: every byte single-byte, SIMD all the way.
+  std::vector<int32_t> plist;
+  int32_t p = 0;
+  for (int i = 0; i < 64; ++i) {
+    p += 1 + (i % 3);
+    plist.push_back(p);
+  }
+  std::string data;
+  EncodeDeltas(plist, &data);
+  std::vector<int32_t> scalar, simd;
+  size_t scalar_end = 0, simd_end = 0;
+  ASSERT_TRUE(DecodeWith(false, data, plist.size(), &scalar, &scalar_end));
+  ASSERT_TRUE(DecodeWith(true, data, plist.size(), &simd, &simd_end));
+  EXPECT_EQ(scalar, plist);
+  EXPECT_EQ(simd, plist);
+  EXPECT_EQ(scalar_end, simd_end);
+}
+
+TEST(VarintSimdTest, RandomizedScalarSimdEquivalence) {
+  if (!SimdVarintAvailable()) GTEST_SKIP() << "no SSSE3 on this host";
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Mix gap regimes so runs of single-byte deltas of every length are
+    // generated, interleaved with multi-byte gaps that force the scalar
+    // path mid-stream (and SIMD re-entry after it).
+    const size_t count = rng() % 200;
+    std::vector<int32_t> plist;
+    int64_t p = -1;
+    for (size_t i = 0; i < count; ++i) {
+      int64_t gap;
+      switch (rng() % 4) {
+        case 0:
+          gap = 1 + rng() % 8;  // tiny: SIMD fodder
+          break;
+        case 1:
+          gap = 1 + rng() % 127;  // full single-byte range
+          break;
+        case 2:
+          gap = 128 + rng() % 10000;  // 2-byte varint
+          break;
+        default:
+          gap = 1 + rng() % 2000000;  // up to 3-byte varint
+          break;
+      }
+      p += gap;
+      if (p > INT32_MAX) break;
+      plist.push_back(static_cast<int32_t>(p));
+    }
+    std::string data;
+    EncodeDeltas(plist, &data);
+    std::vector<int32_t> scalar, simd;
+    size_t scalar_end = 0, simd_end = 0;
+    const bool scalar_ok =
+        DecodeWith(false, data, plist.size(), &scalar, &scalar_end);
+    const bool simd_ok =
+        DecodeWith(true, data, plist.size(), &simd, &simd_end);
+    ASSERT_TRUE(scalar_ok) << "trial " << trial;
+    ASSERT_TRUE(simd_ok) << "trial " << trial;
+    ASSERT_EQ(scalar, plist) << "trial " << trial;
+    ASSERT_EQ(simd, plist) << "trial " << trial;
+    ASSERT_EQ(scalar_end, simd_end) << "trial " << trial;
+  }
+}
+
+TEST(VarintSimdTest, RandomizedCorruptionVerdictsAgree) {
+  if (!SimdVarintAvailable()) GTEST_SKIP() << "no SSSE3 on this host";
+  std::mt19937 rng(987654321);
+  int rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t count = 16 + rng() % 64;
+    std::vector<int32_t> plist;
+    int32_t p = 0;
+    for (size_t i = 0; i < count; ++i) {
+      p += 1 + rng() % 50;
+      plist.push_back(p);
+    }
+    std::string data;
+    EncodeDeltas(plist, &data);
+    // Flip one random byte (possibly creating a zero delta, a continuation
+    // bit, or a huge gap) or truncate the tail.
+    if (rng() % 2 == 0) {
+      data[rng() % data.size()] =
+          static_cast<char>(static_cast<uint8_t>(rng() % 256));
+    } else {
+      data.resize(rng() % data.size());
+    }
+    std::vector<int32_t> scalar, simd;
+    size_t scalar_end = 0, simd_end = 0;
+    const bool scalar_ok =
+        DecodeWith(false, data, count, &scalar, &scalar_end);
+    const bool simd_ok = DecodeWith(true, data, count, &simd, &simd_end);
+    ASSERT_EQ(scalar_ok, simd_ok) << "trial " << trial;
+    if (scalar_ok) {
+      ASSERT_EQ(scalar, simd) << "trial " << trial;
+      ASSERT_EQ(scalar_end, simd_end) << "trial " << trial;
+    } else {
+      ++rejected;
+    }
+  }
+  // The corruption generator must actually exercise the reject paths.
+  EXPECT_GT(rejected, 50);
+}
+
+TEST(VarintSimdTest, ZeroDeltaRejectedInsideSimdBlock) {
+  if (!SimdVarintAvailable()) GTEST_SKIP() << "no SSSE3 on this host";
+  // 32 single-byte deltas with a zero planted in the second 16-wide block.
+  std::string data(32, '\x01');
+  data[20] = '\x00';
+  std::vector<int32_t> scalar, simd;
+  size_t scalar_end = 0, simd_end = 0;
+  EXPECT_FALSE(DecodeWith(false, data, 32, &scalar, &scalar_end));
+  EXPECT_FALSE(DecodeWith(true, data, 32, &simd, &simd_end));
+}
+
+TEST(VarintSimdTest, NearInt32MaxFallsBackAndOverflowStillDetected) {
+  if (!SimdVarintAvailable()) GTEST_SKIP() << "no SSSE3 on this host";
+  // Start just below INT32_MAX, then 32 gaps of 127: overflows mid-run.
+  std::string data;
+  PutVarint(&data, static_cast<uint64_t>(INT32_MAX) - 1000);
+  data.append(32, '\x7F');
+  std::vector<int32_t> scalar, simd;
+  size_t scalar_end = 0, simd_end = 0;
+  EXPECT_FALSE(DecodeWith(false, data, 33, &scalar, &scalar_end));
+  EXPECT_FALSE(DecodeWith(true, data, 33, &simd, &simd_end));
+
+  // Same shape but stopping short of overflow: both accept, same output.
+  std::vector<int32_t> plist;
+  int64_t p = INT32_MAX - 16 * 127 - 5;
+  plist.push_back(static_cast<int32_t>(p));
+  for (int i = 0; i < 16; ++i) {
+    p += 127;
+    if (p > INT32_MAX) break;
+    plist.push_back(static_cast<int32_t>(p));
+  }
+  data.clear();
+  EncodeDeltas(plist, &data);
+  ASSERT_TRUE(DecodeWith(false, data, plist.size(), &scalar, &scalar_end));
+  ASSERT_TRUE(DecodeWith(true, data, plist.size(), &simd, &simd_end));
+  EXPECT_EQ(scalar, plist);
+  EXPECT_EQ(simd, plist);
+}
+
+TEST(VarintSimdTest, ToggleRestoresPreviousValue) {
+  const bool was = SetSimdVarintEnabled(false);
+  SetSimdVarintEnabled(was);
+  EXPECT_EQ(SetSimdVarintEnabled(was), was);
+}
+
+}  // namespace
+}  // namespace pimento::index
