@@ -17,8 +17,17 @@
 // disk), and warm (pure ProfileCache hits). The JSON reports wall
 // time/qps per lane plus the store's hit/miss counters.
 //
+// A fourth sweep (--overload) measures admission control under sustained
+// overload: the same request mix offered at 2x and 4x the configured
+// capacity (the admission controller's bounded queue sized to 1/2 and 1/4
+// of the batch), with every batch-path fault site armed at 1% (every=100),
+// and each request carrying a deadline. The JSON reports shed_rate,
+// degraded_rate, and the latency percentiles of *accepted* requests —
+// plus an identity check: accepted full-service answers must be
+// byte-identical to the unloaded, unfaulted run.
+//
 // Usage: bench_throughput [--deadline-ms=1,5,20] [--users=N] [--metrics]
-//                         [output.json] [target_doc_bytes]
+//                         [--overload] [output.json] [target_doc_bytes]
 // Run from the repo root (or pass a path) so the JSON lands there. With
 // --metrics the JSON additionally embeds the engine-wide metrics registry
 // snapshot (obs::MetricsRegistry) taken after the sweeps.
@@ -32,8 +41,10 @@
 
 #include "bench/bench_util.h"
 #include "bench/xmark_workload.h"
+#include "src/common/fault_injector.h"
 #include "src/core/engine.h"
 #include "src/data/xmark_gen.h"
+#include "src/exec/admission_controller.h"
 #include "src/exec/profile_cache.h"
 #include "src/exec/profile_store.h"
 #include "src/obs/metrics.h"
@@ -131,6 +142,18 @@ std::string UserProfileText(int user) {
   return text;
 }
 
+/// Canonical byte rendering of one item's ranked answers (node ids +
+/// bit-exact scores), for the overload lane's identity check.
+std::string ItemFingerprint(const pimento::core::BatchItem& item) {
+  std::string out;
+  char buf[64];
+  for (const pimento::core::RankedAnswer& a : item.result.answers) {
+    std::snprintf(buf, sizeof(buf), "%d:%a:%a,", a.node, a.s, a.k);
+    out += buf;
+  }
+  return out;
+}
+
 std::vector<double> ParseDeadlines(const std::string& spec) {
   std::vector<double> out;
   size_t pos = 0;
@@ -149,6 +172,7 @@ std::vector<double> ParseDeadlines(const std::string& spec) {
 int main(int argc, char** argv) {
   std::vector<double> deadlines = {1.0, 5.0, 20.0};
   bool embed_metrics = false;
+  bool overload = false;
   int num_users = 32;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -159,6 +183,8 @@ int main(int argc, char** argv) {
       num_users = std::atoi(arg.c_str() + 8);
     } else if (arg == "--metrics") {
       embed_metrics = true;
+    } else if (arg == "--overload") {
+      overload = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -411,6 +437,139 @@ int main(int argc, char** argv) {
     std::remove(store_path.c_str());
   }
 
+  // --- overload sweep: admission control at 2x / 4x sustained capacity ---
+  //
+  // The admission controller's bounded queue is sized to offered/multiplier,
+  // every batch-path fault site fires 1-in-100, and every request carries a
+  // deadline. Under that pressure the contract is: overflow is shed with
+  // typed kUnavailable + retry_after_ms (never queued to death), survivors
+  // keep bounded latency, and accepted full-service answers stay
+  // byte-identical to the unloaded run.
+  std::string overload_rows;
+  if (overload) {
+    constexpr double kOverloadDeadlineMs = 100.0;
+    constexpr const char* kOverloadSites[] = {
+        "exec.worker.dispatch", "cache.profile.fill", "obs.trace.span",
+        "exec.scan.next"};
+    const int workers = std::min(4, static_cast<int>(hw));
+    BatchOptions options;
+    options.num_workers = workers;
+    options.search.k = kTopK;
+
+    // Per-item unloaded, unfaulted baseline fingerprints.
+    std::vector<std::string> unloaded;
+    {
+      BatchResult base = engine.BatchSearch(requests, options);
+      unloaded.reserve(base.items.size());
+      for (const pimento::core::BatchItem& item : base.items) {
+        unloaded.push_back(ItemFingerprint(item));
+      }
+    }
+    options.search.limits.deadline_ms = kOverloadDeadlineMs;
+
+    std::printf("\noverload (admission control, %d workers, %.0fms deadline, "
+                "1%% faults)\n",
+                workers, kOverloadDeadlineMs);
+    std::printf("%6s %9s %9s %11s %11s %12s %12s\n", "xload", "offered",
+                "capacity", "shed %", "degraded %", "acc p50 ms",
+                "acc p99 ms");
+
+    for (int multiplier : {2, 4}) {
+      const int offered = static_cast<int>(requests.size());
+      const int capacity = std::max(1, offered / multiplier);
+      pimento::exec::AdmissionConfig cfg;
+      cfg.max_queue_depth = capacity;
+      cfg.high_watermark = std::max(1, capacity * 3 / 4);
+      cfg.low_watermark = capacity / 4;
+      cfg.escalate_after = 8;
+      cfg.deescalate_after = 8;
+      engine.EnableAdmissionControl(cfg);
+
+      for (const char* site : kOverloadSites) {
+        pimento::FaultInjector::FaultSpec spec;
+        spec.kind = pimento::FaultInjector::Kind::kError;
+        spec.code = pimento::StatusCode::kIoError;
+        spec.every = 100;  // the 1% armed-fault knob
+        pimento::FaultInjector::Instance().Arm(site, spec);
+      }
+
+      int64_t accepted = 0, shed = 0, degraded = 0, faulted = 0;
+      int64_t identity_mismatches = 0, missing_retry_hint = 0;
+      std::vector<double> accepted_latencies;
+      for (int r = 0; r < kRepeats; ++r) {
+        BatchResult batch = engine.BatchSearch(requests, options);
+        for (size_t i = 0; i < batch.items.size(); ++i) {
+          const pimento::core::BatchItem& item = batch.items[i];
+          if (item.status.ok()) {
+            ++accepted;
+            accepted_latencies.push_back(item.elapsed_ms);
+            if (item.result.degrade_tier !=
+                pimento::exec::DegradeTier::kNormal) {
+              ++degraded;
+            }
+            // Identity holds for full-service, non-partial survivors.
+            if (!item.result.partial &&
+                item.result.degrade_tier ==
+                    pimento::exec::DegradeTier::kNormal &&
+                ItemFingerprint(item) != unloaded[i]) {
+              ++identity_mismatches;
+            }
+          } else if (item.status.code() ==
+                     pimento::StatusCode::kUnavailable) {
+            ++shed;
+            if (pimento::exec::RetryAfterMsFromStatus(item.status) <= 0) {
+              ++missing_retry_hint;
+            }
+          } else {
+            ++faulted;  // the 1% injected faults, typed
+          }
+        }
+      }
+      pimento::FaultInjector::Instance().DisarmAll();
+
+      const int64_t total = accepted + shed + faulted;
+      const double shed_rate =
+          total > 0 ? static_cast<double>(shed) / total : 0.0;
+      const double degraded_rate =
+          accepted > 0 ? static_cast<double>(degraded) / accepted : 0.0;
+      std::sort(accepted_latencies.begin(), accepted_latencies.end());
+      const double acc_p50 = Percentile(accepted_latencies, 0.50);
+      const double acc_p99 = Percentile(accepted_latencies, 0.99);
+      std::printf("%5dx %9d %9d %10.1f%% %10.1f%% %12.3f %12.3f\n",
+                  multiplier, offered, capacity, 100.0 * shed_rate,
+                  100.0 * degraded_rate, acc_p50, acc_p99);
+      if (identity_mismatches > 0) {
+        std::fprintf(stderr,
+                     "FATAL: %lld accepted full-service answers differ from "
+                     "the unloaded run at %dx\n",
+                     static_cast<long long>(identity_mismatches), multiplier);
+        identical = false;
+      }
+      if (missing_retry_hint > 0) {
+        std::fprintf(stderr,
+                     "FATAL: %lld shed requests carried no retry_after_ms "
+                     "hint at %dx\n",
+                     static_cast<long long>(missing_retry_hint), multiplier);
+        identical = false;
+      }
+
+      char row[512];
+      std::snprintf(
+          row, sizeof(row),
+          "    {\"multiplier\": %d, \"offered\": %d, \"capacity\": %d, "
+          "\"deadline_ms\": %.1f, \"accepted\": %lld, \"shed\": %lld, "
+          "\"faulted\": %lld, \"shed_rate\": %.3f, \"degraded_rate\": %.3f, "
+          "\"accepted_p50_ms\": %.3f, \"accepted_p99_ms\": %.3f, "
+          "\"identity_mismatches\": %lld}",
+          multiplier, offered, capacity, kOverloadDeadlineMs,
+          static_cast<long long>(accepted), static_cast<long long>(shed),
+          static_cast<long long>(faulted), shed_rate, degraded_rate, acc_p50,
+          acc_p99, static_cast<long long>(identity_mismatches));
+      if (!overload_rows.empty()) overload_rows += ",\n";
+      overload_rows += row;
+    }
+  }
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -427,12 +586,14 @@ int main(int argc, char** argv) {
                "  \"hardware_threads\": %u,\n"
                "  \"results\": [\n%s\n  ],\n"
                "  \"deadline_sweep\": [\n%s\n  ],\n"
+               "  \"overload_sweep\": [\n%s\n  ],\n"
                "%s"
                "  \"answers_identical_across_worker_counts\": %s,\n"
                "  \"profile_cache\": {\"hits\": %lld, \"misses\": %lld}",
                doc_bytes, requests.size(), kRepeats, kTopK,
                std::thread::hardware_concurrency(), rows.c_str(),
-               deadline_rows.c_str(), users_json.c_str(),
+               deadline_rows.c_str(), overload_rows.c_str(),
+               users_json.c_str(),
                identical ? "true" : "false",
                static_cast<long long>(cache_hits),
                static_cast<long long>(cache_misses));

@@ -6,7 +6,7 @@
 //               [--stem] [--explain] [--stats] [--metrics]
 //               [--trace] [--trace-out <file.json>]
 //               [--verify-plan] [--lint-profile]
-//               [--profile-store <path>]
+//               [--profile-store <path>] [--admission] [--health]
 //
 // Example:
 //   pimento_cli cars.xml '//car[./price < 2000]' --profile me.profile --k 5
@@ -48,7 +48,8 @@ int Usage() {
       "push] [--stem] [--explain] [--stats]\n"
       "                   [--metrics] [--trace] [--trace-out <file.json>]\n"
       "                   [--verify-plan] [--lint-profile]"
-      " [--profile-store <path>]\n");
+      " [--profile-store <path>]\n"
+      "                   [--admission] [--health]\n");
   return 2;
 }
 
@@ -65,6 +66,8 @@ int main(int argc, char** argv) {
   bool show_metrics = false;
   bool show_trace = false;
   bool lint_profile = false;
+  bool admission = false;
+  bool show_health = false;
   std::string trace_out;
   std::string profile_store;
 
@@ -110,6 +113,10 @@ int main(int argc, char** argv) {
       lint_profile = true;
     } else if (arg == "--profile-store" && i + 1 < argc) {
       profile_store = argv[++i];
+    } else if (arg == "--admission") {
+      admission = true;
+    } else if (arg == "--health") {
+      show_health = true;
     } else {
       return Usage();
     }
@@ -184,6 +191,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --admission: overload protection with default thresholds (a single
+  // CLI query never trips them; the flag exists to exercise the wiring and
+  // make --health meaningful).
+  if (admission) engine->EnableAdmissionControl();
+
   auto result = engine->Execute(request);
   if (!result.ok()) {
     std::fprintf(stderr, "search error: %s\n",
@@ -224,6 +236,9 @@ int main(int argc, char** argv) {
   if (show_metrics) {
     std::printf("\n--- metrics ---\n%s",
                 pimento::obs::MetricsRegistry::Default().RenderText().c_str());
+  }
+  if (show_health) {
+    std::printf("\n--- health ---\n%s\n", engine->Health().ToJson().c_str());
   }
   return 0;
 }

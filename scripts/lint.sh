@@ -52,4 +52,20 @@ check "AnalyzeConflicts called outside src/profile/ (use the compiled path)" \
   '(^|[^a-zA-Z0-9_])AnalyzeConflicts\(' \
   src bench examples --exclude-dir=profile
 
+# 5. Every queue in src/ must be bounded or owned by WorkerPool (whose
+#    queue_ honors max_queue and counts rejections). A raw push_back onto a
+#    member queue anywhere else is how unbounded-growth overload bugs start;
+#    route the work through WorkerPool::Submit or AdmissionController.
+check "unbounded queue_.push_back outside WorkerPool (bound it or use Submit)" \
+  'queue_\.push_back' \
+  src --exclude=worker_pool.cc
+
+# 6. Raw sleeps scatter unbounded, unmockable waits through the codebase.
+#    SleepForMs (src/common/backoff.cc) is the one sanctioned sleep
+#    primitive: bounded by the backoff policy, greppable, and honored by
+#    the decorrelated-jitter retry helpers.
+check "raw sleep_for outside the backoff helper (use SleepForMs)" \
+  'sleep_for' \
+  src bench examples --exclude=backoff.cc --exclude=backoff.h
+
 exit $fail

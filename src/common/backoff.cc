@@ -1,0 +1,40 @@
+#include "src/common/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace pimento {
+
+DecorrelatedJitter::DecorrelatedJitter(const RetryPolicy& policy,
+                                       uint64_t seed)
+    : policy_(policy),
+      state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed),
+      prev_ms_(policy.base_ms) {}
+
+double DecorrelatedJitter::NextUniform() {
+  // xorshift64: tiny, deterministic, and plenty for jitter.
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  return static_cast<double>(state_ >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+double DecorrelatedJitter::NextDelayMs() {
+  const double base = std::max(0.0, policy_.base_ms);
+  const double upper = std::max(base, prev_ms_ * policy_.spread);
+  double delay = base + NextUniform() * (upper - base);
+  delay = std::min(delay, policy_.cap_ms);
+  prev_ms_ = std::max(base, delay);
+  return delay;
+}
+
+void DecorrelatedJitter::Reset() { prev_ms_ = policy_.base_ms; }
+
+void SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace pimento

@@ -1,0 +1,54 @@
+#ifndef PIMENTO_COMMON_BACKOFF_H_
+#define PIMENTO_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+namespace pimento {
+
+/// Retry/backoff policy shared by every component that talks to something
+/// flaky (the profile store's append path, persist I/O, the admission
+/// controller's retry-after hints). Delays follow the *decorrelated
+/// jitter* scheme (AWS architecture blog): each delay is drawn uniformly
+/// from [base_ms, prev_delay * spread], clamped to cap_ms — growth without
+/// the thundering-herd synchronization of plain exponential backoff.
+struct RetryPolicy {
+  int max_attempts = 3;    ///< total tries, including the first (>= 1)
+  double base_ms = 1.0;    ///< floor of every delay
+  double cap_ms = 50.0;    ///< hard ceiling of every delay (bounded backoff)
+  double spread = 3.0;     ///< decorrelated-jitter multiplier
+
+  constexpr RetryPolicy() = default;
+  constexpr RetryPolicy(int attempts, double base, double cap, double jitter)
+      : max_attempts(attempts), base_ms(base), cap_ms(cap), spread(jitter) {}
+};
+
+/// Bounded decorrelated-jitter delay generator. Deterministic for a fixed
+/// seed (xorshift64 internally), so tests can pin the sequence; every
+/// delay is within [base_ms, cap_ms] regardless of how often it is asked.
+class DecorrelatedJitter {
+ public:
+  explicit DecorrelatedJitter(const RetryPolicy& policy = {},
+                              uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// The next delay in the sequence (grows, jittered, until the cap).
+  double NextDelayMs();
+
+  /// Back to the base delay (call after a success).
+  void Reset();
+
+ private:
+  double NextUniform();  ///< in [0, 1)
+
+  RetryPolicy policy_;
+  uint64_t state_;
+  double prev_ms_;
+};
+
+/// The process's one sanctioned sleep primitive: every wait in src/ goes
+/// through here (scripts/lint.sh bans raw std::this_thread::sleep_for
+/// outside this helper) so delays stay greppable, bounded and mockable.
+void SleepForMs(double ms);
+
+}  // namespace pimento
+
+#endif  // PIMENTO_COMMON_BACKOFF_H_

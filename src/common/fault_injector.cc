@@ -1,8 +1,8 @@
 #include "src/common/fault_injector.h"
 
-#include <chrono>
 #include <stdexcept>
-#include <thread>
+
+#include "src/common/backoff.h"
 
 namespace pimento {
 
@@ -52,6 +52,12 @@ Status FaultInjector::Check(const char* site) {
       return Status::OK();
     }
     if (armed.spec.times == 0) return Status::OK();
+    if (armed.spec.every > 1) {
+      // Periodic arming: fire on the 1st, (every+1)th, ... traversal past
+      // the skip window, pass the rest through.
+      const int64_t phase = armed.eligible++ % armed.spec.every;
+      if (phase != 0) return Status::OK();
+    }
     if (armed.spec.times > 0) --armed.spec.times;
     ++armed.fired;
     spec = armed.spec;
@@ -69,7 +75,7 @@ Status FaultInjector::Check(const char* site) {
       return Status::ResourceExhausted("injected allocation failure at " +
                                        std::string(site));
     case Kind::kSlow:
-      std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+      SleepForMs(static_cast<double>(spec.delay_ms));
       return Status::OK();
     case Kind::kThrow:
       throw std::runtime_error("injected exception at " + std::string(site));

@@ -39,6 +39,9 @@ class FaultInjector {
     int delay_ms = 0;                        ///< for kSlow
     int skip = 0;      ///< let the first `skip` traversals pass
     int times = -1;    ///< fire at most `times` traversals (-1 = forever)
+    int every = 0;     ///< fire only every Nth traversal past `skip`
+                       ///< (0/1 = every one) — the chaos/overload lanes'
+                       ///< "1% armed" knob (every = 100)
   };
 
   static FaultInjector& Instance();
@@ -63,6 +66,7 @@ class FaultInjector {
   struct ArmedFault {
     FaultSpec spec;
     int64_t fired = 0;
+    int64_t eligible = 0;  ///< traversals past the skip window (for `every`)
   };
 
   static std::atomic<bool> armed_;

@@ -32,6 +32,8 @@ const char* CodeName(StatusCode code) {
       return "CORRUPT_INDEX";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kResourceExhausted,   ///< a memory/answer budget was exceeded
   kCorruptIndex,        ///< a persisted index image failed validation
   kIoError,             ///< an I/O operation failed (or was fault-injected)
+  kUnavailable,         ///< shed by admission control; retry after a delay
 };
 
 /// Result of an operation: a code plus a human-readable message.
@@ -71,6 +72,9 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -225,14 +225,15 @@ bool SearchEngine::ShouldTrace(const TraceOptions& trace) const {
 
 StatusOr<SearchResult> SearchEngine::Execute(
     const SearchRequest& request) const {
+  return ExecuteImpl(request, nullptr);
+}
+
+StatusOr<SearchResult> SearchEngine::ExecuteImpl(
+    const SearchRequest& request,
+    const exec::AdmissionDecision* admitted) const {
   const EngineMetrics& metrics = Metrics();
   metrics.requests_total->Increment();
   const auto start = std::chrono::steady_clock::now();
-
-  const bool traced = ShouldTrace(request.trace);
-  obs::TraceContext trace(traced);
-  obs::TraceContext* tr = traced ? &trace : nullptr;
-  if (traced) metrics.traced_requests->Increment();
 
   // A small helper so every early return records the error + latency.
   auto fail = [&](const Status& status) -> StatusOr<SearchResult> {
@@ -240,6 +241,43 @@ StatusOr<SearchResult> SearchEngine::Execute(
     metrics.latency_ms->Observe(MsSince(start));
     return status;
   };
+
+  // Admission gates. A batch item arrives pre-admitted (the executor ran
+  // both gates around the queue wait); a plain Execute self-admits, passing
+  // both gates back-to-back with zero queue wait. Shed requests return the
+  // typed kUnavailable before any parsing or planning happens.
+  exec::AdmissionDecision self_admitted;
+  bool finish_on_exit = false;
+  if (admission_ != nullptr && admitted == nullptr) {
+    self_admitted = admission_->EnqueueAdmit(request.client_id);
+    if (self_admitted.status.ok()) {
+      self_admitted = admission_->StartExecution(
+          request.client_id, EffectiveLimits(request).deadline_ms, 0.0);
+    }
+    if (!self_admitted.status.ok()) return fail(self_admitted.status);
+    admitted = &self_admitted;
+    finish_on_exit = true;
+  }
+  struct AdmissionFinisher {
+    exec::AdmissionController* controller;
+    const std::string* client;
+    ~AdmissionFinisher() {
+      if (controller != nullptr) controller->Finish(*client);
+    }
+  } finisher{finish_on_exit ? admission_.get() : nullptr, &request.client_id};
+
+  const exec::DegradeTier tier =
+      admitted != nullptr ? admitted->tier : exec::DegradeTier::kNormal;
+
+  // Under pressure the ladder sheds trace *sampling* first (observability
+  // pays before service quality); an explicitly requested trace still
+  // records at any tier.
+  const bool traced = tier >= exec::DegradeTier::kNoTrace
+                          ? request.trace.enabled
+                          : ShouldTrace(request.trace);
+  obs::TraceContext trace(traced);
+  obs::TraceContext* tr = traced ? &trace : nullptr;
+  if (traced) metrics.traced_requests->Increment();
 
   // Resolve the query: parse the text form if no parsed query was given.
   std::optional<tpq::Tpq> parsed_query;
@@ -286,12 +324,28 @@ StatusOr<SearchResult> SearchEngine::Execute(
     ambiguity = &local_ambiguity;
   }
 
-  const exec::QueryLimits& limits = EffectiveLimits(request);
+  exec::QueryLimits limits = EffectiveLimits(request);
 
   // The request-level verify switch folds into the options copy so the
   // private Execute* paths (and ExecuteRelaxed's re-entries) see one flag.
   SearchOptions options = request.options;
   options.verify_plan = options.verify_plan || request.verify_plan;
+
+  // Degradation-ladder effects on this request. The clamps touch local
+  // copies only — the request itself is never mutated.
+  if (tier >= exec::DegradeTier::kForcePartial) options.allow_partial = true;
+  if (tier >= exec::DegradeTier::kTightBudgets && admission_ != nullptr) {
+    const exec::AdmissionConfig& cfg = admission_->config();
+    if (cfg.degraded_max_answers > 0 &&
+        (limits.max_answers <= 0 ||
+         limits.max_answers > cfg.degraded_max_answers)) {
+      limits.max_answers = cfg.degraded_max_answers;
+    }
+    if (cfg.degraded_max_bytes > 0 &&
+        (limits.max_bytes <= 0 || limits.max_bytes > cfg.degraded_max_bytes)) {
+      limits.max_bytes = cfg.degraded_max_bytes;
+    }
+  }
 
   StatusOr<SearchResult> result = [&]() -> StatusOr<SearchResult> {
     switch (request.mode) {
@@ -326,6 +380,7 @@ StatusOr<SearchResult> SearchEngine::Execute(
                                     result->stats.cursor_blocks_visited);
   if (result->partial) metrics.partial_results->Increment();
   if (traced) result->trace = trace.Finish();
+  result->degrade_tier = tier;
   return result;
 }
 
@@ -687,6 +742,50 @@ Status SearchEngine::SetProfileStore(const std::string& path) {
 StatusOr<std::shared_ptr<const exec::CompiledProfile>>
 SearchEngine::CompileProfile(std::string_view profile_text) const {
   return profile_cache_->GetOrCompile(profile_text);
+}
+
+void SearchEngine::EnableAdmissionControl(
+    const exec::AdmissionConfig& config) {
+  admission_ = std::make_shared<exec::AdmissionController>(config);
+}
+
+obs::HealthReport SearchEngine::Health() const {
+  obs::HealthReport report;
+  if (admission_ != nullptr) {
+    const exec::AdmissionController::Stats stats = admission_->GetStats();
+    report.admission_enabled = true;
+    report.queue_depth = stats.queued;
+    report.executing = stats.executing;
+    report.max_queue_depth = admission_->config().max_queue_depth;
+    report.degrade_tier = exec::AdmissionController::TierName(stats.tier);
+    report.admitted_total = stats.admitted;
+    report.shed_total = stats.sheds();
+    report.queue_expired_total = stats.shed_queue_deadline;
+    report.degraded_total = stats.degraded;
+    report.tier_transitions = stats.tier_transitions;
+    if (stats.enqueued > 0) {
+      report.shed_rate = static_cast<double>(stats.sheds()) /
+                         static_cast<double>(stats.enqueued);
+    }
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  report.worker_tasks_total =
+      registry.GetCounter("pimento_worker_tasks_total")->Value();
+  report.worker_rejected_total =
+      registry.GetCounter("pimento_worker_rejected_total")->Value();
+  report.worker_exceptions_total =
+      registry.GetCounter("pimento_worker_task_exceptions_total")->Value();
+  if (profile_store_ != nullptr) {
+    const exec::ProfileStore::Stats stats = profile_store_->GetStats();
+    const exec::CircuitBreaker::Stats breaker =
+        profile_store_->GetBreakerStats();
+    report.store_attached = true;
+    report.store_breaker = exec::CircuitBreaker::StateName(breaker.state);
+    report.store_breaker_opens = breaker.opens;
+    report.store_put_failures = stats.put_failures;
+    report.store_quarantines = stats.quarantines;
+  }
+  return report;
 }
 
 std::string SearchEngine::AnswerXml(xml::NodeId node) const {

@@ -12,8 +12,10 @@
 #include "src/common/status.h"
 #include "src/core/explain.h"
 #include "src/core/search_request.h"
+#include "src/exec/admission_controller.h"
 #include "src/exec/execution_context.h"
 #include "src/index/collection.h"
+#include "src/obs/health.h"
 #include "src/obs/trace.h"
 #include "src/plan/planner.h"
 #include "src/profile/ambiguity.h"
@@ -76,6 +78,12 @@ struct SearchResult {
   /// times, tuple and prune counts, block skips), filled when the request
   /// was traced (SearchRequest::trace); trace.enabled is false otherwise.
   obs::TraceReport trace;
+
+  /// The admission controller's degradation tier this request ran at
+  /// (kNormal when admission control is disabled). A tier above kNormal
+  /// means service was reduced: sampling dropped, partial results forced,
+  /// or budgets clamped — see exec::DegradeTier.
+  exec::DegradeTier degrade_tier = exec::DegradeTier::kNormal;
 };
 
 /// \deprecated One (query, profile) pair of the legacy text-level batch
@@ -249,6 +257,22 @@ class SearchEngine {
   BatchResult BatchSearch(const std::vector<BatchRequest>& requests,
                           const BatchOptions& options = {}) const;
 
+  /// Turns on admission control & overload protection: every Execute and
+  /// BatchSearch item passes the controller's two gates (bounded queue on
+  /// arrival, deadline-aware shed at execution start) and runs at its
+  /// degradation tier. Call before serving traffic; not thread-safe with
+  /// concurrent Execute.
+  void EnableAdmissionControl(const exec::AdmissionConfig& config = {});
+
+  /// The controller, or nullptr when admission control is disabled.
+  exec::AdmissionController* admission_controller() const {
+    return admission_.get();
+  }
+
+  /// Serving-health snapshot: admission pressure and tier, worker-pool
+  /// rejections, profile-store breaker/quarantine state.
+  obs::HealthReport Health() const;
+
   /// The engine's profile compilation cache (text -> parsed profile +
   /// ambiguity report + compiled rules, LRU). Exposed for stats and tests.
   exec::ProfileCache& profile_cache() const { return *profile_cache_; }
@@ -300,6 +324,14 @@ class SearchEngine {
   /// engine-wide 1-in-N sampling cadence says it is this request's turn).
   bool ShouldTrace(const TraceOptions& trace) const;
 
+  /// Execute's body. `admitted` is non-null when the caller (the batch
+  /// executor) already ran the admission gates and carries the granted
+  /// tier; null means self-admit (both gates back-to-back, zero queue
+  /// wait) when admission control is enabled.
+  StatusOr<SearchResult> ExecuteImpl(
+      const SearchRequest& request,
+      const exec::AdmissionDecision* admitted) const;
+
   /// The three repertoires behind Execute; `trace` may be inert. When
   /// `compiled_rules` is non-null (the profile came through the compiler)
   /// flock construction runs the indexed path — byte-identical output; a
@@ -333,6 +365,7 @@ class SearchEngine {
   std::shared_ptr<exec::ProfileCache> profile_cache_;
   std::shared_ptr<exec::PhraseCountCache> phrase_count_cache_;
   std::shared_ptr<exec::ProfileStore> profile_store_;
+  std::shared_ptr<exec::AdmissionController> admission_;
 
   // Engine-wide request ticker driving TraceOptions::sample_one_in.
   std::unique_ptr<std::atomic<uint64_t>> trace_ticker_;

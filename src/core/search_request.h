@@ -142,6 +142,12 @@ struct SearchRequest {
   /// options.verify_plan by Execute (either place turns it on).
   bool verify_plan = false;
 
+  /// Caller identity for admission control: requests sharing a non-empty
+  /// client_id are metered against the per-client in-flight quota
+  /// (exec::AdmissionConfig::max_in_flight_per_client). Empty = anonymous
+  /// (global bounds only). Ignored while admission control is disabled.
+  std::string client_id;
+
   /// Text-level request (the common service-facing shape).
   static SearchRequest Text(std::string query_text,
                             std::string profile_text = "",

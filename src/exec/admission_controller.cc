@@ -1,0 +1,234 @@
+#include "src/exec/admission_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/obs/metrics.h"
+
+namespace pimento::exec {
+
+namespace {
+
+obs::Counter* EnqueuedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_admission_enqueued_total", "Requests offered to admission");
+  return c;
+}
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_admission_admitted_total", "Requests that started executing");
+  return c;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_admission_shed_total",
+      "Requests rejected with kUnavailable (capacity/quota/tier)");
+  return c;
+}
+
+obs::Counter* QueueExpiredCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_admission_queue_expired_total",
+      "Requests shed because the deadline burned away while queued");
+  return c;
+}
+
+obs::Counter* DegradedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_admission_degraded_total",
+      "Requests admitted at a degraded tier");
+  return c;
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "pimento_admission_queue_depth", "Requests currently queued");
+  return g;
+}
+
+obs::Gauge* ExecutingGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "pimento_admission_executing", "Requests currently executing");
+  return g;
+}
+
+obs::Gauge* TierGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "pimento_admission_tier",
+      "Active degradation tier (0=normal .. 4=shed)");
+  return g;
+}
+
+}  // namespace
+
+const char* AdmissionController::TierName(DegradeTier tier) {
+  switch (tier) {
+    case DegradeTier::kNormal:
+      return "normal";
+    case DegradeTier::kNoTrace:
+      return "no-trace";
+    case DegradeTier::kForcePartial:
+      return "force-partial";
+    case DegradeTier::kTightBudgets:
+      return "tight-budgets";
+    case DegradeTier::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config), retry_hint_(config.retry_hint) {}
+
+void AdmissionController::PublishGaugesLocked() {
+  QueueDepthGauge()->Set(queued_);
+  ExecutingGauge()->Set(executing_);
+  TierGauge()->Set(static_cast<int64_t>(tier_));
+}
+
+void AdmissionController::UpdateLadderLocked() {
+  const int64_t occupancy = queued_ + executing_;
+  if (occupancy >= config_.high_watermark) {
+    consecutive_low_ = 0;
+    if (++consecutive_high_ >= config_.escalate_after &&
+        tier_ < DegradeTier::kShed) {
+      tier_ = static_cast<DegradeTier>(static_cast<uint8_t>(tier_) + 1);
+      ++stats_.tier_transitions;
+      consecutive_high_ = 0;
+    }
+  } else if (occupancy <= config_.low_watermark) {
+    consecutive_high_ = 0;
+    if (++consecutive_low_ >= config_.deescalate_after &&
+        tier_ > DegradeTier::kNormal) {
+      tier_ = static_cast<DegradeTier>(static_cast<uint8_t>(tier_) - 1);
+      ++stats_.tier_transitions;
+      consecutive_low_ = 0;
+    }
+  } else {
+    consecutive_high_ = 0;
+    consecutive_low_ = 0;
+  }
+}
+
+AdmissionDecision AdmissionController::ShedLocked(int64_t* reason_counter,
+                                                 const char* why) {
+  ++*reason_counter;
+  AdmissionDecision decision;
+  decision.tier = tier_;
+  decision.retry_after_ms = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(retry_hint_.NextDelayMs())));
+  decision.status = Status::Unavailable(
+      std::string(why) +
+      "; retry_after_ms=" + std::to_string(decision.retry_after_ms));
+  return decision;
+}
+
+AdmissionDecision AdmissionController::EnqueueAdmit(
+    std::string_view client_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.enqueued;
+  EnqueuedCounter()->Increment();
+  // The ladder observes raw arrival pressure, including arrivals about to
+  // be shed — a shed storm must still be able to escalate / hold the tier.
+  UpdateLadderLocked();
+
+  AdmissionDecision decision;
+  const int64_t occupancy = queued_ + executing_;
+  if (tier_ == DegradeTier::kShed) {
+    decision = ShedLocked(&stats_.shed_tier, "admission: shedding under overload");
+  } else if (occupancy >= config_.max_queue_depth) {
+    decision = ShedLocked(&stats_.shed_capacity, "admission: queue full");
+  } else if (config_.max_in_flight_per_client > 0 && !client_id.empty()) {
+    auto it = per_client_.find(std::string(client_id));
+    const int64_t resident = it == per_client_.end() ? 0 : it->second;
+    if (resident >= config_.max_in_flight_per_client) {
+      decision =
+          ShedLocked(&stats_.shed_quota, "admission: client quota exceeded");
+    }
+  }
+  if (!decision.status.ok()) {
+    ShedCounter()->Increment();
+    PublishGaugesLocked();
+    return decision;
+  }
+
+  ++queued_;
+  if (!client_id.empty()) ++per_client_[std::string(client_id)];
+  retry_hint_.Reset();  // capacity exists: keep retry hints near the base
+  decision.tier = tier_;
+  PublishGaugesLocked();
+  return decision;
+}
+
+AdmissionDecision AdmissionController::StartExecution(
+    std::string_view client_id, double deadline_ms, double queued_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --queued_;
+  AdmissionDecision decision;
+  if (deadline_ms > 0 && queued_ms >= deadline_ms) {
+    // The whole budget burned away in the queue: reject before planning —
+    // running now could only produce a late answer nobody is waiting for.
+    ReleaseClientLocked(std::string(client_id));
+    decision = ShedLocked(&stats_.shed_queue_deadline,
+                          "admission: deadline expired while queued");
+    QueueExpiredCounter()->Increment();
+    ShedCounter()->Increment();
+    UpdateLadderLocked();
+    PublishGaugesLocked();
+    return decision;
+  }
+  ++executing_;
+  ++stats_.admitted;
+  AdmittedCounter()->Increment();
+  decision.tier = tier_;
+  if (tier_ > DegradeTier::kNormal) {
+    ++stats_.degraded;
+    DegradedCounter()->Increment();
+  }
+  PublishGaugesLocked();
+  return decision;
+}
+
+void AdmissionController::Finish(std::string_view client_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --executing_;
+  ReleaseClientLocked(std::string(client_id));
+  // Completions are the draining half of the ladder's observations; without
+  // this an idle-after-burst controller would stay degraded forever.
+  UpdateLadderLocked();
+  PublishGaugesLocked();
+}
+
+DegradeTier AdmissionController::tier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tier_;
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.queued = queued_;
+  stats.executing = executing_;
+  stats.tier = tier_;
+  return stats;
+}
+
+void AdmissionController::ReleaseClientLocked(const std::string& client_id) {
+  if (client_id.empty()) return;
+  auto it = per_client_.find(client_id);
+  if (it == per_client_.end()) return;
+  if (--it->second <= 0) per_client_.erase(it);
+}
+
+int64_t RetryAfterMsFromStatus(const Status& status) {
+  static constexpr char kKey[] = "retry_after_ms=";
+  const std::string& message = status.message();
+  const size_t pos = message.rfind(kKey);
+  if (pos == std::string::npos) return 0;
+  return std::strtoll(message.c_str() + pos + sizeof(kKey) - 1, nullptr, 10);
+}
+
+}  // namespace pimento::exec

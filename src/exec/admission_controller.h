@@ -1,0 +1,149 @@
+#ifndef PIMENTO_EXEC_ADMISSION_CONTROLLER_H_
+#define PIMENTO_EXEC_ADMISSION_CONTROLLER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/backoff.h"
+#include "src/common/status.h"
+
+namespace pimento::exec {
+
+/// The graceful-degradation ladder the engine walks under sustained
+/// pressure. Each tier keeps everything the previous tiers shed:
+///
+///   kNormal       — full service.
+///   kNoTrace      — trace *sampling* is dropped (explicitly requested
+///                   traces still record): observability pays first.
+///   kForcePartial — requests run in degraded mode (allow_partial): a
+///                   deadline mid-plan returns the ranked prefix instead
+///                   of an error.
+///   kTightBudgets — answer/byte budgets are clamped to the configured
+///                   degraded caps on top of the above.
+///   kShed         — new requests are rejected outright until pressure
+///                   drains below the low watermark.
+enum class DegradeTier : uint8_t {
+  kNormal = 0,
+  kNoTrace,
+  kForcePartial,
+  kTightBudgets,
+  kShed,
+};
+
+struct AdmissionConfig {
+  /// Hard bound on concurrently resident requests (queued + executing);
+  /// beyond it every arrival is shed with kUnavailable + retry_after_ms.
+  int max_queue_depth = 256;
+
+  /// Ladder hysteresis band: occupancy at/above `high_watermark` for
+  /// `escalate_after` consecutive observations climbs one tier; at/below
+  /// `low_watermark` for `deescalate_after` observations steps back down.
+  int high_watermark = 192;
+  int low_watermark = 64;
+  int escalate_after = 4;
+  int deescalate_after = 4;
+
+  /// Per-client cap on resident (queued + executing) requests; 0 disables.
+  /// Only applied to non-empty client ids — anonymous traffic shares the
+  /// global bound but has no per-client identity to meter.
+  int max_in_flight_per_client = 0;
+
+  /// Budget clamps applied at DegradeTier::kTightBudgets (0 = no clamp).
+  int64_t degraded_max_answers = 1 << 16;
+  int64_t degraded_max_bytes = 16 << 20;
+
+  /// Generator of the retry_after_ms hints stamped on shed requests
+  /// (bounded decorrelated jitter, grows while sheds are consecutive).
+  RetryPolicy retry_hint{/*max_attempts=*/1, /*base_ms=*/5.0,
+                         /*cap_ms=*/200.0, /*spread=*/3.0};
+};
+
+/// Outcome of one admission gate. A shed decision carries a typed
+/// kUnavailable status whose message ends in "retry_after_ms=<n>"
+/// (see RetryAfterMsFromStatus, and docs/api_migration.md for the
+/// contract); an admitted decision carries the active degradation tier.
+struct AdmissionDecision {
+  Status status = Status::OK();
+  DegradeTier tier = DegradeTier::kNormal;
+  int64_t retry_after_ms = 0;
+};
+
+/// Inter-query overload protection for SearchEngine: a bounded admission
+/// queue with watermark-driven degradation, per-client quotas, and
+/// deadline-aware shedding of requests whose budget burned away while
+/// they waited.
+///
+/// Protocol (both gates are cheap mutex-guarded bookkeeping):
+///   1. EnqueueAdmit(client)            — on arrival. Shed here = bounded
+///                                        queue / quota / kShed tier.
+///   2. StartExecution(client, dl, wait)— when a worker picks the request
+///                                        up. Shed here = the deadline
+///                                        expired while queued; the
+///                                        request is rejected *before*
+///                                        planning, never after burning
+///                                        CPU.
+///   3. Finish(client)                  — after execution (any outcome).
+/// A request shed at either gate needs no Finish; its accounting is
+/// already unwound. Direct (unqueued) Execute calls run the two gates
+/// back-to-back with zero wait.
+class AdmissionController {
+ public:
+  struct Stats {
+    int64_t enqueued = 0;             ///< arrivals (admitted or shed)
+    int64_t admitted = 0;             ///< requests that started executing
+    int64_t degraded = 0;             ///< admitted at tier > kNormal
+    int64_t shed_capacity = 0;        ///< bounded-queue rejections
+    int64_t shed_quota = 0;           ///< per-client quota rejections
+    int64_t shed_tier = 0;            ///< rejections while tier == kShed
+    int64_t shed_queue_deadline = 0;  ///< deadline burned while queued
+    int64_t tier_transitions = 0;
+    int64_t queued = 0;               ///< current
+    int64_t executing = 0;            ///< current
+    DegradeTier tier = DegradeTier::kNormal;
+
+    int64_t sheds() const {
+      return shed_capacity + shed_quota + shed_tier + shed_queue_deadline;
+    }
+  };
+
+  explicit AdmissionController(const AdmissionConfig& config = {});
+
+  AdmissionDecision EnqueueAdmit(std::string_view client_id);
+  AdmissionDecision StartExecution(std::string_view client_id,
+                                   double deadline_ms, double queued_ms);
+  void Finish(std::string_view client_id);
+
+  DegradeTier tier() const;
+  Stats GetStats() const;
+  const AdmissionConfig& config() const { return config_; }
+
+  static const char* TierName(DegradeTier tier);
+
+ private:
+  AdmissionDecision ShedLocked(int64_t* reason_counter, const char* why);
+  void UpdateLadderLocked();
+  void ReleaseClientLocked(const std::string& client_id);
+  void PublishGaugesLocked();
+
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  int64_t queued_ = 0;
+  int64_t executing_ = 0;
+  DegradeTier tier_ = DegradeTier::kNormal;
+  int consecutive_high_ = 0;
+  int consecutive_low_ = 0;
+  std::unordered_map<std::string, int64_t> per_client_;
+  DecorrelatedJitter retry_hint_;
+  Stats stats_;
+};
+
+/// Parses the "retry_after_ms=<n>" hint a shed decision appends to its
+/// status message; returns 0 when the status carries none.
+int64_t RetryAfterMsFromStatus(const Status& status);
+
+}  // namespace pimento::exec
+
+#endif  // PIMENTO_EXEC_ADMISSION_CONTROLLER_H_

@@ -27,20 +27,6 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// The per-item work, separated so the dispatch wrapper can catch
-/// exceptions (a throwing request fails its own BatchItem, never the
-/// batch) and host the worker-dispatch fault site.
-Status RunBatchItem(const SearchEngine& engine, const SearchRequest& req,
-                    BatchItem* item) {
-  PIMENTO_INJECT_FAULT("exec.worker.dispatch");
-  // The full unified pipeline: query parse, profile compilation (shared
-  // through the engine's cache), limits resolution, tracing, metrics.
-  StatusOr<SearchResult> result = engine.Execute(req);
-  if (!result.ok()) return result.status();
-  item->result = *std::move(result);
-  return Status::OK();
-}
-
 }  // namespace
 
 BatchResult SearchEngine::BatchSearch(
@@ -62,18 +48,67 @@ BatchResult SearchEngine::BatchSearch(
 
   const exec::ProfileCache::CacheStats before = profile_cache_->GetStats();
 
+  // Gate 1 of admission control, per item, before any worker runs: items
+  // over the bounded queue / quota / shed tier get their typed
+  // kUnavailable now and never occupy a worker. Everything admitted here
+  // is accounted "queued" until its worker picks it up.
+  exec::AdmissionController* admission = admission_.get();
+  std::vector<exec::AdmissionDecision> gate(requests.size());
+  if (admission != nullptr) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      gate[i] = admission->EnqueueAdmit(requests[i].client_id);
+    }
+  }
+
+  // The per-item work, wrapped so a throwing request fails its own
+  // BatchItem (never the batch) and the worker-dispatch fault site fires
+  // inside the item's own status domain.
+  const auto run_item = [this](const SearchRequest& req,
+                               const exec::AdmissionDecision* admitted,
+                               BatchItem* item) -> Status {
+    PIMENTO_INJECT_FAULT("exec.worker.dispatch");
+    // The full unified pipeline: query parse, profile compilation (shared
+    // through the engine's cache), limits resolution, tracing, metrics.
+    StatusOr<SearchResult> result = ExecuteImpl(req, admitted);
+    if (!result.ok()) return result.status();
+    item->result = *std::move(result);
+    return Status::OK();
+  };
+
   exec::WorkerPool::ParallelFor(
       options.num_workers, requests.size(), [&](size_t i) {
         BatchItem& item = batch.items[i];
         auto start = std::chrono::steady_clock::now();
+        const exec::AdmissionDecision* admitted = nullptr;
+        if (admission != nullptr) {
+          if (!gate[i].status.ok()) {
+            item.status = gate[i].status;  // shed at enqueue, never ran
+            item.result.degrade_tier = gate[i].tier;
+            return;
+          }
+          // Gate 2, at the moment a worker actually picks the item up: a
+          // deadline that burned away in the queue is rejected here,
+          // before parsing or planning.
+          gate[i] = admission->StartExecution(
+              requests[i].client_id, EffectiveLimits(requests[i]).deadline_ms,
+              MsSince(batch_start));
+          if (!gate[i].status.ok()) {
+            item.status = gate[i].status;
+            item.result.degrade_tier = gate[i].tier;
+            item.elapsed_ms = MsSince(start);
+            return;
+          }
+          admitted = &gate[i];
+        }
         try {
-          item.status = RunBatchItem(*this, requests[i], &item);
+          item.status = run_item(requests[i], admitted, &item);
         } catch (const std::exception& e) {
           item.status =
               Status::Internal(std::string("request threw: ") + e.what());
         } catch (...) {
           item.status = Status::Internal("request threw a non-exception");
         }
+        if (admission != nullptr) admission->Finish(requests[i].client_id);
         item.elapsed_ms = MsSince(start);
       });
 

@@ -1,0 +1,124 @@
+#include "src/exec/circuit_breaker.h"
+
+#include <chrono>
+
+namespace pimento::exec {
+
+namespace {
+
+RetryPolicy CooldownPolicy(const BreakerConfig& config) {
+  RetryPolicy policy;
+  policy.base_ms = config.cooldown_ms;
+  policy.cap_ms = config.cooldown_cap_ms;
+  return policy;
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config)
+    : config_(config), cooldown_(CooldownPolicy(config)) {}
+
+double CircuitBreaker::NowMs() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CircuitBreaker::set_clock_for_test(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::OpenLocked(double now) {
+  state_ = State::kOpen;
+  open_until_ms_ = now + cooldown_.NextDelayMs();
+  consecutive_failures_ = 0;
+  consecutive_successes_ = 0;
+  probe_in_flight_ = false;
+  ++stats_.opens;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const double now = NowMs();
+      if (now < open_until_ms_) {
+        ++stats_.rejected;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return true;
+    }
+    case State::kHalfOpen:
+      // One probe at a time: concurrent callers wait out the probe rather
+      // than stampeding a dependency that may still be down.
+      if (probe_in_flight_) {
+        ++stats_.rejected;
+        return false;
+      }
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.successes;
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++consecutive_successes_ >= config_.success_threshold) {
+      state_ = State::kClosed;
+      consecutive_successes_ = 0;
+      cooldown_.Reset();
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failures;
+  consecutive_successes_ = 0;
+  if (state_ == State::kHalfOpen) {
+    OpenLocked(NowMs());
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    OpenLocked(NowMs());
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.state = state_;
+  return stats;
+}
+
+}  // namespace pimento::exec

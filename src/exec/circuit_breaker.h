@@ -1,0 +1,85 @@
+#ifndef PIMENTO_EXEC_CIRCUIT_BREAKER_H_
+#define PIMENTO_EXEC_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "src/common/backoff.h"
+
+namespace pimento::exec {
+
+/// Tuning of one CircuitBreaker. Defaults are sized for the profile
+/// store's append path: a handful of consecutive I/O failures trip it,
+/// and probes resume within tens of milliseconds.
+struct BreakerConfig {
+  int failure_threshold = 3;   ///< consecutive failures: closed -> open
+  int success_threshold = 2;   ///< consecutive probe successes: -> closed
+  double cooldown_ms = 25.0;   ///< first open -> half-open delay
+  double cooldown_cap_ms = 1000.0;  ///< bound on the backed-off cooldown
+};
+
+/// A classic three-state circuit breaker guarding a flaky dependency.
+///
+///   closed    — requests flow; consecutive failures are counted, and
+///               `failure_threshold` of them trip the breaker open.
+///   open      — requests are rejected instantly (Allow() == false) until
+///               the cooldown elapses; the cooldown grows with bounded
+///               decorrelated jitter on every re-open, so a persistently
+///               dead dependency is probed less and less often.
+///   half-open — one probe at a time is let through; `success_threshold`
+///               consecutive successes close the breaker, any failure
+///               re-opens it.
+///
+/// Thread-safe; the clock is injectable so tests pin the transitions
+/// deterministically.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+  struct Stats {
+    State state = State::kClosed;
+    int64_t failures = 0;   ///< RecordFailure calls
+    int64_t successes = 0;  ///< RecordSuccess calls
+    int64_t opens = 0;      ///< closed/half-open -> open transitions
+    int64_t rejected = 0;   ///< Allow() == false while open
+    int64_t probes = 0;     ///< half-open requests let through
+  };
+
+  explicit CircuitBreaker(const BreakerConfig& config = {});
+
+  /// True when the protected call may proceed. An open breaker whose
+  /// cooldown has elapsed transitions to half-open and admits the probe.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  Stats GetStats() const;
+
+  /// Test hook: replaces the steady-clock read (milliseconds, any epoch).
+  void set_clock_for_test(std::function<double()> clock);
+
+  static const char* StateName(State state);
+
+ private:
+  double NowMs() const;
+  void OpenLocked(double now);
+
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int consecutive_successes_ = 0;
+  bool probe_in_flight_ = false;
+  double open_until_ms_ = 0.0;
+  DecorrelatedJitter cooldown_;
+  Stats stats_;
+  std::function<double()> clock_;
+};
+
+}  // namespace pimento::exec
+
+#endif  // PIMENTO_EXEC_CIRCUIT_BREAKER_H_

@@ -1,5 +1,6 @@
 #include "src/exec/profile_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -59,8 +60,8 @@ uint64_t ProfileStore::RuleHash(std::string_view line) {
 }
 
 StatusOr<std::unique_ptr<ProfileStore>> ProfileStore::Open(
-    const std::string& path) {
-  std::unique_ptr<ProfileStore> store(new ProfileStore(path));
+    const std::string& path, const Resilience& resilience) {
+  std::unique_ptr<ProfileStore> store(new ProfileStore(path, resilience));
   Status s = store->Load();
   if (!s.ok()) return s;
   return store;
@@ -169,11 +170,66 @@ bool ProfileStore::Get(uint64_t profile_hash, uint32_t compiler_version,
   return true;
 }
 
+Status ProfileStore::TryAppendLocked(const std::string& bytes) {
+  PIMENTO_INJECT_FAULT("store.profile.put");
+  std::ofstream file(path_, std::ios::binary | std::ios::app);
+  if (!file) return Status::IoError("profile store: cannot append " + path_);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) return Status::IoError("profile store: append failed " + path_);
+  return Status::OK();
+}
+
+Status ProfileStore::AppendWithRetryLocked(const std::string& bytes) {
+  DecorrelatedJitter jitter(resilience_.put_retry);
+  const int attempts = std::max(1, resilience_.put_retry.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.put_retries;
+      SleepForMs(jitter.NextDelayMs());
+    }
+    last = TryAppendLocked(bytes);
+    if (last.ok()) return last;
+    // Only transient classes are worth retrying; corruption or logic
+    // errors will fail identically on every attempt.
+    if (last.code() != StatusCode::kIoError &&
+        last.code() != StatusCode::kUnavailable) {
+      break;
+    }
+  }
+  return last;
+}
+
+void ProfileStore::QuarantineLocked() {
+  const std::string qpath = quarantined_path();
+  std::remove(qpath.c_str());
+  // Atomic aside-move of the sick segment. Best effort: if even the
+  // rename fails (dead disk), we still start over on a fresh file.
+  std::rename(path_.c_str(), qpath.c_str());
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (out) {
+    out.write(kMagic, 8);
+    out.flush();
+  }
+  // The on-disk dedup state went aside with the old segment; the in-memory
+  // profile records stay — they were validated at load/append time and
+  // keep serving reads.
+  rule_lines_.clear();
+  consecutive_put_failures_ = 0;
+  ++stats_.quarantines;
+  stats_.rule_lines = 0;
+}
+
 Status ProfileStore::Put(uint64_t profile_hash, uint32_t compiler_version,
                          const std::vector<std::string>& rule_lines,
                          std::string_view relations) {
   std::lock_guard<std::mutex> lock(mu_);
-  PIMENTO_INJECT_FAULT("store.profile.put");
+  if (!breaker_.Allow()) {
+    ++stats_.breaker_rejections;
+    return Status::Unavailable(
+        "profile store: append breaker open; serving from memory");
+  }
   ProfileRecord rec;
   rec.compiler_version = compiler_version;
   std::string out;
@@ -201,11 +257,18 @@ Status ProfileStore::Put(uint64_t profile_hash, uint32_t compiler_version,
     payload.append(relations);
     AppendFramed(&out, payload);
   }
-  std::ofstream file(path_, std::ios::binary | std::ios::app);
-  if (!file) return Status::IoError("profile store: cannot append " + path_);
-  file.write(out.data(), static_cast<std::streamsize>(out.size()));
-  file.flush();
-  if (!file) return Status::IoError("profile store: append failed " + path_);
+  Status written = AppendWithRetryLocked(out);
+  if (!written.ok()) {
+    breaker_.RecordFailure();
+    ++stats_.put_failures;
+    if (resilience_.quarantine_after > 0 &&
+        ++consecutive_put_failures_ >= resilience_.quarantine_after) {
+      QuarantineLocked();
+    }
+    return written;
+  }
+  breaker_.RecordSuccess();
+  consecutive_put_failures_ = 0;
   // Publish in memory only after the bytes are durable.
   for (const std::string& line : rule_lines) {
     rule_lines_.insert(RuleHash(line));

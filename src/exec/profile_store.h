@@ -10,7 +10,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/backoff.h"
 #include "src/common/status.h"
+#include "src/exec/circuit_breaker.h"
 
 namespace pimento::exec {
 
@@ -40,8 +42,27 @@ namespace pimento::exec {
 /// the framing and truncated away at open. A stale compiler version or a
 /// rule-hash mismatch makes Get miss, falling back to recompilation (which
 /// then re-appends a fresh record). All methods are thread-safe.
+///
+/// Failure domain: the append path is wrapped in a bounded decorrelated-
+/// jitter retry and a circuit breaker — while the breaker is open, Put
+/// returns kUnavailable immediately (profiles stay served from memory and
+/// recompilation). After `quarantine_after` consecutive append failures
+/// the store assumes the segment itself is sick: it atomically renames the
+/// file to `<path>.quarantined` and starts a fresh segment, instead of
+/// failing every subsequent Put against the same bad bytes.
+/// Failure-domain tuning of one ProfileStore (namespace-scope so it can be
+/// a default argument while ProfileStore is still incomplete).
+struct StoreResilience {
+  RetryPolicy put_retry{/*max_attempts=*/3, /*base_ms=*/1.0,
+                        /*cap_ms=*/10.0, /*spread=*/3.0};
+  BreakerConfig breaker;
+  int quarantine_after = 3;  ///< consecutive Put failures; <= 0 disables
+};
+
 class ProfileStore {
  public:
+  using Resilience = StoreResilience;
+
   struct Stats {
     int64_t lookups = 0;
     int64_t hits = 0;
@@ -51,11 +72,16 @@ class ProfileStore {
     int64_t profiles = 0;         ///< distinct profile records resident
     int64_t rule_lines = 0;       ///< distinct rule lines resident
     int64_t truncated_bytes = 0;  ///< torn tail dropped at open
+    int64_t put_failures = 0;     ///< Put calls that failed after retries
+    int64_t put_retries = 0;      ///< extra append attempts taken
+    int64_t breaker_rejections = 0;  ///< Puts skipped while breaker open
+    int64_t quarantines = 0;      ///< sick segments renamed aside
   };
 
   /// Opens (creating if absent) the store at `path` and loads its records.
   /// A corrupt prefix fails with kCorruptIndex; a torn tail is truncated.
-  static StatusOr<std::unique_ptr<ProfileStore>> Open(const std::string& path);
+  static StatusOr<std::unique_ptr<ProfileStore>> Open(
+      const std::string& path, const Resilience& resilience = {});
 
   /// Looks up the relations blob for `profile_hash`. Hits only when the
   /// stored compiler version matches and the stored rule-line hashes equal
@@ -73,13 +99,27 @@ class ProfileStore {
 
   Stats GetStats() const;
 
+  /// Snapshot of the append-path circuit breaker (health reporting).
+  CircuitBreaker::Stats GetBreakerStats() const { return breaker_.GetStats(); }
+
+  /// Test hook: forwards to the breaker's injectable clock.
+  void set_breaker_clock_for_test(std::function<double()> clock) {
+    breaker_.set_clock_for_test(std::move(clock));
+  }
+
+  /// Where a quarantined segment is moved (`<path>.quarantined`).
+  std::string quarantined_path() const { return path_ + ".quarantined"; }
+
   /// Content hash of one rule line (the dedup key).
   static uint64_t RuleHash(std::string_view line);
 
   static constexpr char kMagic[9] = "PIMPROF1";
 
  private:
-  explicit ProfileStore(std::string path) : path_(std::move(path)) {}
+  ProfileStore(std::string path, const Resilience& resilience)
+      : path_(std::move(path)),
+        resilience_(resilience),
+        breaker_(resilience.breaker) {}
 
   struct ProfileRecord {
     uint32_t compiler_version = 0;
@@ -88,8 +128,14 @@ class ProfileStore {
   };
 
   Status Load();
+  Status TryAppendLocked(const std::string& bytes);
+  Status AppendWithRetryLocked(const std::string& bytes);
+  void QuarantineLocked();
 
   std::string path_;
+  Resilience resilience_;
+  CircuitBreaker breaker_;
+  int consecutive_put_failures_ = 0;
   mutable std::mutex mu_;
   std::unordered_set<uint64_t> rule_lines_;
   std::unordered_map<uint64_t, ProfileRecord> profiles_;

@@ -22,9 +22,17 @@ obs::Counter* ExceptionsCounter() {
   return c;
 }
 
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "pimento_worker_rejected_total",
+      "tasks refused by Submit (pool stopping or bounded queue full)");
+  return c;
+}
+
 }  // namespace
 
-WorkerPool::WorkerPool(int num_workers) {
+WorkerPool::WorkerPool(int num_workers, size_t max_queue)
+    : max_queue_(max_queue) {
   int n = std::max(1, num_workers);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -48,13 +56,18 @@ void WorkerPool::Stop() {
   }
 }
 
-void WorkerPool::Submit(std::function<void()> task) {
+bool WorkerPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (stopping_) return;
+    if (stopping_ || (max_queue_ > 0 && queue_.size() >= max_queue_)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      RejectedCounter()->Increment();
+      return false;
+    }
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void WorkerPool::Wait() {
@@ -100,14 +113,19 @@ void WorkerPool::ParallelFor(int num_workers, size_t n,
     return;
   }
   std::atomic<size_t> cursor{0};
+  const auto drain = [&cursor, n, &fn] {
+    for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
   WorkerPool pool(workers);
   for (int w = 0; w < workers; ++w) {
-    pool.Submit([&cursor, n, &fn] {
-      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
-           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-        fn(i);
-      }
-    });
+    if (!pool.Submit(drain)) {
+      // Cannot happen for a fresh unbounded pool, but a rejected drainer
+      // must not lose items: run its share on the calling thread.
+      drain();
+    }
   }
   pool.Wait();
 }

@@ -16,8 +16,10 @@ namespace pimento::exec {
 ///
 /// The pool is the substrate of the batch-search executor: tasks are
 /// closures over read-only engine state, so workers need no coordination
-/// beyond the queue itself. Submit() after shutdown is a no-op; the
-/// destructor drains the queue before joining.
+/// beyond the queue itself. Submit() after shutdown (or into a full
+/// bounded queue) is *rejected*, not silently dropped: it returns false
+/// and bumps rejected(), so callers can run the task inline or surface
+/// the overload. The destructor drains the queue before joining.
 ///
 /// Failure model: a task that throws does not take the pool down — the
 /// exception is caught in the worker loop (counted in exceptions_caught())
@@ -25,8 +27,10 @@ namespace pimento::exec {
 /// any number of times, including before the destructor runs.
 class WorkerPool {
  public:
-  /// Spawns `num_workers` threads (clamped to at least 1).
-  explicit WorkerPool(int num_workers);
+  /// Spawns `num_workers` threads (clamped to at least 1). A non-zero
+  /// `max_queue` bounds the pending-task queue: Submit() beyond it is
+  /// rejected instead of growing the queue without limit.
+  explicit WorkerPool(int num_workers, size_t max_queue = 0);
 
   /// Waits for all pending tasks, then joins the workers (via Stop()).
   ~WorkerPool();
@@ -36,16 +40,24 @@ class WorkerPool {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues one task for any worker to pick up.
-  void Submit(std::function<void()> task);
+  /// Enqueues one task for any worker to pick up. Returns false — and
+  /// does NOT take ownership of running the task — when the pool is
+  /// stopping or the bounded queue is full; such rejections are counted
+  /// in rejected() and pimento_worker_rejected_total.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished executing.
   void Wait();
 
   /// Drains the queue and joins the workers. Idempotent: the first call
   /// shuts the pool down, later calls are no-ops. After Stop(), Submit()
-  /// is a no-op.
+  /// returns false.
   void Stop();
+
+  /// Tasks Submit() refused (after Stop(), or bounded queue full).
+  int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
   /// Tasks that exited via an exception (swallowed by the worker loop).
   int64_t exceptions_caught() const {
@@ -66,10 +78,12 @@ class WorkerPool {
   std::condition_variable work_cv_;   ///< signals workers: queue or stop
   std::condition_variable done_cv_;   ///< signals Wait(): all idle
   std::deque<std::function<void()>> queue_;
+  size_t max_queue_ = 0;  ///< 0 = unbounded
   int in_flight_ = 0;  ///< tasks popped but not yet finished
   bool stopping_ = false;
   std::atomic<bool> joined_{false};  ///< Stop() already joined the workers
   std::atomic<int64_t> exceptions_{0};
+  std::atomic<int64_t> rejected_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/index/persist.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -569,6 +570,20 @@ StatusOr<Collection> LoadCollection(const std::string& path) {
     m.load_failures->Increment();
   }
   return loaded;
+}
+
+Status SaveCollectionWithRetry(const Collection& collection,
+                               const std::string& path,
+                               const RetryPolicy& policy) {
+  DecorrelatedJitter jitter(policy);
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) SleepForMs(jitter.NextDelayMs());
+    last = SaveCollection(collection, path);
+    if (last.ok() || last.code() != StatusCode::kIoError) return last;
+  }
+  return last;
 }
 
 }  // namespace pimento::index

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "src/common/backoff.h"
 #include "src/common/status.h"
 #include "src/index/collection.h"
 
@@ -62,6 +63,14 @@ StatusOr<Collection> DeserializeCollection(std::string_view bytes);
 /// File convenience wrappers. SaveCollection is atomic (tmp + rename).
 Status SaveCollection(const Collection& collection, const std::string& path);
 StatusOr<Collection> LoadCollection(const std::string& path);
+
+/// SaveCollection wrapped in a bounded decorrelated-jitter retry: transient
+/// kIoError failures (full/flaky disk, contended rename) are retried up to
+/// policy.max_attempts times; other codes surface immediately. Each attempt
+/// is itself atomic, so retries never observe a torn image.
+Status SaveCollectionWithRetry(const Collection& collection,
+                               const std::string& path,
+                               const RetryPolicy& policy = {});
 
 }  // namespace pimento::index
 

@@ -1,0 +1,59 @@
+#include "src/obs/health.h"
+
+#include <cstdio>
+
+namespace pimento::obs {
+
+namespace {
+
+void AppendField(std::string* out, const char* key, int64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld,", key,
+                static_cast<long long>(value));
+  out->append(buf);
+}
+
+void AppendField(std::string* out, const char* key, bool value) {
+  out->append("\"").append(key).append("\":").append(value ? "true" : "false");
+  out->append(",");
+}
+
+void AppendField(std::string* out, const char* key, const std::string& value) {
+  out->append("\"").append(key).append("\":\"").append(value).append("\",");
+}
+
+void AppendField(std::string* out, const char* key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.4f,", key, value);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "healthy", healthy());
+  AppendField(&out, "admission_enabled", admission_enabled);
+  AppendField(&out, "queue_depth", queue_depth);
+  AppendField(&out, "executing", executing);
+  AppendField(&out, "max_queue_depth", max_queue_depth);
+  AppendField(&out, "degrade_tier", degrade_tier);
+  AppendField(&out, "admitted_total", admitted_total);
+  AppendField(&out, "shed_total", shed_total);
+  AppendField(&out, "queue_expired_total", queue_expired_total);
+  AppendField(&out, "degraded_total", degraded_total);
+  AppendField(&out, "tier_transitions", tier_transitions);
+  AppendField(&out, "shed_rate", shed_rate);
+  AppendField(&out, "worker_tasks_total", worker_tasks_total);
+  AppendField(&out, "worker_rejected_total", worker_rejected_total);
+  AppendField(&out, "worker_exceptions_total", worker_exceptions_total);
+  AppendField(&out, "store_attached", store_attached);
+  AppendField(&out, "store_breaker", store_breaker);
+  AppendField(&out, "store_breaker_opens", store_breaker_opens);
+  AppendField(&out, "store_put_failures", store_put_failures);
+  AppendField(&out, "store_quarantines", store_quarantines);
+  out.back() = '}';  // replace the trailing comma
+  return out;
+}
+
+}  // namespace pimento::obs

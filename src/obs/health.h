@@ -1,0 +1,52 @@
+#ifndef PIMENTO_OBS_HEALTH_H_
+#define PIMENTO_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pimento::obs {
+
+/// Point-in-time serving-health snapshot: admission pressure, degradation
+/// tier, worker-pool rejections and the profile store's failure-domain
+/// state, in one operator-friendly struct. Deliberately a plain value type
+/// with no dependencies on exec/ — SearchEngine::Health() fills it, the
+/// metrics endpoints and `pimento_cli --health` render it.
+struct HealthReport {
+  // Admission control (zeroed when admission is disabled).
+  bool admission_enabled = false;
+  int64_t queue_depth = 0;
+  int64_t executing = 0;
+  int64_t max_queue_depth = 0;
+  std::string degrade_tier = "normal";
+  int64_t admitted_total = 0;
+  int64_t shed_total = 0;
+  int64_t queue_expired_total = 0;
+  int64_t degraded_total = 0;
+  int64_t tier_transitions = 0;
+  double shed_rate = 0.0;  ///< sheds / arrivals over the process lifetime
+
+  // Worker pools.
+  int64_t worker_tasks_total = 0;
+  int64_t worker_rejected_total = 0;
+  int64_t worker_exceptions_total = 0;
+
+  // Profile store failure domain (zeroed when no store is attached).
+  bool store_attached = false;
+  std::string store_breaker = "closed";
+  int64_t store_breaker_opens = 0;
+  int64_t store_put_failures = 0;
+  int64_t store_quarantines = 0;
+
+  /// True when the process is serving at full fidelity: not shedding,
+  /// not degraded, store breaker (if any) closed.
+  bool healthy() const {
+    return degrade_tier == "normal" && store_breaker != "open";
+  }
+
+  /// One-line JSON object (stable key order) for --health and tests.
+  std::string ToJson() const;
+};
+
+}  // namespace pimento::obs
+
+#endif  // PIMENTO_OBS_HEALTH_H_

@@ -1,0 +1,595 @@
+// Admission control & overload resilience: the bounded admission queue,
+// per-client quotas, deadline-aware queue shedding, the degradation
+// ladder, the circuit breaker's pinned state transitions, the profile
+// store's quarantine-on-corruption, and the worker pool's bounded queue.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/common/backoff.h"
+#include "src/common/fault_injector.h"
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/exec/admission_controller.h"
+#include "src/exec/circuit_breaker.h"
+#include "src/exec/profile_store.h"
+#include "src/exec/worker_pool.h"
+#include "src/index/collection.h"
+#include "src/index/persist.h"
+
+namespace pimento {
+namespace {
+
+using core::BatchOptions;
+using core::BatchResult;
+using core::SearchEngine;
+using core::SearchRequest;
+using exec::AdmissionConfig;
+using exec::AdmissionController;
+using exec::AdmissionDecision;
+using exec::CircuitBreaker;
+using exec::DegradeTier;
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\")] and "
+    "./price < 5000]";
+
+SearchEngine CarEngine(int cars = 30) {
+  data::CarGenOptions gen;
+  gen.num_cars = cars;
+  return SearchEngine(index::Collection::Build(data::GenerateCarDealer(gen)));
+}
+
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::Instance().DisarmAll(); }
+};
+
+// --- backoff / retry-hint plumbing ---
+
+TEST(BackoffTest, DelaysStayWithinPolicyBounds) {
+  RetryPolicy policy(/*attempts=*/1, /*base=*/2.0, /*cap=*/20.0,
+                     /*jitter=*/3.0);
+  DecorrelatedJitter jitter(policy, /*seed=*/42);
+  double prev = 0.0;
+  bool grew = false;
+  for (int i = 0; i < 200; ++i) {
+    double d = jitter.NextDelayMs();
+    ASSERT_GE(d, policy.base_ms);
+    ASSERT_LE(d, policy.cap_ms);
+    if (d > prev) grew = true;
+    prev = d;
+  }
+  EXPECT_TRUE(grew) << "decorrelated jitter never grew past its base";
+  // Reset returns the growth to the base band: the next delay is bounded
+  // by base * spread again, however large the sequence had grown.
+  jitter.Reset();
+  double after_reset = jitter.NextDelayMs();
+  EXPECT_GE(after_reset, policy.base_ms);
+  EXPECT_LE(after_reset, policy.base_ms * policy.spread);
+}
+
+TEST(AdmissionTest, RetryAfterMsParsesTheStatusHint) {
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(
+                Status::Unavailable("queue full; retry_after_ms=42")),
+            42);
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(Status::Unavailable("no hint")), 0);
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(Status::OK()), 0);
+}
+
+// --- admission controller gates ---
+
+TEST(AdmissionTest, BoundedQueueShedsWithTypedStatusAndRetryHint) {
+  AdmissionConfig config;
+  config.max_queue_depth = 2;
+  config.high_watermark = 100;  // ladder inert for this test
+  AdmissionController controller(config);
+
+  EXPECT_TRUE(controller.EnqueueAdmit("a").status.ok());
+  EXPECT_TRUE(controller.EnqueueAdmit("b").status.ok());
+  AdmissionDecision shed = controller.EnqueueAdmit("c");
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(shed.retry_after_ms, 0);
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(shed.status), shed.retry_after_ms);
+
+  const AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.shed_capacity, 1);
+  EXPECT_EQ(stats.queued, 2);
+}
+
+TEST(AdmissionTest, PerClientQuotaMetersOnlyNamedClients) {
+  AdmissionConfig config;
+  config.max_queue_depth = 100;
+  config.high_watermark = 100;
+  config.max_in_flight_per_client = 1;
+  AdmissionController controller(config);
+
+  EXPECT_TRUE(controller.EnqueueAdmit("alice").status.ok());
+  AdmissionDecision over = controller.EnqueueAdmit("alice");
+  EXPECT_EQ(over.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(controller.EnqueueAdmit("bob").status.ok());
+  // Anonymous traffic is not metered per-client.
+  EXPECT_TRUE(controller.EnqueueAdmit("").status.ok());
+  EXPECT_TRUE(controller.EnqueueAdmit("").status.ok());
+  EXPECT_EQ(controller.GetStats().shed_quota, 1);
+
+  // Releasing alice's resident request frees her quota slot.
+  EXPECT_TRUE(controller.StartExecution("alice", 0.0, 0.0).status.ok());
+  controller.Finish("alice");
+  EXPECT_TRUE(controller.EnqueueAdmit("alice").status.ok());
+}
+
+TEST(AdmissionTest, DeadlineBurnedInQueueIsShedBeforeExecution) {
+  AdmissionController controller(AdmissionConfig{});
+  ASSERT_TRUE(controller.EnqueueAdmit("u").status.ok());
+  AdmissionDecision start =
+      controller.StartExecution("u", /*deadline_ms=*/10.0, /*queued_ms=*/25.0);
+  EXPECT_EQ(start.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(start.retry_after_ms, 0);
+  const AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.shed_queue_deadline, 1);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.executing, 0);  // the shed request needs no Finish
+
+  // A request whose wait stayed inside the deadline executes normally.
+  ASSERT_TRUE(controller.EnqueueAdmit("u").status.ok());
+  EXPECT_TRUE(controller.StartExecution("u", 10.0, 3.0).status.ok());
+  controller.Finish("u");
+  EXPECT_EQ(controller.GetStats().admitted, 1);
+}
+
+TEST(AdmissionTest, LadderEscalatesUnderPressureAndRecovers) {
+  AdmissionConfig config;
+  config.max_queue_depth = 100;
+  config.high_watermark = 1;  // any resident request is "pressure"
+  config.low_watermark = 0;
+  config.escalate_after = 1;
+  config.deescalate_after = 2;  // hysteresis: two calm looks to step down
+  AdmissionController controller(config);
+
+  // Two residents: the second arrival observes occupancy 1 >= high and
+  // escalates; draining the first observes occupancy 1 again (still high).
+  ASSERT_TRUE(controller.EnqueueAdmit("").status.ok());
+  EXPECT_EQ(controller.tier(), DegradeTier::kNormal);
+  ASSERT_TRUE(controller.EnqueueAdmit("").status.ok());
+  EXPECT_EQ(controller.tier(), DegradeTier::kNoTrace);
+  ASSERT_TRUE(controller.StartExecution("", 0, 0).status.ok());
+  ASSERT_TRUE(controller.StartExecution("", 0, 0).status.ok());
+  controller.Finish("");  // occupancy 1: high again -> kForcePartial
+  controller.Finish("");  // occupancy 0: low streak 1 of 2
+  EXPECT_EQ(controller.tier(), DegradeTier::kForcePartial);
+
+  // Idle traffic de-escalates one tier per `deescalate_after` calm
+  // observations; each empty-system cycle contributes two (arrival+drain).
+  for (int i = 0; i < 2 && controller.tier() != DegradeTier::kNormal; ++i) {
+    ASSERT_TRUE(controller.EnqueueAdmit("").status.ok());
+    ASSERT_TRUE(controller.StartExecution("", 0, 0).status.ok());
+    controller.Finish("");
+  }
+  EXPECT_EQ(controller.tier(), DegradeTier::kNormal);
+  EXPECT_GE(controller.GetStats().tier_transitions, 4);
+}
+
+TEST(AdmissionTest, ShedTierRejectsArrivalsOutright) {
+  AdmissionConfig config;
+  config.max_queue_depth = 4;
+  config.high_watermark = 2;
+  config.low_watermark = 0;
+  config.escalate_after = 1;
+  config.deescalate_after = 1;
+  AdmissionController controller(config);
+
+  // Two resident requests push occupancy to the high watermark; each later
+  // arrival escalates one tier.
+  ASSERT_TRUE(controller.EnqueueAdmit("").status.ok());
+  ASSERT_TRUE(controller.EnqueueAdmit("").status.ok());
+  std::vector<DegradeTier> seen;
+  for (int i = 0; i < 4; ++i) {
+    AdmissionDecision d = controller.EnqueueAdmit("");
+    seen.push_back(controller.tier());
+    if (d.status.ok()) {
+      ASSERT_TRUE(controller.StartExecution("", 0, 0).status.ok());
+    }
+  }
+  EXPECT_EQ(seen[0], DegradeTier::kNoTrace);
+  EXPECT_EQ(seen[1], DegradeTier::kForcePartial);
+  EXPECT_EQ(seen[2], DegradeTier::kTightBudgets);
+  EXPECT_EQ(seen[3], DegradeTier::kShed);
+  AdmissionDecision shed = controller.EnqueueAdmit("");
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(controller.GetStats().shed_tier, 1);
+}
+
+// --- circuit breaker transition pins (fake clock) ---
+
+TEST(CircuitBreakerTest, ClosedOpensHalfOpensAndCloses) {
+  exec::BreakerConfig config;
+  config.failure_threshold = 2;
+  config.success_threshold = 2;
+  config.cooldown_ms = 10.0;
+  CircuitBreaker breaker(config);
+  double now = 0.0;
+  breaker.set_clock_for_test([&now] { return now; });
+
+  // closed: failures below threshold keep it closed.
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();  // threshold: trips open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());  // rejected during cooldown
+  EXPECT_EQ(breaker.GetStats().opens, 1);
+
+  // cooldown elapses: half-open, exactly one probe admitted.
+  now = 1000.0;
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow()) << "one probe at a time";
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen)
+      << "success_threshold=2 needs a second probe";
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensImmediately) {
+  exec::BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ms = 5.0;
+  CircuitBreaker breaker(config);
+  double now = 0.0;
+  breaker.set_clock_for_test([&now] { return now; });
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  now = 1000.0;
+  EXPECT_TRUE(breaker.Allow());  // probe
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.GetStats().opens, 2);
+  EXPECT_FALSE(breaker.Allow());
+}
+
+// --- profile store: retry, breaker, quarantine ---
+
+TEST(ProfileStoreResilienceTest, QuarantineRenamesSickSegmentAndRecovers) {
+  FaultGuard guard;
+  const std::string path = ::testing::TempDir() + "/admission_quarantine.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".quarantined").c_str());
+
+  exec::ProfileStore::Resilience resilience;
+  resilience.put_retry = RetryPolicy(/*attempts=*/1, 0.1, 1.0, 3.0);
+  resilience.quarantine_after = 2;
+  resilience.breaker.failure_threshold = 100;  // keep the breaker out of it
+  auto store = exec::ProfileStore::Open(path, resilience);
+  ASSERT_TRUE(store.ok());
+
+  // One good record so the segment has content worth quarantining.
+  ASSERT_TRUE((*store)->Put(1, 1, {"sr a: if true then add x"}, "blob").ok());
+
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kError;
+  spec.code = StatusCode::kIoError;
+  FaultInjector::Instance().Arm("store.profile.put", spec);
+  EXPECT_FALSE((*store)->Put(2, 1, {"r2"}, "b2").ok());
+  EXPECT_EQ((*store)->GetStats().quarantines, 0) << "one failure is not sick";
+  EXPECT_FALSE((*store)->Put(3, 1, {"r3"}, "b3").ok());
+  EXPECT_EQ((*store)->GetStats().quarantines, 1)
+      << "second consecutive failure quarantines the segment";
+
+  // The sick segment was moved aside atomically; a fresh magic-only
+  // segment took its place.
+  std::ifstream quarantined((*store)->quarantined_path(), std::ios::binary);
+  EXPECT_TRUE(quarantined.good());
+  std::ifstream fresh(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(fresh.good());
+  EXPECT_EQ(static_cast<long>(fresh.tellg()), 8) << "magic-only fresh segment";
+
+  // In-memory state still serves the pre-quarantine record...
+  std::string got;
+  EXPECT_TRUE((*store)->Get(
+      1, 1, {exec::ProfileStore::RuleHash("sr a: if true then add x")}, &got));
+  EXPECT_EQ(got, "blob");
+
+  // ...and once the disk heals, appends land in the fresh segment and
+  // survive a reopen.
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_TRUE((*store)->Put(4, 1, {"r4"}, "b4").ok());
+  auto reopened = exec::ProfileStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(
+      (*reopened)->Get(4, 1, {exec::ProfileStore::RuleHash("r4")}, &got));
+  EXPECT_EQ(got, "b4");
+}
+
+TEST(ProfileStoreResilienceTest, BreakerOpensSkipsPutsAndProbesClosed) {
+  FaultGuard guard;
+  const std::string path = ::testing::TempDir() + "/admission_breaker.bin";
+  std::remove(path.c_str());
+
+  exec::ProfileStore::Resilience resilience;
+  resilience.put_retry = RetryPolicy(/*attempts=*/1, 0.1, 1.0, 3.0);
+  resilience.quarantine_after = 0;  // isolate the breaker behavior
+  resilience.breaker.failure_threshold = 2;
+  resilience.breaker.success_threshold = 1;
+  resilience.breaker.cooldown_ms = 5.0;
+  auto store = exec::ProfileStore::Open(path, resilience);
+  ASSERT_TRUE(store.ok());
+  double now = 0.0;
+  (*store)->set_breaker_clock_for_test([&now] { return now; });
+
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kError;
+  spec.code = StatusCode::kIoError;
+  FaultInjector::Instance().Arm("store.profile.put", spec);
+  EXPECT_EQ((*store)->Put(1, 1, {"r"}, "b").code(), StatusCode::kIoError);
+  EXPECT_EQ((*store)->Put(2, 1, {"r"}, "b").code(), StatusCode::kIoError);
+  EXPECT_EQ((*store)->GetBreakerStats().state, CircuitBreaker::State::kOpen);
+
+  // Open breaker: Put short-circuits without touching the fault site.
+  const int64_t hits_before =
+      FaultInjector::Instance().HitCount("store.profile.put");
+  EXPECT_EQ((*store)->Put(3, 1, {"r"}, "b").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjector::Instance().HitCount("store.profile.put"),
+            hits_before);
+  EXPECT_EQ((*store)->GetStats().breaker_rejections, 1);
+
+  // Cooldown elapses, the disk heals: the probe closes the breaker and the
+  // write lands.
+  FaultInjector::Instance().DisarmAll();
+  now = 1000.0;
+  EXPECT_TRUE((*store)->Put(4, 1, {"r"}, "b").ok());
+  EXPECT_EQ((*store)->GetBreakerStats().state, CircuitBreaker::State::kClosed);
+  std::string got;
+  EXPECT_TRUE((*store)->Get(4, 1, {exec::ProfileStore::RuleHash("r")}, &got));
+}
+
+// --- worker pool bounded queue ---
+
+TEST(WorkerPoolTest, BoundedQueueRejectsOverflow) {
+  exec::WorkerPool pool(1, /*max_queue=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> ran{0};
+  // Occupy the single worker...
+  ASSERT_TRUE(pool.Submit([gate, &ran] {
+    gate.wait();
+    ran.fetch_add(1);
+  }));
+  // ...then fill the one queue slot. Polling for the first task to be
+  // claimed keeps this deterministic on a single-core host.
+  bool queued = false;
+  for (int i = 0; i < 1000 && !queued; ++i) {
+    queued = pool.Submit([gate, &ran] {
+      gate.wait();
+      ran.fetch_add(1);
+    });
+    if (!queued) SleepForMs(1.0);
+  }
+  ASSERT_TRUE(queued);
+  // With the worker blocked and the queue full, the next Submit must be
+  // rejected (bounded), never silently dropped or unboundedly queued.
+  int64_t rejected_before = pool.rejected();
+  bool accepted = pool.Submit([&ran] { ran.fetch_add(1); });
+  if (!accepted) {
+    EXPECT_GT(pool.rejected(), rejected_before);
+  }
+  release.set_value();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), accepted ? 3 : 2);
+}
+
+// --- engine integration: self-admit, tiers, health ---
+
+TEST(AdmissionEngineTest, ExecuteShedsTypedWhenSaturated) {
+  SearchEngine engine = CarEngine();
+  AdmissionConfig config;
+  config.max_queue_depth = 0;  // degenerate: every arrival over capacity
+  config.high_watermark = 100;
+  engine.EnableAdmissionControl(config);
+
+  SearchRequest request = SearchRequest::Text(kCarQuery);
+  auto result = engine.Execute(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(exec::RetryAfterMsFromStatus(result.status()), 0);
+
+  obs::HealthReport health = engine.Health();
+  EXPECT_TRUE(health.admission_enabled);
+  EXPECT_EQ(health.shed_total, 1);
+  EXPECT_GT(health.shed_rate, 0.0);
+  EXPECT_NE(health.ToJson().find("\"shed_total\":1"), std::string::npos);
+}
+
+TEST(AdmissionEngineTest, DegradedTierStampsResultAndForcesPartial) {
+  SearchEngine engine = CarEngine();
+  AdmissionConfig config;
+  config.max_queue_depth = 100;
+  config.high_watermark = 0;  // synthetic pressure: every look escalates
+  config.low_watermark = 0;
+  config.escalate_after = 1;
+  config.deescalate_after = 1;
+  engine.EnableAdmissionControl(config);
+
+  // With high_watermark=0 both the arrival and the completion observation
+  // escalate, so each Execute climbs two tiers: run 1 executes at kNoTrace,
+  // run 2 at kTightBudgets, and run 3 arrives at kShed and is rejected.
+  SearchRequest request = SearchRequest::Text(kCarQuery);
+  auto r1 = engine.Execute(request);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->degrade_tier, DegradeTier::kNoTrace);
+  auto r2 = engine.Execute(request);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->degrade_tier, DegradeTier::kTightBudgets);
+  // kTightBudgets clamps to the (generous) degraded caps; the answers for
+  // this small corpus are identical to the full-service run.
+  ASSERT_EQ(r2->answers.size(), r1->answers.size());
+  for (size_t i = 0; i < r1->answers.size(); ++i) {
+    EXPECT_EQ(r1->answers[i].node, r2->answers[i].node);
+    EXPECT_DOUBLE_EQ(r1->answers[i].s, r2->answers[i].s);
+  }
+  auto r3 = engine.Execute(request);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(exec::RetryAfterMsFromStatus(r3.status()), 0);
+
+  EXPECT_EQ(engine.Health().degraded_total, 2);
+  EXPECT_EQ(engine.admission_controller()->GetStats().admitted, 2);
+  EXPECT_EQ(engine.Health().degrade_tier, "shed");
+  EXPECT_FALSE(engine.Health().healthy());
+}
+
+TEST(AdmissionEngineTest, NoTraceTierDropsSamplingButHonorsExplicit) {
+  SearchEngine engine = CarEngine();
+  AdmissionConfig config;
+  config.max_queue_depth = 100;
+  config.high_watermark = 0;
+  config.low_watermark = 0;
+  config.escalate_after = 1;
+  config.deescalate_after = 100;
+  engine.EnableAdmissionControl(config);
+
+  // Sampled tracing (every request) is dropped at kNoTrace...
+  SearchRequest sampled = SearchRequest::Text(kCarQuery);
+  sampled.trace.sample_one_in = 1;
+  auto r1 = engine.Execute(sampled);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->degrade_tier, DegradeTier::kNoTrace);
+  EXPECT_FALSE(r1->trace.enabled) << "sampling must be shed under pressure";
+
+  // ...but an explicitly requested trace still records.
+  SearchRequest explicit_trace = SearchRequest::Text(kCarQuery);
+  explicit_trace.trace.enabled = true;
+  auto r2 = engine.Execute(explicit_trace);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->trace.enabled);
+}
+
+// --- the queued-deadline satellite: a deadline that lapses in the batch
+// queue is shed before a single operator Next() runs ---
+
+TEST(AdmissionEngineTest, QueuedDeadlineExpiryShedsBeforeExecution) {
+  FaultGuard guard;
+  SearchEngine engine = CarEngine();
+  AdmissionConfig config;
+  config.max_queue_depth = 100;
+  config.high_watermark = 100;  // ladder inert; this test is about gate 2
+  engine.EnableAdmissionControl(config);
+
+  // Baseline: how many scan steps does this query take alone? (A times=0
+  // spec never fires but keeps the injector armed so traversals count.)
+  FaultInjector::FaultSpec count_only;
+  count_only.times = 0;
+  FaultInjector::Instance().Arm("exec.scan.next", count_only);
+  SearchRequest probe = SearchRequest::Text(kCarQuery);
+  // The legacy tag scan drives ScanOp (the operator hosting the fault
+  // site); the default plan anchors on postings instead.
+  probe.options.scan_mode = plan::ScanMode::kTagScan;
+  ASSERT_TRUE(engine.Execute(probe).ok());
+  const int64_t scan_steps_single =
+      FaultInjector::Instance().HitCount("exec.scan.next");
+  ASSERT_GT(scan_steps_single, 0);
+  FaultInjector::Instance().DisarmAll();
+
+  // Item 0 is slowed by 40ms at its first scan step; items 1..3 carry a
+  // 5ms deadline. On the single batch worker they wait behind item 0, so
+  // their whole budget burns in the queue.
+  FaultInjector::FaultSpec slow;
+  slow.kind = FaultInjector::Kind::kSlow;
+  slow.delay_ms = 40;
+  slow.times = 1;
+  FaultInjector::Instance().Arm("exec.scan.next", slow);
+
+  std::vector<SearchRequest> requests;
+  requests.push_back(SearchRequest::Text(kCarQuery));
+  requests[0].client_id = "head-of-line";
+  requests[0].options.scan_mode = plan::ScanMode::kTagScan;
+  for (int i = 1; i < 4; ++i) {
+    SearchRequest late = SearchRequest::Text(kCarQuery);
+    late.client_id = "latecomer";
+    late.options.scan_mode = plan::ScanMode::kTagScan;
+    late.limits.deadline_ms = 5.0;
+    late.trace.enabled = true;  // would record spans if it ever executed
+    requests.push_back(late);
+  }
+
+  BatchOptions options;
+  options.num_workers = 1;
+  BatchResult batch = engine.BatchSearch(requests, options);
+
+  ASSERT_TRUE(batch.items[0].status.ok())
+      << batch.items[0].status.ToString();
+  for (int i = 1; i < 4; ++i) {
+    const core::BatchItem& item = batch.items[i];
+    EXPECT_EQ(item.status.code(), StatusCode::kUnavailable)
+        << "item " << i << ": " << item.status.ToString();
+    EXPECT_GT(exec::RetryAfterMsFromStatus(item.status), 0) << "item " << i;
+    EXPECT_FALSE(item.result.trace.enabled)
+        << "a queue-shed request must never have started executing";
+  }
+
+  // The pin: scan-step traversals equal the single-request baseline —
+  // the shed items drove zero operator Next() calls.
+  EXPECT_EQ(FaultInjector::Instance().HitCount("exec.scan.next"),
+            scan_steps_single);
+  EXPECT_EQ(engine.admission_controller()->GetStats().shed_queue_deadline, 3);
+}
+
+// --- fault injector periodic arming (the chaos/overload "1%" knob) ---
+
+TEST(FaultInjectorTest, EveryFiresPeriodically) {
+  FaultGuard guard;
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kError;
+  spec.every = 3;
+  FaultInjector::Instance().Arm("admission_test.every", spec);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (!FaultInjector::Instance().Check("admission_test.every").ok()) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3) << "every=3 fires on 1 of every 3 traversals";
+}
+
+// --- persist retry wrapper ---
+
+TEST(PersistRetryTest, TransientSaveFaultIsRetriedToSuccess) {
+  FaultGuard guard;
+  data::CarGenOptions gen;
+  gen.num_cars = 5;
+  index::Collection collection =
+      index::Collection::Build(data::GenerateCarDealer(gen));
+  const std::string path = ::testing::TempDir() + "/admission_retry.idx";
+  std::remove(path.c_str());
+
+  // First attempt fails at open; the retry succeeds.
+  FaultInjector::FaultSpec spec;
+  spec.kind = FaultInjector::Kind::kError;
+  spec.code = StatusCode::kIoError;
+  spec.times = 1;
+  FaultInjector::Instance().Arm("persist.save.open", spec);
+  RetryPolicy policy(/*attempts=*/3, 0.1, 1.0, 3.0);
+  Status saved = index::SaveCollectionWithRetry(collection, path, policy);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  auto loaded = index::LoadCollection(path);
+  EXPECT_TRUE(loaded.ok());
+
+  // A permanent fault still surfaces after the attempts are exhausted.
+  FaultInjector::Instance().DisarmAll();
+  FaultInjector::FaultSpec forever;
+  forever.kind = FaultInjector::Kind::kError;
+  forever.code = StatusCode::kIoError;
+  FaultInjector::Instance().Arm("persist.save.open", forever);
+  EXPECT_EQ(index::SaveCollectionWithRetry(collection, path, policy).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pimento

@@ -274,7 +274,7 @@ TEST(WorkerPoolTest, SubmitWaitDrainsAllTasks) {
   exec::WorkerPool pool(4);
   std::atomic<int> done{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&done] { done.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&done] { done.fetch_add(1); }));
   }
   pool.Wait();
   EXPECT_EQ(done.load(), 100);

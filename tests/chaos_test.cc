@@ -1,0 +1,273 @@
+// Chaos lane: randomized (but seeded, fully deterministic) fault schedules
+// swept across every registered fault site while concurrent BatchSearch
+// traffic runs through admission control. The contract under chaos:
+//
+//   1. no crash, hang, or deadlock — the batch always returns;
+//   2. every failed item carries a *typed* status from the small set of
+//      codes the fault schedule can legally produce — never a mystery
+//      kInternal from a swallowed invariant, never a success with bogus
+//      answers;
+//   3. every successful item is byte-identical to the unfaulted baseline
+//      (scores compared at full bit precision via %a);
+//   4. once every fault is disarmed, the system is fully healthy again —
+//      degradation is never sticky.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <iterator>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/core/engine.h"
+#include "src/data/car_gen.h"
+#include "src/exec/admission_controller.h"
+#include "src/exec/profile_cache.h"
+#include "src/index/collection.h"
+#include "src/index/persist.h"
+
+namespace pimento {
+namespace {
+
+using core::BatchOptions;
+using core::BatchResult;
+using core::RankedAnswer;
+using core::SearchEngine;
+using core::SearchRequest;
+using core::SearchResult;
+
+constexpr const char* kCarQuery =
+    "//car[./description[ftcontains(., \"good condition\")] and "
+    "./price < 5000]";
+
+constexpr const char* kKorProfile = R"(
+profile kors
+rank K,V,S
+kor pi1: tag=car prefer ftcontains("best bid")
+kor pi2: tag=car prefer ftcontains("NYC")
+)";
+
+constexpr const char* kSrProfile = R"(
+profile chaos
+rank K,V,S
+sr p1 priority 1: if //car/description[ftcontains(., "good condition")] then add ftcontains(description, "american")
+vor pi1: tag=car prefer color = "red"
+)";
+
+// Every fault site reachable from the BatchSearch path.
+constexpr const char* kBatchSites[] = {
+    "exec.worker.dispatch", "cache.profile.fill", "store.profile.put",
+    "obs.trace.span",       "exec.scan.next",
+};
+
+// The only codes a chaos schedule may legally surface to a caller.
+bool IsAllowedFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:        // admission shed / breaker open
+    case StatusCode::kResourceExhausted:  // injected alloc failure
+    case StatusCode::kIoError:            // injected I/O fault
+    case StatusCode::kInternal:           // injected exception, caught
+    case StatusCode::kDeadlineExceeded:   // injected deadline
+    case StatusCode::kCorruptIndex:       // injected corruption
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Byte-exact rendering of one outcome (scores at full bit precision).
+std::string Canonical(const Status& status, const SearchResult& result) {
+  std::string out = status.ok() ? "OK\n" : status.ToString() + "\n";
+  if (!status.ok()) return out;
+  out += result.encoded_query + "\n" + result.plan_description + "\n";
+  char buf[64];
+  for (const RankedAnswer& a : result.answers) {
+    std::snprintf(buf, sizeof(buf), "#%d n%d s=%a k=%a\n", a.rank, a.node,
+                  a.s, a.k);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<SearchRequest> ChaosRequests() {
+  std::vector<SearchRequest> requests;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back(SearchRequest::Text(kCarQuery));
+    requests.push_back(SearchRequest::Text(kCarQuery, kSrProfile));
+    requests.push_back(SearchRequest::Text("//car[./price < 3000]",
+                                           kKorProfile));
+    SearchRequest traced = SearchRequest::Text("//car[./price < 2000]");
+    traced.trace.enabled = true;  // keeps obs.trace.span in the sweep
+    traced.client_id = "tracer";
+    requests.push_back(traced);
+  }
+  return requests;
+}
+
+// One randomized schedule: each site has a chance of being armed with a
+// random kind, code, skip window, shot count, and periodic (`every`) phase.
+void ArmRandomSchedule(std::mt19937& rng) {
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::uniform_int_distribution<int> small(0, 3);
+  constexpr StatusCode kCodes[] = {
+      StatusCode::kIoError,          StatusCode::kResourceExhausted,
+      StatusCode::kInternal,         StatusCode::kDeadlineExceeded,
+      StatusCode::kCorruptIndex,     StatusCode::kUnavailable,
+  };
+  for (const char* site : kBatchSites) {
+    if (pct(rng) >= 70) continue;  // ~70% of sites armed per round
+    FaultInjector::FaultSpec spec;
+    const int kind = pct(rng);
+    if (kind < 50) {
+      spec.kind = FaultInjector::Kind::kError;
+      spec.code = kCodes[static_cast<size_t>(pct(rng)) % std::size(kCodes)];
+    } else if (kind < 70) {
+      spec.kind = FaultInjector::Kind::kSlow;
+      spec.delay_ms = 1 + small(rng);
+    } else if (kind < 85) {
+      spec.kind = FaultInjector::Kind::kAllocFail;
+    } else {
+      spec.kind = FaultInjector::Kind::kThrow;
+    }
+    spec.skip = small(rng);
+    spec.times = small(rng) == 0 ? -1 : 1 + small(rng);
+    spec.every = small(rng);  // 0/1 = every traversal, else periodic
+    FaultInjector::Instance().Arm(site, spec);
+  }
+}
+
+TEST(ChaosTest, RandomFaultSchedulesNeverBreakTheBatchContract) {
+  data::CarGenOptions gen;
+  gen.num_cars = 40;
+  SearchEngine engine(index::Collection::Build(data::GenerateCarDealer(gen)));
+  engine.EnableAdmissionControl();  // default thresholds: no degradation
+                                    // at this batch size, only typed sheds
+  const std::string store_path = ::testing::TempDir() + "/chaos_store.bin";
+  std::remove(store_path.c_str());
+  ASSERT_TRUE(engine.SetProfileStore(store_path).ok());
+
+  const std::vector<SearchRequest> requests = ChaosRequests();
+
+  // Unfaulted baseline, per item, sequentially.
+  std::vector<std::string> expected;
+  for (const SearchRequest& req : requests) {
+    auto result = engine.Execute(req);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(Canonical(Status::OK(), *result));
+  }
+
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    // Cold profile cache every round so cache.profile.fill and
+    // store.profile.put are traversed again.
+    engine.profile_cache().Clear();
+    std::mt19937 rng(static_cast<uint32_t>(round * 7919 + 13));
+    ArmRandomSchedule(rng);
+
+    BatchOptions options;
+    options.num_workers = 1 + round % 4;
+    BatchResult batch = engine.BatchSearch(requests, options);
+    FaultInjector::Instance().DisarmAll();
+
+    ASSERT_EQ(batch.items.size(), requests.size());
+    for (size_t i = 0; i < batch.items.size(); ++i) {
+      const core::BatchItem& item = batch.items[i];
+      if (item.status.ok()) {
+        // Success under chaos must be byte-identical to no chaos at all.
+        EXPECT_EQ(Canonical(item.status, item.result), expected[i])
+            << "item " << i;
+      } else {
+        EXPECT_TRUE(IsAllowedFailure(item.status.code()))
+            << "item " << i << " surfaced untyped failure: "
+            << item.status.ToString();
+      }
+    }
+  }
+
+  // Faults gone: the very next batch is fully healthy — every item
+  // succeeds and matches the baseline. Degradation is not sticky.
+  engine.profile_cache().Clear();
+  BatchOptions options;
+  options.num_workers = 2;
+  BatchResult batch = engine.BatchSearch(requests, options);
+  for (size_t i = 0; i < batch.items.size(); ++i) {
+    ASSERT_TRUE(batch.items[i].status.ok())
+        << "item " << i << ": " << batch.items[i].status.ToString();
+    EXPECT_EQ(Canonical(batch.items[i].status, batch.items[i].result),
+              expected[i])
+        << "item " << i;
+  }
+  EXPECT_EQ(engine.Health().degrade_tier, "normal");
+}
+
+TEST(ChaosTest, PersistChaosNeverCorruptsTheLastGoodImage) {
+  data::CarGenOptions gen;
+  gen.num_cars = 8;
+  index::Collection collection =
+      index::Collection::Build(data::GenerateCarDealer(gen));
+  const std::string path = ::testing::TempDir() + "/chaos_persist.idx";
+  std::remove(path.c_str());
+
+  // One clean image on disk first.
+  ASSERT_TRUE(index::SaveCollection(collection, path).ok());
+  ASSERT_TRUE(index::LoadCollection(path).ok());
+
+  constexpr const char* kSaveSites[] = {
+      "persist.save.open", "persist.save.write", "persist.save.rename"};
+  constexpr const char* kLoadSites[] = {"persist.load.open",
+                                        "persist.load.read"};
+  RetryPolicy policy(/*attempts=*/2, 0.1, 1.0, 3.0);
+
+  for (int round = 0; round < 8; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::mt19937 rng(static_cast<uint32_t>(round * 104729 + 7));
+    std::uniform_int_distribution<int> pct(0, 99);
+    std::uniform_int_distribution<int> small(0, 3);
+    for (const char* site : kSaveSites) {
+      if (pct(rng) >= 60) continue;
+      FaultInjector::FaultSpec spec;
+      spec.kind =
+          pct(rng) < 80 ? FaultInjector::Kind::kError : FaultInjector::Kind::kSlow;
+      spec.code = StatusCode::kIoError;
+      spec.delay_ms = 1;
+      spec.skip = small(rng);
+      spec.times = small(rng) == 0 ? -1 : 1 + small(rng);
+      FaultInjector::Instance().Arm(site, spec);
+    }
+    Status saved = index::SaveCollectionWithRetry(collection, path, policy);
+    EXPECT_TRUE(saved.ok() || saved.code() == StatusCode::kIoError)
+        << saved.ToString();
+    FaultInjector::Instance().DisarmAll();
+
+    // Atomic tmp+rename: whether or not the save succeeded, the image at
+    // `path` is a complete, loadable one — never a torn write.
+    auto loaded = index::LoadCollection(path);
+    ASSERT_TRUE(loaded.ok()) << "a failed save corrupted the live image: "
+                             << loaded.status().ToString();
+
+    // Load-path faults surface typed and leave the file untouched.
+    for (const char* site : kLoadSites) {
+      if (pct(rng) >= 50) continue;
+      FaultInjector::FaultSpec spec;
+      spec.kind = FaultInjector::Kind::kError;
+      spec.code = StatusCode::kIoError;
+      spec.times = 1 + small(rng);
+      FaultInjector::Instance().Arm(site, spec);
+    }
+    auto faulted_load = index::LoadCollection(path);
+    EXPECT_TRUE(faulted_load.ok() ||
+                faulted_load.status().code() == StatusCode::kIoError ||
+                faulted_load.status().code() == StatusCode::kCorruptIndex)
+        << faulted_load.status().ToString();
+    FaultInjector::Instance().DisarmAll();
+  }
+
+  // Healthy again end-to-end.
+  ASSERT_TRUE(index::SaveCollection(collection, path).ok());
+  EXPECT_TRUE(index::LoadCollection(path).ok());
+}
+
+}  // namespace
+}  // namespace pimento

@@ -266,12 +266,15 @@ TEST(WorkerPoolTest, StopIsIdempotent) {
   exec::WorkerPool pool(2);
   std::atomic<int> ran{0};
   for (int i = 0; i < 8; ++i) {
-    pool.Submit([&ran] { ran.fetch_add(1); });
+    EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
   }
   pool.Stop();
   pool.Stop();  // second call must be a harmless no-op
   EXPECT_EQ(ran.load(), 8);
-  pool.Submit([&ran] { ran.fetch_add(1); });  // no-op after Stop
+  // Submit after Stop is *rejected*, not silently dropped: the caller is
+  // told the task will never run, and the rejection is counted.
+  EXPECT_FALSE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.rejected(), 1);
   pool.Stop();
   EXPECT_EQ(ran.load(), 8);
 }  // destructor runs Stop() a fourth time
@@ -280,10 +283,10 @@ TEST(WorkerPoolTest, ThrowingTaskDoesNotWedgeThePool) {
   exec::WorkerPool pool(2);
   std::atomic<int> ran{0};
   for (int i = 0; i < 6; ++i) {
-    pool.Submit([&ran, i] {
+    EXPECT_TRUE(pool.Submit([&ran, i] {
       if (i % 2 == 0) throw std::runtime_error("task failed");
       ran.fetch_add(1);
-    });
+    }));
   }
   pool.Wait();
   EXPECT_EQ(ran.load(), 3);
@@ -294,8 +297,8 @@ TEST(WorkerPoolTest, ThrowingTaskDoesNotWedgeThePool) {
 TEST(WorkerPoolTest, NonExceptionWorkStillRunsAfterThrow) {
   exec::WorkerPool pool(1);
   std::atomic<int> ran{0};
-  pool.Submit([] { throw std::runtime_error("boom"); });
-  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_TRUE(pool.Submit([] { throw std::runtime_error("boom"); }));
+  EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
   pool.Wait();
   EXPECT_EQ(ran.load(), 1);
   EXPECT_EQ(pool.exceptions_caught(), 1);
