@@ -68,4 +68,15 @@ check "raw sleep_for outside the backoff helper (use SleepForMs)" \
   'sleep_for' \
   src bench examples --exclude=backoff.cc --exclude=backoff.h
 
+# 7. common::Mutex / MutexLock / CondVar (src/common/mutex.h) are the one
+#    sanctioned locking primitives: they carry the Clang thread-safety
+#    capability annotations and the debug lock-rank checker. A raw
+#    std::mutex elsewhere in src/ is invisible to both — its fields are
+#    unprovable and its acquisitions escape the deadlock hierarchy
+#    (DESIGN.md §14). src/common/ is exempt: the wrapper itself owns the
+#    underlying std::mutex.
+check "raw std:: locking primitive outside src/common/ (use common::Mutex/MutexLock/CondVar)" \
+  'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable)' \
+  src --exclude-dir=common
+
 exit $fail

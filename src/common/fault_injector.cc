@@ -14,26 +14,26 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   faults_[site] = ArmedFault{std::move(spec), 0};
   armed_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   faults_.erase(site);
   if (faults_.empty()) armed_.store(false, std::memory_order_relaxed);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   faults_.clear();
   hits_.clear();
   armed_.store(false, std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::HitCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = hits_.find(site);
   return it == hits_.end() ? 0 : it->second;
 }
@@ -42,7 +42,7 @@ Status FaultInjector::Check(const char* site) {
   FaultSpec spec;
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     ++hits_[site];
     auto it = faults_.find(site);
     if (it == faults_.end()) return Status::OK();

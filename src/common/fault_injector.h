@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace pimento {
@@ -71,9 +71,13 @@ class FaultInjector {
 
   static std::atomic<bool> armed_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ArmedFault> faults_;
-  std::unordered_map<std::string, int64_t> hits_;
+  /// kFaultInjector ranks above every subsystem that hosts an injection
+  /// site: PIMENTO_INJECT_FAULT runs under e.g. the profile-store lock.
+  mutable common::Mutex mu_{common::LockRank::kFaultInjector,
+                            "FaultInjector::mu_"};
+  std::unordered_map<std::string, ArmedFault> faults_
+      PIMENTO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int64_t> hits_ PIMENTO_GUARDED_BY(mu_);
 };
 
 }  // namespace pimento

@@ -1,0 +1,135 @@
+#include "src/common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pimento::common {
+
+namespace {
+
+/// Rank checks default to on in debug builds; release serving pays only a
+/// relaxed load + predicted branch per lock/unlock when off.
+#ifdef NDEBUG
+constexpr bool kRankChecksDefault = false;
+#else
+constexpr bool kRankChecksDefault = true;
+#endif
+
+std::atomic<bool> g_rank_checks{kRankChecksDefault};
+
+/// Test-only witness sink (see Mutex::SetRankFailureHandlerForTest).
+/// Written only from a single test thread while no violation is in
+/// flight; read on the (cold) violation path.
+std::function<void(const std::string&)>& FailureHandler() {
+  static std::function<void(const std::string&)> handler;
+  return handler;
+}
+
+/// This thread's acquisition stack, oldest acquire first. Strictly
+/// thread-local, so the checker itself needs no synchronization.
+thread_local std::vector<HeldLockInfo> tl_held;
+
+std::string DescribeHeldStack() {
+  if (tl_held.empty()) return "(nothing)";
+  std::string out;
+  for (size_t i = 0; i < tl_held.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += "\"";
+    out += tl_held[i].name;
+    out += "\" (rank " + std::to_string(tl_held[i].rank) + ")";
+  }
+  return out;
+}
+
+/// The cold path: every rank-check failure funnels here with a witness
+/// naming the offending mutex and the full held stack. Default: print and
+/// abort (a hierarchy violation is a latent deadlock — failing the process
+/// in debug is the point). Tests capture instead via the handler.
+void RankViolation(const std::string& message) {
+  const std::string witness =
+      "pimento lock-rank violation: " + message +
+      "; held: " + DescribeHeldStack();
+  if (FailureHandler()) {
+    FailureHandler()(witness);
+    return;  // capture mode: record and continue (test-only)
+  }
+  std::fprintf(stderr, "%s\n", witness.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string Describe(const Mutex* mu) {
+  return "\"" + std::string(mu->name()) + "\" (rank " +
+         std::to_string(mu->rank()) + ")";
+}
+
+void CheckAcquire(const Mutex* mu) {
+  int max_rank = 0;
+  const char* max_name = "";
+  for (const HeldLockInfo& held : tl_held) {
+    if (held.mutex == mu) {
+      RankViolation("recursive acquire of " + Describe(mu));
+      return;
+    }
+    if (held.rank >= max_rank) {
+      max_rank = held.rank;
+      max_name = held.name;
+    }
+  }
+  if (!tl_held.empty() && mu->rank() <= max_rank) {
+    RankViolation("acquiring " + Describe(mu) +
+                  " out of order after \"" + max_name + "\" (rank " +
+                  std::to_string(max_rank) + ")");
+  }
+}
+
+}  // namespace
+
+void Mutex::lock() {
+  if (Mutex::RankChecksEnabled()) CheckAcquire(this);
+  mu_.lock();
+  if (Mutex::RankChecksEnabled()) {
+    tl_held.push_back(HeldLockInfo{this, rank(), name_});
+  }
+}
+
+void Mutex::unlock() {
+  // Tolerate a stack entry missing (checks flipped on mid-hold): scan from
+  // the most recent acquire and drop this mutex's entry if present.
+  if (Mutex::RankChecksEnabled()) {
+    for (size_t i = tl_held.size(); i > 0; --i) {
+      if (tl_held[i - 1].mutex == this) {
+        tl_held.erase(tl_held.begin() + static_cast<ptrdiff_t>(i - 1));
+        break;
+      }
+    }
+  }
+  mu_.unlock();
+}
+
+void Mutex::AssertHeld() const {
+  if (!Mutex::RankChecksEnabled()) return;
+  for (const HeldLockInfo& held : tl_held) {
+    if (held.mutex == this) return;
+  }
+  RankViolation("AssertHeld failed for " + Describe(this) +
+                ": not held by this thread");
+}
+
+void Mutex::SetRankChecksEnabled(bool enabled) {
+  g_rank_checks.store(enabled, std::memory_order_relaxed);
+}
+
+bool Mutex::RankChecksEnabled() {
+  return g_rank_checks.load(std::memory_order_relaxed);
+}
+
+void Mutex::SetRankFailureHandlerForTest(
+    std::function<void(const std::string&)> handler) {
+  FailureHandler() = std::move(handler);
+}
+
+std::vector<HeldLockInfo> Mutex::HeldLocksForThisThread() { return tl_held; }
+
+}  // namespace pimento::common

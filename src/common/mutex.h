@@ -1,0 +1,152 @@
+#ifndef PIMENTO_COMMON_MUTEX_H_
+#define PIMENTO_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+
+namespace pimento::common {
+
+/// The engine-wide lock hierarchy. Every Mutex is constructed with exactly
+/// one of these levels, and a thread may only acquire a Mutex whose level
+/// is *strictly greater* than every level it already holds — so any cycle
+/// of waits would need a rank to be both < and > another, which cannot
+/// happen: the locking layer is deadlock-free by construction.
+///
+/// The numeric order follows the call graph top-down (outermost
+/// subsystems first); the full rank table — one row per Mutex with its
+/// guarded state and allowed nestings — is DESIGN.md §14. Gaps between
+/// levels are room for future locks (the multi-document engine's
+/// epoch/snapshot locks will slot between kEngine and kAdmission).
+///
+/// In debug builds (and whenever SetRankChecksEnabled(true) is set, e.g.
+/// by tests in release builds) a thread-local acquisition stack enforces
+/// the order at runtime and aborts with both lock names and the held-stack
+/// witness on any out-of-order or recursive acquire.
+enum class LockRank : int {
+  kEngine = 10,          ///< SearchEngine::config_mu_ (config mutators)
+  kAdmission = 20,       ///< AdmissionController::mu_
+  kWorkerPool = 30,      ///< WorkerPool::mu_
+  kProfileStore = 40,    ///< ProfileStore::mu_
+  kStoreBreaker = 45,    ///< CircuitBreaker::mu_ (driven under the store
+                         ///< lock: Put holds kProfileStore while calling
+                         ///< Allow/RecordFailure)
+  kProfileCache = 50,    ///< ProfileCache::mu_
+  kPhraseRegistry = 52,  ///< PhraseCountCache::registry_mu_
+  kPhraseShard = 54,     ///< PhraseCountCache::Shard::mu (never nested
+                         ///< with each other; GetStats locks sequentially)
+  kBlockMaxCache = 56,   ///< Collection::BlockMaxCache::mu
+  kOrderMemo = 58,       ///< CompiledRules::OrderMemo::mu
+  kFaultInjector = 70,   ///< FaultInjector::mu_ (PIMENTO_INJECT_FAULT sites
+                         ///< run under store/cache locks)
+  kMetricsRegistry = 90, ///< MetricsRegistry::mu_ (first-touch counter
+                         ///< registration happens under any subsystem lock)
+};
+
+/// One row of a lock-rank violation report, ordered oldest acquire first.
+struct HeldLockInfo {
+  const void* mutex = nullptr;
+  int rank = 0;
+  const char* name = "";
+};
+
+/// The annotated mutex: carries a Clang Thread Safety Analysis capability
+/// (so `PIMENTO_GUARDED_BY(mu_)` fields are compiler-checked) and, when
+/// rank checks are on, the runtime lock-rank enforcement described on
+/// LockRank. This wrapper is the one sanctioned locking primitive in src/
+/// — raw std::mutex / std::lock_guard / std::condition_variable outside
+/// src/common/ are banned by scripts/lint.sh.
+///
+/// Meets BasicLockable (lowercase lock/unlock), so CondVar can release and
+/// re-acquire it through the same rank-checked entry points, keeping the
+/// thread-local acquisition stack coherent across waits.
+class PIMENTO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PIMENTO_ACQUIRE();
+  void unlock() PIMENTO_RELEASE();
+
+  /// Dynamically verifies this thread holds the mutex (rank checks on);
+  /// the static analysis assumes the capability afterwards, so it backs
+  /// `*Locked()` helpers reached through code paths the analysis cannot
+  /// follow. With rank checks off this is a no-op.
+  void AssertHeld() const PIMENTO_ASSERT_CAPABILITY(this);
+
+  int rank() const { return static_cast<int>(rank_); }
+  const char* name() const { return name_; }
+
+  /// --- lock-rank checker controls -----------------------------------
+  /// Default: enabled in debug builds (!NDEBUG), disabled in release.
+  /// Tests flip it on explicitly (the tier-1 tree builds Release); flip
+  /// only while this thread holds no Mutex.
+  static void SetRankChecksEnabled(bool enabled);
+  static bool RankChecksEnabled();
+
+  /// Witness sink for tests: when set, a violation calls the handler with
+  /// the full witness message instead of aborting, then the acquire
+  /// proceeds. Only safe for *order* violations probed single-threadedly;
+  /// a real recursive acquire would still self-deadlock on the underlying
+  /// mutex, so recursion tests use death tests instead. Install/clear
+  /// from a single thread with no concurrent violations. nullptr restores
+  /// the abort behavior.
+  static void SetRankFailureHandlerForTest(
+      std::function<void(const std::string&)> handler);
+
+  /// This thread's current acquisition stack, oldest first (tests).
+  static std::vector<HeldLockInfo> HeldLocksForThisThread();
+
+ private:
+  std::mutex mu_;  // the one sanctioned raw mutex in src/
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// RAII lock for a Mutex; the direct replacement for std::lock_guard /
+/// std::unique_lock in migrated code. Declared a scoped capability so the
+/// analysis knows the capability is held for the block.
+class PIMENTO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PIMENTO_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() PIMENTO_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable over a common::Mutex. Wait releases and re-acquires
+/// the mutex through Mutex::unlock/lock, so the rank checker's acquisition
+/// stack stays coherent across the wait (the re-acquire is rank-checked
+/// against whatever the thread still holds). Use the classic
+/// `while (!pred) cv.Wait(&mu);` loop — there is deliberately no
+/// predicate overload, so the analysis sees the guarded reads in the loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` and blocks; re-acquires before returning.
+  /// Spurious wakeups happen — always wait in a predicate loop.
+  void Wait(Mutex* mu) PIMENTO_REQUIRES(mu) { cv_.wait(*mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace pimento::common
+
+#endif  // PIMENTO_COMMON_MUTEX_H_

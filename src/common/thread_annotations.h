@@ -1,0 +1,87 @@
+#ifndef PIMENTO_COMMON_THREAD_ANNOTATIONS_H_
+#define PIMENTO_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Portable wrappers for Clang's Thread Safety Analysis attributes.
+///
+/// These macros let the compiler *prove* the locking contracts the code
+/// comments used to assert: which fields a mutex guards (PIMENTO_GUARDED_BY),
+/// which helpers may only run with a lock held (PIMENTO_REQUIRES), and which
+/// entry points must be called unlocked (PIMENTO_EXCLUDES). The proofs run
+/// in the `lint_thread_safety` ctest lane (scripts/run_thread_safety.sh,
+/// clang -Wthread-safety -Wthread-safety-beta -Werror); under gcc and other
+/// compilers every macro expands to nothing, so the annotations cost zero
+/// and the code builds everywhere.
+///
+/// The annotated locking primitives live in src/common/mutex.h
+/// (common::Mutex / MutexLock / CondVar); docs/analysis.md describes the
+/// lane and the waiver policy, DESIGN.md §14 the lock hierarchy.
+
+#if defined(__clang__) && !defined(SWIG)
+#define PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+/// Declares a class to be a capability (a lock). The string names the
+/// capability kind in diagnostics ("mutex").
+#define PIMENTO_CAPABILITY(x) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define PIMENTO_SCOPED_CAPABILITY \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// A data member readable/writable only while the given capability is held.
+#define PIMENTO_GUARDED_BY(x) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by the given capability.
+#define PIMENTO_PT_GUARDED_BY(x) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Static acquisition-order edges between two capabilities (the
+/// compile-time mirror of the runtime lock-rank check).
+#define PIMENTO_ACQUIRED_BEFORE(...) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define PIMENTO_ACQUIRED_AFTER(...) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called with the capability already held
+/// (…Locked() helpers); the caller keeps ownership.
+#define PIMENTO_REQUIRES(...) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define PIMENTO_ACQUIRE(...) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define PIMENTO_RELEASE(...) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define PIMENTO_TRY_ACQUIRE(...) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called with the capability NOT held (it acquires
+/// the lock itself, so a holding caller would self-deadlock).
+#define PIMENTO_EXCLUDES(...) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The function dynamically verifies the capability is held and aborts if
+/// not; the analysis assumes it afterwards (backs Mutex::AssertHeld()).
+#define PIMENTO_ASSERT_CAPABILITY(x) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define PIMENTO_RETURN_CAPABILITY(x) \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Explicit waiver: turns the analysis off for one function. Every use
+/// MUST carry an inline justification comment naming the invariant that
+/// makes the unchecked access safe (see docs/analysis.md, waiver policy).
+#define PIMENTO_NO_THREAD_SAFETY_ANALYSIS \
+  PIMENTO_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // PIMENTO_COMMON_THREAD_ANNOTATIONS_H_

@@ -731,6 +731,7 @@ StatusOr<Explanation> SearchEngine::Explain(const SearchRequest& request,
 }
 
 Status SearchEngine::SetProfileStore(const std::string& path) {
+  common::MutexLock lock(config_mu_.get());
   StatusOr<std::unique_ptr<exec::ProfileStore>> store =
       exec::ProfileStore::Open(path);
   if (!store.ok()) return store.status();
@@ -746,6 +747,7 @@ SearchEngine::CompileProfile(std::string_view profile_text) const {
 
 void SearchEngine::EnableAdmissionControl(
     const exec::AdmissionConfig& config) {
+  common::MutexLock lock(config_mu_.get());
   admission_ = std::make_shared<exec::AdmissionController>(config);
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/algebra/plan.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/core/explain.h"
 #include "src/core/search_request.h"
@@ -366,6 +367,17 @@ class SearchEngine {
   std::shared_ptr<exec::PhraseCountCache> phrase_count_cache_;
   std::shared_ptr<exec::ProfileStore> profile_store_;
   std::shared_ptr<exec::AdmissionController> admission_;
+
+  // Serializes the config mutators (SetProfileStore,
+  // EnableAdmissionControl) against each other — the root of the lock
+  // hierarchy (LockRank::kEngine; SetProfileStore nests the store's own
+  // lock under it while loading). The hot path still reads the
+  // profile_store_/admission_ pointers unlocked: mutators run before
+  // serving traffic by contract (see the method comments). Behind a
+  // unique_ptr because the engine is movable and a Mutex is not.
+  std::unique_ptr<common::Mutex> config_mu_ =
+      std::make_unique<common::Mutex>(common::LockRank::kEngine,
+                                      "SearchEngine::config_mu_");
 
   // Engine-wide request ticker driving TraceOptions::sample_one_in.
   std::unique_ptr<std::atomic<uint64_t>> trace_ticker_;

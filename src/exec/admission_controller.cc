@@ -128,7 +128,7 @@ AdmissionDecision AdmissionController::ShedLocked(int64_t* reason_counter,
 
 AdmissionDecision AdmissionController::EnqueueAdmit(
     std::string_view client_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++stats_.enqueued;
   EnqueuedCounter()->Increment();
   // The ladder observes raw arrival pressure, including arrivals about to
@@ -165,7 +165,7 @@ AdmissionDecision AdmissionController::EnqueueAdmit(
 
 AdmissionDecision AdmissionController::StartExecution(
     std::string_view client_id, double deadline_ms, double queued_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   --queued_;
   AdmissionDecision decision;
   if (deadline_ms > 0 && queued_ms >= deadline_ms) {
@@ -193,7 +193,7 @@ AdmissionDecision AdmissionController::StartExecution(
 }
 
 void AdmissionController::Finish(std::string_view client_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   --executing_;
   ReleaseClientLocked(std::string(client_id));
   // Completions are the draining half of the ladder's observations; without
@@ -203,12 +203,12 @@ void AdmissionController::Finish(std::string_view client_id) {
 }
 
 DegradeTier AdmissionController::tier() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return tier_;
 }
 
 AdmissionController::Stats AdmissionController::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   Stats stats = stats_;
   stats.queued = queued_;
   stats.executing = executing_;

@@ -2,12 +2,12 @@
 #define PIMENTO_EXEC_ADMISSION_CONTROLLER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "src/common/backoff.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace pimento::exec {
@@ -123,21 +123,25 @@ class AdmissionController {
   static const char* TierName(DegradeTier tier);
 
  private:
-  AdmissionDecision ShedLocked(int64_t* reason_counter, const char* why);
-  void UpdateLadderLocked();
-  void ReleaseClientLocked(const std::string& client_id);
-  void PublishGaugesLocked();
+  AdmissionDecision ShedLocked(int64_t* reason_counter, const char* why)
+      PIMENTO_REQUIRES(mu_);
+  void UpdateLadderLocked() PIMENTO_REQUIRES(mu_);
+  void ReleaseClientLocked(const std::string& client_id)
+      PIMENTO_REQUIRES(mu_);
+  void PublishGaugesLocked() PIMENTO_REQUIRES(mu_);
 
   const AdmissionConfig config_;
-  mutable std::mutex mu_;
-  int64_t queued_ = 0;
-  int64_t executing_ = 0;
-  DegradeTier tier_ = DegradeTier::kNormal;
-  int consecutive_high_ = 0;
-  int consecutive_low_ = 0;
-  std::unordered_map<std::string, int64_t> per_client_;
-  DecorrelatedJitter retry_hint_;
-  Stats stats_;
+  mutable common::Mutex mu_{common::LockRank::kAdmission,
+                            "AdmissionController::mu_"};
+  int64_t queued_ PIMENTO_GUARDED_BY(mu_) = 0;
+  int64_t executing_ PIMENTO_GUARDED_BY(mu_) = 0;
+  DegradeTier tier_ PIMENTO_GUARDED_BY(mu_) = DegradeTier::kNormal;
+  int consecutive_high_ PIMENTO_GUARDED_BY(mu_) = 0;
+  int consecutive_low_ PIMENTO_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, int64_t> per_client_
+      PIMENTO_GUARDED_BY(mu_);
+  DecorrelatedJitter retry_hint_ PIMENTO_GUARDED_BY(mu_);
+  Stats stats_ PIMENTO_GUARDED_BY(mu_);
 };
 
 /// Parses the "retry_after_ms=<n>" hint a shed decision appends to its

@@ -26,7 +26,7 @@ double CircuitBreaker::NowMs() const {
 }
 
 void CircuitBreaker::set_clock_for_test(std::function<double()> clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   clock_ = std::move(clock);
 }
 
@@ -52,7 +52,7 @@ void CircuitBreaker::OpenLocked(double now) {
 }
 
 bool CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -82,7 +82,7 @@ bool CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++stats_.successes;
   consecutive_failures_ = 0;
   if (state_ == State::kHalfOpen) {
@@ -96,7 +96,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++stats_.failures;
   consecutive_successes_ = 0;
   if (state_ == State::kHalfOpen) {
@@ -110,12 +110,12 @@ void CircuitBreaker::RecordFailure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return state_;
 }
 
 CircuitBreaker::Stats CircuitBreaker::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   Stats stats = stats_;
   stats.state = state_;
   return stats;

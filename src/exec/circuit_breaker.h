@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "src/common/backoff.h"
+#include "src/common/mutex.h"
 
 namespace pimento::exec {
 
@@ -65,19 +65,22 @@ class CircuitBreaker {
   static const char* StateName(State state);
 
  private:
-  double NowMs() const;
-  void OpenLocked(double now);
+  double NowMs() const PIMENTO_REQUIRES(mu_);
+  void OpenLocked(double now) PIMENTO_REQUIRES(mu_);
 
-  BreakerConfig config_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  int consecutive_successes_ = 0;
-  bool probe_in_flight_ = false;
-  double open_until_ms_ = 0.0;
-  DecorrelatedJitter cooldown_;
-  Stats stats_;
-  std::function<double()> clock_;
+  BreakerConfig config_;  ///< immutable after construction
+  /// kStoreBreaker ranks *above* kProfileStore: ProfileStore::Put drives
+  /// Allow/RecordSuccess/RecordFailure while holding the store lock.
+  mutable common::Mutex mu_{common::LockRank::kStoreBreaker,
+                            "CircuitBreaker::mu_"};
+  State state_ PIMENTO_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ PIMENTO_GUARDED_BY(mu_) = 0;
+  int consecutive_successes_ PIMENTO_GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ PIMENTO_GUARDED_BY(mu_) = false;
+  double open_until_ms_ PIMENTO_GUARDED_BY(mu_) = 0.0;
+  DecorrelatedJitter cooldown_ PIMENTO_GUARDED_BY(mu_);
+  Stats stats_ PIMENTO_GUARDED_BY(mu_);
+  std::function<double()> clock_ PIMENTO_GUARDED_BY(mu_);
 };
 
 }  // namespace pimento::exec

@@ -3,7 +3,7 @@
 namespace pimento::exec {
 
 uint32_t PhraseCountCache::RegisterPhrase(std::string_view text, int window) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  common::MutexLock lock(&registry_mu_);
   auto key = std::make_pair(std::string(text), window);
   auto it = registry_.find(key);
   if (it != registry_.end()) return it->second;
@@ -15,7 +15,7 @@ uint32_t PhraseCountCache::RegisterPhrase(std::string_view text, int window) {
 bool PhraseCountCache::Lookup(uint32_t phrase_id, int32_t first, int32_t last,
                               int* count) const {
   const Shard& shard = shards_[ShardOf(phrase_id, first)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   auto it = shard.counts.find(SpanKey{phrase_id, first, last});
   if (it == shard.counts.end()) {
     ++shard.misses;
@@ -29,7 +29,7 @@ bool PhraseCountCache::Lookup(uint32_t phrase_id, int32_t first, int32_t last,
 void PhraseCountCache::Insert(uint32_t phrase_id, int32_t first, int32_t last,
                               int count) {
   Shard& shard = shards_[ShardOf(phrase_id, first)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   if (shard.counts.size() >= shard_capacity_) {
     shard.evictions += static_cast<int64_t>(shard.counts.size());
     shard.counts.clear();
@@ -40,7 +40,7 @@ void PhraseCountCache::Insert(uint32_t phrase_id, int32_t first, int32_t last,
 PhraseCountCache::CacheStats PhraseCountCache::GetStats() const {
   CacheStats stats;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
@@ -48,14 +48,14 @@ PhraseCountCache::CacheStats PhraseCountCache::GetStats() const {
   }
   stats.bytes =
       static_cast<int64_t>(stats.entries) * kApproxEntryBytes;
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  common::MutexLock lock(&registry_mu_);
   stats.phrases = registry_.size();
   return stats;
 }
 
 void PhraseCountCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     shard.counts.clear();
     shard.hits = 0;
     shard.misses = 0;

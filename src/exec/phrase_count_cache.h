@@ -4,11 +4,12 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
+
+#include "src/common/mutex.h"
 
 namespace pimento::exec {
 
@@ -94,11 +95,15 @@ class PhraseCountCache {
     }
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<SpanKey, int, SpanKeyHash> counts;
-    mutable int64_t hits = 0;
-    mutable int64_t misses = 0;
-    int64_t evictions = 0;
+    /// Shard locks share one rank: they are never nested with each other
+    /// (GetStats/Clear lock each shard sequentially, releasing between).
+    mutable common::Mutex mu{common::LockRank::kPhraseShard,
+                             "PhraseCountCache::Shard::mu"};
+    std::unordered_map<SpanKey, int, SpanKeyHash> counts
+        PIMENTO_GUARDED_BY(mu);
+    mutable int64_t hits PIMENTO_GUARDED_BY(mu) = 0;
+    mutable int64_t misses PIMENTO_GUARDED_BY(mu) = 0;
+    int64_t evictions PIMENTO_GUARDED_BY(mu) = 0;
   };
 
   static size_t ShardOf(uint32_t phrase_id, int32_t first) {
@@ -114,10 +119,12 @@ class PhraseCountCache {
     return per_shard < kShardCapacity ? per_shard : kShardCapacity;
   }
 
-  size_t shard_capacity_;
-  size_t max_bytes_;
-  mutable std::mutex registry_mu_;
-  std::map<std::pair<std::string, int>, uint32_t> registry_;
+  size_t shard_capacity_;  ///< immutable after construction
+  size_t max_bytes_;       ///< immutable after construction
+  mutable common::Mutex registry_mu_{common::LockRank::kPhraseRegistry,
+                                     "PhraseCountCache::registry_mu_"};
+  std::map<std::pair<std::string, int>, uint32_t> registry_
+      PIMENTO_GUARDED_BY(registry_mu_);
   std::array<Shard, kNumShards> shards_;
 };
 

@@ -114,7 +114,7 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
     std::string_view profile_text) {
   const uint64_t key = ContentHash(profile_text);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       if (it->second.text == profile_text) {
@@ -141,7 +141,7 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
       Compile(profile_text, key, store_);
   if (!compiled.ok()) return compiled.status();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.text != profile_text) return *compiled;  // collision
@@ -171,7 +171,7 @@ StatusOr<std::shared_ptr<const CompiledProfile>> ProfileCache::GetOrCompile(
 }
 
 ProfileCache::CacheStats ProfileCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   CacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;
@@ -184,7 +184,7 @@ ProfileCache::CacheStats ProfileCache::GetStats() const {
 }
 
 void ProfileCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   entries_.clear();
   lru_.clear();
   hits_ = 0;

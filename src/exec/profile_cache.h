@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/profile/ambiguity.h"
 #include "src/profile/compiled_profile.h"
@@ -95,17 +95,22 @@ class ProfileCache {
     return static_cast<int64_t>(entry.text.size() + kEntryOverheadBytes);
   }
 
-  ProfileStore* store_ = nullptr;  ///< optional persistent layer, not owned
+  /// Optional persistent layer, not owned. Unguarded by contract:
+  /// set_store() runs before serving traffic; GetOrCompile reads it on the
+  /// (unlocked) compile path.
+  ProfileStore* store_ = nullptr;
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  size_t max_bytes_;
-  std::list<uint64_t> lru_;  ///< most recently used at the front
-  std::unordered_map<uint64_t, Entry> entries_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
-  int64_t bytes_ = 0;
+  mutable common::Mutex mu_{common::LockRank::kProfileCache,
+                            "ProfileCache::mu_"};
+  size_t capacity_;   ///< immutable after construction
+  size_t max_bytes_;  ///< immutable after construction
+  /// Most recently used at the front.
+  std::list<uint64_t> lru_ PIMENTO_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Entry> entries_ PIMENTO_GUARDED_BY(mu_);
+  int64_t hits_ PIMENTO_GUARDED_BY(mu_) = 0;
+  int64_t misses_ PIMENTO_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ PIMENTO_GUARDED_BY(mu_) = 0;
+  int64_t bytes_ PIMENTO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pimento::exec

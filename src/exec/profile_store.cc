@@ -62,7 +62,13 @@ uint64_t ProfileStore::RuleHash(std::string_view line) {
 StatusOr<std::unique_ptr<ProfileStore>> ProfileStore::Open(
     const std::string& path, const Resilience& resilience) {
   std::unique_ptr<ProfileStore> store(new ProfileStore(path, resilience));
-  Status s = store->Load();
+  Status s;
+  {
+    // The store is not shared yet, but Load touches guarded state; taking
+    // the lock keeps the capability proof lock-based instead of waived.
+    common::MutexLock lock(&store->mu_);
+    s = store->Load();
+  }
   if (!s.ok()) return s;
   return store;
 }
@@ -156,7 +162,7 @@ Status ProfileStore::Load() {
 bool ProfileStore::Get(uint64_t profile_hash, uint32_t compiler_version,
                        const std::vector<uint64_t>& rule_hashes,
                        std::string* relations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++stats_.lookups;
   auto it = profiles_.find(profile_hash);
   if (it == profiles_.end() ||
@@ -224,7 +230,7 @@ void ProfileStore::QuarantineLocked() {
 Status ProfileStore::Put(uint64_t profile_hash, uint32_t compiler_version,
                          const std::vector<std::string>& rule_lines,
                          std::string_view relations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!breaker_.Allow()) {
     ++stats_.breaker_rejections;
     return Status::Unavailable(
@@ -282,7 +288,7 @@ Status ProfileStore::Put(uint64_t profile_hash, uint32_t compiler_version,
 }
 
 ProfileStore::Stats ProfileStore::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -11,6 +10,7 @@
 #include <vector>
 
 #include "src/common/backoff.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/exec/circuit_breaker.h"
 
@@ -127,19 +127,24 @@ class ProfileStore {
     std::string relations;
   };
 
-  Status Load();
-  Status TryAppendLocked(const std::string& bytes);
-  Status AppendWithRetryLocked(const std::string& bytes);
-  void QuarantineLocked();
+  Status Load() PIMENTO_REQUIRES(mu_);
+  Status TryAppendLocked(const std::string& bytes) PIMENTO_REQUIRES(mu_);
+  Status AppendWithRetryLocked(const std::string& bytes)
+      PIMENTO_REQUIRES(mu_);
+  void QuarantineLocked() PIMENTO_REQUIRES(mu_);
 
   std::string path_;
   Resilience resilience_;
+  /// Own lock at kStoreBreaker: Put drives it while holding mu_
+  /// (kProfileStore), nesting upward in the hierarchy.
   CircuitBreaker breaker_;
-  int consecutive_put_failures_ = 0;
-  mutable std::mutex mu_;
-  std::unordered_set<uint64_t> rule_lines_;
-  std::unordered_map<uint64_t, ProfileRecord> profiles_;
-  Stats stats_;
+  int consecutive_put_failures_ PIMENTO_GUARDED_BY(mu_) = 0;
+  mutable common::Mutex mu_{common::LockRank::kProfileStore,
+                            "ProfileStore::mu_"};
+  std::unordered_set<uint64_t> rule_lines_ PIMENTO_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, ProfileRecord> profiles_
+      PIMENTO_GUARDED_BY(mu_);
+  Stats stats_ PIMENTO_GUARDED_BY(mu_);
 };
 
 }  // namespace pimento::exec

@@ -44,10 +44,10 @@ WorkerPool::~WorkerPool() { Stop(); }
 
 void WorkerPool::Stop() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // Only the first caller joins; repeated Stop() (including the one the
   // destructor issues after an explicit Stop()) is a no-op.
   if (joined_.exchange(true, std::memory_order_acq_rel)) return;
@@ -58,7 +58,7 @@ void WorkerPool::Stop() {
 
 bool WorkerPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (stopping_ || (max_queue_ > 0 && queue_.size() >= max_queue_)) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       RejectedCounter()->Increment();
@@ -66,21 +66,21 @@ bool WorkerPool::Submit(std::function<void()> task) {
     }
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void WorkerPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  common::MutexLock lock(&mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) done_cv_.Wait(&mu_);
 }
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      common::MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -97,9 +97,9 @@ void WorkerPool::WorkerLoop() {
       ExceptionsCounter()->Increment();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) done_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }

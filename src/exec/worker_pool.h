@@ -2,13 +2,13 @@
 #define PIMENTO_EXEC_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace pimento::exec {
 
@@ -74,13 +74,13 @@ class WorkerPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< signals workers: queue or stop
-  std::condition_variable done_cv_;   ///< signals Wait(): all idle
-  std::deque<std::function<void()>> queue_;
-  size_t max_queue_ = 0;  ///< 0 = unbounded
-  int in_flight_ = 0;  ///< tasks popped but not yet finished
-  bool stopping_ = false;
+  common::Mutex mu_{common::LockRank::kWorkerPool, "WorkerPool::mu_"};
+  common::CondVar work_cv_;  ///< signals workers: queue or stop
+  common::CondVar done_cv_;  ///< signals Wait(): all idle
+  std::deque<std::function<void()>> queue_ PIMENTO_GUARDED_BY(mu_);
+  size_t max_queue_ = 0;  ///< 0 = unbounded; immutable after construction
+  int in_flight_ PIMENTO_GUARDED_BY(mu_) = 0;  ///< popped, not yet finished
+  bool stopping_ PIMENTO_GUARDED_BY(mu_) = false;
   std::atomic<bool> joined_{false};  ///< Stop() already joined the workers
   std::atomic<int64_t> exceptions_{0};
   std::atomic<int64_t> rejected_{0};

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace pimento::index {
 
@@ -12,10 +13,11 @@ namespace pimento::index {
 /// computation happens once per key over the collection's lifetime, and
 /// holding the lock during the computation simply serializes first-touch.
 struct Collection::BlockMaxCache {
-  std::mutex mu;
+  common::Mutex mu{common::LockRank::kBlockMaxCache,
+                   "Collection::BlockMaxCache::mu"};
   std::map<std::pair<TermId, std::string>,
            std::shared_ptr<const BlockScoreBounds>>
-      entries;
+      entries PIMENTO_GUARDED_BY(mu);
 };
 
 Collection::Collection() : blockmax_(std::make_unique<BlockMaxCache>()) {}
@@ -103,7 +105,7 @@ void Collection::BuildTokenOwners() {
 
 std::shared_ptr<const BlockScoreBounds> Collection::BlockMaxCounts(
     TermId term, const std::string& tag) const {
-  std::lock_guard<std::mutex> lock(blockmax_->mu);
+  common::MutexLock lock(&blockmax_->mu);
   auto key = std::make_pair(term, tag);
   auto it = blockmax_->entries.find(key);
   if (it != blockmax_->entries.end()) return it->second;
@@ -137,7 +139,7 @@ std::shared_ptr<const BlockScoreBounds> Collection::BlockMaxCounts(
 
 void Collection::RefinalizeBlocks(int block_size) {
   keywords_.FinalizeBlocks(block_size);
-  std::lock_guard<std::mutex> lock(blockmax_->mu);
+  common::MutexLock lock(&blockmax_->mu);
   blockmax_->entries.clear();
 }
 

@@ -97,7 +97,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -109,7 +109,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name, help)))
@@ -120,7 +120,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -132,7 +132,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::RenderText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     if (!c->help().empty()) out += "# HELP " + name + " " + c->help() + "\n";
@@ -165,7 +165,7 @@ std::string MetricsRegistry::RenderText() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -204,7 +204,7 @@ std::string MetricsRegistry::RenderJson() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->ResetForTest();
   for (auto& [name, g] : gauges_) g->ResetForTest();
   for (auto& [name, h] : histograms_) h->ResetForTest();

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace pimento::obs {
 
@@ -170,10 +171,17 @@ class MetricsRegistry {
   void ResetForTest();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// kMetricsRegistry is the highest rank in the hierarchy: function-local
+  /// static registration (GetCounter & co.) happens on first traversal of
+  /// an instrumented path, which can be under any subsystem lock.
+  mutable common::Mutex mu_{common::LockRank::kMetricsRegistry,
+                            "MetricsRegistry::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PIMENTO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PIMENTO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PIMENTO_GUARDED_BY(mu_);
 };
 
 }  // namespace pimento::obs

@@ -337,7 +337,7 @@ void AnalyzeCompiledInternal(const CompiledRules& c, const tpq::Tpq& query,
     std::string key((c.n + 7) / 8, '\0');
     for (int r : report->applicable) key[r >> 3] |= char(1 << (r & 7));
     if (c.order_memo != nullptr) {
-      std::lock_guard<std::mutex> lock(c.order_memo->mu);
+      common::MutexLock lock(&c.order_memo->mu);
       auto it = c.order_memo->orders.find(key);
       if (it != c.order_memo->orders.end()) {
         report->order = it->second;
@@ -349,7 +349,7 @@ void AnalyzeCompiledInternal(const CompiledRules& c, const tpq::Tpq& query,
     }
     DeriveOrder(c.rules, report);
     if (c.order_memo != nullptr) {
-      std::lock_guard<std::mutex> lock(c.order_memo->mu);
+      common::MutexLock lock(&c.order_memo->mu);
       if (c.order_memo->orders.size() <
           CompiledRules::OrderMemo::kMaxEntries) {
         c.order_memo->orders.emplace(std::move(key), report->order);

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/profile/flock.h"
 #include "src/profile/rule_index.h"
@@ -80,8 +80,10 @@ struct CompiledRules {
   /// whose pairs are all statically decided are memoized (their order is
   /// query-independent); bounded, thread-safe, shared across searches.
   struct OrderMemo {
-    std::mutex mu;
-    std::unordered_map<std::string, std::vector<int>> orders;
+    common::Mutex mu{common::LockRank::kOrderMemo,
+                     "CompiledRules::OrderMemo::mu"};
+    std::unordered_map<std::string, std::vector<int>> orders
+        PIMENTO_GUARDED_BY(mu);
     static constexpr size_t kMaxEntries = 4096;
   };
   std::shared_ptr<OrderMemo> order_memo;
